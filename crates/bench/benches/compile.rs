@@ -1,0 +1,98 @@
+//! Criterion benchmarks for the compilers: the paper's pipeline (Lemma 1 +
+//! C_{F,T} + S_{F,T}), SDD apply, OBDD apply, and the explicit Appendix-A
+//! ISA construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use boolfunc::families::IsaLayout;
+use sdd::SddManager;
+use sentential_core::isa::appendix_a_circuit;
+use sentential_core::{cft, compile_circuit, sft, vtree_from_circuit};
+use vtree::{VarId, Vtree};
+
+fn vars(n: u32) -> Vec<VarId> {
+    (0..n).map(VarId).collect()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(20);
+    for n in [10u32, 14, 18] {
+        let circ = circuit::families::clause_chain(&vars(n), 3);
+        g.bench_with_input(BenchmarkId::new("clause_chain_w3", n), &n, |b, _| {
+            b.iter(|| black_box(compile_circuit(&circ, 16).unwrap().sdd.sdw))
+        });
+    }
+    g.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let n = 14u32;
+    let circ = circuit::families::clause_chain(&vars(n), 3);
+    let f = circ.to_boolfn().unwrap();
+    let (vt, _) = vtree_from_circuit(&circ, 16).unwrap();
+    let mut g = c.benchmark_group("stages_n14_w3");
+    g.sample_size(20);
+    g.bench_function("vtree_extract", |b| {
+        b.iter(|| black_box(vtree_from_circuit(&circ, 16).unwrap().1.treewidth))
+    });
+    g.bench_function("cft", |b| b.iter(|| black_box(cft(&f, &vt).fiw)));
+    g.bench_function("sft", |b| b.iter(|| black_box(sft(&f, &vt).sdw)));
+    g.finish();
+}
+
+fn bench_sdd_apply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sdd_apply");
+    g.sample_size(20);
+    for n in [12u32, 16, 20] {
+        let circ = circuit::families::clause_chain(&vars(n), 3);
+        let ids = vars(n);
+        g.bench_with_input(BenchmarkId::new("clause_chain_balanced", n), &n, |b, _| {
+            b.iter(|| {
+                let vt = Vtree::balanced(&ids).unwrap();
+                let mut mgr = SddManager::new(vt);
+                black_box(mgr.from_circuit(&circ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_obdd_apply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obdd_apply");
+    for n in [12u32, 16, 20] {
+        let circ = circuit::families::clause_chain(&vars(n), 3);
+        let ids = vars(n);
+        g.bench_with_input(BenchmarkId::new("clause_chain", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = obdd::Obdd::new(ids.clone());
+                black_box(m.from_circuit(&circ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_isa_explicit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("isa_explicit");
+    g.sample_size(10);
+    for level in [1usize, 2, 3] {
+        let (k, m) = IsaLayout::params_for_level(level);
+        let layout = IsaLayout::new(k, m);
+        g.bench_with_input(BenchmarkId::new("appendix_a", layout.num_vars()), &level, |b, _| {
+            b.iter(|| black_box(appendix_a_circuit(&layout).reachable_size()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_stages,
+    bench_sdd_apply,
+    bench_obdd_apply,
+    bench_isa_explicit
+);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! E1 — Figure 1: the compilability panorama for Boolean functions.
+//!
+//! For a zoo of functions, measures the four quantities Figure 1 organizes:
+//! OBDD width (pathwidth proxy, Eq. 2), SDD width (circuit-treewidth proxy,
+//! Result 1), OBDD size, and SDD size. The paper's class picture predicts:
+//!
+//! * parity / chain functions: everything constant → innermost region;
+//! * and-or-tree functions: SDD width constant, OBDD width growing
+//!   (CPW(O(1)) ⊊ CTW(O(1)));
+//! * disjointness with separated blocks: order/vtree choice matters;
+//! * ISA: polynomial SDD but exponential OBDD (OBDD(poly) ⊊ SDD(poly));
+//! * hidden weighted bit: hard for OBDDs under every order.
+//!
+//! Regenerate: `cargo run --release -p sentential-bench --bin exp_fig1`
+
+use boolfunc::{families, BoolFn};
+use obdd::order::{best_order_exhaustive, best_order_sifting, Metric};
+use obdd::Obdd;
+use sentential_bench::{maybe_write_json, Record, Table};
+use sentential_core::{min_fiw, min_sdw, sft};
+use vtree::{VarId, Vtree};
+
+fn vars(n: u32) -> Vec<VarId> {
+    (0..n).map(VarId).collect()
+}
+
+fn measure(name: &str, f: &BoolFn, table: &mut Table, records: &mut Vec<Record>) {
+    let n = f.vars().len();
+    // OBDD width: exact over all orders when feasible, sifting otherwise.
+    let (obdd_width, order) = if n <= 6 {
+        best_order_exhaustive(f, Metric::Width, 6)
+    } else {
+        best_order_sifting(f, Metric::Width)
+    };
+    let mut m = Obdd::new(order);
+    let root = m.from_boolfn(f);
+    let obdd_size = m.size(root);
+    // SDD width: exact vtree enumeration when feasible, else balanced +
+    // right-linear best.
+    let (sdd_width, sdd_size) = if n <= 5 {
+        let (w, t) = min_sdw(f, 5);
+        let r = sft(&f.minimize_support(), &t);
+        (w, r.manager.size(r.root))
+    } else {
+        let ids: Vec<VarId> = f.vars().iter().collect();
+        let cands = [
+            Vtree::balanced(&ids).unwrap(),
+            Vtree::right_linear(&ids).unwrap(),
+        ];
+        cands
+            .iter()
+            .map(|t| {
+                let r = sft(f, t);
+                (r.sdw, r.manager.size(r.root))
+            })
+            .min()
+            .unwrap()
+    };
+    let (fiw, _) = if n <= 5 {
+        min_fiw(f, 5)
+    } else {
+        (0, Vtree::right_linear(&[VarId(0)]).unwrap())
+    };
+    let fiw_str = if n <= 5 {
+        fiw.to_string()
+    } else {
+        "-".to_string()
+    };
+    table.row(&[
+        &name,
+        &n,
+        &obdd_width,
+        &sdd_width,
+        &obdd_size,
+        &sdd_size,
+        &fiw_str,
+    ]);
+    records.push(Record {
+        experiment: "E1".into(),
+        series: name.into(),
+        x: n as u64,
+        values: vec![
+            ("obdd_width".into(), obdd_width as f64),
+            ("sdd_width".into(), sdd_width as f64),
+            ("obdd_size".into(), obdd_size as f64),
+            ("sdd_size".into(), sdd_size as f64),
+        ],
+    });
+}
+
+fn main() {
+    println!("E1 / Figure 1: compilability panorama\n");
+    let mut t = Table::new(&[
+        "function", "n", "OBDD width", "SDD width", "OBDD size", "SDD size", "fiw",
+    ]);
+    let mut records = Vec::new();
+
+    measure("parity_8", &families::parity(&vars(8)), &mut t, &mut records);
+    measure("majority_7", &families::majority(&vars(7)), &mut t, &mut records);
+    let (d3, _, _) = families::disjointness(3);
+    measure("disjointness_3", &d3, &mut t, &mut records);
+    let (d4, _, _) = families::disjointness(4);
+    measure("disjointness_4", &d4, &mut t, &mut records);
+    measure("hwb_8", &families::hidden_weighted_bit(8), &mut t, &mut records);
+    measure("hwb_10", &families::hidden_weighted_bit(10), &mut t, &mut records);
+    let (mx, _, _) = families::mux(3);
+    measure("mux_3 (n=11)", &mx, &mut t, &mut records);
+    let (isa5, _) = families::isa_self(1, 2);
+    measure("ISA_5", &isa5, &mut t, &mut records);
+    // And-or-tree functions: bounded circuit treewidth (tree circuits),
+    // growing pathwidth.
+    for d in [3u32, 4] {
+        let n = 1 << d;
+        let c = circuit::families::and_or_tree(&vars(n));
+        let f = c.to_boolfn().unwrap();
+        measure(&format!("and_or_tree_{n}"), &f, &mut t, &mut records);
+    }
+
+    t.print();
+    println!(
+        "\nShape check (Figure 1): the bounded-pathwidth functions (parity, \
+         trees, D_n under the\npaired order) sit in the innermost region with \
+         tiny constant widths; HWB's widths grow\nwith n (outside the width \
+         classes); the OBDD(poly) vs SDD(poly) separation is witnessed\nat \
+         scale by ISA — see exp_isa. CPW(O(1)) ⊊ CTW(O(1))'s strictness is \
+         asymptotic and\ncited from Jha–Suciu; the coincidences CPW=OBDD-width \
+         and CTW=SDD-width are verified\nby exp_pathwidth and exp_linear_size."
+    );
+    maybe_write_json(&records);
+}

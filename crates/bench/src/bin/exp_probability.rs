@@ -1,0 +1,104 @@
+//! E12 — probabilistic query evaluation through compilation (paper §1):
+//! all evaluation routes agree, and the compiled routes scale past brute
+//! force.
+//!
+//! For each query/database pair: brute-force probability (when ≤ 20 tuples),
+//! lifted safe plan (when safe), OBDD WMC, SDD WMC, and the paper's Lemma-1
+//! pipeline WMC, with lineage statistics.
+//!
+//! Regenerate: `cargo run --release -p sentential-bench --bin exp_probability`
+
+use query::{families, prob, Database};
+use sentential_bench::{maybe_write_json, Record, Table};
+
+fn main() {
+    println!("E12: query probability via compilation\n");
+    let mut t = Table::new(&[
+        "query", "tuples", "brute", "safe plan", "OBDD", "SDD", "pipeline", "C_F,T", "lineage tw",
+    ]);
+    let mut records = Vec::new();
+
+    let mut run = |label: &str, q: &query::Ucq, db: &Database| {
+        let brute = if db.num_tuples() <= 20 {
+            format!("{:.6}", prob::brute_force_probability(q, db))
+        } else {
+            "-".into()
+        };
+        let safe = (q.cqs.len() == 1)
+            .then(|| prob::safe_probability(&q.cqs[0], db))
+            .flatten()
+            .map(|p| format!("{p:.6}"))
+            .unwrap_or_else(|| "unsafe".into());
+        let viao = prob::probability_via_obdd(q, db);
+        let vias = prob::probability_via_sdd(q, db);
+        let (viap, tw) = prob::probability_via_pipeline(q, db);
+        let viac = prob::probability_via_cft(q, db);
+        assert!((viao - vias).abs() < 1e-9, "{label}: OBDD vs SDD");
+        assert!((viao - viap).abs() < 1e-9, "{label}: OBDD vs pipeline");
+        if let Some(vc) = viac {
+            assert!((viao - vc).abs() < 1e-9, "{label}: OBDD vs C_F,T d-DNNF");
+        }
+        t.row(&[
+            &label,
+            &db.num_tuples(),
+            &brute,
+            &safe,
+            &format!("{viao:.6}"),
+            &format!("{vias:.6}"),
+            &format!("{viap:.6}"),
+            &viac.map(|p| format!("{p:.6}")).unwrap_or_else(|| "-".into()),
+            &tw,
+        ]);
+        records.push(Record {
+            experiment: "E12".into(),
+            series: label.into(),
+            x: db.num_tuples() as u64,
+            values: vec![("probability".into(), viap), ("treewidth".into(), tw as f64)],
+        });
+    };
+
+    // Safe query over growing databases (compiled routes scale; brute stops).
+    let (q, schema) = families::two_atom_hierarchical();
+    let r = schema.by_name("R").unwrap();
+    let s = schema.by_name("S").unwrap();
+    for n in [3u64, 5, 12] {
+        let mut db = Database::new(schema.clone());
+        for l in 1..=n {
+            db.insert(r, vec![l], 0.3 + 0.4 * (l as f64 / n as f64));
+            for m in 1..=2u64 {
+                db.insert(s, vec![l, m], 0.5);
+            }
+        }
+        run(&format!("R(x)S(x,y), |dom|={n}"), &q, &db);
+    }
+
+    // Unsafe inversion query.
+    let (q, schema) = families::uh(1);
+    for n in [2usize, 3] {
+        let db = families::uh_complete_db(&schema, 1, n, 0.4);
+        run(&format!("uh(1), |dom|={n}"), &q, &db);
+    }
+
+    // q_RST.
+    let (q, schema) = families::qrst();
+    let r = schema.by_name("R").unwrap();
+    let s = schema.by_name("S").unwrap();
+    let tt = schema.by_name("T").unwrap();
+    let mut db = Database::new(schema.clone());
+    for l in 1..=3u64 {
+        db.insert(r, vec![l], 0.6);
+        db.insert(tt, vec![l], 0.7);
+        for m in 1..=3u64 {
+            db.insert(s, vec![l, m], 0.25);
+        }
+    }
+    run("q_RST, |dom|=3", &q, &db);
+
+    t.print();
+    println!(
+        "\nAll compiled routes agree to 1e-9; safe plans exist exactly for \
+         the hierarchical query;\nthe pipeline's lineage treewidth stays small \
+         for the safe query and grows for inversions."
+    );
+    maybe_write_json(&records);
+}

@@ -1,0 +1,110 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one figure or bound of the paper
+//! (see EXPERIMENTS.md for the index) and prints a plain-text table plus,
+//! when `--json <path>` is given, a machine-readable record.
+
+use serde::Serialize;
+use std::fmt::Display;
+
+/// A printed experiment table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Render with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (i, (c, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                out.push_str(&format!("{c:>w$}"));
+            }
+            println!("{out}");
+        };
+        line(&self.headers);
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// A single measurement record for JSON output.
+#[derive(Serialize)]
+pub struct Record {
+    /// Experiment id (e.g. "E4").
+    pub experiment: String,
+    /// Series / configuration label.
+    pub series: String,
+    /// x value (usually n).
+    pub x: u64,
+    /// Named measurements.
+    pub values: Vec<(String, f64)>,
+}
+
+/// Write records as JSON when the CLI was invoked with `--json <path>`.
+pub fn maybe_write_json(records: &[Record]) {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            let path = args.next().expect("--json needs a path");
+            let body = serde_json::to_string_pretty(records).expect("serializable");
+            std::fs::write(&path, body).expect("writable path");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// Geometric-ish growth check helper: the ratio of consecutive sizes.
+pub fn ratios(xs: &[usize]) -> Vec<f64> {
+    xs.windows(2).map(|w| w[1] as f64 / w[0] as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(&[&1, &"xyz"]);
+        t.print();
+    }
+
+    #[test]
+    fn ratios_work() {
+        assert_eq!(ratios(&[2, 4, 8]), vec![2.0, 2.0]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Partial Boolean assignments.
+
+use crate::varset::VarSet;
+use std::fmt;
+use vtree::VarId;
+
+/// A partial assignment of Boolean variables, kept sorted by variable.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Assignment {
+    pairs: Vec<(VarId, bool)>,
+}
+
+impl Assignment {
+    /// The empty assignment.
+    pub fn empty() -> Self {
+        Assignment { pairs: Vec::new() }
+    }
+
+    /// From pairs; later entries overwrite earlier ones for the same var.
+    pub fn from_pairs<I: IntoIterator<Item = (VarId, bool)>>(iter: I) -> Self {
+        let mut a = Assignment::empty();
+        for (v, b) in iter {
+            a.set(v, b);
+        }
+        a
+    }
+
+    /// Decode the truth-table index `idx` over `vars` into an assignment:
+    /// bit `j` of `idx` gives the value of the `j`-th variable.
+    pub fn from_index(vars: &VarSet, idx: u64) -> Self {
+        Assignment {
+            pairs: vars
+                .iter()
+                .enumerate()
+                .map(|(j, v)| (v, idx >> j & 1 == 1))
+                .collect(),
+        }
+    }
+
+    /// Encode this assignment (restricted to `vars`, which it must cover) as
+    /// a truth-table index over `vars`.
+    pub fn index_in(&self, vars: &VarSet) -> u64 {
+        let mut idx = 0u64;
+        for (j, v) in vars.iter().enumerate() {
+            if self.get(v).expect("assignment must cover vars") {
+                idx |= 1 << j;
+            }
+        }
+        idx
+    }
+
+    /// Number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Is the assignment empty?
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Value of `v`, if assigned.
+    pub fn get(&self, v: VarId) -> Option<bool> {
+        self.pairs
+            .binary_search_by_key(&v, |p| p.0)
+            .ok()
+            .map(|i| self.pairs[i].1)
+    }
+
+    /// Set `v := b` (overwrites).
+    pub fn set(&mut self, v: VarId, b: bool) {
+        match self.pairs.binary_search_by_key(&v, |p| p.0) {
+            Ok(i) => self.pairs[i].1 = b,
+            Err(i) => self.pairs.insert(i, (v, b)),
+        }
+    }
+
+    /// The set of assigned variables.
+    pub fn domain(&self) -> VarSet {
+        VarSet::from_iter(self.pairs.iter().map(|p| p.0))
+    }
+
+    /// Restriction to the variables in `vars`.
+    pub fn restrict_to(&self, vars: &VarSet) -> Assignment {
+        Assignment {
+            pairs: self
+                .pairs
+                .iter()
+                .copied()
+                .filter(|(v, _)| vars.contains(*v))
+                .collect(),
+        }
+    }
+
+    /// Union `b1 ∪ b2` of two assignments with disjoint or agreeing domains.
+    ///
+    /// Panics if the assignments conflict on a shared variable.
+    pub fn union(&self, other: &Assignment) -> Assignment {
+        let mut out = self.clone();
+        for &(v, b) in &other.pairs {
+            if let Some(prev) = out.get(v) {
+                assert_eq!(prev, b, "conflicting assignment for {v}");
+            }
+            out.set(v, b);
+        }
+        out
+    }
+
+    /// Iterate over `(var, value)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, bool)> + '_ {
+        self.pairs.iter().copied()
+    }
+}
+
+impl fmt::Debug for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, b)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}={}", u8::from(*b))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let vars = VarSet::from_iter([VarId(2), VarId(5), VarId(9)]);
+        for idx in 0..8u64 {
+            let a = Assignment::from_index(&vars, idx);
+            assert_eq!(a.index_in(&vars), idx);
+        }
+    }
+
+    #[test]
+    fn set_get_overwrite() {
+        let mut a = Assignment::empty();
+        a.set(VarId(3), true);
+        a.set(VarId(1), false);
+        a.set(VarId(3), false);
+        assert_eq!(a.get(VarId(3)), Some(false));
+        assert_eq!(a.get(VarId(1)), Some(false));
+        assert_eq!(a.get(VarId(0)), None);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn union_disjoint() {
+        let a = Assignment::from_pairs([(VarId(0), true)]);
+        let b = Assignment::from_pairs([(VarId(1), false)]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.get(VarId(0)), Some(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting")]
+    fn union_conflict_panics() {
+        let a = Assignment::from_pairs([(VarId(0), true)]);
+        let b = Assignment::from_pairs([(VarId(0), false)]);
+        let _ = a.union(&b);
+    }
+
+    #[test]
+    fn restriction() {
+        let a = Assignment::from_pairs([(VarId(0), true), (VarId(1), false), (VarId(2), true)]);
+        let r = a.restrict_to(&VarSet::from_iter([VarId(0), VarId(2)]));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(VarId(1)), None);
+    }
+}

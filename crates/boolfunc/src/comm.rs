@@ -1,0 +1,275 @@
+//! Communication matrices and matrix rank (paper §2.2, Theorem 2, Eq. 8).
+//!
+//! The communication matrix `cm(F, X₁, X₂)` has rows indexed by assignments
+//! of `X₁`, columns by assignments of `X₂`, and entry `F(b₁ ∪ b₂)`. Its rank
+//! *over the reals* lower-bounds the size of any disjoint rectangle cover of
+//! `F` with underlying partition `(X₁, X₂)` (Theorem 2), which is the engine
+//! behind the paper's Theorem 5.
+//!
+//! Ranks here are computed two ways:
+//! * exactly over `GF(p)` for the prime `p = 2³¹ − 1`. Since a nonzero minor
+//!   mod `p` is nonzero over `ℚ`, `rank_modp ≤ rank_ℚ`, so the modular rank
+//!   is itself a *sound lower bound* for Theorem 2 (substitution S4 in
+//!   DESIGN.md);
+//! * exactly over `ℚ` by fraction-free Bareiss elimination on `i128`, for
+//!   small matrices (cross-check).
+
+use crate::func::BoolFn;
+use crate::varset::VarSet;
+
+/// A 0/1 matrix stored row-major as bitsets.
+#[derive(Clone, Debug)]
+pub struct CommMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl CommMatrix {
+    /// `cm(F, X₁, X₂)`: `x1 ∪ x2` must partition the support of `f`.
+    pub fn of(f: &BoolFn, x1: &VarSet, x2: &VarSet) -> CommMatrix {
+        assert!(x1.is_disjoint(x2), "blocks must be disjoint");
+        assert_eq!(
+            &x1.union(x2),
+            f.vars(),
+            "blocks must partition the support"
+        );
+        let p1 = x1.positions_in(f.vars());
+        let p2 = x2.positions_in(f.vars());
+        let rows = 1usize << x1.len();
+        let cols = 1usize << x2.len();
+        let words_per_row = cols.div_ceil(64);
+        let mut bits = vec![0u64; rows * words_per_row];
+        for r in 0..rows as u64 {
+            let mut base = 0u64;
+            for (j, &pos) in p1.iter().enumerate() {
+                base |= (r >> j & 1) << pos;
+            }
+            for c in 0..cols as u64 {
+                let mut idx = base;
+                for (j, &pos) in p2.iter().enumerate() {
+                    idx |= (c >> j & 1) << pos;
+                }
+                if f.eval_index(idx) {
+                    bits[r as usize * words_per_row + (c >> 6) as usize] |= 1 << (c & 63);
+                }
+            }
+        }
+        CommMatrix {
+            rows,
+            cols,
+            words_per_row,
+            bits,
+        }
+    }
+
+    /// Number of rows (2^|X₁|).
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (2^|X₂|).
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        self.bits[r * self.words_per_row + (c >> 6)] >> (c & 63) & 1 == 1
+    }
+
+    /// Rank over GF(2) (fast; a lower bound on the real rank).
+    pub fn rank_gf2(&self) -> usize {
+        let mut rows: Vec<Vec<u64>> = (0..self.rows)
+            .map(|r| self.bits[r * self.words_per_row..(r + 1) * self.words_per_row].to_vec())
+            .collect();
+        let mut rank = 0;
+        for c in 0..self.cols {
+            let (w, b) = (c >> 6, c & 63);
+            let pivot = (rank..rows.len()).find(|&r| rows[r][w] >> b & 1 == 1);
+            let Some(pivot) = pivot else { continue };
+            rows.swap(rank, pivot);
+            let (pivot_row, rest) = {
+                let (a, b2) = rows.split_at_mut(rank + 1);
+                (&a[rank], b2)
+            };
+            for row in rest.iter_mut() {
+                if row[w] >> b & 1 == 1 {
+                    for (x, y) in row.iter_mut().zip(pivot_row) {
+                        *x ^= *y;
+                    }
+                }
+            }
+            rank += 1;
+            if rank == rows.len() {
+                break;
+            }
+        }
+        rank
+    }
+
+    /// Rank over `GF(p)`, `p = 2³¹ − 1`. Always `≤` the rank over `ℚ`; for
+    /// 0/1 matrices of the sizes used here it coincides in practice.
+    pub fn rank_modp(&self) -> usize {
+        const P: u64 = (1 << 31) - 1;
+        let mut m: Vec<Vec<u64>> = (0..self.rows)
+            .map(|r| {
+                (0..self.cols)
+                    .map(|c| u64::from(self.get(r, c)))
+                    .collect()
+            })
+            .collect();
+        let mut rank = 0;
+        for c in 0..self.cols {
+            let Some(pivot) = (rank..m.len()).find(|&r| m[r][c] != 0) else {
+                continue;
+            };
+            m.swap(rank, pivot);
+            let inv = mod_inv(m[rank][c], P);
+            for x in m[rank].iter_mut() {
+                *x = *x * inv % P;
+            }
+            let pivot_row = m[rank].clone();
+            for (r, row) in m.iter_mut().enumerate() {
+                if r != rank && row[c] != 0 {
+                    let factor = row[c];
+                    for (x, y) in row.iter_mut().zip(&pivot_row) {
+                        *x = (*x + P * P - (factor * *y % P)) % P;
+                        // (x - factor*y) mod P, kept non-negative
+                        *x %= P;
+                    }
+                }
+            }
+            rank += 1;
+            if rank == m.len() {
+                break;
+            }
+        }
+        rank
+    }
+
+    /// Exact rank over `ℚ` by fraction-free Bareiss elimination (`i128`).
+    ///
+    /// Only valid for matrices up to 32×32 — beyond that intermediate minors
+    /// can overflow `i128` (Hadamard bound).
+    pub fn rank_exact_small(&self) -> Option<usize> {
+        if self.rows > 32 || self.cols > 32 {
+            return None;
+        }
+        let mut m: Vec<Vec<i128>> = (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| i128::from(self.get(r, c))).collect())
+            .collect();
+        let mut rank = 0usize;
+        let mut prev: i128 = 1;
+        for c in 0..self.cols {
+            let Some(pivot) = (rank..m.len()).find(|&r| m[r][c] != 0) else {
+                continue;
+            };
+            m.swap(rank, pivot);
+            let pr = m[rank].clone();
+            for (r, row) in m.iter_mut().enumerate().skip(rank + 1) {
+                let _ = r;
+                for cc in (c + 1)..self.cols {
+                    row[cc] = (pr[c]
+                        .checked_mul(row[cc])?
+                        .checked_sub(row[c].checked_mul(pr[cc])?)?)
+                    .checked_div(prev)?;
+                }
+                row[c] = 0;
+            }
+            prev = pr[c];
+            rank += 1;
+            if rank == m.len() {
+                break;
+            }
+        }
+        Some(rank)
+    }
+}
+
+fn mod_inv(a: u64, p: u64) -> u64 {
+    // Fermat: a^(p-2) mod p.
+    mod_pow(a, p - 2, p)
+}
+
+fn mod_pow(mut base: u64, mut exp: u64, p: u64) -> u64 {
+    let mut acc: u64 = 1;
+    base %= p;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % p;
+        }
+        base = base * base % p;
+        exp >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::disjointness;
+
+    #[test]
+    fn identity_like_matrix_full_rank() {
+        // EQ(x, y): communication matrix is the 4x4 identity for 2+2 vars.
+        let vars: Vec<_> = (0..4).map(vtree::VarId).collect();
+        let x1 = VarSet::from_slice(&vars[..2]);
+        let x2 = VarSet::from_slice(&vars[2..]);
+        let f = BoolFn::from_fn(x1.union(&x2), |i| (i & 0b11) == (i >> 2 & 0b11));
+        let m = CommMatrix::of(&f, &x1, &x2);
+        assert_eq!(m.num_rows(), 4);
+        assert_eq!(m.rank_gf2(), 4);
+        assert_eq!(m.rank_modp(), 4);
+        assert_eq!(m.rank_exact_small(), Some(4));
+    }
+
+    /// Paper Eq. (8): rank(cm(D_n, X_n, Y_n)) = 2^n.
+    #[test]
+    fn disjointness_has_full_rank() {
+        for n in 1..=5usize {
+            let (f, xs, ys) = disjointness(n);
+            let m = CommMatrix::of(&f, &VarSet::from_slice(&xs), &VarSet::from_slice(&ys));
+            assert_eq!(m.rank_modp(), 1 << n, "rank of cm(D_{n})");
+            if n <= 5 {
+                assert_eq!(m.rank_exact_small(), Some(1 << n));
+            }
+        }
+    }
+
+    #[test]
+    fn rank_of_all_ones_is_one() {
+        let vars: Vec<_> = (0..4).map(vtree::VarId).collect();
+        let x1 = VarSet::from_slice(&vars[..2]);
+        let x2 = VarSet::from_slice(&vars[2..]);
+        let f = BoolFn::constant(x1.union(&x2), true);
+        let m = CommMatrix::of(&f, &x1, &x2);
+        assert_eq!(m.rank_gf2(), 1);
+        assert_eq!(m.rank_modp(), 1);
+        assert_eq!(m.rank_exact_small(), Some(1));
+    }
+
+    #[test]
+    fn gf2_can_undercount_but_never_overcount() {
+        // Complement of identity on 2x2 blocks: rank over Q is 2 for the
+        // 1-var case; over GF(2) it can differ. Just check the inequality.
+        let vars: Vec<_> = (0..2).map(vtree::VarId).collect();
+        let x1 = VarSet::singleton(vars[0]);
+        let x2 = VarSet::singleton(vars[1]);
+        let f = BoolFn::from_fn(x1.union(&x2), |i| (i & 1) != (i >> 1 & 1));
+        let m = CommMatrix::of(&f, &x1, &x2);
+        assert!(m.rank_gf2() <= m.rank_exact_small().unwrap());
+    }
+
+    #[test]
+    fn rejects_non_partition() {
+        let vars: Vec<_> = (0..2).map(vtree::VarId).collect();
+        let f = BoolFn::literal(vars[0], true).and(&BoolFn::literal(vars[1], true));
+        let x1 = VarSet::singleton(vars[0]);
+        let bad = VarSet::singleton(vars[0]);
+        let result = std::panic::catch_unwind(|| CommMatrix::of(&f, &x1, &bad));
+        assert!(result.is_err());
+    }
+}

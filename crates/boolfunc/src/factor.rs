@@ -1,0 +1,282 @@
+//! Factors and factor width (paper Definitions 1 and 2).
+//!
+//! Let `F(X)` be a Boolean function and `Y` a variable set. Each assignment
+//! `b : Y ∩ X → {0,1}` induces a **cofactor** `F(b, X ∖ Y)`. A **factor** of
+//! `F` relative to `Y` is a function `G(Y ∩ X)` whose models are exactly the
+//! assignments inducing one fixed cofactor. The factors therefore partition
+//! `{0,1}^{Y ∩ X}` (paper Eq. 10), one block per distinct cofactor.
+//!
+//! The **factor width** of `F` relative to a vtree `T` is
+//! `fw(F, T) = max_{v ∈ T} |factors(F, Y_v)|` (Definition 2), and
+//! `fw(F) = min_T fw(F, T)`. By the paper's Lemma 1, `fw(F)` is bounded by a
+//! function of the circuit treewidth of `F`; by Theorems 3–4, small factor
+//! width yields linear-size canonical deterministic structured NNFs and SDDs.
+
+use crate::func::BoolFn;
+use crate::varset::VarSet;
+use vtree::fxhash::FxHashMap;
+use vtree::{Vtree, VtreeNodeId};
+
+/// One factor of `F` relative to `Y`: the guard `G(Y ∩ X)` together with the
+/// cofactor `F'(X ∖ Y)` its models induce.
+#[derive(Clone, Debug)]
+pub struct Factor {
+    /// `G(Y ∩ X)`: accepts exactly the assignments inducing `cofactor`.
+    pub guard: BoolFn,
+    /// The induced cofactor `F'(X ∖ Y)`.
+    pub cofactor: BoolFn,
+}
+
+/// Compute `factors(F, Y)` (Definition 1). The result is ordered by the
+/// smallest guard model, which makes it deterministic.
+///
+/// Note Eq. (9): `factors(F, Y) = factors(F, Y ∩ X)`, so `y` may mention
+/// variables outside the support.
+pub fn factors(f: &BoolFn, y: &VarSet) -> Vec<Factor> {
+    let yv = y.intersection(f.vars());
+    let rest = f.vars().difference(&yv);
+    let p = yv.len();
+    let q = rest.len();
+    let y_positions = yv.positions_in(f.vars());
+    let rest_positions = rest.positions_in(f.vars());
+
+    // Cofactor tables, one per assignment b of Y ∩ X.
+    let q_words = if q >= 6 { 1usize << (q - 6) } else { 1 };
+    let mut cof_tables: Vec<Vec<u64>> = vec![vec![0u64; q_words]; 1usize << p];
+    let n = f.num_vars();
+    for idx in 0..(1u64 << n) {
+        if !f.eval_index(idx) {
+            continue;
+        }
+        let mut b = 0u64;
+        for (j, &pos) in y_positions.iter().enumerate() {
+            b |= (idx >> pos & 1) << j;
+        }
+        let mut c = 0u64;
+        for (j, &pos) in rest_positions.iter().enumerate() {
+            c |= (idx >> pos & 1) << j;
+        }
+        cof_tables[b as usize][(c >> 6) as usize] |= 1 << (c & 63);
+    }
+
+    // Group assignments by identical cofactor table.
+    let mut groups: FxHashMap<&[u64], usize> = FxHashMap::default();
+    let mut order: Vec<(Vec<u64>, Vec<u64>)> = Vec::new(); // (cof table, guard models)
+    for (b, table) in cof_tables.iter().enumerate() {
+        match groups.get(table.as_slice()) {
+            Some(&g) => order[g].1.push(b as u64),
+            None => {
+                groups.insert(table.as_slice(), order.len());
+                order.push((table.clone(), vec![b as u64]));
+            }
+        }
+    }
+
+    order
+        .into_iter()
+        .map(|(cof_table, guard_models)| {
+            let p_words = if p >= 6 { 1usize << (p - 6) } else { 1 };
+            let mut guard_table = vec![0u64; p_words];
+            for b in guard_models {
+                guard_table[(b >> 6) as usize] |= 1 << (b & 63);
+            }
+            Factor {
+                guard: BoolFn::from_raw(yv.clone(), guard_table),
+                cofactor: BoolFn::from_raw(rest.clone(), cof_table),
+            }
+        })
+        .collect()
+}
+
+/// `fw(F, T)` (Definition 2): the maximum number of factors of `F` relative
+/// to `Y_v` over all nodes `v` of the vtree.
+pub fn factor_width(f: &BoolFn, t: &Vtree) -> usize {
+    t.node_ids()
+        .map(|v| factors(f, &VarSet::from_slice(t.vars_below(v))).len())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Per-node factor counts, indexed by [`VtreeNodeId`].
+pub fn factor_profile(f: &BoolFn, t: &Vtree) -> Vec<(VtreeNodeId, usize)> {
+    t.node_ids()
+        .map(|v| (v, factors(f, &VarSet::from_slice(t.vars_below(v))).len()))
+        .collect()
+}
+
+/// `fw(F) = min_T fw(F, T)` by exhaustive vtree enumeration.
+///
+/// Definition 2 minimizes over vtrees for `Z ⊇ X`; dummy leaves never help
+/// (contracting them yields a vtree over `X` whose node sets are a subfamily
+/// of the original `Y_v ∩ X`), so enumeration over vtrees for `X` is exact.
+/// Enumeration is `(2n−3)!!`; the call is guarded by `max_n`.
+pub fn min_factor_width(f: &BoolFn, max_n: usize) -> (usize, Vtree) {
+    let ess = f.minimize_support();
+    let vars: Vec<_> = ess.vars().iter().collect();
+    if vars.is_empty() {
+        // Constant function: any single-leaf vtree over an original variable
+        // (or a fresh one) witnesses width 1.
+        let v = f
+            .vars()
+            .iter()
+            .next()
+            .unwrap_or(vtree::VarId(0));
+        let t = Vtree::right_linear(&[v]).expect("single leaf");
+        return (1, t);
+    }
+    let mut best: Option<(usize, Vtree)> = None;
+    for t in vtree::all_vtrees(&vars, max_n) {
+        let w = factor_width(&ess, &t);
+        if best.as_ref().is_none_or(|(bw, _)| w < *bw) {
+            best = Some((w, t));
+        }
+    }
+    best.expect("at least one vtree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::Assignment;
+    use vtree::VarId;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    fn vset(ids: &[u32]) -> VarSet {
+        VarSet::from_iter(ids.iter().map(|&i| VarId(i)))
+    }
+
+    /// Paper Examples 3–4: for F(x,y) = x → y, G(x) ≡ x is a factor relative
+    /// to x (inducing cofactor y), and G(x) ≡ ¬x is a factor (inducing ⊤);
+    /// neither is a cofactor relative to x.
+    #[test]
+    fn implication_factors_match_paper() {
+        let f = BoolFn::literal(v(0), true).implies(&BoolFn::literal(v(1), true));
+        let fs = factors(&f, &vset(&[0]));
+        assert_eq!(fs.len(), 2);
+        let pos_x = BoolFn::literal(v(0), true);
+        let neg_x = BoolFn::literal(v(0), false);
+        let y_lit = BoolFn::literal(v(1), true);
+        let top_y = BoolFn::constant(vset(&[1]), true);
+        let find = |guard: &BoolFn| fs.iter().find(|fac| fac.guard.equivalent(guard));
+        let fx = find(&pos_x).expect("factor with guard x");
+        assert!(fx.cofactor.equivalent(&y_lit));
+        let fnx = find(&neg_x).expect("factor with guard ¬x");
+        assert!(fnx.cofactor.equivalent(&top_y));
+    }
+
+    /// Eq. (10): factors partition {0,1}^{Y∩X}.
+    #[test]
+    fn factors_partition_guard_space() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let f = BoolFn::random(vset(&[0, 1, 2, 3, 4]), &mut rng);
+            let y = vset(&[1, 3]);
+            let fs = factors(&f, &y);
+            let total: u64 = fs.iter().map(|fac| fac.guard.count_models()).sum();
+            assert_eq!(total, 4, "guards must partition 2^2 assignments");
+            for (i, a) in fs.iter().enumerate() {
+                for b in &fs[i + 1..] {
+                    assert_eq!(a.guard.and(&b.guard).count_models(), 0);
+                    assert!(!a.cofactor.equivalent(&b.cofactor));
+                }
+            }
+        }
+    }
+
+    /// Guards really do induce their recorded cofactor.
+    #[test]
+    fn guard_models_induce_cofactor() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let f = BoolFn::random(vset(&[0, 1, 2, 3]), &mut rng);
+        let y = vset(&[0, 2]);
+        for fac in factors(&f, &y) {
+            for m in fac.guard.models() {
+                let b = Assignment::from_index(fac.guard.vars(), m);
+                let cof = f.restrict_assignment(&b);
+                assert!(cof.equivalent(&fac.cofactor));
+                assert_eq!(cof.vars(), fac.cofactor.vars());
+            }
+        }
+    }
+
+    /// Eq. (9): variables outside the support are ignored.
+    #[test]
+    fn factors_ignore_foreign_vars() {
+        let f = BoolFn::literal(v(0), true).and(&BoolFn::literal(v(1), true));
+        let a = factors(&f, &vset(&[0, 7, 9]));
+        let b = factors(&f, &vset(&[0]));
+        assert_eq!(a.len(), b.len());
+    }
+
+    /// Factors at the full support: one factor per constant cofactor.
+    #[test]
+    fn factors_at_root() {
+        let f = BoolFn::literal(v(0), true).or(&BoolFn::literal(v(1), true));
+        let fs = factors(&f, &vset(&[0, 1]));
+        assert_eq!(fs.len(), 2); // cofactors ⊤ and ⊥ over the empty set
+        for fac in &fs {
+            assert_eq!(fac.cofactor.num_vars(), 0);
+        }
+    }
+
+    /// Factors relative to ∅: exactly one factor, guard ⊤ over ∅.
+    #[test]
+    fn factors_at_empty() {
+        let f = BoolFn::literal(v(0), true);
+        let fs = factors(&f, &VarSet::empty());
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].guard.num_vars(), 0);
+        assert!(fs[0].cofactor.equivalent(&f));
+    }
+
+    /// Parity has exactly 2 factors at every node of every vtree, hence
+    /// factor width 2 — the classic bounded-width function.
+    #[test]
+    fn parity_factor_width_two() {
+        let vars = vset(&[0, 1, 2, 3, 4]);
+        let f = BoolFn::from_fn(vars.clone(), |i| i.count_ones() % 2 == 1);
+        let ids: Vec<_> = vars.iter().collect();
+        for t in [
+            Vtree::right_linear(&ids).unwrap(),
+            Vtree::balanced(&ids).unwrap(),
+            Vtree::left_linear(&ids).unwrap(),
+        ] {
+            assert_eq!(factor_width(&f, &t), 2);
+        }
+    }
+
+    /// min over vtrees can beat a bad fixed vtree: the "pair-matching"
+    /// function (x0↔x2)(x1↔x3) has more factors on an interleaved tree.
+    #[test]
+    fn min_factor_width_improves_on_bad_vtree() {
+        let eq02 = BoolFn::literal(v(0), true)
+            .xor(&BoolFn::literal(v(2), true))
+            .not();
+        let eq13 = BoolFn::literal(v(1), true)
+            .xor(&BoolFn::literal(v(3), true))
+            .not();
+        let f = eq02.and(&eq13);
+        // Bad split {0,1} | {2,3}: 4 cofactors at the root's left child.
+        let bad = Vtree::balanced(&[v(0), v(1), v(2), v(3)]).unwrap();
+        let w_bad = factor_width(&f, &bad);
+        assert_eq!(w_bad, 4);
+        // Good split {0,2} | {1,3}: only 2 cofactors per side.
+        let good = Vtree::balanced(&[v(0), v(2), v(1), v(3)]).unwrap();
+        let w_good = factor_width(&f, &good);
+        assert_eq!(w_good, 2);
+        let (w_min, _) = min_factor_width(&f, 4);
+        assert_eq!(w_min, 2);
+    }
+
+    #[test]
+    fn constant_function_width_one() {
+        let f = BoolFn::constant(vset(&[0, 1]), true);
+        let (w, _) = min_factor_width(&f, 4);
+        assert_eq!(w, 1);
+    }
+}

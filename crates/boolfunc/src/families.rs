@@ -1,0 +1,430 @@
+//! The function families the paper's results are stated on, plus standard
+//! knowledge-compilation benchmarks.
+//!
+//! * [`disjointness`] — `D_n` (Eq. 7), whose communication matrix has full
+//!   rank `2^n` (Eq. 8);
+//! * [`HFamily`] — the inversion functions `H⁰, …, Hᵏ` of §4.1, the hard
+//!   cofactors of inversion lineages (Lemma 7 / Theorem 5);
+//! * [`isa_self`] — the self-referential indirect storage access function of
+//!   Appendix A (`ISA₅`, `ISA₁₈`, …), with small SDDs but exponential OBDDs;
+//! * [`mux`] — the standard multiplexer / indirect addressing function;
+//! * [`parity`], [`majority`], [`threshold`], [`hidden_weighted_bit`],
+//!   [`equality`], [`inner_product`] — classic width/size witnesses.
+
+use crate::func::BoolFn;
+use crate::varset::VarSet;
+use vtree::VarId;
+
+/// Odd parity over `vars`.
+pub fn parity(vars: &[VarId]) -> BoolFn {
+    BoolFn::from_fn(VarSet::from_slice(vars), |i| i.count_ones() % 2 == 1)
+}
+
+/// Majority (strictly more ones than zeros).
+pub fn majority(vars: &[VarId]) -> BoolFn {
+    let n = vars.len() as u32;
+    BoolFn::from_fn(VarSet::from_slice(vars), move |i| 2 * i.count_ones() > n)
+}
+
+/// At-least-`k` threshold.
+pub fn threshold(vars: &[VarId], k: u32) -> BoolFn {
+    BoolFn::from_fn(VarSet::from_slice(vars), move |i| i.count_ones() >= k)
+}
+
+/// Conjunction of all variables.
+pub fn and_all(vars: &[VarId]) -> BoolFn {
+    let n = vars.len();
+    BoolFn::from_fn(VarSet::from_slice(vars), move |i| {
+        i == (1u64 << n) - 1
+    })
+}
+
+/// Disjunction of all variables.
+pub fn or_all(vars: &[VarId]) -> BoolFn {
+    BoolFn::from_fn(VarSet::from_slice(vars), |i| i != 0)
+}
+
+/// The disjointness function (paper Eq. 7)
+/// `D_n(X, Y) = ⋀_{i∈[n]} (¬x_i ∨ ¬y_i)`
+/// over fresh variables `x_i = VarId(i-1)`, `y_i = VarId(n+i-1)`.
+///
+/// Returns `(D_n, xs, ys)`.
+pub fn disjointness(n: usize) -> (BoolFn, Vec<VarId>, Vec<VarId>) {
+    assert!(n >= 1 && 2 * n <= crate::func::MAX_VARS);
+    let xs: Vec<VarId> = (0..n as u32).map(VarId).collect();
+    let ys: Vec<VarId> = (n as u32..2 * n as u32).map(VarId).collect();
+    let vars = VarSet::from_iter(xs.iter().chain(ys.iter()).copied());
+    // Support is sorted as x0..x(n-1), y0..y(n-1); index bit j < n is x_j,
+    // bit n+j is y_j.
+    let f = BoolFn::from_fn(vars, move |i| {
+        let x = i & ((1u64 << n) - 1);
+        let y = i >> n;
+        x & y == 0
+    });
+    (f, xs, ys)
+}
+
+/// Equality of two `n`-bit blocks; communication matrix is the identity.
+pub fn equality(n: usize) -> (BoolFn, Vec<VarId>, Vec<VarId>) {
+    assert!(n >= 1 && 2 * n <= crate::func::MAX_VARS);
+    let xs: Vec<VarId> = (0..n as u32).map(VarId).collect();
+    let ys: Vec<VarId> = (n as u32..2 * n as u32).map(VarId).collect();
+    let vars = VarSet::from_iter(xs.iter().chain(ys.iter()).copied());
+    let f = BoolFn::from_fn(vars, move |i| {
+        (i & ((1u64 << n) - 1)) == (i >> n)
+    });
+    (f, xs, ys)
+}
+
+/// Inner product mod 2 of two `n`-bit blocks.
+pub fn inner_product(n: usize) -> (BoolFn, Vec<VarId>, Vec<VarId>) {
+    assert!(n >= 1 && 2 * n <= crate::func::MAX_VARS);
+    let xs: Vec<VarId> = (0..n as u32).map(VarId).collect();
+    let ys: Vec<VarId> = (n as u32..2 * n as u32).map(VarId).collect();
+    let vars = VarSet::from_iter(xs.iter().chain(ys.iter()).copied());
+    let f = BoolFn::from_fn(vars, move |i| {
+        let x = i & ((1u64 << n) - 1);
+        let y = i >> n;
+        (x & y).count_ones() % 2 == 1
+    });
+    (f, xs, ys)
+}
+
+/// Hidden weighted bit: `HWB(x₁..xₙ) = x_k` where `k` is the Hamming weight
+/// (and `0` if the weight is `0`). Exponential for OBDDs under any order.
+pub fn hidden_weighted_bit(n: usize) -> BoolFn {
+    assert!((1..=crate::func::MAX_VARS).contains(&n));
+    let vars: Vec<VarId> = (0..n as u32).map(VarId).collect();
+    BoolFn::from_fn(VarSet::from_slice(&vars), move |i| {
+        let k = i.count_ones() as u64;
+        if k == 0 {
+            false
+        } else {
+            i >> (k - 1) & 1 == 1
+        }
+    })
+}
+
+/// Multiplexer (standard indirect addressing): `k` address variables
+/// `y_0..y_{k-1}` (`y_0` least significant) select among `2^k` data variables
+/// `z_0..z_{2^k-1}`. Returns `(f, ys, zs)`.
+pub fn mux(k: usize) -> (BoolFn, Vec<VarId>, Vec<VarId>) {
+    let d = 1usize << k;
+    assert!(k + d <= crate::func::MAX_VARS);
+    let ys: Vec<VarId> = (0..k as u32).map(VarId).collect();
+    let zs: Vec<VarId> = (k as u32..(k + d) as u32).map(VarId).collect();
+    let vars = VarSet::from_iter(ys.iter().chain(zs.iter()).copied());
+    let f = BoolFn::from_fn(vars, move |i| {
+        let addr = (i & ((1u64 << k) - 1)) as usize;
+        i >> (k + addr) & 1 == 1
+    });
+    (f, ys, zs)
+}
+
+/// Variable layout of the paper's self-referential `ISA_n` (Appendix A).
+///
+/// Valid parameters satisfy `m · 2^k = 2^m`; the solutions are
+/// `(k, m) = (1, 2), (2, 4), (5, 8), …` giving `n = 5, 18, 261, …`.
+#[derive(Clone, Debug)]
+pub struct IsaLayout {
+    /// Number of address variables.
+    pub k: usize,
+    /// Word size; also `2^m` storage variables.
+    pub m: usize,
+    /// `y_1..y_k` (address).
+    pub ys: Vec<VarId>,
+    /// `z_1..z_{2^m}` (storage; also the registers `x_{i,j} = z_{(i-1)m+j}`).
+    pub zs: Vec<VarId>,
+}
+
+impl IsaLayout {
+    /// Build the layout; checks `m · 2^k = 2^m`.
+    pub fn new(k: usize, m: usize) -> Self {
+        assert_eq!(
+            m << k,
+            1usize << m,
+            "ISA parameters must satisfy m·2^k = 2^m"
+        );
+        let ys: Vec<VarId> = (0..k as u32).map(VarId).collect();
+        let zs: Vec<VarId> = (k as u32..(k + (1 << m)) as u32).map(VarId).collect();
+        IsaLayout { k, m, ys, zs }
+    }
+
+    /// Total variable count `n = k + 2^m`.
+    pub fn num_vars(&self) -> usize {
+        self.k + self.zs.len()
+    }
+
+    /// The `(k, m)` parameter pairs in increasing size: level 1 → `ISA₅`,
+    /// level 2 → `ISA₁₈`, level 3 → `ISA₂₆₁`.
+    pub fn params_for_level(level: usize) -> (usize, usize) {
+        // m = 2^j, k = 2^j − j, level = j.
+        let j = level;
+        let m = 1usize << j;
+        let k = m - j;
+        (k, m)
+    }
+
+    /// Evaluate ISA on `(address bits, storage bits)`; `addr[t]` is `a_{t+1}`
+    /// (so `addr[0]` is the most significant bit, matching the paper's
+    /// "(a₁…a_k) is the binary representation of i−1").
+    pub fn eval(&self, addr: &[bool], storage: &[bool]) -> bool {
+        assert_eq!(addr.len(), self.k);
+        assert_eq!(storage.len(), 1 << self.m);
+        let mut i = 0usize; // i-1 in the paper
+        for &a in addr {
+            i = i << 1 | usize::from(a);
+        }
+        let mut j = 0usize; // j-1 in the paper
+        for t in 0..self.m {
+            j = j << 1 | usize::from(storage[i * self.m + t]);
+        }
+        storage[j]
+    }
+}
+
+/// The paper's `ISA_n` as a truth table (feasible for `n = 5`; `n = 18`
+/// needs `MAX_VARS ≥ 18`, which holds).
+pub fn isa_self(k: usize, m: usize) -> (BoolFn, IsaLayout) {
+    let layout = IsaLayout::new(k, m);
+    let n = layout.num_vars();
+    assert!(n <= crate::func::MAX_VARS, "ISA_{n} exceeds the table cap");
+    let vars = VarSet::from_iter(layout.ys.iter().chain(layout.zs.iter()).copied());
+    let (kk, mm) = (layout.k, layout.m);
+    let f = BoolFn::from_fn(vars, move |idx| {
+        // Support is sorted: bits 0..k are y_1..y_k, bits k.. are z_1..z_{2^m}.
+        let addr: Vec<bool> = (0..kk).map(|t| idx >> t & 1 == 1).collect();
+        let storage: Vec<bool> = (0..(1usize << mm))
+            .map(|t| idx >> (kk + t) & 1 == 1)
+            .collect();
+        // addr[0] = y_1 must be the MSB per the layout convention.
+        let lay = IsaLayout::new(kk, mm);
+        lay.eval(&addr, &storage)
+    });
+    (f, layout)
+}
+
+/// Variable layout and truth tables of the inversion functions
+/// `H⁰_{k,n}, …, Hᵏ_{k,n}` (paper §4.1):
+///
+/// ```text
+/// H⁰(X, Z¹)      = ⋁_{l,m} (x_l ∧ z¹_{l,m})
+/// Hⁱ(Zⁱ, Zⁱ⁺¹)   = ⋁_{l,m} (zⁱ_{l,m} ∧ zⁱ⁺¹_{l,m})
+/// Hᵏ(Zᵏ, Y)      = ⋁_{l,m} (zᵏ_{l,m} ∧ y_m)
+/// ```
+#[derive(Clone, Debug)]
+pub struct HFamily {
+    /// Inversion length `k ≥ 1`.
+    pub k: usize,
+    /// Domain size `n ≥ 1`.
+    pub n: usize,
+    /// `x_1..x_n`.
+    pub xs: Vec<VarId>,
+    /// `y_1..y_n`.
+    pub ys: Vec<VarId>,
+    /// `zs[i-1][(l-1)*n + (m-1)] = zⁱ_{l,m}` for `i ∈ [k]`.
+    pub zs: Vec<Vec<VarId>>,
+}
+
+impl HFamily {
+    /// Lay out fresh variables for `H⁰..Hᵏ` over domain size `n`.
+    pub fn new(k: usize, n: usize) -> Self {
+        assert!(k >= 1 && n >= 1);
+        let xs: Vec<VarId> = (0..n as u32).map(VarId).collect();
+        let ys: Vec<VarId> = (n as u32..2 * n as u32).map(VarId).collect();
+        let mut next = 2 * n as u32;
+        let zs: Vec<Vec<VarId>> = (0..k)
+            .map(|_| {
+                let layer: Vec<VarId> = (next..next + (n * n) as u32).map(VarId).collect();
+                next += (n * n) as u32;
+                layer
+            })
+            .collect();
+        HFamily { k, n, xs, ys, zs }
+    }
+
+    /// `zⁱ_{l,m}` with 1-based `i ∈ [k]`, `l, m ∈ [n]`.
+    pub fn z(&self, i: usize, l: usize, m: usize) -> VarId {
+        self.zs[i - 1][(l - 1) * self.n + (m - 1)]
+    }
+
+    /// The pairs `(a, b)` of variables conjoined in `Hⁱ` for `i ∈ {0..k}`.
+    pub fn pairs(&self, i: usize) -> Vec<(VarId, VarId)> {
+        assert!(i <= self.k);
+        let mut out = Vec::with_capacity(self.n * self.n);
+        for l in 1..=self.n {
+            for m in 1..=self.n {
+                let pair = if i == 0 {
+                    (self.xs[l - 1], self.z(1, l, m))
+                } else if i == self.k {
+                    (self.z(self.k, l, m), self.ys[m - 1])
+                } else {
+                    (self.z(i, l, m), self.z(i + 1, l, m))
+                };
+                out.push(pair);
+            }
+        }
+        out
+    }
+
+    /// `Hⁱ` as a truth table. Errors if its variable count exceeds the cap
+    /// (`H⁰`/`Hᵏ` have `n + n²` variables; middle layers have `2n²`).
+    pub fn func(&self, i: usize) -> Result<BoolFn, crate::func::BoolFnError> {
+        let pairs = self.pairs(i);
+        let vars = VarSet::from_iter(pairs.iter().flat_map(|&(a, b)| [a, b]));
+        if vars.len() > crate::func::MAX_VARS {
+            return Err(crate::func::BoolFnError::TooManyVars { n: vars.len() });
+        }
+        let positions: Vec<(usize, usize)> = pairs
+            .iter()
+            .map(|&(a, b)| {
+                (
+                    vars.position(a).expect("pair var present"),
+                    vars.position(b).expect("pair var present"),
+                )
+            })
+            .collect();
+        Ok(BoolFn::from_fn(vars, move |idx| {
+            positions
+                .iter()
+                .any(|&(pa, pb)| idx >> pa & 1 == 1 && idx >> pb & 1 == 1)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_majority_threshold_counts() {
+        let vars: Vec<VarId> = (0..5).map(VarId).collect();
+        assert_eq!(parity(&vars).count_models(), 16);
+        assert_eq!(majority(&vars).count_models(), 16); // > 2.5 ones
+        assert_eq!(threshold(&vars, 5).count_models(), 1);
+        assert_eq!(threshold(&vars, 0).count_models(), 32);
+        assert_eq!(and_all(&vars).count_models(), 1);
+        assert_eq!(or_all(&vars).count_models(), 31);
+    }
+
+    #[test]
+    fn disjointness_counts() {
+        // D_n has 3^n models (per pair: 00, 01, 10).
+        for n in 1..=6 {
+            let (f, xs, ys) = disjointness(n);
+            assert_eq!(f.count_models(), 3u64.pow(n as u32));
+            assert_eq!(xs.len(), n);
+            assert_eq!(ys.len(), n);
+        }
+    }
+
+    #[test]
+    fn equality_counts() {
+        let (f, _, _) = equality(3);
+        assert_eq!(f.count_models(), 8);
+    }
+
+    #[test]
+    fn inner_product_balance() {
+        let (f, _, _) = inner_product(3);
+        // IP_n has 2^(2n-1) - 2^(n-1) models.
+        assert_eq!(f.count_models(), 32 - 4);
+    }
+
+    #[test]
+    fn hwb_small_cases() {
+        let f = hidden_weighted_bit(3);
+        // weight 0 -> reject; weight w -> bit x_w (1-indexed).
+        // idx 0b001 (x1=1): weight 1, x1 = 1 -> accept.
+        assert!(f.eval_index(0b001));
+        // idx 0b010 (x2=1): weight 1, x1 = 0 -> reject.
+        assert!(!f.eval_index(0b010));
+        // idx 0b110: weight 2, x2 = 1 -> accept.
+        assert!(f.eval_index(0b110));
+        // idx 0b111: weight 3, x3 = 1 -> accept.
+        assert!(f.eval_index(0b111));
+    }
+
+    #[test]
+    fn mux_selects() {
+        let (f, ys, zs) = mux(2);
+        assert_eq!(ys.len(), 2);
+        assert_eq!(zs.len(), 4);
+        // address 0b10 = 2 selects z_2 which is bit k+2 = 4.
+        let idx = 0b10 | 1 << 4;
+        assert!(f.eval_index(idx));
+        assert!(!f.eval_index(0b10));
+    }
+
+    #[test]
+    fn isa5_matches_direct_evaluation() {
+        let (f, layout) = isa_self(1, 2);
+        assert_eq!(layout.num_vars(), 5);
+        // Exhaustively compare against IsaLayout::eval.
+        for idx in 0..(1u64 << 5) {
+            let addr = vec![idx & 1 == 1];
+            let storage: Vec<bool> = (0..4).map(|t| idx >> (1 + t) & 1 == 1).collect();
+            assert_eq!(f.eval_index(idx), layout.eval(&addr, &storage), "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn isa_levels() {
+        assert_eq!(IsaLayout::params_for_level(1), (1, 2));
+        assert_eq!(IsaLayout::params_for_level(2), (2, 4));
+        assert_eq!(IsaLayout::params_for_level(3), (5, 8));
+        let l = IsaLayout::new(2, 4);
+        assert_eq!(l.num_vars(), 18);
+        assert_eq!(IsaLayout::new(5, 8).num_vars(), 261);
+    }
+
+    #[test]
+    #[should_panic(expected = "m·2^k = 2^m")]
+    fn isa_invalid_params_rejected() {
+        let _ = IsaLayout::new(3, 6);
+    }
+
+    #[test]
+    fn h_family_layout_and_funcs() {
+        let h = HFamily::new(2, 2);
+        assert_eq!(h.xs.len(), 2);
+        assert_eq!(h.ys.len(), 2);
+        assert_eq!(h.zs.len(), 2);
+        assert_eq!(h.zs[0].len(), 4);
+        // H^0 over n + n^2 = 6 vars: OR of 4 conjunctions.
+        let h0 = h.func(0).unwrap();
+        assert_eq!(h0.num_vars(), 6);
+        // H^1 pairs z1 with z2 elementwise.
+        let h1 = h.func(1).unwrap();
+        assert_eq!(h1.num_vars(), 8);
+        // H^2 = OR_{l,m} z2_{l,m} ∧ y_m.
+        let h2 = h.func(2).unwrap();
+        assert_eq!(h2.num_vars(), 6);
+        // All three are monotone and non-constant.
+        for f in [&h0, &h1, &h2] {
+            assert!(f.as_constant().is_none());
+        }
+    }
+
+    #[test]
+    fn h_family_too_large_errors() {
+        let h = HFamily::new(3, 4); // middle layer has 32 vars
+        assert!(h.func(1).is_err());
+        assert!(h.func(0).is_ok()); // 4 + 16 = 20 vars fits
+    }
+
+    #[test]
+    fn h0_semantics() {
+        let h = HFamily::new(1, 2);
+        let h0 = h.func(0).unwrap();
+        // Some x_l and matching z1_{l,m} both set -> accept.
+        let mut a = crate::assignment::Assignment::empty();
+        for v in h0.vars().iter() {
+            a.set(v, false);
+        }
+        assert!(!h0.eval(&a));
+        a.set(h.xs[0], true);
+        a.set(h.z(1, 1, 2), true);
+        assert!(h0.eval(&a));
+    }
+}

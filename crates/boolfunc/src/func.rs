@@ -1,0 +1,581 @@
+//! Bit-packed truth tables with named supports.
+
+use crate::assignment::Assignment;
+use crate::varset::VarSet;
+use std::fmt;
+use vtree::VarId;
+
+/// Hard cap on the support size of a [`BoolFn`] (2^26 bits = 8 MiB/table).
+pub const MAX_VARS: usize = 26;
+
+/// Errors from truth-table construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoolFnError {
+    /// The requested support exceeds [`MAX_VARS`].
+    TooManyVars { n: usize },
+}
+
+impl fmt::Display for BoolFnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolFnError::TooManyVars { n } => {
+                write!(f, "support of {n} variables exceeds MAX_VARS = {MAX_VARS}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BoolFnError {}
+
+/// A Boolean function `F : {0,1}^X → {0,1}` as an explicit truth table.
+///
+/// The support `X` is a sorted [`VarSet`]; bit `j` of a truth-table index is
+/// the value of the `j`-th support variable. The support may contain
+/// variables the function does not essentially depend on (this matters: a
+/// *cofactor of `F` relative to `X ∖ Y`* is always a function over exactly
+/// `X ∖ Y`, per the paper's §3.1, even when some of those variables are
+/// inessential).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BoolFn {
+    vars: VarSet,
+    /// `ceil(2^n / 64)` words; bits above `2^n` are kept zero.
+    table: Vec<u64>,
+}
+
+#[inline]
+fn words_for(n: usize) -> usize {
+    if n >= 6 {
+        1usize << (n - 6)
+    } else {
+        1
+    }
+}
+
+#[inline]
+fn tail_mask(n: usize) -> u64 {
+    if n >= 6 {
+        !0u64
+    } else {
+        (1u64 << (1usize << n)) - 1
+    }
+}
+
+impl BoolFn {
+    /// Build from a predicate on truth-table indices. Panics beyond
+    /// [`MAX_VARS`]; use [`BoolFn::try_from_fn`] for fallible construction.
+    pub fn from_fn<F: FnMut(u64) -> bool>(vars: VarSet, f: F) -> Self {
+        Self::try_from_fn(vars, f).expect("support too large")
+    }
+
+    /// Fallible version of [`BoolFn::from_fn`].
+    pub fn try_from_fn<F: FnMut(u64) -> bool>(
+        vars: VarSet,
+        mut f: F,
+    ) -> Result<Self, BoolFnError> {
+        let n = vars.len();
+        if n > MAX_VARS {
+            return Err(BoolFnError::TooManyVars { n });
+        }
+        let mut table = vec![0u64; words_for(n)];
+        for idx in 0..(1u64 << n) {
+            if f(idx) {
+                table[(idx >> 6) as usize] |= 1 << (idx & 63);
+            }
+        }
+        Ok(BoolFn { vars, table })
+    }
+
+    /// Build from an assignment-level predicate (slower; convenient in tests).
+    pub fn from_assignment_fn<F: FnMut(&Assignment) -> bool>(vars: VarSet, mut f: F) -> Self {
+        let vs = vars.clone();
+        Self::from_fn(vars, move |idx| f(&Assignment::from_index(&vs, idx)))
+    }
+
+    /// Construct from raw parts (table must have the right length and masked
+    /// tail). Used by the factor machinery.
+    pub(crate) fn from_raw(vars: VarSet, table: Vec<u64>) -> Self {
+        debug_assert_eq!(table.len(), words_for(vars.len()));
+        debug_assert!(vars.len() >= 6 || table[0] & !tail_mask(vars.len()) == 0);
+        BoolFn { vars, table }
+    }
+
+    /// The constant function over `vars`.
+    pub fn constant(vars: VarSet, value: bool) -> Self {
+        let n = vars.len();
+        assert!(n <= MAX_VARS, "support too large");
+        let word = if value { tail_mask(n) } else { 0 };
+        let mut table = vec![if value { !0u64 } else { 0 }; words_for(n)];
+        table[0] = if n >= 6 { table[0] } else { word };
+        BoolFn { vars, table }
+    }
+
+    /// The literal `v` or `¬v`, over support `{v}`.
+    pub fn literal(v: VarId, positive: bool) -> Self {
+        BoolFn::from_fn(VarSet::singleton(v), move |idx| (idx & 1 == 1) == positive)
+    }
+
+    /// A uniformly random function over `vars`.
+    pub fn random<R: rand::Rng>(vars: VarSet, rng: &mut R) -> Self {
+        let n = vars.len();
+        assert!(n <= MAX_VARS, "support too large");
+        let mut table: Vec<u64> = (0..words_for(n)).map(|_| rng.gen()).collect();
+        if n < 6 {
+            table[0] &= tail_mask(n);
+        }
+        BoolFn { vars, table }
+    }
+
+    /// The support `X`.
+    #[inline]
+    pub fn vars(&self) -> &VarSet {
+        &self.vars
+    }
+
+    /// Support size `n = |X|`.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The raw table words (tail-masked).
+    #[inline]
+    pub fn table(&self) -> &[u64] {
+        &self.table
+    }
+
+    /// Value at a truth-table index.
+    #[inline]
+    pub fn eval_index(&self, idx: u64) -> bool {
+        debug_assert!(idx < (1u64 << self.num_vars()));
+        self.table[(idx >> 6) as usize] >> (idx & 63) & 1 == 1
+    }
+
+    /// Value under an assignment covering the support.
+    pub fn eval(&self, a: &Assignment) -> bool {
+        self.eval_index(a.index_in(&self.vars))
+    }
+
+    /// Number of models over the support.
+    pub fn count_models(&self) -> u64 {
+        self.table.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Number of models when viewed over the superset `over` of the support.
+    pub fn count_models_over(&self, over: &VarSet) -> u64 {
+        assert!(self.vars.is_subset(over), "count_models_over: not a superset");
+        self.count_models() << (over.len() - self.num_vars())
+    }
+
+    /// Is the function constant? Returns the constant value if so.
+    pub fn as_constant(&self) -> Option<bool> {
+        let c = self.count_models();
+        if c == 0 {
+            Some(false)
+        } else if c == 1u64 << self.num_vars() {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Iterate over the model indices.
+    pub fn models(&self) -> impl Iterator<Item = u64> + '_ {
+        let n = self.num_vars();
+        (0..(1u64 << n)).filter(move |&i| self.eval_index(i))
+    }
+
+    /// Some model index, if satisfiable.
+    pub fn any_model(&self) -> Option<u64> {
+        for (w, &word) in self.table.iter().enumerate() {
+            if word != 0 {
+                return Some((w as u64) << 6 | word.trailing_zeros() as u64);
+            }
+        }
+        None
+    }
+
+    /// Expand the table to a superset support.
+    fn expand_table(&self, target: &VarSet) -> Vec<u64> {
+        if *target == self.vars {
+            return self.table.clone();
+        }
+        let positions = self.vars.positions_in(target);
+        let tn = target.len();
+        assert!(tn <= MAX_VARS, "support too large");
+        let mut out = vec![0u64; words_for(tn)];
+        for ti in 0..(1u64 << tn) {
+            let mut si = 0u64;
+            for (j, &p) in positions.iter().enumerate() {
+                si |= (ti >> p & 1) << j;
+            }
+            if self.eval_index(si) {
+                out[(ti >> 6) as usize] |= 1 << (ti & 63);
+            }
+        }
+        out
+    }
+
+    /// The same function viewed over a (super)set of variables.
+    pub fn with_support(&self, target: &VarSet) -> BoolFn {
+        assert!(self.vars.is_subset(target), "with_support: not a superset");
+        BoolFn {
+            table: self.expand_table(target),
+            vars: target.clone(),
+        }
+    }
+
+    fn binop(&self, other: &BoolFn, f: impl Fn(u64, u64) -> u64) -> BoolFn {
+        let target = self.vars.union(&other.vars);
+        let a = self.expand_table(&target);
+        let b = other.expand_table(&target);
+        let mut table: Vec<u64> = a.iter().zip(&b).map(|(x, y)| f(*x, *y)).collect();
+        let n = target.len();
+        if n < 6 {
+            table[0] &= tail_mask(n);
+        }
+        BoolFn {
+            vars: target,
+            table,
+        }
+    }
+
+    /// Conjunction.
+    pub fn and(&self, other: &BoolFn) -> BoolFn {
+        self.binop(other, |a, b| a & b)
+    }
+
+    /// Disjunction.
+    pub fn or(&self, other: &BoolFn) -> BoolFn {
+        self.binop(other, |a, b| a | b)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&self, other: &BoolFn) -> BoolFn {
+        self.binop(other, |a, b| a ^ b)
+    }
+
+    /// Material implication `self → other`.
+    pub fn implies(&self, other: &BoolFn) -> BoolFn {
+        self.binop(other, |a, b| !a | b)
+    }
+
+    /// Negation.
+    pub fn not(&self) -> BoolFn {
+        let n = self.num_vars();
+        let mut table: Vec<u64> = self.table.iter().map(|w| !w).collect();
+        if n < 6 {
+            table[0] &= tail_mask(n);
+        }
+        BoolFn {
+            vars: self.vars.clone(),
+            table,
+        }
+    }
+
+    /// Semantic equivalence over the union of the supports.
+    pub fn equivalent(&self, other: &BoolFn) -> bool {
+        let target = self.vars.union(&other.vars);
+        self.expand_table(&target) == other.expand_table(&target)
+    }
+
+    /// Cofactor: fix `v := value`, dropping `v` from the support.
+    pub fn restrict(&self, v: VarId, value: bool) -> BoolFn {
+        let Some(p) = self.vars.position(v) else {
+            return self.clone();
+        };
+        let n = self.num_vars();
+        let new_vars = self.vars.difference(&VarSet::singleton(v));
+        let mut table = vec![0u64; words_for(n - 1)];
+        let low_mask = (1u64 << p) - 1;
+        for idx in 0..(1u64 << (n - 1)) {
+            let old = (idx & low_mask) | ((idx & !low_mask) << 1) | ((value as u64) << p);
+            if self.eval_index(old) {
+                table[(idx >> 6) as usize] |= 1 << (idx & 63);
+            }
+        }
+        BoolFn {
+            vars: new_vars,
+            table,
+        }
+    }
+
+    /// Cofactor of `F` induced by a partial assignment `b : Y ∩ X → {0,1}`
+    /// (paper §3.1): the result is a function over `X ∖ Y`.
+    pub fn restrict_assignment(&self, b: &Assignment) -> BoolFn {
+        let mut f = self.clone();
+        for (v, val) in b.iter() {
+            f = f.restrict(v, val);
+        }
+        f
+    }
+
+    /// Existential quantification of `v`.
+    pub fn exists(&self, v: VarId) -> BoolFn {
+        self.restrict(v, false).or(&self.restrict(v, true))
+    }
+
+    /// Universal quantification of `v`.
+    pub fn forall(&self, v: VarId) -> BoolFn {
+        self.restrict(v, false).and(&self.restrict(v, true))
+    }
+
+    /// Does the function essentially depend on `v`?
+    pub fn depends_on(&self, v: VarId) -> bool {
+        self.vars.contains(v) && self.restrict(v, false) != self.restrict(v, true)
+    }
+
+    /// The same function over its essential variables only.
+    pub fn minimize_support(&self) -> BoolFn {
+        let mut f = self.clone();
+        for v in self.vars.iter() {
+            if !f.depends_on(v) {
+                f = f.restrict(v, false);
+            }
+        }
+        f
+    }
+
+    /// Rename support variables through an injective map.
+    pub fn rename_vars(&self, map: impl Fn(VarId) -> VarId) -> BoolFn {
+        let new_vars = VarSet::from_iter(self.vars.iter().map(&map));
+        assert_eq!(
+            new_vars.len(),
+            self.vars.len(),
+            "rename_vars: map must be injective on the support"
+        );
+        // Position of old bit j in the new table.
+        let new_pos: Vec<u32> = self
+            .vars
+            .iter()
+            .map(|v| new_vars.position(map(v)).expect("mapped var present") as u32)
+            .collect();
+        let n = self.num_vars();
+        let mut table = vec![0u64; words_for(n)];
+        for idx in 0..(1u64 << n) {
+            if self.eval_index(idx) {
+                let mut new_idx = 0u64;
+                for (j, &p) in new_pos.iter().enumerate() {
+                    new_idx |= (idx >> j & 1) << p;
+                }
+                table[(new_idx >> 6) as usize] |= 1 << (new_idx & 63);
+            }
+        }
+        BoolFn {
+            vars: new_vars,
+            table,
+        }
+    }
+
+    /// Weighted model count: `weight(v)` returns `(w⁻, w⁺)`, the weights of
+    /// the negative and positive literal of `v`. For tuple-independent
+    /// probabilities use `(1 − p, p)`; for model counting use `(1, 1)`.
+    pub fn weighted_count(&self, weight: impl Fn(VarId) -> (f64, f64)) -> f64 {
+        let w: Vec<(f64, f64)> = self.vars.iter().map(weight).collect();
+        let n = self.num_vars();
+        if n >= 6 {
+            wc_words(&self.table, n, &w)
+        } else {
+            wc_bits(self.table[0], n, &w)
+        }
+    }
+
+    /// Probability of the function under independent `P(v = 1) = prob(v)`.
+    pub fn probability(&self, prob: impl Fn(VarId) -> f64) -> f64 {
+        self.weighted_count(|v| {
+            let p = prob(v);
+            (1.0 - p, p)
+        })
+    }
+}
+
+/// Weighted count by recursive halving on word slices (n ≥ 6).
+fn wc_words(table: &[u64], n: usize, w: &[(f64, f64)]) -> f64 {
+    if n == 6 {
+        return wc_bits(table[0], 6, w);
+    }
+    let half = table.len() / 2;
+    let (w_neg, w_pos) = w[n - 1];
+    let lo = wc_words(&table[..half], n - 1, &w[..n - 1]);
+    let hi = wc_words(&table[half..], n - 1, &w[..n - 1]);
+    w_neg * lo + w_pos * hi
+}
+
+/// Weighted count within a single word (n ≤ 6).
+fn wc_bits(word: u64, n: usize, w: &[(f64, f64)]) -> f64 {
+    if n == 0 {
+        return (word & 1) as f64;
+    }
+    let half_bits = 1usize << (n - 1);
+    let (w_neg, w_pos) = w[n - 1];
+    let mask = if half_bits >= 64 { !0 } else { (1u64 << half_bits) - 1 };
+    let lo = wc_bits(word & mask, n - 1, &w[..n - 1]);
+    let hi = wc_bits(word >> (half_bits % 64), n - 1, &w[..n - 1]);
+    w_neg * lo + w_pos * hi
+}
+
+impl fmt::Debug for BoolFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BoolFn(vars={:?}, models={}/{})",
+            self.vars,
+            self.count_models(),
+            1u64 << self.num_vars()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    fn vs(ids: &[u32]) -> VarSet {
+        VarSet::from_iter(ids.iter().map(|&i| VarId(i)))
+    }
+
+    #[test]
+    fn literal_semantics() {
+        let x = BoolFn::literal(v(3), true);
+        assert!(x.eval(&Assignment::from_pairs([(v(3), true)])));
+        assert!(!x.eval(&Assignment::from_pairs([(v(3), false)])));
+        let nx = BoolFn::literal(v(3), false);
+        assert!(nx.equivalent(&x.not()));
+    }
+
+    #[test]
+    fn boolean_algebra_small() {
+        let x = BoolFn::literal(v(0), true);
+        let y = BoolFn::literal(v(1), true);
+        let f = x.and(&y);
+        assert_eq!(f.count_models(), 1);
+        let g = x.or(&y);
+        assert_eq!(g.count_models(), 3);
+        assert!(f.implies(&g).as_constant() == Some(true));
+        assert!(x.xor(&x).as_constant() == Some(false));
+        // De Morgan
+        assert!(f.not().equivalent(&x.not().or(&y.not())));
+    }
+
+    #[test]
+    fn constants_over_empty_support() {
+        let t = BoolFn::constant(VarSet::empty(), true);
+        let f = BoolFn::constant(VarSet::empty(), false);
+        assert_eq!(t.count_models(), 1);
+        assert_eq!(f.count_models(), 0);
+        assert_eq!(t.num_vars(), 0);
+        assert!(t.not().equivalent(&f));
+    }
+
+    #[test]
+    fn implication_example_1() {
+        // Paper Example 1: F(x, y) = x → y.
+        let f = BoolFn::literal(v(0), true).implies(&BoolFn::literal(v(1), true));
+        // Cofactors relative to y:
+        let f0 = f.restrict(v(0), false);
+        let f1 = f.restrict(v(0), true);
+        assert_eq!(f0.as_constant(), Some(true));
+        assert!(f1.equivalent(&BoolFn::literal(v(1), true)));
+        // Cofactors relative to x:
+        let g0 = f.restrict(v(1), false);
+        let g1 = f.restrict(v(1), true);
+        assert!(g0.equivalent(&BoolFn::literal(v(0), false)));
+        assert_eq!(g1.as_constant(), Some(true));
+    }
+
+    #[test]
+    fn expansion_and_equivalence_across_supports() {
+        let x = BoolFn::literal(v(0), true);
+        let wide = x.with_support(&vs(&[0, 1, 2]));
+        assert_eq!(wide.num_vars(), 3);
+        assert_eq!(wide.count_models(), 4);
+        assert!(wide.equivalent(&x));
+        assert!(!wide.depends_on(v(1)));
+        assert!(wide.minimize_support().vars() == x.vars());
+    }
+
+    #[test]
+    fn restrict_positions() {
+        // f = x0 XOR x2 over {0,1,2}; restricting x1 leaves it unchanged.
+        let f = BoolFn::literal(v(0), true)
+            .xor(&BoolFn::literal(v(2), true))
+            .with_support(&vs(&[0, 1, 2]));
+        let g = f.restrict(v(1), true);
+        assert!(g.equivalent(&BoolFn::literal(v(0), true).xor(&BoolFn::literal(v(2), true))));
+        let h = f.restrict(v(2), true);
+        assert!(h
+            .minimize_support()
+            .equivalent(&BoolFn::literal(v(0), false).with_support(&vs(&[0]))));
+    }
+
+    #[test]
+    fn quantification() {
+        let f = BoolFn::literal(v(0), true).and(&BoolFn::literal(v(1), true));
+        assert!(f.exists(v(0)).equivalent(&BoolFn::literal(v(1), true)));
+        assert_eq!(f.forall(v(0)).as_constant(), Some(false));
+    }
+
+    #[test]
+    fn counting_large_support() {
+        // parity over 8 vars: half the assignments are models.
+        let vars = vs(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let f = BoolFn::from_fn(vars, |idx| idx.count_ones() % 2 == 1);
+        assert_eq!(f.count_models(), 128);
+        assert_eq!(f.count_models_over(&vs(&[0, 1, 2, 3, 4, 5, 6, 7, 8])), 256);
+    }
+
+    #[test]
+    fn weighted_count_matches_enumeration() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let vars = vs(&[0, 1, 2, 3, 4, 5, 6]); // crosses the word boundary
+        let f = BoolFn::random(vars.clone(), &mut rng);
+        let probs = [0.1, 0.9, 0.5, 0.3, 0.7, 0.2, 0.8];
+        let fast = f.probability(|u| probs[u.index()]);
+        let mut slow = 0.0;
+        for idx in 0..(1u64 << 7) {
+            if f.eval_index(idx) {
+                let mut p = 1.0;
+                for j in 0..7 {
+                    p *= if idx >> j & 1 == 1 {
+                        probs[j]
+                    } else {
+                        1.0 - probs[j]
+                    };
+                }
+                slow += p;
+            }
+        }
+        assert!((fast - slow).abs() < 1e-12, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn rename_permutes_correctly() {
+        // f = x0 ∧ ¬x1; rename x0→x5, x1→x2 (order flips).
+        let f = BoolFn::literal(v(0), true).and(&BoolFn::literal(v(1), false));
+        let g = f.rename_vars(|u| if u == v(0) { v(5) } else { v(2) });
+        assert!(g.eval(&Assignment::from_pairs([(v(5), true), (v(2), false)])));
+        assert!(!g.eval(&Assignment::from_pairs([(v(5), false), (v(2), false)])));
+    }
+
+    #[test]
+    fn too_many_vars_rejected() {
+        let vars = VarSet::from_iter((0..(MAX_VARS as u32 + 1)).map(VarId));
+        assert!(matches!(
+            BoolFn::try_from_fn(vars, |_| false),
+            Err(BoolFnError::TooManyVars { .. })
+        ));
+    }
+
+    #[test]
+    fn any_model_and_models_iter() {
+        let f = BoolFn::from_fn(vs(&[0, 1, 2]), |i| i == 5);
+        assert_eq!(f.any_model(), Some(5));
+        assert_eq!(f.models().collect::<Vec<_>>(), vec![5]);
+        let unsat = BoolFn::constant(vs(&[0, 1]), false);
+        assert_eq!(unsat.any_model(), None);
+    }
+}

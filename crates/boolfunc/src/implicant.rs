@@ -1,0 +1,226 @@
+//! Prime implicants and IP (Blake canonical) forms.
+//!
+//! Result 3's discussion (paper §1): the inversion lower bound
+//! "exponentially separates disjunctive normal forms (DNFs), and even prime
+//! implicant forms (IPs), from structured deterministic NNFs" — the `Hⁱ`
+//! functions have `n²` prime implicants of two literals each, yet their
+//! deterministic structured size is `2^Ω(n/k)`. This module makes the IP
+//! side measurable:
+//!
+//! * [`prime_implicants`] — Quine–McCluskey over the truth table (exact, for
+//!   kernel-sized supports);
+//! * [`ip_term_count`] / [`ip_literal_count`] — the size of the IP form;
+//! * a fast path for **monotone** functions, whose prime implicants are
+//!   exactly the minimal true points.
+
+use crate::func::BoolFn;
+use vtree::fxhash::FxHashSet;
+use vtree::VarId;
+
+/// A cube (term): variables in `care` are fixed to the corresponding bit of
+/// `values`; the rest are free. Bit positions index the support of the
+/// function the cube came from.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Cube {
+    /// Mask of fixed variables.
+    pub care: u64,
+    /// Values of the fixed variables (zero on free positions).
+    pub values: u64,
+}
+
+impl Cube {
+    /// Number of literals.
+    pub fn num_literals(self) -> u32 {
+        self.care.count_ones()
+    }
+
+    /// Does the cube contain the assignment `idx`?
+    pub fn contains(self, idx: u64) -> bool {
+        idx & self.care == self.values
+    }
+
+    /// The literals as `(var, polarity)` pairs, given the support.
+    pub fn literals(self, support: &[VarId]) -> Vec<(VarId, bool)> {
+        support
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| self.care >> j & 1 == 1)
+            .map(|(j, &v)| (v, self.values >> j & 1 == 1))
+            .collect()
+    }
+}
+
+/// All prime implicants of `f` (Quine–McCluskey). Exact; exponential in the
+/// support size, intended for kernel-scale functions.
+pub fn prime_implicants(f: &BoolFn) -> Vec<Cube> {
+    let n = f.num_vars();
+    let full: u64 = if n == 0 { 0 } else { (1u64 << n) - 1 };
+    if f.as_constant() == Some(true) {
+        return vec![Cube { care: 0, values: 0 }];
+    }
+    // Level 0: minterm cubes.
+    let mut current: FxHashSet<Cube> = f
+        .models()
+        .map(|m| Cube {
+            care: full,
+            values: m,
+        })
+        .collect();
+    let mut primes: Vec<Cube> = Vec::new();
+    while !current.is_empty() {
+        let mut merged_away: FxHashSet<Cube> = FxHashSet::default();
+        let mut next: FxHashSet<Cube> = FxHashSet::default();
+        let cubes: Vec<Cube> = current.iter().copied().collect();
+        for (i, &a) in cubes.iter().enumerate() {
+            for &b in &cubes[i + 1..] {
+                if a.care != b.care {
+                    continue;
+                }
+                let diff = a.values ^ b.values;
+                if diff.count_ones() == 1 {
+                    merged_away.insert(a);
+                    merged_away.insert(b);
+                    next.insert(Cube {
+                        care: a.care & !diff,
+                        values: a.values & !diff,
+                    });
+                }
+            }
+        }
+        for c in cubes {
+            if !merged_away.contains(&c) {
+                primes.push(c);
+            }
+        }
+        current = next;
+    }
+    primes.sort_unstable_by_key(|c| (c.care, c.values));
+    primes.dedup();
+    primes
+}
+
+/// Prime implicants of a **monotone** function: its minimal true points.
+/// Panics (in debug) if `f` is not monotone.
+pub fn prime_implicants_monotone(f: &BoolFn) -> Vec<Cube> {
+    let n = f.num_vars();
+    let mut minimal: Vec<u64> = Vec::new();
+    'outer: for m in f.models() {
+        // m is minimal iff flipping any 1-bit off leaves the function false.
+        for j in 0..n {
+            if m >> j & 1 == 1 && f.eval_index(m & !(1u64 << j)) {
+                continue 'outer;
+            }
+        }
+        minimal.push(m);
+    }
+    minimal
+        .into_iter()
+        .map(|m| Cube { care: m, values: m })
+        .collect()
+}
+
+/// Number of terms in the IP form (= number of prime implicants).
+pub fn ip_term_count(f: &BoolFn) -> usize {
+    prime_implicants(f).len()
+}
+
+/// Total literal occurrences in the IP form.
+pub fn ip_literal_count(f: &BoolFn) -> usize {
+    prime_implicants(f)
+        .iter()
+        .map(|c| c.num_literals() as usize)
+        .sum()
+}
+
+/// Check that a set of cubes is an exact cover of `f` by implicants.
+pub fn check_ip_cover(f: &BoolFn, cubes: &[Cube]) -> bool {
+    let n = f.num_vars();
+    (0..(1u64 << n)).all(|idx| f.eval_index(idx) == cubes.iter().any(|c| c.contains(idx)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use crate::varset::VarSet;
+
+    fn vars(n: u32) -> Vec<VarId> {
+        (0..n).map(VarId).collect()
+    }
+
+    #[test]
+    fn implication_primes() {
+        // x → y = ¬x ∨ y: two single-literal primes.
+        let f = BoolFn::literal(VarId(0), true).implies(&BoolFn::literal(VarId(1), true));
+        let ps = prime_implicants(&f);
+        assert_eq!(ps.len(), 2);
+        assert!(ps.iter().all(|c| c.num_literals() == 1));
+        assert!(check_ip_cover(&f, &ps));
+    }
+
+    #[test]
+    fn parity_primes_are_minterms() {
+        // Parity has no mergeable cubes: 2^(n-1) primes of n literals each.
+        let f = families::parity(&vars(4));
+        let ps = prime_implicants(&f);
+        assert_eq!(ps.len(), 8);
+        assert!(ps.iter().all(|c| c.num_literals() == 4));
+        assert!(check_ip_cover(&f, &ps));
+    }
+
+    #[test]
+    fn constants() {
+        let top = BoolFn::constant(VarSet::from_slice(&vars(3)), true);
+        let ps = prime_implicants(&top);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].num_literals(), 0);
+        let bot = BoolFn::constant(VarSet::from_slice(&vars(3)), false);
+        assert!(prime_implicants(&bot).is_empty());
+    }
+
+    /// The paper's Result 3 discussion, made checkable: H⁰_{1,n} has exactly
+    /// n² prime implicants of 2 literals (the pair terms), while Theorem 5
+    /// makes its det. structured size exponential.
+    #[test]
+    fn h_functions_have_quadratic_ip() {
+        for n in [2usize, 3] {
+            let fam = families::HFamily::new(1, n);
+            let h0 = fam.func(0).unwrap();
+            let qm = prime_implicants(&h0);
+            assert_eq!(qm.len(), n * n, "H^0_(1,{n}) prime implicant count");
+            assert!(qm.iter().all(|c| c.num_literals() == 2));
+            // Monotone fast path agrees.
+            let mono = prime_implicants_monotone(&h0);
+            assert_eq!(mono.len(), qm.len());
+            assert!(check_ip_cover(&h0, &mono));
+        }
+    }
+
+    #[test]
+    fn monotone_fast_path_matches_qm() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        // Random monotone function: OR of random conjunctions.
+        let vs = VarSet::from_slice(&vars(5));
+        for _ in 0..5 {
+            let mut f = BoolFn::constant(vs.clone(), false);
+            for _ in 0..4 {
+                let mask: u64 = rng.gen_range(1..32);
+                let term = BoolFn::from_fn(vs.clone(), |i| i & mask == mask);
+                f = f.or(&term);
+            }
+            let qm: FxHashSet<Cube> = prime_implicants(&f).into_iter().collect();
+            let mono: FxHashSet<Cube> = prime_implicants_monotone(&f).into_iter().collect();
+            assert_eq!(qm, mono);
+        }
+    }
+
+    #[test]
+    fn cube_literals_readable() {
+        let f = BoolFn::literal(VarId(3), true).and(&BoolFn::literal(VarId(7), false));
+        let ps = prime_implicants(&f);
+        assert_eq!(ps.len(), 1);
+        let lits = ps[0].literals(f.vars().as_slice());
+        assert_eq!(lits, vec![(VarId(3), true), (VarId(7), false)]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Truth-table Boolean function kernel.
+//!
+//! Everything semantic in this workspace is defined against [`BoolFn`]: a
+//! bit-packed truth table over an explicit, globally named variable support.
+//! The kernel implements the notions of Bova & Szeider (PODS 2017) §2–3
+//! *directly from their definitions*:
+//!
+//! * cofactors (subfunctions) of `F(Y ∩ X, X ∖ Y)` induced by assignments of
+//!   `Y ∩ X` — [`BoolFn::restrict_assignment`];
+//! * **factors** of `F` relative to `Y` (Definition 1) and **factor width**
+//!   relative to a vtree (Definition 2) — [`factor`];
+//! * combinatorial rectangles and (disjoint) rectangle covers (§2.2) —
+//!   [`rectangle`];
+//! * communication matrices and their rank (Theorem 2, Eq. 8) — [`comm`];
+//! * the function families the paper's separations are proved on
+//!   (disjointness `D_n`, the inversion functions `H^i_{k,n}`, `ISA_n`, …) —
+//!   [`families`];
+//! * prime implicants / IP forms, the DNF-side of Result 3's separation —
+//!   [`implicant`].
+//!
+//! Scalable representations (OBDDs, SDDs, circuits) are verified against this
+//! kernel on small supports; the kernel's hard cap is [`MAX_VARS`] variables.
+
+pub mod assignment;
+pub mod comm;
+pub mod factor;
+pub mod families;
+pub mod func;
+pub mod implicant;
+pub mod rectangle;
+pub mod varset;
+
+pub use assignment::Assignment;
+pub use comm::CommMatrix;
+pub use factor::{factor_width, factors, min_factor_width, Factor};
+pub use func::{BoolFn, BoolFnError, MAX_VARS};
+pub use implicant::{ip_term_count, prime_implicants, Cube};
+pub use rectangle::{Rectangle, RectangleCover};
+pub use varset::VarSet;
+
+// Re-export the shared variable id type for convenience.
+pub use vtree::VarId;

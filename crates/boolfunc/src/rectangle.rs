@@ -1,0 +1,197 @@
+//! Combinatorial rectangles and (disjoint) rectangle covers (paper §2.2).
+
+use crate::func::BoolFn;
+use crate::varset::VarSet;
+use std::fmt;
+
+/// A rectangle `R(X) = R₁(X₁) × R₂(X₂)` over a two-block partition.
+#[derive(Clone, Debug)]
+pub struct Rectangle {
+    /// `R₁`, over the first block.
+    pub left: BoolFn,
+    /// `R₂`, over the second block.
+    pub right: BoolFn,
+}
+
+impl Rectangle {
+    /// Build, checking that the blocks are disjoint.
+    pub fn new(left: BoolFn, right: BoolFn) -> Self {
+        assert!(
+            left.vars().is_disjoint(right.vars()),
+            "rectangle blocks must be disjoint"
+        );
+        Rectangle { left, right }
+    }
+
+    /// The underlying partition `(X₁, X₂)`.
+    pub fn partition(&self) -> (&VarSet, &VarSet) {
+        (self.left.vars(), self.right.vars())
+    }
+
+    /// The rectangle as a Boolean function over `X₁ ∪ X₂`.
+    pub fn to_boolfn(&self) -> BoolFn {
+        self.left.and(&self.right)
+    }
+
+    /// `|sat(R)| = |sat(R₁)| · |sat(R₂)|` (decomposability).
+    pub fn count_models(&self) -> u64 {
+        self.left.count_models() * self.right.count_models()
+    }
+}
+
+/// A finite set of rectangles over a common variable set.
+#[derive(Clone, Debug, Default)]
+pub struct RectangleCover {
+    /// The rectangles; their partitions may differ unless stated otherwise.
+    pub rects: Vec<Rectangle>,
+}
+
+/// Violations of the cover invariants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoverError {
+    /// Two rectangles overlap (indices given) although disjointness was
+    /// required.
+    Overlap(usize, usize),
+    /// The union of the rectangles is not `sat(F)`.
+    NotExact,
+}
+
+impl fmt::Display for CoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverError::Overlap(i, j) => write!(f, "rectangles {i} and {j} overlap"),
+            CoverError::NotExact => write!(f, "cover does not equal sat(F)"),
+        }
+    }
+}
+
+impl std::error::Error for CoverError {}
+
+impl RectangleCover {
+    /// Number of rectangles.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// Is the cover empty?
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// The union of the rectangles, as a function.
+    pub fn union(&self) -> Option<BoolFn> {
+        let mut it = self.rects.iter();
+        let first = it.next()?.to_boolfn();
+        Some(it.fold(first, |acc, r| acc.or(&r.to_boolfn())))
+    }
+
+    /// Check that the rectangles are pairwise disjoint.
+    pub fn check_disjoint(&self) -> Result<(), CoverError> {
+        let fns: Vec<BoolFn> = self.rects.iter().map(Rectangle::to_boolfn).collect();
+        for i in 0..fns.len() {
+            for j in i + 1..fns.len() {
+                if fns[i].and(&fns[j]).count_models() != 0 {
+                    return Err(CoverError::Overlap(i, j));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Check that this is a *disjoint rectangle cover of `f`* (Eq. 6 with the
+    /// union disjoint): pairwise disjoint and unioning exactly to `sat(f)`.
+    pub fn check_disjoint_cover_of(&self, f: &BoolFn) -> Result<(), CoverError> {
+        self.check_disjoint()?;
+        let u = match self.union() {
+            Some(u) => u,
+            None => {
+                return if f.count_models() == 0 {
+                    Ok(())
+                } else {
+                    Err(CoverError::NotExact)
+                }
+            }
+        };
+        if u.equivalent(f) {
+            Ok(())
+        } else {
+            Err(CoverError::NotExact)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtree::VarId;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn rectangle_models_multiply() {
+        let l = BoolFn::literal(v(0), true); // 1 model over {0}
+        let r = BoolFn::literal(v(1), true).or(&BoolFn::literal(v(2), true)); // 3 over {1,2}
+        let rect = Rectangle::new(l, r);
+        assert_eq!(rect.count_models(), 3);
+        assert_eq!(rect.to_boolfn().count_models(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_blocks_rejected() {
+        let l = BoolFn::literal(v(0), true);
+        let r = BoolFn::literal(v(0), false);
+        let _ = Rectangle::new(l, r);
+    }
+
+    #[test]
+    fn xor_disjoint_cover() {
+        // x0 ⊕ x1 = (x0 ∧ ¬x1) ∪ (¬x0 ∧ x1): a disjoint 2-rectangle cover.
+        let f = BoolFn::literal(v(0), true).xor(&BoolFn::literal(v(1), true));
+        let cover = RectangleCover {
+            rects: vec![
+                Rectangle::new(BoolFn::literal(v(0), true), BoolFn::literal(v(1), false)),
+                Rectangle::new(BoolFn::literal(v(0), false), BoolFn::literal(v(1), true)),
+            ],
+        };
+        cover.check_disjoint_cover_of(&f).unwrap();
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let cover = RectangleCover {
+            rects: vec![
+                Rectangle::new(BoolFn::literal(v(0), true), BoolFn::literal(v(1), true)),
+                Rectangle::new(
+                    BoolFn::constant(VarSet::singleton(v(0)), true),
+                    BoolFn::literal(v(1), true),
+                ),
+            ],
+        };
+        assert_eq!(cover.check_disjoint(), Err(CoverError::Overlap(0, 1)));
+    }
+
+    #[test]
+    fn non_exact_cover_detected() {
+        let f = BoolFn::constant(VarSet::singleton(v(0)), true);
+        let cover = RectangleCover {
+            rects: vec![Rectangle::new(
+                BoolFn::literal(v(0), true),
+                BoolFn::constant(VarSet::empty(), true),
+            )],
+        };
+        assert_eq!(
+            cover.check_disjoint_cover_of(&f),
+            Err(CoverError::NotExact)
+        );
+    }
+
+    #[test]
+    fn empty_cover_covers_unsat() {
+        let f = BoolFn::constant(VarSet::singleton(v(0)), false);
+        let cover = RectangleCover::default();
+        cover.check_disjoint_cover_of(&f).unwrap();
+    }
+}

@@ -1,0 +1,222 @@
+//! Sorted variable sets.
+
+use std::fmt;
+use vtree::VarId;
+
+/// An immutable sorted set of variables.
+///
+/// `VarSet` is the support type of [`crate::BoolFn`]: bit `j` of a truth-table
+/// index corresponds to the `j`-th variable of the set in sorted order.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VarSet(Vec<VarId>);
+
+impl VarSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        VarSet(Vec::new())
+    }
+
+    /// Singleton set.
+    pub fn singleton(v: VarId) -> Self {
+        VarSet(vec![v])
+    }
+
+    /// From any iterator; sorts and deduplicates.
+    #[allow(clippy::should_implement_trait)] // FromIterator is also implemented
+    pub fn from_iter<I: IntoIterator<Item = VarId>>(iter: I) -> Self {
+        let mut v: Vec<VarId> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        VarSet(v)
+    }
+
+    /// From a slice already known or not known to be sorted.
+    pub fn from_slice(vars: &[VarId]) -> Self {
+        Self::from_iter(vars.iter().copied())
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Sorted slice view.
+    #[inline]
+    pub fn as_slice(&self) -> &[VarId] {
+        &self.0
+    }
+
+    /// Iterate in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: VarId) -> bool {
+        self.0.binary_search(&v).is_ok()
+    }
+
+    /// Position of `v` within the sorted set (its bit position).
+    #[inline]
+    pub fn position(&self, v: VarId) -> Option<usize> {
+        self.0.binary_search(&v).ok()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &VarSet) -> VarSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.0[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        out.extend_from_slice(&other.0[j..]);
+        VarSet(out)
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &VarSet) -> VarSet {
+        VarSet(
+            self.0
+                .iter()
+                .copied()
+                .filter(|v| other.contains(*v))
+                .collect(),
+        )
+    }
+
+    /// Set difference `self ∖ other`.
+    pub fn difference(&self, other: &VarSet) -> VarSet {
+        VarSet(
+            self.0
+                .iter()
+                .copied()
+                .filter(|v| !other.contains(*v))
+                .collect(),
+        )
+    }
+
+    /// Is `self ∩ other = ∅`?
+    pub fn is_disjoint(&self, other: &VarSet) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(&self, other: &VarSet) -> bool {
+        self.0.iter().all(|v| other.contains(*v))
+    }
+
+    /// For each variable of `self`, its position within `superset`.
+    ///
+    /// Panics if `self ⊄ superset`.
+    pub fn positions_in(&self, superset: &VarSet) -> Vec<u32> {
+        self.0
+            .iter()
+            .map(|v| {
+                superset
+                    .position(*v)
+                    .expect("positions_in: not a superset") as u32
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<VarId> for VarSet {
+    fn from_iter<T: IntoIterator<Item = VarId>>(iter: T) -> Self {
+        VarSet::from_iter(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a VarSet {
+    type Item = VarId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, VarId>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vs(ids: &[u32]) -> VarSet {
+        VarSet::from_iter(ids.iter().map(|&i| VarId(i)))
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = vs(&[3, 1, 3, 2]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.as_slice(), &[VarId(1), VarId(2), VarId(3)]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = vs(&[0, 1, 2, 5]);
+        let b = vs(&[2, 3, 5, 7]);
+        assert_eq!(a.union(&b), vs(&[0, 1, 2, 3, 5, 7]));
+        assert_eq!(a.intersection(&b), vs(&[2, 5]));
+        assert_eq!(a.difference(&b), vs(&[0, 1]));
+        assert!(!a.is_disjoint(&b));
+        assert!(vs(&[0, 1]).is_disjoint(&vs(&[2, 3])));
+        assert!(vs(&[1, 5]).is_subset(&a));
+        assert!(!vs(&[1, 9]).is_subset(&a));
+    }
+
+    #[test]
+    fn positions() {
+        let a = vs(&[0, 2, 4, 9]);
+        assert_eq!(a.position(VarId(4)), Some(2));
+        assert_eq!(a.position(VarId(3)), None);
+        assert_eq!(vs(&[2, 9]).positions_in(&a), vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a superset")]
+    fn positions_in_requires_superset() {
+        vs(&[1]).positions_in(&vs(&[0, 2]));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the truth-table kernel's Boolean algebra.
+
+use boolfunc::{BoolFn, VarSet};
+use proptest::prelude::*;
+use vtree::VarId;
+
+const N: usize = 6;
+
+fn table() -> impl Strategy<Value = BoolFn> {
+    prop::collection::vec(any::<bool>(), 1 << N).prop_map(|bs| {
+        let vars = VarSet::from_iter((0..N as u32).map(VarId));
+        BoolFn::from_fn(vars, |i| bs[i as usize])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn de_morgan(f in table(), g in table()) {
+        prop_assert!(f.and(&g).not().equivalent(&f.not().or(&g.not())));
+        prop_assert!(f.or(&g).not().equivalent(&f.not().and(&g.not())));
+    }
+
+    #[test]
+    fn double_negation_and_xor(f in table(), g in table()) {
+        prop_assert!(f.not().not().equivalent(&f));
+        prop_assert!(f.xor(&g).equivalent(&f.and(&g.not()).or(&f.not().and(&g))));
+    }
+
+    #[test]
+    fn distribution(f in table(), g in table(), h in table()) {
+        prop_assert!(f.and(&g.or(&h)).equivalent(&f.and(&g).or(&f.and(&h))));
+    }
+
+    #[test]
+    fn shannon_expansion(f in table(), v in 0u32..N as u32) {
+        // f = (x ∧ f|x=1) ∨ (¬x ∧ f|x=0)
+        let x = BoolFn::literal(VarId(v), true);
+        let hi = f.restrict(VarId(v), true);
+        let lo = f.restrict(VarId(v), false);
+        let rebuilt = x.and(&hi).or(&x.not().and(&lo));
+        prop_assert!(rebuilt.equivalent(&f));
+    }
+
+    #[test]
+    fn restricts_commute(f in table(), a in 0u32..N as u32, b in 0u32..N as u32) {
+        prop_assume!(a != b);
+        let one = f.restrict(VarId(a), true).restrict(VarId(b), false);
+        let two = f.restrict(VarId(b), false).restrict(VarId(a), true);
+        prop_assert_eq!(one, two);
+    }
+
+    #[test]
+    fn quantifier_duality(f in table(), v in 0u32..N as u32) {
+        // ∃v.f = ¬∀v.¬f
+        let ex = f.exists(VarId(v));
+        let dual = f.not().forall(VarId(v)).not();
+        prop_assert!(ex.equivalent(&dual));
+        // counts: |∃| ≥ |f projected|, |∀| ≤.
+        prop_assert!(ex.count_models() * 2 >= f.count_models());
+    }
+
+    #[test]
+    fn count_complement(f in table()) {
+        prop_assert_eq!(
+            f.count_models() + f.not().count_models(),
+            1u64 << N
+        );
+    }
+
+    #[test]
+    fn rename_roundtrip(f in table(), offset in 1u32..20) {
+        let g = f.rename_vars(|v| VarId(v.0 + offset));
+        let back = g.rename_vars(|v| VarId(v.0 - offset));
+        prop_assert_eq!(back, f);
+    }
+
+    #[test]
+    fn minimize_support_preserves_semantics(f in table()) {
+        let m = f.minimize_support();
+        prop_assert!(m.equivalent(&f));
+        for v in m.vars().iter() {
+            prop_assert!(m.depends_on(v), "kept variable must be essential");
+        }
+    }
+
+    #[test]
+    fn probability_bounds(f in table(), ps in prop::collection::vec(0.0f64..=1.0, N)) {
+        let p = f.probability(|v| ps[v.index()]);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&p));
+        let q = f.not().probability(|v| ps[v.index()]);
+        prop_assert!((p + q - 1.0).abs() < 1e-9);
+    }
+}

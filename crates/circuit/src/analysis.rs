@@ -1,0 +1,420 @@
+//! Semantic and structural analysis of circuits.
+//!
+//! Implements the paper's §2.1 notions with typed violation reports:
+//! decomposability (∧ inputs over disjoint variables), determinism (∨ inputs
+//! with disjoint models, checked *semantically* against the truth-table
+//! kernel) and structuredness by a vtree.
+
+use crate::gate::{Circuit, GateId, GateKind};
+use boolfunc::{BoolFn, BoolFnError, VarSet};
+use std::fmt;
+use vtree::{Side, Vtree, VtreeNodeId};
+
+/// A structural violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StructureError {
+    /// An ∧-gate whose inputs `a`, `b` share a variable.
+    NotDecomposable { gate: GateId, a: GateId, b: GateId },
+    /// An ∨-gate whose inputs `a`, `b` share a model.
+    NotDeterministic { gate: GateId, a: GateId, b: GateId },
+    /// An ∧-gate not structured by any vtree node.
+    NotStructured { gate: GateId },
+    /// An ∧-gate with fanin ≠ 2 (structured circuits require fanin 2).
+    BadFanin { gate: GateId, fanin: usize },
+    /// A ¬-gate above a non-input (the circuit is not in NNF).
+    NotNnf { gate: GateId },
+    /// The semantic check needed a truth table that exceeds the kernel cap.
+    TooLarge(BoolFnError),
+}
+
+impl fmt::Display for StructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructureError::NotDecomposable { gate, a, b } => {
+                write!(f, "AND gate {gate:?} has overlapping inputs {a:?}, {b:?}")
+            }
+            StructureError::NotDeterministic { gate, a, b } => {
+                write!(f, "OR gate {gate:?} has overlapping models on {a:?}, {b:?}")
+            }
+            StructureError::NotStructured { gate } => {
+                write!(f, "AND gate {gate:?} not structured by any vtree node")
+            }
+            StructureError::BadFanin { gate, fanin } => {
+                write!(f, "AND gate {gate:?} has fanin {fanin}, expected 2")
+            }
+            StructureError::NotNnf { gate } => {
+                write!(f, "NOT gate {gate:?} above a non-input gate")
+            }
+            StructureError::TooLarge(e) => write!(f, "semantic check infeasible: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StructureError {}
+
+/// Summary of a full structure check (see [`Circuit::structure_report`]).
+#[derive(Clone, Debug)]
+pub struct StructureReport {
+    /// Is the circuit in negation normal form?
+    pub nnf: bool,
+    /// Is every ∧-gate decomposable?
+    pub decomposable: bool,
+    /// Is every ∨-gate deterministic?
+    pub deterministic: bool,
+}
+
+impl Circuit {
+    /// Per-gate variable sets `var(C_g)`, bottom-up.
+    pub fn var_sets(&self) -> Vec<VarSet> {
+        let mut sets: Vec<VarSet> = Vec::with_capacity(self.gates.len());
+        for g in &self.gates {
+            let s = match g {
+                GateKind::Var(v) => VarSet::singleton(*v),
+                GateKind::Const(_) => VarSet::empty(),
+                GateKind::Not(x) => sets[x.index()].clone(),
+                GateKind::And(xs) | GateKind::Or(xs) => xs
+                    .iter()
+                    .fold(VarSet::empty(), |acc, x| acc.union(&sets[x.index()])),
+            };
+            sets.push(s);
+        }
+        sets
+    }
+
+    /// The function computed by the whole circuit, as a truth table over the
+    /// circuit's variables. Fails if the support exceeds the kernel cap.
+    pub fn to_boolfn(&self) -> Result<BoolFn, BoolFnError> {
+        Ok(self.gate_functions()?.swap_remove(self.output.index()))
+    }
+
+    /// Truth tables of all gates, each over its own subcircuit variables.
+    pub fn gate_functions(&self) -> Result<Vec<BoolFn>, BoolFnError> {
+        let all_vars = self.vars();
+        if all_vars.len() > boolfunc::MAX_VARS {
+            return Err(BoolFnError::TooManyVars { n: all_vars.len() });
+        }
+        let mut fns: Vec<BoolFn> = Vec::with_capacity(self.gates.len());
+        for g in &self.gates {
+            let f = match g {
+                GateKind::Var(v) => BoolFn::literal(*v, true),
+                GateKind::Const(b) => BoolFn::constant(VarSet::empty(), *b),
+                GateKind::Not(x) => fns[x.index()].not(),
+                GateKind::And(xs) => {
+                    let mut acc = BoolFn::constant(VarSet::empty(), true);
+                    for x in xs.iter() {
+                        acc = acc.and(&fns[x.index()]);
+                    }
+                    acc
+                }
+                GateKind::Or(xs) => {
+                    let mut acc = BoolFn::constant(VarSet::empty(), false);
+                    for x in xs.iter() {
+                        acc = acc.or(&fns[x.index()]);
+                    }
+                    acc
+                }
+            };
+            fns.push(f);
+        }
+        Ok(fns)
+    }
+
+    /// Is the circuit in negation normal form (¬ only above inputs)?
+    pub fn check_nnf(&self) -> Result<(), StructureError> {
+        for (id, g) in self.iter() {
+            if let GateKind::Not(x) = g {
+                match self.gate(*x) {
+                    GateKind::Var(_) | GateKind::Const(_) => {}
+                    _ => return Err(StructureError::NotNnf { gate: id }),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Check decomposability: inputs of every ∧-gate pairwise variable-disjoint.
+    pub fn check_decomposable(&self) -> Result<(), StructureError> {
+        let sets = self.var_sets();
+        let reach = self.reachable();
+        for (id, g) in self.iter() {
+            if !reach[id.index()] {
+                continue;
+            }
+            if let GateKind::And(xs) = g {
+                for i in 0..xs.len() {
+                    for j in i + 1..xs.len() {
+                        if !sets[xs[i].index()].is_disjoint(&sets[xs[j].index()]) {
+                            return Err(StructureError::NotDecomposable {
+                                gate: id,
+                                a: xs[i],
+                                b: xs[j],
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Check determinism *semantically*: for every ∨-gate, the input
+    /// subcircuits have pairwise disjoint models over `var(C)` (paper §2.1).
+    /// Requires the circuit to fit the truth-table kernel.
+    pub fn check_deterministic(&self) -> Result<(), StructureError> {
+        let fns = self.gate_functions().map_err(StructureError::TooLarge)?;
+        let reach = self.reachable();
+        for (id, g) in self.iter() {
+            if !reach[id.index()] {
+                continue;
+            }
+            if let GateKind::Or(xs) = g {
+                for i in 0..xs.len() {
+                    for j in i + 1..xs.len() {
+                        let overlap = fns[xs[i].index()].and(&fns[xs[j].index()]);
+                        if overlap.count_models() != 0 {
+                            return Err(StructureError::NotDeterministic {
+                                gate: id,
+                                a: xs[i],
+                                b: xs[j],
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Check structuredness by `t`: every reachable ∧-gate has fanin 2 and is
+    /// structured by some vtree node `v` (left input over `Y_{v_l}`, right
+    /// input over `Y_{v_r}`).
+    pub fn check_structured_by(&self, t: &Vtree) -> Result<(), StructureError> {
+        let sets = self.var_sets();
+        let reach = self.reachable();
+        for (id, g) in self.iter() {
+            if !reach[id.index()] {
+                continue;
+            }
+            if let GateKind::And(xs) = g {
+                if xs.len() != 2 {
+                    return Err(StructureError::BadFanin {
+                        gate: id,
+                        fanin: xs.len(),
+                    });
+                }
+                let la = &sets[xs[0].index()];
+                let lb = &sets[xs[1].index()];
+                if structuring_node(t, la, lb).is_none() {
+                    return Err(StructureError::NotStructured { gate: id });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The vtree node structuring an ∧-gate with input variable sets
+    /// `(left, right)`, if any.
+    pub fn structuring_node(t: &Vtree, left: &VarSet, right: &VarSet) -> Option<VtreeNodeId> {
+        structuring_node(t, left, right)
+    }
+
+    /// Run all structure checks that apply to a (small) circuit.
+    pub fn structure_report(&self) -> StructureReport {
+        StructureReport {
+            nnf: self.check_nnf().is_ok(),
+            decomposable: self.check_decomposable().is_ok(),
+            deterministic: self.check_deterministic().is_ok(),
+        }
+    }
+}
+
+/// Smallest vtree node covering a variable set, or `None` if the set is
+/// empty or contains variables missing from the vtree.
+fn covering_node(t: &Vtree, vars: &VarSet) -> Option<Option<VtreeNodeId>> {
+    let mut acc: Option<VtreeNodeId> = None;
+    for v in vars.iter() {
+        let leaf = t.leaf_of_var(v)?;
+        acc = Some(match acc {
+            None => leaf,
+            Some(a) => t.lca(a, leaf),
+        });
+    }
+    Some(acc)
+}
+
+/// A node `v` with `left ⊆ Y_{v_l}` and `right ⊆ Y_{v_r}`, if one exists.
+fn structuring_node(t: &Vtree, left: &VarSet, right: &VarSet) -> Option<VtreeNodeId> {
+    let la = covering_node(t, left)?; // None if a var is missing from t
+    let lb = covering_node(t, right)?;
+    match (la, lb) {
+        (None, None) => {
+            // Constant-only conjunct pair: any internal node structures it
+            // (or the root leaf for a 1-variable vtree — accept the root).
+            Some(t.root())
+        }
+        (Some(a), None) => {
+            // Need v with `a` inside the LEFT subtree: the parent of the
+            // topmost node reached by walking up while coming from the left
+            // works; simplest: find any ancestor v of a (or a's parent) with
+            // a on its left.
+            ancestor_with_side(t, a, Side::Left)
+        }
+        (None, Some(b)) => ancestor_with_side(t, b, Side::Right),
+        (Some(a), Some(b)) => {
+            let v = t.lca(a, b);
+            if v == a || v == b {
+                return None; // one set spans both sides
+            }
+            (t.side_of(v, a) == Some(Side::Left) && t.side_of(v, b) == Some(Side::Right))
+                .then_some(v)
+        }
+    }
+}
+
+fn ancestor_with_side(t: &Vtree, node: VtreeNodeId, side: Side) -> Option<VtreeNodeId> {
+    let mut cur = node;
+    loop {
+        let parent = t.parent(cur)?;
+        let (l, r) = t.children(parent).expect("parent is internal");
+        let on = if cur == l { Side::Left } else { Side::Right };
+        debug_assert!(cur == l || cur == r);
+        if on == side {
+            return Some(parent);
+        }
+        cur = parent;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use boolfunc::Assignment;
+    use vtree::VarId;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn to_boolfn_matches_eval() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let c = crate::families::random_circuit(5, 12, &mut rng);
+        let f = c.to_boolfn().unwrap();
+        let vars = c.vars();
+        for idx in 0..(1u64 << vars.len()) {
+            let a = Assignment::from_index(&vars, idx);
+            assert_eq!(c.eval(&a), f.with_support(&vars).eval_index(idx));
+        }
+    }
+
+    #[test]
+    fn decomposability_detected() {
+        let mut b = CircuitBuilder::new();
+        let x = b.var(v(0));
+        let y = b.var(v(1));
+        let good = b.and2(x, y);
+        let bad = b.and2(good, x); // shares x
+        let c = b.build(bad);
+        assert!(matches!(
+            c.check_decomposable(),
+            Err(StructureError::NotDecomposable { .. })
+        ));
+    }
+
+    #[test]
+    fn determinism_detected() {
+        let mut b = CircuitBuilder::new();
+        let x = b.var(v(0));
+        let y = b.var(v(1));
+        let o = b.or2(x, y); // models overlap at x=y=1
+        let c = b.build(o);
+        assert!(matches!(
+            c.check_deterministic(),
+            Err(StructureError::NotDeterministic { .. })
+        ));
+        // x ∨ (¬x ∧ y) is deterministic.
+        let mut b = CircuitBuilder::new();
+        let x = b.var(v(0));
+        let y = b.var(v(1));
+        let nx = b.not(x);
+        let a = b.and2(nx, y);
+        let o = b.or2(x, a);
+        let c = b.build(o);
+        c.check_deterministic().unwrap();
+    }
+
+    #[test]
+    fn nnf_check() {
+        let mut b = CircuitBuilder::new();
+        let x = b.var(v(0));
+        let y = b.var(v(1));
+        let a = b.and2(x, y);
+        let na = b.not(a);
+        let c = b.build(na);
+        assert!(matches!(c.check_nnf(), Err(StructureError::NotNnf { .. })));
+    }
+
+    #[test]
+    fn structuredness_positive_and_negative() {
+        // ((x0 x1) (x2 x3)) vtree; AND(x0-side, x2-side) structured at root.
+        let vars: Vec<VarId> = (0..4).map(VarId).collect();
+        let t = Vtree::balanced(&vars).unwrap();
+        let mut b = CircuitBuilder::new();
+        let x0 = b.var(v(0));
+        let x2 = b.var(v(2));
+        let g = b.and2(x0, x2);
+        let c = b.build(g);
+        c.check_structured_by(&t).unwrap();
+
+        // AND over {x0,x2} on the left and {x1} on the right cannot be
+        // structured: {x0,x2} spans both root subtrees.
+        let mut b = CircuitBuilder::new();
+        let x0 = b.var(v(0));
+        let x2 = b.var(v(2));
+        let x1 = b.var(v(1));
+        let left = b.and2(x0, x2);
+        let g = b.and2(left, x1);
+        let c = b.build(g);
+        assert!(c.check_structured_by(&t).is_err());
+    }
+
+    #[test]
+    fn structuredness_with_constant_side() {
+        let vars: Vec<VarId> = (0..2).map(VarId).collect();
+        let t = Vtree::balanced(&vars).unwrap();
+        let mut b = CircuitBuilder::new();
+        let top = b.constant(true);
+        let x1 = b.var(v(1));
+        let g = b.and2(top, x1); // constant left conjunct
+        let c = b.build(g);
+        c.check_structured_by(&t).unwrap();
+    }
+
+    #[test]
+    fn fanin3_and_rejected_for_structuredness() {
+        let vars: Vec<VarId> = (0..3).map(VarId).collect();
+        let t = Vtree::balanced(&vars).unwrap();
+        let mut b = CircuitBuilder::new();
+        let xs: Vec<_> = (0..3).map(|i| b.var(v(i))).collect();
+        let g = b.and_many(xs);
+        let c = b.build(g);
+        assert!(matches!(
+            c.check_structured_by(&t),
+            Err(StructureError::BadFanin { fanin: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn var_sets_bottom_up() {
+        let mut b = CircuitBuilder::new();
+        let x = b.var(v(3));
+        let y = b.var(v(1));
+        let a = b.and2(x, y);
+        let c = b.build(a);
+        let sets = c.var_sets();
+        assert_eq!(sets[a.index()].len(), 2);
+        assert!(sets[a.index()].contains(v(1)));
+    }
+}

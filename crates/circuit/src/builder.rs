@@ -1,0 +1,209 @@
+//! Hash-consing circuit builder.
+
+use crate::gate::{Circuit, GateId, GateKind};
+use vtree::fxhash::FxHashMap;
+use vtree::VarId;
+
+/// Builds circuits bottom-up with structural sharing: constructing the same
+/// gate (same kind, same ordered inputs) twice returns the same [`GateId`].
+///
+/// Input order of ∧/∨ gates is preserved — it matters for structuredness —
+/// so gates differing only in input order are *not* merged.
+#[derive(Default)]
+pub struct CircuitBuilder {
+    gates: Vec<GateKind>,
+    cache: FxHashMap<GateKind, GateId>,
+}
+
+impl CircuitBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of gates so far.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Is the builder empty?
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    fn intern(&mut self, kind: GateKind) -> GateId {
+        if let Some(&id) = self.cache.get(&kind) {
+            return id;
+        }
+        let id = GateId(self.gates.len() as u32);
+        self.gates.push(kind.clone());
+        self.cache.insert(kind, id);
+        id
+    }
+
+    /// Variable input gate.
+    pub fn var(&mut self, v: VarId) -> GateId {
+        self.intern(GateKind::Var(v))
+    }
+
+    /// Constant input gate.
+    pub fn constant(&mut self, b: bool) -> GateId {
+        self.intern(GateKind::Const(b))
+    }
+
+    /// Negation gate.
+    pub fn not(&mut self, g: GateId) -> GateId {
+        self.intern(GateKind::Not(g))
+    }
+
+    /// A literal: `var` or `¬var`.
+    pub fn literal(&mut self, v: VarId, positive: bool) -> GateId {
+        let g = self.var(v);
+        if positive {
+            g
+        } else {
+            self.not(g)
+        }
+    }
+
+    /// Binary conjunction (fanin exactly 2; the shape structured circuits
+    /// require).
+    pub fn and2(&mut self, a: GateId, b: GateId) -> GateId {
+        self.intern(GateKind::And(vec![a, b].into_boxed_slice()))
+    }
+
+    /// Binary disjunction.
+    pub fn or2(&mut self, a: GateId, b: GateId) -> GateId {
+        self.intern(GateKind::Or(vec![a, b].into_boxed_slice()))
+    }
+
+    /// Unbounded-fanin conjunction. Empty fanin yields ⊤; singleton collapses.
+    pub fn and_many(&mut self, inputs: Vec<GateId>) -> GateId {
+        match inputs.len() {
+            0 => self.constant(true),
+            1 => inputs[0],
+            _ => self.intern(GateKind::And(inputs.into_boxed_slice())),
+        }
+    }
+
+    /// Unbounded-fanin disjunction. Empty fanin yields ⊥; singleton collapses.
+    pub fn or_many(&mut self, inputs: Vec<GateId>) -> GateId {
+        match inputs.len() {
+            0 => self.constant(false),
+            1 => inputs[0],
+            _ => self.intern(GateKind::Or(inputs.into_boxed_slice())),
+        }
+    }
+
+    /// Right-fold a list into binary ∧ gates (for structured circuits).
+    pub fn and_fold(&mut self, inputs: &[GateId]) -> GateId {
+        match inputs {
+            [] => self.constant(true),
+            [g] => *g,
+            [g, rest @ ..] => {
+                let r = self.and_fold(rest);
+                self.and2(*g, r)
+            }
+        }
+    }
+
+    /// Right-fold a list into binary ∨ gates.
+    pub fn or_fold(&mut self, inputs: &[GateId]) -> GateId {
+        match inputs {
+            [] => self.constant(false),
+            [g] => *g,
+            [g, rest @ ..] => {
+                let r = self.or_fold(rest);
+                self.or2(*g, r)
+            }
+        }
+    }
+
+    /// Import a gate (and its cone) from another circuit, preserving sharing.
+    pub fn import(&mut self, c: &Circuit, root: GateId) -> GateId {
+        let mut map: FxHashMap<GateId, GateId> = FxHashMap::default();
+        // Topological arena order guarantees inputs are mapped first.
+        for (id, kind) in c.iter() {
+            if id > root {
+                break;
+            }
+            let new = match kind {
+                GateKind::Var(v) => self.var(*v),
+                GateKind::Const(b) => self.constant(*b),
+                GateKind::Not(g) => {
+                    let g = map[g];
+                    self.not(g)
+                }
+                GateKind::And(gs) => {
+                    let inputs: Vec<GateId> = gs.iter().map(|g| map[g]).collect();
+                    self.intern(GateKind::And(inputs.into_boxed_slice()))
+                }
+                GateKind::Or(gs) => {
+                    let inputs: Vec<GateId> = gs.iter().map(|g| map[g]).collect();
+                    self.intern(GateKind::Or(inputs.into_boxed_slice()))
+                }
+            };
+            map.insert(id, new);
+        }
+        map[&root]
+    }
+
+    /// Finish, designating the output gate.
+    pub fn build(self, output: GateId) -> Circuit {
+        Circuit::from_parts(self.gates, output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn hash_consing_shares_gates() {
+        let mut b = CircuitBuilder::new();
+        let x = b.var(v(0));
+        let y = b.var(v(1));
+        let a1 = b.and2(x, y);
+        let a2 = b.and2(x, y);
+        assert_eq!(a1, a2);
+        let a3 = b.and2(y, x); // different order: kept distinct
+        assert_ne!(a1, a3);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn fold_and_many_edge_cases() {
+        let mut b = CircuitBuilder::new();
+        let t = b.and_many(vec![]);
+        assert!(matches!(b.gates[t.index()], GateKind::Const(true)));
+        let f = b.or_many(vec![]);
+        assert!(matches!(b.gates[f.index()], GateKind::Const(false)));
+        let x = b.var(v(0));
+        assert_eq!(b.and_many(vec![x]), x);
+        assert_eq!(b.or_fold(&[x]), x);
+    }
+
+    #[test]
+    fn import_preserves_semantics() {
+        use boolfunc::Assignment;
+        let mut b1 = CircuitBuilder::new();
+        let x = b1.var(v(0));
+        let y = b1.var(v(1));
+        let g = b1.and2(x, y);
+        let c1 = b1.build(g);
+
+        let mut b2 = CircuitBuilder::new();
+        let z = b2.var(v(2));
+        let imported = b2.import(&c1, c1.output());
+        let out = b2.or2(imported, z);
+        let c2 = b2.build(out);
+        let a = Assignment::from_pairs([(v(0), true), (v(1), true), (v(2), false)]);
+        assert!(c2.eval(&a));
+        let a = Assignment::from_pairs([(v(0), false), (v(1), true), (v(2), false)]);
+        assert!(!c2.eval(&a));
+    }
+}

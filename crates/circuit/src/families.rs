@@ -1,0 +1,321 @@
+//! Circuit families used by the experiments.
+//!
+//! The treewidth-parameterized families ([`clause_chain`], [`and_or_chain`],
+//! [`and_or_tree`]) realize "circuits of bounded treewidth / pathwidth" for
+//! the paper's Result 1 and Eq. (2) experiments; [`h_circuit`],
+//! [`disjointness_circuit`], [`isa_circuit`] realize the lower-bound
+//! witnesses of §4 and Appendix A as circuits (no truth-table size cap).
+
+use crate::builder::CircuitBuilder;
+use crate::gate::{Circuit, GateId};
+use boolfunc::families::{HFamily, IsaLayout};
+use boolfunc::BoolFn;
+use vtree::VarId;
+
+/// Sequential accumulator `(((x₀ ∧ x₁) ∨ x₂) ∧ x₃) …` alternating ∧/∨.
+/// The primal graph is a caterpillar: pathwidth (and treewidth) ≤ 2.
+pub fn and_or_chain(vars: &[VarId]) -> Circuit {
+    assert!(!vars.is_empty());
+    let mut b = CircuitBuilder::new();
+    let mut acc = b.var(vars[0]);
+    for (i, &v) in vars[1..].iter().enumerate() {
+        let x = b.var(v);
+        acc = if i % 2 == 0 {
+            b.and2(acc, x)
+        } else {
+            b.or2(acc, x)
+        };
+    }
+    b.build(acc)
+}
+
+/// Complete binary tree of alternating ∧/∨ over `2^depth` variables
+/// (∧ at the root level). The primal graph is a tree: treewidth 1, but
+/// pathwidth Θ(depth) — the function-level witness for CPW(O(1)) ⊊ CTW(O(1)).
+pub fn and_or_tree(vars: &[VarId]) -> Circuit {
+    assert!(vars.len().is_power_of_two(), "need 2^depth variables");
+    let mut b = CircuitBuilder::new();
+    let leaves: Vec<GateId> = vars.iter().map(|&v| b.var(v)).collect();
+    fn rec(b: &mut CircuitBuilder, slice: &[GateId], and_level: bool) -> GateId {
+        if slice.len() == 1 {
+            return slice[0];
+        }
+        let mid = slice.len() / 2;
+        let l = rec(b, &slice[..mid], !and_level);
+        let r = rec(b, &slice[mid..], !and_level);
+        if and_level {
+            b.and2(l, r)
+        } else {
+            b.or2(l, r)
+        }
+    }
+    let out = rec(&mut b, &leaves, true);
+    b.build(out)
+}
+
+/// Sliding-window clause chain `⋀_i (x_i ∨ … ∨ x_{i+w-1})` with the outer
+/// conjunction folded into binary gates. Circuit treewidth grows with `w`
+/// and is independent of `n` — the workhorse bounded-treewidth family.
+pub fn clause_chain(vars: &[VarId], w: usize) -> Circuit {
+    assert!(w >= 1 && w <= vars.len());
+    let mut b = CircuitBuilder::new();
+    let xs: Vec<GateId> = vars.iter().map(|&v| b.var(v)).collect();
+    let mut acc: Option<GateId> = None;
+    for i in 0..=(vars.len() - w) {
+        let clause = b.or_fold(&xs[i..i + w]);
+        acc = Some(match acc {
+            None => clause,
+            Some(a) => b.and2(a, clause),
+        });
+    }
+    b.build(acc.expect("at least one clause"))
+}
+
+/// The exclusive-or chain `x₀ ⊕ x₁ ⊕ …` in the standard basis
+/// (pathwidth O(1); the classic constant-OBDD-width function).
+pub fn parity_chain(vars: &[VarId]) -> Circuit {
+    assert!(!vars.is_empty());
+    let mut b = CircuitBuilder::new();
+    let mut acc = b.var(vars[0]);
+    for &v in &vars[1..] {
+        let x = b.var(v);
+        // a ⊕ x = (a ∧ ¬x) ∨ (¬a ∧ x)
+        let na = b.not(acc);
+        let nx = b.not(x);
+        let l = b.and2(acc, nx);
+        let r = b.and2(na, x);
+        acc = b.or2(l, r);
+    }
+    b.build(acc)
+}
+
+/// `D_n` (paper Eq. 7) as a circuit: `⋀_i (¬x_i ∨ ¬y_i)`, conjunction folded.
+pub fn disjointness_circuit(xs: &[VarId], ys: &[VarId]) -> Circuit {
+    assert_eq!(xs.len(), ys.len());
+    let mut b = CircuitBuilder::new();
+    let clauses: Vec<GateId> = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let nx = b.literal(x, false);
+            let ny = b.literal(y, false);
+            b.or2(nx, ny)
+        })
+        .collect();
+    let out = b.and_fold(&clauses);
+    b.build(out)
+}
+
+/// `Hⁱ_{k,n}` (paper §4.1) as a circuit: the disjunction of its variable
+/// pairs, with binary gates.
+pub fn h_circuit(family: &HFamily, i: usize) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let terms: Vec<GateId> = family
+        .pairs(i)
+        .into_iter()
+        .map(|(x, y)| {
+            let gx = b.var(x);
+            let gy = b.var(y);
+            b.and2(gx, gy)
+        })
+        .collect();
+    let out = b.or_fold(&terms);
+    b.build(out)
+}
+
+/// The paper's `ISA_n` (Appendix A) as a circuit:
+/// `⋁_{i,j} (addr = i) ∧ (register_i = j) ∧ z_j`, with binary gates.
+/// Works for any valid layout (no truth-table cap), e.g. `ISA₂₆₁`.
+pub fn isa_circuit(layout: &IsaLayout) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let k = layout.k;
+    let m = layout.m;
+    let mut terms = Vec::new();
+    for i in 0..(1usize << k) {
+        // addr = i: y_1 is the most significant bit.
+        let addr_lits: Vec<GateId> = (0..k)
+            .map(|t| {
+                let bit = i >> (k - 1 - t) & 1 == 1;
+                b.literal(layout.ys[t], bit)
+            })
+            .collect();
+        let addr = b.and_fold(&addr_lits);
+        for j in 0..(1usize << m) {
+            // register_i = j: bits of z_{(i·m)+1..(i+1)·m}, MSB first.
+            let reg_lits: Vec<GateId> = (0..m)
+                .map(|t| {
+                    let bit = j >> (m - 1 - t) & 1 == 1;
+                    b.literal(layout.zs[i * m + t], bit)
+                })
+                .collect();
+            let reg = b.and_fold(&reg_lits);
+            let zj = b.var(layout.zs[j]);
+            let t1 = b.and2(reg, zj);
+            terms.push(b.and2(addr, t1));
+        }
+    }
+    let out = b.or_fold(&terms);
+    b.build(out)
+}
+
+/// Minterm DNF of a truth table (used for crude circuit-treewidth upper
+/// bounds; paper Proposition 1's starting point).
+pub fn dnf_of(f: &BoolFn) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let vars = f.vars().clone();
+    let terms: Vec<GateId> = f
+        .models()
+        .map(|m| {
+            let lits: Vec<GateId> = vars
+                .iter()
+                .enumerate()
+                .map(|(j, v)| b.literal(v, m >> j & 1 == 1))
+                .collect();
+            b.and_many(lits)
+        })
+        .collect();
+    let out = b.or_many(terms);
+    b.build(out)
+}
+
+/// Uniformly random circuit: `nvars` variable gates followed by `ngates`
+/// random ¬/∧/∨ gates over earlier gates; the last gate is the output.
+pub fn random_circuit<R: rand::Rng>(nvars: usize, ngates: usize, rng: &mut R) -> Circuit {
+    assert!(nvars >= 1);
+    let mut b = CircuitBuilder::new();
+    let mut pool: Vec<GateId> = (0..nvars as u32).map(|i| b.var(VarId(i))).collect();
+    for _ in 0..ngates {
+        let pick = |rng: &mut R, pool: &[GateId]| pool[rng.gen_range(0..pool.len())];
+        let g = match rng.gen_range(0..3) {
+            0 => {
+                let x = pick(rng, &pool);
+                b.not(x)
+            }
+            1 => {
+                let x = pick(rng, &pool);
+                let y = pick(rng, &pool);
+                b.and2(x, y)
+            }
+            _ => {
+                let x = pick(rng, &pool);
+                let y = pick(rng, &pool);
+                b.or2(x, y)
+            }
+        };
+        pool.push(g);
+    }
+    let out = *pool.last().expect("nonempty pool");
+    b.build(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolfunc::families as bf;
+    use boolfunc::VarSet;
+
+    fn vars(n: usize) -> Vec<VarId> {
+        (0..n as u32).map(VarId).collect()
+    }
+
+    #[test]
+    fn chain_has_tiny_treewidth() {
+        let c = and_or_chain(&vars(12));
+        let (g, _) = c.primal_graph();
+        let (w, _) = graphtw::treewidth(&g, 16);
+        assert!(w <= 2, "chain treewidth {w}");
+    }
+
+    #[test]
+    fn tree_circuit_has_treewidth_one() {
+        let c = and_or_tree(&vars(16));
+        let (g, _) = c.primal_graph();
+        let (w, _) = graphtw::treewidth(&g, 24);
+        assert_eq!(w, 1);
+    }
+
+    #[test]
+    fn clause_chain_treewidth_tracks_window() {
+        let c2 = clause_chain(&vars(10), 2);
+        let (g2, _) = c2.primal_graph();
+        let (w2, _) = graphtw::treewidth(&g2, 20);
+        let c4 = clause_chain(&vars(10), 4);
+        let (g4, _) = c4.primal_graph();
+        let (w4, _) = graphtw::treewidth(&g4, 22);
+        assert!(w2 <= w4, "window 2 width {w2} vs window 4 width {w4}");
+        assert!(w2 <= 3);
+    }
+
+    #[test]
+    fn clause_chain_semantics() {
+        let vs = vars(4);
+        let c = clause_chain(&vs, 2);
+        let f = c.to_boolfn().unwrap();
+        // (x0∨x1)(x1∨x2)(x2∨x3)
+        let expect = BoolFn::from_fn(VarSet::from_slice(&vs), |i| {
+            (i & 0b0011 != 0) && (i & 0b0110 != 0) && (i & 0b1100 != 0)
+        });
+        assert!(f.equivalent(&expect));
+    }
+
+    #[test]
+    fn parity_chain_is_parity() {
+        let vs = vars(6);
+        let c = parity_chain(&vs);
+        assert!(c.to_boolfn().unwrap().equivalent(&bf::parity(&vs)));
+    }
+
+    #[test]
+    fn disjointness_circuit_matches_table() {
+        let (f, xs, ys) = bf::disjointness(4);
+        let c = disjointness_circuit(&xs, &ys);
+        assert!(c.to_boolfn().unwrap().equivalent(&f));
+    }
+
+    #[test]
+    fn h_circuit_matches_table() {
+        let fam = HFamily::new(2, 2);
+        for i in 0..=2 {
+            let c = h_circuit(&fam, i);
+            assert!(c.to_boolfn().unwrap().equivalent(&fam.func(i).unwrap()));
+        }
+    }
+
+    #[test]
+    fn isa_circuit_matches_table_n5() {
+        let (f, layout) = bf::isa_self(1, 2);
+        let c = isa_circuit(&layout);
+        assert!(c.to_boolfn().unwrap().equivalent(&f));
+    }
+
+    #[test]
+    fn isa_circuit_scales_structurally() {
+        // ISA_261 as a circuit: no truth table, but the DAG builds fine.
+        let layout = IsaLayout::new(5, 8);
+        let c = isa_circuit(&layout);
+        assert_eq!(c.vars().len(), 261);
+        assert!(c.size() > 1000);
+    }
+
+    #[test]
+    fn dnf_of_roundtrip() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let f = BoolFn::random(VarSet::from_slice(&vars(5)), &mut rng);
+        let c = dnf_of(&f);
+        assert!(c.to_boolfn().unwrap().equivalent(&f));
+    }
+
+    #[test]
+    fn random_circuit_reproducible() {
+        use rand::SeedableRng;
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(7);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(7);
+        let c1 = random_circuit(4, 9, &mut r1);
+        let c2 = random_circuit(4, 9, &mut r2);
+        assert!(c1
+            .to_boolfn()
+            .unwrap()
+            .equivalent(&c2.to_boolfn().unwrap()));
+    }
+}

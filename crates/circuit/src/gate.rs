@@ -1,0 +1,281 @@
+//! The circuit arena.
+
+use boolfunc::{Assignment, VarSet};
+use std::fmt;
+use vtree::VarId;
+
+/// Index of a gate within a [`Circuit`] (or [`crate::CircuitBuilder`]).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub u32);
+
+impl GateId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A gate over the standard basis.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Input gate labelled by a variable.
+    Var(VarId),
+    /// Input gate labelled by ⊥ or ⊤.
+    Const(bool),
+    /// Fanin-1 negation.
+    Not(GateId),
+    /// Unbounded-fanin conjunction (fanin may be 0 = ⊤, or 1).
+    And(Box<[GateId]>),
+    /// Unbounded-fanin disjunction (fanin may be 0 = ⊥, or 1).
+    Or(Box<[GateId]>),
+}
+
+impl GateKind {
+    /// Gates wired into this gate.
+    pub fn inputs(&self) -> &[GateId] {
+        match self {
+            GateKind::Var(_) | GateKind::Const(_) => &[],
+            GateKind::Not(g) => std::slice::from_ref(g),
+            GateKind::And(gs) | GateKind::Or(gs) => gs,
+        }
+    }
+}
+
+/// A Boolean circuit: a topologically ordered gate arena with a designated
+/// output gate. Inputs of gate `i` always have index `< i`.
+#[derive(Clone, Debug)]
+pub struct Circuit {
+    pub(crate) gates: Vec<GateKind>,
+    pub(crate) output: GateId,
+}
+
+impl Circuit {
+    /// Construct from parts; validates topological order.
+    pub fn from_parts(gates: Vec<GateKind>, output: GateId) -> Self {
+        assert!(output.index() < gates.len(), "output out of range");
+        for (i, g) in gates.iter().enumerate() {
+            for inp in g.inputs() {
+                assert!(
+                    inp.index() < i,
+                    "gate {i} has non-topological input {inp:?}"
+                );
+            }
+        }
+        Circuit { gates, output }
+    }
+
+    /// Number of gates `|C|`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The output gate.
+    #[inline]
+    pub fn output(&self) -> GateId {
+        self.output
+    }
+
+    /// Gate payload.
+    #[inline]
+    pub fn gate(&self, g: GateId) -> &GateKind {
+        &self.gates[g.index()]
+    }
+
+    /// Iterate over `(GateId, &GateKind)` in topological order.
+    pub fn iter(&self) -> impl Iterator<Item = (GateId, &GateKind)> {
+        self.gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GateId(i as u32), g))
+    }
+
+    /// The set of variables appearing at input gates.
+    pub fn vars(&self) -> VarSet {
+        VarSet::from_iter(self.gates.iter().filter_map(|g| match g {
+            GateKind::Var(v) => Some(*v),
+            _ => None,
+        }))
+    }
+
+    /// Gate counts: `(inputs, not, and, or)`.
+    pub fn gate_counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for g in &self.gates {
+            match g {
+                GateKind::Var(_) | GateKind::Const(_) => c.0 += 1,
+                GateKind::Not(_) => c.1 += 1,
+                GateKind::And(_) => c.2 += 1,
+                GateKind::Or(_) => c.3 += 1,
+            }
+        }
+        c
+    }
+
+    /// Evaluate under an assignment covering all circuit variables.
+    pub fn eval(&self, a: &Assignment) -> bool {
+        let mut val = vec![false; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            val[i] = match g {
+                GateKind::Var(v) => a.get(*v).expect("assignment must cover circuit vars"),
+                GateKind::Const(b) => *b,
+                GateKind::Not(x) => !val[x.index()],
+                GateKind::And(xs) => xs.iter().all(|x| val[x.index()]),
+                GateKind::Or(xs) => xs.iter().any(|x| val[x.index()]),
+            };
+        }
+        val[self.output.index()]
+    }
+
+    /// Gates reachable from the output (some arena entries may be garbage
+    /// left by the builder).
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.gates.len()];
+        let mut stack = vec![self.output];
+        seen[self.output.index()] = true;
+        while let Some(g) = stack.pop() {
+            for &inp in self.gates[g.index()].inputs() {
+                if !seen[inp.index()] {
+                    seen[inp.index()] = true;
+                    stack.push(inp);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Number of gates reachable from the output.
+    pub fn reachable_size(&self) -> usize {
+        self.reachable().iter().filter(|&&b| b).count()
+    }
+
+    /// Maximum depth (longest path from an input to the output).
+    pub fn depth(&self) -> usize {
+        let mut d = vec![0usize; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            d[i] = g
+                .inputs()
+                .iter()
+                .map(|x| d[x.index()] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        d[self.output.index()]
+    }
+
+    /// The primal graph: one vertex per *reachable* gate, one undirected edge
+    /// per wire. Its treewidth is the treewidth of the circuit (paper §3.1:
+    /// "the treewidth of the undirected graph underlying C").
+    ///
+    /// Returns the graph and the map from gate index to graph vertex.
+    pub fn primal_graph(&self) -> (graphtw::Graph, Vec<Option<u32>>) {
+        let reach = self.reachable();
+        let mut vertex: Vec<Option<u32>> = vec![None; self.gates.len()];
+        let mut next = 0u32;
+        for (i, r) in reach.iter().enumerate() {
+            if *r {
+                vertex[i] = Some(next);
+                next += 1;
+            }
+        }
+        let mut g = graphtw::Graph::new(next as usize);
+        for (i, gate) in self.gates.iter().enumerate() {
+            let Some(vi) = vertex[i] else { continue };
+            for inp in gate.inputs() {
+                let vj = vertex[inp.index()].expect("input of reachable gate is reachable");
+                g.add_edge(vi, vj);
+            }
+        }
+        (g, vertex)
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (i, n, a, o) = self.gate_counts();
+        write!(
+            f,
+            "Circuit(gates={}, inputs={i}, not={n}, and={a}, or={o}, depth={})",
+            self.size(),
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn eval_basic() {
+        let mut b = CircuitBuilder::new();
+        let x = b.var(v(0));
+        let y = b.var(v(1));
+        let nx = b.not(x);
+        let g = b.or2(nx, y); // x -> y
+        let c = b.build(g);
+        assert!(c.eval(&Assignment::from_pairs([(v(0), false), (v(1), false)])));
+        assert!(!c.eval(&Assignment::from_pairs([(v(0), true), (v(1), false)])));
+        assert_eq!(c.vars().len(), 2);
+    }
+
+    #[test]
+    fn topological_violation_panics() {
+        let gates = vec![GateKind::Not(GateId(1)), GateKind::Var(v(0))];
+        let result = std::panic::catch_unwind(|| Circuit::from_parts(gates, GateId(0)));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn primal_graph_of_chain() {
+        let mut b = CircuitBuilder::new();
+        let x = b.var(v(0));
+        let y = b.var(v(1));
+        let z = b.var(v(2));
+        let a1 = b.and2(x, y);
+        let a2 = b.and2(a1, z);
+        let c = b.build(a2);
+        let (g, _) = c.primal_graph();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        // A tree: treewidth 1.
+        let (w, _) = graphtw::treewidth(&g, 10);
+        assert_eq!(w, 1);
+    }
+
+    #[test]
+    fn reachability_skips_garbage() {
+        let mut b = CircuitBuilder::new();
+        let x = b.var(v(0));
+        let _unused = b.var(v(9));
+        let g = b.not(x);
+        let c = b.build(g);
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.reachable_size(), 2);
+        let (pg, _) = c.primal_graph();
+        assert_eq!(pg.num_vertices(), 2);
+    }
+
+    #[test]
+    fn depth_and_counts() {
+        let mut b = CircuitBuilder::new();
+        let x = b.var(v(0));
+        let y = b.var(v(1));
+        let a = b.and2(x, y);
+        let na = b.not(a);
+        let c = b.build(na);
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.gate_counts(), (2, 1, 1, 0));
+    }
+}

@@ -1,0 +1,31 @@
+//! Boolean circuits over the standard basis (paper §2.1).
+//!
+//! Circuits are DAGs whose internal gates are unbounded-fanin ∧ and ∨ and
+//! fanin-1 ¬, and whose inputs are variables or constants. The crate
+//! provides:
+//!
+//! * an arena [`Circuit`] with a hash-consing [`CircuitBuilder`];
+//! * semantic analysis against the truth-table kernel: evaluation,
+//!   [`Circuit::to_boolfn`], per-gate variable sets ([`analysis`]);
+//! * the three structural properties of the paper — **decomposability**
+//!   (disjoint ∧ inputs), **determinism** (disjoint ∨ models) and
+//!   **structuredness by a vtree** — with typed violation reports;
+//! * NNF conversion and Tseitin CNF ([`transform`]);
+//! * the **primal graph** whose treewidth is the circuit treewidth
+//!   ([`Circuit::primal_graph`], feeding Lemma 1);
+//! * the circuit families used by the experiments ([`families`]);
+//! * linear-time (weighted) model counting on deterministic decomposable
+//!   circuits — the tractability that motivates the whole compilation
+//!   effort ([`count`]).
+
+pub mod analysis;
+pub mod count;
+pub mod builder;
+pub mod families;
+pub mod gate;
+pub mod transform;
+
+pub use analysis::{StructureError, StructureReport};
+pub use builder::CircuitBuilder;
+pub use gate::{Circuit, GateId, GateKind};
+pub use transform::{Clause, Cnf};

@@ -1,0 +1,267 @@
+//! Circuit transformations: negation normal form and Tseitin CNF.
+//!
+//! The Tseitin transform is included because it is the pivot of the
+//! Petke–Razgon compilation (paper Eq. 3) that Bova & Szeider's direct
+//! construction *replaces*: the experiments contrast the `O(g(k)·m)` Tseitin
+//! route (size depends on the gate count `m`) with the paper's `O(f(k)·n)`
+//! bound (depends only on the variable count `n`).
+
+use crate::builder::CircuitBuilder;
+use crate::gate::{Circuit, GateId, GateKind};
+use boolfunc::Assignment;
+use vtree::fxhash::FxHashMap;
+use vtree::VarId;
+
+impl Circuit {
+    /// Convert to negation normal form by pushing negations to the inputs
+    /// (De Morgan). Semantics preserved; size at most doubles.
+    pub fn to_nnf(&self) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let mut memo: FxHashMap<(GateId, bool), GateId> = FxHashMap::default();
+        let out = nnf_rec(self, self.output, true, &mut b, &mut memo);
+        b.build(out)
+    }
+
+    /// Tseitin transform: an equisatisfiable CNF over the circuit variables
+    /// plus one fresh selector variable per internal gate. The circuit is
+    /// satisfied by `b` iff the CNF is satisfiable with the circuit variables
+    /// fixed to `b` (and the output selector asserted).
+    ///
+    /// `fresh_base` is the first `VarId` index to use for gate selectors.
+    pub fn tseitin(&self, fresh_base: u32) -> Cnf {
+        let mut clauses: Vec<Clause> = Vec::new();
+        // Selector literal for every gate: inputs map to their variable,
+        // constants and internal gates to fresh variables.
+        let mut selector: Vec<(VarId, bool)> = Vec::with_capacity(self.size());
+        let mut next = fresh_base;
+        let mut fresh = || {
+            let v = VarId(next);
+            next += 1;
+            v
+        };
+        for (_, g) in self.iter() {
+            let lit: (VarId, bool) = match g {
+                GateKind::Var(v) => (*v, true),
+                GateKind::Const(b) => {
+                    let v = fresh();
+                    clauses.push(Clause(vec![(v, *b)]));
+                    (v, true)
+                }
+                GateKind::Not(x) => {
+                    let (xv, xp) = selector[x.index()];
+                    (xv, !xp)
+                }
+                GateKind::And(xs) => {
+                    let v = fresh();
+                    // v -> x_i  and  (x_1 ∧ … ∧ x_k) -> v
+                    let mut big = vec![(v, true)];
+                    for x in xs.iter() {
+                        let (xv, xp) = selector[x.index()];
+                        clauses.push(Clause(vec![(v, false), (xv, xp)]));
+                        big.push((xv, !xp));
+                    }
+                    clauses.push(Clause(big));
+                    (v, true)
+                }
+                GateKind::Or(xs) => {
+                    let v = fresh();
+                    let mut big = vec![(v, false)];
+                    for x in xs.iter() {
+                        let (xv, xp) = selector[x.index()];
+                        clauses.push(Clause(vec![(v, true), (xv, !xp)]));
+                        big.push((xv, xp));
+                    }
+                    clauses.push(Clause(big));
+                    (v, true)
+                }
+            };
+            selector.push(lit);
+        }
+        let (ov, op) = selector[self.output.index()];
+        clauses.push(Clause(vec![(ov, op)]));
+        Cnf {
+            clauses,
+            num_fresh: next - fresh_base,
+        }
+    }
+}
+
+fn nnf_rec(
+    c: &Circuit,
+    g: GateId,
+    positive: bool,
+    b: &mut CircuitBuilder,
+    memo: &mut FxHashMap<(GateId, bool), GateId>,
+) -> GateId {
+    if let Some(&id) = memo.get(&(g, positive)) {
+        return id;
+    }
+    let id = match c.gate(g) {
+        GateKind::Var(v) => b.literal(*v, positive),
+        GateKind::Const(k) => b.constant(*k == positive),
+        GateKind::Not(x) => nnf_rec(c, *x, !positive, b, memo),
+        GateKind::And(xs) => {
+            let inputs: Vec<GateId> = xs
+                .iter()
+                .map(|x| nnf_rec(c, *x, positive, b, memo))
+                .collect();
+            if positive {
+                b.and_many(inputs)
+            } else {
+                b.or_many(inputs)
+            }
+        }
+        GateKind::Or(xs) => {
+            let inputs: Vec<GateId> = xs
+                .iter()
+                .map(|x| nnf_rec(c, *x, positive, b, memo))
+                .collect();
+            if positive {
+                b.or_many(inputs)
+            } else {
+                b.and_many(inputs)
+            }
+        }
+    };
+    memo.insert((g, positive), id);
+    id
+}
+
+/// A clause: a disjunction of literals `(var, polarity)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Clause(pub Vec<(VarId, bool)>);
+
+impl Clause {
+    /// Evaluate under a total assignment.
+    pub fn eval(&self, a: &Assignment) -> bool {
+        self.0
+            .iter()
+            .any(|(v, p)| a.get(*v).expect("assignment covers clause") == *p)
+    }
+}
+
+/// A CNF formula.
+#[derive(Clone, Debug)]
+pub struct Cnf {
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+    /// Number of fresh (Tseitin) variables introduced.
+    pub num_fresh: u32,
+}
+
+impl Cnf {
+    /// Evaluate under a total assignment.
+    pub fn eval(&self, a: &Assignment) -> bool {
+        self.clauses.iter().all(|c| c.eval(a))
+    }
+
+    /// Total number of literal occurrences.
+    pub fn num_literals(&self) -> usize {
+        self.clauses.iter().map(|c| c.0.len()).sum()
+    }
+
+    /// The CNF as a circuit (AND of OR of literals).
+    pub fn to_circuit(&self) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let clause_gates: Vec<GateId> = self
+            .clauses
+            .iter()
+            .map(|c| {
+                let lits: Vec<GateId> = c.0.iter().map(|(v, p)| b.literal(*v, *p)).collect();
+                b.or_many(lits)
+            })
+            .collect();
+        let out = b.and_many(clause_gates);
+        b.build(out)
+    }
+
+    /// All variables mentioned.
+    pub fn vars(&self) -> boolfunc::VarSet {
+        boolfunc::VarSet::from_iter(self.clauses.iter().flat_map(|c| c.0.iter().map(|l| l.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use boolfunc::VarSet;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn nnf_preserves_semantics() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for _ in 0..10 {
+            let c = crate::families::random_circuit(5, 15, &mut rng);
+            let n = c.to_nnf();
+            n.check_nnf().unwrap();
+            assert!(c
+                .to_boolfn()
+                .unwrap()
+                .equivalent(&n.to_boolfn().unwrap()));
+        }
+    }
+
+    #[test]
+    fn nnf_of_negated_and() {
+        let mut b = CircuitBuilder::new();
+        let x = b.var(v(0));
+        let y = b.var(v(1));
+        let a = b.and2(x, y);
+        let na = b.not(a);
+        let c = b.build(na);
+        let n = c.to_nnf();
+        n.check_nnf().unwrap();
+        // ¬(x ∧ y) ≡ ¬x ∨ ¬y
+        let f = n.to_boolfn().unwrap();
+        assert_eq!(f.count_models(), 3);
+    }
+
+    #[test]
+    fn tseitin_equisatisfiable_pointwise() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let c = crate::families::random_circuit(4, 10, &mut rng);
+        let cnf = c.tseitin(100);
+        let cvars = c.vars();
+        let all = cnf.vars().union(&cvars);
+        let fresh = all.difference(&cvars);
+        // For each circuit assignment: circuit accepts iff CNF satisfiable
+        // with the circuit vars pinned.
+        for idx in 0..(1u64 << cvars.len()) {
+            let base = Assignment::from_index(&cvars, idx);
+            let mut sat = false;
+            for fidx in 0..(1u64 << fresh.len()) {
+                let fa = Assignment::from_index(&fresh, fidx);
+                if cnf.eval(&base.union(&fa)) {
+                    sat = true;
+                    break;
+                }
+            }
+            assert_eq!(c.eval(&base), sat, "assignment {idx}");
+        }
+    }
+
+    #[test]
+    fn cnf_roundtrip_circuit() {
+        let cnf = Cnf {
+            clauses: vec![
+                Clause(vec![(v(0), true), (v(1), false)]),
+                Clause(vec![(v(1), true)]),
+            ],
+            num_fresh: 0,
+        };
+        let c = cnf.to_circuit();
+        let f = c.to_boolfn().unwrap();
+        // (x0 ∨ ¬x1) ∧ x1 ≡ x0 ∧ x1
+        let expect = boolfunc::BoolFn::from_fn(
+            VarSet::from_iter([v(0), v(1)]),
+            |i| i == 0b11,
+        );
+        assert!(f.equivalent(&expect));
+    }
+}

@@ -1,0 +1,170 @@
+//! Every numeric bound of the paper, as checkable functions.
+//!
+//! The bounds are doubly/triply exponential, so each is exposed both as an
+//! exact saturating `u128` (when it fits) and as a `log₂` value in `f64`
+//! (always). Experiment E6/E7 compares these against measured widths.
+
+/// A bound that may exceed `u128`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Bound {
+    /// `log₂` of the bound.
+    pub log2: f64,
+}
+
+impl Bound {
+    fn from_log2(log2: f64) -> Self {
+        Bound { log2 }
+    }
+
+    /// The bound as an integer, if it fits in `u128`.
+    pub fn as_u128(self) -> Option<u128> {
+        if self.log2 < 127.0 {
+            Some((self.log2.exp2()).round() as u128)
+        } else {
+            None
+        }
+    }
+
+    /// Does `value` respect the bound?
+    pub fn admits(self, value: u128) -> bool {
+        (value as f64).log2() <= self.log2 + 1e-9
+    }
+}
+
+/// Lemma 1: `fw(F) ≤ 2^{(k+2)·2^{k+1}}` for `k = ctw(F)`.
+pub fn lemma1_fw_bound(k: usize) -> Bound {
+    Bound::from_log2((k as f64 + 2.0) * (k as f64 + 1.0).exp2())
+}
+
+/// Eq. (22): `fiw(F) ≤ fw(F)²`.
+pub fn eq22_fiw_from_fw(fw: usize) -> u128 {
+    (fw as u128).saturating_mul(fw as u128)
+}
+
+/// Eq. (22) chained through Lemma 1: `fiw(F) ≤ 2^{(k+2)·2^{k+2}}`.
+pub fn eq22_fiw_bound(k: usize) -> Bound {
+    Bound::from_log2((k as f64 + 2.0) * (k as f64 + 2.0).exp2())
+}
+
+/// Eq. (29), first inequality: `sdw(F) ≤ 2^{2·fw(F)+1}`.
+pub fn eq29_sdw_from_fw(fw: usize) -> Bound {
+    Bound::from_log2(2.0 * fw as f64 + 1.0)
+}
+
+/// Eq. (29) chained through Lemma 1:
+/// `sdw(F) ≤ 2^{2^{(k+2)·2^{k+1}+1}+1}`.
+pub fn eq29_sdw_bound(k: usize) -> Bound {
+    let inner = (k as f64 + 2.0) * (k as f64 + 1.0).exp2() + 1.0;
+    Bound::from_log2(inner.exp2() + 1.0)
+}
+
+/// Proposition 2 / Eq. (23): `ctw(F) ≤ 3·fiw(F)`.
+pub fn prop2_ctw_from_fiw(fiw: usize) -> usize {
+    3 * fiw
+}
+
+/// Eq. (30): `ctw(F) ≤ 3·sdw(F)`.
+pub fn eq30_ctw_from_sdw(sdw: usize) -> usize {
+    3 * sdw
+}
+
+/// Theorem 3's gate count: `|C_{F,T}| ≤ 2n + 1 + 3·k·(n−1)` for `k = fiw`.
+pub fn thm3_size(fiw: usize, n: usize) -> usize {
+    2 * n + 1 + 3 * fiw * n.saturating_sub(1)
+}
+
+/// Theorem 4's gate count: `|S_{F,T}| ≤ 2(n+1) + 3·k·(n−1)` for `k = sdw`.
+/// (We compare against element counts, which the same bound dominates.)
+pub fn thm4_size(sdw: usize, n: usize) -> usize {
+    2 * (n + 1) + 3 * sdw * n.saturating_sub(1)
+}
+
+/// Eq. (4) / Result 1: SDD size `O(f(k)·n)` — the linear-in-n form with the
+/// Lemma-1 constant.
+pub fn result1_size_bound(k: usize, n: usize) -> Bound {
+    let width = eq29_sdw_bound(k);
+    Bound::from_log2(width.log2 + (n.max(1) as f64).log2() + 2.0)
+}
+
+/// Eq. (1), Jha–Suciu: OBDD size `n^{O(f(k))}` with `f` double exponential —
+/// returned as the exponent `f(k) = 2^{(k+2)·2^{k+1}}` so experiments can
+/// report `n^{f(k)}` vs the paper's linear bound.
+pub fn eq1_obdd_exponent(k: usize) -> Bound {
+    lemma1_fw_bound(k)
+}
+
+/// Eq. (3), Petke–Razgon: decomposable (non-deterministic) forms of size
+/// `O(g(k)·m)` with `g` single exponential; `m` = circuit size.
+pub fn eq3_petke_razgon(k: usize, m: usize) -> Bound {
+    Bound::from_log2(k as f64 + (m.max(1) as f64).log2())
+}
+
+/// Theorem 5: deterministic structured NNF size of an inversion-`k` lineage
+/// on `Θ(n²)` variables is at least `2^{n/(5k)} − 1` (from the proof's
+/// Claims 3–4).
+pub fn thm5_lower(n: usize, k: usize) -> Bound {
+    Bound::from_log2(n as f64 / (5.0 * k.max(1) as f64))
+}
+
+/// Proposition 3: `ISA_n` has SDD size `O(n^{13/5})`.
+pub fn prop3_isa_sdd_size(n: usize) -> Bound {
+    Bound::from_log2(2.6 * (n.max(2) as f64).log2() + 4.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma1_values() {
+        // k = 0: 2^(2·2) = 16; k = 1: 2^(3·4) = 4096; k = 2: 2^(4·8) = 2^32.
+        assert_eq!(lemma1_fw_bound(0).as_u128(), Some(16));
+        assert_eq!(lemma1_fw_bound(1).as_u128(), Some(4096));
+        assert_eq!(lemma1_fw_bound(2).as_u128(), Some(1 << 32));
+        // k = 5: 2^(7·64) = 2^448 — beyond u128 but log2 is finite.
+        assert_eq!(lemma1_fw_bound(5).as_u128(), None);
+        assert!((lemma1_fw_bound(5).log2 - 448.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_are_monotone() {
+        for k in 0..6 {
+            assert!(lemma1_fw_bound(k).log2 < lemma1_fw_bound(k + 1).log2);
+            assert!(eq22_fiw_bound(k).log2 < eq22_fiw_bound(k + 1).log2);
+            assert!(eq29_sdw_bound(k).log2 < eq29_sdw_bound(k + 1).log2);
+        }
+    }
+
+    #[test]
+    fn fiw_is_fw_squared() {
+        assert_eq!(eq22_fiw_from_fw(7), 49);
+        // Chained: fiw bound = (fw bound)^2 in log2 terms.
+        for k in 0..4 {
+            let a = 2.0 * lemma1_fw_bound(k).log2;
+            let b = eq22_fiw_bound(k).log2;
+            assert!((a - b).abs() < 1e-9, "k={k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn admits_behaviour() {
+        let b = lemma1_fw_bound(1); // 4096
+        assert!(b.admits(4096));
+        assert!(b.admits(2));
+        assert!(!b.admits(5000));
+    }
+
+    #[test]
+    fn linear_sizes() {
+        assert_eq!(thm3_size(4, 10), 20 + 1 + 3 * 4 * 9);
+        assert_eq!(thm4_size(4, 10), 22 + 3 * 4 * 9);
+    }
+
+    #[test]
+    fn thm5_growth() {
+        // Doubling n doubles the exponent; growing k shrinks it.
+        assert!(thm5_lower(100, 1).log2 > thm5_lower(50, 1).log2);
+        assert!(thm5_lower(100, 2).log2 < thm5_lower(100, 1).log2);
+        assert!((thm5_lower(100, 1).log2 - 20.0).abs() < 1e-9);
+    }
+}

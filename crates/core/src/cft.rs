@@ -1,0 +1,249 @@
+//! The canonical deterministic structured NNF `C_{F,T}` (paper §3.2.1,
+//! Eqs. 17–21, Lemma 4, Theorem 3) and factorized implicant width
+//! (Definition 4).
+//!
+//! For every vtree node `v` and factor `H` of `F` relative to `Y_v`, the
+//! construction produces a circuit `C_{v,H}` computing the *guard* of `H`:
+//!
+//! * leaf `v = {x}`: `⊤`, `x` or `¬x`, depending on the guard (Eqs. 17–19);
+//! * internal `v`: `⋁_{(G,G') ∈ impl(F,H,Y_w,Y_w')} (C_{w,G} ∧ C_{w',G'})`
+//!   (Eq. 20) — deterministic by Lemma 3, structured by `v`.
+//!
+//! `C_{F,T} = C_{r,F}` where at the root the factor whose cofactor is the
+//! constant-1 function over `∅` *is* `F` (Eq. 21).
+
+use crate::implicants::{ImplicantTable, VtreeFactors};
+use boolfunc::BoolFn;
+use circuit::{Circuit, CircuitBuilder, GateId};
+use vtree::Vtree;
+
+/// Output of the `C_{F,T}` construction.
+pub struct CftResult {
+    /// The canonical deterministic structured NNF computing `F`.
+    pub circuit: Circuit,
+    /// ∧-gates structured by each vtree node (Definition 4's per-node count).
+    pub and_gates_per_node: Vec<usize>,
+    /// `fiw(F, T) = max_v` of the above.
+    pub fiw: usize,
+    /// `fw(F, T)` measured along the way (Definition 2).
+    pub fw: usize,
+}
+
+/// Build `C_{F,T}`.
+///
+/// The vtree must cover the support of `f`; extra (dummy) leaves are allowed
+/// and produce `⊤`-guard leaves exactly as in the paper's Lemma 1 vtrees.
+pub fn cft(f: &BoolFn, t: &Vtree) -> CftResult {
+    assert!(
+        f.vars().iter().all(|v| t.contains_var(v)),
+        "vtree must cover the support"
+    );
+    let ctx = VtreeFactors::compute(f, t);
+    let mut b = CircuitBuilder::new();
+    // gate[v][h] = gate computing the guard of factor h at node v.
+    let mut gate: Vec<Vec<GateId>> = vec![Vec::new(); t.num_nodes()];
+    let mut and_gates_per_node = vec![0usize; t.num_nodes()];
+    // Vtree arenas store children before parents: one bottom-up pass.
+    for v in t.node_ids() {
+        if t.is_leaf(v) {
+            gate[v.index()] = ctx
+                .at(v)
+                .iter()
+                .map(|fac| guard_leaf_gate(&mut b, &fac.guard))
+                .collect();
+        } else {
+            let (w, w2) = t.children(v).expect("internal");
+            let table = ImplicantTable::build(&ctx, v);
+            and_gates_per_node[v.index()] = table.num_pairs();
+            gate[v.index()] = (0..ctx.at(v).len())
+                .map(|h| {
+                    let terms: Vec<GateId> = table
+                        .implicants_of(h)
+                        .into_iter()
+                        .map(|(i, j)| {
+                            let gl = gate[w.index()][i];
+                            let gr = gate[w2.index()][j];
+                            b.and2(gl, gr)
+                        })
+                        .collect();
+                    b.or_fold(&terms)
+                })
+                .collect();
+        }
+    }
+    // Root: the factor inducing the constant-1 cofactor over ∅ is F itself.
+    let root = t.root();
+    let out = ctx
+        .at(root)
+        .iter()
+        .position(|fac| fac.cofactor.as_constant() == Some(true))
+        .map(|h| gate[root.index()][h])
+        .unwrap_or_else(|| b.constant(false)); // F unsatisfiable
+    let circuit = b.build(out);
+    CftResult {
+        circuit,
+        fiw: and_gates_per_node.iter().copied().max().unwrap_or(0),
+        and_gates_per_node,
+        fw: ctx.width(),
+    }
+}
+
+/// Leaf cases (Eqs. 17–19): the guard over at most one variable is `⊤`, `x`
+/// or `¬x`.
+fn guard_leaf_gate(b: &mut CircuitBuilder, guard: &BoolFn) -> GateId {
+    match guard.num_vars() {
+        0 => b.constant(true), // dummy leaf or inessential variable
+        1 => {
+            let v = guard.vars().iter().next().expect("one var");
+            match (guard.eval_index(0), guard.eval_index(1)) {
+                (true, true) => b.constant(true),
+                (false, true) => b.literal(v, true),
+                (true, false) => b.literal(v, false),
+                (false, false) => unreachable!("factor guards are nonempty"),
+            }
+        }
+        _ => unreachable!("leaf guards have at most one variable"),
+    }
+}
+
+/// `fiw(F) = min_T fiw(F, T)` by exhaustive vtree enumeration over the
+/// essential support (guarded by `max_n`; `(2n−3)!!` vtrees).
+pub fn min_fiw(f: &BoolFn, max_n: usize) -> (usize, Vtree) {
+    let ess = f.minimize_support();
+    let vars: Vec<_> = ess.vars().iter().collect();
+    if vars.is_empty() {
+        let v = f.vars().iter().next().unwrap_or(vtree::VarId(0));
+        let t = Vtree::right_linear(&[v]).expect("single leaf");
+        return (cft(&ess, &t).fiw, t);
+    }
+    let mut best: Option<(usize, Vtree)> = None;
+    for t in vtree::all_vtrees(&vars, max_n) {
+        let w = cft(&ess, &t).fiw;
+        if best.as_ref().is_none_or(|(bw, _)| w < *bw) {
+            best = Some((w, t));
+        }
+    }
+    best.expect("at least one vtree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolfunc::{families, VarSet};
+    use vtree::VarId;
+
+    fn vars(n: u32) -> Vec<VarId> {
+        (0..n).map(VarId).collect()
+    }
+
+    /// Lemma 4: `C_{F,T}` computes `F`, is deterministic, and is structured
+    /// by `T` — on random functions and random vtrees.
+    #[test]
+    fn lemma4_all_properties() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for trial in 0..15 {
+            let f = BoolFn::random(VarSet::from_slice(&vars(5)), &mut rng);
+            let t = Vtree::random(&vars(5), &mut rng).unwrap();
+            let r = cft(&f, &t);
+            let g = r.circuit.to_boolfn().unwrap();
+            assert!(g.equivalent(&f), "trial {trial}: C_F,T ≢ F");
+            r.circuit.check_nnf().unwrap();
+            r.circuit.check_decomposable().unwrap();
+            r.circuit.check_deterministic().unwrap();
+            r.circuit.check_structured_by(&t).unwrap();
+        }
+    }
+
+    /// Theorem 3: |C_{F,T}| ≤ 2n + 1 + 3·fiw·(n−1) (the paper's gate count).
+    #[test]
+    fn theorem3_size_bound() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let n = 6usize;
+            let f = BoolFn::random(VarSet::from_slice(&vars(n as u32)), &mut rng);
+            let t = Vtree::balanced(&vars(n as u32)).unwrap();
+            let r = cft(&f, &t);
+            let bound = crate::bounds::thm3_size(r.fiw, n);
+            assert!(
+                r.circuit.reachable_size() <= bound,
+                "size {} exceeds O(kn) bound {bound}",
+                r.circuit.reachable_size()
+            );
+        }
+    }
+
+    /// Parity: fiw = 4 (2 factors on each side, all pairs used), size O(n).
+    #[test]
+    fn parity_linear_size() {
+        for n in [4u32, 6, 8, 10] {
+            let f = families::parity(&vars(n));
+            let t = Vtree::balanced(&vars(n)).unwrap();
+            let r = cft(&f, &t);
+            assert_eq!(r.fw, 2);
+            assert_eq!(r.fiw, 4);
+            assert!(
+                r.circuit.reachable_size() <= 13 * n as usize,
+                "n={n}: size {}",
+                r.circuit.reachable_size()
+            );
+            assert!(r.circuit.to_boolfn().unwrap().equivalent(&f));
+        }
+    }
+
+    /// Constants and unsatisfiable functions.
+    #[test]
+    fn degenerate_functions() {
+        let t = Vtree::balanced(&vars(3)).unwrap();
+        let bot = BoolFn::constant(VarSet::from_slice(&vars(3)), false);
+        let r = cft(&bot, &t);
+        assert_eq!(r.circuit.to_boolfn().unwrap().as_constant(), Some(false));
+        let top = BoolFn::constant(VarSet::from_slice(&vars(3)), true);
+        let r = cft(&top, &t);
+        assert_eq!(r.circuit.to_boolfn().unwrap().as_constant(), Some(true));
+    }
+
+    /// Dummy vtree leaves (variables outside the support) are handled as ⊤
+    /// guards — the shape Lemma 1 vtrees produce.
+    #[test]
+    fn dummy_leaves_ok() {
+        let f = BoolFn::literal(VarId(0), true).and(&BoolFn::literal(VarId(2), true));
+        let t = Vtree::balanced(&vars(4)).unwrap(); // x1, x3 are dummies
+        let r = cft(&f, &t);
+        assert!(r.circuit.to_boolfn().unwrap().equivalent(&f));
+        r.circuit.check_structured_by(&t).unwrap();
+    }
+
+    /// fiw minimization beats bad vtrees on the pair-matching function.
+    #[test]
+    fn min_fiw_finds_good_tree() {
+        let eq02 = BoolFn::literal(VarId(0), true)
+            .xor(&BoolFn::literal(VarId(2), true))
+            .not();
+        let eq13 = BoolFn::literal(VarId(1), true)
+            .xor(&BoolFn::literal(VarId(3), true))
+            .not();
+        let f = eq02.and(&eq13);
+        let bad = Vtree::balanced(&vars(4)).unwrap();
+        let w_bad = cft(&f, &bad).fiw;
+        let (w_min, t_min) = min_fiw(&f, 4);
+        assert!(w_min < w_bad, "min {w_min} !< bad {w_bad}");
+        assert!(cft(&f, &t_min).circuit.to_boolfn().unwrap().equivalent(&f));
+    }
+
+    /// On a right-linear (OBDD) vtree, C_{F,T} is an OBDD in circuit form:
+    /// its per-node ∧-gate count relates to OBDD width (§1, Eq. 2 discussion:
+    /// the construction "compiles a circuit of pathwidth k into an OBDD").
+    #[test]
+    fn right_linear_vtree_tracks_obdd_width() {
+        let f = families::parity(&vars(6));
+        let t = Vtree::right_linear(&vars(6)).unwrap();
+        let r = cft(&f, &t);
+        let mut m = obdd::Obdd::new(vars(6));
+        let root = m.from_boolfn(&f);
+        let w = m.width(root);
+        // Each OBDD node at a level yields at most 2 implicant pairs.
+        assert!(r.fiw <= 2 * (w + 1), "fiw {} vs OBDD width {w}", r.fiw);
+    }
+}

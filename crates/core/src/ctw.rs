@@ -1,0 +1,156 @@
+//! Circuit treewidth tooling (Result 2 / Proposition 1, constructive
+//! substitute — see DESIGN.md substitution S2).
+//!
+//! Proposition 1 proves `ctw(F)` computable via Seese's decidability of MSO
+//! on bounded-treewidth graphs — a result with no implementable algorithm.
+//! This module replaces it by *constructive* two-sided bounds that decide
+//! `ctw(F) ≤ k` whenever they meet:
+//!
+//! * **upper bounds**: exact treewidth of concrete circuits computing `F`
+//!   (its minterm DNF; the paper's own `C_{F,T}` over a good vtree, which by
+//!   Proposition 2 has treewidth ≤ 3·fiw(F));
+//! * **lower bounds**: Lemma 1 read contrapositively — if
+//!   `fw(F) > 2^{(k+2)·2^{k+1}}` then `ctw(F) > k` (weak but sound, as the
+//!   bound is triple exponential), plus the trivial edge bound.
+
+use crate::bounds;
+use boolfunc::{min_factor_width, BoolFn};
+use circuit::Circuit;
+
+/// The treewidth of a given circuit (exact when the primal graph is small).
+pub fn treewidth_of_circuit(c: &Circuit, exact_limit: usize) -> usize {
+    let (g, _) = c.primal_graph();
+    graphtw::treewidth(&g, exact_limit).0
+}
+
+/// Constructive upper bound on `ctw(F)`: the best treewidth among candidate
+/// circuits computing `F`. Returns `(bound, witness circuit)`.
+///
+/// `enum_limit` guards the vtree enumerations (`min_fiw`), `exact_tw_limit`
+/// the exact treewidth computations.
+pub fn ctw_upper(f: &BoolFn, enum_limit: usize, exact_tw_limit: usize) -> (usize, Circuit) {
+    let mut candidates: Vec<Circuit> = Vec::new();
+    // Minterm DNF (Proposition 1's starting point for the search cap).
+    candidates.push(circuit::families::dnf_of(f));
+    // The paper's own compilation: C_{F,T} over a balanced vtree.
+    let ess = f.minimize_support();
+    if !ess.vars().is_empty() {
+        let vars: Vec<_> = ess.vars().iter().collect();
+        let t = vtree::Vtree::balanced(&vars).expect("nonempty");
+        candidates.push(crate::cft::cft(&ess, &t).circuit);
+        // And over the fiw-minimizing vtree when enumeration is feasible.
+        if vars.len() <= enum_limit {
+            let (_, t_best) = crate::cft::min_fiw(&ess, enum_limit);
+            candidates.push(crate::cft::cft(&ess, &t_best).circuit);
+        }
+    }
+    candidates
+        .into_iter()
+        .map(|c| (treewidth_of_circuit(&c, exact_tw_limit), c))
+        .min_by_key(|(w, _)| *w)
+        .expect("at least one candidate")
+}
+
+/// Sound lower bound on `ctw(F)` via Lemma 1's contrapositive. Requires the
+/// exact factor width, hence the vtree enumeration guard.
+pub fn ctw_lower(f: &BoolFn, enum_limit: usize) -> usize {
+    let ess = f.minimize_support();
+    if ess.vars().is_empty() {
+        return 0;
+    }
+    let (fw, _) = min_factor_width(&ess, enum_limit);
+    // Smallest k with fw ≤ lemma1_fw_bound(k); ctw ≥ that k.
+    let mut k = 0;
+    while !bounds::lemma1_fw_bound(k).admits(fw as u128) {
+        k += 1;
+    }
+    k
+}
+
+/// Decide `ctw(F) ≤ k` when the constructive bounds suffice; `None` when
+/// they do not meet (the honest outcome of replacing Seese's theorem).
+pub fn decide_ctw_le(
+    f: &BoolFn,
+    k: usize,
+    enum_limit: usize,
+    exact_tw_limit: usize,
+) -> Option<bool> {
+    let (upper, _) = ctw_upper(f, enum_limit, exact_tw_limit);
+    if upper <= k {
+        return Some(true);
+    }
+    if ctw_lower(f, enum_limit) > k {
+        return Some(false);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolfunc::{families, VarSet};
+    use vtree::VarId;
+
+    fn vars(n: u32) -> Vec<VarId> {
+        (0..n).map(VarId).collect()
+    }
+
+    #[test]
+    fn literal_has_ctw_zero() {
+        let f = BoolFn::literal(VarId(0), true);
+        let (u, _) = ctw_upper(&f, 4, 12);
+        assert_eq!(u, 0);
+        assert_eq!(decide_ctw_le(&f, 0, 4, 12), Some(true));
+    }
+
+    #[test]
+    fn parity_has_small_ctw_upper() {
+        let f = families::parity(&vars(4));
+        let (u, witness) = ctw_upper(&f, 4, 14);
+        assert!(u <= 4, "parity ctw upper {u}");
+        assert!(witness.to_boolfn().unwrap().equivalent(&f));
+    }
+
+    #[test]
+    fn lower_bound_sound() {
+        // Lemma 1's bound at k=0 is 16, so any function with fw ≤ 16 gets
+        // lower bound 0 — sound, if weak.
+        let f = families::majority(&vars(5));
+        let l = ctw_lower(&f, 5);
+        let (u, _) = ctw_upper(&f, 5, 14);
+        assert!(l <= u, "lower {l} > upper {u}");
+    }
+
+    #[test]
+    fn decide_is_consistent() {
+        let f = families::parity(&vars(4));
+        let (u, _) = ctw_upper(&f, 4, 14);
+        assert_eq!(decide_ctw_le(&f, u, 4, 14), Some(true));
+        // Below the lower bound, must say false (here lower is likely 0, so
+        // only check that the API does not contradict itself).
+        if let Some(ans) = decide_ctw_le(&f, 0, 4, 14) {
+            if ans {
+                assert!(u <= 3);
+            }
+        }
+    }
+
+    /// Proposition 2 in action: ctw(F) ≤ 3·fiw(F), verified by measuring the
+    /// treewidth of the C_{F,T} witness.
+    #[test]
+    fn prop2_via_witness() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        for _ in 0..5 {
+            let f = BoolFn::random(VarSet::from_slice(&vars(4)), &mut rng);
+            let (fiw, t) = crate::cft::min_fiw(&f, 4);
+            let witness = crate::cft::cft(&f.minimize_support(), &t).circuit;
+            let tw = treewidth_of_circuit(&witness, 18);
+            assert!(
+                tw <= crate::bounds::prop2_ctw_from_fiw(fiw).max(1),
+                "tw {tw} > 3·fiw = {}",
+                3 * fiw
+            );
+        }
+    }
+}

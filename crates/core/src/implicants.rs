@@ -1,0 +1,244 @@
+//! Factorized implicants (paper §3.2.1, Definition 3) and their disjoint
+//! rectangle covers (Lemmas 2, 3, 5).
+//!
+//! Fix a function `F` and a vtree `T`. At an internal node `v` with children
+//! `w, w'`, every pair `(G, G')` of factors of `F` relative to `(Y_w, Y_w')`
+//! spans a rectangle `sat(G) × sat(G')` that is either **contained in** or
+//! **disjoint from** each factor `H` of `F` relative to `Y_v` (Lemma 2) — so
+//! each pair belongs to exactly one `H`, and the pairs belonging to `H` form
+//! a disjoint rectangle cover of `H` (Lemma 3). [`ImplicantTable`] registers
+//! this classification; the `C_{F,T}` and `S_{F,T}` constructions read
+//! decompositions straight out of it.
+
+use boolfunc::{factors, Assignment, BoolFn, Factor, Rectangle, RectangleCover, VarSet};
+use vtree::{Vtree, VtreeNodeId};
+
+/// Factors of `F` relative to `Y_v` for every node `v` of a vtree.
+pub struct VtreeFactors<'a> {
+    /// The function being decomposed.
+    pub f: &'a BoolFn,
+    /// The vtree.
+    pub vtree: &'a Vtree,
+    /// `per_node[v] = factors(F, Y_v)`, indexed by vtree node id.
+    pub per_node: Vec<Vec<Factor>>,
+}
+
+impl<'a> VtreeFactors<'a> {
+    /// Compute factors at every vtree node. The vtree may contain variables
+    /// outside the support (Eq. 9) and need not cover the support (callers
+    /// normally ensure it does).
+    pub fn compute(f: &'a BoolFn, vtree: &'a Vtree) -> Self {
+        let per_node = vtree
+            .node_ids()
+            .map(|v| factors(f, &VarSet::from_slice(vtree.vars_below(v))))
+            .collect();
+        VtreeFactors {
+            f,
+            vtree,
+            per_node,
+        }
+    }
+
+    /// Factors at node `v`.
+    pub fn at(&self, v: VtreeNodeId) -> &[Factor] {
+        &self.per_node[v.index()]
+    }
+
+    /// `fw(F, T)` — the maximum factor count over all nodes (Definition 2).
+    pub fn width(&self) -> usize {
+        self.per_node.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Index of the factor at `v` whose guard accepts the combined
+    /// assignment of one guard model from the left child and one from the
+    /// right child.
+    fn classify_pair(&self, v: VtreeNodeId, left: &Factor, right: &Factor) -> usize {
+        let bl = left
+            .guard
+            .any_model()
+            .expect("factor guards are nonempty");
+        let br = right
+            .guard
+            .any_model()
+            .expect("factor guards are nonempty");
+        let al = Assignment::from_index(left.guard.vars(), bl);
+        let ar = Assignment::from_index(right.guard.vars(), br);
+        let combined = al.union(&ar);
+        self.at(v)
+            .iter()
+            .position(|h| {
+                // Guard of h is over Y_v ∩ X = (Y_w ∪ Y_w') ∩ X.
+                h.guard.eval(&combined.restrict_to(h.guard.vars()))
+            })
+            .expect("factors partition the assignment space (Eq. 10)")
+    }
+}
+
+/// The classification of factor pairs at an internal vtree node: Lemma 2
+/// guarantees each `(left factor, right factor)` pair lies in exactly one
+/// parent factor.
+pub struct ImplicantTable {
+    /// `class[i][j]` = index (into `factors(F, Y_v)`) of the parent factor
+    /// containing `sat(G_i) × sat(G'_j)`.
+    pub class: Vec<Vec<usize>>,
+}
+
+impl ImplicantTable {
+    /// Build the table for internal node `v`.
+    pub fn build(ctx: &VtreeFactors<'_>, v: VtreeNodeId) -> Self {
+        let (w, w2) = ctx
+            .vtree
+            .children(v)
+            .expect("implicant table needs an internal node");
+        let left = ctx.at(w);
+        let right = ctx.at(w2);
+        let class = left
+            .iter()
+            .map(|g| {
+                right
+                    .iter()
+                    .map(|g2| ctx.classify_pair(v, g, g2))
+                    .collect()
+            })
+            .collect();
+        ImplicantTable { class }
+    }
+
+    /// `impl(F, H, Y_w, Y_w')` — the factorized implicants of parent factor
+    /// `h` (by index): the `(left, right)` factor index pairs contained in it.
+    pub fn implicants_of(&self, h: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, row) in self.class.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                if c == h {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of pairs (= ∧-gates contributed at this node by the
+    /// `C_{F,T}` construction).
+    pub fn num_pairs(&self) -> usize {
+        self.class.iter().map(Vec::len).sum()
+    }
+}
+
+/// Lemma 3 as data: the disjoint rectangle cover of parent factor `h` at
+/// node `v`, made of the guard rectangles of its factorized implicants.
+pub fn rectangle_cover_of_factor(
+    ctx: &VtreeFactors<'_>,
+    v: VtreeNodeId,
+    h: usize,
+) -> RectangleCover {
+    let table = ImplicantTable::build(ctx, v);
+    let (w, w2) = ctx.vtree.children(v).expect("internal node");
+    let rects = table
+        .implicants_of(h)
+        .into_iter()
+        .map(|(i, j)| {
+            Rectangle::new(
+                ctx.at(w)[i].guard.clone(),
+                ctx.at(w2)[j].guard.clone(),
+            )
+        })
+        .collect();
+    RectangleCover { rects }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolfunc::families;
+    use vtree::VarId;
+
+    fn vars(n: u32) -> Vec<VarId> {
+        (0..n).map(VarId).collect()
+    }
+
+    /// Lemma 2: every pair of child factors is contained in or disjoint from
+    /// each parent factor — verified exhaustively, not just via the
+    /// representative-point shortcut the implementation uses.
+    #[test]
+    fn lemma2_containment_or_disjointness() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let f = BoolFn::random(VarSet::from_slice(&vars(6)), &mut rng);
+            let vt = Vtree::random(&vars(6), &mut rng).unwrap();
+            let ctx = VtreeFactors::compute(&f, &vt);
+            for v in vt.internal_nodes() {
+                let (w, w2) = vt.children(v).unwrap();
+                for g in ctx.at(w) {
+                    for g2 in ctx.at(w2) {
+                        let rect = g.guard.and(&g2.guard);
+                        for h in ctx.at(v) {
+                            let inter = rect.and(&h.guard).count_models();
+                            assert!(
+                                inter == 0 || inter == rect.count_models(),
+                                "rectangle neither contained nor disjoint"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lemma 3: the implicants of each parent factor form a disjoint
+    /// rectangle cover of it.
+    #[test]
+    fn lemma3_disjoint_rectangle_cover() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for _ in 0..10 {
+            let f = BoolFn::random(VarSet::from_slice(&vars(5)), &mut rng);
+            let vt = Vtree::random(&vars(5), &mut rng).unwrap();
+            let ctx = VtreeFactors::compute(&f, &vt);
+            for v in vt.internal_nodes() {
+                for (h_idx, h) in ctx.at(v).iter().enumerate() {
+                    let cover = rectangle_cover_of_factor(&ctx, v, h_idx);
+                    cover.check_disjoint_cover_of(&h.guard).unwrap_or_else(|e| {
+                        panic!("Lemma 3 violated at {v:?} factor {h_idx}: {e}")
+                    });
+                }
+            }
+        }
+    }
+
+    /// Every pair belongs to exactly one parent factor, so the pair count
+    /// decomposes.
+    #[test]
+    fn pairs_partition() {
+        let (f, xs, ys) = families::disjointness(3);
+        let mut interleaved = Vec::new();
+        for i in 0..3 {
+            interleaved.push(xs[i]);
+            interleaved.push(ys[i]);
+        }
+        let vt = Vtree::balanced(&interleaved).unwrap();
+        let ctx = VtreeFactors::compute(&f, &vt);
+        for v in vt.internal_nodes() {
+            let t = ImplicantTable::build(&ctx, v);
+            let total: usize = (0..ctx.at(v).len()).map(|h| t.implicants_of(h).len()).sum();
+            assert_eq!(total, t.num_pairs());
+        }
+    }
+
+    /// fw of parity is 2 on every vtree; the implicant table at each node is
+    /// the XOR pairing.
+    #[test]
+    fn parity_implicant_structure() {
+        let f = families::parity(&vars(4));
+        let vt = Vtree::balanced(&vars(4)).unwrap();
+        let ctx = VtreeFactors::compute(&f, &vt);
+        assert_eq!(ctx.width(), 2);
+        let root = vt.root();
+        let t = ImplicantTable::build(&ctx, root);
+        // 2x2 pairs, two per parent factor.
+        assert_eq!(t.num_pairs(), 4);
+        assert_eq!(t.implicants_of(0).len(), 2);
+        assert_eq!(t.implicants_of(1).len(), 2);
+    }
+}

@@ -1,0 +1,313 @@
+//! Tree decompositions, built from elimination orders and fully validated.
+
+use crate::elimination::EliminationOrder;
+use crate::graph::Graph;
+use std::fmt;
+use vtree::fxhash::FxHashSet;
+
+/// A rooted tree decomposition: `bags[i]` is the vertex set of node `i`,
+/// `parent[i]` its parent (`None` for the root).
+#[derive(Clone, Debug)]
+pub struct TreeDecomposition {
+    bags: Vec<Vec<u32>>,
+    parent: Vec<Option<usize>>,
+    root: usize,
+}
+
+/// Violations of the tree-decomposition invariants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TdError {
+    /// Some graph vertex appears in no bag.
+    VertexNotCovered(u32),
+    /// Some graph edge appears in no bag.
+    EdgeNotCovered(u32, u32),
+    /// The bags containing a vertex do not form a connected subtree.
+    NotConnected(u32),
+    /// Parent pointers do not form a tree rooted at `root`.
+    MalformedTree,
+}
+
+impl fmt::Display for TdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TdError::VertexNotCovered(v) => write!(f, "vertex {v} in no bag"),
+            TdError::EdgeNotCovered(u, v) => write!(f, "edge ({u},{v}) in no bag"),
+            TdError::NotConnected(v) => write!(f, "bags containing {v} are disconnected"),
+            TdError::MalformedTree => write!(f, "parent pointers do not form a rooted tree"),
+        }
+    }
+}
+
+impl std::error::Error for TdError {}
+
+impl TreeDecomposition {
+    /// Construct directly (used by tests and by the nice-TD builder).
+    pub fn from_parts(bags: Vec<Vec<u32>>, parent: Vec<Option<usize>>, root: usize) -> Self {
+        let mut bags = bags;
+        for b in &mut bags {
+            b.sort_unstable();
+            b.dedup();
+        }
+        TreeDecomposition { bags, parent, root }
+    }
+
+    /// The classical clique-tree construction from an elimination order:
+    /// the bag of `v` is `{v} ∪ N(v)` at elimination time, attached to the
+    /// bag of the earliest-eliminated higher neighbor.
+    pub fn from_elimination_order(g: &Graph, order: &EliminationOrder) -> Self {
+        let n = g.num_vertices();
+        assert_eq!(order.len(), n, "order must cover all vertices");
+        if n == 0 {
+            return TreeDecomposition {
+                bags: vec![Vec::new()],
+                parent: vec![None],
+                root: 0,
+            };
+        }
+        let mut pos = vec![0usize; n];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v as usize] = i;
+        }
+        // Simulate elimination to collect bags.
+        let mut adj: Vec<FxHashSet<u32>> = (0..n as u32)
+            .map(|u| g.neighbors(u).iter().copied().collect())
+            .collect();
+        let mut bags: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &v in order {
+            let ns: Vec<u32> = adj[v as usize].iter().copied().collect();
+            let mut bag = ns.clone();
+            bag.push(v);
+            bag.sort_unstable();
+            bags[pos[v as usize]] = bag;
+            for (i, &a) in ns.iter().enumerate() {
+                for &b in &ns[i + 1..] {
+                    if adj[a as usize].insert(b) {
+                        adj[b as usize].insert(a);
+                    }
+                }
+            }
+            for &a in &ns {
+                adj[a as usize].remove(&v);
+            }
+            adj[v as usize].clear();
+        }
+        // Parent of bag i (vertex v): bag of the earliest-eliminated vertex in
+        // bag_i \ {v}; roots (no later neighbor) chain to the last bag so the
+        // result is a single tree even for disconnected graphs.
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        for i in 0..n {
+            let v = order[i];
+            let next = bags[i]
+                .iter()
+                .copied()
+                .filter(|&u| u != v)
+                .map(|u| pos[u as usize])
+                .min();
+            parent[i] = match next {
+                Some(j) => Some(j),
+                None if i + 1 < n => Some(i + 1),
+                None => None,
+            };
+        }
+        TreeDecomposition {
+            bags,
+            parent,
+            root: n - 1,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Bag of node `i` (sorted).
+    pub fn bag(&self, i: usize) -> &[u32] {
+        &self.bags[i]
+    }
+
+    /// Parent of node `i`.
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.parent[i]
+    }
+
+    /// Root node.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Children lists (computed).
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut ch = vec![Vec::new(); self.bags.len()];
+        for (i, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                ch[*p].push(i);
+            }
+        }
+        ch
+    }
+
+    /// Width = max bag size − 1.
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(|b| b.len()).max().unwrap_or(0).saturating_sub(1)
+    }
+
+    /// Check all three tree-decomposition invariants against `g`.
+    pub fn validate(&self, g: &Graph) -> Result<(), TdError> {
+        let n = g.num_vertices();
+        // Tree shape: exactly one root, parents acyclic.
+        let mut seen_root = false;
+        for (i, p) in self.parent.iter().enumerate() {
+            match p {
+                None => {
+                    if i != self.root {
+                        return Err(TdError::MalformedTree);
+                    }
+                    seen_root = true;
+                }
+                Some(p) => {
+                    if *p >= self.bags.len() {
+                        return Err(TdError::MalformedTree);
+                    }
+                }
+            }
+        }
+        if !seen_root && !self.bags.is_empty() {
+            return Err(TdError::MalformedTree);
+        }
+        // Acyclicity: walking parents from any node terminates at root.
+        for mut i in 0..self.bags.len() {
+            let mut steps = 0;
+            while let Some(p) = self.parent[i] {
+                i = p;
+                steps += 1;
+                if steps > self.bags.len() {
+                    return Err(TdError::MalformedTree);
+                }
+            }
+            if i != self.root {
+                return Err(TdError::MalformedTree);
+            }
+        }
+        // Vertex coverage.
+        let mut covered = vec![false; n];
+        for b in &self.bags {
+            for &v in b {
+                if (v as usize) < n {
+                    covered[v as usize] = true;
+                }
+            }
+        }
+        if let Some(v) = covered.iter().position(|c| !c) {
+            return Err(TdError::VertexNotCovered(v as u32));
+        }
+        // Edge coverage.
+        for (u, v) in g.edges() {
+            let ok = self
+                .bags
+                .iter()
+                .any(|b| b.binary_search(&u).is_ok() && b.binary_search(&v).is_ok());
+            if !ok {
+                return Err(TdError::EdgeNotCovered(u, v));
+            }
+        }
+        // Connectivity: for each vertex, the bags containing it must form a
+        // connected subtree. Since each node has a single parent, it suffices
+        // that the occurrences of v, minus the topmost one, each have a parent
+        // that also contains v.
+        for v in 0..n as u32 {
+            let occs: Vec<usize> = (0..self.bags.len())
+                .filter(|&i| self.bags[i].binary_search(&v).is_ok())
+                .collect();
+            if occs.is_empty() {
+                continue;
+            }
+            let mut tops = 0;
+            for &i in &occs {
+                match self.parent[i] {
+                    Some(p) if self.bags[p].binary_search(&v).is_ok() => {}
+                    _ => tops += 1,
+                }
+            }
+            if tops != 1 {
+                return Err(TdError::NotConnected(v));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::{min_fill_order, width_of_order};
+    use crate::exact::exact_treewidth;
+
+    #[test]
+    fn td_from_order_is_valid_and_matches_width() {
+        for g in [
+            Graph::path(6),
+            Graph::cycle(7),
+            Graph::grid(3, 3),
+            Graph::complete(5),
+            Graph::band(10, 2),
+        ] {
+            let order = min_fill_order(&g);
+            let td = TreeDecomposition::from_elimination_order(&g, &order);
+            td.validate(&g).unwrap();
+            assert_eq!(td.width(), width_of_order(&g, &order));
+        }
+    }
+
+    #[test]
+    fn td_from_optimal_order_has_optimal_width() {
+        let g = Graph::grid(3, 3);
+        let (w, order) = exact_treewidth(&g).unwrap();
+        let td = TreeDecomposition::from_elimination_order(&g, &order);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), w);
+    }
+
+    #[test]
+    fn disconnected_graph_still_single_tree() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(3, 4);
+        let order = min_fill_order(&g);
+        let td = TreeDecomposition::from_elimination_order(&g, &order);
+        td.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn validation_catches_missing_edge() {
+        let g = Graph::path(3); // edges (0,1),(1,2)
+        let td = TreeDecomposition::from_parts(
+            vec![vec![0, 1], vec![2]],
+            vec![None, Some(0)],
+            0,
+        );
+        assert_eq!(td.validate(&g), Err(TdError::EdgeNotCovered(1, 2)));
+    }
+
+    #[test]
+    fn validation_catches_disconnected_occurrences() {
+        let g = Graph::path(3);
+        let td = TreeDecomposition::from_parts(
+            vec![vec![0, 1], vec![1, 2], vec![0]],
+            vec![None, Some(0), Some(1)],
+            0,
+        );
+        assert_eq!(td.validate(&g), Err(TdError::NotConnected(0)));
+    }
+
+    #[test]
+    fn validation_catches_cycle() {
+        let g = Graph::path(2);
+        let td = TreeDecomposition::from_parts(
+            vec![vec![0, 1], vec![0, 1]],
+            vec![Some(1), Some(0)],
+            0,
+        );
+        assert_eq!(td.validate(&g), Err(TdError::MalformedTree));
+    }
+}

@@ -1,0 +1,188 @@
+//! Elimination orders: widths, heuristics, and lower bounds.
+//!
+//! Treewidth equals the minimum, over all vertex elimination orders, of the
+//! maximum number of higher-ordered neighbors encountered when vertices are
+//! eliminated in order (each elimination turning the neighborhood into a
+//! clique). The heuristics below are the standard min-degree and min-fill
+//! rules; the MMD bound is the classical degeneracy lower bound.
+
+use crate::graph::Graph;
+use vtree::fxhash::FxHashSet;
+
+/// A permutation of the vertices `0..n`, eliminated left to right.
+pub type EliminationOrder = Vec<u32>;
+
+/// Dynamic adjacency structure for elimination simulations.
+struct ElimState {
+    adj: Vec<FxHashSet<u32>>,
+    alive: Vec<bool>,
+}
+
+impl ElimState {
+    fn new(g: &Graph) -> Self {
+        let adj = (0..g.num_vertices() as u32)
+            .map(|u| g.neighbors(u).iter().copied().collect())
+            .collect();
+        ElimState {
+            adj,
+            alive: vec![true; g.num_vertices()],
+        }
+    }
+
+    /// Eliminate `v`: connect its surviving neighbors into a clique, remove it.
+    /// Returns the degree of `v` at elimination time.
+    fn eliminate(&mut self, v: u32) -> usize {
+        let ns: Vec<u32> = self.adj[v as usize].iter().copied().collect();
+        let deg = ns.len();
+        for (i, &a) in ns.iter().enumerate() {
+            for &b in &ns[i + 1..] {
+                if self.adj[a as usize].insert(b) {
+                    self.adj[b as usize].insert(a);
+                }
+            }
+        }
+        for &a in &ns {
+            self.adj[a as usize].remove(&v);
+        }
+        self.adj[v as usize].clear();
+        self.alive[v as usize] = false;
+        deg
+    }
+
+    fn fill_count(&self, v: u32) -> usize {
+        let ns: Vec<u32> = self.adj[v as usize].iter().copied().collect();
+        let mut fill = 0;
+        for (i, &a) in ns.iter().enumerate() {
+            for &b in &ns[i + 1..] {
+                if !self.adj[a as usize].contains(&b) {
+                    fill += 1;
+                }
+            }
+        }
+        fill
+    }
+}
+
+/// The width of an elimination order: the maximum elimination-time degree.
+pub fn width_of_order(g: &Graph, order: &[u32]) -> usize {
+    assert_eq!(order.len(), g.num_vertices(), "order must cover all vertices");
+    let mut st = ElimState::new(g);
+    let mut width = 0;
+    for &v in order {
+        width = width.max(st.eliminate(v));
+    }
+    width
+}
+
+/// Min-degree heuristic: always eliminate a vertex of minimum current degree.
+pub fn min_degree_order(g: &Graph) -> EliminationOrder {
+    greedy_order(g, |st, v| st.adj[v as usize].len())
+}
+
+/// Min-fill heuristic: always eliminate a vertex adding the fewest fill edges.
+pub fn min_fill_order(g: &Graph) -> EliminationOrder {
+    greedy_order(g, |st, v| st.fill_count(v))
+}
+
+fn greedy_order(g: &Graph, score: impl Fn(&ElimState, u32) -> usize) -> EliminationOrder {
+    let n = g.num_vertices();
+    let mut st = ElimState::new(g);
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n as u32)
+            .filter(|&v| st.alive[v as usize])
+            .min_by_key(|&v| (score(&st, v), v))
+            .expect("some vertex alive");
+        st.eliminate(v);
+        order.push(v);
+    }
+    order
+}
+
+/// Maximum-minimum-degree (degeneracy) lower bound on treewidth:
+/// `tw(G) >= max over subgraphs H of (min degree of H)`, computed by
+/// repeatedly deleting a minimum-degree vertex.
+pub fn mmd_lower_bound(g: &Graph) -> usize {
+    let n = g.num_vertices();
+    let mut adj: Vec<FxHashSet<u32>> = (0..n as u32)
+        .map(|u| g.neighbors(u).iter().copied().collect())
+        .collect();
+    let mut alive = vec![true; n];
+    let mut bound = 0;
+    for _ in 0..n {
+        let v = (0..n as u32)
+            .filter(|&v| alive[v as usize])
+            .min_by_key(|&v| adj[v as usize].len())
+            .expect("some vertex alive");
+        bound = bound.max(adj[v as usize].len());
+        let ns: Vec<u32> = adj[v as usize].iter().copied().collect();
+        for a in ns {
+            adj[a as usize].remove(&v);
+        }
+        adj[v as usize].clear();
+        alive[v as usize] = false;
+    }
+    bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_has_width_one() {
+        let g = Graph::path(8);
+        let o = min_degree_order(&g);
+        assert_eq!(width_of_order(&g, &o), 1);
+        let o = min_fill_order(&g);
+        assert_eq!(width_of_order(&g, &o), 1);
+    }
+
+    #[test]
+    fn cycle_has_width_two() {
+        let g = Graph::cycle(9);
+        assert_eq!(width_of_order(&g, &min_fill_order(&g)), 2);
+        assert_eq!(mmd_lower_bound(&g), 2);
+    }
+
+    #[test]
+    fn complete_graph_width() {
+        let g = Graph::complete(6);
+        assert_eq!(width_of_order(&g, &min_degree_order(&g)), 5);
+        assert_eq!(mmd_lower_bound(&g), 5);
+    }
+
+    #[test]
+    fn grid_heuristics_reasonable() {
+        let g = Graph::grid(4, 4);
+        let w = width_of_order(&g, &min_fill_order(&g));
+        assert!(w >= 4, "4x4 grid treewidth is 4, got {w}");
+        assert!(w <= 6, "min-fill should be close to optimal, got {w}");
+        assert!(mmd_lower_bound(&g) >= 2);
+    }
+
+    #[test]
+    fn bad_order_still_measured() {
+        // Eliminating the center of a star first yields width n-1.
+        let mut g = Graph::new(5);
+        for v in 1..5 {
+            g.add_edge(0, v);
+        }
+        assert_eq!(width_of_order(&g, &[0, 1, 2, 3, 4]), 4);
+        assert_eq!(width_of_order(&g, &[1, 2, 3, 4, 0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must cover")]
+    fn partial_order_rejected() {
+        let g = Graph::path(3);
+        width_of_order(&g, &[0, 1]);
+    }
+
+    #[test]
+    fn band_graph_width_equals_band() {
+        let g = Graph::band(12, 3);
+        let o: Vec<u32> = (0..12).collect();
+        assert_eq!(width_of_order(&g, &o), 3);
+    }
+}

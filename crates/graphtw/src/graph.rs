@@ -1,0 +1,294 @@
+//! A compact undirected simple graph.
+
+use std::fmt;
+
+/// Undirected simple graph with vertices `0..n`, stored as sorted adjacency
+/// lists. Parallel edges and self-loops are silently ignored on insertion.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Build from an edge list.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Add an undirected edge; ignores self-loops and duplicates.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        if u == v {
+            return;
+        }
+        let (ui, vi) = (u as usize, v as usize);
+        assert!(ui < self.adj.len() && vi < self.adj.len(), "vertex out of range");
+        match self.adj[ui].binary_search(&v) {
+            Ok(_) => {}
+            Err(pos) => {
+                self.adj[ui].insert(pos, v);
+                let pos2 = self.adj[vi].binary_search(&u).unwrap_err();
+                self.adj[vi].insert(pos2, u);
+                self.num_edges += 1;
+            }
+        }
+    }
+
+    /// Append a fresh vertex; returns its index.
+    pub fn add_vertex(&mut self) -> u32 {
+        self.adj.push(Vec::new());
+        (self.adj.len() - 1) as u32
+    }
+
+    /// Sorted neighbors of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Is `{u, v}` an edge?
+    #[inline]
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// All edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.num_edges);
+        for (u, ns) in self.adj.iter().enumerate() {
+            for &v in ns {
+                if (u as u32) < v {
+                    out.push((u as u32, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Adjacency as bitmasks — only valid for `n <= 64`.
+    pub fn adjacency_masks(&self) -> Option<Vec<u64>> {
+        if self.num_vertices() > 64 {
+            return None;
+        }
+        let mut masks = vec![0u64; self.num_vertices()];
+        for (u, ns) in self.adj.iter().enumerate() {
+            for &v in ns {
+                masks[u] |= 1u64 << v;
+            }
+        }
+        Some(masks)
+    }
+
+    /// Connected components as vertex lists.
+    pub fn components(&self) -> Vec<Vec<u32>> {
+        let n = self.num_vertices();
+        let mut seen = vec![false; n];
+        let mut comps = Vec::new();
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut stack = vec![s as u32];
+            seen[s] = true;
+            while let Some(u) = stack.pop() {
+                comp.push(u);
+                for &v in self.neighbors(u) {
+                    if !seen[v as usize] {
+                        seen[v as usize] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// Is the graph connected (vacuously true for n <= 1)?
+    pub fn is_connected(&self) -> bool {
+        self.components().len() <= 1
+    }
+
+    // ---- generators -------------------------------------------------------
+
+    /// Path graph `0 - 1 - … - (n-1)`.
+    pub fn path(n: usize) -> Self {
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge((i - 1) as u32, i as u32);
+        }
+        g
+    }
+
+    /// Cycle graph.
+    pub fn cycle(n: usize) -> Self {
+        let mut g = Graph::path(n);
+        if n >= 3 {
+            g.add_edge(0, (n - 1) as u32);
+        }
+        g
+    }
+
+    /// Complete graph `K_n`.
+    pub fn complete(n: usize) -> Self {
+        let mut g = Graph::new(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// `r × c` grid graph (treewidth `min(r, c)`).
+    pub fn grid(r: usize, c: usize) -> Self {
+        let mut g = Graph::new(r * c);
+        let id = |i: usize, j: usize| (i * c + j) as u32;
+        for i in 0..r {
+            for j in 0..c {
+                if i + 1 < r {
+                    g.add_edge(id(i, j), id(i + 1, j));
+                }
+                if j + 1 < c {
+                    g.add_edge(id(i, j), id(i, j + 1));
+                }
+            }
+        }
+        g
+    }
+
+    /// Complete binary tree with `2^depth - 1` vertices (treewidth 1).
+    pub fn complete_binary_tree(depth: usize) -> Self {
+        let n = (1usize << depth) - 1;
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(i as u32, ((i - 1) / 2) as u32);
+        }
+        g
+    }
+
+    /// Erdős–Rényi `G(n, p)`.
+    pub fn random_gnp<R: rand::Rng>(n: usize, p: f64, rng: &mut R) -> Self {
+        let mut g = Graph::new(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen_bool(p) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// A "banded" graph: each vertex `i` is adjacent to `i+1 .. i+band`.
+    /// Pathwidth (and treewidth) exactly `band` for `n > band`.
+    pub fn band(n: usize, band: usize) -> Self {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for d in 1..=band {
+                if i + d < n {
+                    g.add_edge(i as u32, (i + d) as u32);
+                }
+            }
+        }
+        g
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(n={}, m={})",
+            self.num_vertices(),
+            self.num_edges()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_dedups_and_sorts() {
+        let mut g = Graph::new(4);
+        g.add_edge(2, 0);
+        g.add_edge(0, 2);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn generators_have_expected_sizes() {
+        assert_eq!(Graph::path(5).num_edges(), 4);
+        assert_eq!(Graph::cycle(5).num_edges(), 5);
+        assert_eq!(Graph::complete(5).num_edges(), 10);
+        assert_eq!(Graph::grid(3, 4).num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(Graph::complete_binary_tree(3).num_vertices(), 7);
+        assert_eq!(Graph::complete_binary_tree(3).num_edges(), 6);
+        assert_eq!(Graph::band(6, 2).num_edges(), 5 + 4);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let comps = g.components();
+        assert_eq!(comps.len(), 3);
+        assert!(!g.is_connected());
+        assert!(Graph::cycle(4).is_connected());
+    }
+
+    #[test]
+    fn masks_match_adjacency() {
+        let g = Graph::cycle(4);
+        let m = g.adjacency_masks().unwrap();
+        assert_eq!(m[0], 0b1010);
+        assert_eq!(m[1], 0b0101);
+    }
+
+    #[test]
+    fn two_vertex_cycle_is_single_edge_free() {
+        // cycle(2) degenerates to one edge (self-loop-free, dedup'd)
+        let g = Graph::cycle(2);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

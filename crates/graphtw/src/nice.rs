@@ -1,0 +1,343 @@
+//! Nice tree decompositions.
+//!
+//! A *nice* tree decomposition is rooted, has an empty root bag, and each
+//! node is one of: **Leaf** (empty bag), **Introduce(v)** (bag = child bag
+//! ∪ {v}), **Forget(v)** (bag = child bag ∖ {v}), or **Join** (two children
+//! with the same bag). Because the occurrences of a vertex form a connected
+//! subtree and the root bag is empty, *every vertex is forgotten exactly
+//! once* — the property the paper's Lemma 1 uses to hang variable leaves off
+//! the decomposition when extracting a vtree.
+
+use crate::decomposition::TreeDecomposition;
+use std::fmt;
+
+/// Node kinds of a nice tree decomposition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NiceNodeKind {
+    /// A leaf with an empty bag.
+    Leaf,
+    /// Introduces vertex `v` above its single child.
+    Introduce(u32),
+    /// Forgets vertex `v` above its single child.
+    Forget(u32),
+    /// Joins two children with identical bags.
+    Join,
+}
+
+#[derive(Clone, Debug)]
+struct NiceNode {
+    kind: NiceNodeKind,
+    bag: Vec<u32>,
+    children: Vec<usize>,
+}
+
+/// A nice tree decomposition with an empty root bag.
+#[derive(Clone, Debug)]
+pub struct NiceTd {
+    nodes: Vec<NiceNode>,
+    root: usize,
+    /// `forget_of[v]` = the unique Forget node of vertex `v`.
+    forget_of: Vec<usize>,
+}
+
+/// Errors from nice-TD validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NiceTdError {
+    /// A node's bag is inconsistent with its kind/children.
+    Inconsistent(usize),
+    /// A vertex is forgotten zero or more than one time.
+    BadForgetCount(u32, usize),
+    /// Root bag is not empty.
+    NonEmptyRoot,
+}
+
+impl fmt::Display for NiceTdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NiceTdError::Inconsistent(i) => write!(f, "node {i} inconsistent with its kind"),
+            NiceTdError::BadForgetCount(v, c) => {
+                write!(f, "vertex {v} forgotten {c} times (expected 1)")
+            }
+            NiceTdError::NonEmptyRoot => write!(f, "root bag not empty"),
+        }
+    }
+}
+
+impl std::error::Error for NiceTdError {}
+
+impl NiceTd {
+    /// Transform an arbitrary rooted tree decomposition into a nice one.
+    ///
+    /// The result decomposes the same graph with the same width (bags are a
+    /// subset of the original bags' subsets).
+    pub fn from_td(td: &TreeDecomposition, num_vertices: usize) -> Self {
+        let children = td.children();
+        let mut b = Builder {
+            nodes: Vec::new(),
+            children: &children,
+            td,
+        };
+        let top = b.process(td.root());
+        // Forget everything remaining in the root bag.
+        let mut cur = top;
+        let root_bag: Vec<u32> = b.nodes[top].bag.clone();
+        for v in root_bag {
+            cur = b.push_forget(cur, v);
+        }
+        let nodes = b.nodes;
+        let mut forget_of = vec![usize::MAX; num_vertices];
+        for (i, n) in nodes.iter().enumerate() {
+            if let NiceNodeKind::Forget(v) = n.kind {
+                forget_of[v as usize] = i;
+            }
+        }
+        NiceTd {
+            nodes,
+            root: cur,
+            forget_of,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Root node index.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Kind of node `i`.
+    pub fn kind(&self, i: usize) -> &NiceNodeKind {
+        &self.nodes[i].kind
+    }
+
+    /// Bag of node `i` (sorted).
+    pub fn bag(&self, i: usize) -> &[u32] {
+        &self.nodes[i].bag
+    }
+
+    /// Children of node `i` (0, 1 or 2 of them).
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.nodes[i].children
+    }
+
+    /// The unique Forget node of vertex `v`.
+    pub fn forget_node_of(&self, v: u32) -> Option<usize> {
+        let i = self.forget_of.get(v as usize).copied()?;
+        (i != usize::MAX).then_some(i)
+    }
+
+    /// Width = max bag size − 1.
+    pub fn width(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.bag.len())
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1)
+    }
+
+    /// Validate the nice-TD structural invariants; `num_vertices` is the
+    /// vertex count of the decomposed graph.
+    pub fn validate(&self, num_vertices: usize) -> Result<(), NiceTdError> {
+        if !self.nodes[self.root].bag.is_empty() {
+            return Err(NiceTdError::NonEmptyRoot);
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            let ok = match (&n.kind, n.children.as_slice()) {
+                (NiceNodeKind::Leaf, []) => n.bag.is_empty(),
+                (NiceNodeKind::Introduce(v), [c]) => {
+                    let mut expect = self.nodes[*c].bag.clone();
+                    match expect.binary_search(v) {
+                        Ok(_) => false,
+                        Err(pos) => {
+                            expect.insert(pos, *v);
+                            expect == n.bag
+                        }
+                    }
+                }
+                (NiceNodeKind::Forget(v), [c]) => {
+                    let mut expect = self.nodes[*c].bag.clone();
+                    match expect.binary_search(v) {
+                        Ok(pos) => {
+                            expect.remove(pos);
+                            expect == n.bag
+                        }
+                        Err(_) => false,
+                    }
+                }
+                (NiceNodeKind::Join, [a, b]) => {
+                    self.nodes[*a].bag == n.bag && self.nodes[*b].bag == n.bag
+                }
+                _ => false,
+            };
+            if !ok {
+                return Err(NiceTdError::Inconsistent(i));
+            }
+        }
+        let mut counts = vec![0usize; num_vertices];
+        for n in &self.nodes {
+            if let NiceNodeKind::Forget(v) = n.kind {
+                counts[v as usize] += 1;
+            }
+        }
+        // A vertex in no bag is also never forgotten; only vertices that
+        // occur anywhere must be forgotten exactly once.
+        let mut occurs = vec![false; num_vertices];
+        for n in &self.nodes {
+            for &v in &n.bag {
+                occurs[v as usize] = true;
+            }
+        }
+        for v in 0..num_vertices {
+            let expect = usize::from(occurs[v]);
+            if counts[v] != expect {
+                return Err(NiceTdError::BadForgetCount(v as u32, counts[v]));
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Builder<'a> {
+    nodes: Vec<NiceNode>,
+    children: &'a [Vec<usize>],
+    td: &'a TreeDecomposition,
+}
+
+impl Builder<'_> {
+    fn push(&mut self, kind: NiceNodeKind, bag: Vec<u32>, children: Vec<usize>) -> usize {
+        self.nodes.push(NiceNode {
+            kind,
+            bag,
+            children,
+        });
+        self.nodes.len() - 1
+    }
+
+    fn push_forget(&mut self, child: usize, v: u32) -> usize {
+        let mut bag = self.nodes[child].bag.clone();
+        let pos = bag.binary_search(&v).expect("forgotten vertex in bag");
+        bag.remove(pos);
+        self.push(NiceNodeKind::Forget(v), bag, vec![child])
+    }
+
+    fn push_introduce(&mut self, child: usize, v: u32) -> usize {
+        let mut bag = self.nodes[child].bag.clone();
+        let pos = bag.binary_search(&v).expect_err("introduced vertex not in bag");
+        bag.insert(pos, v);
+        self.push(NiceNodeKind::Introduce(v), bag, vec![child])
+    }
+
+    /// Produce a nice subtree whose top node has exactly the bag of TD node
+    /// `t`; returns its index.
+    fn process(&mut self, t: usize) -> usize {
+        let target: Vec<u32> = self.td.bag(t).to_vec();
+        let kids = &self.children[t];
+        if kids.is_empty() {
+            // Leaf, then introduce the whole bag.
+            let mut cur = self.push(NiceNodeKind::Leaf, Vec::new(), Vec::new());
+            for &v in &target {
+                cur = self.push_introduce(cur, v);
+            }
+            return cur;
+        }
+        // For each child: recurse, then morph its bag into `target`.
+        let mut tops = Vec::with_capacity(kids.len());
+        for &c in kids {
+            let mut cur = self.process(c);
+            let child_bag = self.nodes[cur].bag.clone();
+            for &v in &child_bag {
+                if target.binary_search(&v).is_err() {
+                    cur = self.push_forget(cur, v);
+                }
+            }
+            for &v in &target {
+                if child_bag.binary_search(&v).is_err() {
+                    cur = self.push_introduce(cur, v);
+                }
+            }
+            tops.push(cur);
+        }
+        // Binarize with Join nodes (all tops now share `target` as bag).
+        let mut acc = tops[0];
+        for &t2 in &tops[1..] {
+            acc = self.push(NiceNodeKind::Join, target.clone(), vec![acc, t2]);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::min_fill_order;
+    use crate::graph::Graph;
+
+    fn nice_of(g: &Graph) -> NiceTd {
+        let order = min_fill_order(g);
+        let td = TreeDecomposition::from_elimination_order(g, &order);
+        td.validate(g).unwrap();
+        NiceTd::from_td(&td, g.num_vertices())
+    }
+
+    #[test]
+    fn nice_td_valid_for_standard_graphs() {
+        for g in [
+            Graph::path(6),
+            Graph::cycle(7),
+            Graph::grid(3, 3),
+            Graph::complete(4),
+            Graph::band(9, 2),
+            Graph::complete_binary_tree(4),
+        ] {
+            let nt = nice_of(&g);
+            nt.validate(g.num_vertices()).unwrap();
+        }
+    }
+
+    #[test]
+    fn nice_td_preserves_width() {
+        let g = Graph::grid(3, 3);
+        let order = min_fill_order(&g);
+        let td = TreeDecomposition::from_elimination_order(&g, &order);
+        let nt = NiceTd::from_td(&td, g.num_vertices());
+        assert_eq!(nt.width(), td.width());
+    }
+
+    #[test]
+    fn every_vertex_forgotten_once() {
+        let g = Graph::cycle(8);
+        let nt = nice_of(&g);
+        for v in 0..8u32 {
+            let f = nt.forget_node_of(v).expect("forgotten");
+            assert!(matches!(nt.kind(f), NiceNodeKind::Forget(u) if *u == v));
+        }
+    }
+
+    #[test]
+    fn root_is_empty_and_reachable() {
+        let g = Graph::path(5);
+        let nt = nice_of(&g);
+        assert!(nt.bag(nt.root()).is_empty());
+        // All nodes reachable from root.
+        let mut seen = vec![false; nt.num_nodes()];
+        let mut stack = vec![nt.root()];
+        while let Some(i) = stack.pop() {
+            seen[i] = true;
+            stack.extend_from_slice(nt.children(i));
+        }
+        assert!(seen.iter().all(|&s| s), "dangling nice-TD nodes");
+    }
+
+    #[test]
+    fn disconnected_graph_handled() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(3, 4);
+        let nt = nice_of(&g);
+        nt.validate(6).unwrap();
+    }
+}

@@ -1,0 +1,148 @@
+//! Variable-order search for OBDDs.
+//!
+//! The paper's **OBDD width of a function** is the smallest width over *all*
+//! variable orders. Exhaustive search is exact up to a small support;
+//! adjacent-swap hill climbing (rebuild-based sifting) gives an upper bound
+//! beyond that.
+
+use crate::Obdd;
+use boolfunc::BoolFn;
+use vtree::VarId;
+
+/// Which quantity to minimize.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// The paper's OBDD width (max nodes per level).
+    Width,
+    /// Node count.
+    Size,
+}
+
+fn measure(f: &BoolFn, order: &[VarId], metric: Metric) -> usize {
+    let mut m = Obdd::new(order.to_vec());
+    let root = m.from_boolfn(f);
+    match metric {
+        Metric::Width => m.width(root),
+        Metric::Size => m.size(root),
+    }
+}
+
+/// Exhaustive search over all `n!` orders of the support. Exact; guarded by
+/// `max_n` (8! = 40 320 rebuilds is the practical ceiling).
+pub fn best_order_exhaustive(f: &BoolFn, metric: Metric, max_n: usize) -> (usize, Vec<VarId>) {
+    let vars: Vec<VarId> = f.minimize_support().vars().iter().collect();
+    assert!(
+        vars.len() <= max_n,
+        "refusing {}! order search (max_n = {max_n})",
+        vars.len()
+    );
+    if vars.is_empty() {
+        // Constant function: any order; width 0.
+        let fallback: Vec<VarId> = f.vars().iter().collect();
+        let order = if fallback.is_empty() {
+            vec![VarId(0)]
+        } else {
+            fallback
+        };
+        return (measure(f, &order, metric), order);
+    }
+    let mut best: Option<(usize, Vec<VarId>)> = None;
+    permute(vars.len(), &mut vars.clone(), &mut |perm| {
+        let val = measure(f, perm, metric);
+        if best.as_ref().is_none_or(|(b, _)| val < *b) {
+            best = Some((val, perm.to_vec()));
+        }
+    });
+    best.expect("at least one permutation")
+}
+
+/// Heap's algorithm.
+fn permute(k: usize, arr: &mut [VarId], visit: &mut impl FnMut(&[VarId])) {
+    if k <= 1 {
+        visit(arr);
+        return;
+    }
+    for i in 0..k {
+        permute(k - 1, arr, visit);
+        if k.is_multiple_of(2) {
+            arr.swap(i, k - 1);
+        } else {
+            arr.swap(0, k - 1);
+        }
+    }
+}
+
+/// Adjacent-swap hill climbing from the natural (sorted) order: repeatedly
+/// accept any adjacent transposition that improves the metric, until a full
+/// pass makes no progress. An upper bound on the optimum.
+pub fn best_order_sifting(f: &BoolFn, metric: Metric) -> (usize, Vec<VarId>) {
+    let mut order: Vec<VarId> = f.vars().iter().collect();
+    if order.is_empty() {
+        order.push(VarId(0));
+    }
+    let mut best = measure(f, &order, metric);
+    loop {
+        let mut improved = false;
+        for i in 0..order.len().saturating_sub(1) {
+            order.swap(i, i + 1);
+            let val = measure(f, &order, metric);
+            if val < best {
+                best = val;
+                improved = true;
+            } else {
+                order.swap(i, i + 1);
+            }
+        }
+        if !improved {
+            return (best, order);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolfunc::families;
+
+    #[test]
+    fn exhaustive_finds_interleaving_for_disjointness() {
+        let (f, _, _) = families::disjointness(3);
+        let (w, order) = best_order_exhaustive(&f, Metric::Width, 6);
+        assert!(w <= 3, "optimal width for D_3 should be small, got {w}");
+        assert_eq!(order.len(), 6);
+    }
+
+    #[test]
+    fn sifting_never_worse_than_natural() {
+        let (f, _, _) = families::disjointness(3);
+        let natural: Vec<VarId> = f.vars().iter().collect();
+        let base = measure(&f, &natural, Metric::Width);
+        let (w, _) = best_order_sifting(&f, Metric::Width);
+        assert!(w <= base);
+    }
+
+    #[test]
+    fn parity_already_optimal() {
+        let vars: Vec<VarId> = (0..5).map(VarId).collect();
+        let f = families::parity(&vars);
+        let (w, _) = best_order_exhaustive(&f, Metric::Width, 5);
+        assert_eq!(w, 2);
+        let (s, _) = best_order_exhaustive(&f, Metric::Size, 5);
+        assert_eq!(s, 2 * 5 - 1 + 2); // 2 nodes/level except 1 at top, +2 terminals
+    }
+
+    #[test]
+    fn constant_function_handled() {
+        let f = BoolFn::constant(boolfunc::VarSet::singleton(VarId(3)), true);
+        let (w, _) = best_order_exhaustive(&f, Metric::Width, 4);
+        assert_eq!(w, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing")]
+    fn exhaustive_guard() {
+        let vars: Vec<VarId> = (0..9).map(VarId).collect();
+        let f = families::parity(&vars);
+        let _ = best_order_exhaustive(&f, Metric::Width, 8);
+    }
+}

@@ -1,0 +1,264 @@
+//! Unions of conjunctive queries with and without inequalities (paper §4).
+
+use crate::schema::{RelId, Schema};
+use std::fmt;
+
+/// A term in an atom: a query variable or a constant.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// Query variable (scoped to its CQ).
+    Var(u32),
+    /// Constant.
+    Const(u64),
+}
+
+/// An atom `R(t₁, …, t_m)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Atom {
+    /// Relation symbol.
+    pub rel: RelId,
+    /// Terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// The variables of the atom (sorted, deduplicated).
+    pub fn vars(&self) -> Vec<u32> {
+        let mut vs: Vec<u32> = self
+            .args
+            .iter()
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(*v),
+                Term::Const(_) => None,
+            })
+            .collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+}
+
+/// A conjunctive query with inequalities: an existentially closed
+/// conjunction of atoms and disequalities `x ≠ y`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Cq {
+    /// The atoms.
+    pub atoms: Vec<Atom>,
+    /// Inequalities between query variables.
+    pub neq: Vec<(u32, u32)>,
+}
+
+impl Cq {
+    /// Build from parts.
+    pub fn new(atoms: Vec<Atom>, neq: Vec<(u32, u32)>) -> Self {
+        Cq { atoms, neq }
+    }
+
+    /// All variables (sorted, deduplicated).
+    pub fn vars(&self) -> Vec<u32> {
+        let mut vs: Vec<u32> = self.atoms.iter().flat_map(|a| a.vars()).collect();
+        vs.extend(self.neq.iter().flat_map(|&(a, b)| [a, b]));
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// Is the query self-join-free (no repeated relation symbol)?
+    pub fn self_join_free(&self) -> bool {
+        let mut rels: Vec<RelId> = self.atoms.iter().map(|a| a.rel).collect();
+        rels.sort_unstable();
+        rels.windows(2).all(|w| w[0] != w[1])
+    }
+}
+
+/// A union of conjunctive queries (with inequalities if any disjunct has
+/// them).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Ucq {
+    /// The disjuncts.
+    pub cqs: Vec<Cq>,
+}
+
+impl Ucq {
+    /// A single-CQ query.
+    pub fn single(cq: Cq) -> Self {
+        Ucq { cqs: vec![cq] }
+    }
+
+    /// Build from disjuncts.
+    pub fn new(cqs: Vec<Cq>) -> Self {
+        Ucq { cqs }
+    }
+
+    /// Does any disjunct use inequalities?
+    pub fn has_inequalities(&self) -> bool {
+        self.cqs.iter().any(|c| !c.neq.is_empty())
+    }
+
+    /// Validate arities against a schema.
+    pub fn validate(&self, schema: &Schema) -> Result<(), QueryError> {
+        for (ci, cq) in self.cqs.iter().enumerate() {
+            if cq.atoms.is_empty() {
+                return Err(QueryError::EmptyCq(ci));
+            }
+            for atom in &cq.atoms {
+                if atom.rel.0 as usize >= schema.num_relations() {
+                    return Err(QueryError::UnknownRelation(atom.rel));
+                }
+                if atom.args.len() != schema.arity(atom.rel) {
+                    return Err(QueryError::ArityMismatch {
+                        rel: atom.rel,
+                        got: atom.args.len(),
+                        want: schema.arity(atom.rel),
+                    });
+                }
+            }
+            // Inequality variables must occur in atoms (safe-range).
+            let vs = {
+                let mut vs: Vec<u32> = cq.atoms.iter().flat_map(|a| a.vars()).collect();
+                vs.sort_unstable();
+                vs.dedup();
+                vs
+            };
+            for &(a, b) in &cq.neq {
+                if vs.binary_search(&a).is_err() || vs.binary_search(&b).is_err() {
+                    return Err(QueryError::UnsafeInequality(a, b));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Query well-formedness errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// A disjunct has no atoms.
+    EmptyCq(usize),
+    /// Relation id out of schema range.
+    UnknownRelation(RelId),
+    /// Atom arity disagrees with the schema.
+    ArityMismatch {
+        /// Relation.
+        rel: RelId,
+        /// Arity used in the atom.
+        got: usize,
+        /// Arity declared by the schema.
+        want: usize,
+    },
+    /// An inequality mentions a variable not bound by any atom.
+    UnsafeInequality(u32, u32),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyCq(i) => write!(f, "disjunct {i} has no atoms"),
+            QueryError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
+            QueryError::ArityMismatch { rel, got, want } => {
+                write!(f, "relation {rel:?}: arity {got}, schema says {want}")
+            }
+            QueryError::UnsafeInequality(a, b) => {
+                write!(f, "inequality ?{a} ≠ ?{b} uses unbound variables")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema_rs() -> (Schema, RelId, RelId) {
+        let mut s = Schema::new();
+        let r = s.add_relation("R", 1);
+        let sx = s.add_relation("S", 2);
+        (s, r, sx)
+    }
+
+    #[test]
+    fn vars_and_sjf() {
+        let (_, r, s) = schema_rs();
+        let cq = Cq::new(
+            vec![
+                Atom {
+                    rel: r,
+                    args: vec![Term::Var(0)],
+                },
+                Atom {
+                    rel: s,
+                    args: vec![Term::Var(0), Term::Var(1)],
+                },
+            ],
+            vec![],
+        );
+        assert_eq!(cq.vars(), vec![0, 1]);
+        assert!(cq.self_join_free());
+        let cq2 = Cq::new(
+            vec![
+                Atom {
+                    rel: s,
+                    args: vec![Term::Var(0), Term::Var(1)],
+                },
+                Atom {
+                    rel: s,
+                    args: vec![Term::Var(1), Term::Var(2)],
+                },
+            ],
+            vec![],
+        );
+        assert!(!cq2.self_join_free());
+    }
+
+    #[test]
+    fn validation() {
+        let (schema, r, s) = schema_rs();
+        let good = Ucq::single(Cq::new(
+            vec![Atom {
+                rel: s,
+                args: vec![Term::Var(0), Term::Const(3)],
+            }],
+            vec![],
+        ));
+        good.validate(&schema).unwrap();
+        let bad_arity = Ucq::single(Cq::new(
+            vec![Atom {
+                rel: r,
+                args: vec![Term::Var(0), Term::Var(1)],
+            }],
+            vec![],
+        ));
+        assert!(matches!(
+            bad_arity.validate(&schema),
+            Err(QueryError::ArityMismatch { .. })
+        ));
+        let empty = Ucq::single(Cq::default());
+        assert_eq!(empty.validate(&schema), Err(QueryError::EmptyCq(0)));
+        let unsafe_neq = Ucq::single(Cq::new(
+            vec![Atom {
+                rel: r,
+                args: vec![Term::Var(0)],
+            }],
+            vec![(0, 7)],
+        ));
+        assert_eq!(
+            unsafe_neq.validate(&schema),
+            Err(QueryError::UnsafeInequality(0, 7))
+        );
+    }
+
+    #[test]
+    fn inequality_flag() {
+        let (_, r, _) = schema_rs();
+        let plain = Ucq::single(Cq::new(
+            vec![Atom {
+                rel: r,
+                args: vec![Term::Var(0)],
+            }],
+            vec![],
+        ));
+        assert!(!plain.has_inequalities());
+    }
+}

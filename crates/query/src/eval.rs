@@ -1,0 +1,214 @@
+//! Homomorphism enumeration and Boolean query evaluation.
+
+use crate::ast::{Atom, Cq, Term, Ucq};
+use crate::schema::{Database, TupleId};
+use vtree::fxhash::FxHashMap;
+
+/// A valuation of query variables by constants.
+type Valuation = FxHashMap<u32, u64>;
+
+/// Enumerate the homomorphisms of `cq` into the sub-database given by
+/// `present`; for each, report the (sorted, deduplicated) set of tuples used.
+///
+/// `present(t)` decides whether tuple `t` is in the sub-database.
+pub fn cq_matches(
+    cq: &Cq,
+    db: &Database,
+    present: &dyn Fn(TupleId) -> bool,
+) -> Vec<Vec<TupleId>> {
+    let mut out = Vec::new();
+    let mut val: Valuation = FxHashMap::default();
+    let mut used: Vec<TupleId> = Vec::with_capacity(cq.atoms.len());
+    search(cq, db, present, 0, &mut val, &mut used, &mut |used| {
+        let mut u = used.to_vec();
+        u.sort_unstable();
+        u.dedup();
+        out.push(u);
+    });
+    out
+}
+
+/// Does `cq` hold on the sub-database?
+pub fn cq_holds(cq: &Cq, db: &Database, present: &dyn Fn(TupleId) -> bool) -> bool {
+    let mut found = false;
+    let mut val: Valuation = FxHashMap::default();
+    let mut used: Vec<TupleId> = Vec::new();
+    search(cq, db, present, 0, &mut val, &mut used, &mut |_| {
+        found = true;
+    });
+    found
+}
+
+/// Does the UCQ hold on the sub-database?
+pub fn ucq_holds(q: &Ucq, db: &Database, present: &dyn Fn(TupleId) -> bool) -> bool {
+    q.cqs.iter().any(|cq| cq_holds(cq, db, present))
+}
+
+fn search(
+    cq: &Cq,
+    db: &Database,
+    present: &dyn Fn(TupleId) -> bool,
+    atom_idx: usize,
+    val: &mut Valuation,
+    used: &mut Vec<TupleId>,
+    emit: &mut dyn FnMut(&[TupleId]),
+) {
+    if atom_idx == cq.atoms.len() {
+        // Check inequalities (all variables are bound by safe-range).
+        if cq
+            .neq
+            .iter()
+            .all(|&(a, b)| val.get(&a) != val.get(&b))
+        {
+            emit(used);
+        }
+        return;
+    }
+    let atom = &cq.atoms[atom_idx];
+    for &t in db.tuples_of(atom.rel) {
+        if !present(t) {
+            continue;
+        }
+        if let Some(newly_bound) = try_bind(atom, db.tuple(t).args.as_slice(), val) {
+            used.push(t);
+            search(cq, db, present, atom_idx + 1, val, used, emit);
+            used.pop();
+            for v in newly_bound {
+                val.remove(&v);
+            }
+        }
+    }
+}
+
+/// Try to extend `val` so the atom maps onto the given constants. Returns the
+/// list of variables newly bound (to undo), or `None` on mismatch.
+fn try_bind(atom: &Atom, consts: &[u64], val: &mut Valuation) -> Option<Vec<u32>> {
+    let mut newly = Vec::new();
+    for (term, &c) in atom.args.iter().zip(consts) {
+        match term {
+            Term::Const(k) => {
+                if *k != c {
+                    for v in newly {
+                        val.remove(&v);
+                    }
+                    return None;
+                }
+            }
+            Term::Var(v) => match val.get(v) {
+                Some(&bound) if bound != c => {
+                    for v in newly {
+                        val.remove(&v);
+                    }
+                    return None;
+                }
+                Some(_) => {}
+                None => {
+                    val.insert(*v, c);
+                    newly.push(*v);
+                }
+            },
+        }
+    }
+    Some(newly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn setup() -> (Database, crate::schema::RelId, crate::schema::RelId) {
+        let mut s = Schema::new();
+        let r = s.add_relation("R", 1);
+        let sx = s.add_relation("S", 2);
+        let mut db = Database::new(s);
+        db.insert(r, vec![1], 0.5);
+        db.insert(r, vec![2], 0.5);
+        db.insert(sx, vec![1, 10], 0.5);
+        db.insert(sx, vec![2, 10], 0.5);
+        db.insert(sx, vec![2, 20], 0.5);
+        (db, r, sx)
+    }
+
+    fn atom(rel: crate::schema::RelId, args: Vec<Term>) -> Atom {
+        Atom { rel, args }
+    }
+
+    #[test]
+    fn join_enumeration() {
+        let (db, r, s) = setup();
+        // R(x), S(x, y)
+        let cq = Cq::new(
+            vec![
+                atom(r, vec![Term::Var(0)]),
+                atom(s, vec![Term::Var(0), Term::Var(1)]),
+            ],
+            vec![],
+        );
+        let all = |_: TupleId| true;
+        let matches = cq_matches(&cq, &db, &all);
+        assert_eq!(matches.len(), 3); // (1,10), (2,10), (2,20)
+        assert!(cq_holds(&cq, &db, &all));
+    }
+
+    #[test]
+    fn subdatabase_respected() {
+        let (db, r, s) = setup();
+        let cq = Cq::new(
+            vec![
+                atom(r, vec![Term::Var(0)]),
+                atom(s, vec![Term::Var(0), Term::Var(1)]),
+            ],
+            vec![],
+        );
+        // Remove both R tuples: query fails.
+        let present = |t: TupleId| t.0 >= 2;
+        assert!(!cq_holds(&cq, &db, &present));
+    }
+
+    #[test]
+    fn constants_filter() {
+        let (db, _, s) = setup();
+        let cq = Cq::new(vec![atom(s, vec![Term::Var(0), Term::Const(20)])], vec![]);
+        let all = |_: TupleId| true;
+        let m = cq_matches(&cq, &db, &all);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn inequalities_enforced() {
+        let (db, _, s) = setup();
+        // S(x, y), S(x', y), x ≠ x': two different left-joins to the same y.
+        let cq = Cq::new(
+            vec![
+                atom(s, vec![Term::Var(0), Term::Var(2)]),
+                atom(s, vec![Term::Var(1), Term::Var(2)]),
+            ],
+            vec![(0, 1)],
+        );
+        let all = |_: TupleId| true;
+        let m = cq_matches(&cq, &db, &all);
+        // y=10 matches with (x,x') = (1,2) and (2,1).
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let (mut dbless, _, s) = setup();
+        dbless.insert(s, vec![5, 5], 0.5);
+        let cq = Cq::new(vec![atom(s, vec![Term::Var(0), Term::Var(0)])], vec![]);
+        let all = |_: TupleId| true;
+        let m = cq_matches(&cq, &dbless, &all);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn ucq_any_disjunct() {
+        let (db, r, s) = setup();
+        let q = Ucq::new(vec![
+            Cq::new(vec![atom(r, vec![Term::Const(99)])], vec![]),
+            Cq::new(vec![atom(s, vec![Term::Const(2), Term::Var(0)])], vec![]),
+        ]);
+        assert!(ucq_holds(&q, &db, &|_| true));
+    }
+}

@@ -1,0 +1,305 @@
+//! The query and database families of §4.
+//!
+//! The star is [`uh`]`(k)` — the unsafe UCQ chain
+//!
+//! ```text
+//! uh(k) = R(x)S₁(x,y) ∨ S₁(x,y)S₂(x,y) ∨ … ∨ S_{k-1}(x,y)S_k(x,y) ∨ S_k(x,y)T(y)
+//! ```
+//!
+//! whose lineage over the complete database on domain `[n]` is
+//! `⋁ᵢ Hⁱ_{k,n}` with the tuple variables laid out exactly as in
+//! [`boolfunc::families::HFamily`]; Lemma 7's cofactor property is then a
+//! *checkable identity* ([`lemma7_restriction`]).
+
+use crate::ast::{Atom, Cq, Term, Ucq};
+use crate::schema::{Database, RelId, Schema};
+use boolfunc::families::HFamily;
+use boolfunc::Assignment;
+
+/// `R(x), S(x, y)` — hierarchical, safe, constant-OBDD-width lineages.
+pub fn two_atom_hierarchical() -> (Ucq, Schema) {
+    let mut schema = Schema::new();
+    let r = schema.add_relation("R", 1);
+    let s = schema.add_relation("S", 2);
+    let q = Ucq::single(Cq::new(
+        vec![
+            Atom {
+                rel: r,
+                args: vec![Term::Var(0)],
+            },
+            Atom {
+                rel: s,
+                args: vec![Term::Var(0), Term::Var(1)],
+            },
+        ],
+        vec![],
+    ));
+    (q, schema)
+}
+
+/// `q_RST = R(x), S(x, y), T(y)` — the canonical non-hierarchical CQ;
+/// inversion of length 1.
+pub fn qrst() -> (Ucq, Schema) {
+    let mut schema = Schema::new();
+    let r = schema.add_relation("R", 1);
+    let s = schema.add_relation("S", 2);
+    let t = schema.add_relation("T", 1);
+    let q = Ucq::single(Cq::new(
+        vec![
+            Atom {
+                rel: r,
+                args: vec![Term::Var(0)],
+            },
+            Atom {
+                rel: s,
+                args: vec![Term::Var(0), Term::Var(1)],
+            },
+            Atom {
+                rel: t,
+                args: vec![Term::Var(1)],
+            },
+        ],
+        vec![],
+    ));
+    (q, schema)
+}
+
+/// The unsafe chain UCQ `uh(k)` with `k` middle relations (inversion length
+/// `k`). Schema relations in order: `R, S₁, …, S_k, T`.
+pub fn uh(k: usize) -> (Ucq, Schema) {
+    assert!(k >= 1);
+    let mut schema = Schema::new();
+    let r = schema.add_relation("R", 1);
+    let ss: Vec<RelId> = (1..=k)
+        .map(|i| schema.add_relation(&format!("S{i}"), 2))
+        .collect();
+    let t = schema.add_relation("T", 1);
+    let mut cqs = Vec::with_capacity(k + 1);
+    // R(x) S1(x,y)
+    cqs.push(Cq::new(
+        vec![
+            Atom {
+                rel: r,
+                args: vec![Term::Var(0)],
+            },
+            Atom {
+                rel: ss[0],
+                args: vec![Term::Var(0), Term::Var(1)],
+            },
+        ],
+        vec![],
+    ));
+    // S_i(x,y) S_{i+1}(x,y)
+    for i in 0..k - 1 {
+        cqs.push(Cq::new(
+            vec![
+                Atom {
+                    rel: ss[i],
+                    args: vec![Term::Var(0), Term::Var(1)],
+                },
+                Atom {
+                    rel: ss[i + 1],
+                    args: vec![Term::Var(0), Term::Var(1)],
+                },
+            ],
+            vec![],
+        ));
+    }
+    // S_k(x,y) T(y)
+    cqs.push(Cq::new(
+        vec![
+            Atom {
+                rel: ss[k - 1],
+                args: vec![Term::Var(0), Term::Var(1)],
+            },
+            Atom {
+                rel: t,
+                args: vec![Term::Var(1)],
+            },
+        ],
+        vec![],
+    ));
+    (Ucq::new(cqs), schema)
+}
+
+/// `R(x)S(x,y) ∨ T(u)W(u,v)` — a union of two hierarchical disjuncts over
+/// disjoint vocabularies; safe, no inversion.
+pub fn disconnected_hierarchical_union() -> (Ucq, Schema) {
+    let mut schema = Schema::new();
+    let r = schema.add_relation("R", 1);
+    let s = schema.add_relation("S", 2);
+    let t = schema.add_relation("T", 1);
+    let w = schema.add_relation("W", 2);
+    let q = Ucq::new(vec![
+        Cq::new(
+            vec![
+                Atom {
+                    rel: r,
+                    args: vec![Term::Var(0)],
+                },
+                Atom {
+                    rel: s,
+                    args: vec![Term::Var(0), Term::Var(1)],
+                },
+            ],
+            vec![],
+        ),
+        Cq::new(
+            vec![
+                Atom {
+                    rel: t,
+                    args: vec![Term::Var(0)],
+                },
+                Atom {
+                    rel: w,
+                    args: vec![Term::Var(0), Term::Var(1)],
+                },
+            ],
+            vec![],
+        ),
+    ]);
+    (q, schema)
+}
+
+/// `S(x,y), S(x',y'), x ≠ x'` — a UCQ≠ with a self-join but no inversion
+/// (Figure 3's inversion-free region: polynomial-size OBDDs).
+pub fn sjoin_inequality_query() -> (Ucq, Schema) {
+    let mut schema = Schema::new();
+    let s = schema.add_relation("S", 2);
+    let q = Ucq::single(Cq::new(
+        vec![
+            Atom {
+                rel: s,
+                args: vec![Term::Var(0), Term::Var(1)],
+            },
+            Atom {
+                rel: s,
+                args: vec![Term::Var(2), Term::Var(3)],
+            },
+        ],
+        vec![(0, 2)],
+    ));
+    (q, schema)
+}
+
+/// The complete database for [`uh`]`(k)` on domain `[n]`, all probabilities
+/// `p`: tuples are inserted so that the lineage variables coincide with the
+/// [`HFamily`] layout — `R(l) ↦ x_l`, `T(m) ↦ y_m`, `S_i(l,m) ↦ zⁱ_{l,m}`.
+pub fn uh_complete_db(schema: &Schema, k: usize, n: usize, p: f64) -> Database {
+    let mut db = Database::new(schema.clone());
+    let r = schema.by_name("R").expect("R");
+    let t = schema.by_name("T").expect("T");
+    for l in 1..=n as u64 {
+        db.insert(r, vec![l], p);
+    }
+    for m in 1..=n as u64 {
+        db.insert(t, vec![m], p);
+    }
+    for i in 1..=k {
+        let s = schema.by_name(&format!("S{i}")).expect("S_i");
+        for l in 1..=n as u64 {
+            for m in 1..=n as u64 {
+                db.insert(s, vec![l, m], p);
+            }
+        }
+    }
+    db
+}
+
+/// Lemma 7's restriction `bᵢ`: the partial assignment of the lineage of
+/// `uh(k)` over [`uh_complete_db`] under which the cofactor is `Hⁱ_{k,n}`.
+///
+/// Zeroes every tuple except the layers `i` and `i+1` (with layer `0` = the
+/// `R` tuples, layer `k+1` = the `T` tuples).
+pub fn lemma7_restriction(k: usize, n: usize, i: usize) -> Assignment {
+    assert!(i <= k);
+    let h = HFamily::new(k, n);
+    let mut b = Assignment::empty();
+    if i != 0 {
+        for &x in &h.xs {
+            b.set(x, false);
+        }
+    }
+    if i != k {
+        for &y in &h.ys {
+            b.set(y, false);
+        }
+    }
+    for layer in 1..=k {
+        if layer != i && layer != i + 1 {
+            for &z in &h.zs[layer - 1] {
+                b.set(z, false);
+            }
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::lineage_boolfn;
+
+    /// The lineage of uh(k) over the complete database IS ⋁ᵢ Hⁱ with the
+    /// HFamily variable layout.
+    #[test]
+    fn uh_lineage_is_union_of_h_functions() {
+        let (k, n) = (2usize, 2usize);
+        let (q, schema) = uh(k);
+        let db = uh_complete_db(&schema, k, n, 0.5);
+        let lin = lineage_boolfn(&q, &db).unwrap();
+        let h = HFamily::new(k, n);
+        let mut expect = h.func(0).unwrap();
+        for i in 1..=k {
+            expect = expect.or(&h.func(i).unwrap());
+        }
+        assert!(lin.equivalent(&expect), "lineage ≠ ⋁ H^i");
+    }
+
+    /// Lemma 7: restricting the lineage by bᵢ yields exactly Hⁱ_{k,n}.
+    #[test]
+    fn lemma7_cofactors_are_h_functions() {
+        let (k, n) = (2usize, 2usize);
+        let (q, schema) = uh(k);
+        let db = uh_complete_db(&schema, k, n, 0.5);
+        let lin = lineage_boolfn(&q, &db).unwrap();
+        let h = HFamily::new(k, n);
+        for i in 0..=k {
+            let b = lemma7_restriction(k, n, i);
+            let cof = lin.restrict_assignment(&b);
+            let expect = h.func(i).unwrap();
+            assert!(
+                cof.equivalent(&expect),
+                "Lemma 7 fails for i = {i}: cofactor ≠ H^{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn db_layout_matches_hfamily() {
+        let (k, n) = (2usize, 3usize);
+        let (_, schema) = uh(k);
+        let db = uh_complete_db(&schema, k, n, 0.5);
+        let h = HFamily::new(k, n);
+        assert_eq!(db.num_tuples(), 2 * n + k * n * n);
+        // R(2) is the second tuple → x_2.
+        let r = schema.by_name("R").unwrap();
+        assert_eq!(db.lookup(r, &[2]).unwrap().var(), h.xs[1]);
+        // S_2(3,1) sits at z²_{3,1}.
+        let s2 = schema.by_name("S2").unwrap();
+        assert_eq!(db.lookup(s2, &[3, 1]).unwrap().var(), h.z(2, 3, 1));
+    }
+
+    #[test]
+    fn all_family_queries_validate() {
+        for (q, schema) in [
+            two_atom_hierarchical(),
+            qrst(),
+            uh(3),
+            disconnected_hierarchical_union(),
+            sjoin_inequality_query(),
+        ] {
+            q.validate(&schema).unwrap();
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Hierarchical queries and inversion detection (paper §4, substitution S3).
+//!
+//! **Hierarchical CQs** (Dalvi–Suciu): a self-join-free CQ is hierarchical
+//! iff for all variable pairs the atom sets `at(x)`, `at(y)` are nested or
+//! disjoint; hierarchical ⟺ safe ⟺ constant-width OBDD lineages.
+//!
+//! **Inversions.** The paper uses only the *consequence* of the Dalvi–Suciu
+//! inversion definition (Lemma 7). The finder here works on the
+//! *unification/co-occurrence graph* over ordered variable-pair occurrences:
+//!
+//! * node: an atom of some disjunct together with an ordered pair of distinct
+//!   variable positions `(x at pₓ, y at p_y)`;
+//! * *unification edge* between occurrences of the same relation at the same
+//!   positions (with compatible constants);
+//! * *co-occurrence edge* between atoms of the same disjunct carrying the
+//!   same ordered variable pair;
+//! * a node has **left excess** if some atom of its disjunct contains `x`
+//!   but not `y`, **right excess** symmetrically.
+//!
+//! An *inversion* is a path from a left-excess node to a right-excess node;
+//! its *length* is the number of distinct relations on the path (`≥ 1`).
+//! This covers the paper's chain families exactly: `uh(k)` has an inversion
+//! of length `k`, `q_RST` one of length 1, and hierarchical or disconnected
+//! unions have none.
+
+use crate::ast::{Term, Ucq};
+use crate::schema::RelId;
+use std::collections::VecDeque;
+use vtree::fxhash::{FxHashMap, FxHashSet};
+
+/// A found inversion.
+#[derive(Clone, Debug)]
+pub struct InversionWitness {
+    /// `(disjunct, atom)` indices along the chain, in order.
+    pub chain: Vec<(usize, usize)>,
+    /// Number of distinct relations along the chain.
+    pub length: usize,
+}
+
+/// Is a self-join-free CQ hierarchical? (For CQs with self-joins the notion
+/// is not applicable; the function only considers variables, so callers
+/// should check [`crate::ast::Cq::self_join_free`] first.)
+pub fn cq_hierarchical(cq: &crate::ast::Cq) -> bool {
+    let vars = cq.vars();
+    let at = |v: u32| -> FxHashSet<usize> {
+        cq.atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.vars().contains(&v))
+            .map(|(i, _)| i)
+            .collect()
+    };
+    for (i, &x) in vars.iter().enumerate() {
+        for &y in &vars[i + 1..] {
+            let ax = at(x);
+            let ay = at(y);
+            let nested_or_disjoint = ax.is_subset(&ay)
+                || ay.is_subset(&ax)
+                || ax.is_disjoint(&ay);
+            if !nested_or_disjoint {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// One node of the inversion graph.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+struct Occ {
+    cq: usize,
+    atom: usize,
+    px: usize,
+    py: usize,
+}
+
+/// Find an inversion in a UCQ (with or without inequalities — inequalities
+/// do not change the atom structure the finder inspects).
+pub fn find_inversion(q: &Ucq) -> Option<InversionWitness> {
+    // Collect occurrence nodes and classify excess.
+    let mut nodes: Vec<Occ> = Vec::new();
+    let mut left_excess: Vec<bool> = Vec::new();
+    let mut right_excess: Vec<bool> = Vec::new();
+    for (ci, cq) in q.cqs.iter().enumerate() {
+        for (ai, atom) in cq.atoms.iter().enumerate() {
+            for px in 0..atom.args.len() {
+                for py in 0..atom.args.len() {
+                    if px == py {
+                        continue;
+                    }
+                    let (Term::Var(x), Term::Var(y)) = (atom.args[px], atom.args[py]) else {
+                        continue;
+                    };
+                    if x == y {
+                        continue;
+                    }
+                    let x_without_y = cq.atoms.iter().any(|a| {
+                        let vs = a.vars();
+                        vs.contains(&x) && !vs.contains(&y)
+                    });
+                    let y_without_x = cq.atoms.iter().any(|a| {
+                        let vs = a.vars();
+                        vs.contains(&y) && !vs.contains(&x)
+                    });
+                    nodes.push(Occ {
+                        cq: ci,
+                        atom: ai,
+                        px,
+                        py,
+                    });
+                    left_excess.push(x_without_y);
+                    right_excess.push(y_without_x);
+                }
+            }
+        }
+    }
+    if nodes.is_empty() {
+        return None;
+    }
+    // Adjacency: unification edges (same relation, same positions, compatible
+    // constants) and co-occurrence edges (same disjunct, same ordered pair).
+    let rel_of = |o: &Occ| q.cqs[o.cq].atoms[o.atom].rel;
+    let pair_of = |o: &Occ| -> (u32, u32) {
+        let a = &q.cqs[o.cq].atoms[o.atom];
+        let (Term::Var(x), Term::Var(y)) = (a.args[o.px], a.args[o.py]) else {
+            unreachable!("nodes carry variable pairs")
+        };
+        (x, y)
+    };
+    let compatible = |a: &Occ, b: &Occ| -> bool {
+        let aa = &q.cqs[a.cq].atoms[a.atom];
+        let ab = &q.cqs[b.cq].atoms[b.atom];
+        aa.args.iter().zip(&ab.args).all(|(ta, tb)| match (ta, tb) {
+            (Term::Const(u), Term::Const(v)) => u == v,
+            _ => true,
+        })
+    };
+    let idx_of: FxHashMap<Occ, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &o)| (o, i))
+        .collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, a) in nodes.iter().enumerate() {
+        for (j, b) in nodes.iter().enumerate().skip(i + 1) {
+            let unif = rel_of(a) == rel_of(b)
+                && a.px == b.px
+                && a.py == b.py
+                && (a.cq, a.atom) != (b.cq, b.atom)
+                && compatible(a, b);
+            let cooc = a.cq == b.cq && (a.atom, a.px, a.py) != (b.atom, b.px, b.py)
+                && pair_of(a) == pair_of(b);
+            if unif || cooc {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    let _ = idx_of;
+    // BFS from every left-excess node to any right-excess node.
+    let sources: Vec<usize> = (0..nodes.len()).filter(|&i| left_excess[i]).collect();
+    let mut best: Option<Vec<usize>> = None;
+    for s in sources {
+        let mut prev: Vec<Option<usize>> = vec![None; nodes.len()];
+        let mut seen = vec![false; nodes.len()];
+        let mut queue = VecDeque::new();
+        seen[s] = true;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            if right_excess[u] {
+                // Reconstruct path.
+                let mut path = vec![u];
+                let mut cur = u;
+                while let Some(p) = prev[cur] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                if best.as_ref().is_none_or(|b| path.len() < b.len()) {
+                    best = Some(path);
+                }
+                break;
+            }
+            for &w in &adj[u] {
+                if !seen[w] {
+                    seen[w] = true;
+                    prev[w] = Some(u);
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    best.map(|path| {
+        let chain: Vec<(usize, usize)> = path
+            .iter()
+            .map(|&i| (nodes[i].cq, nodes[i].atom))
+            .collect();
+        let mut rels: Vec<RelId> = path.iter().map(|&i| rel_of(&nodes[i])).collect();
+        rels.sort_unstable();
+        rels.dedup();
+        InversionWitness {
+            chain,
+            length: rels.len().max(1),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    #[test]
+    fn hierarchical_query_has_no_inversion() {
+        let (q, _schema) = families::two_atom_hierarchical();
+        assert!(q.cqs.iter().all(cq_hierarchical));
+        assert!(find_inversion(&q).is_none());
+    }
+
+    #[test]
+    fn qrst_has_inversion_length_one() {
+        let (q, _schema) = families::qrst();
+        assert!(!cq_hierarchical(&q.cqs[0]));
+        let w = find_inversion(&q).expect("q_RST has an inversion");
+        assert_eq!(w.length, 1);
+    }
+
+    #[test]
+    fn uh_k_has_inversion_length_k() {
+        for k in 1..=4 {
+            let (q, _schema) = families::uh(k);
+            let w = find_inversion(&q)
+                .unwrap_or_else(|| panic!("uh({k}) must contain an inversion"));
+            assert_eq!(w.length, k, "uh({k}) inversion length");
+        }
+    }
+
+    #[test]
+    fn disconnected_union_safe() {
+        // R(x)S(x,y) ∨ T(u)W(u,v): two hierarchical disjuncts over disjoint
+        // relations — no inversion.
+        let (q, _schema) = families::disconnected_hierarchical_union();
+        assert!(find_inversion(&q).is_none());
+    }
+
+    #[test]
+    fn ineq_example_is_inversion_free() {
+        let (q, _schema) = families::sjoin_inequality_query();
+        assert!(q.has_inequalities());
+        assert!(find_inversion(&q).is_none());
+    }
+
+    #[test]
+    fn non_hierarchical_detected() {
+        let (q, _) = families::qrst();
+        assert!(!cq_hierarchical(&q.cqs[0]));
+        let (q2, _) = families::two_atom_hierarchical();
+        assert!(cq_hierarchical(&q2.cqs[0]));
+    }
+}

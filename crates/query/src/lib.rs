@@ -1,0 +1,37 @@
+//! Probabilistic-database substrate and query compilation (paper §4).
+//!
+//! Implements the paper's database layer end to end:
+//!
+//! * [`schema`] — relational schemas and **tuple-independent probabilistic
+//!   databases**, each tuple carrying a marginal probability and a lineage
+//!   variable;
+//! * [`ast`] — unions of conjunctive queries with and without inequalities
+//!   (UCQ / UCQ≠);
+//! * [`eval`] — homomorphism enumeration and Boolean query evaluation on
+//!   subdatabases;
+//! * [`lineage`] — the lineage `L(Q, D)`: a monotone Boolean function over
+//!   the tuples of `D` accepting exactly the subdatabases satisfying `Q`,
+//!   materialized as a circuit (the input to query compilation);
+//! * [`hierarchy`] — hierarchical-CQ test and an **inversion finder** on
+//!   unification/co-occurrence chains (see DESIGN.md substitution S3);
+//! * [`families`] — the query families of §4: hierarchical (safe) queries,
+//!   `q_RST`, the inversion chains `uh(k)` whose lineages contain the
+//!   `H^i_{k,n}` functions as cofactors (Lemma 7), and UCQ≠ examples;
+//! * [`prob`] — probability evaluation six ways: brute force, lifted
+//!   safe-plan, OBDD compilation, SDD compilation, the paper's Lemma-1
+//!   pipeline, and a linear d-DNNF pass over `C_{F,T}`;
+//! * [`parser`] — a textual surface syntax (`"R(x), S(x,y) | S(x,y), T(y)"`).
+
+pub mod ast;
+pub mod eval;
+pub mod families;
+pub mod hierarchy;
+pub mod lineage;
+pub mod parser;
+pub mod prob;
+pub mod schema;
+
+pub use ast::{Atom, Cq, Term, Ucq};
+pub use hierarchy::{cq_hierarchical, find_inversion, InversionWitness};
+pub use lineage::{lineage_boolfn, lineage_circuit};
+pub use schema::{Database, RelId, Schema, Tuple, TupleId};

@@ -1,0 +1,153 @@
+//! Lineage construction: `L(Q, D)` as a monotone circuit over tuple
+//! variables (paper §4: `D' ⊨ Q  ⟺  b_{D'} ⊨ L(Q, D)`).
+
+use crate::ast::Ucq;
+use crate::eval::cq_matches;
+use crate::schema::{Database, TupleId};
+use boolfunc::{BoolFn, BoolFnError, VarSet};
+use circuit::{Circuit, CircuitBuilder, GateId};
+use vtree::fxhash::FxHashSet;
+
+/// The lineage of `q` over `db` as a monotone NNF circuit: a disjunction
+/// over homomorphisms of conjunctions of tuple variables. Gate sharing is by
+/// hash-consing; duplicate homomorphism images are deduplicated.
+///
+/// The circuit's variables are exactly the tuple variables `VarId(t)` of the
+/// tuples of `db` that participate in some match (plus none if `q` never
+/// matches — the constant-⊥ circuit).
+pub fn lineage_circuit(q: &Ucq, db: &Database) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let mut disjuncts: Vec<GateId> = Vec::new();
+    let mut seen: FxHashSet<Vec<TupleId>> = FxHashSet::default();
+    for cq in &q.cqs {
+        for used in cq_matches(cq, db, &|_| true) {
+            if !seen.insert(used.clone()) {
+                continue;
+            }
+            let lits: Vec<GateId> = used.iter().map(|t| b.var(t.var())).collect();
+            disjuncts.push(b.and_many(lits));
+        }
+    }
+    let out = b.or_many(disjuncts);
+    b.build(out)
+}
+
+/// The lineage as a truth table over *all* tuple variables of the database
+/// (so restrictions à la Lemma 7 can mention any tuple).
+pub fn lineage_boolfn(q: &Ucq, db: &Database) -> Result<BoolFn, BoolFnError> {
+    let c = lineage_circuit(q, db);
+    let f = c.to_boolfn()?;
+    let all_vars = VarSet::from_slice(&db.vars());
+    if all_vars.len() > boolfunc::MAX_VARS {
+        return Err(BoolFnError::TooManyVars { n: all_vars.len() });
+    }
+    Ok(f.with_support(&all_vars))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Cq, Term};
+    use crate::eval::ucq_holds;
+    use crate::schema::Schema;
+    use boolfunc::Assignment;
+
+    fn setup() -> (Database, Ucq) {
+        let mut s = Schema::new();
+        let r = s.add_relation("R", 1);
+        let sx = s.add_relation("S", 2);
+        let mut db = Database::new(s);
+        db.insert(r, vec![1], 0.5);
+        db.insert(r, vec![2], 0.5);
+        db.insert(sx, vec![1, 10], 0.5);
+        db.insert(sx, vec![2, 10], 0.5);
+        let q = Ucq::single(Cq::new(
+            vec![
+                Atom {
+                    rel: r,
+                    args: vec![Term::Var(0)],
+                },
+                Atom {
+                    rel: sx,
+                    args: vec![Term::Var(0), Term::Var(1)],
+                },
+            ],
+            vec![],
+        ));
+        (db, q)
+    }
+
+    /// The defining property: for every subdatabase D', D' ⊨ Q iff the
+    /// lineage accepts the indicator assignment of D'.
+    #[test]
+    fn lineage_defining_property() {
+        let (db, q) = setup();
+        let f = lineage_boolfn(&q, &db).unwrap();
+        let n = db.num_tuples();
+        for mask in 0..(1u64 << n) {
+            let present = |t: TupleId| mask >> t.0 & 1 == 1;
+            let holds = ucq_holds(&q, &db, &present);
+            let a = Assignment::from_index(f.vars(), mask);
+            assert_eq!(holds, f.eval(&a), "subdatabase {mask:#b}");
+        }
+    }
+
+    /// Lineages are monotone.
+    #[test]
+    fn lineage_monotone() {
+        let (db, q) = setup();
+        let f = lineage_boolfn(&q, &db).unwrap();
+        let n = db.num_tuples();
+        for mask in 0..(1u64 << n) {
+            if f.eval_index(mask) {
+                for extra in 0..n {
+                    assert!(f.eval_index(mask | 1 << extra), "monotonicity");
+                }
+            }
+        }
+    }
+
+    /// Duplicate homomorphism images are shared.
+    #[test]
+    fn duplicate_matches_deduplicated() {
+        let mut s = Schema::new();
+        let r = s.add_relation("R", 1);
+        let mut db = Database::new(s);
+        db.insert(r, vec![1], 0.5);
+        // Two disjuncts matching the same tuple: one term in the circuit.
+        let q = Ucq::new(vec![
+            Cq::new(
+                vec![Atom {
+                    rel: r,
+                    args: vec![Term::Var(0)],
+                }],
+                vec![],
+            ),
+            Cq::new(
+                vec![Atom {
+                    rel: r,
+                    args: vec![Term::Const(1)],
+                }],
+                vec![],
+            ),
+        ]);
+        let c = lineage_circuit(&q, &db);
+        // var gate + (or of one = collapsed): just the var gate.
+        assert!(c.size() <= 2);
+    }
+
+    /// Unsatisfied queries give the ⊥ lineage.
+    #[test]
+    fn empty_lineage() {
+        let (db, _) = setup();
+        let q = Ucq::single(Cq::new(
+            vec![Atom {
+                rel: crate::schema::RelId(0),
+                args: vec![Term::Const(777)],
+            }],
+            vec![],
+        ));
+        let f = lineage_boolfn(&q, &db).unwrap();
+        assert_eq!(f.count_models(), 0);
+    }
+}

@@ -1,0 +1,334 @@
+//! A small textual surface syntax for UCQs with inequalities.
+//!
+//! ```text
+//! R(x), S(x,y) | S(x,y), T(y)        -- two disjuncts
+//! S(x,y), S(u,v), x != u             -- self-join with an inequality
+//! R(x), S(x, 3)                      -- integer literals are constants
+//! ```
+//!
+//! Grammar: disjuncts split on `|`; each disjunct is a comma-separated list
+//! of atoms `Name(term, …)` and inequalities `term != term`; identifiers are
+//! variables, unsigned integers are constants. Relations are resolved (or
+//! registered) against a [`Schema`], with arity consistency checked.
+
+use crate::ast::{Atom, Cq, Term, Ucq};
+use crate::schema::Schema;
+use std::fmt;
+use vtree::fxhash::FxHashMap;
+
+/// Parse failures, with byte positions into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Something other than an atom or inequality at this position.
+    Expected { what: &'static str, at: usize },
+    /// A relation used with two different arities.
+    ArityConflict { name: String, first: usize, second: usize },
+    /// An inequality between two constants (vacuous or absurd — rejected).
+    ConstantInequality(usize),
+    /// Trailing garbage.
+    TrailingInput(usize),
+    /// A disjunct with no atoms.
+    EmptyDisjunct(usize),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Expected { what, at } => write!(f, "expected {what} at byte {at}"),
+            ParseError::ArityConflict { name, first, second } => {
+                write!(f, "relation {name} used with arities {first} and {second}")
+            }
+            ParseError::ConstantInequality(at) => {
+                write!(f, "inequality between constants at byte {at}")
+            }
+            ParseError::TrailingInput(at) => write!(f, "unexpected input at byte {at}"),
+            ParseError::EmptyDisjunct(i) => write!(f, "disjunct {i} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Option<&'a str> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start || self.src[start].is_ascii_digit() {
+            self.pos = start;
+            None
+        } else {
+            Some(std::str::from_utf8(&self.src[start..self.pos]).expect("ascii"))
+        }
+    }
+
+    fn number(&mut self) -> Option<u64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            None
+        } else {
+            std::str::from_utf8(&self.src[start..self.pos])
+                .expect("ascii")
+                .parse()
+                .ok()
+        }
+    }
+}
+
+/// Parse a UCQ, resolving (and registering) relation names in `schema`.
+pub fn parse_ucq(input: &str, schema: &mut Schema) -> Result<Ucq, ParseError> {
+    let mut lex = Lexer::new(input);
+    let mut cqs = Vec::new();
+    let mut disjunct_index = 0;
+    loop {
+        let cq = parse_cq(&mut lex, schema, disjunct_index)?;
+        cqs.push(cq);
+        disjunct_index += 1;
+        if !lex.eat(b'|') {
+            break;
+        }
+    }
+    lex.skip_ws();
+    if lex.pos != lex.src.len() {
+        return Err(ParseError::TrailingInput(lex.pos));
+    }
+    Ok(Ucq::new(cqs))
+}
+
+fn parse_cq(lex: &mut Lexer<'_>, schema: &mut Schema, index: usize) -> Result<Cq, ParseError> {
+    let mut atoms = Vec::new();
+    let mut neq = Vec::new();
+    let mut varmap: FxHashMap<String, u32> = FxHashMap::default();
+    loop {
+        // Either `Ident(args)` (atom) or `term != term` (inequality).
+        let save = lex.pos;
+        if let Some(name) = lex.ident() {
+            if lex.eat(b'(') {
+                // Atom.
+                let mut args = Vec::new();
+                if !lex.eat(b')') {
+                    loop {
+                        args.push(parse_term(lex, &mut varmap)?);
+                        if lex.eat(b')') {
+                            break;
+                        }
+                        if !lex.eat(b',') {
+                            return Err(ParseError::Expected {
+                                what: "',' or ')'",
+                                at: lex.pos,
+                            });
+                        }
+                    }
+                }
+                let rel = match schema.by_name(name) {
+                    Some(r) => {
+                        if schema.arity(r) != args.len() {
+                            return Err(ParseError::ArityConflict {
+                                name: name.to_string(),
+                                first: schema.arity(r),
+                                second: args.len(),
+                            });
+                        }
+                        r
+                    }
+                    None => schema.add_relation(name, args.len()),
+                };
+                atoms.push(Atom { rel, args });
+            } else {
+                // Must be an inequality starting with a variable.
+                lex.pos = save;
+                let a = parse_term(lex, &mut varmap)?;
+                expect_neq(lex)?;
+                let b = parse_term(lex, &mut varmap)?;
+                push_neq(a, b, lex.pos, &mut neq)?;
+            }
+        } else if lex.peek().map(|b| b.is_ascii_digit()) == Some(true) {
+            let a = parse_term(lex, &mut varmap)?;
+            expect_neq(lex)?;
+            let b = parse_term(lex, &mut varmap)?;
+            push_neq(a, b, lex.pos, &mut neq)?;
+        } else {
+            return Err(ParseError::Expected {
+                what: "atom or inequality",
+                at: lex.pos,
+            });
+        }
+        if !lex.eat(b',') {
+            break;
+        }
+    }
+    if atoms.is_empty() {
+        return Err(ParseError::EmptyDisjunct(index));
+    }
+    Ok(Cq::new(atoms, neq))
+}
+
+fn expect_neq(lex: &mut Lexer<'_>) -> Result<(), ParseError> {
+    if lex.eat(b'!') && lex.eat(b'=') {
+        Ok(())
+    } else {
+        Err(ParseError::Expected {
+            what: "'!='",
+            at: lex.pos,
+        })
+    }
+}
+
+fn push_neq(
+    a: Term,
+    b: Term,
+    at: usize,
+    neq: &mut Vec<(u32, u32)>,
+) -> Result<(), ParseError> {
+    match (a, b) {
+        (Term::Var(x), Term::Var(y)) => {
+            neq.push((x, y));
+            Ok(())
+        }
+        _ => Err(ParseError::ConstantInequality(at)),
+    }
+}
+
+fn parse_term(
+    lex: &mut Lexer<'_>,
+    varmap: &mut FxHashMap<String, u32>,
+) -> Result<Term, ParseError> {
+    if let Some(n) = lex.number() {
+        return Ok(Term::Const(n));
+    }
+    if let Some(name) = lex.ident() {
+        let next = varmap.len() as u32;
+        let id = *varmap.entry(name.to_string()).or_insert(next);
+        return Ok(Term::Var(id));
+    }
+    Err(ParseError::Expected {
+        what: "term",
+        at: lex.pos,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_uh1() {
+        let mut schema = Schema::new();
+        let q = parse_ucq("R(x), S1(x,y) | S1(x,y), T(y)", &mut schema).unwrap();
+        assert_eq!(q.cqs.len(), 2);
+        assert_eq!(schema.num_relations(), 3);
+        q.validate(&schema).unwrap();
+        // Shape matches the builder family.
+        let w = crate::hierarchy::find_inversion(&q).expect("inversion");
+        assert_eq!(w.length, 1);
+    }
+
+    #[test]
+    fn parses_inequalities_and_constants() {
+        let mut schema = Schema::new();
+        let q = parse_ucq("S(x,y), S(u,v), x != u, S(x, 3)", &mut schema).unwrap();
+        assert_eq!(q.cqs.len(), 1);
+        assert_eq!(q.cqs[0].neq.len(), 1);
+        assert!(q.has_inequalities());
+        assert!(q.cqs[0]
+            .atoms
+            .iter()
+            .any(|a| a.args.contains(&Term::Const(3))));
+    }
+
+    #[test]
+    fn variables_scoped_per_disjunct() {
+        let mut schema = Schema::new();
+        let q = parse_ucq("R(x) | R(x)", &mut schema).unwrap();
+        // Each disjunct gets its own variable table; both are Var(0).
+        assert_eq!(q.cqs[0].atoms[0].args, q.cqs[1].atoms[0].args);
+    }
+
+    #[test]
+    fn arity_conflict_detected() {
+        let mut schema = Schema::new();
+        let err = parse_ucq("R(x), R(x,y)", &mut schema).unwrap_err();
+        assert!(matches!(err, ParseError::ArityConflict { .. }));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let mut schema = Schema::new();
+        assert!(matches!(
+            parse_ucq("R(x) extra", &mut schema),
+            Err(ParseError::TrailingInput(_))
+        ));
+        assert!(matches!(
+            parse_ucq("", &mut schema),
+            Err(ParseError::Expected { .. })
+        ));
+        assert!(matches!(
+            parse_ucq("R(x), 3 != 4", &mut schema),
+            Err(ParseError::ConstantInequality(_))
+        ));
+    }
+
+    #[test]
+    fn parsed_query_evaluates() {
+        let mut schema = Schema::new();
+        let q = parse_ucq("R(x), S(x,y)", &mut schema).unwrap();
+        let r = schema.by_name("R").unwrap();
+        let s = schema.by_name("S").unwrap();
+        let mut db = crate::schema::Database::new(schema);
+        db.insert(r, vec![1], 0.5);
+        db.insert(s, vec![1, 2], 0.5);
+        assert!(crate::eval::ucq_holds(&q, &db, &|_| true));
+    }
+
+    #[test]
+    fn roundtrip_against_builder_family() {
+        let mut schema = Schema::new();
+        let parsed = parse_ucq("R(x), S1(x,y) | S1(x,y), S2(x,y) | S2(x,y), T(y)", &mut schema)
+            .unwrap();
+        let (built, _) = crate::families::uh(2);
+        assert_eq!(parsed.cqs.len(), built.cqs.len());
+        let wp = crate::hierarchy::find_inversion(&parsed).unwrap();
+        let wb = crate::hierarchy::find_inversion(&built).unwrap();
+        assert_eq!(wp.length, wb.length);
+    }
+}

@@ -1,0 +1,250 @@
+//! Relational schemas and tuple-independent probabilistic databases.
+
+use std::fmt;
+use vtree::fxhash::FxHashMap;
+use vtree::VarId;
+
+/// Index of a relation in a [`Schema`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RelId(pub u32);
+
+/// Index of a tuple in a [`Database`]; doubles as the tuple's lineage
+/// variable (`VarId(t.0)`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TupleId(pub u32);
+
+impl TupleId {
+    /// The lineage variable of this tuple.
+    #[inline]
+    pub fn var(self) -> VarId {
+        VarId(self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct RelSchema {
+    name: String,
+    arity: usize,
+}
+
+/// A relational vocabulary.
+#[derive(Clone, Debug, Default)]
+pub struct Schema {
+    rels: Vec<RelSchema>,
+}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Add a relation; names should be unique (not enforced).
+    pub fn add_relation(&mut self, name: &str, arity: usize) -> RelId {
+        self.rels.push(RelSchema {
+            name: name.to_string(),
+            arity,
+        });
+        RelId(self.rels.len() as u32 - 1)
+    }
+
+    /// Arity of a relation.
+    pub fn arity(&self, r: RelId) -> usize {
+        self.rels[r.0 as usize].arity
+    }
+
+    /// Name of a relation.
+    pub fn name(&self, r: RelId) -> &str {
+        &self.rels[r.0 as usize].name
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Look up a relation by name.
+    pub fn by_name(&self, name: &str) -> Option<RelId> {
+        self.rels
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RelId(i as u32))
+    }
+}
+
+/// A ground tuple.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Tuple {
+    /// Relation symbol.
+    pub rel: RelId,
+    /// Constants.
+    pub args: Vec<u64>,
+}
+
+/// A tuple-independent probabilistic database: every tuple `t` is present
+/// independently with probability `p(t)`. Tuple insertion order fixes the
+/// lineage variables: the `i`-th inserted tuple is variable `VarId(i)`.
+#[derive(Clone, Debug)]
+pub struct Database {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    probs: Vec<f64>,
+    by_rel: Vec<Vec<TupleId>>,
+    index: FxHashMap<Tuple, TupleId>,
+}
+
+impl Database {
+    /// Empty database over a schema.
+    pub fn new(schema: Schema) -> Self {
+        let nrels = schema.num_relations();
+        Database {
+            schema,
+            tuples: Vec::new(),
+            probs: Vec::new(),
+            by_rel: vec![Vec::new(); nrels],
+            index: FxHashMap::default(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Insert a tuple with probability `p ∈ [0, 1]`; re-inserting an existing
+    /// tuple updates its probability.
+    pub fn insert(&mut self, rel: RelId, args: Vec<u64>, p: f64) -> TupleId {
+        assert_eq!(
+            args.len(),
+            self.schema.arity(rel),
+            "arity mismatch for {}",
+            self.schema.name(rel)
+        );
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let t = Tuple { rel, args };
+        if let Some(&id) = self.index.get(&t) {
+            self.probs[id.0 as usize] = p;
+            return id;
+        }
+        let id = TupleId(self.tuples.len() as u32);
+        self.by_rel[rel.0 as usize].push(id);
+        self.index.insert(t.clone(), id);
+        self.tuples.push(t);
+        self.probs.push(p);
+        id
+    }
+
+    /// Number of tuples (= lineage variables).
+    pub fn num_tuples(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// The tuple with a given id.
+    pub fn tuple(&self, id: TupleId) -> &Tuple {
+        &self.tuples[id.0 as usize]
+    }
+
+    /// Marginal probability of a tuple.
+    pub fn prob(&self, id: TupleId) -> f64 {
+        self.probs[id.0 as usize]
+    }
+
+    /// Marginal probability by lineage variable.
+    pub fn prob_of_var(&self, v: VarId) -> f64 {
+        self.probs[v.index()]
+    }
+
+    /// Tuples of one relation.
+    pub fn tuples_of(&self, rel: RelId) -> &[TupleId] {
+        &self.by_rel[rel.0 as usize]
+    }
+
+    /// Look up a ground tuple.
+    pub fn lookup(&self, rel: RelId, args: &[u64]) -> Option<TupleId> {
+        self.index
+            .get(&Tuple {
+                rel,
+                args: args.to_vec(),
+            })
+            .copied()
+    }
+
+    /// All constants appearing anywhere (the active domain).
+    pub fn active_domain(&self) -> Vec<u64> {
+        let mut d: Vec<u64> = self.tuples.iter().flat_map(|t| t.args.iter().copied()).collect();
+        d.sort_unstable();
+        d.dedup();
+        d
+    }
+
+    /// The lineage variables of all tuples, in insertion order.
+    pub fn vars(&self) -> Vec<VarId> {
+        (0..self.tuples.len() as u32).map(VarId).collect()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Database({} relations, {} tuples)",
+            self.schema.num_relations(),
+            self.num_tuples()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_and_insert() {
+        let mut s = Schema::new();
+        let r = s.add_relation("R", 1);
+        let sx = s.add_relation("S", 2);
+        assert_eq!(s.arity(r), 1);
+        assert_eq!(s.by_name("S"), Some(sx));
+        let mut db = Database::new(s);
+        let t0 = db.insert(r, vec![1], 0.5);
+        let t1 = db.insert(sx, vec![1, 2], 0.25);
+        assert_eq!(t0, TupleId(0));
+        assert_eq!(t1.var(), VarId(1));
+        assert_eq!(db.num_tuples(), 2);
+        assert_eq!(db.prob(t1), 0.25);
+        assert_eq!(db.tuples_of(sx), &[t1]);
+        assert_eq!(db.lookup(r, &[1]), Some(t0));
+        assert_eq!(db.lookup(r, &[9]), None);
+        assert_eq!(db.active_domain(), vec![1, 2]);
+    }
+
+    #[test]
+    fn reinsert_updates_probability() {
+        let mut s = Schema::new();
+        let r = s.add_relation("R", 1);
+        let mut db = Database::new(s);
+        let t = db.insert(r, vec![7], 0.3);
+        let t2 = db.insert(r, vec![7], 0.9);
+        assert_eq!(t, t2);
+        assert_eq!(db.num_tuples(), 1);
+        assert!((db.prob(t) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut s = Schema::new();
+        let r = s.add_relation("R", 2);
+        let mut db = Database::new(s);
+        db.insert(r, vec![1], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn probability_checked() {
+        let mut s = Schema::new();
+        let r = s.add_relation("R", 1);
+        let mut db = Database::new(s);
+        db.insert(r, vec![1], 1.5);
+    }
+}

@@ -1,0 +1,863 @@
+//! Sentential decision diagrams (Darwiche, IJCAI 2011).
+//!
+//! An SDD respecting a vtree `T` is a deterministic structured NNF built from
+//! **sentential decisions** `⋁ᵢ (Pᵢ ∧ Sᵢ)` (paper §2.1, Eq. 5): at an
+//! internal vtree node `v`, the primes `Pᵢ` are SDDs over the left subtree
+//! forming an exhaustive, pairwise-disjoint case distinction, and the subs
+//! `Sᵢ` are SDDs over the right subtree. With **compression** (no two equal
+//! subs) and **trimming**, SDDs are canonical: equivalent functions get the
+//! *same node*, which this manager maintains through a unique table.
+//!
+//! The manager implements:
+//! * apply-style operations ([`SddManager::and`],
+//!   [`SddManager::or`], [`SddManager::negate`]) with memoization, via
+//!   lca-normalization and element cross products;
+//! * compilation from circuits and truth tables;
+//! * conditioning (cofactors), used by the Theorem 5 experiments;
+//! * exact model counting and weighted model counting with vtree-gap
+//!   smoothing;
+//! * **SDD size** (total elements) and the paper's **SDD width**
+//!   (Definition 5: max ∧-gates structured by a single vtree node).
+
+pub mod validate;
+
+use boolfunc::{Assignment, BoolFn, VarSet};
+use vtree::fxhash::FxHashMap;
+use vtree::{Side, VarId, Vtree, VtreeNodeId};
+
+/// Index of an SDD node. `FALSE = 0`, `TRUE = 1`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SddId(pub u32);
+
+/// The ⊥ terminal.
+pub const FALSE: SddId = SddId(0);
+/// The ⊤ terminal.
+pub const TRUE: SddId = SddId(1);
+
+impl SddId {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Is this ⊥ or ⊤?
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+/// Node payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SddNode {
+    /// ⊥.
+    False,
+    /// ⊤.
+    True,
+    /// A literal, attached at the vtree leaf of its variable.
+    Literal { var: VarId, positive: bool },
+    /// A sentential decision `⋁ (prime ∧ sub)`, normalized for `vnode`.
+    Decision {
+        /// The internal vtree node this decision respects.
+        vnode: VtreeNodeId,
+        /// `(prime, sub)` pairs: primes partition the left-subtree space,
+        /// subs are pairwise distinct (compression), sorted by prime id.
+        elems: Box<[(SddId, SddId)]>,
+    },
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+}
+
+/// An SDD manager over a fixed vtree.
+pub struct SddManager {
+    vtree: Vtree,
+    nodes: Vec<SddNode>,
+    lit_cache: FxHashMap<(VarId, bool), SddId>,
+    unique: FxHashMap<(VtreeNodeId, Vec<(SddId, SddId)>), SddId>,
+    apply_cache: FxHashMap<(Op, SddId, SddId), SddId>,
+    neg_cache: FxHashMap<SddId, SddId>,
+}
+
+impl SddManager {
+    /// Fresh manager over `vtree`.
+    pub fn new(vtree: Vtree) -> Self {
+        SddManager {
+            vtree,
+            nodes: vec![SddNode::False, SddNode::True],
+            lit_cache: FxHashMap::default(),
+            unique: FxHashMap::default(),
+            apply_cache: FxHashMap::default(),
+            neg_cache: FxHashMap::default(),
+        }
+    }
+
+    /// The manager's vtree.
+    pub fn vtree(&self) -> &Vtree {
+        &self.vtree
+    }
+
+    /// Node payload.
+    pub fn node(&self, id: SddId) -> &SddNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Total allocated nodes (terminals included).
+    pub fn num_allocated(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The vtree node a node respects: leaf for literals, its `vnode` for
+    /// decisions, `None` for ⊥/⊤ (which respect every node).
+    pub fn respects(&self, id: SddId) -> Option<VtreeNodeId> {
+        match &self.nodes[id.index()] {
+            SddNode::False | SddNode::True => None,
+            SddNode::Literal { var, .. } => {
+                Some(self.vtree.leaf_of_var(*var).expect("literal var in vtree"))
+            }
+            SddNode::Decision { vnode, .. } => Some(*vnode),
+        }
+    }
+
+    /// The literal `v` / `¬v`.
+    pub fn literal(&mut self, v: VarId, positive: bool) -> SddId {
+        assert!(
+            self.vtree.contains_var(v),
+            "literal variable {v} not in the vtree"
+        );
+        if let Some(&id) = self.lit_cache.get(&(v, positive)) {
+            return id;
+        }
+        let id = SddId(self.nodes.len() as u32);
+        self.nodes.push(SddNode::Literal { var: v, positive });
+        self.lit_cache.insert((v, positive), id);
+        id
+    }
+
+    /// Canonical decision-node constructor: drops ⊥ primes, compresses
+    /// (merges equal subs, or-ing their primes), trims, sorts, and interns.
+    fn mk_decision(&mut self, vnode: VtreeNodeId, elems: Vec<(SddId, SddId)>) -> SddId {
+        // Drop false primes.
+        let mut elems: Vec<(SddId, SddId)> =
+            elems.into_iter().filter(|(p, _)| *p != FALSE).collect();
+        if elems.is_empty() {
+            return FALSE;
+        }
+        // Compression: group primes by sub.
+        elems.sort_unstable_by_key(|&(_, s)| s);
+        let mut compressed: Vec<(SddId, SddId)> = Vec::with_capacity(elems.len());
+        let mut i = 0;
+        while i < elems.len() {
+            let sub = elems[i].1;
+            let mut prime = elems[i].0;
+            let mut j = i + 1;
+            while j < elems.len() && elems[j].1 == sub {
+                prime = self.or(prime, elems[j].0);
+                j += 1;
+            }
+            compressed.push((prime, sub));
+            i = j;
+        }
+        // Trimming rule 1: {(⊤, s)} → s.
+        if compressed.len() == 1 && compressed[0].0 == TRUE {
+            return compressed[0].1;
+        }
+        // Trimming rule 2: {(p, ⊤), (¬p, ⊥)} → p.
+        if compressed.len() == 2 {
+            let find = |sub: SddId| compressed.iter().find(|&&(_, s)| s == sub).map(|&(p, _)| p);
+            if let (Some(p_true), Some(_p_false)) = (find(TRUE), find(FALSE)) {
+                return p_true;
+            }
+        }
+        compressed.sort_unstable_by_key(|&(p, _)| p);
+        let key = (vnode, compressed.clone());
+        if let Some(&id) = self.unique.get(&key) {
+            return id;
+        }
+        let id = SddId(self.nodes.len() as u32);
+        self.nodes.push(SddNode::Decision {
+            vnode,
+            elems: compressed.into_boxed_slice(),
+        });
+        self.unique.insert(key, id);
+        id
+    }
+
+    /// Public canonical decision constructor: builds `⋁ (prime ∧ sub)`
+    /// normalized for `vnode`, applying compression, trimming and unique-table
+    /// interning.
+    ///
+    /// The caller must supply primes forming an exhaustive, pairwise-disjoint
+    /// partition of the left-subtree space (the constructor *canonicalizes*
+    /// but does not verify this; use [`SddManager::validate`] in tests). This
+    /// is the entry point for the paper's direct `S_{F,T}` construction
+    /// (§3.2.2), which builds sentential decisions from factor sets rather
+    /// than through `apply`.
+    pub fn decision(&mut self, vnode: VtreeNodeId, elems: Vec<(SddId, SddId)>) -> SddId {
+        assert!(
+            !self.vtree.is_leaf(vnode),
+            "decision vnode must be internal"
+        );
+        self.mk_decision(vnode, elems)
+    }
+
+    /// Negation (cached; structural: same primes, negated subs).
+    pub fn negate(&mut self, a: SddId) -> SddId {
+        match &self.nodes[a.index()] {
+            SddNode::False => return TRUE,
+            SddNode::True => return FALSE,
+            SddNode::Literal { var, positive } => {
+                let (v, p) = (*var, *positive);
+                return self.literal(v, !p);
+            }
+            SddNode::Decision { .. } => {}
+        }
+        if let Some(&n) = self.neg_cache.get(&a) {
+            return n;
+        }
+        let SddNode::Decision { vnode, elems } = self.nodes[a.index()].clone() else {
+            unreachable!()
+        };
+        let neg_elems: Vec<(SddId, SddId)> = elems
+            .iter()
+            .map(|&(p, s)| {
+                let ns = self.negate(s);
+                (p, ns)
+            })
+            .collect();
+        let n = self.mk_decision(vnode, neg_elems);
+        self.neg_cache.insert(a, n);
+        self.neg_cache.insert(n, a);
+        n
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: SddId, b: SddId) -> SddId {
+        self.apply(Op::And, a, b)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: SddId, b: SddId) -> SddId {
+        self.apply(Op::Or, a, b)
+    }
+
+    fn apply(&mut self, op: Op, a: SddId, b: SddId) -> SddId {
+        // Terminal and identity shortcuts.
+        match op {
+            Op::And => {
+                if a == FALSE || b == FALSE {
+                    return FALSE;
+                }
+                if a == TRUE {
+                    return b;
+                }
+                if b == TRUE || a == b {
+                    return a;
+                }
+            }
+            Op::Or => {
+                if a == TRUE || b == TRUE {
+                    return TRUE;
+                }
+                if a == FALSE {
+                    return b;
+                }
+                if b == FALSE || a == b {
+                    return a;
+                }
+            }
+        }
+        let key = if a <= b { (op, a, b) } else { (op, b, a) };
+        if let Some(&r) = self.apply_cache.get(&key) {
+            return r;
+        }
+        // Complement shortcut (uses the cache only — avoid computing fresh
+        // negations here, which could recurse deeply for no benefit).
+        if self.neg_cache.get(&a) == Some(&b) {
+            let r = match op {
+                Op::And => FALSE,
+                Op::Or => TRUE,
+            };
+            self.apply_cache.insert(key, r);
+            return r;
+        }
+        let va = self.respects(a).expect("non-terminal");
+        let vb = self.respects(b).expect("non-terminal");
+        let r = if va == vb {
+            if self.vtree.is_leaf(va) {
+                // Two literals of the same variable with different polarity
+                // (equal nodes were handled above).
+                match op {
+                    Op::And => FALSE,
+                    Op::Or => TRUE,
+                }
+            } else {
+                let ea = self.elements_of(a);
+                let eb = self.elements_of(b);
+                self.cross(op, va, &ea, &eb)
+            }
+        } else {
+            let l = self.vtree.lca(va, vb);
+            let ea = self.normalize_for(a, va, l);
+            let eb = self.normalize_for(b, vb, l);
+            self.cross(op, l, &ea, &eb)
+        };
+        self.apply_cache.insert(key, r);
+        r
+    }
+
+    /// The element list of a decision node.
+    fn elements_of(&self, a: SddId) -> Vec<(SddId, SddId)> {
+        match &self.nodes[a.index()] {
+            SddNode::Decision { elems, .. } => elems.to_vec(),
+            _ => unreachable!("elements_of on non-decision"),
+        }
+    }
+
+    /// Normalize node `a` (respecting `va`, a strict descendant of `l` or `l`
+    /// itself) into an element list for vnode `l`.
+    fn normalize_for(&mut self, a: SddId, va: VtreeNodeId, l: VtreeNodeId) -> Vec<(SddId, SddId)> {
+        if va == l {
+            return self.elements_of(a);
+        }
+        match self.vtree.side_of(l, va) {
+            Some(Side::Left) => {
+                let na = self.negate(a);
+                vec![(a, TRUE), (na, FALSE)]
+            }
+            Some(Side::Right) => vec![(TRUE, a)],
+            None => unreachable!("lca guarantees va below l"),
+        }
+    }
+
+    /// Cross product of two element lists, combining subs with `op`.
+    fn cross(
+        &mut self,
+        op: Op,
+        vnode: VtreeNodeId,
+        ea: &[(SddId, SddId)],
+        eb: &[(SddId, SddId)],
+    ) -> SddId {
+        let mut out = Vec::with_capacity(ea.len() * eb.len());
+        for &(p1, s1) in ea {
+            for &(p2, s2) in eb {
+                let p = self.and(p1, p2);
+                if p == FALSE {
+                    continue;
+                }
+                let s = self.apply(op, s1, s2);
+                out.push((p, s));
+            }
+        }
+        self.mk_decision(vnode, out)
+    }
+
+    /// Compile a circuit bottom-up.
+    pub fn from_circuit(&mut self, c: &circuit::Circuit) -> SddId {
+        use circuit::GateKind;
+        let mut val: Vec<SddId> = Vec::with_capacity(c.size());
+        for (_, g) in c.iter() {
+            let n = match g {
+                GateKind::Var(v) => self.literal(*v, true),
+                GateKind::Const(b) => {
+                    if *b {
+                        TRUE
+                    } else {
+                        FALSE
+                    }
+                }
+                GateKind::Not(x) => {
+                    let x = val[x.index()];
+                    self.negate(x)
+                }
+                GateKind::And(xs) => {
+                    let mut acc = TRUE;
+                    for x in xs.iter() {
+                        let xv = val[x.index()];
+                        acc = self.and(acc, xv);
+                    }
+                    acc
+                }
+                GateKind::Or(xs) => {
+                    let mut acc = FALSE;
+                    for x in xs.iter() {
+                        let xv = val[x.index()];
+                        acc = self.or(acc, xv);
+                    }
+                    acc
+                }
+            };
+            val.push(n);
+        }
+        val[c.output().index()]
+    }
+
+    /// Compile a truth table by Shannon expansion along the vtree leaf order
+    /// (apply does the structural work; the result is canonical regardless).
+    pub fn from_boolfn(&mut self, f: &BoolFn) -> SddId {
+        assert!(
+            f.vars().iter().all(|v| self.vtree.contains_var(v)),
+            "vtree must cover the support"
+        );
+        let order = self.vtree.leaf_order();
+        let mut memo: FxHashMap<BoolFn, SddId> = FxHashMap::default();
+        self.from_boolfn_rec(f, &order, 0, &mut memo)
+    }
+
+    #[allow(clippy::wrong_self_convention)] // recursive helper of from_boolfn
+    fn from_boolfn_rec(
+        &mut self,
+        f: &BoolFn,
+        order: &[VarId],
+        mut i: usize,
+        memo: &mut FxHashMap<BoolFn, SddId>,
+    ) -> SddId {
+        if let Some(c) = f.as_constant() {
+            return if c { TRUE } else { FALSE };
+        }
+        if let Some(&n) = memo.get(f) {
+            return n;
+        }
+        while !(f.vars().contains(order[i]) && f.depends_on(order[i])) {
+            i += 1;
+        }
+        let v = order[i];
+        let f0 = f.restrict(v, false);
+        let f1 = f.restrict(v, true);
+        let lo = self.from_boolfn_rec(&f0, order, i + 1, memo);
+        let hi = self.from_boolfn_rec(&f1, order, i + 1, memo);
+        let pos = self.literal(v, true);
+        let neg = self.literal(v, false);
+        let a = self.and(pos, hi);
+        let b = self.and(neg, lo);
+        let n = self.or(a, b);
+        memo.insert(f.clone(), n);
+        n
+    }
+
+    /// Condition on `var := value` (cofactor).
+    pub fn condition(&mut self, a: SddId, var: VarId, value: bool) -> SddId {
+        let mut memo: FxHashMap<SddId, SddId> = FxHashMap::default();
+        self.condition_rec(a, var, value, &mut memo)
+    }
+
+    fn condition_rec(
+        &mut self,
+        a: SddId,
+        var: VarId,
+        value: bool,
+        memo: &mut FxHashMap<SddId, SddId>,
+    ) -> SddId {
+        match &self.nodes[a.index()] {
+            SddNode::False | SddNode::True => return a,
+            SddNode::Literal { var: v, positive } => {
+                if *v == var {
+                    return if *positive == value { TRUE } else { FALSE };
+                }
+                return a;
+            }
+            SddNode::Decision { .. } => {}
+        }
+        if let Some(&r) = memo.get(&a) {
+            return r;
+        }
+        let SddNode::Decision { vnode, elems } = self.nodes[a.index()].clone() else {
+            unreachable!()
+        };
+        let new: Vec<(SddId, SddId)> = elems
+            .iter()
+            .map(|&(p, s)| {
+                let np = self.condition_rec(p, var, value, memo);
+                let ns = self.condition_rec(s, var, value, memo);
+                (np, ns)
+            })
+            .collect();
+        let r = self.mk_decision(vnode, new);
+        memo.insert(a, r);
+        r
+    }
+
+    /// Evaluate under an assignment covering the vtree variables.
+    pub fn eval(&self, a: SddId, asg: &Assignment) -> bool {
+        match &self.nodes[a.index()] {
+            SddNode::False => false,
+            SddNode::True => true,
+            SddNode::Literal { var, positive } => {
+                asg.get(*var).expect("assignment covers vtree vars") == *positive
+            }
+            SddNode::Decision { elems, .. } => elems
+                .iter()
+                .any(|&(p, s)| self.eval(p, asg) && self.eval(s, asg)),
+        }
+    }
+
+    /// Read back the function over the full vtree variable set.
+    pub fn to_boolfn(&self, a: SddId) -> BoolFn {
+        let vars = VarSet::from_slice(self.vtree.vars());
+        BoolFn::from_fn(vars.clone(), |idx| {
+            self.eval(a, &Assignment::from_index(&vars, idx))
+        })
+    }
+
+    /// Decision nodes reachable from `root`.
+    pub fn reachable_decisions(&self, root: SddId) -> Vec<SddId> {
+        let mut seen: FxHashMap<SddId, ()> = FxHashMap::default();
+        let mut stack = vec![root];
+        let mut out = Vec::new();
+        while let Some(n) = stack.pop() {
+            if seen.contains_key(&n) {
+                continue;
+            }
+            seen.insert(n, ());
+            if let SddNode::Decision { elems, .. } = &self.nodes[n.index()] {
+                out.push(n);
+                for &(p, s) in elems.iter() {
+                    stack.push(p);
+                    stack.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// SDD size: total number of elements (∧-gates) over reachable decisions.
+    pub fn size(&self, root: SddId) -> usize {
+        self.reachable_decisions(root)
+            .iter()
+            .map(|n| match &self.nodes[n.index()] {
+                SddNode::Decision { elems, .. } => elems.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// ∧-gates per vtree node: the counts behind the paper's Definition 5.
+    pub fn vnode_profile(&self, root: SddId) -> FxHashMap<VtreeNodeId, usize> {
+        let mut profile: FxHashMap<VtreeNodeId, usize> = FxHashMap::default();
+        for n in self.reachable_decisions(root) {
+            if let SddNode::Decision { vnode, elems } = &self.nodes[n.index()] {
+                *profile.entry(*vnode).or_insert(0) += elems.len();
+            }
+        }
+        profile
+    }
+
+    /// The paper's **SDD width** (Definition 5): the maximum number of
+    /// ∧-gates structured by a single vtree node.
+    pub fn width(&self, root: SddId) -> usize {
+        self.vnode_profile(root).values().copied().max().unwrap_or(0)
+    }
+
+    /// Exact model count over all vtree variables.
+    pub fn count_models(&self, root: SddId) -> u128 {
+        let mut memo: FxHashMap<SddId, u128> = FxHashMap::default();
+        let total_vars = self.vtree.vars().len();
+        self.scoped_count(root, total_vars, &mut memo)
+    }
+
+    /// Count of `a` over a scope of `scope_vars` variables (⊇ its own vars).
+    fn scoped_count(&self, a: SddId, scope_vars: usize, memo: &mut FxHashMap<SddId, u128>) -> u128 {
+        match &self.nodes[a.index()] {
+            SddNode::False => 0,
+            SddNode::True => 1u128 << scope_vars,
+            SddNode::Literal { .. } => 1u128 << (scope_vars - 1),
+            SddNode::Decision { .. } => {
+                let own = self
+                    .vtree
+                    .vars_below(self.respects(a).expect("decision"))
+                    .len();
+                let raw = self.raw_count(a, memo);
+                raw << (scope_vars - own)
+            }
+        }
+    }
+
+    /// Count of a decision node over exactly its own vtree-node variables.
+    fn raw_count(&self, a: SddId, memo: &mut FxHashMap<SddId, u128>) -> u128 {
+        if let Some(&c) = memo.get(&a) {
+            return c;
+        }
+        let SddNode::Decision { vnode, elems } = &self.nodes[a.index()] else {
+            unreachable!("raw_count on non-decision");
+        };
+        let (lv, rv) = self.vtree.children(*vnode).expect("internal vnode");
+        let ln = self.vtree.vars_below(lv).len();
+        let rn = self.vtree.vars_below(rv).len();
+        let mut total = 0u128;
+        for &(p, s) in elems.iter() {
+            let pc = self.scoped_count(p, ln, memo);
+            let sc = self.scoped_count(s, rn, memo);
+            total += pc * sc;
+        }
+        memo.insert(a, total);
+        total
+    }
+
+    /// Weighted model count over all vtree variables: `weight(v) = (w⁻, w⁺)`.
+    /// Variables skipped between a node and its vtree scope contribute the
+    /// factor `w⁻ + w⁺` (gap smoothing).
+    pub fn weighted_count(&self, root: SddId, weight: impl Fn(VarId) -> (f64, f64)) -> f64 {
+        // gap[v] = ∏_{u ∈ vars_below(v)} (w⁻ + w⁺)
+        let mut gap: Vec<f64> = Vec::with_capacity(self.vtree.num_nodes());
+        let mut wmap: FxHashMap<VarId, (f64, f64)> = FxHashMap::default();
+        for &v in self.vtree.vars() {
+            wmap.insert(v, weight(v));
+        }
+        for id in self.vtree.node_ids() {
+            let prod: f64 = self
+                .vtree
+                .vars_below(id)
+                .iter()
+                .map(|v| {
+                    let (a, b) = wmap[v];
+                    a + b
+                })
+                .product();
+            gap.push(prod);
+        }
+        let mut memo: FxHashMap<SddId, f64> = FxHashMap::default();
+        self.scoped_wc(root, self.vtree.root(), &gap, &wmap, &mut memo)
+    }
+
+    fn scoped_wc(
+        &self,
+        a: SddId,
+        scope: VtreeNodeId,
+        gap: &[f64],
+        wmap: &FxHashMap<VarId, (f64, f64)>,
+        memo: &mut FxHashMap<SddId, f64>,
+    ) -> f64 {
+        match &self.nodes[a.index()] {
+            SddNode::False => 0.0,
+            SddNode::True => gap[scope.index()],
+            SddNode::Literal { var, positive } => {
+                let (wn, wp) = wmap[var];
+                let own = wn + wp;
+                let lit = if *positive { wp } else { wn };
+                // gap over scope minus this leaf
+                if own == 0.0 {
+                    0.0
+                } else {
+                    lit * gap[scope.index()] / own
+                }
+            }
+            SddNode::Decision { .. } => {
+                let own = self.respects(a).expect("decision");
+                let raw = self.raw_wc(a, gap, wmap, memo);
+                if gap[own.index()] == 0.0 {
+                    0.0
+                } else {
+                    raw * gap[scope.index()] / gap[own.index()]
+                }
+            }
+        }
+    }
+
+    fn raw_wc(
+        &self,
+        a: SddId,
+        gap: &[f64],
+        wmap: &FxHashMap<VarId, (f64, f64)>,
+        memo: &mut FxHashMap<SddId, f64>,
+    ) -> f64 {
+        if let Some(&c) = memo.get(&a) {
+            return c;
+        }
+        let SddNode::Decision { vnode, elems } = &self.nodes[a.index()] else {
+            unreachable!();
+        };
+        let (lv, rv) = self.vtree.children(*vnode).expect("internal vnode");
+        let mut total = 0.0;
+        for &(p, s) in elems.iter() {
+            let pc = self.scoped_wc(p, lv, gap, wmap, memo);
+            let sc = self.scoped_wc(s, rv, gap, wmap, memo);
+            total += pc * sc;
+        }
+        memo.insert(a, total);
+        total
+    }
+
+    /// Probability under independent `P(v=1) = prob(v)`.
+    pub fn probability(&self, root: SddId, prob: impl Fn(VarId) -> f64) -> f64 {
+        self.weighted_count(root, |v| {
+            let p = prob(v);
+            (1.0 - p, p)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolfunc::families;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    fn vars(n: u32) -> Vec<VarId> {
+        (0..n).map(VarId).collect()
+    }
+
+    fn balanced_mgr(n: u32) -> SddManager {
+        SddManager::new(Vtree::balanced(&vars(n)).unwrap())
+    }
+
+    #[test]
+    fn literal_ops() {
+        let mut m = balanced_mgr(2);
+        let x = m.literal(v(0), true);
+        let nx = m.literal(v(0), false);
+        assert_eq!(m.and(x, nx), FALSE);
+        assert_eq!(m.or(x, nx), TRUE);
+        assert_eq!(m.negate(x), nx);
+        assert_eq!(m.and(x, x), x);
+    }
+
+    #[test]
+    fn and_across_root() {
+        let mut m = balanced_mgr(4);
+        let x0 = m.literal(v(0), true);
+        let x2 = m.literal(v(2), true);
+        let g = m.and(x0, x2);
+        assert_eq!(m.count_models(g), 4); // 2 free vars
+        let f = m.to_boolfn(g);
+        let expect = BoolFn::literal(v(0), true).and(&BoolFn::literal(v(2), true));
+        assert!(f.equivalent(&expect));
+    }
+
+    #[test]
+    fn canonicity_same_function_same_node() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for trial in 0..20 {
+            let c = circuit::families::random_circuit(5, 12, &mut rng);
+            let f = c.to_boolfn().unwrap();
+            let mut m = balanced_mgr(5);
+            let r1 = m.from_circuit(&c);
+            let r2 = m.from_boolfn(&f);
+            assert_eq!(r1, r2, "trial {trial}: canonicity violated");
+            assert!(m.to_boolfn(r1).equivalent(&f), "trial {trial}: semantics");
+        }
+    }
+
+    #[test]
+    fn canonicity_across_vtrees_semantics_only() {
+        // Different vtrees give different nodes but the same function.
+        let f = families::parity(&vars(5));
+        for vt in [
+            Vtree::right_linear(&vars(5)).unwrap(),
+            Vtree::left_linear(&vars(5)).unwrap(),
+            Vtree::balanced(&vars(5)).unwrap(),
+        ] {
+            let mut m = SddManager::new(vt);
+            let r = m.from_boolfn(&f);
+            assert!(m.to_boolfn(r).equivalent(&f));
+            assert_eq!(m.count_models(r), 16);
+        }
+    }
+
+    #[test]
+    fn negation_involution_and_semantics() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let f = BoolFn::random(VarSet::from_slice(&vars(6)), &mut rng);
+        let mut m = balanced_mgr(6);
+        let r = m.from_boolfn(&f);
+        let nr = m.negate(r);
+        assert_eq!(m.negate(nr), r);
+        assert!(m.to_boolfn(nr).equivalent(&f.not()));
+        assert_eq!(
+            m.count_models(r) + m.count_models(nr),
+            1 << 6,
+            "models partition"
+        );
+    }
+
+    #[test]
+    fn condition_matches_kernel_restrict() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let f = BoolFn::random(VarSet::from_slice(&vars(5)), &mut rng);
+        let mut m = balanced_mgr(5);
+        let r = m.from_boolfn(&f);
+        for var in vars(5) {
+            for val in [false, true] {
+                let c = m.condition(r, var, val);
+                let expect = f.restrict(var, val);
+                assert!(
+                    m.to_boolfn(c).equivalent(&expect),
+                    "condition on {var}={val}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counting_with_gaps() {
+        // x3 alone in a 6-var manager: 2^5 models.
+        let mut m = balanced_mgr(6);
+        let x3 = m.literal(v(3), true);
+        assert_eq!(m.count_models(x3), 32);
+        assert_eq!(m.count_models(TRUE), 64);
+        assert_eq!(m.count_models(FALSE), 0);
+    }
+
+    #[test]
+    fn weighted_count_matches_kernel() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let f = BoolFn::random(VarSet::from_slice(&vars(7)), &mut rng);
+        let vt = Vtree::balanced(&vars(7)).unwrap();
+        let mut m = SddManager::new(vt);
+        let r = m.from_boolfn(&f);
+        let probs = [0.05, 0.25, 0.5, 0.75, 0.95, 0.33, 0.66];
+        let a = m.probability(r, |u| probs[u.index()]);
+        let b = f.probability(|u| probs[u.index()]);
+        assert!((a - b).abs() < 1e-12, "sdd {a} vs kernel {b}");
+    }
+
+    #[test]
+    fn disjointness_width_small_on_interleaved_vtree() {
+        // D_n with the pairs (x_i, y_i) grouped: SDD width stays small.
+        let n = 4;
+        let (f, xs, ys) = families::disjointness(n);
+        let mut interleaved = Vec::new();
+        for i in 0..n {
+            interleaved.push(xs[i]);
+            interleaved.push(ys[i]);
+        }
+        let vt = Vtree::right_linear(&interleaved).unwrap();
+        let mut m = SddManager::new(vt);
+        let r = m.from_boolfn(&f);
+        assert!(m.width(r) <= 6, "width {}", m.width(r));
+        assert_eq!(m.count_models(r), 3u128.pow(n as u32));
+    }
+
+    #[test]
+    fn size_and_width_zero_for_terminals_and_literals() {
+        let mut m = balanced_mgr(3);
+        assert_eq!(m.size(TRUE), 0);
+        let x = m.literal(v(1), false);
+        assert_eq!(m.size(x), 0);
+        assert_eq!(m.width(x), 0);
+    }
+
+    #[test]
+    fn apply_on_obdd_vtree_matches_obdd_counts() {
+        // Right-linear vtree: SDDs degenerate to OBDD-like structures; model
+        // counts must agree with the OBDD package.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        let f = BoolFn::random(VarSet::from_slice(&vars(6)), &mut rng);
+        let vt = Vtree::right_linear(&vars(6)).unwrap();
+        let mut m = SddManager::new(vt);
+        let r = m.from_boolfn(&f);
+        let mut ob = obdd::Obdd::new(vars(6));
+        let or = ob.from_boolfn(&f);
+        assert_eq!(m.count_models(r), ob.count_models(or));
+    }
+}

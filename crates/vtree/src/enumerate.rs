@@ -1,0 +1,109 @@
+//! Exhaustive enumeration of vtrees over small variable sets.
+//!
+//! The number of distinct leaf-labelled binary trees over `n` labelled leaves
+//! (ignoring left/right order, which neither factor width, nor factorized
+//! implicant width, nor SDD width depends on) is `(2n-3)!! = 1, 1, 3, 15, 105,
+//! 945, 10395, …`. Enumeration proceeds by the classical leaf-insertion
+//! scheme: a tree over `k+1` leaves arises uniquely from a tree over `k`
+//! leaves by splitting one of its `2k-1` nodes (edges plus root).
+//!
+//! Width-minimization procedures (`fw(F)`, `fiw(F)`, `sdw(F)` per
+//! Definitions 2, 4, 5 of the paper) search this space for small `n`.
+
+use crate::{VarId, Vtree, VtreeShape};
+
+/// Enumerate every vtree over `vars`, up to left/right child order.
+///
+/// Panics if `vars.len() > max_n`, the caller-supplied safety bound
+/// (`(2n-3)!!` trees are produced; `n = 7` already yields 10 395).
+pub fn all_vtrees(vars: &[VarId], max_n: usize) -> Vec<Vtree> {
+    assert!(
+        vars.len() <= max_n,
+        "refusing to enumerate (2n-3)!! vtrees for n = {} > max_n = {}",
+        vars.len(),
+        max_n
+    );
+    assert!(!vars.is_empty(), "need at least one variable");
+    let mut shapes = vec![VtreeShape::Leaf(vars[0])];
+    for &v in &vars[1..] {
+        let mut next = Vec::with_capacity(shapes.len() * (2 * shapes.len() - 1).max(1));
+        for s in &shapes {
+            insert_everywhere(s, v, &mut next);
+        }
+        shapes = next;
+    }
+    shapes
+        .iter()
+        .map(|s| Vtree::from_shape(s).expect("enumerated shapes have distinct leaves"))
+        .collect()
+}
+
+/// Produce all trees obtained from `s` by pairing `v` with some subtree of
+/// `s` (including `s` itself).
+fn insert_everywhere(s: &VtreeShape, v: VarId, out: &mut Vec<VtreeShape>) {
+    // Pair with the whole tree (new root).
+    out.push(VtreeShape::node(s.clone(), VtreeShape::Leaf(v)));
+    // Pair with a proper subtree: recurse structurally, rebuilding the path.
+    if let VtreeShape::Node(l, r) = s {
+        let mut subs = Vec::new();
+        insert_everywhere(l, v, &mut subs);
+        for nl in subs.drain(..) {
+            out.push(VtreeShape::node(nl, (**r).clone()));
+        }
+        insert_everywhere(r, v, &mut subs);
+        for nr in subs {
+            out.push(VtreeShape::node((**l).clone(), nr));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fresh_vars;
+
+    fn double_factorial(n: i64) -> usize {
+        if n <= 0 {
+            1
+        } else {
+            (n as usize) * double_factorial(n - 2)
+        }
+    }
+
+    #[test]
+    fn counts_match_double_factorial() {
+        for n in 1..=6usize {
+            let vs = fresh_vars(n);
+            let trees = all_vtrees(&vs, 6);
+            assert_eq!(
+                trees.len(),
+                double_factorial(2 * n as i64 - 3),
+                "vtree count for n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_trees_have_right_leaves() {
+        let vs = fresh_vars(4);
+        for vt in all_vtrees(&vs, 4) {
+            assert_eq!(vt.vars(), &vs[..]);
+        }
+    }
+
+    #[test]
+    fn enumeration_contains_linear_tree_shapes() {
+        // Among the 3 vtrees over {x0,x1,x2} there must be one whose
+        // leaf order groups (x0 x1) first.
+        let vs = fresh_vars(3);
+        let reprs: Vec<String> = all_vtrees(&vs, 3).iter().map(|t| t.to_string()).collect();
+        assert!(reprs.iter().any(|r| r.contains("(x0 x1)")), "{reprs:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to enumerate")]
+    fn guard_rails() {
+        let vs = fresh_vars(9);
+        let _ = all_vtrees(&vs, 8);
+    }
+}

@@ -1,0 +1,109 @@
+//! A minimal FxHash-style hasher.
+//!
+//! The standard library's SipHash is collision-resistant but slow for the
+//! short integer keys that dominate the unique tables and apply caches in the
+//! OBDD/SDD managers (see the Rust Performance Book, "Hashing"). This is the
+//! rustc `FxHasher` multiply-rotate scheme, reimplemented here so the
+//! workspace needs no extra dependency.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Multiply-rotate hasher; very fast for small fixed-size keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_distinguishing() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i.wrapping_mul(7)), i);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i.wrapping_mul(7))), Some(&i));
+        }
+    }
+
+    #[test]
+    fn hashes_are_stable_within_process() {
+        use std::hash::{BuildHasher, Hash};
+        let bh = FxBuildHasher::default();
+        let h1 = {
+            let mut h = bh.build_hasher();
+            (42u64, 17u64).hash(&mut h);
+            h.finish()
+        };
+        let h2 = {
+            let mut h = bh.build_hasher();
+            (42u64, 17u64).hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(h1, h2);
+    }
+}

@@ -1,0 +1,621 @@
+//! Variable trees (*vtrees*) for structured decomposability.
+//!
+//! A vtree for a variable set `Y` is a rooted binary tree whose leaves
+//! correspond bijectively to the variables in `Y` (Bova & Szeider, §2.1;
+//! Darwiche 2011). Vtrees underlie both sentential decision diagrams and the
+//! canonical deterministic structured NNFs of the paper: every ∧-gate of a
+//! structured circuit is *structured by* an internal vtree node, with the left
+//! conjunct over the variables of the left subtree and the right conjunct over
+//! those of the right subtree.
+//!
+//! This crate is the bottom of the workspace dependency stack, so it also
+//! hosts the shared [`VarId`] newtype and the fast FxHash-style hasher used by
+//! the hot hash tables across the workspace.
+
+pub mod fxhash;
+pub mod shape;
+
+mod enumerate;
+
+pub use enumerate::all_vtrees;
+pub use shape::VtreeShape;
+
+use std::fmt;
+
+/// A globally scoped Boolean variable identifier.
+///
+/// Variables are shared across crates: the same `VarId` denotes the same
+/// variable in truth tables, circuits, OBDDs, SDDs, and query lineages.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Convenience constructor from a `usize` index.
+    #[inline]
+    pub fn new(i: usize) -> Self {
+        VarId(i as u32)
+    }
+
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Produce `n` fresh variables `x0..x(n-1)`.
+pub fn fresh_vars(n: usize) -> Vec<VarId> {
+    (0..n as u32).map(VarId).collect()
+}
+
+/// Index of a node inside a [`Vtree`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VtreeNodeId(pub u32);
+
+impl VtreeNodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VtreeNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The payload of a vtree node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VtreeNodeKind {
+    /// A leaf labelled with the variable it corresponds to.
+    Leaf(VarId),
+    /// An internal node with a left and right child.
+    Internal {
+        left: VtreeNodeId,
+        right: VtreeNodeId,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct VtreeNode {
+    kind: VtreeNodeKind,
+    parent: Option<VtreeNodeId>,
+    depth: u32,
+    /// Sorted variables at the leaves of the subtree rooted here (`Y_v`).
+    vars_below: Vec<VarId>,
+}
+
+/// Which side of an internal node a descendant lies on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Side {
+    Left,
+    Right,
+}
+
+/// Errors raised by vtree construction and validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VtreeError {
+    /// The variable list was empty.
+    Empty,
+    /// A variable occurs at more than one leaf.
+    DuplicateVar(VarId),
+}
+
+impl fmt::Display for VtreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VtreeError::Empty => write!(f, "vtree must have at least one leaf"),
+            VtreeError::DuplicateVar(v) => write!(f, "variable {v} occurs at two leaves"),
+        }
+    }
+}
+
+impl std::error::Error for VtreeError {}
+
+/// A rooted binary tree whose leaves are pairwise distinct variables.
+///
+/// Nodes are stored in an arena; ids are stable for the lifetime of the tree.
+/// Construction precomputes, for every node `v`, the sorted variable set
+/// `Y_v` of the leaves below `v` — the object `factors(F, Y_v)` and the
+/// structuredness checks are defined against.
+#[derive(Clone, Debug)]
+pub struct Vtree {
+    nodes: Vec<VtreeNode>,
+    root: VtreeNodeId,
+    /// Map from variable index to its leaf node (dense over the max VarId).
+    leaf_of: Vec<Option<VtreeNodeId>>,
+}
+
+impl Vtree {
+    /// Build a vtree from a [`VtreeShape`].
+    pub fn from_shape(shape: &VtreeShape) -> Result<Self, VtreeError> {
+        let mut nodes: Vec<VtreeNode> = Vec::new();
+        let root = Self::build_rec(shape, &mut nodes);
+        let mut vt = Vtree {
+            nodes,
+            root,
+            leaf_of: Vec::new(),
+        };
+        vt.finish()?;
+        Ok(vt)
+    }
+
+    fn build_rec(shape: &VtreeShape, nodes: &mut Vec<VtreeNode>) -> VtreeNodeId {
+        match shape {
+            VtreeShape::Leaf(v) => {
+                let id = VtreeNodeId(nodes.len() as u32);
+                nodes.push(VtreeNode {
+                    kind: VtreeNodeKind::Leaf(*v),
+                    parent: None,
+                    depth: 0,
+                    vars_below: vec![*v],
+                });
+                id
+            }
+            VtreeShape::Node(l, r) => {
+                let left = Self::build_rec(l, nodes);
+                let right = Self::build_rec(r, nodes);
+                let id = VtreeNodeId(nodes.len() as u32);
+                let mut vars: Vec<VarId> = nodes[left.index()]
+                    .vars_below
+                    .iter()
+                    .chain(nodes[right.index()].vars_below.iter())
+                    .copied()
+                    .collect();
+                vars.sort_unstable();
+                nodes.push(VtreeNode {
+                    kind: VtreeNodeKind::Internal { left, right },
+                    parent: None,
+                    depth: 0,
+                    vars_below: vars,
+                });
+                id
+            }
+        }
+    }
+
+    /// Fill in parents, depths and the variable→leaf map; validate.
+    fn finish(&mut self) -> Result<(), VtreeError> {
+        if self.nodes.is_empty() {
+            return Err(VtreeError::Empty);
+        }
+        // Parents and depths via a DFS from the root.
+        let mut stack = vec![(self.root, None::<VtreeNodeId>, 0u32)];
+        while let Some((id, parent, depth)) = stack.pop() {
+            self.nodes[id.index()].parent = parent;
+            self.nodes[id.index()].depth = depth;
+            if let VtreeNodeKind::Internal { left, right } = self.nodes[id.index()].kind {
+                stack.push((left, Some(id), depth + 1));
+                stack.push((right, Some(id), depth + 1));
+            }
+        }
+        let max_var = self
+            .nodes
+            .iter()
+            .filter_map(|n| match n.kind {
+                VtreeNodeKind::Leaf(v) => Some(v.index()),
+                _ => None,
+            })
+            .max()
+            .ok_or(VtreeError::Empty)?;
+        self.leaf_of = vec![None; max_var + 1];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let VtreeNodeKind::Leaf(v) = n.kind {
+                if self.leaf_of[v.index()].is_some() {
+                    return Err(VtreeError::DuplicateVar(v));
+                }
+                self.leaf_of[v.index()] = Some(VtreeNodeId(i as u32));
+            }
+        }
+        Ok(())
+    }
+
+    /// A right-linear vtree over `vars` in the given order.
+    ///
+    /// Right-linear vtrees are exactly the vtrees of OBDDs respecting the
+    /// variable order `vars` (Darwiche 2011; paper §3.2.2).
+    pub fn right_linear(vars: &[VarId]) -> Result<Self, VtreeError> {
+        if vars.is_empty() {
+            return Err(VtreeError::Empty);
+        }
+        let mut shape = VtreeShape::Leaf(vars[vars.len() - 1]);
+        for &v in vars[..vars.len() - 1].iter().rev() {
+            shape = VtreeShape::Node(Box::new(VtreeShape::Leaf(v)), Box::new(shape));
+        }
+        Self::from_shape(&shape)
+    }
+
+    /// A left-linear vtree over `vars`: every *right* child is a leaf, and a
+    /// postorder traversal of the right leaves yields `vars[1..]`.
+    pub fn left_linear(vars: &[VarId]) -> Result<Self, VtreeError> {
+        if vars.is_empty() {
+            return Err(VtreeError::Empty);
+        }
+        let mut shape = VtreeShape::Leaf(vars[0]);
+        for &v in &vars[1..] {
+            shape = VtreeShape::Node(Box::new(shape), Box::new(VtreeShape::Leaf(v)));
+        }
+        Self::from_shape(&shape)
+    }
+
+    /// A balanced vtree over `vars` (recursive halving).
+    pub fn balanced(vars: &[VarId]) -> Result<Self, VtreeError> {
+        fn rec(vars: &[VarId]) -> VtreeShape {
+            if vars.len() == 1 {
+                VtreeShape::Leaf(vars[0])
+            } else {
+                let mid = vars.len() / 2;
+                VtreeShape::Node(Box::new(rec(&vars[..mid])), Box::new(rec(&vars[mid..])))
+            }
+        }
+        if vars.is_empty() {
+            return Err(VtreeError::Empty);
+        }
+        Self::from_shape(&rec(vars))
+    }
+
+    /// A uniformly random vtree shape over a uniformly random permutation of
+    /// `vars`.
+    pub fn random<R: rand::Rng>(vars: &[VarId], rng: &mut R) -> Result<Self, VtreeError> {
+        use rand::seq::SliceRandom;
+        if vars.is_empty() {
+            return Err(VtreeError::Empty);
+        }
+        let mut perm = vars.to_vec();
+        perm.shuffle(rng);
+        fn rec<R: rand::Rng>(vars: &[VarId], rng: &mut R) -> VtreeShape {
+            if vars.len() == 1 {
+                VtreeShape::Leaf(vars[0])
+            } else {
+                let cut = rng.gen_range(1..vars.len());
+                VtreeShape::Node(
+                    Box::new(rec(&vars[..cut], rng)),
+                    Box::new(rec(&vars[cut..], rng)),
+                )
+            }
+        }
+        let shape = rec(&perm, rng);
+        Self::from_shape(&shape)
+    }
+
+    /// The root node id.
+    #[inline]
+    pub fn root(&self) -> VtreeNodeId {
+        self.root
+    }
+
+    /// Total number of nodes (leaves + internal).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of variables (= leaves).
+    pub fn num_vars(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, VtreeNodeKind::Leaf(_)))
+            .count()
+    }
+
+    /// The node kind.
+    #[inline]
+    pub fn kind(&self, id: VtreeNodeId) -> &VtreeNodeKind {
+        &self.nodes[id.index()].kind
+    }
+
+    /// Is `id` a leaf?
+    #[inline]
+    pub fn is_leaf(&self, id: VtreeNodeId) -> bool {
+        matches!(self.nodes[id.index()].kind, VtreeNodeKind::Leaf(_))
+    }
+
+    /// The variable at a leaf (None for internal nodes).
+    pub fn leaf_var(&self, id: VtreeNodeId) -> Option<VarId> {
+        match self.nodes[id.index()].kind {
+            VtreeNodeKind::Leaf(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Children of an internal node.
+    pub fn children(&self, id: VtreeNodeId) -> Option<(VtreeNodeId, VtreeNodeId)> {
+        match self.nodes[id.index()].kind {
+            VtreeNodeKind::Internal { left, right } => Some((left, right)),
+            _ => None,
+        }
+    }
+
+    /// Parent of a node (None at the root).
+    #[inline]
+    pub fn parent(&self, id: VtreeNodeId) -> Option<VtreeNodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Depth of a node (root has depth 0).
+    #[inline]
+    pub fn depth(&self, id: VtreeNodeId) -> u32 {
+        self.nodes[id.index()].depth
+    }
+
+    /// The sorted variable set `Y_v` below node `v`.
+    #[inline]
+    pub fn vars_below(&self, id: VtreeNodeId) -> &[VarId] {
+        &self.nodes[id.index()].vars_below
+    }
+
+    /// All variables of the vtree, sorted.
+    pub fn vars(&self) -> &[VarId] {
+        self.vars_below(self.root)
+    }
+
+    /// The leaf node of a variable, if the variable occurs in this vtree.
+    pub fn leaf_of_var(&self, v: VarId) -> Option<VtreeNodeId> {
+        self.leaf_of.get(v.index()).copied().flatten()
+    }
+
+    /// Does this vtree contain variable `v`?
+    pub fn contains_var(&self, v: VarId) -> bool {
+        self.leaf_of_var(v).is_some()
+    }
+
+    /// Iterate over all node ids (arena order; children precede parents).
+    pub fn node_ids(&self) -> impl Iterator<Item = VtreeNodeId> {
+        (0..self.nodes.len() as u32).map(VtreeNodeId)
+    }
+
+    /// Iterate over internal node ids.
+    pub fn internal_nodes(&self) -> impl Iterator<Item = VtreeNodeId> + '_ {
+        self.node_ids().filter(|id| !self.is_leaf(*id))
+    }
+
+    /// Iterate over leaf node ids.
+    pub fn leaves(&self) -> impl Iterator<Item = VtreeNodeId> + '_ {
+        self.node_ids().filter(|id| self.is_leaf(*id))
+    }
+
+    /// Variables in left-to-right (inorder) leaf order.
+    pub fn leaf_order(&self) -> Vec<VarId> {
+        let mut out = Vec::with_capacity(self.num_vars());
+        let mut stack = vec![self.root];
+        // Right children pushed first so left is processed first.
+        while let Some(id) = stack.pop() {
+            match self.nodes[id.index()].kind {
+                VtreeNodeKind::Leaf(v) => out.push(v),
+                VtreeNodeKind::Internal { left, right } => {
+                    stack.push(right);
+                    stack.push(left);
+                }
+            }
+        }
+        out
+    }
+
+    /// Is `desc` in the subtree rooted at `anc` (inclusive)?
+    pub fn is_descendant(&self, desc: VtreeNodeId, anc: VtreeNodeId) -> bool {
+        let target_depth = self.depth(anc);
+        let mut cur = desc;
+        while self.depth(cur) > target_depth {
+            cur = match self.parent(cur) {
+                Some(p) => p,
+                None => return false,
+            };
+        }
+        cur == anc
+    }
+
+    /// Lowest common ancestor of two nodes.
+    pub fn lca(&self, a: VtreeNodeId, b: VtreeNodeId) -> VtreeNodeId {
+        let (mut a, mut b) = (a, b);
+        while self.depth(a) > self.depth(b) {
+            a = self.parent(a).expect("depth > 0 implies parent");
+        }
+        while self.depth(b) > self.depth(a) {
+            b = self.parent(b).expect("depth > 0 implies parent");
+        }
+        while a != b {
+            a = self.parent(a).expect("distinct nodes at depth 0");
+            b = self.parent(b).expect("distinct nodes at depth 0");
+        }
+        a
+    }
+
+    /// Which side of internal node `anc` contains `desc`?
+    ///
+    /// Returns `None` if `desc == anc`, if `anc` is a leaf, or if `desc` is
+    /// not below `anc`.
+    pub fn side_of(&self, anc: VtreeNodeId, desc: VtreeNodeId) -> Option<Side> {
+        let (left, right) = self.children(anc)?;
+        if self.is_descendant(desc, left) {
+            Some(Side::Left)
+        } else if self.is_descendant(desc, right) {
+            Some(Side::Right)
+        } else {
+            None
+        }
+    }
+
+    /// If this vtree is right-linear (every left child a leaf), the variable
+    /// order it induces; otherwise `None`.
+    pub fn linear_order(&self) -> Option<Vec<VarId>> {
+        let mut order = Vec::with_capacity(self.num_vars());
+        let mut cur = self.root;
+        loop {
+            match self.nodes[cur.index()].kind {
+                VtreeNodeKind::Leaf(v) => {
+                    order.push(v);
+                    return Some(order);
+                }
+                VtreeNodeKind::Internal { left, right } => {
+                    let VtreeNodeKind::Leaf(v) = self.nodes[left.index()].kind else {
+                        return None;
+                    };
+                    order.push(v);
+                    cur = right;
+                }
+            }
+        }
+    }
+
+    /// Is this vtree right-linear?
+    pub fn is_right_linear(&self) -> bool {
+        self.linear_order().is_some()
+    }
+
+    /// Export as a [`VtreeShape`] (useful for re-rooting / transformation).
+    pub fn to_shape(&self) -> VtreeShape {
+        self.shape_rec(self.root)
+    }
+
+    fn shape_rec(&self, id: VtreeNodeId) -> VtreeShape {
+        match self.nodes[id.index()].kind {
+            VtreeNodeKind::Leaf(v) => VtreeShape::Leaf(v),
+            VtreeNodeKind::Internal { left, right } => VtreeShape::Node(
+                Box::new(self.shape_rec(left)),
+                Box::new(self.shape_rec(right)),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Vtree {
+    /// Nested-parenthesis rendering, e.g. `((x0 x1) x2)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn rec(vt: &Vtree, id: VtreeNodeId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match vt.nodes[id.index()].kind {
+                VtreeNodeKind::Leaf(v) => write!(f, "{v}"),
+                VtreeNodeKind::Internal { left, right } => {
+                    write!(f, "(")?;
+                    rec(vt, left, f)?;
+                    write!(f, " ")?;
+                    rec(vt, right, f)?;
+                    write!(f, ")")
+                }
+            }
+        }
+        rec(self, self.root, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(n: usize) -> Vec<VarId> {
+        fresh_vars(n)
+    }
+
+    #[test]
+    fn right_linear_order_roundtrip() {
+        let vs = vars(5);
+        let vt = Vtree::right_linear(&vs).unwrap();
+        assert_eq!(vt.linear_order().unwrap(), vs);
+        assert!(vt.is_right_linear());
+        assert_eq!(vt.num_vars(), 5);
+        assert_eq!(vt.num_nodes(), 9);
+    }
+
+    #[test]
+    fn left_linear_is_not_right_linear() {
+        let vs = vars(4);
+        let vt = Vtree::left_linear(&vs).unwrap();
+        assert!(!vt.is_right_linear());
+        assert_eq!(vt.leaf_order(), vs);
+    }
+
+    #[test]
+    fn single_leaf_is_both() {
+        let vs = vars(1);
+        let vt = Vtree::right_linear(&vs).unwrap();
+        assert!(vt.is_right_linear());
+        assert_eq!(vt.num_nodes(), 1);
+        assert_eq!(vt.root(), VtreeNodeId(0));
+    }
+
+    #[test]
+    fn balanced_vars_below() {
+        let vs = vars(7);
+        let vt = Vtree::balanced(&vs).unwrap();
+        assert_eq!(vt.vars(), &vs[..]);
+        let (l, r) = vt.children(vt.root()).unwrap();
+        assert_eq!(vt.vars_below(l), &vs[..3]);
+        assert_eq!(vt.vars_below(r), &vs[3..]);
+    }
+
+    #[test]
+    fn lca_and_sides() {
+        let vs = vars(4);
+        let vt = Vtree::balanced(&vs).unwrap(); // ((x0 x1) (x2 x3))
+        let l0 = vt.leaf_of_var(vs[0]).unwrap();
+        let l3 = vt.leaf_of_var(vs[3]).unwrap();
+        assert_eq!(vt.lca(l0, l3), vt.root());
+        assert_eq!(vt.side_of(vt.root(), l0), Some(Side::Left));
+        assert_eq!(vt.side_of(vt.root(), l3), Some(Side::Right));
+        let l1 = vt.leaf_of_var(vs[1]).unwrap();
+        let inner = vt.lca(l0, l1);
+        assert_ne!(inner, vt.root());
+        assert!(vt.is_descendant(inner, vt.root()));
+        assert!(!vt.is_descendant(vt.root(), inner));
+    }
+
+    #[test]
+    fn duplicate_var_rejected() {
+        let v = VarId(0);
+        let shape = VtreeShape::Node(
+            Box::new(VtreeShape::Leaf(v)),
+            Box::new(VtreeShape::Leaf(v)),
+        );
+        assert_eq!(
+            Vtree::from_shape(&shape).unwrap_err(),
+            VtreeError::DuplicateVar(v)
+        );
+    }
+
+    #[test]
+    fn random_vtree_valid() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let vs = vars(9);
+        for _ in 0..20 {
+            let vt = Vtree::random(&vs, &mut rng).unwrap();
+            assert_eq!(vt.num_vars(), 9);
+            assert_eq!(vt.vars(), &vs[..]);
+            assert_eq!(vt.num_nodes(), 17);
+        }
+    }
+
+    #[test]
+    fn display_nested() {
+        let vs = vars(3);
+        let vt = Vtree::right_linear(&vs).unwrap();
+        assert_eq!(vt.to_string(), "(x0 (x1 x2))");
+    }
+
+    #[test]
+    fn shape_roundtrip() {
+        let vs = vars(6);
+        let vt = Vtree::balanced(&vs).unwrap();
+        let vt2 = Vtree::from_shape(&vt.to_shape()).unwrap();
+        assert_eq!(vt.to_string(), vt2.to_string());
+    }
+
+    #[test]
+    fn leaf_order_matches_inorder() {
+        let vs = vars(5);
+        let vt = Vtree::balanced(&vs).unwrap();
+        assert_eq!(vt.leaf_order(), vs);
+    }
+}

@@ -1,0 +1,79 @@
+//! Owned, recursive vtree shapes.
+//!
+//! [`VtreeShape`] is the free-form construction syntax for vtrees; the arena
+//! representation [`crate::Vtree`] is derived from it. Shapes are convenient
+//! for recursive builders (Lemma 1's tree-decomposition-to-vtree extraction,
+//! the ISA vtree of Appendix A) and for enumeration.
+
+use crate::VarId;
+
+/// A binary leaf-labelled tree as a recursive value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VtreeShape {
+    /// A leaf labelled by a variable.
+    Leaf(VarId),
+    /// An internal node.
+    Node(Box<VtreeShape>, Box<VtreeShape>),
+}
+
+impl VtreeShape {
+    /// Convenience constructor for an internal node.
+    pub fn node(left: VtreeShape, right: VtreeShape) -> Self {
+        VtreeShape::Node(Box::new(left), Box::new(right))
+    }
+
+    /// Leaf count.
+    pub fn num_leaves(&self) -> usize {
+        match self {
+            VtreeShape::Leaf(_) => 1,
+            VtreeShape::Node(l, r) => l.num_leaves() + r.num_leaves(),
+        }
+    }
+
+    /// All leaf variables, left to right.
+    pub fn leaf_vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<VarId>) {
+        match self {
+            VtreeShape::Leaf(v) => out.push(*v),
+            VtreeShape::Node(l, r) => {
+                l.collect_leaves(out);
+                r.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Combine a non-empty list of shapes into one (right fold).
+    ///
+    /// Used when flattening multi-child tree-decomposition nodes into binary
+    /// vtree nodes.
+    pub fn combine(mut shapes: Vec<VtreeShape>) -> Option<VtreeShape> {
+        let mut acc = shapes.pop()?;
+        while let Some(s) = shapes.pop() {
+            acc = VtreeShape::node(s, acc);
+        }
+        Some(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_three() {
+        let l = |i: u32| VtreeShape::Leaf(VarId(i));
+        let s = VtreeShape::combine(vec![l(0), l(1), l(2)]).unwrap();
+        assert_eq!(s.num_leaves(), 3);
+        assert_eq!(s.leaf_vars(), vec![VarId(0), VarId(1), VarId(2)]);
+    }
+
+    #[test]
+    fn combine_empty_is_none() {
+        assert!(VtreeShape::combine(vec![]).is_none());
+    }
+}

@@ -1,0 +1,89 @@
+//! The Result 1 machinery, step by step, on one circuit — every intermediate
+//! object the paper constructs is printed and checked.
+//!
+//! Run with: `cargo run --example treewidth_pipeline`
+
+use sentential::prelude::*;
+use boolfunc::{factor_width, factors};
+use graphtw::{NiceTd, TreeDecomposition};
+
+fn main() {
+    // Step 0: a circuit. Parity chain: pathwidth O(1), the paper's Eq. (2)
+    // regime.
+    let vars: Vec<VarId> = (0..8).map(VarId).collect();
+    let c = circuit::families::parity_chain(&vars);
+    let f = c.to_boolfn().expect("8 variables");
+    println!("circuit               : {c}");
+
+    // Step 1: primal graph and its treewidth (paper §3.1: tw of the
+    // undirected graph underlying C).
+    let (g, _) = c.primal_graph();
+    let (tw, order) = graphtw::treewidth(&g, 18);
+    println!("primal graph          : {g}");
+    println!("treewidth             : {tw}");
+
+    // Step 2: tree decomposition → nice tree decomposition (each variable
+    // forgotten exactly once — Lemma 1's hook).
+    let td = TreeDecomposition::from_elimination_order(&g, &order);
+    td.validate(&g).expect("valid decomposition");
+    let nice = NiceTd::from_td(&td, g.num_vertices());
+    nice.validate(g.num_vertices()).expect("valid nice TD");
+    println!(
+        "nice TD               : {} nodes, width {}",
+        nice.num_nodes(),
+        nice.width()
+    );
+
+    // Step 3: Lemma 1 — the vtree, plus its factor width against the bound.
+    let (vt, stats) = sentential_core::vtree_from_circuit(&c, 18).expect("has variables");
+    let fw = factor_width(&f, &vt);
+    let bound = sentential_core::bounds::lemma1_fw_bound(stats.treewidth);
+    println!("vtree (Lemma 1)       : {vt}");
+    println!(
+        "fw(F,T)               : {fw}  (Lemma 1 bound 2^((k+2)2^(k+1)) = {})",
+        bound
+            .as_u128()
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| format!("2^{:.0}", bound.log2))
+    );
+    assert!(bound.admits(fw as u128));
+
+    // Step 4: factors at the root — the combinatorial heart (Definition 1).
+    let root_factors = factors(&f, &boolfunc::VarSet::from_slice(vt.vars_below(vt.root())));
+    println!("factors at root       : {}", root_factors.len());
+
+    // Step 5: C_{F,T} and S_{F,T}.
+    let cft = sentential_core::cft(&f, &vt);
+    println!(
+        "C_F,T                 : {} gates, fiw {}",
+        cft.circuit.reachable_size(),
+        cft.fiw
+    );
+    cft.circuit.check_deterministic().expect("deterministic");
+    cft.circuit.check_structured_by(&vt).expect("structured");
+    assert!(cft.circuit.to_boolfn().unwrap().equivalent(&f));
+
+    let sft = sentential_core::sft(&f, &vt);
+    println!(
+        "S_F,T                 : {} elements, sdw {}",
+        sft.manager.size(sft.root),
+        sft.sdw
+    );
+    assert!(sft.manager.to_boolfn(sft.root).equivalent(&f));
+
+    // Step 6: the OBDD comparison (pathwidth regime: both stay small).
+    let mut ob = Obdd::new(vars.clone());
+    let oroot = ob.from_boolfn(&f);
+    println!(
+        "OBDD                  : {} nodes, width {}",
+        ob.size(oroot),
+        ob.width(oroot)
+    );
+
+    // Canonicity bonus: compiling F over the same vtree through apply gives
+    // the *same SDD node* as the paper's direct construction.
+    let mut sft2 = sentential_core::sft(&f, &vt);
+    let applied = sft2.manager.from_boolfn(&f);
+    assert_eq!(sft2.root, applied, "canonicity: same node");
+    println!("canonicity            : S_F,T == apply-compiled node ✓");
+}

@@ -1,0 +1,64 @@
+//! # sentential
+//!
+//! A reproduction of **Bova & Szeider, "Circuit Treewidth, Sentential
+//! Decision, and Query Compilation" (PODS 2017)** as a Rust workspace:
+//! a truth-table kernel with the paper's *factor* combinatorics, circuits
+//! with structuredness/determinism analysis, treewidth machinery, OBDD and
+//! SDD packages built from scratch, the paper's `C_{F,T}`/`S_{F,T}`
+//! canonical compilers, and a probabilistic-database layer with lineage
+//! construction, inversion detection, and query probability evaluation.
+//!
+//! ## Crate map
+//!
+//! | Re-export | Contents |
+//! |---|---|
+//! | [`boolfunc`] | truth tables, cofactors, **factors** (Def. 1–2), rectangles, communication matrices, function families (`D_n`, `H^i_{k,n}`, `ISA_n`, …) |
+//! | [`vtree`] | variable trees, enumeration, `VarId` |
+//! | [`graphtw`] | treewidth/pathwidth (exact + heuristic), (nice) tree decompositions |
+//! | [`circuit`] | circuits, NNF, Tseitin, primal graphs, structure checks, families |
+//! | [`obdd`] | reduced OBDDs: apply, counting, width, order search |
+//! | [`sdd`] | SDDs: apply, canonicity, counting, the paper's SDD width |
+//! | [`core`] | the paper: Lemma 1 vtrees, `C_{F,T}` (Thm 3), `S_{F,T}` (Thm 4), bounds, ctw tooling, Appendix A |
+//! | [`query`] | probabilistic databases, UCQ(≠), lineages, inversions, probability |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sentential::prelude::*;
+//!
+//! // A bounded-treewidth circuit family member …
+//! let vars: Vec<VarId> = (0..8).map(VarId).collect();
+//! let c = circuit::families::clause_chain(&vars, 2);
+//!
+//! // … compiled by the paper's pipeline: tree decomposition → Lemma-1
+//! // vtree → canonical deterministic structured NNF + canonical SDD.
+//! let compiled = sentential_core::compile_circuit(&c, 16).unwrap();
+//! assert!(compiled.sdd.manager.to_boolfn(compiled.sdd.root)
+//!     .equivalent(&c.to_boolfn().unwrap()));
+//!
+//! // Linear-size guarantee (Theorem 4): |S_{F,T}| = O(sdw · n).
+//! let n = c.vars().len();
+//! let size = compiled.sdd.manager.size(compiled.sdd.root);
+//! assert!(size <= sentential_core::bounds::thm4_size(compiled.sdd.sdw, n));
+//! ```
+
+pub use boolfunc;
+pub use circuit;
+pub use graphtw;
+pub use obdd;
+pub use query;
+pub use sdd;
+pub use sentential_core;
+pub use vtree;
+
+/// Everything most programs need, one `use` away.
+pub mod prelude {
+    pub use boolfunc::{Assignment, BoolFn, VarSet};
+    pub use circuit::{self, Circuit, CircuitBuilder};
+    pub use graphtw::{self, Graph};
+    pub use obdd::Obdd;
+    pub use query::{self, Database, Schema, Ucq};
+    pub use sdd::SddManager;
+    pub use sentential_core::{self, compile_circuit};
+    pub use vtree::{VarId, Vtree};
+}

@@ -1,0 +1,142 @@
+//! Failure injection: every layer rejects malformed inputs with typed
+//! errors instead of producing wrong answers.
+
+use sentential::prelude::*;
+use boolfunc::{BoolFn, BoolFnError, VarSet};
+use graphtw::{TdError, TreeDecomposition};
+use query::ast::{Atom, Cq, Term, Ucq};
+use query::parser::{parse_ucq, ParseError};
+use vtree::{VarId, VtreeError, VtreeShape};
+
+#[test]
+fn vtree_rejects_duplicates_and_empty() {
+    let dup = VtreeShape::node(
+        VtreeShape::Leaf(VarId(0)),
+        VtreeShape::Leaf(VarId(0)),
+    );
+    assert_eq!(
+        Vtree::from_shape(&dup).unwrap_err(),
+        VtreeError::DuplicateVar(VarId(0))
+    );
+    assert_eq!(
+        Vtree::right_linear(&[]).unwrap_err(),
+        VtreeError::Empty
+    );
+}
+
+#[test]
+fn kernel_rejects_oversized_supports() {
+    let vars = VarSet::from_iter((0..27u32).map(VarId));
+    assert!(matches!(
+        BoolFn::try_from_fn(vars, |_| false),
+        Err(BoolFnError::TooManyVars { n: 27 })
+    ));
+}
+
+#[test]
+fn tree_decomposition_violations_are_named() {
+    let g = Graph::path(3);
+    // Missing edge coverage.
+    let td = TreeDecomposition::from_parts(vec![vec![0, 1], vec![2]], vec![None, Some(0)], 0);
+    assert_eq!(td.validate(&g), Err(TdError::EdgeNotCovered(1, 2)));
+    // Vertex dropped entirely.
+    let td = TreeDecomposition::from_parts(vec![vec![0, 1]], vec![None], 0);
+    assert_eq!(td.validate(&g), Err(TdError::VertexNotCovered(2)));
+}
+
+#[test]
+fn structure_checks_report_the_gate() {
+    let mut b = CircuitBuilder::new();
+    let x = b.var(VarId(0));
+    let y = b.var(VarId(1));
+    let shared = b.and2(x, y);
+    let bad = b.and2(shared, x);
+    let c = b.build(bad);
+    match c.check_decomposable() {
+        Err(circuit::StructureError::NotDecomposable { gate, .. }) => {
+            assert_eq!(gate, bad);
+        }
+        other => panic!("expected NotDecomposable, got {other:?}"),
+    }
+}
+
+#[test]
+fn pipeline_rejects_constant_circuits() {
+    let mut b = CircuitBuilder::new();
+    let t = b.constant(true);
+    let c = b.build(t);
+    assert!(matches!(
+        compile_circuit(&c, 10),
+        Err(sentential_core::CompilationError::NoVariables)
+    ));
+}
+
+#[test]
+fn query_validation_catches_all_shapes() {
+    let mut schema = Schema::new();
+    let r = schema.add_relation("R", 1);
+    // Arity mismatch.
+    let bad = Ucq::single(Cq::new(
+        vec![Atom {
+            rel: r,
+            args: vec![Term::Var(0), Term::Var(1)],
+        }],
+        vec![],
+    ));
+    assert!(matches!(
+        bad.validate(&schema),
+        Err(query::ast::QueryError::ArityMismatch { .. })
+    ));
+    // Unbound inequality variable.
+    let bad = Ucq::single(Cq::new(
+        vec![Atom {
+            rel: r,
+            args: vec![Term::Var(0)],
+        }],
+        vec![(0, 9)],
+    ));
+    assert!(matches!(
+        bad.validate(&schema),
+        Err(query::ast::QueryError::UnsafeInequality(0, 9))
+    ));
+}
+
+#[test]
+fn parser_errors_carry_positions() {
+    let mut schema = Schema::new();
+    match parse_ucq("R(x,", &mut schema) {
+        Err(ParseError::Expected { at, .. }) => assert!(at >= 4),
+        other => panic!("expected position error, got {other:?}"),
+    }
+    assert!(matches!(
+        parse_ucq("R(x) | ", &mut schema),
+        Err(ParseError::Expected { .. })
+    ));
+}
+
+#[test]
+fn sdd_literal_outside_vtree_rejected() {
+    let vt = Vtree::balanced(&[VarId(0), VarId(1)]).unwrap();
+    let mut mgr = SddManager::new(vt);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        mgr.literal(VarId(9), true)
+    }));
+    assert!(result.is_err(), "literal over a foreign variable must panic");
+}
+
+#[test]
+fn obdd_from_boolfn_requires_cover() {
+    let mut m = Obdd::new(vec![VarId(0)]);
+    let f = BoolFn::literal(VarId(1), true);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.from_boolfn(&f)));
+    assert!(result.is_err(), "order must cover the support");
+}
+
+#[test]
+fn exact_treewidth_guard() {
+    let g = Graph::new(30);
+    assert!(matches!(
+        graphtw::exact_treewidth(&g),
+        Err(graphtw::ExactError::TooLarge { vertices: 30 })
+    ));
+}

@@ -1,0 +1,154 @@
+//! Cross-crate integration tests for §4: lineages, inversions, Lemma 7,
+//! Theorem 5's lower-bound machinery, and probability agreement.
+
+use boolfunc::families::HFamily;
+use boolfunc::{CommMatrix, VarSet};
+use query::families;
+use query::prob;
+use sentential::prelude::*;
+
+#[test]
+fn lemma7_end_to_end() {
+    // The lineage of uh(k) over the complete database has every H^i as a
+    // cofactor — the exact hypothesis Theorem 5 consumes.
+    for (k, n) in [(1usize, 2usize), (2, 2), (1, 3)] {
+        let (q, schema) = families::uh(k);
+        let db = families::uh_complete_db(&schema, k, n, 0.5);
+        let lin = query::lineage_boolfn(&q, &db).unwrap();
+        let h = HFamily::new(k, n);
+        for i in 0..=k {
+            let b = families::lemma7_restriction(k, n, i);
+            let cof = lin.restrict_assignment(&b);
+            assert!(
+                cof.equivalent(&h.func(i).unwrap()),
+                "uh({k}) n={n}: cofactor i={i} ≠ H^{i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem5_rank_machinery() {
+    // Claim 3's engine: H^0 under the (X, Z) partition restricted to one
+    // column block is the complement of disjointness; its communication
+    // matrix has rank ≥ 2^n − 1 (Eq. 33), forcing exponentially many
+    // rectangles (Theorem 2).
+    let n = 4usize;
+    let h = HFamily::new(1, n);
+    let h0 = h.func(0).unwrap();
+    // Fix column j = 1: keep z_{l,1} for all l, zero the others.
+    let mut b = boolfunc::Assignment::empty();
+    for l in 1..=n {
+        for m in 1..=n {
+            if m != 1 {
+                b.set(h.z(1, l, m), false);
+            }
+        }
+    }
+    let restricted = h0.restrict_assignment(&b);
+    let xs = VarSet::from_slice(&h.xs);
+    let zs = VarSet::from_iter((1..=n).map(|l| h.z(1, l, 1)));
+    let m = CommMatrix::of(&restricted.minimize_support().with_support(&xs.union(&zs)), &xs, &zs);
+    let rank = m.rank_modp();
+    assert!(
+        rank >= (1 << n) - 1,
+        "rank {rank} < 2^{n} − 1: Claim 3's bound must hold"
+    );
+}
+
+#[test]
+fn inversion_free_queries_compile_small() {
+    // Figure 2's left region: inversion-free UCQ ⇒ constant OBDD width as
+    // the database grows.
+    let (q, schema) = families::two_atom_hierarchical();
+    assert!(query::find_inversion(&q).is_none());
+    let r = schema.by_name("R").unwrap();
+    let s = schema.by_name("S").unwrap();
+    let mut widths = Vec::new();
+    for n in [2u64, 3, 4] {
+        let mut db = Database::new(schema.clone());
+        for l in 1..=n {
+            db.insert(r, vec![l], 0.5);
+            for m in 1..=2u64 {
+                db.insert(s, vec![l, m], 0.5);
+            }
+        }
+        let c = query::lineage_circuit(&q, &db);
+        let f = c.to_boolfn().unwrap();
+        let mut ob = Obdd::new(db.vars());
+        let root = ob.from_boolfn(&f.with_support(&VarSet::from_slice(&db.vars())));
+        widths.push(ob.width(root));
+    }
+    let max = *widths.iter().max().unwrap();
+    assert!(max <= 3, "hierarchical lineage OBDD widths {widths:?}");
+}
+
+#[test]
+fn inversion_lineages_blow_up_sdds() {
+    // Figure 2's point: inversions ⇒ large SDDs. Measure the canonical SDD
+    // of the uh(1) lineage over growing domains on a balanced vtree; the
+    // width must grow with n (for the constant-width claim to fail).
+    let (q, schema) = families::uh(1);
+    let mut sizes = Vec::new();
+    for n in [2usize, 3] {
+        let db = families::uh_complete_db(&schema, 1, n, 0.5);
+        let c = query::lineage_circuit(&q, &db);
+        let vars = db.vars();
+        let vt = Vtree::balanced(&vars).unwrap();
+        let mut mgr = SddManager::new(vt);
+        let root = mgr.from_circuit(&c);
+        sizes.push(mgr.size(root));
+    }
+    assert!(
+        sizes[1] > sizes[0],
+        "inversion lineage SDD sizes must grow: {sizes:?}"
+    );
+}
+
+#[test]
+fn probabilities_agree_on_query_zoo() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let zoo: Vec<(Ucq, Schema)> = vec![
+        families::two_atom_hierarchical(),
+        families::qrst(),
+        families::uh(1),
+        families::disconnected_hierarchical_union(),
+        families::sjoin_inequality_query(),
+    ];
+    for (q, schema) in zoo {
+        // Small random database over the query's own schema.
+        let mut db = Database::new(schema.clone());
+        for rel_idx in 0..schema.num_relations() {
+            let rel = query::RelId(rel_idx as u32);
+            let arity = schema.arity(rel);
+            for _ in 0..3 {
+                let args: Vec<u64> = (0..arity).map(|_| rng.gen_range(1..=2u64)).collect();
+                db.insert(rel, args, rng.gen_range(0.1..0.9));
+            }
+        }
+        if db.num_tuples() > 16 {
+            continue;
+        }
+        let brute = prob::brute_force_probability(&q, &db);
+        let viao = prob::probability_via_obdd(&q, &db);
+        let vias = prob::probability_via_sdd(&q, &db);
+        let (viap, _) = prob::probability_via_pipeline(&q, &db);
+        for (label, p) in [("obdd", viao), ("sdd", vias), ("pipeline", viap)] {
+            assert!(
+                (p - brute).abs() < 1e-9,
+                "{label} on {}: {p} vs {brute}",
+                schema.name(query::RelId(0))
+            );
+        }
+    }
+}
+
+#[test]
+fn inversion_lengths_match_family_parameter() {
+    for k in 1..=3usize {
+        let (q, _) = families::uh(k);
+        let w = query::find_inversion(&q).expect("uh has inversions");
+        assert_eq!(w.length, k);
+    }
+}
