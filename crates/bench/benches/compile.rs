@@ -8,7 +8,7 @@ use std::hint::black_box;
 use boolfunc::families::IsaLayout;
 use sdd::SddManager;
 use sentential_core::isa::appendix_a_circuit;
-use sentential_core::{cft, compile_circuit, sft, vtree_from_circuit};
+use sentential_core::{cft, sft, vtree_from_circuit, Compiler, Route, Validation};
 use vtree::{VarId, Vtree};
 
 fn vars(n: u32) -> Vec<VarId> {
@@ -18,10 +18,14 @@ fn vars(n: u32) -> Vec<VarId> {
 fn bench_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(20);
+    let compiler = Compiler::builder()
+        .route(Route::Semantic)
+        .validation(Validation::None)
+        .build();
     for n in [10u32, 14, 18] {
         let circ = circuit::families::clause_chain(&vars(n), 3);
         g.bench_with_input(BenchmarkId::new("clause_chain_w3", n), &n, |b, _| {
-            b.iter(|| black_box(compile_circuit(&circ, 16).unwrap().sdd.sdw))
+            b.iter(|| black_box(compiler.compile(&circ).unwrap().report.sdw))
         });
     }
     g.finish();
@@ -80,9 +84,11 @@ fn bench_isa_explicit(c: &mut Criterion) {
     for level in [1usize, 2, 3] {
         let (k, m) = IsaLayout::params_for_level(level);
         let layout = IsaLayout::new(k, m);
-        g.bench_with_input(BenchmarkId::new("appendix_a", layout.num_vars()), &level, |b, _| {
-            b.iter(|| black_box(appendix_a_circuit(&layout).reachable_size()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("appendix_a", layout.num_vars()),
+            &level,
+            |b, _| b.iter(|| black_box(appendix_a_circuit(&layout).reachable_size())),
+        );
     }
     g.finish();
 }

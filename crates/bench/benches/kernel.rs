@@ -70,7 +70,12 @@ fn bench_treewidth(c: &mut Criterion) {
     }
     let big = graphtw::Graph::grid(5, 20);
     g.bench_function("minfill_grid5x20", |b| {
-        b.iter(|| black_box(graphtw::width_of_order(&big, &graphtw::min_fill_order(&big))))
+        b.iter(|| {
+            black_box(graphtw::width_of_order(
+                &big,
+                &graphtw::min_fill_order(&big),
+            ))
+        })
     });
     g.finish();
 }

@@ -11,7 +11,7 @@
 use sentential_bench::{maybe_write_json, Record, Table};
 use sentential_core::bounds;
 use sentential_core::ctw::treewidth_of_circuit;
-use sentential_core::{cft, compile_circuit};
+use sentential_core::{cft, Compiler, Route, Validation};
 use vtree::VarId;
 
 fn vars(n: u32) -> Vec<VarId> {
@@ -23,8 +23,14 @@ fn main() {
     let zoo: Vec<(&str, circuit::Circuit)> = vec![
         ("and_or_chain_9", circuit::families::and_or_chain(&vars(9))),
         ("parity_chain_8", circuit::families::parity_chain(&vars(8))),
-        ("clause_chain_9_w2", circuit::families::clause_chain(&vars(9), 2)),
-        ("clause_chain_9_w3", circuit::families::clause_chain(&vars(9), 3)),
+        (
+            "clause_chain_9_w2",
+            circuit::families::clause_chain(&vars(9), 2),
+        ),
+        (
+            "clause_chain_9_w3",
+            circuit::families::clause_chain(&vars(9), 3),
+        ),
         ("and_or_tree_16", circuit::families::and_or_tree(&vars(16))),
         (
             "disjointness_4",
@@ -46,14 +52,22 @@ fn main() {
     let mut records = Vec::new();
     for (name, c) in zoo {
         let f = c.to_boolfn().expect("zoo fits kernel");
-        let r = compile_circuit(&c, 16).expect("compiles");
-        let k = r.stats.treewidth;
+        let r = Compiler::builder()
+            .route(Route::Semantic)
+            .validation(Validation::None)
+            .build()
+            .compile(&c)
+            .expect("compiles");
+        let fw = r.report.fw.expect("semantic route");
+        let fiw = r.report.fiw.expect("semantic route");
+        let sdw = r.report.sdw;
+        let k = r.report.treewidth.expect("Lemma-1 vtree");
         let lemma1 = bounds::lemma1_fw_bound(k);
-        assert!(lemma1.admits(r.fw as u128), "{name}: Lemma 1");
-        let fiw_bound = bounds::eq22_fiw_from_fw(r.fw);
-        assert!(r.nnf.fiw as u128 <= fiw_bound, "{name}: Eq. 22");
-        let sdw_bound = bounds::eq29_sdw_from_fw(r.fw);
-        assert!(sdw_bound.admits(r.sdd.sdw as u128), "{name}: Eq. 29");
+        assert!(lemma1.admits(fw as u128), "{name}: Lemma 1");
+        let fiw_bound = bounds::eq22_fiw_from_fw(fw);
+        assert!(fiw as u128 <= fiw_bound, "{name}: Eq. 22");
+        let sdw_bound = bounds::eq29_sdw_from_fw(fw);
+        assert!(sdw_bound.admits(sdw as u128), "{name}: Eq. 29");
         // Proposition 2: the C_{F,T} witness has treewidth ≤ 3·fiw.
         let witness = cft(&f, &r.vtree);
         let ctw_witness = treewidth_of_circuit(&witness.circuit, 16);
@@ -72,11 +86,11 @@ fn main() {
         t.row(&[
             &name,
             &k,
-            &r.fw,
+            &fw,
             &lemma1_str,
-            &r.nnf.fiw,
+            &fiw,
             &fiw_bound,
-            &r.sdd.sdw,
+            &sdw,
             &sdw_bound_str,
             &ctw_witness,
             &(3 * witness.fiw),
@@ -86,9 +100,9 @@ fn main() {
             series: name.into(),
             x: k as u64,
             values: vec![
-                ("fw".into(), r.fw as f64),
-                ("fiw".into(), r.nnf.fiw as f64),
-                ("sdw".into(), r.sdd.sdw as f64),
+                ("fw".into(), fw as f64),
+                ("fiw".into(), fiw as f64),
+                ("sdw".into(), sdw as f64),
                 ("ctw_witness".into(), ctw_witness as f64),
             ],
         });

@@ -91,18 +91,44 @@ fn measure(name: &str, f: &BoolFn, table: &mut Table, records: &mut Vec<Record>)
 fn main() {
     println!("E1 / Figure 1: compilability panorama\n");
     let mut t = Table::new(&[
-        "function", "n", "OBDD width", "SDD width", "OBDD size", "SDD size", "fiw",
+        "function",
+        "n",
+        "OBDD width",
+        "SDD width",
+        "OBDD size",
+        "SDD size",
+        "fiw",
     ]);
     let mut records = Vec::new();
 
-    measure("parity_8", &families::parity(&vars(8)), &mut t, &mut records);
-    measure("majority_7", &families::majority(&vars(7)), &mut t, &mut records);
+    measure(
+        "parity_8",
+        &families::parity(&vars(8)),
+        &mut t,
+        &mut records,
+    );
+    measure(
+        "majority_7",
+        &families::majority(&vars(7)),
+        &mut t,
+        &mut records,
+    );
     let (d3, _, _) = families::disjointness(3);
     measure("disjointness_3", &d3, &mut t, &mut records);
     let (d4, _, _) = families::disjointness(4);
     measure("disjointness_4", &d4, &mut t, &mut records);
-    measure("hwb_8", &families::hidden_weighted_bit(8), &mut t, &mut records);
-    measure("hwb_10", &families::hidden_weighted_bit(10), &mut t, &mut records);
+    measure(
+        "hwb_8",
+        &families::hidden_weighted_bit(8),
+        &mut t,
+        &mut records,
+    );
+    measure(
+        "hwb_10",
+        &families::hidden_weighted_bit(10),
+        &mut t,
+        &mut records,
+    );
     let (mx, _, _) = families::mux(3);
     measure("mux_3 (n=11)", &mx, &mut t, &mut records);
     let (isa5, _) = families::isa_self(1, 2);

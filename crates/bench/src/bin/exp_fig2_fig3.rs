@@ -16,8 +16,8 @@
 use boolfunc::VarSet;
 use obdd::Obdd;
 use query::{families, find_inversion, lineage_circuit, Database, Schema, Ucq};
-use sentential_bench::{maybe_write_json, Record, Table};
 use sdd::SddManager;
+use sentential_bench::{maybe_write_json, Record, Table};
 use vtree::Vtree;
 
 /// Complete database over domain `[n]`, inserted **element-major**: all tuples
@@ -140,22 +140,57 @@ fn main() {
     let mut records = Vec::new();
 
     let (q, s) = families::two_atom_hierarchical();
-    measure("R(x)S(x,y) [safe]", &q, &s, &[2, 3, 4], &mut t, &mut records);
+    measure(
+        "R(x)S(x,y) [safe]",
+        &q,
+        &s,
+        &[2, 3, 4],
+        &mut t,
+        &mut records,
+    );
 
     let (q, s) = families::disconnected_hierarchical_union();
-    measure("RS ∨ TW [safe union]", &q, &s, &[2, 3], &mut t, &mut records);
+    measure(
+        "RS ∨ TW [safe union]",
+        &q,
+        &s,
+        &[2, 3],
+        &mut t,
+        &mut records,
+    );
 
     let (q, s) = families::qrst();
-    measure("q_RST [inversion]", &q, &s, &[2, 3, 4], &mut t, &mut records);
+    measure(
+        "q_RST [inversion]",
+        &q,
+        &s,
+        &[2, 3, 4],
+        &mut t,
+        &mut records,
+    );
 
     let (q, s) = families::uh(1);
-    measure("uh(1) [inversion]", &q, &s, &[2, 3, 4], &mut t, &mut records);
+    measure(
+        "uh(1) [inversion]",
+        &q,
+        &s,
+        &[2, 3, 4],
+        &mut t,
+        &mut records,
+    );
 
     let (q, s) = families::uh(2);
     measure("uh(2) [inversion]", &q, &s, &[2, 3], &mut t, &mut records);
 
     let (q, s) = families::sjoin_inequality_query();
-    measure("S(x,y)S(x',y'),x≠x' [UCQ≠]", &q, &s, &[2, 3, 4], &mut t, &mut records);
+    measure(
+        "S(x,y)S(x',y'),x≠x' [UCQ≠]",
+        &q,
+        &s,
+        &[2, 3, 4],
+        &mut t,
+        &mut records,
+    );
 
     t.print();
     println!(

@@ -66,7 +66,13 @@ fn main() {
 
     println!("\nLineage SDD sizes over complete databases:");
     let mut t2 = Table::new(&[
-        "query", "k", "domain n", "tuples", "SDD size", "SDD width", "2^(n/5k)-1 floor",
+        "query",
+        "k",
+        "domain n",
+        "tuples",
+        "SDD size",
+        "SDD width",
+        "2^(n/5k)-1 floor",
     ]);
     // Inversion series.
     for k in [1usize, 2] {

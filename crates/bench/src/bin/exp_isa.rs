@@ -52,11 +52,7 @@ fn main() {
                 ob.width(oroot).to_string(),
             )
         } else {
-            (
-                "infeasible".into(),
-                "infeasible (exp.)".into(),
-                "-".into(),
-            )
+            ("infeasible".into(), "infeasible (exp.)".into(), "-".into())
         };
         t.row(&[
             &level,

@@ -11,7 +11,7 @@
 
 use obdd::Obdd;
 use sentential_bench::{maybe_write_json, ratios, Record, Table};
-use sentential_core::compile_circuit;
+use sentential_core::{Compiler, Route, Validation};
 use vtree::VarId;
 
 fn vars(n: u32) -> Vec<VarId> {
@@ -21,28 +21,42 @@ fn vars(n: u32) -> Vec<VarId> {
 fn main() {
     println!("E4/E5 / Result 1: linear-size compilation at fixed treewidth\n");
     let mut t = Table::new(&[
-        "w", "n", "tw", "fw", "fiw", "sdw", "|C_F,T|", "|S_F,T|", "Thm4 bound", "OBDD size",
+        "w",
+        "n",
+        "tw",
+        "fw",
+        "fiw",
+        "sdw",
+        "|C_F,T|",
+        "|S_F,T|",
+        "Thm4 bound",
+        "OBDD size",
     ]);
     let mut records = Vec::new();
     for w in [2usize, 3, 4] {
         let mut sdd_sizes = Vec::new();
         for n in [8u32, 11, 14, 17, 20] {
             let c = circuit::families::clause_chain(&vars(n), w);
-            let r = compile_circuit(&c, 16).expect("compiles");
+            let r = Compiler::builder()
+                .route(Route::Semantic)
+                .validation(Validation::None)
+                .build()
+                .compile(&c)
+                .expect("compiles");
             let f = c.to_boolfn().unwrap();
             let mut ob = Obdd::new(vars(n));
             let oroot = ob.from_boolfn(&f);
-            let nnf_size = r.nnf.circuit.reachable_size();
-            let sdd_size = r.sdd.manager.size(r.sdd.root);
-            let bound = sentential_core::bounds::thm4_size(r.sdd.sdw, n as usize);
+            let nnf_size = r.report.nnf_size.expect("semantic route");
+            let sdd_size = r.sdd_size();
+            let bound = sentential_core::bounds::thm4_size(r.report.sdw, n as usize);
             assert!(sdd_size <= bound, "Theorem 4 must hold");
             t.row(&[
                 &w,
                 &n,
-                &r.stats.treewidth,
-                &r.fw,
-                &r.nnf.fiw,
-                &r.sdd.sdw,
+                &r.report.treewidth.expect("Lemma-1 vtree"),
+                &r.report.fw.expect("semantic route"),
+                &r.report.fiw.expect("semantic route"),
+                &r.report.sdw,
                 &nnf_size,
                 &sdd_size,
                 &bound,
@@ -54,8 +68,11 @@ fn main() {
                 series: format!("w={w}"),
                 x: n as u64,
                 values: vec![
-                    ("treewidth".into(), r.stats.treewidth as f64),
-                    ("sdw".into(), r.sdd.sdw as f64),
+                    (
+                        "treewidth".into(),
+                        r.report.treewidth.expect("Lemma-1 vtree") as f64,
+                    ),
+                    ("sdw".into(), r.report.sdw as f64),
                     ("cft_size".into(), nnf_size as f64),
                     ("sft_size".into(), sdd_size as f64),
                     ("obdd_size".into(), ob.size(oroot) as f64),
@@ -65,7 +82,9 @@ fn main() {
         let rs = ratios(&sdd_sizes);
         println!(
             "w={w}: S_F,T size growth ratios over n steps: {:?} (linear ⇒ ≈ n ratio ≤ 2)",
-            rs.iter().map(|r| (r * 100.0).round() / 100.0).collect::<Vec<_>>()
+            rs.iter()
+                .map(|r| (r * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
         );
     }
     println!();

@@ -21,19 +21,18 @@ fn vars(n: u32) -> Vec<VarId> {
 fn main() {
     println!("E11 / Eq. (2): pathwidth ⇒ OBDD width, via linear vtrees\n");
     let mut t = Table::new(&[
-        "family", "n", "circuit pw", "OBDD width", "fiw (linear T)", "sdw (linear T)",
+        "family",
+        "n",
+        "circuit pw",
+        "OBDD width",
+        "fiw (linear T)",
+        "sdw (linear T)",
     ]);
     let mut records = Vec::new();
     type Maker = Box<dyn Fn(&[VarId]) -> circuit::Circuit>;
     let families: Vec<(&str, Maker)> = vec![
-        (
-            "and_or_chain",
-            Box::new(circuit::families::and_or_chain),
-        ),
-        (
-            "parity_chain",
-            Box::new(circuit::families::parity_chain),
-        ),
+        ("and_or_chain", Box::new(circuit::families::and_or_chain)),
+        ("parity_chain", Box::new(circuit::families::parity_chain)),
         (
             "clause_chain_w2",
             Box::new(|vs| circuit::families::clause_chain(vs, 2)),

@@ -14,7 +14,15 @@ use sentential_bench::{maybe_write_json, Record, Table};
 fn main() {
     println!("E12: query probability via compilation\n");
     let mut t = Table::new(&[
-        "query", "tuples", "brute", "safe plan", "OBDD", "SDD", "pipeline", "C_F,T", "lineage tw",
+        "query",
+        "tuples",
+        "brute",
+        "safe plan",
+        "OBDD",
+        "SDD",
+        "pipeline",
+        "C_F,T",
+        "lineage tw",
     ]);
     let mut records = Vec::new();
 
@@ -46,14 +54,19 @@ fn main() {
             &format!("{viao:.6}"),
             &format!("{vias:.6}"),
             &format!("{viap:.6}"),
-            &viac.map(|p| format!("{p:.6}")).unwrap_or_else(|| "-".into()),
+            &viac
+                .map(|p| format!("{p:.6}"))
+                .unwrap_or_else(|| "-".into()),
             &tw,
         ]);
         records.push(Record {
             experiment: "E12".into(),
             series: label.into(),
             x: db.num_tuples() as u64,
-            values: vec![("probability".into(), viap), ("treewidth".into(), tw as f64)],
+            values: vec![
+                ("probability".into(), viap),
+                ("treewidth".into(), tw as f64),
+            ],
         });
     };
 

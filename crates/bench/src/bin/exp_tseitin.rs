@@ -18,7 +18,7 @@
 
 use obdd::Obdd;
 use sentential_bench::{maybe_write_json, Record, Table};
-use sentential_core::compile_circuit;
+use sentential_core::{Compiler, Route, Validation};
 use vtree::VarId;
 
 fn vars(n: u32) -> Vec<VarId> {
@@ -43,11 +43,7 @@ fn main() {
         let m = c.size();
         // Tseitin route: CNF over X ∪ Z, compile, quantify Z.
         let cnf = c.tseitin(1000);
-        let zvars: Vec<VarId> = cnf
-            .vars()
-            .iter()
-            .filter(|v| v.0 >= 1000)
-            .collect();
+        let zvars: Vec<VarId> = cnf.vars().iter().filter(|v| v.0 >= 1000).collect();
         let mut order = vars(n);
         order.extend_from_slice(&zvars);
         let mut ob = Obdd::new(order);
@@ -57,8 +53,13 @@ fn main() {
         // Direct routes.
         let direct_in_same_manager = ob.from_circuit(&c);
         let direct_obdd = ob.size(direct_in_same_manager);
-        let r = compile_circuit(&c, 16).expect("compiles");
-        let sft_size = r.sdd.manager.size(r.sdd.root);
+        let r = Compiler::builder()
+            .route(Route::Semantic)
+            .validation(Validation::None)
+            .build()
+            .compile(&c)
+            .expect("compiles");
+        let sft_size = r.sdd_size();
         // Correctness of the Eq. (3) identity ∃Z. T(X,Z) ≡ C(X), by OBDD
         // canonicity: same function + same manager ⇒ same node.
         let same = quantified == direct_in_same_manager;

@@ -4,7 +4,6 @@
 //! (see EXPERIMENTS.md for the index) and prints a plain-text table plus,
 //! when `--json <path>` is given, a machine-readable record.
 
-use serde::Serialize;
 use std::fmt::Display;
 
 /// A printed experiment table.
@@ -25,7 +24,8 @@ impl Table {
     /// Append a row (stringified cells).
     pub fn row(&mut self, cells: &[&dyn Display]) {
         assert_eq!(cells.len(), self.headers.len(), "row arity");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Render with aligned columns.
@@ -62,7 +62,6 @@ impl Table {
 }
 
 /// A single measurement record for JSON output.
-#[derive(Serialize)]
 pub struct Record {
     /// Experiment id (e.g. "E4").
     pub experiment: String,
@@ -74,14 +73,62 @@ pub struct Record {
     pub values: Vec<(String, f64)>,
 }
 
+/// JSON string escaping for the hand-rolled serializer below (the build is
+/// offline, so no serde; labels here are plain ASCII identifiers anyway).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON number token — `null` for NaN/infinity, which JSON cannot carry.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render records as a pretty-printed JSON array.
+pub fn records_to_json(records: &[Record]) -> String {
+    let mut body = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let values = r
+            .values
+            .iter()
+            .map(|(k, v)| format!("[\"{}\", {}]", json_escape(k), json_number(*v)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        body.push_str(&format!(
+            "  {{\"experiment\": \"{}\", \"series\": \"{}\", \"x\": {}, \"values\": [{}]}}",
+            json_escape(&r.experiment),
+            json_escape(&r.series),
+            r.x,
+            values
+        ));
+        body.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    body.push(']');
+    body
+}
+
 /// Write records as JSON when the CLI was invoked with `--json <path>`.
 pub fn maybe_write_json(records: &[Record]) {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--json" {
             let path = args.next().expect("--json needs a path");
-            let body = serde_json::to_string_pretty(records).expect("serializable");
-            std::fs::write(&path, body).expect("writable path");
+            std::fs::write(&path, records_to_json(records)).expect("writable path");
             eprintln!("wrote {path}");
         }
     }
@@ -106,5 +153,34 @@ mod tests {
     #[test]
     fn ratios_work() {
         assert_eq!(ratios(&[2, 4, 8]), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn json_rendering() {
+        let records = vec![Record {
+            experiment: "E1".into(),
+            series: "a\"b".into(),
+            x: 3,
+            values: vec![("size".into(), 1.5)],
+        }];
+        let json = records_to_json(&records);
+        assert!(json.contains("\"experiment\": \"E1\""));
+        assert!(json.contains("a\\\"b"));
+        assert!(json.contains("[\"size\", 1.5]"));
+        assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        let records = vec![Record {
+            experiment: "E0".into(),
+            series: "s".into(),
+            x: 1,
+            values: vec![("bad".into(), f64::NAN), ("worse".into(), f64::INFINITY)],
+        }];
+        let json = records_to_json(&records);
+        assert!(json.contains("[\"bad\", null]"), "{json}");
+        assert!(json.contains("[\"worse\", null]"), "{json}");
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
     }
 }

@@ -30,11 +30,7 @@ impl CommMatrix {
     /// `cm(F, X₁, X₂)`: `x1 ∪ x2` must partition the support of `f`.
     pub fn of(f: &BoolFn, x1: &VarSet, x2: &VarSet) -> CommMatrix {
         assert!(x1.is_disjoint(x2), "blocks must be disjoint");
-        assert_eq!(
-            &x1.union(x2),
-            f.vars(),
-            "blocks must partition the support"
-        );
+        assert_eq!(&x1.union(x2), f.vars(), "blocks must partition the support");
         let p1 = x1.positions_in(f.vars());
         let p2 = x2.positions_in(f.vars());
         let rows = 1usize << x1.len();
@@ -115,11 +111,7 @@ impl CommMatrix {
     pub fn rank_modp(&self) -> usize {
         const P: u64 = (1 << 31) - 1;
         let mut m: Vec<Vec<u64>> = (0..self.rows)
-            .map(|r| {
-                (0..self.cols)
-                    .map(|c| u64::from(self.get(r, c)))
-                    .collect()
-            })
+            .map(|r| (0..self.cols).map(|c| u64::from(self.get(r, c))).collect())
             .collect();
         let mut rank = 0;
         for c in 0..self.cols {

@@ -116,11 +116,7 @@ pub fn min_factor_width(f: &BoolFn, max_n: usize) -> (usize, Vtree) {
     if vars.is_empty() {
         // Constant function: any single-leaf vtree over an original variable
         // (or a fresh one) witnesses width 1.
-        let v = f
-            .vars()
-            .iter()
-            .next()
-            .unwrap_or(vtree::VarId(0));
+        let v = f.vars().iter().next().unwrap_or(vtree::VarId(0));
         let t = Vtree::right_linear(&[v]).expect("single leaf");
         return (1, t);
     }

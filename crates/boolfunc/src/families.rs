@@ -34,9 +34,7 @@ pub fn threshold(vars: &[VarId], k: u32) -> BoolFn {
 /// Conjunction of all variables.
 pub fn and_all(vars: &[VarId]) -> BoolFn {
     let n = vars.len();
-    BoolFn::from_fn(VarSet::from_slice(vars), move |i| {
-        i == (1u64 << n) - 1
-    })
+    BoolFn::from_fn(VarSet::from_slice(vars), move |i| i == (1u64 << n) - 1)
 }
 
 /// Disjunction of all variables.
@@ -70,9 +68,7 @@ pub fn equality(n: usize) -> (BoolFn, Vec<VarId>, Vec<VarId>) {
     let xs: Vec<VarId> = (0..n as u32).map(VarId).collect();
     let ys: Vec<VarId> = (n as u32..2 * n as u32).map(VarId).collect();
     let vars = VarSet::from_iter(xs.iter().chain(ys.iter()).copied());
-    let f = BoolFn::from_fn(vars, move |i| {
-        (i & ((1u64 << n) - 1)) == (i >> n)
-    });
+    let f = BoolFn::from_fn(vars, move |i| (i & ((1u64 << n) - 1)) == (i >> n));
     (f, xs, ys)
 }
 

@@ -68,10 +68,7 @@ impl BoolFn {
     }
 
     /// Fallible version of [`BoolFn::from_fn`].
-    pub fn try_from_fn<F: FnMut(u64) -> bool>(
-        vars: VarSet,
-        mut f: F,
-    ) -> Result<Self, BoolFnError> {
+    pub fn try_from_fn<F: FnMut(u64) -> bool>(vars: VarSet, mut f: F) -> Result<Self, BoolFnError> {
         let n = vars.len();
         if n > MAX_VARS {
             return Err(BoolFnError::TooManyVars { n });
@@ -162,7 +159,10 @@ impl BoolFn {
 
     /// Number of models when viewed over the superset `over` of the support.
     pub fn count_models_over(&self, over: &VarSet) -> u64 {
-        assert!(self.vars.is_subset(over), "count_models_over: not a superset");
+        assert!(
+            self.vars.is_subset(over),
+            "count_models_over: not a superset"
+        );
         self.count_models() << (over.len() - self.num_vars())
     }
 
@@ -407,7 +407,11 @@ fn wc_bits(word: u64, n: usize, w: &[(f64, f64)]) -> f64 {
     }
     let half_bits = 1usize << (n - 1);
     let (w_neg, w_pos) = w[n - 1];
-    let mask = if half_bits >= 64 { !0 } else { (1u64 << half_bits) - 1 };
+    let mask = if half_bits >= 64 {
+        !0
+    } else {
+        (1u64 << half_bits) - 1
+    };
     let lo = wc_bits(word & mask, n - 1, &w[..n - 1]);
     let hi = wc_bits(word >> (half_bits % 64), n - 1, &w[..n - 1]);
     w_neg * lo + w_pos * hi
@@ -539,12 +543,8 @@ mod tests {
         for idx in 0..(1u64 << 7) {
             if f.eval_index(idx) {
                 let mut p = 1.0;
-                for j in 0..7 {
-                    p *= if idx >> j & 1 == 1 {
-                        probs[j]
-                    } else {
-                        1.0 - probs[j]
-                    };
+                for (j, pj) in probs.iter().enumerate() {
+                    p *= if idx >> j & 1 == 1 { *pj } else { 1.0 - *pj };
                 }
                 slow += p;
             }

@@ -182,10 +182,7 @@ mod tests {
                 BoolFn::constant(VarSet::empty(), true),
             )],
         };
-        assert_eq!(
-            cover.check_disjoint_cover_of(&f),
-            Err(CoverError::NotExact)
-        );
+        assert_eq!(cover.check_disjoint_cover_of(&f), Err(CoverError::NotExact));
     }
 
     #[test]

@@ -142,11 +142,7 @@ impl VarSet {
     pub fn positions_in(&self, superset: &VarSet) -> Vec<u32> {
         self.0
             .iter()
-            .map(|v| {
-                superset
-                    .position(*v)
-                    .expect("positions_in: not a superset") as u32
-            })
+            .map(|v| superset.position(*v).expect("positions_in: not a superset") as u32)
             .collect()
     }
 }

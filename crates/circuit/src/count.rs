@@ -76,9 +76,7 @@ impl Circuit {
     pub fn count_models_ddnnf(&self, scope: &VarSet) -> u128 {
         let sets = self.var_sets();
         assert!(sets[self.output().index()].is_subset(scope));
-        let gap_of = |vars: &VarSet, inner: &VarSet| -> u32 {
-            (vars.len() - inner.len()) as u32
-        };
+        let gap_of = |vars: &VarSet, inner: &VarSet| -> u32 { (vars.len() - inner.len()) as u32 };
         let mut value = vec![0u128; self.size()];
         for (id, g) in self.iter() {
             let i = id.index();
@@ -153,10 +151,7 @@ mod tests {
         let mut b = CircuitBuilder::new();
         let empty_or = b.or_many(vec![]);
         let c = b.build(empty_or);
-        assert_eq!(
-            c.count_models_ddnnf(&VarSet::from_iter([v(0)])),
-            0
-        );
+        assert_eq!(c.count_models_ddnnf(&VarSet::from_iter([v(0)])), 0);
     }
 
     #[test]

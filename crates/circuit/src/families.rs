@@ -313,9 +313,6 @@ mod tests {
         let mut r2 = rand::rngs::StdRng::seed_from_u64(7);
         let c1 = random_circuit(4, 9, &mut r1);
         let c2 = random_circuit(4, 9, &mut r2);
-        assert!(c1
-            .to_boolfn()
-            .unwrap()
-            .equivalent(&c2.to_boolfn().unwrap()));
+        assert!(c1.to_boolfn().unwrap().equivalent(&c2.to_boolfn().unwrap()));
     }
 }

@@ -19,8 +19,8 @@
 //!   effort ([`count`]).
 
 pub mod analysis;
-pub mod count;
 pub mod builder;
+pub mod count;
 pub mod families;
 pub mod gate;
 pub mod transform;

@@ -199,10 +199,7 @@ mod tests {
             let c = crate::families::random_circuit(5, 15, &mut rng);
             let n = c.to_nnf();
             n.check_nnf().unwrap();
-            assert!(c
-                .to_boolfn()
-                .unwrap()
-                .equivalent(&n.to_boolfn().unwrap()));
+            assert!(c.to_boolfn().unwrap().equivalent(&n.to_boolfn().unwrap()));
         }
     }
 
@@ -258,10 +255,7 @@ mod tests {
         let c = cnf.to_circuit();
         let f = c.to_boolfn().unwrap();
         // (x0 ∨ ¬x1) ∧ x1 ≡ x0 ∧ x1
-        let expect = boolfunc::BoolFn::from_fn(
-            VarSet::from_iter([v(0), v(1)]),
-            |i| i == 0b11,
-        );
+        let expect = boolfunc::BoolFn::from_fn(VarSet::from_iter([v(0), v(1)]), |i| i == 0b11);
         assert!(f.equivalent(&expect));
     }
 }

@@ -32,11 +32,7 @@ impl<'a> VtreeFactors<'a> {
             .node_ids()
             .map(|v| factors(f, &VarSet::from_slice(vtree.vars_below(v))))
             .collect();
-        VtreeFactors {
-            f,
-            vtree,
-            per_node,
-        }
+        VtreeFactors { f, vtree, per_node }
     }
 
     /// Factors at node `v`.
@@ -53,14 +49,8 @@ impl<'a> VtreeFactors<'a> {
     /// assignment of one guard model from the left child and one from the
     /// right child.
     fn classify_pair(&self, v: VtreeNodeId, left: &Factor, right: &Factor) -> usize {
-        let bl = left
-            .guard
-            .any_model()
-            .expect("factor guards are nonempty");
-        let br = right
-            .guard
-            .any_model()
-            .expect("factor guards are nonempty");
+        let bl = left.guard.any_model().expect("factor guards are nonempty");
+        let br = right.guard.any_model().expect("factor guards are nonempty");
         let al = Assignment::from_index(left.guard.vars(), bl);
         let ar = Assignment::from_index(right.guard.vars(), br);
         let combined = al.union(&ar);
@@ -94,12 +84,7 @@ impl ImplicantTable {
         let right = ctx.at(w2);
         let class = left
             .iter()
-            .map(|g| {
-                right
-                    .iter()
-                    .map(|g2| ctx.classify_pair(v, g, g2))
-                    .collect()
-            })
+            .map(|g| right.iter().map(|g2| ctx.classify_pair(v, g, g2)).collect())
             .collect();
         ImplicantTable { class }
     }
@@ -137,12 +122,7 @@ pub fn rectangle_cover_of_factor(
     let rects = table
         .implicants_of(h)
         .into_iter()
-        .map(|(i, j)| {
-            Rectangle::new(
-                ctx.at(w)[i].guard.clone(),
-                ctx.at(w2)[j].guard.clone(),
-            )
-        })
+        .map(|(i, j)| Rectangle::new(ctx.at(w)[i].guard.clone(), ctx.at(w2)[j].guard.clone()))
         .collect();
     RectangleCover { rects }
 }

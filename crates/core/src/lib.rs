@@ -20,7 +20,11 @@
 //! * [`mod@sft`] — the `S_{F,T}` canonical SDD construction and SDD width
 //!   (Definition 5, Theorem 4, Lemma 6);
 //! * [`vtree_extract`] — Lemma 1: vtrees from nice tree decompositions;
-//! * [`pipeline`] — the end-to-end Result 1 compilation;
+//! * [`mod@compiler`] — the unified [`Compiler`] session API: configurable
+//!   strategies ([`TwBackend`], [`VtreeStrategy`], [`Route`]), a unified
+//!   [`CompileError`], and timed [`CompileReport`]s;
+//! * [`pipeline`] — the end-to-end Result 1 compilation (deprecated
+//!   wrappers over [`Compiler`]);
 //! * [`bounds`] — every numeric bound in the paper, as checkable functions;
 //! * [`ctw`] — circuit-treewidth tooling (Result 2, constructive substitute);
 //! * [`isa`] — Appendix A: the `ISA_n` vtree and its polynomial SDD;
@@ -29,6 +33,7 @@
 
 pub mod bounds;
 pub mod cft;
+pub mod compiler;
 pub mod ctw;
 pub mod implicants;
 pub mod isa;
@@ -38,7 +43,12 @@ pub mod vtree_extract;
 pub mod vtree_search;
 
 pub use cft::{cft, min_fiw, CftResult};
+pub use compiler::{
+    Compilation, CompileError, CompileOptions, CompileReport, Compiler, CompilerBuilder,
+    ResolvedRoute, Route, StageTimings, TwBackend, Validation, VtreeStrategy,
+};
 pub use implicants::VtreeFactors;
+#[allow(deprecated)]
 pub use pipeline::{compile_circuit, CompilationError, CompiledCircuit};
 pub use sft::{min_sdw, sft, SftResult};
-pub use vtree_extract::vtree_from_circuit;
+pub use vtree_extract::{vtree_from_circuit, vtree_from_circuit_with};

@@ -1,9 +1,16 @@
 //! Result 1 end to end: compile a circuit into a canonical deterministic
 //! structured NNF and a canonical SDD of size `O(f(k)·n)`.
+//!
+//! The free functions here are the workspace's original entry points, kept
+//! as thin **deprecated** wrappers so downstream code keeps compiling; new
+//! code should configure a [`crate::Compiler`] session instead, which
+//! exposes the strategy choices these wrappers hard-code and returns a
+//! timed [`crate::CompileReport`].
 
-use crate::cft::{cft, CftResult};
-use crate::sft::{sft, SftResult};
-use crate::vtree_extract::{vtree_from_circuit, ExtractError, ExtractStats};
+use crate::cft::CftResult;
+use crate::compiler::{CompileError, Compiler, Route, Validation};
+use crate::sft::SftResult;
+use crate::vtree_extract::{ExtractError, ExtractStats};
 use boolfunc::BoolFnError;
 use circuit::Circuit;
 use sdd::{SddId, SddManager};
@@ -24,7 +31,8 @@ pub struct CompiledCircuit {
     pub sdd: SftResult,
 }
 
-/// Pipeline failures.
+/// Pipeline failures (superseded by [`CompileError`], which absorbs this
+/// type via `From`).
 #[derive(Debug)]
 pub enum CompilationError {
     /// Constant circuit — nothing to hang a vtree on.
@@ -50,26 +58,55 @@ impl From<ExtractError> for CompilationError {
     }
 }
 
+/// Map the unified error back onto the legacy enum for the wrappers below.
+/// The wrapped option sets (`Lemma1` + `Auto`/`Semantic`/`Apply`, no
+/// validation) can only fail in these two ways.
+fn legacy_error(e: CompileError) -> CompilationError {
+    match e {
+        CompileError::NoVariables => CompilationError::NoVariables,
+        CompileError::TooManyVars(b) => CompilationError::TooManyVars(b),
+        other => unreachable!("legacy pipeline cannot fail with {other}"),
+    }
+}
+
+fn legacy_stats(report: &crate::CompileReport) -> ExtractStats {
+    ExtractStats {
+        treewidth: report.treewidth.expect("Lemma-1 vtree"),
+        nice_nodes: report.nice_nodes.expect("Lemma-1 vtree"),
+        primal_vertices: report.primal_vertices.expect("Lemma-1 vtree"),
+    }
+}
+
 /// The full semantic pipeline (Result 1): circuit → tree decomposition →
 /// vtree (Lemma 1) → `C_{F,T}` (Theorem 3) + `S_{F,T}` (Theorem 4).
 ///
 /// Requires the circuit's variable count to fit the truth-table kernel;
 /// use [`compile_circuit_apply`] beyond that.
+#[deprecated(note = "configure a `sentential_core::Compiler` session instead")]
 pub fn compile_circuit(
     c: &Circuit,
     exact_tw_limit: usize,
 ) -> Result<CompiledCircuit, CompilationError> {
-    let f = c.to_boolfn().map_err(CompilationError::TooManyVars)?;
-    let (vtree, stats) = vtree_from_circuit(c, exact_tw_limit)?;
-    let nnf = cft(&f, &vtree);
-    let fw = nnf.fw;
-    let sdd = sft(&f, &vtree);
+    let compiled = Compiler::builder()
+        .route(Route::Semantic)
+        .exact_tw_limit(exact_tw_limit)
+        .validation(Validation::None)
+        .build()
+        .compile(c)
+        .map_err(legacy_error)?;
+    let fw = compiled.report.fw.expect("semantic route");
+    let stats = legacy_stats(&compiled.report);
     Ok(CompiledCircuit {
-        vtree,
         stats,
         fw,
-        nnf,
-        sdd,
+        nnf: compiled.nnf.expect("semantic route"),
+        sdd: SftResult {
+            manager: compiled.sdd,
+            root: compiled.root,
+            sdw: compiled.report.sdw,
+            fw,
+        },
+        vtree: compiled.vtree,
     })
 }
 
@@ -77,24 +114,40 @@ pub fn compile_circuit(
 /// Lemma-1 vtree still guides the compilation, but the SDD is built by
 /// bottom-up `apply` instead of factor enumeration. Returns the manager,
 /// the root, and the extraction stats.
+#[deprecated(note = "configure a `sentential_core::Compiler` session instead")]
 pub fn compile_circuit_apply(
     c: &Circuit,
     exact_tw_limit: usize,
 ) -> Result<(SddManager, SddId, ExtractStats), CompilationError> {
-    let (vtree, stats) = vtree_from_circuit(c, exact_tw_limit)?;
-    let mut mgr = SddManager::new(vtree);
-    let root = mgr.from_circuit(c);
-    Ok((mgr, root, stats))
+    let compiled = Compiler::builder()
+        .route(Route::Apply)
+        .exact_tw_limit(exact_tw_limit)
+        .validation(Validation::None)
+        .build()
+        .compile(c)
+        .map_err(legacy_error)?;
+    let stats = legacy_stats(&compiled.report);
+    Ok((compiled.sdd, compiled.root, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compiler::ResolvedRoute;
     use circuit::families;
     use vtree::VarId;
 
     fn vars(n: u32) -> Vec<VarId> {
         (0..n).map(VarId).collect()
+    }
+
+    fn compile(c: &Circuit) -> crate::Compilation {
+        Compiler::builder()
+            .route(Route::Semantic)
+            .exact_tw_limit(18)
+            .build()
+            .compile(c)
+            .unwrap()
     }
 
     #[test]
@@ -106,18 +159,19 @@ mod tests {
             families::and_or_tree(&vars(8)),
         ] {
             let f = c.to_boolfn().unwrap();
-            let r = compile_circuit(&c, 18).unwrap();
+            let r = compile(&c);
+            let nnf = r.nnf.as_ref().unwrap();
             // Semantics through both routes.
-            assert!(r.nnf.circuit.to_boolfn().unwrap().equivalent(&f));
-            assert!(r.sdd.manager.to_boolfn(r.sdd.root).equivalent(&f));
+            assert!(nnf.circuit.to_boolfn().unwrap().equivalent(&f));
+            assert!(r.sdd.to_boolfn(r.root).equivalent(&f));
             // Structure.
-            r.nnf.circuit.check_deterministic().unwrap();
-            r.nnf.circuit.check_structured_by(&r.vtree).unwrap();
-            r.sdd.manager.validate(r.sdd.root).unwrap();
+            nnf.circuit.check_deterministic().unwrap();
+            nnf.circuit.check_structured_by(&r.vtree).unwrap();
+            r.sdd.validate(r.root).unwrap();
             // Theorem 3 / 4 size bounds.
             let n = f.vars().len();
-            assert!(r.nnf.circuit.reachable_size() <= crate::bounds::thm3_size(r.nnf.fiw, n));
-            assert!(r.sdd.manager.size(r.sdd.root) <= crate::bounds::thm4_size(r.sdd.sdw, n));
+            assert!(nnf.circuit.reachable_size() <= crate::bounds::thm3_size(nnf.fiw, n));
+            assert!(r.sdd.size(r.root) <= crate::bounds::thm4_size(r.report.sdw, n));
         }
     }
 
@@ -125,13 +179,16 @@ mod tests {
     fn apply_route_agrees_with_semantic_route() {
         let c = families::clause_chain(&vars(9), 2);
         let f = c.to_boolfn().unwrap();
-        let r = compile_circuit(&c, 18).unwrap();
-        let (mgr2, root2, _) = compile_circuit_apply(&c, 18).unwrap();
-        assert_eq!(
-            r.sdd.manager.count_models(r.sdd.root),
-            mgr2.count_models(root2)
-        );
-        assert!(mgr2.to_boolfn(root2).equivalent(&f));
+        let r = compile(&c);
+        let r2 = Compiler::builder()
+            .route(Route::Apply)
+            .exact_tw_limit(18)
+            .build()
+            .compile(&c)
+            .unwrap();
+        assert_eq!(r2.report.route, ResolvedRoute::Apply);
+        assert_eq!(r.count_models(), r2.count_models());
+        assert!(r2.sdd.to_boolfn(r2.root).equivalent(&f));
     }
 
     #[test]
@@ -142,8 +199,7 @@ mod tests {
             .iter()
             .map(|&n| {
                 let c = families::clause_chain(&vars(n), 2);
-                let r = compile_circuit(&c, 18).unwrap();
-                r.sdd.manager.size(r.sdd.root)
+                compile(&c).sdd_size()
             })
             .collect();
         // Ratio between consecutive sizes stays bounded (no blow-up).
@@ -156,8 +212,28 @@ mod tests {
         let t = b.constant(true);
         let c = b.build(t);
         assert!(matches!(
-            compile_circuit(&c, 10),
-            Err(CompilationError::NoVariables)
+            Compiler::new().compile(&c),
+            Err(CompileError::NoVariables)
         ));
+    }
+
+    /// The deprecated wrappers still work and agree with the session API.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_sessions() {
+        let c = families::clause_chain(&vars(8), 2);
+        let old = compile_circuit(&c, 18).unwrap();
+        let new = compile(&c);
+        assert_eq!(old.fw, new.report.fw.unwrap());
+        assert_eq!(old.sdd.sdw, new.report.sdw);
+        assert_eq!(old.stats.treewidth, new.report.treewidth.unwrap());
+        assert_eq!(
+            old.sdd.manager.count_models(old.sdd.root),
+            new.count_models()
+        );
+
+        let (mgr, root, stats) = compile_circuit_apply(&c, 18).unwrap();
+        assert_eq!(stats.treewidth, new.report.treewidth.unwrap());
+        assert_eq!(mgr.count_models(root), new.count_models());
     }
 }

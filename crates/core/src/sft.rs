@@ -97,9 +97,7 @@ fn build(
         // S_G for each left factor, grouped by equality (Eq. 25 → Eq. 26).
         let mut groups: FxHashMap<Vec<usize>, Vec<usize>> = FxHashMap::default();
         for (i, row) in table.class.iter().enumerate() {
-            let s_g: Vec<usize> = (0..row.len())
-                .filter(|&j| hs.contains(&row[j]))
-                .collect();
+            let s_g: Vec<usize> = (0..row.len()).filter(|&j| hs.contains(&row[j])).collect();
             groups.entry(s_g).or_default().push(i);
         }
         let mut elems = Vec::with_capacity(groups.len());

@@ -10,7 +10,7 @@
 //! we prune them, which can only reduce factor counts, see Eq. 9).
 
 use circuit::{Circuit, GateKind};
-use graphtw::{NiceTd, TreeDecomposition};
+use graphtw::{EliminationOrder, Graph, NiceTd, TreeDecomposition};
 use std::fmt;
 use vtree::{VarId, Vtree, VtreeShape};
 
@@ -50,6 +50,17 @@ pub fn vtree_from_circuit(
     c: &Circuit,
     exact_tw_limit: usize,
 ) -> Result<(Vtree, ExtractStats), ExtractError> {
+    vtree_from_circuit_with(c, |g| graphtw::treewidth(g, exact_tw_limit))
+}
+
+/// Lemma 1 with a caller-chosen decomposition backend: `decompose` maps the
+/// primal graph to `(width, elimination order)`. This is the seam the
+/// [`crate::Compiler`] strategies plug into ([`crate::TwBackend`]); the
+/// fixed-strategy [`vtree_from_circuit`] delegates here.
+pub fn vtree_from_circuit_with(
+    c: &Circuit,
+    decompose: impl FnOnce(&Graph) -> (usize, EliminationOrder),
+) -> Result<(Vtree, ExtractStats), ExtractError> {
     let (g, vertex_of_gate) = c.primal_graph();
     // Gate → variable map for reachable Var gates; unreachable variable
     // gates are attached at the top at the end (they do not affect F).
@@ -69,7 +80,7 @@ pub fn vtree_from_circuit(
     }
 
     let (shape_opt, stats) = if any_reachable_var {
-        let (tw, order) = graphtw::treewidth(&g, exact_tw_limit);
+        let (tw, order) = decompose(&g);
         let td = TreeDecomposition::from_elimination_order(&g, &order);
         let nice = NiceTd::from_td(&td, g.num_vertices());
         let stats = ExtractStats {

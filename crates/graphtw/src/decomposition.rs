@@ -149,7 +149,12 @@ impl TreeDecomposition {
 
     /// Width = max bag size − 1.
     pub fn width(&self) -> usize {
-        self.bags.iter().map(|b| b.len()).max().unwrap_or(0).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1)
     }
 
     /// Check all three tree-decomposition invariants against `g`.
@@ -281,11 +286,7 @@ mod tests {
     #[test]
     fn validation_catches_missing_edge() {
         let g = Graph::path(3); // edges (0,1),(1,2)
-        let td = TreeDecomposition::from_parts(
-            vec![vec![0, 1], vec![2]],
-            vec![None, Some(0)],
-            0,
-        );
+        let td = TreeDecomposition::from_parts(vec![vec![0, 1], vec![2]], vec![None, Some(0)], 0);
         assert_eq!(td.validate(&g), Err(TdError::EdgeNotCovered(1, 2)));
     }
 
@@ -303,11 +304,8 @@ mod tests {
     #[test]
     fn validation_catches_cycle() {
         let g = Graph::path(2);
-        let td = TreeDecomposition::from_parts(
-            vec![vec![0, 1], vec![0, 1]],
-            vec![Some(1), Some(0)],
-            0,
-        );
+        let td =
+            TreeDecomposition::from_parts(vec![vec![0, 1], vec![0, 1]], vec![Some(1), Some(0)], 0);
         assert_eq!(td.validate(&g), Err(TdError::MalformedTree));
     }
 }

@@ -65,7 +65,11 @@ impl ElimState {
 
 /// The width of an elimination order: the maximum elimination-time degree.
 pub fn width_of_order(g: &Graph, order: &[u32]) -> usize {
-    assert_eq!(order.len(), g.num_vertices(), "order must cover all vertices");
+    assert_eq!(
+        order.len(),
+        g.num_vertices(),
+        "order must cover all vertices"
+    );
     let mut st = ElimState::new(g);
     let mut width = 0;
     for &v in order {

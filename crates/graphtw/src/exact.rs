@@ -182,7 +182,10 @@ mod tests {
         assert_eq!(exact_treewidth(&Graph::complete(6)).unwrap().0, 5);
         assert_eq!(exact_treewidth(&Graph::grid(3, 3)).unwrap().0, 3);
         assert_eq!(exact_treewidth(&Graph::grid(4, 4)).unwrap().0, 4);
-        assert_eq!(exact_treewidth(&Graph::complete_binary_tree(3)).unwrap().0, 1);
+        assert_eq!(
+            exact_treewidth(&Graph::complete_binary_tree(3)).unwrap().0,
+            1
+        );
     }
 
     #[test]
@@ -200,7 +203,10 @@ mod tests {
         assert_eq!(exact_pathwidth(&Graph::complete(5)).unwrap().0, 4);
         // Complete binary tree of depth d has pathwidth ceil(d/2) for d >= 2
         // (Scheffler): depth 4 (15 vertices) -> pathwidth 2.
-        assert_eq!(exact_pathwidth(&Graph::complete_binary_tree(4)).unwrap().0, 2);
+        assert_eq!(
+            exact_pathwidth(&Graph::complete_binary_tree(4)).unwrap().0,
+            2
+        );
     }
 
     #[test]

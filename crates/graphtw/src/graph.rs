@@ -46,7 +46,10 @@ impl Graph {
             return;
         }
         let (ui, vi) = (u as usize, v as usize);
-        assert!(ui < self.adj.len() && vi < self.adj.len(), "vertex out of range");
+        assert!(
+            ui < self.adj.len() && vi < self.adj.len(),
+            "vertex out of range"
+        );
         match self.adj[ui].binary_search(&v) {
             Ok(_) => {}
             Err(pos) => {

@@ -226,7 +226,9 @@ impl Builder<'_> {
 
     fn push_introduce(&mut self, child: usize, v: u32) -> usize {
         let mut bag = self.nodes[child].bag.clone();
-        let pos = bag.binary_search(&v).expect_err("introduced vertex not in bag");
+        let pos = bag
+            .binary_search(&v)
+            .expect_err("introduced vertex not in bag");
         bag.insert(pos, v);
         self.push(NiceNodeKind::Introduce(v), bag, vec![child])
     }

@@ -636,16 +636,13 @@ mod tests {
         let a = m.ite(x, y, z);
         // ite(x,y,z) has 4 models: x&y (2 z-free... enumerated = 4).
         let f = m.to_boolfn(a);
-        let expect = boolfunc::BoolFn::from_fn(
-            boolfunc::VarSet::from_slice(&order(3)),
-            |i| {
-                if i & 1 == 1 {
-                    i >> 1 & 1 == 1
-                } else {
-                    i >> 2 & 1 == 1
-                }
-            },
-        );
+        let expect = boolfunc::BoolFn::from_fn(boolfunc::VarSet::from_slice(&order(3)), |i| {
+            if i & 1 == 1 {
+                i >> 1 & 1 == 1
+            } else {
+                i >> 2 & 1 == 1
+            }
+        });
         assert!(f.equivalent(&expect));
     }
 }

@@ -1,0 +1,246 @@
+//! The end-to-end query-compilation facade: UCQ(≠) + database → lineage
+//! circuit → [`sentential_core::Compiler`] → SDD → probability, one call,
+//! with the same timed report the circuit pipeline produces.
+//!
+//! ```
+//! use query::{families, QueryCompiler};
+//!
+//! let (q, schema) = families::two_atom_hierarchical();
+//! let r = schema.by_name("R").unwrap();
+//! let s = schema.by_name("S").unwrap();
+//! let mut db = query::Database::new(schema);
+//! db.insert(r, vec![1], 0.5);
+//! db.insert(s, vec![1, 1], 0.5);
+//!
+//! let answer = QueryCompiler::new().probability(&q, &db).unwrap();
+//! assert!((answer.probability - 0.25).abs() < 1e-12);
+//! println!("{}", answer.report.unwrap());
+//! ```
+
+use crate::ast::{QueryError, Ucq};
+use crate::eval::ucq_holds;
+use crate::lineage::lineage_circuit;
+use crate::schema::Database;
+use sentential_core::{CompileError, CompileOptions, CompileReport, Compiler, Route};
+use std::fmt;
+use vtree::VarId;
+
+/// Failures of the query-compilation facade.
+#[derive(Debug)]
+pub enum QueryCompileError {
+    /// The query does not fit the database's schema.
+    Query(QueryError),
+    /// The lineage circuit failed to compile.
+    Compile(CompileError),
+}
+
+impl fmt::Display for QueryCompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryCompileError::Query(e) => write!(f, "invalid query: {e}"),
+            QueryCompileError::Compile(e) => write!(f, "lineage compilation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryCompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryCompileError::Query(e) => Some(e),
+            QueryCompileError::Compile(e) => Some(e),
+        }
+    }
+}
+
+impl From<QueryError> for QueryCompileError {
+    fn from(e: QueryError) -> Self {
+        QueryCompileError::Query(e)
+    }
+}
+
+impl From<CompileError> for QueryCompileError {
+    fn from(e: CompileError) -> Self {
+        QueryCompileError::Compile(e)
+    }
+}
+
+/// What a query compilation produced: the probability plus everything the
+/// pipeline measured along the way.
+#[derive(Debug)]
+pub struct QueryAnswer {
+    /// `P(Q)` over the tuple-independent database.
+    pub probability: f64,
+    /// Gates in the lineage circuit.
+    pub lineage_gates: usize,
+    /// Tuple variables appearing in the lineage.
+    pub lineage_vars: usize,
+    /// The circuit-compilation report; `None` when the lineage is constant
+    /// (no tuple variable influences the query) and compilation was skipped.
+    pub report: Option<CompileReport>,
+}
+
+impl QueryAnswer {
+    /// Width of the tree decomposition used on the lineage, when the
+    /// Lemma-1 vtree strategy ran.
+    pub fn treewidth(&self) -> Option<usize> {
+        self.report.as_ref().and_then(|r| r.treewidth)
+    }
+}
+
+/// A query-compilation session: a [`Compiler`] plus the lineage plumbing.
+///
+/// The default configuration uses the apply route (lineages routinely
+/// exceed the truth-table kernel cap) over Lemma-1 vtrees; use
+/// [`QueryCompiler::with_options`] or [`QueryCompiler::with_compiler`] for
+/// anything else.
+#[derive(Clone, Debug)]
+pub struct QueryCompiler {
+    compiler: Compiler,
+}
+
+impl Default for QueryCompiler {
+    fn default() -> Self {
+        QueryCompiler {
+            compiler: Compiler::builder().route(Route::Apply).build(),
+        }
+    }
+}
+
+impl QueryCompiler {
+    /// The default session (apply route, Lemma-1 vtrees).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A session with explicit circuit-compilation options.
+    pub fn with_options(opts: CompileOptions) -> Self {
+        QueryCompiler {
+            compiler: Compiler::with_options(opts),
+        }
+    }
+
+    /// A session around an existing configured [`Compiler`].
+    pub fn with_compiler(compiler: Compiler) -> Self {
+        QueryCompiler { compiler }
+    }
+
+    /// The underlying circuit compiler.
+    pub fn compiler(&self) -> &Compiler {
+        &self.compiler
+    }
+
+    /// `P(Q)` over `db`: validate the query, build the lineage circuit,
+    /// compile it to an SDD, and weight-count it with the tuple marginals.
+    pub fn probability(&self, q: &Ucq, db: &Database) -> Result<QueryAnswer, QueryCompileError> {
+        q.validate(db.schema())?;
+        let lineage = lineage_circuit(q, db);
+        let lineage_vars = lineage.vars().len();
+        if lineage_vars == 0 {
+            // Constant lineage: the query's truth does not depend on any
+            // tuple (e.g. the empty database).
+            let p = if ucq_holds(q, db, &|_| false) {
+                1.0
+            } else {
+                0.0
+            };
+            return Ok(QueryAnswer {
+                probability: p,
+                lineage_gates: lineage.size(),
+                lineage_vars,
+                report: None,
+            });
+        }
+        let compiled = self.compiler.compile(&lineage)?;
+        // The vtree covers only the variables appearing in the lineage;
+        // tuples never used by any match do not affect the probability.
+        let probability = compiled.probability(|v: VarId| db.prob_of_var(v));
+        Ok(QueryAnswer {
+            probability,
+            lineage_gates: lineage.size(),
+            lineage_vars,
+            report: Some(compiled.report),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Cq, Term};
+    use crate::families;
+    use crate::prob;
+    use crate::schema::Schema;
+    use sentential_core::{ResolvedRoute, TwBackend, VtreeStrategy};
+
+    fn hierarchical_db() -> (Ucq, Database) {
+        let (q, schema) = families::two_atom_hierarchical();
+        let r = schema.by_name("R").unwrap();
+        let s = schema.by_name("S").unwrap();
+        let mut db = Database::new(schema);
+        for l in 1..=3u64 {
+            db.insert(r, vec![l], 0.4 + 0.1 * l as f64);
+            for m in 1..=2u64 {
+                db.insert(s, vec![l, m], 0.3 + 0.1 * m as f64);
+            }
+        }
+        (q, db)
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let (q, db) = hierarchical_db();
+        let brute = prob::brute_force_probability(&q, &db);
+        let answer = QueryCompiler::new().probability(&q, &db).unwrap();
+        assert!((answer.probability - brute).abs() < 1e-10);
+        let report = answer.report.unwrap();
+        assert_eq!(report.route, ResolvedRoute::Apply);
+        assert!(report.treewidth.is_some());
+        assert_eq!(answer.lineage_vars, db.num_tuples());
+    }
+
+    #[test]
+    fn empty_database_short_circuits() {
+        let (q, schema) = families::two_atom_hierarchical();
+        let db = Database::new(schema);
+        let answer = QueryCompiler::new().probability(&q, &db).unwrap();
+        assert_eq!(answer.probability, 0.0);
+        assert!(answer.report.is_none());
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        let mut schema = Schema::new();
+        let r = schema.add_relation("R", 1);
+        let db = Database::new(schema);
+        let bad = Ucq::single(Cq::new(
+            vec![Atom {
+                rel: r,
+                args: vec![Term::Var(0), Term::Var(1)],
+            }],
+            vec![],
+        ));
+        assert!(matches!(
+            QueryCompiler::new().probability(&bad, &db),
+            Err(QueryCompileError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn custom_strategies_reach_the_lineage() {
+        let (q, db) = hierarchical_db();
+        let brute = prob::brute_force_probability(&q, &db);
+        let session = QueryCompiler::with_compiler(
+            Compiler::builder()
+                .tw_backend(TwBackend::MinFill)
+                .vtree_strategy(VtreeStrategy::Balanced)
+                .route(Route::Semantic)
+                .build(),
+        );
+        let answer = session.probability(&q, &db).unwrap();
+        assert!((answer.probability - brute).abs() < 1e-10);
+        let report = answer.report.unwrap();
+        assert_eq!(report.route, ResolvedRoute::Semantic);
+        assert!(report.treewidth.is_none(), "balanced vtree: no Lemma 1");
+        assert!(report.fw.is_some());
+    }
+}

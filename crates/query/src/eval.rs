@@ -11,11 +11,7 @@ type Valuation = FxHashMap<u32, u64>;
 /// `present`; for each, report the (sorted, deduplicated) set of tuples used.
 ///
 /// `present(t)` decides whether tuple `t` is in the sub-database.
-pub fn cq_matches(
-    cq: &Cq,
-    db: &Database,
-    present: &dyn Fn(TupleId) -> bool,
-) -> Vec<Vec<TupleId>> {
+pub fn cq_matches(cq: &Cq, db: &Database, present: &dyn Fn(TupleId) -> bool) -> Vec<Vec<TupleId>> {
     let mut out = Vec::new();
     let mut val: Valuation = FxHashMap::default();
     let mut used: Vec<TupleId> = Vec::with_capacity(cq.atoms.len());
@@ -55,11 +51,7 @@ fn search(
 ) {
     if atom_idx == cq.atoms.len() {
         // Check inequalities (all variables are bound by safe-range).
-        if cq
-            .neq
-            .iter()
-            .all(|&(a, b)| val.get(&a) != val.get(&b))
-        {
+        if cq.neq.iter().all(|&(a, b)| val.get(&a) != val.get(&b)) {
             emit(used);
         }
         return;

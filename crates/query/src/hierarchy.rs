@@ -54,9 +54,7 @@ pub fn cq_hierarchical(cq: &crate::ast::Cq) -> bool {
         for &y in &vars[i + 1..] {
             let ax = at(x);
             let ay = at(y);
-            let nested_or_disjoint = ax.is_subset(&ay)
-                || ay.is_subset(&ax)
-                || ax.is_disjoint(&ay);
+            let nested_or_disjoint = ax.is_subset(&ay) || ay.is_subset(&ax) || ax.is_disjoint(&ay);
             if !nested_or_disjoint {
                 return false;
             }
@@ -135,11 +133,7 @@ pub fn find_inversion(q: &Ucq) -> Option<InversionWitness> {
             _ => true,
         })
     };
-    let idx_of: FxHashMap<Occ, usize> = nodes
-        .iter()
-        .enumerate()
-        .map(|(i, &o)| (o, i))
-        .collect();
+    let idx_of: FxHashMap<Occ, usize> = nodes.iter().enumerate().map(|(i, &o)| (o, i)).collect();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
     for (i, a) in nodes.iter().enumerate() {
         for (j, b) in nodes.iter().enumerate().skip(i + 1) {
@@ -148,7 +142,8 @@ pub fn find_inversion(q: &Ucq) -> Option<InversionWitness> {
                 && a.py == b.py
                 && (a.cq, a.atom) != (b.cq, b.atom)
                 && compatible(a, b);
-            let cooc = a.cq == b.cq && (a.atom, a.px, a.py) != (b.atom, b.px, b.py)
+            let cooc = a.cq == b.cq
+                && (a.atom, a.px, a.py) != (b.atom, b.px, b.py)
                 && pair_of(a) == pair_of(b);
             if unif || cooc {
                 adj[i].push(j);
@@ -191,10 +186,8 @@ pub fn find_inversion(q: &Ucq) -> Option<InversionWitness> {
         }
     }
     best.map(|path| {
-        let chain: Vec<(usize, usize)> = path
-            .iter()
-            .map(|&i| (nodes[i].cq, nodes[i].atom))
-            .collect();
+        let chain: Vec<(usize, usize)> =
+            path.iter().map(|&i| (nodes[i].cq, nodes[i].atom)).collect();
         let mut rels: Vec<RelId> = path.iter().map(|&i| rel_of(&nodes[i])).collect();
         rels.sort_unstable();
         rels.dedup();
@@ -229,8 +222,8 @@ mod tests {
     fn uh_k_has_inversion_length_k() {
         for k in 1..=4 {
             let (q, _schema) = families::uh(k);
-            let w = find_inversion(&q)
-                .unwrap_or_else(|| panic!("uh({k}) must contain an inversion"));
+            let w =
+                find_inversion(&q).unwrap_or_else(|| panic!("uh({k}) must contain an inversion"));
             assert_eq!(w.length, k, "uh({k}) inversion length");
         }
     }

@@ -20,9 +20,13 @@
 //! * [`prob`] — probability evaluation six ways: brute force, lifted
 //!   safe-plan, OBDD compilation, SDD compilation, the paper's Lemma-1
 //!   pipeline, and a linear d-DNNF pass over `C_{F,T}`;
+//! * [`mod@compiler`] — the [`QueryCompiler`] facade: UCQ + database →
+//!   lineage → configured `sentential_core::Compiler` → SDD → probability,
+//!   one call, with a timed compile report;
 //! * [`parser`] — a textual surface syntax (`"R(x), S(x,y) | S(x,y), T(y)"`).
 
 pub mod ast;
+pub mod compiler;
 pub mod eval;
 pub mod families;
 pub mod hierarchy;
@@ -32,6 +36,7 @@ pub mod prob;
 pub mod schema;
 
 pub use ast::{Atom, Cq, Term, Ucq};
+pub use compiler::{QueryAnswer, QueryCompileError, QueryCompiler};
 pub use hierarchy::{cq_hierarchical, find_inversion, InversionWitness};
 pub use lineage::{lineage_boolfn, lineage_circuit};
 pub use schema::{Database, RelId, Schema, Tuple, TupleId};

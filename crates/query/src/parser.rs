@@ -22,7 +22,11 @@ pub enum ParseError {
     /// Something other than an atom or inequality at this position.
     Expected { what: &'static str, at: usize },
     /// A relation used with two different arities.
-    ArityConflict { name: String, first: usize, second: usize },
+    ArityConflict {
+        name: String,
+        first: usize,
+        second: usize,
+    },
     /// An inequality between two constants (vacuous or absurd — rejected).
     ConstantInequality(usize),
     /// Trailing garbage.
@@ -35,7 +39,11 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Expected { what, at } => write!(f, "expected {what} at byte {at}"),
-            ParseError::ArityConflict { name, first, second } => {
+            ParseError::ArityConflict {
+                name,
+                first,
+                second,
+            } => {
                 write!(f, "relation {name} used with arities {first} and {second}")
             }
             ParseError::ConstantInequality(at) => {
@@ -214,12 +222,7 @@ fn expect_neq(lex: &mut Lexer<'_>) -> Result<(), ParseError> {
     }
 }
 
-fn push_neq(
-    a: Term,
-    b: Term,
-    at: usize,
-    neq: &mut Vec<(u32, u32)>,
-) -> Result<(), ParseError> {
+fn push_neq(a: Term, b: Term, at: usize, neq: &mut Vec<(u32, u32)>) -> Result<(), ParseError> {
     match (a, b) {
         (Term::Var(x), Term::Var(y)) => {
             neq.push((x, y));
@@ -323,8 +326,11 @@ mod tests {
     #[test]
     fn roundtrip_against_builder_family() {
         let mut schema = Schema::new();
-        let parsed = parse_ucq("R(x), S1(x,y) | S1(x,y), S2(x,y) | S2(x,y), T(y)", &mut schema)
-            .unwrap();
+        let parsed = parse_ucq(
+            "R(x), S1(x,y) | S1(x,y), S2(x,y) | S2(x,y), T(y)",
+            &mut schema,
+        )
+        .unwrap();
         let (built, _) = crate::families::uh(2);
         assert_eq!(parsed.cqs.len(), built.cqs.len());
         let wp = crate::hierarchy::find_inversion(&parsed).unwrap();

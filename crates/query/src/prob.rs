@@ -47,7 +47,11 @@ pub fn probability_via_obdd(q: &Ucq, db: &Database) -> f64 {
     let order: Vec<VarId> = db.vars();
     if order.is_empty() {
         // No tuples: the query holds iff it matches the empty database.
-        return if ucq_holds(q, db, &|_| false) { 1.0 } else { 0.0 };
+        return if ucq_holds(q, db, &|_| false) {
+            1.0
+        } else {
+            0.0
+        };
     }
     let mut m = obdd::Obdd::new(order);
     let root = m.from_circuit(&c);
@@ -59,7 +63,11 @@ pub fn probability_via_sdd(q: &Ucq, db: &Database) -> f64 {
     let c = lineage_circuit(q, db);
     let vars = db.vars();
     if vars.is_empty() {
-        return if ucq_holds(q, db, &|_| false) { 1.0 } else { 0.0 };
+        return if ucq_holds(q, db, &|_| false) {
+            1.0
+        } else {
+            0.0
+        };
     }
     let vt = vtree::Vtree::balanced(&vars).expect("nonempty");
     let mut m = sdd::SddManager::new(vt);
@@ -68,18 +76,13 @@ pub fn probability_via_sdd(q: &Ucq, db: &Database) -> f64 {
 }
 
 /// The paper's pipeline: lineage circuit → tree decomposition → Lemma-1
-/// vtree → SDD → WMC. Returns the probability and the treewidth used.
+/// vtree → SDD → WMC, through the [`crate::QueryCompiler`] facade. Returns
+/// the probability and the treewidth used (0 for constant lineages).
 pub fn probability_via_pipeline(q: &Ucq, db: &Database) -> (f64, usize) {
-    let c = lineage_circuit(q, db);
-    if c.vars().is_empty() {
-        let p = if ucq_holds(q, db, &|_| false) { 1.0 } else { 0.0 };
-        return (p, 0);
-    }
-    let (mgr, root, stats) =
-        sentential_core::pipeline::compile_circuit_apply(&c, 16).expect("lineage has variables");
-    // The Lemma-1 vtree covers only variables appearing in the lineage;
-    // tuples never used by any match do not affect the probability.
-    (mgr.probability(root, |v| db.prob_of_var(v)), stats.treewidth)
+    let answer = crate::QueryCompiler::new()
+        .probability(q, db)
+        .expect("query fits its own schema");
+    (answer.probability, answer.treewidth().unwrap_or(0))
 }
 
 /// The d-DNNF route: the paper's `C_{F,T}` output is deterministic and
@@ -90,7 +93,11 @@ pub fn probability_via_pipeline(q: &Ucq, db: &Database) -> (f64, usize) {
 pub fn probability_via_cft(q: &Ucq, db: &Database) -> Option<f64> {
     let c = lineage_circuit(q, db);
     if c.vars().is_empty() {
-        return Some(if ucq_holds(q, db, &|_| false) { 1.0 } else { 0.0 });
+        return Some(if ucq_holds(q, db, &|_| false) {
+            1.0
+        } else {
+            0.0
+        });
     }
     let f = c.to_boolfn().ok()?;
     let (vt, _) = sentential_core::vtree_from_circuit(&c, 16).ok()?;

@@ -171,7 +171,11 @@ impl Database {
 
     /// All constants appearing anywhere (the active domain).
     pub fn active_domain(&self) -> Vec<u64> {
-        let mut d: Vec<u64> = self.tuples.iter().flat_map(|t| t.args.iter().copied()).collect();
+        let mut d: Vec<u64> = self
+            .tuples
+            .iter()
+            .flat_map(|t| t.args.iter().copied())
+            .collect();
         d.sort_unstable();
         d.dedup();
         d

@@ -21,6 +21,8 @@
 
 pub mod validate;
 
+pub use validate::SddError;
+
 use boolfunc::{Assignment, BoolFn, VarSet};
 use vtree::fxhash::FxHashMap;
 use vtree::{Side, VarId, Vtree, VtreeNodeId};
@@ -72,6 +74,17 @@ enum Op {
     Or,
 }
 
+/// Counters over a manager's lifetime, reported by [`SddManager::apply_stats`].
+/// Compilation sessions (see `sentential_core::Compiler`) surface these in
+/// their reports to show how much work the apply route did.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ApplyStats {
+    /// Binary apply (`and`/`or`) invocations, including recursive ones.
+    pub apply_calls: u64,
+    /// Apply invocations answered from the memo table.
+    pub cache_hits: u64,
+}
+
 /// An SDD manager over a fixed vtree.
 pub struct SddManager {
     vtree: Vtree,
@@ -80,6 +93,7 @@ pub struct SddManager {
     unique: FxHashMap<(VtreeNodeId, Vec<(SddId, SddId)>), SddId>,
     apply_cache: FxHashMap<(Op, SddId, SddId), SddId>,
     neg_cache: FxHashMap<SddId, SddId>,
+    stats: ApplyStats,
 }
 
 impl SddManager {
@@ -92,7 +106,13 @@ impl SddManager {
             unique: FxHashMap::default(),
             apply_cache: FxHashMap::default(),
             neg_cache: FxHashMap::default(),
+            stats: ApplyStats::default(),
         }
+    }
+
+    /// Lifetime apply counters (see [`ApplyStats`]).
+    pub fn apply_stats(&self) -> ApplyStats {
+        self.stats
     }
 
     /// The manager's vtree.
@@ -245,6 +265,7 @@ impl SddManager {
     }
 
     fn apply(&mut self, op: Op, a: SddId, b: SddId) -> SddId {
+        self.stats.apply_calls += 1;
         // Terminal and identity shortcuts.
         match op {
             Op::And => {
@@ -272,6 +293,7 @@ impl SddManager {
         }
         let key = if a <= b { (op, a, b) } else { (op, b, a) };
         if let Some(&r) = self.apply_cache.get(&key) {
+            self.stats.cache_hits += 1;
             return r;
         }
         // Complement shortcut (uses the cache only — avoid computing fresh
@@ -548,7 +570,11 @@ impl SddManager {
     /// The paper's **SDD width** (Definition 5): the maximum number of
     /// ∧-gates structured by a single vtree node.
     pub fn width(&self, root: SddId) -> usize {
-        self.vnode_profile(root).values().copied().max().unwrap_or(0)
+        self.vnode_profile(root)
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Exact model count over all vtree variables.

@@ -39,10 +39,25 @@ impl std::error::Error for SddError {}
 impl SddManager {
     /// Check every reachable decision node against the SDD conditions.
     ///
-    /// Structural checks are exact; the partition checks (disjoint +
-    /// exhaustive) are *semantic* and therefore enumerate the prime space —
-    /// only call this on managers whose vtrees are small.
+    /// Structural checks (placement, compression) are exact everywhere.
+    /// The partition checks (disjoint + exhaustive) are *semantic* and
+    /// enumerate the prime space, so they are skipped when the manager's
+    /// vtree exceeds the truth-table kernel cap ([`boolfunc::MAX_VARS`]) —
+    /// validation degrades gracefully instead of panicking on large vtrees.
+    /// For a check that is cheap at any size, use
+    /// [`SddManager::validate_structure`].
     pub fn validate(&self, root: SddId) -> Result<(), SddError> {
+        self.check(root, true)
+    }
+
+    /// The structural subset of [`SddManager::validate`] — placement,
+    /// compression, and ⊥-prime checks only. Linear in the SDD, no
+    /// truth-table enumeration, safe at any size.
+    pub fn validate_structure(&self, root: SddId) -> Result<(), SddError> {
+        self.check(root, false)
+    }
+
+    fn check(&self, root: SddId, semantic: bool) -> Result<(), SddError> {
         for n in self.reachable_decisions(root) {
             let SddNode::Decision { vnode, elems } = self.node(n) else {
                 unreachable!()
@@ -73,6 +88,11 @@ impl SddManager {
                 return Err(SddError::NotCompressed(n));
             }
             // Partition (semantic): enumerate assignments of the left vars.
+            // `to_boolfn` expands primes over the manager's full variable
+            // set, so the kernel cap applies to the whole vtree here.
+            if !semantic || self.vtree().num_vars() > boolfunc::MAX_VARS {
+                continue;
+            }
             let left_vars = boolfunc::VarSet::from_slice(self.vtree().vars_below(lv));
             let primes: Vec<boolfunc::BoolFn> = elems
                 .iter()

@@ -92,18 +92,10 @@ mod tests {
 
     #[test]
     fn hashes_are_stable_within_process() {
-        use std::hash::{BuildHasher, Hash};
+        use std::hash::BuildHasher;
         let bh = FxBuildHasher::default();
-        let h1 = {
-            let mut h = bh.build_hasher();
-            (42u64, 17u64).hash(&mut h);
-            h.finish()
-        };
-        let h2 = {
-            let mut h = bh.build_hasher();
-            (42u64, 17u64).hash(&mut h);
-            h.finish()
-        };
+        let h1 = bh.hash_one((42u64, 17u64));
+        let h2 = bh.hash_one((42u64, 17u64));
         assert_eq!(h1, h2);
     }
 }

@@ -574,10 +574,7 @@ mod tests {
     #[test]
     fn duplicate_var_rejected() {
         let v = VarId(0);
-        let shape = VtreeShape::Node(
-            Box::new(VtreeShape::Leaf(v)),
-            Box::new(VtreeShape::Leaf(v)),
-        );
+        let shape = VtreeShape::Node(Box::new(VtreeShape::Leaf(v)), Box::new(VtreeShape::Leaf(v)));
         assert_eq!(
             Vtree::from_shape(&shape).unwrap_err(),
             VtreeError::DuplicateVar(v)

@@ -3,13 +3,14 @@
 //! Builds a small tuple-independent movie database, asks a safe
 //! (hierarchical) query and an unsafe (inversion) query, and evaluates both
 //! through every route the workspace offers — brute force, lifted safe plan,
-//! OBDD, SDD, and the paper's Lemma-1 pipeline — checking they agree.
+//! OBDD, SDD, and the paper's Lemma-1 pipeline behind the `QueryCompiler`
+//! facade — checking they agree.
 //!
 //! Run with: `cargo run --example probabilistic_db`
 
-use sentential::prelude::*;
 use query::ast::{Atom, Cq, Term, Ucq};
 use query::prob;
+use sentential::prelude::*;
 
 fn main() {
     // Schema: Directed(director, movie), Won(movie), Liked(director).
@@ -34,8 +35,14 @@ fn main() {
     // hierarchical, so the lifted plan applies.
     let q_safe = Ucq::single(Cq::new(
         vec![
-            Atom { rel: liked, args: vec![Term::Var(0)] },
-            Atom { rel: directed, args: vec![Term::Var(0), Term::Var(1)] },
+            Atom {
+                rel: liked,
+                args: vec![Term::Var(0)],
+            },
+            Atom {
+                rel: directed,
+                args: vec![Term::Var(0), Term::Var(1)],
+            },
         ],
         vec![],
     ));
@@ -43,19 +50,37 @@ fn main() {
     println!("\nq_safe hierarchical   : {hierarchical}");
     let brute = prob::brute_force_probability(&q_safe, &db);
     let lifted = prob::safe_probability(&q_safe.cqs[0], &db).expect("safe plan");
-    let (pipeline, tw) = prob::probability_via_pipeline(&q_safe, &db);
+    // The facade: UCQ + database → lineage → SDD → probability, one call.
+    let answer = QueryCompiler::new()
+        .probability(&q_safe, &db)
+        .expect("valid query");
     println!("  brute force         : {brute:.6}");
     println!("  lifted safe plan    : {lifted:.6}");
-    println!("  paper pipeline      : {pipeline:.6} (lineage treewidth {tw})");
+    println!(
+        "  paper pipeline      : {:.6} (lineage: {} tuples, {} gates, treewidth {})",
+        answer.probability,
+        answer.lineage_vars,
+        answer.lineage_gates,
+        answer.treewidth().unwrap_or(0),
+    );
     assert!((brute - lifted).abs() < 1e-10);
-    assert!((brute - pipeline).abs() < 1e-10);
+    assert!((brute - answer.probability).abs() < 1e-10);
 
     // Unsafe query: q_RST-shaped — "some liked director directed a winner".
     let q_unsafe = Ucq::single(Cq::new(
         vec![
-            Atom { rel: liked, args: vec![Term::Var(0)] },
-            Atom { rel: directed, args: vec![Term::Var(0), Term::Var(1)] },
-            Atom { rel: won, args: vec![Term::Var(1)] },
+            Atom {
+                rel: liked,
+                args: vec![Term::Var(0)],
+            },
+            Atom {
+                rel: directed,
+                args: vec![Term::Var(0), Term::Var(1)],
+            },
+            Atom {
+                rel: won,
+                args: vec![Term::Var(1)],
+            },
         ],
         vec![],
     ));
@@ -71,13 +96,21 @@ fn main() {
     let brute = prob::brute_force_probability(&q_unsafe, &db);
     let viao = prob::probability_via_obdd(&q_unsafe, &db);
     let vias = prob::probability_via_sdd(&q_unsafe, &db);
-    let (viap, tw) = prob::probability_via_pipeline(&q_unsafe, &db);
+    let answer = QueryCompiler::new()
+        .probability(&q_unsafe, &db)
+        .expect("valid query");
     println!("  brute force         : {brute:.6}");
     println!("  OBDD compilation    : {viao:.6}");
     println!("  SDD compilation     : {vias:.6}");
-    println!("  paper pipeline      : {viap:.6} (lineage treewidth {tw})");
-    for p in [viao, vias, viap] {
+    println!(
+        "  paper pipeline      : {:.6} (lineage treewidth {})",
+        answer.probability,
+        answer.treewidth().unwrap_or(0),
+    );
+    for p in [viao, vias, answer.probability] {
         assert!((p - brute).abs() < 1e-10);
     }
+    // The facade's report shows where the time went.
+    println!("\n{}", answer.report.expect("compiled lineage"));
     println!("\nall routes agree ✓");
 }

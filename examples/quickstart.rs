@@ -1,5 +1,6 @@
-//! Quickstart: compile a bounded-treewidth circuit with the paper's
-//! pipeline, inspect every width the paper defines, and count models.
+//! Quickstart: compile a bounded-treewidth circuit with a configured
+//! `Compiler` session, inspect every width the paper defines, and count
+//! models.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -11,44 +12,55 @@ fn main() {
     let c = circuit::families::clause_chain(&vars, 3);
     println!("input circuit: {c}");
 
-    // Result 1 pipeline: primal graph → tree decomposition → Lemma-1 vtree
-    // → C_{F,T} (Theorem 3) and S_{F,T} (Theorem 4).
-    let compiled = compile_circuit(&c, 16).expect("compilable");
-    println!("treewidth used        : {}", compiled.stats.treewidth);
+    // Result 1 pipeline as a session: primal graph → tree decomposition →
+    // Lemma-1 vtree → C_{F,T} (Theorem 3) and S_{F,T} (Theorem 4). Every
+    // strategy is explicit; these are the paper's choices.
+    let compiler = Compiler::builder()
+        .tw_backend(TwBackend::Auto) // exact treewidth up to the limit below
+        .exact_tw_limit(16)
+        .vtree_strategy(VtreeStrategy::Lemma1)
+        .route(Route::Semantic) // the paper's factor-based construction
+        .validation(Validation::Full)
+        .build();
+    let compiled = compiler.compile(&c).expect("compilable");
+    let report = &compiled.report;
+    println!("treewidth used        : {}", report.treewidth.unwrap());
     println!("vtree                 : {}", compiled.vtree);
-    println!("factor width fw(F,T)  : {}", compiled.fw);
-    println!("implicant width fiw   : {}", compiled.nnf.fiw);
-    println!("SDD width sdw         : {}", compiled.sdd.sdw);
+    println!("factor width fw(F,T)  : {}", report.fw.unwrap());
+    println!("implicant width fiw   : {}", report.fiw.unwrap());
+    println!("SDD width sdw         : {}", report.sdw);
 
     // The deterministic structured NNF.
-    let nnf = &compiled.nnf.circuit;
+    let nnf = &compiled.nnf.as_ref().expect("semantic route").circuit;
     println!(
         "C_F,T                 : {} gates (Theorem 3 bound {})",
         nnf.reachable_size(),
-        sentential_core::bounds::thm3_size(compiled.nnf.fiw, vars.len()),
+        sentential_core::bounds::thm3_size(report.fiw.unwrap(), vars.len()),
     );
     nnf.check_deterministic().expect("deterministic");
-    nnf.check_structured_by(&compiled.vtree).expect("structured");
+    nnf.check_structured_by(&compiled.vtree)
+        .expect("structured");
 
     // The canonical SDD.
-    let mgr = &compiled.sdd.manager;
-    let root = compiled.sdd.root;
     println!(
         "S_F,T                 : {} elements (Theorem 4 bound {})",
-        mgr.size(root),
-        sentential_core::bounds::thm4_size(compiled.sdd.sdw, vars.len()),
+        compiled.sdd_size(),
+        sentential_core::bounds::thm4_size(report.sdw, vars.len()),
     );
 
     // Model counting agrees with the truth-table kernel.
     let f = c.to_boolfn().expect("small circuit");
     println!(
         "models                : {} (kernel: {})",
-        mgr.count_models(root),
+        compiled.count_models(),
         f.count_models()
     );
-    assert_eq!(mgr.count_models(root) as u64, f.count_models());
+    assert_eq!(compiled.count_models() as u64, f.count_models());
 
     // Probability under independent P(x=1) = 0.9 per variable.
-    let p = mgr.probability(root, |_| 0.9);
+    let p = compiled.probability(|_| 0.9);
     println!("P(C) at p=0.9         : {p:.6}");
+
+    // The report carries per-stage wall-clock timings.
+    println!("\n{report}");
 }

@@ -3,9 +3,9 @@
 //!
 //! Run with: `cargo run --example treewidth_pipeline`
 
-use sentential::prelude::*;
 use boolfunc::{factor_width, factors};
 use graphtw::{NiceTd, TreeDecomposition};
+use sentential::prelude::*;
 
 fn main() {
     // Step 0: a circuit. Parity chain: pathwidth O(1), the paper's Eq. (2)

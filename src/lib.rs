@@ -5,8 +5,9 @@
 //! a truth-table kernel with the paper's *factor* combinatorics, circuits
 //! with structuredness/determinism analysis, treewidth machinery, OBDD and
 //! SDD packages built from scratch, the paper's `C_{F,T}`/`S_{F,T}`
-//! canonical compilers, and a probabilistic-database layer with lineage
-//! construction, inversion detection, and query probability evaluation.
+//! canonical compilers behind a configurable [`Compiler`] session API, and
+//! a probabilistic-database layer whose [`QueryCompiler`] facade takes a
+//! UCQ(≠) and a database to a probability in one call.
 //!
 //! ## Crate map
 //!
@@ -17,11 +18,11 @@
 //! | [`graphtw`] | treewidth/pathwidth (exact + heuristic), (nice) tree decompositions |
 //! | [`circuit`] | circuits, NNF, Tseitin, primal graphs, structure checks, families |
 //! | [`obdd`] | reduced OBDDs: apply, counting, width, order search |
-//! | [`sdd`] | SDDs: apply, canonicity, counting, the paper's SDD width |
-//! | [`core`] | the paper: Lemma 1 vtrees, `C_{F,T}` (Thm 3), `S_{F,T}` (Thm 4), bounds, ctw tooling, Appendix A |
-//! | [`query`] | probabilistic databases, UCQ(≠), lineages, inversions, probability |
+//! | [`sdd`] | SDDs: apply, canonicity, counting, the paper's SDD width, apply-stats report hooks |
+//! | [`sentential_core`] | the paper: Lemma 1 vtrees, `C_{F,T}` (Thm 3), `S_{F,T}` (Thm 4), bounds, ctw tooling, Appendix A — behind the [`Compiler`] session API (strategy enums [`TwBackend`](sentential_core::TwBackend) / [`VtreeStrategy`](sentential_core::VtreeStrategy) / [`Route`](sentential_core::Route), unified [`CompileError`](sentential_core::CompileError), timed [`CompileReport`](sentential_core::CompileReport)) |
+//! | [`query`] | probabilistic databases, UCQ(≠), lineages, inversions — behind the [`QueryCompiler`] facade |
 //!
-//! ## Quickstart
+//! ## Quickstart: circuits
 //!
 //! ```
 //! use sentential::prelude::*;
@@ -32,14 +33,41 @@
 //!
 //! // … compiled by the paper's pipeline: tree decomposition → Lemma-1
 //! // vtree → canonical deterministic structured NNF + canonical SDD.
-//! let compiled = sentential_core::compile_circuit(&c, 16).unwrap();
-//! assert!(compiled.sdd.manager.to_boolfn(compiled.sdd.root)
+//! // `Compiler` is a configured session; every strategy is an enum knob.
+//! let compiled = Compiler::builder()
+//!     .tw_backend(TwBackend::Auto)        // exact ≤ limit, else heuristic
+//!     .vtree_strategy(VtreeStrategy::Lemma1)
+//!     .route(Route::Auto)                 // semantic ≤ kernel cap, else apply
+//!     .build()
+//!     .compile(&c)
+//!     .unwrap();
+//! assert!(compiled
+//!     .sdd
+//!     .to_boolfn(compiled.root)
 //!     .equivalent(&c.to_boolfn().unwrap()));
 //!
-//! // Linear-size guarantee (Theorem 4): |S_{F,T}| = O(sdw · n).
+//! // Linear-size guarantee (Theorem 4): |S_{F,T}| = O(sdw · n), and the
+//! // report carries every width the paper defines plus stage timings.
 //! let n = c.vars().len();
-//! let size = compiled.sdd.manager.size(compiled.sdd.root);
-//! assert!(size <= sentential_core::bounds::thm4_size(compiled.sdd.sdw, n));
+//! let report = &compiled.report;
+//! assert!(compiled.sdd_size() <= sentential_core::bounds::thm4_size(report.sdw, n));
+//! ```
+//!
+//! ## Quickstart: queries
+//!
+//! ```
+//! use sentential::prelude::*;
+//!
+//! let (q, schema) = query::families::two_atom_hierarchical();
+//! let r = schema.by_name("R").unwrap();
+//! let s = schema.by_name("S").unwrap();
+//! let mut db = Database::new(schema);
+//! db.insert(r, vec![1], 0.5);
+//! db.insert(s, vec![1, 1], 0.5);
+//!
+//! // UCQ + database → lineage → SDD → probability, one call.
+//! let answer = QueryCompiler::new().probability(&q, &db).unwrap();
+//! assert!((answer.probability - 0.25).abs() < 1e-12);
 //! ```
 
 pub use boolfunc;
@@ -57,8 +85,13 @@ pub mod prelude {
     pub use circuit::{self, Circuit, CircuitBuilder};
     pub use graphtw::{self, Graph};
     pub use obdd::Obdd;
-    pub use query::{self, Database, Schema, Ucq};
+    pub use query::{self, Database, QueryCompiler, Schema, Ucq};
     pub use sdd::SddManager;
-    pub use sentential_core::{self, compile_circuit};
+    #[allow(deprecated)]
+    pub use sentential_core::compile_circuit;
+    pub use sentential_core::{
+        self, CompileError, CompileOptions, CompileReport, Compiler, CompilerBuilder, Route,
+        TwBackend, Validation, VtreeStrategy,
+    };
     pub use vtree::{VarId, Vtree};
 }

@@ -1,27 +1,21 @@
 //! Failure injection: every layer rejects malformed inputs with typed
 //! errors instead of producing wrong answers.
 
-use sentential::prelude::*;
 use boolfunc::{BoolFn, BoolFnError, VarSet};
 use graphtw::{TdError, TreeDecomposition};
 use query::ast::{Atom, Cq, Term, Ucq};
 use query::parser::{parse_ucq, ParseError};
+use sentential::prelude::*;
 use vtree::{VarId, VtreeError, VtreeShape};
 
 #[test]
 fn vtree_rejects_duplicates_and_empty() {
-    let dup = VtreeShape::node(
-        VtreeShape::Leaf(VarId(0)),
-        VtreeShape::Leaf(VarId(0)),
-    );
+    let dup = VtreeShape::node(VtreeShape::Leaf(VarId(0)), VtreeShape::Leaf(VarId(0)));
     assert_eq!(
         Vtree::from_shape(&dup).unwrap_err(),
         VtreeError::DuplicateVar(VarId(0))
     );
-    assert_eq!(
-        Vtree::right_linear(&[]).unwrap_err(),
-        VtreeError::Empty
-    );
+    assert_eq!(Vtree::right_linear(&[]).unwrap_err(), VtreeError::Empty);
 }
 
 #[test]
@@ -66,9 +60,40 @@ fn pipeline_rejects_constant_circuits() {
     let t = b.constant(true);
     let c = b.build(t);
     assert!(matches!(
-        compile_circuit(&c, 10),
-        Err(sentential_core::CompilationError::NoVariables)
+        Compiler::new().compile(&c),
+        Err(CompileError::NoVariables)
     ));
+}
+
+#[test]
+fn compiler_errors_are_typed_per_strategy() {
+    // Semantic route past the kernel cap: typed, not a panic.
+    let vars: Vec<VarId> = (0..(boolfunc::MAX_VARS as u32 + 1)).map(VarId).collect();
+    let big = circuit::families::and_or_chain(&vars);
+    assert!(matches!(
+        Compiler::builder()
+            .route(Route::Semantic)
+            .build()
+            .compile(&big),
+        Err(CompileError::TooManyVars(_))
+    ));
+    // Exact decomposition past the subset-DP cap: typed, not a panic.
+    assert!(matches!(
+        Compiler::builder()
+            .tw_backend(TwBackend::Exact)
+            .route(Route::Apply)
+            .build()
+            .compile(&big),
+        Err(CompileError::ExactTreewidthIntractable(_))
+    ));
+    // Every compiler error displays and sources like a std error.
+    let err = Compiler::builder()
+        .route(Route::Semantic)
+        .build()
+        .compile(&big)
+        .unwrap_err();
+    assert!(!err.to_string().is_empty());
+    assert!(std::error::Error::source(&err).is_some());
 }
 
 #[test]
@@ -118,10 +143,12 @@ fn parser_errors_carry_positions() {
 fn sdd_literal_outside_vtree_rejected() {
     let vt = Vtree::balanced(&[VarId(0), VarId(1)]).unwrap();
     let mut mgr = SddManager::new(vt);
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        mgr.literal(VarId(9), true)
-    }));
-    assert!(result.is_err(), "literal over a foreign variable must panic");
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| mgr.literal(VarId(9), true)));
+    assert!(
+        result.is_err(),
+        "literal over a foreign variable must panic"
+    );
 }
 
 #[test]

@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: the Result 1 pipeline on the circuit
 //! families, with every paper invariant checked at once.
 
-use sentential::prelude::*;
 use boolfunc::factor_width;
+use sentential::prelude::*;
 
 fn family_zoo(n: u32) -> Vec<(&'static str, Circuit)> {
     let vars: Vec<VarId> = (0..n).map(VarId).collect();
@@ -27,20 +27,31 @@ fn family_zoo(n: u32) -> Vec<(&'static str, Circuit)> {
 
 #[test]
 fn result1_full_stack() {
+    let compiler = Compiler::builder()
+        .route(Route::Semantic)
+        .exact_tw_limit(18)
+        .validation(Validation::Full)
+        .build();
     for (name, c) in family_zoo(8) {
         let f = c.to_boolfn().unwrap();
-        let r = compile_circuit(&c, 18).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let r = compiler
+            .compile(&c)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let treewidth = r.report.treewidth.expect("Lemma-1 vtree");
+        let rfw = r.report.fw.expect("semantic route");
+        let fiw = r.report.fiw.expect("semantic route");
+        let sdw = r.report.sdw;
 
         // Lemma 1: factor width within the triple-exponential bound.
         let fw = factor_width(&f, &r.vtree);
         assert!(
-            sentential_core::bounds::lemma1_fw_bound(r.stats.treewidth).admits(fw as u128),
+            sentential_core::bounds::lemma1_fw_bound(treewidth).admits(fw as u128),
             "{name}: Lemma 1 violated"
         );
 
         // Theorem 3: C_{F,T} is a deterministic structured NNF computing F
         // with O(fiw·n) gates.
-        let nnf = &r.nnf.circuit;
+        let nnf = &r.nnf.as_ref().expect("semantic route").circuit;
         assert!(nnf.to_boolfn().unwrap().equivalent(&f), "{name}: C_F,T");
         nnf.check_nnf().unwrap();
         nnf.check_decomposable().unwrap();
@@ -48,27 +59,27 @@ fn result1_full_stack() {
         nnf.check_structured_by(&r.vtree).unwrap();
         let n = f.vars().len();
         assert!(
-            nnf.reachable_size() <= sentential_core::bounds::thm3_size(r.nnf.fiw, n),
+            nnf.reachable_size() <= sentential_core::bounds::thm3_size(fiw, n),
             "{name}: Theorem 3 size"
         );
 
         // Theorem 4: S_{F,T} is the canonical SDD, linear size.
-        let mgr = &r.sdd.manager;
-        assert!(mgr.to_boolfn(r.sdd.root).equivalent(&f), "{name}: S_F,T");
-        mgr.validate(r.sdd.root).unwrap();
+        let mgr = &r.sdd;
+        assert!(mgr.to_boolfn(r.root).equivalent(&f), "{name}: S_F,T");
+        mgr.validate(r.root).unwrap();
         assert!(
-            mgr.size(r.sdd.root) <= sentential_core::bounds::thm4_size(r.sdd.sdw, n),
+            mgr.size(r.root) <= sentential_core::bounds::thm4_size(sdw, n),
             "{name}: Theorem 4 size"
         );
 
         // Eq. (22): fiw ≤ fw².
         assert!(
-            r.nnf.fiw as u128 <= sentential_core::bounds::eq22_fiw_from_fw(r.fw),
+            fiw as u128 <= sentential_core::bounds::eq22_fiw_from_fw(rfw),
             "{name}: Eq. 22"
         );
         // Eq. (29): sdw ≤ 2^(2·fw+1).
         assert!(
-            sentential_core::bounds::eq29_sdw_from_fw(r.fw).admits(r.sdd.sdw as u128),
+            sentential_core::bounds::eq29_sdw_from_fw(rfw).admits(sdw as u128),
             "{name}: Eq. 29"
         );
     }
@@ -109,9 +120,8 @@ fn counts_agree_across_all_representations() {
         assert_eq!(mgr.count_models(sroot), expect, "SDD count");
 
         if !c.vars().is_empty() {
-            let r = compile_circuit(&c, 16).unwrap();
-            let pipeline_count = r.sdd.manager.count_models(r.sdd.root)
-                << (vars.len() - r.vtree.num_vars());
+            let r = Compiler::new().compile(&c).unwrap();
+            let pipeline_count = r.count_models() << (vars.len() - r.vtree.num_vars());
             assert_eq!(pipeline_count, expect, "pipeline count");
         }
     }

@@ -127,6 +127,27 @@ proptest! {
         prop_assert_eq!(nice.width(), td.width());
     }
 
+    /// Under the truth-table kernel cap, `Route::Auto` resolves to (and
+    /// exactly matches) `Route::Semantic`: same canonical SDD size, same
+    /// widths, same model count, on random circuits.
+    #[test]
+    fn route_auto_matches_semantic_under_kernel_cap(seed in 0u64..400) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let c = circuit::families::random_circuit(6, 18, &mut rng);
+        prop_assume!(!c.vars().is_empty());
+        let auto = Compiler::builder().route(Route::Auto).build().compile(&c).unwrap();
+        let semantic = Compiler::builder().route(Route::Semantic).build().compile(&c).unwrap();
+        prop_assert_eq!(auto.report.route, sentential_core::ResolvedRoute::Semantic);
+        prop_assert_eq!(auto.count_models(), semantic.count_models());
+        prop_assert_eq!(auto.sdd_size(), semantic.sdd_size());
+        prop_assert_eq!(auto.report.sdw, semantic.report.sdw);
+        prop_assert_eq!(auto.report.fw, semantic.report.fw);
+        prop_assert!(auto.nnf.is_some() && semantic.nnf.is_some());
+        prop_assert!(auto.sdd.to_boolfn(auto.root)
+            .equivalent(&semantic.sdd.to_boolfn(semantic.root)));
+    }
+
     /// Exact treewidth is never beaten by any random elimination order, and
     /// the MMD lower bound never exceeds it.
     #[test]

@@ -48,7 +48,11 @@ fn theorem5_rank_machinery() {
     let restricted = h0.restrict_assignment(&b);
     let xs = VarSet::from_slice(&h.xs);
     let zs = VarSet::from_iter((1..=n).map(|l| h.z(1, l, 1)));
-    let m = CommMatrix::of(&restricted.minimize_support().with_support(&xs.union(&zs)), &xs, &zs);
+    let m = CommMatrix::of(
+        &restricted.minimize_support().with_support(&xs.union(&zs)),
+        &xs,
+        &zs,
+    );
     let rank = m.rank_modp();
     assert!(
         rank >= (1 << n) - 1,
