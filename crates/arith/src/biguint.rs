@@ -1,0 +1,448 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Little-endian `u64` limbs, normalized so the most significant limb is
+//! nonzero (zero is the empty limb vector). Operations are schoolbook;
+//! division is shift-and-subtract over bits, which is plenty for the
+//! few-thousand-bit values model counting produces.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision natural number.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; no trailing zero limb (`[]` encodes 0).
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Is this 0?
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Is this 1?
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// From a machine word.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// From a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut limbs = vec![lo, hi];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Back to `u128` when it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Back to `u64` when it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// 2^`n`.
+    pub fn pow2(n: usize) -> Self {
+        Self::one().shl(n)
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Bit `i` (little-endian).
+    fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        limb < self.limbs.len() && self.limbs[limb] >> off & 1 == 1
+    }
+
+    fn trim(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (a, b) = (&self.limbs, &other.limbs);
+        let mut out = Vec::with_capacity(a.len().max(b.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..a.len().max(b.len()) {
+            let x = *a.get(i).unwrap_or(&0) as u128;
+            let y = *b.get(i).unwrap_or(&0) as u128;
+            let s = x + y + carry as u128;
+            out.push(s as u64);
+            carry = (s >> 64) as u64;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        Self::trim(out)
+    }
+
+    /// `self - other`; panics if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "BigUint subtraction underflow");
+        let (a, b) = (&self.limbs, &other.limbs);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0u64;
+        for (i, &limb) in a.iter().enumerate() {
+            let x = limb as u128;
+            let y = *b.get(i).unwrap_or(&0) as u128 + borrow as u128;
+            if x >= y {
+                out.push((x - y) as u64);
+                borrow = 0;
+            } else {
+                out.push((x + (1u128 << 64) - y) as u64);
+                borrow = 1;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        Self::trim(out)
+    }
+
+    /// `self * other`.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let (a, b) = (&self.limbs, &other.limbs);
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &y) in b.iter().enumerate() {
+                let cur = out[i + j] as u128 + x as u128 * y as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        Self::trim(out)
+    }
+
+    /// `self << n` (bits).
+    pub fn shl(&self, n: usize) -> BigUint {
+        if self.is_zero() || n == 0 {
+            return self.clone();
+        }
+        let (words, bits) = (n / 64, n % 64);
+        let mut out = vec![0u64; words];
+        if bits == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push(l << bits | carry);
+                carry = l >> (64 - bits);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        Self::trim(out)
+    }
+
+    /// `self >> n` (bits).
+    pub fn shr(&self, n: usize) -> BigUint {
+        let (words, bits) = (n / 64, n % 64);
+        if words >= self.limbs.len() {
+            return Self::zero();
+        }
+        let src = &self.limbs[words..];
+        let mut out = Vec::with_capacity(src.len());
+        if bits == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (64 - bits)
+                } else {
+                    0
+                };
+                out.push(src[i] >> bits | hi);
+            }
+        }
+        Self::trim(out)
+    }
+
+    /// Euclidean division: `(self / d, self % d)`; panics on `d = 0`.
+    ///
+    /// Shift-and-subtract over the dividend's bits: O(bits) big-number
+    /// steps, each O(limbs) — ample for decimal printing and gcd reduction
+    /// at model-counting scales.
+    pub fn divrem(&self, d: &BigUint) -> (BigUint, BigUint) {
+        assert!(!d.is_zero(), "BigUint division by zero");
+        if self < d {
+            return (Self::zero(), self.clone());
+        }
+        if let (Some(a), Some(b)) = (self.to_u128(), d.to_u128()) {
+            return (Self::from_u128(a / b), Self::from_u128(a % b));
+        }
+        let n = self.bits();
+        let mut q = vec![0u64; n.div_ceil(64)];
+        let mut rem = Self::zero();
+        for i in (0..n).rev() {
+            rem = rem.shl(1);
+            if self.bit(i) {
+                rem = rem.add(&Self::one());
+            }
+            if rem >= *d {
+                rem = rem.sub(d);
+                q[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        (Self::trim(q), rem)
+    }
+
+    /// Greatest common divisor (Euclid).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let (mut a, mut b) = (self.clone(), other.clone());
+        while !b.is_zero() {
+            let (_, r) = a.divrem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Closest `f64` (rounds via the top 64 bits; `inf` past the f64 range).
+    pub fn to_f64(&self) -> f64 {
+        let n = self.bits();
+        if n <= 64 {
+            return self.limbs.first().copied().unwrap_or(0) as f64;
+        }
+        let top = self.shr(n - 64).to_u64().expect("64 bits fit") as f64;
+        top * 2f64.powi((n - 64) as i32)
+    }
+
+    /// Parse a decimal string.
+    pub fn from_decimal(s: &str) -> Option<BigUint> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let ten = BigUint::from_u64(10);
+        let mut acc = BigUint::zero();
+        for b in s.bytes() {
+            acc = acc.mul(&ten).add(&BigUint::from_u64((b - b'0') as u64));
+        }
+        Some(acc)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        o => return o,
+                    }
+                }
+                Ordering::Equal
+            }
+            o => o,
+        }
+    }
+}
+
+impl fmt::Display for BigUint {
+    /// Decimal rendering via repeated division by 10¹⁹.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        const CHUNK: u64 = 10_000_000_000_000_000_000; // 10^19
+        let chunk = BigUint::from_u64(CHUNK);
+        let mut parts: Vec<u64> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.divrem(&chunk);
+            parts.push(r.to_u64().expect("remainder < 10^19"));
+            cur = q;
+        }
+        let mut out = parts.pop().expect("nonzero").to_string();
+        for p in parts.iter().rev() {
+            out.push_str(&format!("{p:019}"));
+        }
+        f.write_str(&out)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        Self::from_u128(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn roundtrip_u128() {
+        for v in [0u128, 1, 42, u64::MAX as u128, u128::MAX, 1 << 100] {
+            assert_eq!(b(v).to_u128(), Some(v));
+        }
+        assert_eq!(BigUint::pow2(128).to_u128(), None);
+    }
+
+    #[test]
+    fn add_sub_mul_match_u128() {
+        // Deterministic pseudo-random pairs via a simple LCG (no rand dep).
+        let mut x: u128 = 0x2545F4914F6CDD1D;
+        let mut next = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 32
+        };
+        for _ in 0..200 {
+            let (p, q) = (next(), next());
+            assert_eq!(b(p).add(&b(q)).to_u128(), p.checked_add(q));
+            let (hi, lo) = if p >= q { (p, q) } else { (q, p) };
+            assert_eq!(b(hi).sub(&b(lo)).to_u128(), Some(hi - lo));
+            assert_eq!(b(p).mul(&b(q)).to_u128(), p.checked_mul(q));
+            if q != 0 {
+                let (d, r) = b(p).divrem(&b(q));
+                assert_eq!(d.to_u128(), Some(p / q));
+                assert_eq!(r.to_u128(), Some(p % q));
+            }
+        }
+    }
+
+    #[test]
+    fn big_mul_and_div_are_inverse() {
+        let a = BigUint::pow2(200).add(&b(987654321));
+        let d = b(1_000_000_007);
+        let (q, r) = a.divrem(&d);
+        assert_eq!(q.mul(&d).add(&r), a);
+        assert!(r < d);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(BigUint::pow2(130).shr(2), BigUint::pow2(128));
+        assert_eq!(b(5).shl(70).shr(70), b(5));
+        assert_eq!(b(5).shr(200), BigUint::zero());
+        assert_eq!(BigUint::pow2(130).bits(), 131);
+    }
+
+    #[test]
+    fn gcd_works() {
+        assert_eq!(b(12).gcd(&b(18)), b(6));
+        assert_eq!(b(0).gcd(&b(7)), b(7));
+        assert_eq!(b(7).gcd(&b(0)), b(7));
+        let big = BigUint::pow2(100).mul(&b(9));
+        assert_eq!(big.gcd(&BigUint::pow2(102)), BigUint::pow2(100));
+    }
+
+    #[test]
+    fn decimal_roundtrip() {
+        // 2^200 has a known decimal expansion.
+        let v = BigUint::pow2(200);
+        let s = v.to_string();
+        assert_eq!(
+            s,
+            "1606938044258990275541962092341162602522202993782792835301376"
+        );
+        assert_eq!(BigUint::from_decimal(&s), Some(v));
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(BigUint::from_decimal("12x"), None);
+        assert_eq!(BigUint::from_decimal(""), None);
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert_eq!(b(12345).to_f64(), 12345.0);
+        let v = BigUint::pow2(200);
+        let rel = (v.to_f64() - 2f64.powi(200)).abs() / 2f64.powi(200);
+        assert!(rel < 1e-15, "rel {rel}");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(BigUint::pow2(64) > b(u64::MAX as u128));
+        assert!(b(3) < b(4));
+        assert_eq!(b(7).cmp(&b(7)), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = b(3).sub(&b(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = b(3).divrem(&BigUint::zero());
+    }
+}

@@ -1,0 +1,29 @@
+//! Dependency-free exact arithmetic for model counting.
+//!
+//! The SDD evaluation engine (`sdd::SddManager::evaluate`) is generic over a
+//! commutative [`Semiring`]; this crate supplies the trait and the three
+//! carriers the workspace instantiates it at:
+//!
+//! * [`BigUint`] — arbitrary-precision naturals for **exact #SAT**. A
+//!   200-variable formula can have ≫ `u128::MAX` models; the former `u128`
+//!   counting path overflowed silently past 2¹²⁸.
+//! * [`Rational`] — arbitrary-precision signed rationals for **exact
+//!   weighted model counting** (WMC) and query probability, replacing lossy
+//!   `f64` accumulation. Every `f64` is a dyadic rational, so
+//!   [`Rational::from_f64`] is exact.
+//! * `f64` — the fast approximate path, unchanged semantics.
+//!
+//! Like `crates/compat`, everything here is hand-rolled: the build has no
+//! network access, so no registry crates (`num-bigint`, …) are available.
+//! The implementations favor clarity over asymptotics (schoolbook
+//! multiplication, shift-and-subtract division); the operands produced by
+//! model counting on the paper's circuit families are at most a few
+//! thousand bits, far below where subquadratic algorithms pay off.
+
+pub mod biguint;
+pub mod rational;
+pub mod semiring;
+
+pub use biguint::BigUint;
+pub use rational::{ParseRationalError, Rational};
+pub use semiring::{Nat, Rat, Semiring, F64};

@@ -1,0 +1,407 @@
+//! Arbitrary-precision signed rationals, always kept reduced.
+
+use crate::biguint::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A signed rational `(-1)^neg · num / den` with `gcd(num, den) = 1`,
+/// `den ≥ 1`, and zero canonicalized to `+0/1`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    neg: bool,
+    num: BigUint,
+    den: BigUint,
+}
+
+/// Failure to parse a rational literal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseRationalError(pub String);
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl Rational {
+    /// 0.
+    pub fn zero() -> Self {
+        Rational {
+            neg: false,
+            num: BigUint::zero(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// 1.
+    pub fn one() -> Self {
+        Rational::from_integer(1)
+    }
+
+    /// The integer `v`.
+    pub fn from_integer(v: i64) -> Self {
+        Rational {
+            neg: v < 0,
+            num: BigUint::from_u64(v.unsigned_abs()),
+            den: BigUint::one(),
+        }
+        .normalized()
+    }
+
+    /// `num / den`; panics on `den = 0`.
+    pub fn from_ratio(num: BigUint, den: BigUint) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        Rational {
+            neg: false,
+            num,
+            den,
+        }
+        .normalized()
+    }
+
+    /// Exact conversion: every finite `f64` is a dyadic rational
+    /// `mantissa · 2^exponent`. Panics on NaN/infinity.
+    pub fn from_f64(v: f64) -> Self {
+        assert!(v.is_finite(), "non-finite f64 has no rational value");
+        if v == 0.0 {
+            return Self::zero();
+        }
+        let bits = v.to_bits();
+        let neg = bits >> 63 == 1;
+        let biased = (bits >> 52 & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        // Subnormals have exponent field 0 and no implicit leading bit.
+        let (mant, exp) = if biased == 0 {
+            (frac, -1074)
+        } else {
+            (frac | 1 << 52, biased - 1075)
+        };
+        let m = BigUint::from_u64(mant);
+        let r = if exp >= 0 {
+            Rational {
+                neg,
+                num: m.shl(exp as usize),
+                den: BigUint::one(),
+            }
+        } else {
+            Rational {
+                neg,
+                num: m,
+                den: BigUint::pow2((-exp) as usize),
+            }
+        };
+        r.normalized()
+    }
+
+    /// Nearest `f64` (lossy for large numerators/denominators).
+    pub fn to_f64(&self) -> f64 {
+        let mag = self.num.to_f64() / self.den.to_f64();
+        if self.neg {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Parse `"3"`, `"-3"`, `"3/4"`, `"0.25"`, `"2.5e-1"` (decimal mantissa
+    /// with an optional base-10 exponent, or a fraction of integers).
+    ///
+    /// The base-10 exponent is capped at `±100_000`: parse feeds on
+    /// untrusted DIMACS weight tokens, and an unbounded exponent would turn
+    /// one short token into an arbitrarily large power-of-ten computation.
+    pub fn parse(s: &str) -> Result<Self, ParseRationalError> {
+        let err = || ParseRationalError(s.to_string());
+        let t = s.trim();
+        let (neg, t) = match t.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, t.strip_prefix('+').unwrap_or(t)),
+        };
+        if t.is_empty() {
+            return Err(err());
+        }
+        let core = if let Some((n, d)) = t.split_once('/') {
+            let num = BigUint::from_decimal(n).ok_or_else(err)?;
+            let den = BigUint::from_decimal(d).ok_or_else(err)?;
+            if den.is_zero() {
+                return Err(err());
+            }
+            Rational::from_ratio(num, den)
+        } else {
+            // [digits][.digits][e[-]digits]
+            let (mant, exp10) = match t.split_once(['e', 'E']) {
+                Some((m, e)) => {
+                    let (eneg, edig) = match e.strip_prefix('-') {
+                        Some(rest) => (true, rest),
+                        None => (false, e.strip_prefix('+').unwrap_or(e)),
+                    };
+                    let mag: i64 = if edig.is_empty() || !edig.bytes().all(|b| b.is_ascii_digit()) {
+                        return Err(err());
+                    } else {
+                        edig.parse().map_err(|_| err())?
+                    };
+                    if mag > 100_000 {
+                        return Err(err());
+                    }
+                    (m, if eneg { -mag } else { mag })
+                }
+                None => (t, 0),
+            };
+            let (int_part, frac_part) = match mant.split_once('.') {
+                Some((i, fr)) => (i, fr),
+                None => (mant, ""),
+            };
+            if int_part.is_empty() && frac_part.is_empty() {
+                return Err(err());
+            }
+            let digits = format!("{int_part}{frac_part}");
+            let num = BigUint::from_decimal(&digits).ok_or_else(err)?;
+            let exp = exp10 - frac_part.len() as i64;
+            // Exponentiation by squaring: the cap above bounds `e`, and the
+            // log-many multiplications keep even the worst case cheap.
+            let pow10 = |mut e: u64| {
+                let mut base = BigUint::from_u64(10);
+                let mut acc = BigUint::one();
+                while e > 0 {
+                    if e & 1 == 1 {
+                        acc = acc.mul(&base);
+                    }
+                    e >>= 1;
+                    if e > 0 {
+                        base = base.mul(&base);
+                    }
+                }
+                acc
+            };
+            if exp >= 0 {
+                Rational::from_ratio(num.mul(&pow10(exp as u64)), BigUint::one())
+            } else {
+                Rational::from_ratio(num, pow10((-exp) as u64))
+            }
+        };
+        Ok(if neg { core.negated() } else { core })
+    }
+
+    fn normalized(mut self) -> Self {
+        if self.num.is_zero() {
+            return Self::zero();
+        }
+        let g = self.num.gcd(&self.den);
+        if !g.is_one() {
+            self.num = self.num.divrem(&g).0;
+            self.den = self.den.divrem(&g).0;
+        }
+        self
+    }
+
+    /// Numerator magnitude.
+    pub fn numer(&self) -> &BigUint {
+        &self.num
+    }
+
+    /// Denominator (≥ 1).
+    pub fn denom(&self) -> &BigUint {
+        &self.den
+    }
+
+    /// Is this negative?
+    pub fn is_negative(&self) -> bool {
+        self.neg
+    }
+
+    /// Is this 0?
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Is this an integer?
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// `-self`.
+    pub fn negated(&self) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        Rational {
+            neg: !self.neg,
+            num: self.num.clone(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Rational) -> Rational {
+        // a/b + c/d = (a·d ± c·b) / (b·d), sign by magnitude comparison.
+        let ad = self.num.mul(&other.den);
+        let cb = other.num.mul(&self.den);
+        let den = self.den.mul(&other.den);
+        let (neg, num) = if self.neg == other.neg {
+            (self.neg, ad.add(&cb))
+        } else if ad >= cb {
+            (self.neg, ad.sub(&cb))
+        } else {
+            (other.neg, cb.sub(&ad))
+        };
+        Rational { neg, num, den }.normalized()
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Rational) -> Rational {
+        self.add(&other.negated())
+    }
+
+    /// `self * other`.
+    pub fn mul(&self, other: &Rational) -> Rational {
+        Rational {
+            neg: self.neg != other.neg,
+            num: self.num.mul(&other.num),
+            den: self.den.mul(&other.den),
+        }
+        .normalized()
+    }
+
+    /// `self / other`; panics on division by zero.
+    pub fn div(&self, other: &Rational) -> Rational {
+        assert!(!other.is_zero(), "rational division by zero");
+        Rational {
+            neg: self.neg != other.neg,
+            num: self.num.mul(&other.den),
+            den: self.den.mul(&other.num),
+        }
+        .normalized()
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.neg, other.neg) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (neg, _) => {
+                let lhs = self.num.mul(&other.den);
+                let rhs = other.num.mul(&self.den);
+                if neg {
+                    rhs.cmp(&lhs)
+                } else {
+                    lhs.cmp(&rhs)
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    /// Canonical form: `-num/den`, the `/den` omitted for integers. This is
+    /// the form the DIMACS writer emits and the parser accepts, so weighted
+    /// round-trips are exact.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.neg {
+            f.write_str("-")?;
+        }
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: &str) -> Rational {
+        Rational::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!(r("3"), Rational::from_integer(3));
+        assert_eq!(r("-3"), Rational::from_integer(-3));
+        assert_eq!(r("6/8"), r("3/4"));
+        assert_eq!(r("0.25"), r("1/4"));
+        assert_eq!(r("-0.5"), r("-1/2"));
+        assert_eq!(r("2.5e-1"), r("1/4"));
+        assert_eq!(r("1e2"), Rational::from_integer(100));
+        assert_eq!(r("+0.125"), r("1/8"));
+        assert_eq!(r(".5"), r("1/2"));
+        for bad in ["", "-", "1/0", "a", "1.2.3", "1e", "2/-3"] {
+            assert!(Rational::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_exponent_is_capped() {
+        // In-cap large exponents are fine (and fast, by squaring)…
+        assert_eq!(r("1e100000").mul(&r("1e-100000")), Rational::one());
+        // …but an absurd exponent is a parse error, not a computation.
+        for bad in ["1e2000000", "1e-2000000", "9.9e100001"] {
+            assert!(Rational::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in ["0", "1", "-1", "3/4", "-7/2", "123456789/1000"] {
+            let v = r(s);
+            assert_eq!(v.to_string(), s);
+            assert_eq!(r(&v.to_string()), v);
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r("1/2").add(&r("1/3")), r("5/6"));
+        assert_eq!(r("1/2").sub(&r("1/3")), r("1/6"));
+        assert_eq!(r("1/3").sub(&r("1/2")), r("-1/6"));
+        assert_eq!(r("-1/2").add(&r("-1/3")), r("-5/6"));
+        assert_eq!(r("2/3").mul(&r("3/4")), r("1/2"));
+        assert_eq!(r("-2/3").mul(&r("3/4")), r("-1/2"));
+        assert_eq!(r("2/3").div(&r("4/3")), r("1/2"));
+        assert_eq!(r("1/2").add(&r("-1/2")), Rational::zero());
+        assert!(!r("1/2").add(&r("-1/2")).is_negative(), "zero is +0");
+    }
+
+    #[test]
+    fn from_f64_is_exact() {
+        assert_eq!(Rational::from_f64(0.25), r("1/4"));
+        assert_eq!(Rational::from_f64(-1.5), r("-3/2"));
+        assert_eq!(Rational::from_f64(0.0), Rational::zero());
+        // 0.1 is NOT 1/10 in binary; exactness means we get the true dyadic.
+        let tenth = Rational::from_f64(0.1);
+        assert_ne!(tenth, r("1/10"));
+        assert!((tenth.to_f64() - 0.1).abs() == 0.0);
+        // Round-trip through f64 is the identity on dyadics.
+        for v in [0.5, 0.375, 123.0, -0.0078125] {
+            assert_eq!(Rational::from_f64(v).to_f64(), v);
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r("1/3") < r("1/2"));
+        assert!(r("-1/2") < r("1/3"));
+        assert!(r("-1/2") < r("-1/3"));
+        assert_eq!(r("2/4").cmp(&r("1/2")), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn to_f64_close() {
+        assert!((r("1/3").to_f64() - 1.0 / 3.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,148 @@
+//! The commutative-semiring abstraction behind model counting.
+//!
+//! Counting, weighted counting, and probability are the *same* bottom-up
+//! traversal of a deterministic decomposable representation, differing only
+//! in the carrier: determinism makes ∨ a semiring `+`, decomposability makes
+//! ∧ a semiring `×`. `sdd::SddManager::evaluate` is written once against
+//! [`Semiring`] and instantiated at the three carriers below.
+
+use crate::biguint::BigUint;
+use crate::rational::Rational;
+
+/// A commutative semiring `(⊕, ⊗, 0, 1)`.
+///
+/// Implementors are *descriptors* (usually zero-sized), not the element type
+/// itself, so one element type can carry several semiring structures (e.g.
+/// max-plus over `f64` alongside plus-times).
+pub trait Semiring {
+    /// The carrier.
+    type Elem: Clone + std::fmt::Debug;
+
+    /// Additive identity.
+    fn zero(&self) -> Self::Elem;
+    /// Multiplicative identity.
+    fn one(&self) -> Self::Elem;
+    /// `a ⊕ b` (disjoint union of models).
+    fn add(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    /// `a ⊗ b` (cartesian product of models).
+    fn mul(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+}
+
+/// Exact natural-number counting: `(+, ×)` over [`BigUint`]. The #SAT
+/// semiring — never overflows.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Nat;
+
+impl Semiring for Nat {
+    type Elem = BigUint;
+
+    fn zero(&self) -> BigUint {
+        BigUint::zero()
+    }
+
+    fn one(&self) -> BigUint {
+        BigUint::one()
+    }
+
+    fn add(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        a.add(b)
+    }
+
+    fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        a.mul(b)
+    }
+}
+
+/// Exact weighted counting: `(+, ×)` over [`Rational`]. The WMC /
+/// probability semiring without rounding error.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Rat;
+
+impl Semiring for Rat {
+    type Elem = Rational;
+
+    fn zero(&self) -> Rational {
+        Rational::zero()
+    }
+
+    fn one(&self) -> Rational {
+        Rational::one()
+    }
+
+    fn add(&self, a: &Rational, b: &Rational) -> Rational {
+        a.add(b)
+    }
+
+    fn mul(&self, a: &Rational, b: &Rational) -> Rational {
+        a.mul(b)
+    }
+}
+
+/// The fast approximate path: `(+, ×)` over `f64`.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct F64;
+
+impl Semiring for F64 {
+    type Elem = f64;
+
+    fn zero(&self) -> f64 {
+        0.0
+    }
+
+    fn one(&self) -> f64 {
+        1.0
+    }
+
+    fn add(&self, a: &f64, b: &f64) -> f64 {
+        a + b
+    }
+
+    fn mul(&self, a: &f64, b: &f64) -> f64 {
+        a * b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evaluate `(x ⊕ y) ⊗ z` generically, then at each carrier.
+    fn expr<S: Semiring>(s: &S, x: &S::Elem, y: &S::Elem, z: &S::Elem) -> S::Elem {
+        s.mul(&s.add(x, y), z)
+    }
+
+    #[test]
+    fn generic_expression_at_all_carriers() {
+        let n = Nat;
+        assert_eq!(
+            expr(
+                &n,
+                &BigUint::from_u64(2),
+                &BigUint::from_u64(3),
+                &BigUint::from_u64(4)
+            ),
+            BigUint::from_u64(20)
+        );
+        let q = Rat;
+        assert_eq!(
+            expr(
+                &q,
+                &Rational::parse("1/2").unwrap(),
+                &Rational::parse("1/3").unwrap(),
+                &Rational::parse("6/5").unwrap()
+            ),
+            Rational::parse("1").unwrap()
+        );
+        let f = F64;
+        assert_eq!(expr(&f, &2.0, &3.0, &4.0), 20.0);
+    }
+
+    #[test]
+    fn identities() {
+        let n = Nat;
+        let five = BigUint::from_u64(5);
+        assert_eq!(n.add(&n.zero(), &five), five);
+        assert_eq!(n.mul(&n.one(), &five), five);
+        assert_eq!(n.mul(&n.zero(), &five), n.zero());
+    }
+}

@@ -1,0 +1,153 @@
+//! E13 — exact #SAT/WMC over CNF through the paper's pipeline: primal
+//! treewidth → Lemma-1 vtree → canonical SDD → semiring counts.
+//!
+//! Counts are exact at any size (`arith::BigUint`); the chain family is
+//! cross-checked against its Fibonacci closed form and deliberately runs
+//! past `u128` (200- and 400-variable instances), the band families are
+//! cross-checked by recounting under a second decomposition backend, and a
+//! weighted chain pins the exact `Rational` WMC against `count / 2^n`.
+//!
+//! Regenerate: `cargo run --release -p sentential-bench --bin exp_mc`
+//! (`--smoke` for the CI-sized subset, `--json <path>` for records).
+
+use arith::{BigUint, Rational};
+use cnf::{families, CnfFormula};
+use sentential_bench::{maybe_write_json, Record, Table};
+use sentential_core::{Compiler, TwBackend};
+use std::time::Instant;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!(
+        "E13: exact CNF model counting via treewidth -> vtree -> SDD{}\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let mut t = Table::new(&[
+        "family",
+        "n",
+        "clauses",
+        "tw",
+        "sdw",
+        "sdd",
+        "count bits",
+        "count",
+        "ms",
+    ]);
+    let mut records = Vec::new();
+
+    let mut run = |label: &str, n: u32, f: &CnfFormula, expect: Option<&BigUint>| -> BigUint {
+        let t0 = Instant::now();
+        let counted = Compiler::new()
+            .compile_cnf(f)
+            .unwrap_or_else(|e| panic!("{label} n={n}: {e}"));
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let r = &counted.report;
+        if let Some(expect) = expect {
+            assert_eq!(
+                &r.count, expect,
+                "{label} n={n}: exact count must match the closed form"
+            );
+        }
+        let digits = r.count.to_string();
+        let shown = if digits.len() > 24 {
+            format!("{}…({} digits)", &digits[..18], digits.len())
+        } else {
+            digits
+        };
+        t.row(&[
+            &label,
+            &n,
+            &r.num_clauses,
+            &r.primal_treewidth,
+            &r.sdw,
+            &r.sdd_size,
+            &r.count.bits(),
+            &shown,
+            &format!("{ms:.2}"),
+        ]);
+        records.push(Record {
+            experiment: "E13".into(),
+            series: label.into(),
+            x: n as u64,
+            values: vec![
+                ("treewidth".into(), r.primal_treewidth as f64),
+                ("sdw".into(), r.sdw as f64),
+                ("sdd_size".into(), r.sdd_size as f64),
+                ("count_bits".into(), r.count.bits() as f64),
+                ("count_approx".into(), r.count.to_f64()),
+                ("total_ms".into(), ms),
+            ],
+        });
+        counted.report.count
+    };
+
+    // Chain: treewidth 1, Fibonacci counts, past u128 from ~185 vars on.
+    let chain_ns: &[u32] = if smoke {
+        &[50, 200]
+    } else {
+        &[50, 100, 200, 400]
+    };
+    for &n in chain_ns {
+        let count = run(
+            "chain",
+            n,
+            &families::chain_cnf(n),
+            Some(&families::chain_count(n)),
+        );
+        if n >= 200 {
+            assert!(
+                count.to_u128().is_none(),
+                "n={n}: count must exceed u128 — the BigUint semiring is load-bearing"
+            );
+        }
+    }
+
+    // Band: treewidth w-1; cross-checked by a second decomposition backend.
+    let bands: &[(u32, u32)] = if smoke {
+        &[(30, 3)]
+    } else {
+        &[(30, 3), (60, 3), (60, 4), (120, 3)]
+    };
+    for &(n, w) in bands {
+        let f = families::band_cnf(n, w);
+        let count = run(&format!("band_w{w}"), n, &f, None);
+        let recount = Compiler::builder()
+            .tw_backend(TwBackend::MinDegree)
+            .build()
+            .compile_cnf(&f)
+            .expect("band recount");
+        assert_eq!(
+            recount.report.count, count,
+            "band n={n} w={w}: backends must agree on the exact count"
+        );
+    }
+
+    // Weighted chain: every literal weight 1/2 — the exact WMC must equal
+    // count / 2^n, i.e. the probability of the chain under fair coins.
+    let n = if smoke { 40 } else { 80 };
+    let mut f = families::chain_cnf(n);
+    let half = Rational::parse("1/2").unwrap();
+    for v in f.all_vars() {
+        f.set_weight(v, half.clone(), half.clone());
+    }
+    let counted = Compiler::new().compile_cnf(&f).unwrap();
+    let expect = Rational::from_ratio(families::chain_count(n), BigUint::pow2(n as usize));
+    assert_eq!(
+        counted.weighted(),
+        Some(&expect),
+        "exact WMC of the fair-coin chain"
+    );
+    println!(
+        "weighted chain n={n}: WMC {} (≈ {:.3e})\n",
+        expect,
+        expect.to_f64()
+    );
+
+    t.print();
+    println!(
+        "\nAll counts are exact: chains match the Fibonacci closed form (200+ vars \
+         exceed u128,\nwhere the old counter silently overflowed), bands agree across \
+         decomposition backends,\nand the weighted chain matches count / 2^n as an exact rational."
+    );
+    maybe_write_json(&records);
+}

@@ -1,0 +1,345 @@
+//! DIMACS reading and writing.
+//!
+//! Accepted input dialects:
+//!
+//! * **classic** — `c` comments, a `p cnf <vars> <clauses>` header, then
+//!   0-terminated clauses (which may span lines);
+//! * **MC-competition weighted** — `c p weight <lit> <weight> 0` comment
+//!   directives (other `c p …` directives, e.g. `c p show`, are ignored);
+//! * **plain weighted literals** — Cachet-style `w <lit> <weight>` lines
+//!   (optionally 0-terminated).
+//!
+//! Weights are parsed **exactly** into [`arith::Rational`]s — `0.25`,
+//! `2.5e-1`, `1/4` all mean the same weight. A weight attached to literal
+//! `ℓ` sets `w(ℓ)`; the complementary literal keeps its previous value
+//! (default 1). The writer emits the canonical form (header, `c p weight`
+//! directives, one clause per line), which the parser maps back to the
+//! identical [`CnfFormula`] — the round-trip property the tests pin down.
+
+use crate::formula::{CnfFormula, Lit};
+use arith::Rational;
+use std::fmt;
+use vtree::VarId;
+
+/// A DIMACS syntax error, with the 1-based line it occurred on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DimacsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: DimacsErrorKind,
+}
+
+/// The ways DIMACS input can be malformed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DimacsErrorKind {
+    /// The `p cnf` header is missing or malformed.
+    BadHeader,
+    /// A second `p cnf` header appeared.
+    DuplicateHeader,
+    /// Clause or weight data appeared before the header.
+    DataBeforeHeader,
+    /// A token was not an integer literal.
+    BadToken(String),
+    /// A literal's variable exceeds the header's variable count.
+    VarOutOfRange(i64),
+    /// A weight directive was malformed.
+    BadWeight(String),
+    /// The final clause was not 0-terminated.
+    UnterminatedClause,
+    /// The number of clauses does not match the header.
+    ClauseCountMismatch { declared: usize, found: usize },
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            DimacsErrorKind::BadHeader => write!(f, "missing or malformed `p cnf` header"),
+            DimacsErrorKind::DuplicateHeader => write!(f, "second `p cnf` header"),
+            DimacsErrorKind::DataBeforeHeader => {
+                write!(f, "clause data before the `p cnf` header")
+            }
+            DimacsErrorKind::BadToken(t) => write!(f, "expected an integer literal, got {t:?}"),
+            DimacsErrorKind::VarOutOfRange(l) => {
+                write!(f, "literal {l} exceeds the declared variable count")
+            }
+            DimacsErrorKind::BadWeight(w) => write!(f, "malformed weight {w:?}"),
+            DimacsErrorKind::UnterminatedClause => write!(f, "final clause not 0-terminated"),
+            DimacsErrorKind::ClauseCountMismatch { declared, found } => {
+                write!(f, "header declares {declared} clauses, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+impl CnfFormula {
+    /// Parse DIMACS text (see the module docs for the accepted dialects).
+    pub fn from_dimacs(input: &str) -> Result<Self, DimacsError> {
+        parse_dimacs(input)
+    }
+
+    /// Render canonical DIMACS (header, `c p weight` directives, one
+    /// 0-terminated clause per line). `from_dimacs ∘ to_dimacs` is the
+    /// identity.
+    pub fn to_dimacs(&self) -> String {
+        write_dimacs(self)
+    }
+}
+
+/// See [`CnfFormula::from_dimacs`].
+pub fn parse_dimacs(input: &str) -> Result<CnfFormula, DimacsError> {
+    let err = |line: usize, kind: DimacsErrorKind| DimacsError { line, kind };
+    let mut formula: Option<CnfFormula> = None;
+    let mut declared_clauses = 0usize;
+    let mut pending: Vec<Lit> = Vec::new();
+    let mut found_clauses = 0usize;
+    let mut last_line = 0usize;
+
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        last_line = lineno;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_ascii_whitespace();
+        let first = tokens.next().expect("nonempty line");
+        match first {
+            "c" => {
+                // `c p weight <lit> <weight> 0` is data; everything else
+                // (including other `c p …` directives) is a comment.
+                let rest: Vec<&str> = tokens.collect();
+                if rest.first() == Some(&"p") && rest.get(1) == Some(&"weight") {
+                    let f = formula
+                        .as_mut()
+                        .ok_or_else(|| err(lineno, DimacsErrorKind::DataBeforeHeader))?;
+                    apply_weight(f, rest.get(2).copied(), rest.get(3).copied(), lineno)?;
+                }
+            }
+            "p" => {
+                if formula.is_some() {
+                    return Err(err(lineno, DimacsErrorKind::DuplicateHeader));
+                }
+                let kind = tokens.next();
+                let nv = tokens.next().and_then(|t| t.parse::<u32>().ok());
+                let nc = tokens.next().and_then(|t| t.parse::<usize>().ok());
+                match (kind, nv, nc, tokens.next()) {
+                    (Some("cnf"), Some(nv), Some(nc), None) => {
+                        formula = Some(CnfFormula::new(nv));
+                        declared_clauses = nc;
+                    }
+                    _ => return Err(err(lineno, DimacsErrorKind::BadHeader)),
+                }
+            }
+            "w" => {
+                // Cachet-style weighted literal; tolerate a trailing 0.
+                let f = formula
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, DimacsErrorKind::DataBeforeHeader))?;
+                let rest: Vec<&str> = tokens.collect();
+                let (lit, weight) = match rest.as_slice() {
+                    [l, w] | [l, w, "0"] => (*l, *w),
+                    _ => return Err(err(lineno, DimacsErrorKind::BadWeight(line.to_string()))),
+                };
+                apply_weight(f, Some(lit), Some(weight), lineno)?;
+            }
+            _ => {
+                let f = formula
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, DimacsErrorKind::DataBeforeHeader))?;
+                for tok in std::iter::once(first).chain(tokens) {
+                    let l: i64 = tok
+                        .parse()
+                        .map_err(|_| err(lineno, DimacsErrorKind::BadToken(tok.to_string())))?;
+                    if l == 0 {
+                        f.add_clause(std::mem::take(&mut pending));
+                        found_clauses += 1;
+                    } else {
+                        pending.push(lit_of(l, f.num_vars()).map_err(|k| err(lineno, k))?);
+                    }
+                }
+            }
+        }
+    }
+
+    let f = formula.ok_or_else(|| err(last_line.max(1), DimacsErrorKind::BadHeader))?;
+    if !pending.is_empty() {
+        return Err(err(last_line, DimacsErrorKind::UnterminatedClause));
+    }
+    if found_clauses != declared_clauses {
+        return Err(err(
+            last_line,
+            DimacsErrorKind::ClauseCountMismatch {
+                declared: declared_clauses,
+                found: found_clauses,
+            },
+        ));
+    }
+    Ok(f)
+}
+
+/// DIMACS literal (1-based, sign = polarity) → `Lit`; checks the range.
+fn lit_of(l: i64, num_vars: u32) -> Result<Lit, DimacsErrorKind> {
+    let var = l.unsigned_abs();
+    if var == 0 || var > num_vars as u64 {
+        return Err(DimacsErrorKind::VarOutOfRange(l));
+    }
+    Ok((VarId(var as u32 - 1), l > 0))
+}
+
+/// Set `w(lit) = weight`, keeping the complementary literal's weight.
+fn apply_weight(
+    f: &mut CnfFormula,
+    lit: Option<&str>,
+    weight: Option<&str>,
+    lineno: usize,
+) -> Result<(), DimacsError> {
+    let err = |kind| DimacsError { line: lineno, kind };
+    let bad = || {
+        err(DimacsErrorKind::BadWeight(format!(
+            "{} {}",
+            lit.unwrap_or(""),
+            weight.unwrap_or("")
+        )))
+    };
+    let l: i64 = lit.ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let w = Rational::parse(weight.ok_or_else(bad)?).map_err(|_| bad())?;
+    let (v, positive) = lit_of(l, f.num_vars()).map_err(err)?;
+    let (mut wn, mut wp) = f.weight(v);
+    if positive {
+        wp = w;
+    } else {
+        wn = w;
+    }
+    f.set_weight(v, wn, wp);
+    Ok(())
+}
+
+/// See [`CnfFormula::to_dimacs`].
+pub fn write_dimacs(f: &CnfFormula) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("p cnf {} {}\n", f.num_vars(), f.num_clauses()));
+    for (v, (wn, wp)) in f.weighted_vars() {
+        let dimacs = v.0 as i64 + 1;
+        out.push_str(&format!("c p weight {dimacs} {wp} 0\n"));
+        out.push_str(&format!("c p weight {} {wn} 0\n", -dimacs));
+    }
+    for clause in f.clauses() {
+        for &(v, p) in clause {
+            let dimacs = v.0 as i64 + 1;
+            out.push_str(&format!("{} ", if p { dimacs } else { -dimacs }));
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_parse() {
+        let f = CnfFormula::from_dimacs("c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.clauses()[0], vec![(VarId(0), true), (VarId(1), false)]);
+    }
+
+    #[test]
+    fn clauses_may_span_lines() {
+        let f = CnfFormula::from_dimacs("p cnf 3 2\n1 -2\n3 0 2\n0\n").unwrap();
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.clauses()[0].len(), 3);
+        assert_eq!(f.clauses()[1], vec![(VarId(1), true)]);
+    }
+
+    #[test]
+    fn mc_competition_weights() {
+        let f = CnfFormula::from_dimacs(
+            "p cnf 2 1\nc p show 1 2 0\nc p weight 1 0.25 0\nc p weight -1 0.75 0\n1 2 0\n",
+        )
+        .unwrap();
+        let (wn, wp) = f.weight(VarId(0));
+        assert_eq!(wp, Rational::parse("1/4").unwrap());
+        assert_eq!(wn, Rational::parse("3/4").unwrap());
+        assert!(f.is_weighted());
+        assert_eq!(f.weighted_vars().count(), 1);
+    }
+
+    #[test]
+    fn cachet_weights() {
+        let f = CnfFormula::from_dimacs("p cnf 2 1\nw 2 1/3\nw -2 2/3 0\n1 2 0\n").unwrap();
+        let (wn, wp) = f.weight(VarId(1));
+        assert_eq!(wp, Rational::parse("1/3").unwrap());
+        assert_eq!(wn, Rational::parse("2/3").unwrap());
+    }
+
+    #[test]
+    fn write_then_parse_is_identity() {
+        let mut f = CnfFormula::from_clauses(
+            4,
+            vec![
+                vec![(VarId(0), true), (VarId(3), false)],
+                vec![],
+                vec![(VarId(2), true)],
+            ],
+        );
+        f.set_weight(
+            VarId(2),
+            Rational::parse("2/5").unwrap(),
+            Rational::parse("3/5").unwrap(),
+        );
+        let text = f.to_dimacs();
+        assert_eq!(CnfFormula::from_dimacs(&text).unwrap(), f);
+    }
+
+    #[test]
+    fn errors_are_typed_and_located() {
+        type Check = fn(&DimacsErrorKind) -> bool;
+        let cases: Vec<(&str, Check)> = vec![
+            ("1 2 0\n", |k| {
+                matches!(k, DimacsErrorKind::DataBeforeHeader)
+            }),
+            ("p cnf x 2\n", |k| matches!(k, DimacsErrorKind::BadHeader)),
+            ("p cnf 2 1\n1 9 0\n", |k| {
+                matches!(k, DimacsErrorKind::VarOutOfRange(9))
+            }),
+            ("p cnf 2 1\n1 z 0\n", |k| {
+                matches!(k, DimacsErrorKind::BadToken(_))
+            }),
+            ("p cnf 2 1\n1 2\n", |k| {
+                matches!(k, DimacsErrorKind::UnterminatedClause)
+            }),
+            ("p cnf 2 2\n1 0\n", |k| {
+                matches!(
+                    k,
+                    DimacsErrorKind::ClauseCountMismatch {
+                        declared: 2,
+                        found: 1
+                    }
+                )
+            }),
+            ("p cnf 2 1\nw 1 oops\n1 0\n", |k| {
+                matches!(k, DimacsErrorKind::BadWeight(_))
+            }),
+            // A second header must not silently reset the formula.
+            ("p cnf 2 2\n1 0\np cnf 2 2\n2 0\n", |k| {
+                matches!(k, DimacsErrorKind::DuplicateHeader)
+            }),
+            // An absurd weight exponent is rejected, not computed.
+            ("p cnf 2 1\nc p weight 1 1e2000000 0\n1 0\n", |k| {
+                matches!(k, DimacsErrorKind::BadWeight(_))
+            }),
+            ("", |k| matches!(k, DimacsErrorKind::BadHeader)),
+        ];
+        for (text, check) in cases {
+            let e = CnfFormula::from_dimacs(text).unwrap_err();
+            assert!(check(&e.kind), "{text:?} gave {e}");
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

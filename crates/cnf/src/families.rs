@@ -1,0 +1,109 @@
+//! Generated clause families for the model-counting experiments.
+//!
+//! The bounded-primal-treewidth families play the role `circuit::families`
+//! plays for the compilation experiments: inputs whose counts are huge but
+//! whose structure keeps compilation (and therefore exact counting) linear.
+
+use crate::formula::CnfFormula;
+use arith::BigUint;
+use vtree::VarId;
+
+/// The chain `⋀_{i<n-1} (x_i ∨ x_{i+1})`: primal graph a path (treewidth
+/// 1), model count the Fibonacci-like [`chain_count`] — past `u128` from
+/// roughly 185 variables on.
+pub fn chain_cnf(n: u32) -> CnfFormula {
+    let mut f = CnfFormula::new(n);
+    for i in 0..n.saturating_sub(1) {
+        f.add_clause(vec![(VarId(i), true), (VarId(i + 1), true)]);
+    }
+    f
+}
+
+/// Reference count for [`chain_cnf`]: models are binary strings of length
+/// `n` with no two adjacent zeros, counted by the Fibonacci recurrence
+/// `a(n) = a(n-1) + a(n-2)`, `a(0) = 1`, `a(1) = 2`.
+pub fn chain_count(n: u32) -> BigUint {
+    let (mut prev, mut cur) = (BigUint::one(), BigUint::from_u64(2));
+    if n == 0 {
+        return prev;
+    }
+    for _ in 1..n {
+        let next = cur.add(&prev);
+        prev = cur;
+        cur = next;
+    }
+    cur
+}
+
+/// Sliding-window positive clauses `⋀_i (x_i ∨ … ∨ x_{i+w-1})`: the CNF
+/// twin of `circuit::families::clause_chain`, primal treewidth `w - 1`.
+pub fn band_cnf(n: u32, w: u32) -> CnfFormula {
+    assert!(w >= 1 && w <= n);
+    let mut f = CnfFormula::new(n);
+    for i in 0..=(n - w) {
+        f.add_clause((i..i + w).map(|j| (VarId(j), true)).collect());
+    }
+    f
+}
+
+/// A random `k`-CNF with `m` clauses over `n` variables (distinct
+/// variables per clause, uniform polarities) — the unstructured baseline.
+pub fn random_cnf<R: rand::Rng>(n: u32, m: usize, k: usize, rng: &mut R) -> CnfFormula {
+    assert!(k as u32 <= n && n >= 1);
+    let mut f = CnfFormula::new(n);
+    for _ in 0..m {
+        let mut vars: Vec<u32> = Vec::with_capacity(k);
+        while vars.len() < k {
+            let v = rng.gen_range(0..n);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        f.add_clause(
+            vars.into_iter()
+                .map(|v| (VarId(v), rng.gen_bool(0.5)))
+                .collect(),
+        );
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_count_matches_brute_force() {
+        for n in 0..12u32 {
+            let f = chain_cnf(n);
+            assert_eq!(
+                BigUint::from_u64(f.count_models_brute()),
+                chain_count(n),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_count_exceeds_u128_by_200_vars() {
+        assert!(chain_count(184).to_u128().is_some());
+        assert!(chain_count(200).to_u128().is_none(), "past 2^128");
+    }
+
+    #[test]
+    fn band_reduces_to_chain_at_w2() {
+        assert_eq!(band_cnf(6, 2), chain_cnf(6));
+        let f = band_cnf(8, 3);
+        let (w, _) = graphtw::treewidth(&f.primal_graph(), 12);
+        assert_eq!(w, 2);
+    }
+
+    #[test]
+    fn random_cnf_shape() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let f = random_cnf(10, 20, 3, &mut rng);
+        assert_eq!(f.num_clauses(), 20);
+        assert!(f.clauses().iter().all(|c| c.len() == 3));
+    }
+}

@@ -1,0 +1,297 @@
+//! The CNF data model: clauses over `VarId`s plus optional exact literal
+//! weights.
+
+use arith::Rational;
+use boolfunc::{Assignment, VarSet};
+use circuit::{Circuit, CircuitBuilder, Clause, Cnf};
+use std::fmt;
+use vtree::VarId;
+
+/// A literal: `(variable, polarity)` — the same encoding `circuit::Clause`
+/// uses, so the two CNF representations bridge without translation.
+pub type Lit = (VarId, bool);
+
+/// A CNF formula over variables `0..num_vars`, with optional exact literal
+/// weights for weighted model counting. Unweighted variables implicitly
+/// carry `(1, 1)` (#SAT) — or `(1/2, 1/2)` under the uniform-probability
+/// reading.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CnfFormula {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+    /// `weights[v] = (w⁻, w⁺)` for weighted variables.
+    weights: Vec<Option<(Rational, Rational)>>,
+}
+
+impl CnfFormula {
+    /// An empty formula (⊤) over `num_vars` variables.
+    pub fn new(num_vars: u32) -> Self {
+        CnfFormula {
+            num_vars,
+            clauses: Vec::new(),
+            weights: vec![None; num_vars as usize],
+        }
+    }
+
+    /// Build from parts; panics on out-of-range literals.
+    pub fn from_clauses(num_vars: u32, clauses: Vec<Vec<Lit>>) -> Self {
+        let mut f = CnfFormula::new(num_vars);
+        for c in clauses {
+            f.add_clause(c);
+        }
+        f
+    }
+
+    /// Append a clause; panics on out-of-range literals.
+    pub fn add_clause(&mut self, clause: Vec<Lit>) {
+        for &(v, _) in &clause {
+            assert!(
+                v.index() < self.num_vars as usize,
+                "literal {v} out of range (num_vars = {})",
+                self.num_vars
+            );
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Set the weight pair `(w⁻, w⁺)` of a variable.
+    pub fn set_weight(&mut self, v: VarId, neg: Rational, pos: Rational) {
+        assert!(
+            v.index() < self.num_vars as usize,
+            "weight var out of range"
+        );
+        self.weights[v.index()] = Some((neg, pos));
+    }
+
+    /// The weight pair of `v`, defaulting to `(1, 1)`.
+    pub fn weight(&self, v: VarId) -> (Rational, Rational) {
+        self.weights
+            .get(v.index())
+            .and_then(|w| w.clone())
+            .unwrap_or_else(|| (Rational::one(), Rational::one()))
+    }
+
+    /// The explicitly weighted variables, in index order.
+    pub fn weighted_vars(&self) -> impl Iterator<Item = (VarId, &(Rational, Rational))> {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.as_ref().map(|w| (VarId(i as u32), w)))
+    }
+
+    /// Does any variable carry an explicit weight?
+    pub fn is_weighted(&self) -> bool {
+        self.weights.iter().any(Option::is_some)
+    }
+
+    /// Number of variables (declared, not merely mentioned).
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Total number of literal occurrences.
+    pub fn num_literals(&self) -> usize {
+        self.clauses.iter().map(Vec::len).sum()
+    }
+
+    /// Does the formula contain an empty clause (and is thus ⊥)?
+    pub fn has_empty_clause(&self) -> bool {
+        self.clauses.iter().any(Vec::is_empty)
+    }
+
+    /// The variables mentioned in some clause (⊆ `0..num_vars`).
+    pub fn vars_used(&self) -> VarSet {
+        VarSet::from_iter(self.clauses.iter().flatten().map(|&(v, _)| v))
+    }
+
+    /// All declared variables `0..num_vars`.
+    pub fn all_vars(&self) -> Vec<VarId> {
+        (0..self.num_vars).map(VarId).collect()
+    }
+
+    /// Evaluate under an assignment covering the mentioned variables.
+    pub fn eval(&self, a: &Assignment) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|&(v, p)| a.get(v).expect("assignment covers clause vars") == p)
+        })
+    }
+
+    /// Brute-force model count over all `num_vars` declared variables
+    /// (testing reference; capped at 24 variables).
+    pub fn count_models_brute(&self) -> u64 {
+        assert!(self.num_vars <= 24, "brute force capped at 24 variables");
+        let vars = VarSet::from_slice(&self.all_vars());
+        (0..1u64 << self.num_vars)
+            .filter(|&i| self.eval(&Assignment::from_index(&vars, i)))
+            .count() as u64
+    }
+
+    /// **Direct route**: the clause tree — one ∨ gate per clause under one
+    /// ∧ gate. Linear size, preserves the formula's primal structure (every
+    /// clause becomes a gate adjacent to its variables).
+    pub fn to_circuit(&self) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let clause_gates: Vec<_> = self
+            .clauses
+            .iter()
+            .map(|c| {
+                let lits: Vec<_> = c.iter().map(|&(v, p)| b.literal(v, p)).collect();
+                b.or_many(lits)
+            })
+            .collect();
+        let out = b.and_many(clause_gates);
+        b.build(out)
+    }
+
+    /// Bridge to the `circuit` crate's CNF type (used by its Tseitin
+    /// transform).
+    pub fn to_circuit_cnf(&self) -> Cnf {
+        Cnf {
+            clauses: self.clauses.iter().map(|c| Clause(c.clone())).collect(),
+            num_fresh: 0,
+        }
+    }
+
+    /// Bridge from the `circuit` crate's CNF type. `num_vars` is the
+    /// maximum mentioned variable index + 1 (0 for the empty CNF).
+    pub fn from_circuit_cnf(cnf: &Cnf) -> Self {
+        let num_vars = cnf
+            .clauses
+            .iter()
+            .flat_map(|c| c.0.iter())
+            .map(|&(v, _)| v.0 + 1)
+            .max()
+            .unwrap_or(0);
+        CnfFormula::from_clauses(num_vars, cnf.clauses.iter().map(|c| c.0.clone()).collect())
+    }
+
+    /// **Tseitin route**: an equisatisfiable CNF for an arbitrary circuit,
+    /// one fresh selector variable per internal gate (`circuit`'s Eq. 3
+    /// transform). Every model of the circuit extends to *exactly one*
+    /// model of this CNF, so the model count over all variables (circuit
+    /// inputs + selectors) equals the circuit's model count over its
+    /// inputs — the property the round-trip tests pin down.
+    pub fn from_circuit_tseitin(c: &Circuit) -> Self {
+        let fresh_base = c.vars().iter().map(|v| v.0 + 1).max().unwrap_or(0);
+        let cnf = c.tseitin(fresh_base);
+        // Declare every circuit variable, even ones no clause mentions
+        // (an unused input gate is a free variable in both counts).
+        let mut f = CnfFormula::new(fresh_base + cnf.num_fresh);
+        for clause in &cnf.clauses {
+            f.add_clause(clause.0.clone());
+        }
+        f
+    }
+}
+
+impl fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CnfFormula(vars={}, clauses={}, literals={}{})",
+            self.num_vars,
+            self.num_clauses(),
+            self.num_literals(),
+            if self.is_weighted() { ", weighted" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn eval_and_brute_count() {
+        // (x0 ∨ ¬x1) ∧ x1  ≡  x0 ∧ x1
+        let f = CnfFormula::from_clauses(
+            2,
+            vec![vec![(v(0), true), (v(1), false)], vec![(v(1), true)]],
+        );
+        assert_eq!(f.count_models_brute(), 1);
+        assert!(f.eval(&Assignment::from_pairs([(v(0), true), (v(1), true)])));
+        assert!(!f.eval(&Assignment::from_pairs([(v(0), false), (v(1), true)])));
+    }
+
+    #[test]
+    fn direct_circuit_matches_brute_force() {
+        let f = CnfFormula::from_clauses(
+            3,
+            vec![
+                vec![(v(0), true), (v(1), true)],
+                vec![(v(1), false), (v(2), true)],
+            ],
+        );
+        let c = f.to_circuit();
+        // The circuit counts over mentioned vars only; all 3 are mentioned.
+        assert_eq!(
+            c.to_boolfn().unwrap().count_models(),
+            f.count_models_brute()
+        );
+    }
+
+    #[test]
+    fn empty_and_contradictory_formulas() {
+        let top = CnfFormula::new(3);
+        assert_eq!(top.count_models_brute(), 8);
+        assert!(!top.has_empty_clause());
+        let mut bot = CnfFormula::new(3);
+        bot.add_clause(vec![]);
+        assert!(bot.has_empty_clause());
+        assert_eq!(bot.count_models_brute(), 0);
+    }
+
+    #[test]
+    fn tseitin_preserves_model_count() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        for _ in 0..5 {
+            let c = circuit::families::random_circuit(4, 8, &mut rng);
+            let t = CnfFormula::from_circuit_tseitin(&c);
+            // Count over ALL circuit variables (to_boolfn projects onto the
+            // output's support): selectors extend each model uniquely, so
+            // the Tseitin CNF preserves the count exactly.
+            assert_eq!(
+                t.count_models_brute(),
+                c.to_boolfn().unwrap().count_models_over(&c.vars()),
+                "unique selector extension per circuit model"
+            );
+        }
+    }
+
+    #[test]
+    fn weights_default_and_roundtrip() {
+        let mut f = CnfFormula::new(2);
+        assert!(!f.is_weighted());
+        assert_eq!(f.weight(v(0)), (Rational::one(), Rational::one()));
+        f.set_weight(
+            v(1),
+            Rational::parse("1/4").unwrap(),
+            Rational::parse("3/4").unwrap(),
+        );
+        assert!(f.is_weighted());
+        assert_eq!(f.weighted_vars().count(), 1);
+        assert_eq!(f.weight(v(1)).1, Rational::parse("3/4").unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_literal_panics() {
+        CnfFormula::new(2).add_clause(vec![(v(5), true)]);
+    }
+}

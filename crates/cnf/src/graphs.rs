@@ -1,0 +1,113 @@
+//! Structural graphs of a CNF formula.
+//!
+//! The **primal graph** has one vertex per variable and an edge between any
+//! two variables sharing a clause; its treewidth is the CNF's primal
+//! treewidth — the parameter the width-bounded model-counting literature
+//! (and the paper's Lemma 1, applied to the clause-tree circuit) works
+//! with. The **incidence graph** is the bipartite variable/clause graph;
+//! its treewidth is never more than the primal treewidth + 1 and can be
+//! arbitrarily smaller (long clauses blow up the primal graph but add one
+//! incidence vertex).
+//!
+//! Both feed the same decomposition seam the circuit pipeline uses: a
+//! `&Graph -> (width, EliminationOrder)` closure picked by the session's
+//! `TwBackend` (see `sentential_core::vtree_from_graph_with`).
+
+use crate::formula::CnfFormula;
+use graphtw::Graph;
+use vtree::VarId;
+
+impl CnfFormula {
+    /// The primal (variable-interaction) graph: vertex `i` is variable
+    /// `VarId(i)`; every clause induces a clique on its variables.
+    /// Variables in no clause are isolated vertices — they still occupy a
+    /// vtree leaf (and double the model count each).
+    pub fn primal_graph(&self) -> Graph {
+        let mut g = Graph::new(self.num_vars() as usize);
+        for clause in self.clauses() {
+            for (i, &(u, _)) in clause.iter().enumerate() {
+                for &(v, _) in &clause[i + 1..] {
+                    g.add_edge(u.0, v.0);
+                }
+            }
+        }
+        g
+    }
+
+    /// The incidence graph: vertices `0..num_vars` are variables, vertices
+    /// `num_vars..num_vars + num_clauses` are clauses, and each clause is
+    /// adjacent to exactly the variables it mentions. Returns the graph;
+    /// clause `j`'s vertex is `num_vars + j`.
+    pub fn incidence_graph(&self) -> Graph {
+        let nv = self.num_vars() as usize;
+        let mut g = Graph::new(nv + self.num_clauses());
+        for (j, clause) in self.clauses().iter().enumerate() {
+            let cv = (nv + j) as u32;
+            for &(v, _) in clause {
+                g.add_edge(v.0, cv);
+            }
+        }
+        g
+    }
+
+    /// The variable each primal-graph vertex stands for — the map
+    /// `vtree_from_graph_with` needs to hang vtree leaves off forget nodes.
+    pub fn primal_vars(&self) -> Vec<Option<VarId>> {
+        (0..self.num_vars()).map(|i| Some(VarId(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn primal_graph_of_chain_is_a_path() {
+        let f = crate::families::chain_cnf(5);
+        let g = f.primal_graph();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        let (w, _) = graphtw::treewidth(&g, 10);
+        assert_eq!(w, 1);
+    }
+
+    #[test]
+    fn clauses_induce_cliques() {
+        let f = CnfFormula::from_clauses(4, vec![vec![(v(0), true), (v(1), false), (v(2), true)]]);
+        let g = f.primal_graph();
+        assert_eq!(g.num_edges(), 3); // triangle on {0,1,2}
+        assert!(!g.is_connected()); // 3 is isolated
+    }
+
+    #[test]
+    fn incidence_graph_is_bipartite_star_per_clause() {
+        let f = CnfFormula::from_clauses(
+            3,
+            vec![
+                vec![(v(0), true), (v(1), true)],
+                vec![(v(1), false), (v(2), true)],
+            ],
+        );
+        let g = f.incidence_graph();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(3), 2); // clause 0
+        assert_eq!(g.degree(1), 2); // var 1 in both clauses
+    }
+
+    #[test]
+    fn incidence_beats_primal_on_long_clauses() {
+        // One clause over all n variables: primal = K_n (tw n-1),
+        // incidence = a star (tw 1).
+        let n = 8u32;
+        let f = CnfFormula::from_clauses(n, vec![(0..n).map(|i| (v(i), true)).collect()]);
+        let (wp, _) = graphtw::treewidth(&f.primal_graph(), 10);
+        let (wi, _) = graphtw::treewidth(&f.incidence_graph(), 10);
+        assert_eq!(wp, n as usize - 1);
+        assert_eq!(wi, 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! CNF frontend for the model-counting pipeline.
+//!
+//! The paper's route — treewidth → vtree → SDD — is exactly the route
+//! modern #SAT/weighted-model-counting compilers take over CNF inputs; this
+//! crate supplies the CNF side:
+//!
+//! * [`CnfFormula`] — clauses over `VarId`s with optional **exact rational
+//!   literal weights** ([`arith::Rational`]);
+//! * [`dimacs`] — a DIMACS parser/writer covering the classic `p cnf`
+//!   dialect, MC-competition `c p weight` directives, and Cachet-style `w`
+//!   lines, with typed, line-numbered errors;
+//! * two CNF→circuit routes: the **direct clause tree**
+//!   ([`CnfFormula::to_circuit`]) and the **Tseitin bridge**
+//!   ([`CnfFormula::from_circuit_tseitin`]) to/from `circuit::Cnf`;
+//! * [`graphs`] — primal and incidence graph builders feeding the same
+//!   `TwBackend` decomposition seam the circuit pipeline uses, so CNF
+//!   primal treewidth drives vtree extraction unchanged
+//!   (`sentential_core::Compiler::compile_cnf`);
+//! * [`families`] — generated clause families (chain, band, random k-CNF)
+//!   with exact reference counts for the `exp_mc` experiments.
+
+pub mod dimacs;
+pub mod families;
+pub mod formula;
+pub mod graphs;
+
+pub use dimacs::{parse_dimacs, write_dimacs, DimacsError, DimacsErrorKind};
+pub use formula::{CnfFormula, Lit};

@@ -687,23 +687,38 @@ impl Compiler {
 
     /// The Lemma-1 vtree under the session's [`TwBackend`].
     fn lemma1_vtree(&self, c: &Circuit) -> Result<(Vtree, ExtractStats), CompileError> {
-        let backend = self.opts.tw_backend;
-        let limit = self.opts.exact_tw_limit;
-        if backend == TwBackend::Exact {
-            // Fail eagerly (and typed) instead of panicking inside the
-            // extraction closure below.
+        if self.opts.tw_backend == TwBackend::Exact {
             let (g, _) = c.primal_graph();
-            if g.num_vertices() > graphtw::exact::MAX_EXACT_VERTICES {
-                return Err(CompileError::ExactTreewidthIntractable(
-                    ExactError::TooLarge {
-                        vertices: g.num_vertices(),
-                    },
-                ));
-            }
+            self.ensure_exact_feasible(&g)?;
         }
-        let (vt, st) = vtree_from_circuit_with(c, |g| match backend {
-            TwBackend::Auto => graphtw::treewidth(g, limit),
-            TwBackend::Exact => graphtw::exact_treewidth(g).expect("size checked above"),
+        let (vt, st) = vtree_from_circuit_with(c, |g| self.decompose_graph(g))?;
+        Ok((vt, st))
+    }
+
+    /// Fail eagerly (and typed) when [`TwBackend::Exact`] is forced on a
+    /// graph beyond the subset-DP cap, instead of panicking inside
+    /// [`Compiler::decompose_graph`].
+    pub(crate) fn ensure_exact_feasible(&self, g: &graphtw::Graph) -> Result<(), CompileError> {
+        if g.num_vertices() > graphtw::exact::MAX_EXACT_VERTICES {
+            return Err(CompileError::ExactTreewidthIntractable(
+                ExactError::TooLarge {
+                    vertices: g.num_vertices(),
+                },
+            ));
+        }
+        Ok(())
+    }
+
+    /// The session's `(width, elimination order)` decomposition — the
+    /// [`TwBackend`] seam shared by the circuit pipeline (gate-level primal
+    /// graphs) and the CNF pipeline (variable-level primal graphs,
+    /// [`Compiler::compile_cnf`]).
+    pub(crate) fn decompose_graph(&self, g: &graphtw::Graph) -> (usize, graphtw::EliminationOrder) {
+        match self.opts.tw_backend {
+            TwBackend::Auto => graphtw::treewidth(g, self.opts.exact_tw_limit),
+            TwBackend::Exact => {
+                graphtw::exact_treewidth(g).expect("checked via ensure_exact_feasible")
+            }
             TwBackend::MinFill => {
                 let order = graphtw::min_fill_order(g);
                 (graphtw::width_of_order(g, &order), order)
@@ -712,8 +727,7 @@ impl Compiler {
                 let order = graphtw::min_degree_order(g);
                 (graphtw::width_of_order(g, &order), order)
             }
-        })?;
-        Ok((vt, st))
+        }
     }
 }
 

@@ -19,7 +19,13 @@
 //!   (Definition 4, Theorem 3);
 //! * [`mod@sft`] — the `S_{F,T}` canonical SDD construction and SDD width
 //!   (Definition 5, Theorem 4, Lemma 6);
-//! * [`vtree_extract`] — Lemma 1: vtrees from nice tree decompositions;
+//! * [`vtree_extract`] — Lemma 1: vtrees from nice tree decompositions, at
+//!   the circuit level and at the raw graph level
+//!   ([`vtree_from_graph_with`]), the seam the CNF pipeline enters with
+//!   primal graphs of formulas;
+//! * [`mod@mc`] — exact CNF model counting
+//!   ([`Compiler::compile_cnf`](compiler::Compiler::compile_cnf)):
+//!   primal treewidth → vtree → SDD → `BigUint`/`Rational` semiring counts;
 //! * [`mod@compiler`] — the unified [`Compiler`] session API: configurable
 //!   strategies ([`TwBackend`], [`VtreeStrategy`], [`Route`]), a unified
 //!   [`CompileError`], and timed [`CompileReport`]s;
@@ -37,6 +43,7 @@ pub mod compiler;
 pub mod ctw;
 pub mod implicants;
 pub mod isa;
+pub mod mc;
 pub mod pipeline;
 pub mod sft;
 pub mod vtree_extract;
@@ -48,7 +55,8 @@ pub use compiler::{
     ResolvedRoute, Route, StageTimings, TwBackend, Validation, VtreeStrategy,
 };
 pub use implicants::VtreeFactors;
+pub use mc::{CnfCompilation, CountReport, CountTimings};
 #[allow(deprecated)]
 pub use pipeline::{compile_circuit, CompilationError, CompiledCircuit};
 pub use sft::{min_sdw, sft, SftResult};
-pub use vtree_extract::{vtree_from_circuit, vtree_from_circuit_with};
+pub use vtree_extract::{vtree_from_circuit, vtree_from_circuit_with, vtree_from_graph_with};

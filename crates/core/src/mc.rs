@@ -1,0 +1,344 @@
+//! Exact model counting over CNF inputs: [`Compiler::compile_cnf`].
+//!
+//! The workload "Compilation and Fast Model Counting beyond CNF" frames as
+//! canonical for width-bounded compilation: a DIMACS formula comes in, its
+//! **primal treewidth** drives the same Lemma-1 vtree extraction the
+//! circuit pipeline uses (via [`vtree_from_graph_with`] — the session's
+//! [`TwBackend`](crate::TwBackend) applies unchanged), the clause-tree
+//! circuit compiles bottom-up into a canonical SDD, and the semiring engine
+//! reads off the **exact** model count ([`arith::BigUint`] — no `u128`
+//! overflow) and, for weighted inputs, the exact weighted count
+//! ([`arith::Rational`]).
+//!
+//! ```
+//! use sentential_core::Compiler;
+//!
+//! let f = cnf::CnfFormula::from_dimacs("p cnf 3 2\n1 2 0\n-2 3 0\n").unwrap();
+//! let counted = Compiler::new().compile_cnf(&f).unwrap();
+//! assert_eq!(counted.report.count.to_u128(), Some(4));
+//! println!("{}", counted.report);
+//! ```
+
+use crate::compiler::{CompileError, Compiler, TwBackend, Validation};
+use crate::vtree_extract::vtree_from_graph_with;
+use arith::{BigUint, Rational};
+use boolfunc::{Assignment, BoolFn, VarSet};
+use cnf::CnfFormula;
+use sdd::{ApplyStats, SddId, SddManager};
+use std::fmt;
+use std::time::{Duration, Instant};
+use vtree::Vtree;
+
+/// Variable-count cap under which the report also carries the semantic
+/// widths `fw`/`fiw` (they need the truth-table kernel; the counting
+/// pipeline itself has no such cap).
+pub const SEMANTIC_WIDTHS_MAX_VARS: usize = 16;
+
+/// Wall-clock time per counting-pipeline stage.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct CountTimings {
+    /// Primal graph, decomposition, vtree extraction.
+    pub vtree: Duration,
+    /// Clause-tree circuit + bottom-up SDD compilation.
+    pub sdd: Duration,
+    /// Semiring evaluation (exact count, exact weighted count).
+    pub count: Duration,
+    /// Output checking (per the session's `Validation`).
+    pub validate: Duration,
+    /// End-to-end.
+    pub total: Duration,
+}
+
+/// Everything a CNF counting run measured: the formula's shape, the
+/// decomposition actually used, the paper's widths, the compiled SDD's
+/// size, and the exact results. `Display` renders a human-readable block.
+#[derive(Clone, Debug)]
+pub struct CountReport {
+    /// Declared variables.
+    pub num_vars: usize,
+    /// Clauses.
+    pub num_clauses: usize,
+    /// Width of the primal-graph decomposition used (exact under small /
+    /// `Exact` backends, heuristic otherwise) — the CNF primal treewidth
+    /// upper bound the run certified.
+    pub primal_treewidth: usize,
+    /// Nodes in the nice tree decomposition.
+    pub nice_nodes: usize,
+    /// `fw(F, T)` (Definition 2) — kernel-sized formulas only.
+    pub fw: Option<usize>,
+    /// `fiw(F, T)` (Definition 4) — kernel-sized formulas only.
+    pub fiw: Option<usize>,
+    /// `sdw(F, T)` (Definition 5) of the compiled SDD.
+    pub sdw: usize,
+    /// Elements in the compiled SDD.
+    pub sdd_size: usize,
+    /// Nodes allocated by the SDD manager.
+    pub sdd_nodes: usize,
+    /// Apply/cache counters from the bottom-up compilation.
+    pub apply: ApplyStats,
+    /// The exact model count over all declared variables.
+    pub count: BigUint,
+    /// The exact weighted count, when the formula carries weights.
+    pub weighted: Option<Rational>,
+    /// Per-stage wall-clock timings.
+    pub timings: CountTimings,
+}
+
+impl fmt::Display for CountReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "counted {} vars, {} clauses in {:.2?}: {} models",
+            self.num_vars, self.num_clauses, self.timings.total, self.count,
+        )?;
+        if let Some(w) = &self.weighted {
+            writeln!(f, "  weighted count {w}")?;
+        }
+        write!(f, "  primal tw {}", self.primal_treewidth)?;
+        match (self.fw, self.fiw) {
+            (Some(fw), Some(fiw)) => writeln!(f, "  fw {fw}  fiw {fiw}  sdw {}", self.sdw)?,
+            _ => writeln!(f, "  sdw {}", self.sdw)?,
+        }
+        writeln!(
+            f,
+            "  SDD {} elements ({} nodes allocated, {} applies, {} cache hits)",
+            self.sdd_size, self.sdd_nodes, self.apply.apply_calls, self.apply.cache_hits
+        )?;
+        write!(
+            f,
+            "  stages: vtree {:.2?} | sdd {:.2?} | count {:.2?} | validate {:.2?}",
+            self.timings.vtree, self.timings.sdd, self.timings.count, self.timings.validate,
+        )
+    }
+}
+
+/// A counted CNF formula: the vtree shaped by its primal treewidth, the
+/// canonical SDD, and the [`CountReport`]. The manager is kept alive so
+/// callers can run further queries (conditioning, other semirings) against
+/// the compiled form.
+pub struct CnfCompilation {
+    /// The vtree the compilation was structured by.
+    pub vtree: Vtree,
+    /// Manager holding the compiled SDD.
+    pub sdd: SddManager,
+    /// Root of the compiled SDD.
+    pub root: SddId,
+    /// Shape, widths, sizes, counts, timings.
+    pub report: CountReport,
+}
+
+impl fmt::Debug for CnfCompilation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CnfCompilation")
+            .field("root", &self.root)
+            .field("report", &self.report)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CnfCompilation {
+    /// The exact model count over all declared variables.
+    pub fn count(&self) -> &BigUint {
+        &self.report.count
+    }
+
+    /// The exact weighted count (`None` for unweighted formulas).
+    pub fn weighted(&self) -> Option<&Rational> {
+        self.report.weighted.as_ref()
+    }
+}
+
+impl Compiler {
+    /// Count a CNF formula exactly: primal graph → [`TwBackend`]
+    /// decomposition → Lemma-1 vtree → bottom-up SDD → semiring counts,
+    /// validated per the session's [`Validation`](crate::Validation) level,
+    /// everything timed.
+    ///
+    /// The count is over all `num_vars` declared variables (DIMACS
+    /// semantics: a declared variable in no clause doubles the count). For
+    /// weighted formulas the report additionally carries the exact
+    /// [`Rational`] weighted count.
+    pub fn compile_cnf(&self, f: &CnfFormula) -> Result<CnfCompilation, CompileError> {
+        let t_total = Instant::now();
+        if f.num_vars() == 0 {
+            return Err(CompileError::NoVariables);
+        }
+
+        // Vtree stage: the formula's primal graph through the session's
+        // decomposition backend — the same seam the circuit pipeline uses.
+        let t_vtree = Instant::now();
+        let g = f.primal_graph();
+        if self.options().tw_backend == TwBackend::Exact {
+            self.ensure_exact_feasible(&g)?;
+        }
+        let (vtree, stats) = vtree_from_graph_with(&g, &f.primal_vars(), Vec::new(), |g| {
+            self.decompose_graph(g)
+        })?;
+        let vtree_time = t_vtree.elapsed();
+
+        // SDD stage: bottom-up apply over the direct clause-tree circuit.
+        let t_sdd = Instant::now();
+        let circuit = f.to_circuit();
+        let mut mgr = SddManager::new(vtree.clone());
+        let root = mgr.from_circuit(&circuit);
+        let sdw = mgr.width(root);
+        let sdd_time = t_sdd.elapsed();
+
+        // Counting stage: the semiring engine, exactly.
+        let t_count = Instant::now();
+        let count = mgr.count_models_exact(root);
+        let weighted = f
+            .is_weighted()
+            .then(|| mgr.weighted_count_exact(root, |v| f.weight(v)));
+        let count_time = t_count.elapsed();
+
+        // Validation stage (same levels as the circuit pipeline).
+        let t_validate = Instant::now();
+        match self.options().validation {
+            Validation::None => {}
+            Validation::Basic => mgr.validate_structure(root)?,
+            Validation::Full => mgr.validate(root)?,
+        }
+        let validate_time = t_validate.elapsed();
+
+        // Semantic widths for the report, where the kernel is cheap.
+        let (fw, fiw) = if f.num_vars() as usize <= SEMANTIC_WIDTHS_MAX_VARS {
+            let vars = VarSet::from_slice(&f.all_vars());
+            let kernel =
+                BoolFn::from_fn(vars.clone(), |i| f.eval(&Assignment::from_index(&vars, i)));
+            let cft = crate::cft::cft(&kernel, &vtree);
+            (Some(boolfunc::factor_width(&kernel, &vtree)), Some(cft.fiw))
+        } else {
+            (None, None)
+        };
+
+        let report = CountReport {
+            num_vars: f.num_vars() as usize,
+            num_clauses: f.num_clauses(),
+            primal_treewidth: stats.treewidth,
+            nice_nodes: stats.nice_nodes,
+            fw,
+            fiw,
+            sdw,
+            sdd_size: mgr.size(root),
+            sdd_nodes: mgr.num_allocated(),
+            apply: mgr.apply_stats(),
+            count,
+            weighted,
+            timings: CountTimings {
+                vtree: vtree_time,
+                sdd: sdd_time,
+                count: count_time,
+                validate: validate_time,
+                total: t_total.elapsed(),
+            },
+        };
+
+        Ok(CnfCompilation {
+            vtree,
+            sdd: mgr,
+            root,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::families;
+
+    #[test]
+    fn counts_the_chain_exactly() {
+        for n in [1u32, 2, 5, 12] {
+            let f = families::chain_cnf(n);
+            let counted = Compiler::new().compile_cnf(&f).unwrap();
+            assert_eq!(*counted.count(), families::chain_count(n), "n = {n}");
+            assert_eq!(counted.report.primal_treewidth, usize::from(n > 1));
+        }
+    }
+
+    #[test]
+    fn beyond_u128_chain_counts_exactly() {
+        let n = 200u32;
+        let counted = Compiler::new()
+            .compile_cnf(&families::chain_cnf(n))
+            .unwrap();
+        assert_eq!(*counted.count(), families::chain_count(n));
+        assert_eq!(
+            counted.count().to_u128(),
+            None,
+            "the whole point: past 2^128"
+        );
+        assert!(counted.report.fw.is_none(), "no kernel at 200 vars");
+    }
+
+    #[test]
+    fn declared_but_unused_variables_double_the_count() {
+        let f = CnfFormula::from_clauses(4, vec![vec![(vtree::VarId(0), true)]]);
+        let counted = Compiler::new().compile_cnf(&f).unwrap();
+        assert_eq!(counted.count().to_u128(), Some(8)); // 1 × 2^3
+    }
+
+    #[test]
+    fn contradiction_and_tautology() {
+        let mut bot = CnfFormula::new(3);
+        bot.add_clause(vec![]);
+        let counted = Compiler::new().compile_cnf(&bot).unwrap();
+        assert!(counted.count().is_zero());
+
+        let top = CnfFormula::new(3);
+        let counted = Compiler::new().compile_cnf(&top).unwrap();
+        assert_eq!(counted.count().to_u128(), Some(8));
+
+        assert!(matches!(
+            Compiler::new().compile_cnf(&CnfFormula::new(0)),
+            Err(CompileError::NoVariables)
+        ));
+    }
+
+    #[test]
+    fn weighted_count_is_exact() {
+        // chain over 3 vars, every literal weight 1/2: weighted count =
+        // count / 2^3 = 5/8.
+        let mut f = families::chain_cnf(3);
+        let half = Rational::parse("1/2").unwrap();
+        for v in f.all_vars() {
+            f.set_weight(v, half.clone(), half.clone());
+        }
+        let counted = Compiler::new().compile_cnf(&f).unwrap();
+        assert_eq!(counted.weighted(), Some(&Rational::parse("5/8").unwrap()));
+    }
+
+    #[test]
+    fn semantic_widths_appear_on_kernel_sized_inputs() {
+        let f = families::band_cnf(8, 3);
+        let counted = Compiler::new().compile_cnf(&f).unwrap();
+        let r = &counted.report;
+        assert!(r.fw.is_some() && r.fiw.is_some());
+        assert!(r.sdw >= 1);
+        let shown = r.to_string();
+        assert!(shown.contains("primal tw"), "{shown}");
+        assert!(shown.contains("models"), "{shown}");
+    }
+
+    #[test]
+    fn every_backend_counts_the_same() {
+        use crate::compiler::TwBackend;
+        let f = families::band_cnf(10, 3);
+        let expect = BigUint::from_u64(f.count_models_brute());
+        for backend in [
+            TwBackend::Exact,
+            TwBackend::MinFill,
+            TwBackend::MinDegree,
+            TwBackend::Auto,
+        ] {
+            let counted = Compiler::builder()
+                .tw_backend(backend)
+                .build()
+                .compile_cnf(&f)
+                .unwrap();
+            assert_eq!(*counted.count(), expect, "{backend}");
+        }
+    }
+}

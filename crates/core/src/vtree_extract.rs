@@ -56,7 +56,10 @@ pub fn vtree_from_circuit(
 /// Lemma 1 with a caller-chosen decomposition backend: `decompose` maps the
 /// primal graph to `(width, elimination order)`. This is the seam the
 /// [`crate::Compiler`] strategies plug into ([`crate::TwBackend`]); the
-/// fixed-strategy [`vtree_from_circuit`] delegates here.
+/// fixed-strategy [`vtree_from_circuit`] delegates here, as does the
+/// graph-level [`vtree_from_graph_with`] that the CNF pipeline
+/// ([`crate::Compiler::compile_cnf`]) enters with the *formula's* primal
+/// graph (variables only, no gate vertices).
 pub fn vtree_from_circuit_with(
     c: &Circuit,
     decompose: impl FnOnce(&Graph) -> (usize, EliminationOrder),
@@ -74,21 +77,48 @@ pub fn vtree_from_circuit_with(
             }
         }
     }
+    vtree_from_graph_with(&g, &var_of_vertex, orphans, decompose)
+}
+
+/// The graph-level core of Lemma 1: decompose *any* graph whose vertices
+/// (partially) stand for variables, take a nice tree decomposition, and
+/// hang each variable's leaf off the node forgetting its vertex.
+///
+/// `var_of_vertex[v]` names the variable vertex `v` stands for (`None` for
+/// auxiliary vertices — internal gates in the circuit pipeline, clause
+/// vertices in a CNF incidence graph). `orphans` are variables with no
+/// vertex at all; they are attached above the extracted shape.
+///
+/// This is the decomposition seam shared by every front end: circuits
+/// enter via [`vtree_from_circuit_with`] with their gate-level primal
+/// graph, CNF formulas via [`crate::Compiler::compile_cnf`] with their
+/// variable-level primal graph — the `TwBackend` closures apply unchanged.
+pub fn vtree_from_graph_with(
+    g: &Graph,
+    var_of_vertex: &[Option<VarId>],
+    orphans: Vec<VarId>,
+    decompose: impl FnOnce(&Graph) -> (usize, EliminationOrder),
+) -> Result<(Vtree, ExtractStats), ExtractError> {
+    assert_eq!(
+        var_of_vertex.len(),
+        g.num_vertices(),
+        "one (optional) variable per vertex"
+    );
     let any_reachable_var = var_of_vertex.iter().any(Option::is_some);
     if !any_reachable_var && orphans.is_empty() {
         return Err(ExtractError::NoVariables);
     }
 
     let (shape_opt, stats) = if any_reachable_var {
-        let (tw, order) = decompose(&g);
-        let td = TreeDecomposition::from_elimination_order(&g, &order);
+        let (tw, order) = decompose(g);
+        let td = TreeDecomposition::from_elimination_order(g, &order);
         let nice = NiceTd::from_td(&td, g.num_vertices());
         let stats = ExtractStats {
             treewidth: tw,
             nice_nodes: nice.num_nodes(),
             primal_vertices: g.num_vertices(),
         };
-        (build_shape(&nice, &var_of_vertex), stats)
+        (build_shape(&nice, var_of_vertex), stats)
     } else {
         (
             None,

@@ -1,4 +1,4 @@
-//! Query probability, six ways.
+//! Query probability, seven ways.
 //!
 //! `P(Q)` over a tuple-independent database is the weighted model count of
 //! the lineage (paper §1). Routes, from reference to paper:
@@ -11,7 +11,11 @@
 //! 5. [`probability_via_pipeline`] — the paper's route: Lemma-1 vtree from a
 //!    tree decomposition of the lineage circuit, then SDD;
 //! 6. [`probability_via_cft`] — the `C_{F,T}` deterministic structured NNF
-//!    with a single linear d-DNNF counting pass (no diagram manager).
+//!    with a single linear d-DNNF counting pass (no diagram manager);
+//! 7. [`probability_via_sdd_exact`] — route 4 evaluated in the exact
+//!    `Rational` semiring: tuple probabilities embed into `Rational`
+//!    losslessly (`f64`s are dyadic), so the answer carries no rounding at
+//!    all — the reference the `f64` routes are checked against.
 //!
 //! A Monte-Carlo estimator ([`monte_carlo_probability`]) rounds things out.
 
@@ -58,21 +62,60 @@ pub fn probability_via_obdd(q: &Ucq, db: &Database) -> f64 {
     m.probability(root, |v| db.prob_of_var(v))
 }
 
-/// SDD route with a balanced vtree over the tuple variables.
-pub fn probability_via_sdd(q: &Ucq, db: &Database) -> f64 {
-    let c = lineage_circuit(q, db);
+/// The lineage compiled to an SDD over a balanced vtree — or the constant
+/// truth value when the database has no tuples (the lineage mentions no
+/// variables). Shared by the f64 and exact SDD routes.
+enum CompiledLineage {
+    Constant(bool),
+    Sdd(Box<sdd::SddManager>, sdd::SddId),
+}
+
+fn lineage_sdd(q: &Ucq, db: &Database) -> CompiledLineage {
     let vars = db.vars();
     if vars.is_empty() {
-        return if ucq_holds(q, db, &|_| false) {
-            1.0
-        } else {
-            0.0
-        };
+        return CompiledLineage::Constant(ucq_holds(q, db, &|_| false));
     }
+    let c = lineage_circuit(q, db);
     let vt = vtree::Vtree::balanced(&vars).expect("nonempty");
     let mut m = sdd::SddManager::new(vt);
     let root = m.from_circuit(&c);
-    m.probability(root, |v| db.prob_of_var(v))
+    CompiledLineage::Sdd(Box::new(m), root)
+}
+
+/// SDD route with a balanced vtree over the tuple variables.
+pub fn probability_via_sdd(q: &Ucq, db: &Database) -> f64 {
+    match lineage_sdd(q, db) {
+        CompiledLineage::Constant(holds) => {
+            if holds {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        CompiledLineage::Sdd(m, root) => m.probability(root, |v| db.prob_of_var(v)),
+    }
+}
+
+/// The exact route: the same balanced-vtree SDD as
+/// [`probability_via_sdd`], evaluated in the `Rational` semiring
+/// (`sdd::SddManager::probability_exact`). Every `f64` tuple probability is
+/// a dyadic rational, so `Rational::from_f64` embeds the database exactly
+/// and the result is the *true* probability of the specified database —
+/// no rounding anywhere on the route.
+pub fn probability_via_sdd_exact(q: &Ucq, db: &Database) -> arith::Rational {
+    use arith::Rational;
+    match lineage_sdd(q, db) {
+        CompiledLineage::Constant(holds) => {
+            if holds {
+                Rational::one()
+            } else {
+                Rational::zero()
+            }
+        }
+        CompiledLineage::Sdd(m, root) => {
+            m.probability_exact(root, |v| Rational::from_f64(db.prob_of_var(v)))
+        }
+    }
 }
 
 /// The paper's pipeline: lineage circuit → tree decomposition → Lemma-1
@@ -337,6 +380,61 @@ mod tests {
         let brute = brute_force_probability(&q, &db);
         let viao = probability_via_obdd(&q, &db);
         assert!((brute - viao).abs() < 1e-10);
+    }
+
+    /// The exact `Rational` route agrees with every `f64` route (within
+    /// eps), and — the exactness guarantee — is *identical* as a rational
+    /// no matter which vtree structured the SDD.
+    #[test]
+    fn exact_route_agrees_and_is_structure_independent() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let (q, schema) = families::two_atom_hierarchical();
+        let r = schema.by_name("R").unwrap();
+        let s = schema.by_name("S").unwrap();
+        let mut db = Database::new(schema);
+        for l in 1..=3u64 {
+            db.insert(r, vec![l], 0.5);
+            for m in 1..=2u64 {
+                db.insert(s, vec![l, m], 0.5);
+            }
+        }
+        random_db_probs(&mut db, &mut rng);
+
+        let exact = probability_via_sdd_exact(&q, &db);
+        let brute = brute_force_probability(&q, &db);
+        assert!(
+            (exact.to_f64() - brute).abs() < 1e-10,
+            "exact {exact} vs brute {brute}"
+        );
+        for (label, p) in [
+            ("obdd", probability_via_obdd(&q, &db)),
+            ("sdd", probability_via_sdd(&q, &db)),
+            ("pipeline", probability_via_pipeline(&q, &db).0),
+        ] {
+            assert!(
+                (p - exact.to_f64()).abs() < 1e-10,
+                "{label}: {p} vs {exact}"
+            );
+        }
+
+        // Recompute over the *pipeline's* Lemma-1 vtree: a different SDD,
+        // the same exact rational — bit-for-bit.
+        let c = lineage_circuit(&q, &db);
+        let compiled = sentential_core::Compiler::new()
+            .compile(&c)
+            .expect("lineage compiles");
+        let via_lemma1 = compiled.sdd.probability_exact(compiled.root, |v| {
+            arith::Rational::from_f64(db.prob_of_var(v))
+        });
+        assert_eq!(via_lemma1, exact, "exact WMC is structure-independent");
+    }
+
+    #[test]
+    fn empty_database_exact_route() {
+        let (q, schema) = families::two_atom_hierarchical();
+        let db = Database::new(schema);
+        assert_eq!(probability_via_sdd_exact(&q, &db), arith::Rational::zero());
     }
 
     #[test]

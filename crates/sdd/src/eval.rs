@@ -1,0 +1,352 @@
+//! The generic bottom-up evaluation engine.
+//!
+//! An SDD is deterministic (primes are pairwise disjoint, so ∨ is a disjoint
+//! union of models) and decomposable (primes and subs have disjoint scopes,
+//! so ∧ is a cartesian product). That makes *every* counting query one and
+//! the same traversal over a commutative semiring: `⊥ ↦ 0`, `⊤ ↦ 1`, a
+//! literal ↦ its weight, a decision ↦ `⊕ᵢ (Pᵢ ⊗ Sᵢ)` — plus **gap
+//! smoothing**: a variable of the enclosing vtree scope that a node does not
+//! mention contributes the factor `w(¬v) ⊕ w(v)`.
+//!
+//! [`SddManager::evaluate`] implements that engine once, division-free
+//! (smoothing factors come from walking the vtree, never from dividing them
+//! back out, so it works in any semiring). The former `count_models` /
+//! `weighted_count` / `probability` triplet of near-duplicate traversals are
+//! now instantiations:
+//!
+//! * [`SddManager::count_models_exact`] — `arith::Nat` (`BigUint`): exact
+//!   #SAT, no overflow at any size;
+//! * [`SddManager::weighted_count_exact`] / [`SddManager::probability_exact`]
+//!   — `arith::Rat` (`Rational`): exact WMC, no rounding;
+//! * [`SddManager::weighted_count`] / [`SddManager::probability`] —
+//!   `arith::F64`: the fast approximate path.
+
+use crate::{SddId, SddManager, SddNode};
+use arith::{BigUint, Nat, Rat, Rational, Semiring, F64};
+use vtree::fxhash::FxHashMap;
+use vtree::{Side, VarId, VtreeNodeId};
+
+impl SddManager {
+    /// Evaluate `root` over all vtree variables in an arbitrary commutative
+    /// semiring. `weight(v, polarity)` is the weight of the literal `v` /
+    /// `¬v`; variables absent from a subfunction contribute
+    /// `weight(v, false) ⊕ weight(v, true)` (smoothing).
+    ///
+    /// Counting is `evaluate(root, &Nat, |_, _| BigUint::one())`; weighted
+    /// counting plugs in the literal weights. The traversal is memoized per
+    /// node, so it is linear in the SDD size (times the cost of semiring
+    /// operations and vtree-path walks).
+    pub fn evaluate<S: Semiring>(
+        &self,
+        root: SddId,
+        semiring: &S,
+        weight: impl Fn(VarId, bool) -> S::Elem,
+    ) -> S::Elem {
+        // Literal weights per variable.
+        let mut wmap: FxHashMap<VarId, (S::Elem, S::Elem)> = FxHashMap::default();
+        for &v in self.vtree.vars() {
+            wmap.insert(v, (weight(v, false), weight(v, true)));
+        }
+        // gap[t] = ⊗_{v below t} (w⁻(v) ⊕ w⁺(v)), bottom-up over the vtree
+        // (reverse preorder puts every child before its parent).
+        let mut preorder = Vec::with_capacity(self.vtree.num_nodes());
+        let mut stack = vec![self.vtree.root()];
+        while let Some(n) = stack.pop() {
+            preorder.push(n);
+            if let Some((l, r)) = self.vtree.children(n) {
+                stack.push(l);
+                stack.push(r);
+            }
+        }
+        let mut gap: Vec<Option<S::Elem>> = vec![None; self.vtree.num_nodes()];
+        for &n in preorder.iter().rev() {
+            let g = match self.vtree.children(n) {
+                None => {
+                    let v = self.vtree.leaf_var(n).expect("leaf");
+                    let (wn, wp) = &wmap[&v];
+                    semiring.add(wn, wp)
+                }
+                Some((l, r)) => semiring.mul(
+                    gap[l.index()].as_ref().expect("child gap computed"),
+                    gap[r.index()].as_ref().expect("child gap computed"),
+                ),
+            };
+            gap[n.index()] = Some(g);
+        }
+        let gap: Vec<S::Elem> = gap.into_iter().map(|g| g.expect("all nodes")).collect();
+
+        let mut ev = Evaluator {
+            mgr: self,
+            semiring,
+            wmap,
+            gap,
+            memo: FxHashMap::default(),
+        };
+        ev.scoped(root, self.vtree.root())
+    }
+
+    /// Exact model count over all vtree variables — the `BigUint` semiring,
+    /// valid at any variable count.
+    pub fn count_models_exact(&self, root: SddId) -> BigUint {
+        self.evaluate(root, &Nat, |_, _| BigUint::one())
+    }
+
+    /// Exact model count as `u128`, `None` when the count needs more than
+    /// 128 bits.
+    pub fn count_models_checked(&self, root: SddId) -> Option<u128> {
+        self.count_models_exact(root).to_u128()
+    }
+
+    /// Exact model count over all vtree variables.
+    ///
+    /// Saturates at `u128::MAX` (with a debug assertion) when the true count
+    /// exceeds 128 bits — the pre-semiring implementation silently wrapped
+    /// there. Prefer [`SddManager::count_models_exact`] (never overflows) or
+    /// [`SddManager::count_models_checked`] (typed overflow) on inputs with
+    /// more than 128 variables.
+    pub fn count_models(&self, root: SddId) -> u128 {
+        match self.count_models_checked(root) {
+            Some(c) => c,
+            None => {
+                debug_assert!(
+                    false,
+                    "model count exceeds u128; use count_models_exact/count_models_checked"
+                );
+                u128::MAX
+            }
+        }
+    }
+
+    /// Weighted model count over all vtree variables: `weight(v) = (w⁻, w⁺)`.
+    /// Variables skipped between a node and its vtree scope contribute the
+    /// smoothing factor `w⁻ + w⁺`. The fast `f64` path of the semiring
+    /// engine; see [`SddManager::weighted_count_exact`] for the exact one.
+    pub fn weighted_count(&self, root: SddId, weight: impl Fn(VarId) -> (f64, f64)) -> f64 {
+        self.evaluate(root, &F64, |v, positive| {
+            let (wn, wp) = weight(v);
+            if positive {
+                wp
+            } else {
+                wn
+            }
+        })
+    }
+
+    /// Exact weighted model count — the `Rational` semiring.
+    pub fn weighted_count_exact(
+        &self,
+        root: SddId,
+        weight: impl Fn(VarId) -> (Rational, Rational),
+    ) -> Rational {
+        self.evaluate(root, &Rat, |v, positive| {
+            let (wn, wp) = weight(v);
+            if positive {
+                wp
+            } else {
+                wn
+            }
+        })
+    }
+
+    /// Probability under independent `P(v=1) = prob(v)`.
+    pub fn probability(&self, root: SddId, prob: impl Fn(VarId) -> f64) -> f64 {
+        self.weighted_count(root, |v| {
+            let p = prob(v);
+            (1.0 - p, p)
+        })
+    }
+
+    /// Exact probability under independent `P(v=1) = prob(v)`.
+    pub fn probability_exact(&self, root: SddId, prob: impl Fn(VarId) -> Rational) -> Rational {
+        self.weighted_count_exact(root, |v| {
+            let p = prob(v);
+            (Rational::one().sub(&p), p)
+        })
+    }
+}
+
+/// One evaluation pass: semiring, literal weights, per-vtree-node smoothing
+/// products, and the per-node memo table.
+struct Evaluator<'a, S: Semiring> {
+    mgr: &'a SddManager,
+    semiring: &'a S,
+    wmap: FxHashMap<VarId, (S::Elem, S::Elem)>,
+    gap: Vec<S::Elem>,
+    memo: FxHashMap<SddId, S::Elem>,
+}
+
+impl<S: Semiring> Evaluator<'_, S> {
+    /// Value of `a` over the scope of vtree node `scope` (⊇ `a`'s own scope).
+    fn scoped(&mut self, a: SddId, scope: VtreeNodeId) -> S::Elem {
+        match self.mgr.node(a) {
+            SddNode::False => self.semiring.zero(),
+            SddNode::True => self.gap[scope.index()].clone(),
+            SddNode::Literal { var, positive } => {
+                let (wn, wp) = &self.wmap[var];
+                let lit = if *positive { wp.clone() } else { wn.clone() };
+                let leaf = self.mgr.vtree.leaf_of_var(*var).expect("var in vtree");
+                let smooth = self.smoothing(scope, leaf);
+                self.semiring.mul(&lit, &smooth)
+            }
+            SddNode::Decision { vnode, .. } => {
+                let vnode = *vnode;
+                let raw = self.raw(a, vnode);
+                let smooth = self.smoothing(scope, vnode);
+                self.semiring.mul(&raw, &smooth)
+            }
+        }
+    }
+
+    /// Value of decision `a` over exactly its own vtree node's variables
+    /// (memoized — decision nodes always normalize for the same vnode).
+    fn raw(&mut self, a: SddId, vnode: VtreeNodeId) -> S::Elem {
+        if let Some(c) = self.memo.get(&a) {
+            return c.clone();
+        }
+        let SddNode::Decision { elems, .. } = self.mgr.node(a) else {
+            unreachable!("raw on non-decision");
+        };
+        let elems = elems.clone();
+        let (lv, rv) = self.mgr.vtree.children(vnode).expect("internal vnode");
+        let mut total = self.semiring.zero();
+        for &(p, s) in elems.iter() {
+            let pc = self.scoped(p, lv);
+            let sc = self.scoped(s, rv);
+            total = self.semiring.add(&total, &self.semiring.mul(&pc, &sc));
+        }
+        self.memo.insert(a, total.clone());
+        total
+    }
+
+    /// `⊗ (w⁻ ⊕ w⁺)` over the variables below `scope` but not below
+    /// `target`: walk down from `scope` to `target`, multiplying the gap of
+    /// every subtree branched away from. Division-free, so it is valid in
+    /// any semiring (the old `f64` engine divided smoothing products back
+    /// out, which has no rational/BigUint analogue at zero weights).
+    fn smoothing(&self, scope: VtreeNodeId, target: VtreeNodeId) -> S::Elem {
+        let mut acc = self.semiring.one();
+        let mut cur = scope;
+        while cur != target {
+            let (l, r) = self
+                .mgr
+                .vtree
+                .children(cur)
+                .expect("target strictly below scope");
+            match self.mgr.vtree.side_of(cur, target) {
+                Some(Side::Left) => {
+                    acc = self.semiring.mul(&acc, &self.gap[r.index()]);
+                    cur = l;
+                }
+                Some(Side::Right) => {
+                    acc = self.semiring.mul(&acc, &self.gap[l.index()]);
+                    cur = r;
+                }
+                None => unreachable!("scoped callers keep target below scope"),
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FALSE, TRUE};
+    use boolfunc::{BoolFn, VarSet};
+    use vtree::Vtree;
+
+    fn vars(n: u32) -> Vec<VarId> {
+        (0..n).map(VarId).collect()
+    }
+
+    #[test]
+    fn exact_checked_and_saturating_counts_agree_small() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        let f = BoolFn::random(VarSet::from_slice(&vars(7)), &mut rng);
+        let mut m = SddManager::new(Vtree::balanced(&vars(7)).unwrap());
+        let r = m.from_boolfn(&f);
+        let expect = f.count_models() as u128;
+        assert_eq!(m.count_models(r), expect);
+        assert_eq!(m.count_models_checked(r), Some(expect));
+        assert_eq!(m.count_models_exact(r), BigUint::from_u128(expect));
+    }
+
+    #[test]
+    fn beyond_u128_is_exact_not_wrapped() {
+        // ⊤ over 200 variables: 2^200 models, far past u128.
+        let vt = Vtree::balanced(&vars(200)).unwrap();
+        let m = SddManager::new(vt);
+        assert_eq!(m.count_models_exact(TRUE), BigUint::pow2(200));
+        assert_eq!(m.count_models_checked(TRUE), None);
+        // A single literal still pins one variable: 2^199.
+        let mut m = SddManager::new(Vtree::balanced(&vars(200)).unwrap());
+        let x = m.literal(VarId(7), true);
+        assert_eq!(m.count_models_exact(x), BigUint::pow2(199));
+        assert_eq!(m.count_models_exact(FALSE), BigUint::zero());
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn saturating_count_in_release() {
+        let m = SddManager::new(Vtree::balanced(&vars(130)).unwrap());
+        assert_eq!(m.count_models(TRUE), u128::MAX);
+    }
+
+    #[test]
+    fn rational_and_f64_weighted_counts_agree() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let f = BoolFn::random(VarSet::from_slice(&vars(6)), &mut rng);
+        let mut m = SddManager::new(Vtree::balanced(&vars(6)).unwrap());
+        let r = m.from_boolfn(&f);
+        let probs = [0.5, 0.25, 0.125, 0.75, 0.375, 0.0625]; // dyadic: exact in f64
+        let approx = m.probability(r, |v| probs[v.index()]);
+        let exact = m.probability_exact(r, |v| Rational::from_f64(probs[v.index()]));
+        assert!(
+            (exact.to_f64() - approx).abs() < 1e-12,
+            "exact {exact} vs f64 {approx}"
+        );
+        let kernel = f.probability(|v| probs[v.index()]);
+        assert!((approx - kernel).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weights_are_handled_without_division() {
+        // The old engine divided by smoothing products and special-cased 0;
+        // the semiring engine must get w⁻ = w⁺ = 0 right structurally.
+        let mut m = SddManager::new(Vtree::balanced(&vars(3)).unwrap());
+        let x0 = m.literal(VarId(0), true);
+        let x2 = m.literal(VarId(2), true);
+        let g = m.or(x0, x2);
+        // Var 1 dead (weight 0 both ways): whole count collapses to 0.
+        let wc = m.weighted_count(g, |v| {
+            if v.index() == 1 {
+                (0.0, 0.0)
+            } else {
+                (1.0, 1.0)
+            }
+        });
+        assert_eq!(wc, 0.0);
+        // Var 1 pinned to true only: count halves instead.
+        let wc = m.weighted_count(g, |v| {
+            if v.index() == 1 {
+                (0.0, 1.0)
+            } else {
+                (1.0, 1.0)
+            }
+        });
+        assert_eq!(wc, 3.0);
+    }
+
+    #[test]
+    fn counting_semiring_matches_generic_evaluate() {
+        let mut m = SddManager::new(Vtree::right_linear(&vars(5)).unwrap());
+        let x0 = m.literal(VarId(0), true);
+        let x3 = m.literal(VarId(3), false);
+        let g = m.and(x0, x3);
+        let via_engine = m.evaluate(g, &Nat, |_, _| BigUint::one());
+        assert_eq!(via_engine, BigUint::from_u64(8)); // 2 pinned, 3 free
+        assert_eq!(m.count_models(g), 8);
+    }
+}

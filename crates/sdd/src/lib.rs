@@ -14,11 +14,15 @@
 //!   lca-normalization and element cross products;
 //! * compilation from circuits and truth tables;
 //! * conditioning (cofactors), used by the Theorem 5 experiments;
-//! * exact model counting and weighted model counting with vtree-gap
-//!   smoothing;
+//! * a generic semiring evaluation engine ([`SddManager::evaluate`], module
+//!   [`eval`]) with vtree-gap smoothing, instantiated at `BigUint` (exact
+//!   #SAT, [`SddManager::count_models_exact`]), `Rational` (exact WMC,
+//!   [`SddManager::weighted_count_exact`]) and `f64`
+//!   ([`SddManager::weighted_count`], [`SddManager::probability`]);
 //! * **SDD size** (total elements) and the paper's **SDD width**
 //!   (Definition 5: max ∧-gates structured by a single vtree node).
 
+pub mod eval;
 pub mod validate;
 
 pub use validate::SddError;
@@ -575,143 +579,6 @@ impl SddManager {
             .copied()
             .max()
             .unwrap_or(0)
-    }
-
-    /// Exact model count over all vtree variables.
-    pub fn count_models(&self, root: SddId) -> u128 {
-        let mut memo: FxHashMap<SddId, u128> = FxHashMap::default();
-        let total_vars = self.vtree.vars().len();
-        self.scoped_count(root, total_vars, &mut memo)
-    }
-
-    /// Count of `a` over a scope of `scope_vars` variables (⊇ its own vars).
-    fn scoped_count(&self, a: SddId, scope_vars: usize, memo: &mut FxHashMap<SddId, u128>) -> u128 {
-        match &self.nodes[a.index()] {
-            SddNode::False => 0,
-            SddNode::True => 1u128 << scope_vars,
-            SddNode::Literal { .. } => 1u128 << (scope_vars - 1),
-            SddNode::Decision { .. } => {
-                let own = self
-                    .vtree
-                    .vars_below(self.respects(a).expect("decision"))
-                    .len();
-                let raw = self.raw_count(a, memo);
-                raw << (scope_vars - own)
-            }
-        }
-    }
-
-    /// Count of a decision node over exactly its own vtree-node variables.
-    fn raw_count(&self, a: SddId, memo: &mut FxHashMap<SddId, u128>) -> u128 {
-        if let Some(&c) = memo.get(&a) {
-            return c;
-        }
-        let SddNode::Decision { vnode, elems } = &self.nodes[a.index()] else {
-            unreachable!("raw_count on non-decision");
-        };
-        let (lv, rv) = self.vtree.children(*vnode).expect("internal vnode");
-        let ln = self.vtree.vars_below(lv).len();
-        let rn = self.vtree.vars_below(rv).len();
-        let mut total = 0u128;
-        for &(p, s) in elems.iter() {
-            let pc = self.scoped_count(p, ln, memo);
-            let sc = self.scoped_count(s, rn, memo);
-            total += pc * sc;
-        }
-        memo.insert(a, total);
-        total
-    }
-
-    /// Weighted model count over all vtree variables: `weight(v) = (w⁻, w⁺)`.
-    /// Variables skipped between a node and its vtree scope contribute the
-    /// factor `w⁻ + w⁺` (gap smoothing).
-    pub fn weighted_count(&self, root: SddId, weight: impl Fn(VarId) -> (f64, f64)) -> f64 {
-        // gap[v] = ∏_{u ∈ vars_below(v)} (w⁻ + w⁺)
-        let mut gap: Vec<f64> = Vec::with_capacity(self.vtree.num_nodes());
-        let mut wmap: FxHashMap<VarId, (f64, f64)> = FxHashMap::default();
-        for &v in self.vtree.vars() {
-            wmap.insert(v, weight(v));
-        }
-        for id in self.vtree.node_ids() {
-            let prod: f64 = self
-                .vtree
-                .vars_below(id)
-                .iter()
-                .map(|v| {
-                    let (a, b) = wmap[v];
-                    a + b
-                })
-                .product();
-            gap.push(prod);
-        }
-        let mut memo: FxHashMap<SddId, f64> = FxHashMap::default();
-        self.scoped_wc(root, self.vtree.root(), &gap, &wmap, &mut memo)
-    }
-
-    fn scoped_wc(
-        &self,
-        a: SddId,
-        scope: VtreeNodeId,
-        gap: &[f64],
-        wmap: &FxHashMap<VarId, (f64, f64)>,
-        memo: &mut FxHashMap<SddId, f64>,
-    ) -> f64 {
-        match &self.nodes[a.index()] {
-            SddNode::False => 0.0,
-            SddNode::True => gap[scope.index()],
-            SddNode::Literal { var, positive } => {
-                let (wn, wp) = wmap[var];
-                let own = wn + wp;
-                let lit = if *positive { wp } else { wn };
-                // gap over scope minus this leaf
-                if own == 0.0 {
-                    0.0
-                } else {
-                    lit * gap[scope.index()] / own
-                }
-            }
-            SddNode::Decision { .. } => {
-                let own = self.respects(a).expect("decision");
-                let raw = self.raw_wc(a, gap, wmap, memo);
-                if gap[own.index()] == 0.0 {
-                    0.0
-                } else {
-                    raw * gap[scope.index()] / gap[own.index()]
-                }
-            }
-        }
-    }
-
-    fn raw_wc(
-        &self,
-        a: SddId,
-        gap: &[f64],
-        wmap: &FxHashMap<VarId, (f64, f64)>,
-        memo: &mut FxHashMap<SddId, f64>,
-    ) -> f64 {
-        if let Some(&c) = memo.get(&a) {
-            return c;
-        }
-        let SddNode::Decision { vnode, elems } = &self.nodes[a.index()] else {
-            unreachable!();
-        };
-        let (lv, rv) = self.vtree.children(*vnode).expect("internal vnode");
-        let mut total = 0.0;
-        for &(p, s) in elems.iter() {
-            let pc = self.scoped_wc(p, lv, gap, wmap, memo);
-            let sc = self.scoped_wc(s, rv, gap, wmap, memo);
-            total += pc * sc;
-        }
-        memo.insert(a, total);
-        total
-    }
-
-    /// Probability under independent `P(v=1) = prob(v)`.
-    pub fn probability(&self, root: SddId, prob: impl Fn(VarId) -> f64) -> f64 {
-        self.weighted_count(root, |v| {
-            let p = prob(v);
-            (1.0 - p, p)
-        })
     }
 }
 

@@ -13,7 +13,9 @@
 //!
 //! | Re-export | Contents |
 //! |---|---|
+//! | [`arith`] | dependency-free exact arithmetic: `BigUint`, `Rational`, the `Semiring` trait the counting engine is generic over |
 //! | [`boolfunc`] | truth tables, cofactors, **factors** (Def. 1–2), rectangles, communication matrices, function families (`D_n`, `H^i_{k,n}`, `ISA_n`, …) |
+//! | [`cnf`] | DIMACS frontend (classic + weighted dialects), CNF→circuit routes, primal/incidence graphs, clause families |
 //! | [`vtree`] | variable trees, enumeration, `VarId` |
 //! | [`graphtw`] | treewidth/pathwidth (exact + heuristic), (nice) tree decompositions |
 //! | [`circuit`] | circuits, NNF, Tseitin, primal graphs, structure checks, families |
@@ -70,8 +72,10 @@
 //! assert!((answer.probability - 0.25).abs() < 1e-12);
 //! ```
 
+pub use arith;
 pub use boolfunc;
 pub use circuit;
+pub use cnf;
 pub use graphtw;
 pub use obdd;
 pub use query;
@@ -81,8 +85,10 @@ pub use vtree;
 
 /// Everything most programs need, one `use` away.
 pub mod prelude {
+    pub use arith::{BigUint, Rational, Semiring};
     pub use boolfunc::{Assignment, BoolFn, VarSet};
     pub use circuit::{self, Circuit, CircuitBuilder};
+    pub use cnf::{self, CnfFormula};
     pub use graphtw::{self, Graph};
     pub use obdd::Obdd;
     pub use query::{self, Database, QueryCompiler, Schema, Ucq};
@@ -90,8 +96,8 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use sentential_core::compile_circuit;
     pub use sentential_core::{
-        self, CompileError, CompileOptions, CompileReport, Compiler, CompilerBuilder, Route,
-        TwBackend, Validation, VtreeStrategy,
+        self, CompileError, CompileOptions, CompileReport, Compiler, CompilerBuilder, CountReport,
+        Route, TwBackend, Validation, VtreeStrategy,
     };
     pub use vtree::{VarId, Vtree};
 }

@@ -113,6 +113,53 @@ fn routes_are_canonical_per_vtree() {
     }
 }
 
+/// The three instantiations of the semiring engine agree on every
+/// strategy-matrix family: `probability` (f64), `weighted_count` (f64), and
+/// the exact `Rational` semiring — and all of them match the truth-table
+/// kernel. Probabilities are dyadic, so the `Rational` answer is the exact
+/// value the f64 paths approximate.
+#[test]
+fn semiring_engines_agree_on_weighted_counts() {
+    let probs = [
+        0.5, 0.25, 0.75, 0.125, 0.375, 0.0625, 0.875, 0.625, // dyadic
+    ];
+    for (name, c) in families(8) {
+        let f = c.to_boolfn().unwrap();
+        let compiled = Compiler::new().compile(&c).unwrap();
+        let (m, root) = (&compiled.sdd, compiled.root);
+
+        let via_prob = m.probability(root, |v| probs[v.index()]);
+        let via_wc = m.weighted_count(root, |v| {
+            let p = probs[v.index()];
+            (1.0 - p, p)
+        });
+        let exact = m.probability_exact(root, |v| Rational::from_f64(probs[v.index()]));
+        let kernel = f.probability(|v| probs[v.index()]);
+
+        assert_eq!(via_prob, via_wc, "{name}: probability is weighted_count");
+        assert!(
+            (via_prob - kernel).abs() < 1e-12,
+            "{name}: f64 {via_prob} vs kernel {kernel}"
+        );
+        assert!(
+            (exact.to_f64() - kernel).abs() < 1e-12,
+            "{name}: exact {exact} vs kernel {kernel}"
+        );
+
+        // And the exact rational is identical across vtree strategies —
+        // exactness means structure independence is an equality, not an eps.
+        let balanced = Compiler::builder()
+            .vtree_strategy(VtreeStrategy::Balanced)
+            .build()
+            .compile(&c)
+            .unwrap();
+        let exact_bal = balanced
+            .sdd
+            .probability_exact(balanced.root, |v| Rational::from_f64(probs[v.index()]));
+        assert_eq!(exact, exact_bal, "{name}: exact WMC across vtrees");
+    }
+}
+
 /// Reports carry consistent sizes: the recorded SDD size matches a fresh
 /// measurement, and stage timings sum to at most the total.
 #[test]
