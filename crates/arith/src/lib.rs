@@ -13,6 +13,11 @@
 //!   [`Rational::from_f64`] is exact.
 //! * `f64` — the fast approximate path, unchanged semantics.
 //!
+//! Beyond the three counting carriers, the semiring zoo holds the serving
+//! layer's carriers: [`LogF64`] (log-space sum-product — WMC that cannot
+//! underflow at 10k+ variables) and [`MaxPlus`] (the tropical MPE
+//! semiring). Both run through the same generic engine.
+//!
 //! Like `crates/compat`, everything here is hand-rolled: the build has no
 //! network access, so no registry crates (`num-bigint`, …) are available.
 //! The implementations favor clarity over asymptotics (schoolbook
@@ -26,4 +31,4 @@ pub mod semiring;
 
 pub use biguint::BigUint;
 pub use rational::{ParseRationalError, Rational};
-pub use semiring::{Nat, Rat, Semiring, F64};
+pub use semiring::{log_sum_exp, LogF64, MaxPlus, Nat, Rat, Semiring, F64};

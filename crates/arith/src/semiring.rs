@@ -4,7 +4,14 @@
 //! traversal of a deterministic decomposable representation, differing only
 //! in the carrier: determinism makes ∨ a semiring `+`, decomposability makes
 //! ∧ a semiring `×`. `sdd::SddManager::evaluate` is written once against
-//! [`Semiring`] and instantiated at the three carriers below.
+//! [`Semiring`] and instantiated at the carriers below.
+//!
+//! The zoo currently holds five members: the three counting carriers
+//! ([`Nat`], [`Rat`], [`F64`]) plus two serving-layer carriers —
+//! [`LogF64`] (log-space sum-product: WMC that cannot underflow, the
+//! carrier `kb::KnowledgeBase` evaluates in) and [`MaxPlus`] (tropical
+//! max-sum over log-weights: the MPE semiring, whose `⊕` picks the best
+//! branch instead of accumulating all of them).
 
 use crate::biguint::BigUint;
 use crate::rational::Rational;
@@ -102,6 +109,77 @@ impl Semiring for F64 {
     }
 }
 
+/// Log-space weighted counting: elements are **logarithms** of nonnegative
+/// weights, `⊗` is `+`, and `⊕` is log-sum-exp. Semantically identical to
+/// [`F64`] under `exp`, but a product of 10k literal weights that would
+/// underflow `f64` (anything below ~1e-308) stays a perfectly ordinary
+/// log-weight here. `zero() = -∞` (log 0), `one() = 0` (log 1).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct LogF64;
+
+/// `ln(eᵃ + eᵇ)` without leaving log space: factor out the larger operand
+/// so the exponential never overflows and only the (≤ 1) ratio is rounded.
+pub fn log_sum_exp(a: f64, b: f64) -> f64 {
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    if hi == f64::NEG_INFINITY {
+        // Both are log 0; hi + anything would be NaN.
+        return f64::NEG_INFINITY;
+    }
+    hi + (lo - hi).exp().ln_1p()
+}
+
+impl Semiring for LogF64 {
+    type Elem = f64;
+
+    fn zero(&self) -> f64 {
+        f64::NEG_INFINITY
+    }
+
+    fn one(&self) -> f64 {
+        0.0
+    }
+
+    fn add(&self, a: &f64, b: &f64) -> f64 {
+        log_sum_exp(*a, *b)
+    }
+
+    fn mul(&self, a: &f64, b: &f64) -> f64 {
+        // log 0 absorbs: -∞ + w. (-∞ + ∞ cannot arise — weights are logs
+        // of finite nonnegative reals, so +∞ is never an element.)
+        a + b
+    }
+}
+
+/// The tropical **max-plus** semiring over log-weights: `⊕` is `max`, `⊗`
+/// is `+`. Evaluating a deterministic decomposable circuit here computes
+/// the log-weight of the **most probable explanation** (MPE): where the
+/// sum-product engine accumulates every branch, max-plus keeps the best
+/// one, and decomposability adds the best left- and right-scope choices.
+/// `kb` reruns the same traversal with argmax back-pointers to recover the
+/// witnessing assignment. `zero() = -∞` (no model), `one() = 0`.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct MaxPlus;
+
+impl Semiring for MaxPlus {
+    type Elem = f64;
+
+    fn zero(&self) -> f64 {
+        f64::NEG_INFINITY
+    }
+
+    fn one(&self) -> f64 {
+        0.0
+    }
+
+    fn add(&self, a: &f64, b: &f64) -> f64 {
+        a.max(*b)
+    }
+
+    fn mul(&self, a: &f64, b: &f64) -> f64 {
+        a + b
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +222,54 @@ mod tests {
         assert_eq!(n.add(&n.zero(), &five), five);
         assert_eq!(n.mul(&n.one(), &five), five);
         assert_eq!(n.mul(&n.zero(), &five), n.zero());
+    }
+
+    #[test]
+    fn logf64_mirrors_f64_through_exp() {
+        let (f, l) = (F64, LogF64);
+        for (a, b) in [(0.5, 0.25), (1.0, 1e-12), (3.0, 7.0)] {
+            let plain = f.add(&a, &b);
+            let logged = l.add(&a.ln(), &b.ln());
+            assert!((logged.exp() - plain).abs() < 1e-12 * plain, "{a} ⊕ {b}");
+            let plain = f.mul(&a, &b);
+            let logged = l.mul(&a.ln(), &b.ln());
+            assert!((logged.exp() - plain).abs() < 1e-12 * plain, "{a} ⊗ {b}");
+        }
+    }
+
+    #[test]
+    fn logf64_identities_and_zero_absorption() {
+        let l = LogF64;
+        let w = (0.3f64).ln();
+        assert_eq!(l.mul(&l.one(), &w), w);
+        assert_eq!(l.add(&l.zero(), &w), w);
+        assert_eq!(l.mul(&l.zero(), &w), f64::NEG_INFINITY);
+        // log 0 ⊕ log 0 stays log 0 (not NaN).
+        assert_eq!(l.add(&l.zero(), &l.zero()), f64::NEG_INFINITY);
+        assert_eq!(l.mul(&l.zero(), &l.zero()), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn logf64_survives_products_that_underflow_f64() {
+        // 10 000 factors of 1e-100: f64 hits 0 after ~4 factors short of
+        // the denormal floor; the log carrier just reaches -10⁶ ln 10.
+        let l = LogF64;
+        let w = (1e-100f64).ln();
+        let mut acc = l.one();
+        for _ in 0..10_000 {
+            acc = l.mul(&acc, &w);
+        }
+        assert!(acc.is_finite());
+        assert!((acc - 10_000.0 * w).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_plus_picks_the_best_branch() {
+        let m = MaxPlus;
+        // (x ⊕ y) ⊗ z = max(x, y) + z.
+        assert_eq!(expr(&m, &-1.0, &-3.0, &-2.0), -3.0);
+        assert_eq!(m.add(&m.zero(), &-5.0), -5.0);
+        assert_eq!(m.mul(&m.one(), &-5.0), -5.0);
+        assert_eq!(m.mul(&m.zero(), &-5.0), f64::NEG_INFINITY);
     }
 }

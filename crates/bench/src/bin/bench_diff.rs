@@ -1,0 +1,118 @@
+//! Warn-only benchmark diff: compare two `BENCH_*.json` record files (the
+//! committed previous run vs a fresh one) and print per-metric deltas.
+//!
+//! Usage: `bench_diff <old.json> <new.json>`
+//!
+//! Only `(experiment, series, x, metric)` keys present in **both** files
+//! are compared — a smoke run diffing against a committed full run simply
+//! covers the shared subset. Timing metrics (`*_ms`) that moved more than
+//! 25% are flagged `WARN`, but the exit code is always 0: this step
+//! reports perf drift, it does not gate CI (timings on shared runners are
+//! too noisy for a hard threshold).
+
+use sentential_bench::{parse_records, Record, Table};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Relative change (in %) of a timing metric that earns a `WARN` flag.
+const WARN_PCT: f64 = 25.0;
+
+fn load(path: &str) -> Option<Vec<Record>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("bench_diff: cannot read {path}: {e} — skipping diff");
+            return None;
+        }
+    };
+    match parse_records(&text) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            println!("bench_diff: cannot parse {path}: {e} — skipping diff");
+            None
+        }
+    }
+}
+
+fn index(records: &[Record]) -> BTreeMap<(String, String, u64, String), f64> {
+    let mut map = BTreeMap::new();
+    for r in records {
+        for (k, v) in &r.values {
+            if v.is_finite() {
+                map.insert((r.experiment.clone(), r.series.clone(), r.x, k.clone()), *v);
+            }
+        }
+    }
+    map
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [old_path, new_path] = args.as_slice() else {
+        println!("usage: bench_diff <old.json> <new.json>  (warn-only, always exits 0)");
+        return ExitCode::SUCCESS;
+    };
+    let (Some(old), Some(new)) = (load(old_path), load(new_path)) else {
+        return ExitCode::SUCCESS;
+    };
+    let old = index(&old);
+    let new = index(&new);
+
+    let mut t = Table::new(&[
+        "experiment",
+        "series",
+        "x",
+        "metric",
+        "old",
+        "new",
+        "Δ%",
+        "",
+    ]);
+    let mut shared = 0usize;
+    let mut warned = 0usize;
+    for (key, new_v) in &new {
+        let Some(old_v) = old.get(key) else { continue };
+        shared += 1;
+        let (exp, series, x, metric) = key;
+        let delta_pct = if *old_v == 0.0 {
+            if *new_v == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (new_v - old_v) / old_v * 100.0
+        };
+        let is_timing = metric.ends_with("_ms") || metric.ends_with("_us");
+        let flag = if is_timing && delta_pct.abs() > WARN_PCT {
+            warned += 1;
+            "WARN"
+        } else {
+            ""
+        };
+        t.row(&[
+            exp,
+            series,
+            x,
+            metric,
+            &format!("{old_v:.3}"),
+            &format!("{new_v:.3}"),
+            &format!("{delta_pct:+.1}"),
+            &flag,
+        ]);
+    }
+    if shared == 0 {
+        println!("bench_diff: no shared (experiment, series, x, metric) keys between {old_path} and {new_path}");
+        return ExitCode::SUCCESS;
+    }
+    println!("bench_diff: {old_path} → {new_path} ({shared} shared metrics)\n");
+    t.print();
+    if warned > 0 {
+        println!(
+            "\n{warned} timing metric(s) moved more than {WARN_PCT}% — perf drift, not a failure."
+        );
+    } else {
+        println!("\nno timing metric moved more than {WARN_PCT}%.");
+    }
+    ExitCode::SUCCESS
+}

@@ -58,7 +58,7 @@ fn main() {
             &label,
             &n,
             &r.num_clauses,
-            &r.primal_treewidth,
+            &r.treewidth,
             &r.sdw,
             &r.sdd_size,
             &r.count.bits(),
@@ -70,7 +70,7 @@ fn main() {
             series: label.into(),
             x: n as u64,
             values: vec![
-                ("treewidth".into(), r.primal_treewidth as f64),
+                ("treewidth".into(), r.treewidth as f64),
                 ("sdw".into(), r.sdw as f64),
                 ("sdd_size".into(), r.sdd_size as f64),
                 ("count_bits".into(), r.count.bits() as f64),

@@ -122,6 +122,205 @@ pub fn records_to_json(records: &[Record]) -> String {
     body
 }
 
+/// Parse a record array previously written by [`records_to_json`] — the
+/// other half of the round trip, powering the `bench_diff` tool. The
+/// parser accepts any whitespace layout of that shape (`null` values come
+/// back as `NaN`); anything else is an `Err` with a byte offset.
+pub fn parse_records(input: &str) -> Result<Vec<Record>, String> {
+    let mut p = JsonParser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let records = p.array(|p| {
+        p.expect(b'{')?;
+        let mut experiment = String::new();
+        let mut series = String::new();
+        let mut x = 0u64;
+        let mut values: Vec<(String, f64)> = Vec::new();
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            match key.as_str() {
+                "experiment" => experiment = p.string()?,
+                "series" => series = p.string()?,
+                "x" => x = p.number()? as u64,
+                "values" => {
+                    values = p.array(|p| {
+                        p.expect(b'[')?;
+                        p.skip_ws();
+                        let k = p.string()?;
+                        p.skip_ws();
+                        p.expect(b',')?;
+                        p.skip_ws();
+                        let v = if p.peek() == Some(b'n') {
+                            p.literal("null")?;
+                            f64::NAN
+                        } else {
+                            p.number()?
+                        };
+                        p.skip_ws();
+                        p.expect(b']')?;
+                        Ok((k, v))
+                    })?;
+                }
+                other => return Err(format!("unknown record key {other:?}")),
+            }
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err(p.fail("expected ',' or '}' in record")),
+            }
+        }
+        Ok(Record {
+            experiment,
+            series,
+            x,
+            values,
+        })
+    })?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.fail("trailing input after the record array"));
+    }
+    Ok(records)
+}
+
+/// The minimal JSON reader behind [`parse_records`] (offline build: no
+/// serde; the input shape is our own writer's).
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn fail(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.next() {
+            Some(got) if got == b => Ok(()),
+            Some(_) => {
+                // Point at the offending byte, not past it.
+                self.pos -= 1;
+                Err(self.fail(&format!("expected {:?}", b as char)))
+            }
+            // EOF: next() did not advance, pos already points at the end.
+            None => Err(self.fail(&format!("expected {:?}", b as char))),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected {lit}")))
+        }
+    }
+
+    /// `[elem, elem, …]` with `elem` parsed by `f` (which consumes its own
+    /// delimiters).
+    fn array<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, String>,
+    ) -> Result<Vec<T>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            out.push(f(self)?);
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(out),
+                _ => {
+                    return Err(self.fail("expected ',' or ']' in array"));
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        // Accumulate raw bytes and decode once: pushing `b as char` would
+        // latin-1-mangle multi-byte UTF-8 (e.g. "bänd" → "bÃ¤nd") and
+        // silently break the (experiment, series, x, metric) join keys.
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match self.next() {
+                None => return Err(self.fail("unterminated string")),
+                Some(b'"') => {
+                    return String::from_utf8(out).map_err(|_| self.fail("invalid UTF-8 in string"))
+                }
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'u') => {
+                        let hex = self
+                            .bytes
+                            .get(self.pos..self.pos + 4)
+                            .ok_or_else(|| self.fail("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| self.fail("bad \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| self.fail("bad \\u escape"))?;
+                        self.pos += 4;
+                        let ch = char::from_u32(code).unwrap_or('\u{FFFD}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    _ => return Err(self.fail("unsupported escape")),
+                },
+                Some(b) => out.push(b),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.fail("expected a number"))
+    }
+}
+
 /// Write records as JSON when the CLI was invoked with `--json <path>`.
 pub fn maybe_write_json(records: &[Record]) {
     let mut args = std::env::args().skip(1);
@@ -168,6 +367,44 @@ mod tests {
         assert!(json.contains("a\\\"b"));
         assert!(json.contains("[\"size\", 1.5]"));
         assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+
+    #[test]
+    fn json_roundtrip_through_parse_records() {
+        let records = vec![
+            Record {
+                experiment: "E14".into(),
+                series: "chain".into(),
+                x: 120,
+                values: vec![("compile_ms".into(), 12.5), ("speedup".into(), 44.0)],
+            },
+            Record {
+                experiment: "E14".into(),
+                series: "weird \"label\"".into(),
+                x: 3,
+                values: vec![("nan".into(), f64::NAN)],
+            },
+        ];
+        let parsed = parse_records(&records_to_json(&records)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].experiment, "E14");
+        // Non-ASCII series names survive the round trip byte-for-byte.
+        let unicode = vec![Record {
+            experiment: "Eü".into(),
+            series: "bänd — π".into(),
+            x: 1,
+            values: vec![("µs".into(), 2.0)],
+        }];
+        let back = parse_records(&records_to_json(&unicode)).unwrap();
+        assert_eq!(back[0].experiment, "Eü");
+        assert_eq!(back[0].series, "bänd — π");
+        assert_eq!(back[0].values[0].0, "µs");
+        assert_eq!(parsed[0].x, 120);
+        assert_eq!(parsed[0].values[0], ("compile_ms".into(), 12.5));
+        assert_eq!(parsed[1].series, "weird \"label\"");
+        assert!(parsed[1].values[0].1.is_nan(), "null parses back as NaN");
+        assert!(parse_records("[{\"bogus\": 1}]").is_err());
+        assert_eq!(parse_records("[]").unwrap().len(), 0);
     }
 
     #[test]

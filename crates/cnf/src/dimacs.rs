@@ -19,6 +19,7 @@
 use crate::formula::{CnfFormula, Lit};
 use arith::Rational;
 use std::fmt;
+use std::io::BufRead;
 use vtree::VarId;
 
 /// A DIMACS syntax error, with the 1-based line it occurred on.
@@ -49,6 +50,10 @@ pub enum DimacsErrorKind {
     UnterminatedClause,
     /// The number of clauses does not match the header.
     ClauseCountMismatch { declared: usize, found: usize },
+    /// The underlying reader failed ([`parse_dimacs_reader`] only; the
+    /// message is the I/O error's, since `io::Error` itself carries no
+    /// equality).
+    Io(String),
 }
 
 impl fmt::Display for DimacsError {
@@ -69,6 +74,7 @@ impl fmt::Display for DimacsError {
             DimacsErrorKind::ClauseCountMismatch { declared, found } => {
                 write!(f, "header declares {declared} clauses, found {found}")
             }
+            DimacsErrorKind::Io(msg) => write!(f, "read failed: {msg}"),
         }
     }
 }
@@ -81,6 +87,13 @@ impl CnfFormula {
         parse_dimacs(input)
     }
 
+    /// Parse DIMACS from any buffered reader, **streaming** line by line —
+    /// a multi-gigabyte file never has to fit in memory. See
+    /// [`parse_dimacs_reader`].
+    pub fn from_dimacs_reader<R: BufRead>(reader: R) -> Result<Self, DimacsError> {
+        parse_dimacs_reader(reader)
+    }
+
     /// Render canonical DIMACS (header, `c p weight` directives, one
     /// 0-terminated clause per line). `from_dimacs ∘ to_dimacs` is the
     /// identity.
@@ -89,21 +102,51 @@ impl CnfFormula {
     }
 }
 
-/// See [`CnfFormula::from_dimacs`].
+/// See [`CnfFormula::from_dimacs`]. A thin wrapper over the streaming
+/// [`parse_dimacs_reader`] (a `&[u8]` is a `BufRead` that cannot fail).
 pub fn parse_dimacs(input: &str) -> Result<CnfFormula, DimacsError> {
-    let err = |line: usize, kind: DimacsErrorKind| DimacsError { line, kind };
-    let mut formula: Option<CnfFormula> = None;
-    let mut declared_clauses = 0usize;
-    let mut pending: Vec<Lit> = Vec::new();
-    let mut found_clauses = 0usize;
-    let mut last_line = 0usize;
+    parse_dimacs_reader(input.as_bytes())
+}
 
-    for (i, raw) in input.lines().enumerate() {
-        let lineno = i + 1;
-        last_line = lineno;
+/// Parse DIMACS from a buffered reader, one line at a time. Only the
+/// current line and the formula built so far are held in memory, so large
+/// files stream from disk. I/O failures surface as
+/// [`DimacsErrorKind::Io`] with the line they interrupted.
+pub fn parse_dimacs_reader<R: BufRead>(mut reader: R) -> Result<CnfFormula, DimacsError> {
+    let mut parser = LineParser::default();
+    let mut lineno = 0usize;
+    let mut buf = String::new();
+    loop {
+        lineno += 1;
+        buf.clear();
+        let n = reader.read_line(&mut buf).map_err(|e| DimacsError {
+            line: lineno,
+            kind: DimacsErrorKind::Io(e.to_string()),
+        })?;
+        if n == 0 {
+            return parser.finish(lineno.saturating_sub(1));
+        }
+        parser.line(lineno, &buf)?;
+    }
+}
+
+/// The line-at-a-time parser state behind both entry points.
+#[derive(Default)]
+struct LineParser {
+    formula: Option<CnfFormula>,
+    declared_clauses: usize,
+    /// Literals of the clause currently being read (clauses span lines).
+    pending: Vec<Lit>,
+    found_clauses: usize,
+}
+
+impl LineParser {
+    /// Consume one input line.
+    fn line(&mut self, lineno: usize, raw: &str) -> Result<(), DimacsError> {
+        let err = |kind: DimacsErrorKind| DimacsError { line: lineno, kind };
         let line = raw.trim();
         if line.is_empty() {
-            continue;
+            return Ok(());
         }
         let mut tokens = line.split_ascii_whitespace();
         let first = tokens.next().expect("nonempty line");
@@ -113,72 +156,82 @@ pub fn parse_dimacs(input: &str) -> Result<CnfFormula, DimacsError> {
                 // (including other `c p …` directives) is a comment.
                 let rest: Vec<&str> = tokens.collect();
                 if rest.first() == Some(&"p") && rest.get(1) == Some(&"weight") {
-                    let f = formula
+                    let f = self
+                        .formula
                         .as_mut()
-                        .ok_or_else(|| err(lineno, DimacsErrorKind::DataBeforeHeader))?;
+                        .ok_or_else(|| err(DimacsErrorKind::DataBeforeHeader))?;
                     apply_weight(f, rest.get(2).copied(), rest.get(3).copied(), lineno)?;
                 }
             }
             "p" => {
-                if formula.is_some() {
-                    return Err(err(lineno, DimacsErrorKind::DuplicateHeader));
+                if self.formula.is_some() {
+                    return Err(err(DimacsErrorKind::DuplicateHeader));
                 }
                 let kind = tokens.next();
                 let nv = tokens.next().and_then(|t| t.parse::<u32>().ok());
                 let nc = tokens.next().and_then(|t| t.parse::<usize>().ok());
                 match (kind, nv, nc, tokens.next()) {
                     (Some("cnf"), Some(nv), Some(nc), None) => {
-                        formula = Some(CnfFormula::new(nv));
-                        declared_clauses = nc;
+                        self.formula = Some(CnfFormula::new(nv));
+                        self.declared_clauses = nc;
                     }
-                    _ => return Err(err(lineno, DimacsErrorKind::BadHeader)),
+                    _ => return Err(err(DimacsErrorKind::BadHeader)),
                 }
             }
             "w" => {
                 // Cachet-style weighted literal; tolerate a trailing 0.
-                let f = formula
+                let f = self
+                    .formula
                     .as_mut()
-                    .ok_or_else(|| err(lineno, DimacsErrorKind::DataBeforeHeader))?;
+                    .ok_or_else(|| err(DimacsErrorKind::DataBeforeHeader))?;
                 let rest: Vec<&str> = tokens.collect();
                 let (lit, weight) = match rest.as_slice() {
                     [l, w] | [l, w, "0"] => (*l, *w),
-                    _ => return Err(err(lineno, DimacsErrorKind::BadWeight(line.to_string()))),
+                    _ => return Err(err(DimacsErrorKind::BadWeight(line.to_string()))),
                 };
                 apply_weight(f, Some(lit), Some(weight), lineno)?;
             }
             _ => {
-                let f = formula
+                let f = self
+                    .formula
                     .as_mut()
-                    .ok_or_else(|| err(lineno, DimacsErrorKind::DataBeforeHeader))?;
+                    .ok_or_else(|| err(DimacsErrorKind::DataBeforeHeader))?;
                 for tok in std::iter::once(first).chain(tokens) {
                     let l: i64 = tok
                         .parse()
-                        .map_err(|_| err(lineno, DimacsErrorKind::BadToken(tok.to_string())))?;
+                        .map_err(|_| err(DimacsErrorKind::BadToken(tok.to_string())))?;
                     if l == 0 {
-                        f.add_clause(std::mem::take(&mut pending));
-                        found_clauses += 1;
+                        f.add_clause(std::mem::take(&mut self.pending));
+                        self.found_clauses += 1;
                     } else {
-                        pending.push(lit_of(l, f.num_vars()).map_err(|k| err(lineno, k))?);
+                        self.pending.push(lit_of(l, f.num_vars()).map_err(err)?);
                     }
                 }
             }
         }
+        Ok(())
     }
 
-    let f = formula.ok_or_else(|| err(last_line.max(1), DimacsErrorKind::BadHeader))?;
-    if !pending.is_empty() {
-        return Err(err(last_line, DimacsErrorKind::UnterminatedClause));
+    /// End of input: check the trailing invariants.
+    fn finish(self, last_line: usize) -> Result<CnfFormula, DimacsError> {
+        let err = |kind: DimacsErrorKind| DimacsError {
+            line: last_line.max(1),
+            kind,
+        };
+        let f = self
+            .formula
+            .ok_or_else(|| err(DimacsErrorKind::BadHeader))?;
+        if !self.pending.is_empty() {
+            return Err(err(DimacsErrorKind::UnterminatedClause));
+        }
+        if self.found_clauses != self.declared_clauses {
+            return Err(err(DimacsErrorKind::ClauseCountMismatch {
+                declared: self.declared_clauses,
+                found: self.found_clauses,
+            }));
+        }
+        Ok(f)
     }
-    if found_clauses != declared_clauses {
-        return Err(err(
-            last_line,
-            DimacsErrorKind::ClauseCountMismatch {
-                declared: declared_clauses,
-                found: found_clauses,
-            },
-        ));
-    }
-    Ok(f)
 }
 
 /// DIMACS literal (1-based, sign = polarity) → `Lit`; checks the range.
@@ -295,6 +348,52 @@ mod tests {
         );
         let text = f.to_dimacs();
         assert_eq!(CnfFormula::from_dimacs(&text).unwrap(), f);
+    }
+
+    #[test]
+    fn reader_parse_agrees_with_string_parse_even_in_tiny_chunks() {
+        // A 1-byte buffer forces read_line to reassemble every line from
+        // many reads — the streaming path must not depend on chunking.
+        struct OneByte<'a>(&'a [u8]);
+        impl std::io::Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = 1.min(self.0.len()).min(buf.len());
+                buf[..n].copy_from_slice(&self.0[..n]);
+                self.0 = &self.0[n..];
+                Ok(n)
+            }
+        }
+        let text = "c chunked\np cnf 4 3\nc p weight 2 0.25 0\n1 -2\n3 0 2\n0\n-4 1 0";
+        let via_str = CnfFormula::from_dimacs(text).unwrap();
+        let via_reader =
+            CnfFormula::from_dimacs_reader(std::io::BufReader::new(OneByte(text.as_bytes())))
+                .unwrap();
+        assert_eq!(via_reader, via_str);
+        assert_eq!(via_reader.num_clauses(), 3);
+    }
+
+    #[test]
+    fn reader_io_errors_carry_the_line_they_interrupted() {
+        struct FailAfter(usize);
+        impl std::io::Read for FailAfter {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.0 == 0 {
+                    return Err(std::io::Error::other("disk on fire"));
+                }
+                // One full line per read.
+                let line = b"p cnf 2 0\n";
+                buf[..line.len()].copy_from_slice(line);
+                self.0 -= 1;
+                Ok(line.len())
+            }
+        }
+        let e = CnfFormula::from_dimacs_reader(std::io::BufReader::with_capacity(16, FailAfter(1)))
+            .unwrap_err();
+        assert!(
+            matches!(&e.kind, DimacsErrorKind::Io(msg) if msg.contains("disk on fire")),
+            "{e}"
+        );
+        assert_eq!(e.line, 2, "the read that failed was for line 2");
     }
 
     #[test]

@@ -55,6 +55,17 @@ impl CnfFormula {
     pub fn primal_vars(&self) -> Vec<Option<VarId>> {
         (0..self.num_vars()).map(|i| Some(VarId(i))).collect()
     }
+
+    /// The variable each incidence-graph vertex stands for: the first
+    /// `num_vars` vertices are variables, the clause vertices after them
+    /// are auxiliary (`None`) — they shape the decomposition but get no
+    /// vtree leaf.
+    pub fn incidence_vars(&self) -> Vec<Option<VarId>> {
+        (0..self.num_vars())
+            .map(|i| Some(VarId(i)))
+            .chain((0..self.num_clauses()).map(|_| None))
+            .collect()
+    }
 }
 
 #[cfg(test)]

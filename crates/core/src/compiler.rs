@@ -103,6 +103,57 @@ impl fmt::Display for VtreeStrategy {
     }
 }
 
+/// Which structural graph of a CNF formula drives the Lemma-1
+/// decomposition in [`Compiler::compile_cnf`](crate::Compiler::compile_cnf).
+///
+/// The primal graph cliques every clause (a single `n`-literal clause costs
+/// treewidth `n - 1`); the incidence graph replaces each clique by a star
+/// through a clause vertex (its treewidth never exceeds primal + 1 and can
+/// be arbitrarily smaller on long clauses). [`GraphKind::Auto`] decomposes
+/// both and keeps whichever reported the smaller width.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum GraphKind {
+    /// The variable-interaction graph (one vertex per variable, cliques
+    /// per clause) — the classical primal-treewidth route.
+    #[default]
+    Primal,
+    /// The bipartite variable/clause graph; clause vertices enter the
+    /// decomposition as auxiliary (variable-free) vertices.
+    Incidence,
+    /// Decompose both graphs with the session's backend and take the one
+    /// with the smaller reported width.
+    Auto,
+}
+
+impl fmt::Display for GraphKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GraphKind::Primal => "primal",
+            GraphKind::Incidence => "incidence",
+            GraphKind::Auto => "auto",
+        })
+    }
+}
+
+/// The graph a CNF compilation actually decomposed after resolving
+/// [`GraphKind::Auto`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ResolvedGraph {
+    /// The primal (variable-interaction) graph.
+    Primal,
+    /// The incidence (variable/clause) graph.
+    Incidence,
+}
+
+impl fmt::Display for ResolvedGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResolvedGraph::Primal => "primal",
+            ResolvedGraph::Incidence => "incidence",
+        })
+    }
+}
+
 /// How the SDD is built once the vtree is fixed.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Route {
@@ -181,6 +232,10 @@ pub struct CompileOptions {
     pub vtree_strategy: VtreeStrategy,
     /// SDD construction route.
     pub route: Route,
+    /// Which CNF graph drives [`Compiler::compile_cnf`]'s decomposition
+    /// (ignored by the circuit pipeline, which always uses the circuit's
+    /// own primal graph).
+    pub graph_kind: GraphKind,
     /// Largest primal graph handed to exact treewidth under
     /// [`TwBackend::Auto`].
     pub exact_tw_limit: usize,
@@ -198,6 +253,7 @@ impl Default for CompileOptions {
             tw_backend: TwBackend::Auto,
             vtree_strategy: VtreeStrategy::Lemma1,
             route: Route::Auto,
+            graph_kind: GraphKind::Primal,
             exact_tw_limit: 16,
             validation: Validation::Basic,
             search_samples: 64,
@@ -246,6 +302,12 @@ impl CompilerBuilder {
     /// Choose the SDD construction route.
     pub fn route(mut self, route: Route) -> Self {
         self.opts.route = route;
+        self
+    }
+
+    /// Choose which CNF graph [`Compiler::compile_cnf`] decomposes.
+    pub fn graph_kind(mut self, kind: GraphKind) -> Self {
+        self.opts.graph_kind = kind;
         self
     }
 
@@ -401,6 +463,7 @@ pub struct StageTimings {
 
 /// Everything a compilation measured: strategy resolution, widths, sizes,
 /// and per-stage timings. `Display` renders a human-readable block.
+#[must_use]
 #[derive(Clone, Debug)]
 pub struct CompileReport {
     /// The options the session ran with.
@@ -695,11 +758,18 @@ impl Compiler {
         Ok((vt, st))
     }
 
+    /// Can the exact subset-DP backend afford this graph? The single
+    /// source of truth for the cap — [`Compiler::ensure_exact_feasible`]
+    /// and `GraphKind::Auto`'s probe both consult it.
+    pub(crate) fn exact_feasible(&self, g: &graphtw::Graph) -> bool {
+        g.num_vertices() <= graphtw::exact::MAX_EXACT_VERTICES
+    }
+
     /// Fail eagerly (and typed) when [`TwBackend::Exact`] is forced on a
     /// graph beyond the subset-DP cap, instead of panicking inside
     /// [`Compiler::decompose_graph`].
     pub(crate) fn ensure_exact_feasible(&self, g: &graphtw::Graph) -> Result<(), CompileError> {
-        if g.num_vertices() > graphtw::exact::MAX_EXACT_VERTICES {
+        if !self.exact_feasible(g) {
             return Err(CompileError::ExactTreewidthIntractable(
                 ExactError::TooLarge {
                     vertices: g.num_vertices(),
@@ -757,6 +827,7 @@ mod tests {
             .tw_backend(TwBackend::MinDegree)
             .vtree_strategy(VtreeStrategy::Balanced)
             .route(Route::Apply)
+            .graph_kind(GraphKind::Auto)
             .exact_tw_limit(4)
             .validation(Validation::None)
             .search_samples(7)
@@ -766,6 +837,7 @@ mod tests {
         assert_eq!(o.tw_backend, TwBackend::MinDegree);
         assert_eq!(o.vtree_strategy, VtreeStrategy::Balanced);
         assert_eq!(o.route, Route::Apply);
+        assert_eq!(o.graph_kind, GraphKind::Auto);
         assert_eq!(o.exact_tw_limit, 4);
         assert_eq!(o.validation, Validation::None);
         assert_eq!(o.search_samples, 7);

@@ -19,8 +19,8 @@
 //! println!("{}", counted.report);
 //! ```
 
-use crate::compiler::{CompileError, Compiler, TwBackend, Validation};
-use crate::vtree_extract::vtree_from_graph_with;
+use crate::compiler::{CompileError, Compiler, GraphKind, ResolvedGraph, TwBackend, Validation};
+use crate::vtree_extract::{vtree_from_graph_with, ExtractStats};
 use arith::{BigUint, Rational};
 use boolfunc::{Assignment, BoolFn, VarSet};
 use cnf::CnfFormula;
@@ -52,16 +52,20 @@ pub struct CountTimings {
 /// Everything a CNF counting run measured: the formula's shape, the
 /// decomposition actually used, the paper's widths, the compiled SDD's
 /// size, and the exact results. `Display` renders a human-readable block.
+#[must_use]
 #[derive(Clone, Debug)]
 pub struct CountReport {
     /// Declared variables.
     pub num_vars: usize,
     /// Clauses.
     pub num_clauses: usize,
-    /// Width of the primal-graph decomposition used (exact under small /
-    /// `Exact` backends, heuristic otherwise) — the CNF primal treewidth
-    /// upper bound the run certified.
-    pub primal_treewidth: usize,
+    /// The graph actually decomposed (after resolving
+    /// [`GraphKind::Auto`]).
+    pub graph: ResolvedGraph,
+    /// Width of the decomposition of [`CountReport::graph`] (exact under
+    /// small / `Exact` backends, heuristic otherwise) — the treewidth
+    /// upper bound the run certified for that graph.
+    pub treewidth: usize,
     /// Nodes in the nice tree decomposition.
     pub nice_nodes: usize,
     /// `fw(F, T)` (Definition 2) — kernel-sized formulas only.
@@ -94,7 +98,7 @@ impl fmt::Display for CountReport {
         if let Some(w) = &self.weighted {
             writeln!(f, "  weighted count {w}")?;
         }
-        write!(f, "  primal tw {}", self.primal_treewidth)?;
+        write!(f, "  {} tw {}", self.graph, self.treewidth)?;
         match (self.fw, self.fiw) {
             (Some(fw), Some(fiw)) => writeln!(f, "  fw {fw}  fiw {fiw}  sdw {}", self.sdw)?,
             _ => writeln!(f, "  sdw {}", self.sdw)?,
@@ -164,16 +168,11 @@ impl Compiler {
             return Err(CompileError::NoVariables);
         }
 
-        // Vtree stage: the formula's primal graph through the session's
-        // decomposition backend — the same seam the circuit pipeline uses.
+        // Vtree stage: the formula's primal or incidence graph through the
+        // session's decomposition backend — the same seam the circuit
+        // pipeline uses (clause vertices ride along as auxiliary vertices).
         let t_vtree = Instant::now();
-        let g = f.primal_graph();
-        if self.options().tw_backend == TwBackend::Exact {
-            self.ensure_exact_feasible(&g)?;
-        }
-        let (vtree, stats) = vtree_from_graph_with(&g, &f.primal_vars(), Vec::new(), |g| {
-            self.decompose_graph(g)
-        })?;
+        let (vtree, stats, graph) = self.cnf_vtree(f)?;
         let vtree_time = t_vtree.elapsed();
 
         // SDD stage: bottom-up apply over the direct clause-tree circuit.
@@ -215,7 +214,8 @@ impl Compiler {
         let report = CountReport {
             num_vars: f.num_vars() as usize,
             num_clauses: f.num_clauses(),
-            primal_treewidth: stats.treewidth,
+            graph,
+            treewidth: stats.treewidth,
             nice_nodes: stats.nice_nodes,
             fw,
             fiw,
@@ -241,6 +241,67 @@ impl Compiler {
             report,
         })
     }
+
+    /// Resolve the session's [`GraphKind`] and extract the Lemma-1 vtree
+    /// from the chosen graph. Under [`GraphKind::Auto`] both graphs are
+    /// decomposed and the smaller reported width wins (ties go to primal —
+    /// fewer vertices, no auxiliary clause nodes); when the `Exact` backend
+    /// cannot afford one of the graphs, the other is used alone.
+    fn cnf_vtree(
+        &self,
+        f: &CnfFormula,
+    ) -> Result<(Vtree, ExtractStats, ResolvedGraph), CompileError> {
+        let exact = self.options().tw_backend == TwBackend::Exact;
+        match self.options().graph_kind {
+            GraphKind::Primal => {
+                let g = f.primal_graph();
+                if exact {
+                    self.ensure_exact_feasible(&g)?;
+                }
+                let (vt, st) = vtree_from_graph_with(&g, &f.primal_vars(), Vec::new(), |g| {
+                    self.decompose_graph(g)
+                })?;
+                Ok((vt, st, ResolvedGraph::Primal))
+            }
+            GraphKind::Incidence => {
+                let g = f.incidence_graph();
+                if exact {
+                    self.ensure_exact_feasible(&g)?;
+                }
+                let (vt, st) = vtree_from_graph_with(&g, &f.incidence_vars(), Vec::new(), |g| {
+                    self.decompose_graph(g)
+                })?;
+                Ok((vt, st, ResolvedGraph::Incidence))
+            }
+            GraphKind::Auto => {
+                let gp = f.primal_graph();
+                let gi = f.incidence_graph();
+                let p_ok = !exact || self.exact_feasible(&gp);
+                let i_ok = !exact || self.exact_feasible(&gi);
+                if !p_ok && !i_ok {
+                    self.ensure_exact_feasible(&gp)?;
+                }
+                let dp = p_ok.then(|| self.decompose_graph(&gp));
+                let di = i_ok.then(|| self.decompose_graph(&gi));
+                let use_incidence = match (&dp, &di) {
+                    (Some((wp, _)), Some((wi, _))) => wi < wp,
+                    (None, Some(_)) => true,
+                    _ => false,
+                };
+                if use_incidence {
+                    let d = di.expect("incidence chosen");
+                    let (vt, st) =
+                        vtree_from_graph_with(&gi, &f.incidence_vars(), Vec::new(), move |_| d)?;
+                    Ok((vt, st, ResolvedGraph::Incidence))
+                } else {
+                    let d = dp.expect("primal chosen");
+                    let (vt, st) =
+                        vtree_from_graph_with(&gp, &f.primal_vars(), Vec::new(), move |_| d)?;
+                    Ok((vt, st, ResolvedGraph::Primal))
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -254,7 +315,8 @@ mod tests {
             let f = families::chain_cnf(n);
             let counted = Compiler::new().compile_cnf(&f).unwrap();
             assert_eq!(*counted.count(), families::chain_count(n), "n = {n}");
-            assert_eq!(counted.report.primal_treewidth, usize::from(n > 1));
+            assert_eq!(counted.report.treewidth, usize::from(n > 1));
+            assert_eq!(counted.report.graph, ResolvedGraph::Primal);
         }
     }
 
@@ -340,5 +402,79 @@ mod tests {
                 .unwrap();
             assert_eq!(*counted.count(), expect, "{backend}");
         }
+    }
+
+    #[test]
+    fn every_graph_kind_counts_the_same() {
+        use crate::compiler::GraphKind;
+        // One long clause plus a chain — long clauses are where the
+        // incidence graph beats the primal clique.
+        let mut f = families::chain_cnf(10);
+        f.add_clause((0..10).map(|i| (vtree::VarId(i), true)).collect());
+        let expect = BigUint::from_u64(f.count_models_brute());
+        for kind in [GraphKind::Primal, GraphKind::Incidence, GraphKind::Auto] {
+            let counted = Compiler::builder()
+                .graph_kind(kind)
+                .build()
+                .compile_cnf(&f)
+                .unwrap();
+            assert_eq!(*counted.count(), expect, "{kind}");
+        }
+    }
+
+    #[test]
+    fn auto_graph_kind_picks_the_smaller_width() {
+        use crate::compiler::GraphKind;
+        // A single clause over all variables: primal = K_n (width n-1),
+        // incidence = a star (width 1). Auto must take the star.
+        let n = 9u32;
+        let f =
+            CnfFormula::from_clauses(n, vec![(0..n).map(|i| (vtree::VarId(i), true)).collect()]);
+        let counted = Compiler::builder()
+            .graph_kind(GraphKind::Auto)
+            .build()
+            .compile_cnf(&f)
+            .unwrap();
+        assert_eq!(counted.report.graph, ResolvedGraph::Incidence);
+        assert!(
+            counted.report.treewidth < n as usize - 1,
+            "incidence width {} must beat the primal clique",
+            counted.report.treewidth
+        );
+        assert_eq!(counted.count().to_u128(), Some((1 << n) - 1));
+        let shown = counted.report.to_string();
+        assert!(shown.contains("incidence tw"), "{shown}");
+
+        // On the chain (treewidth 1 already) Auto keeps the primal graph.
+        let counted = Compiler::builder()
+            .graph_kind(GraphKind::Auto)
+            .build()
+            .compile_cnf(&families::chain_cnf(12))
+            .unwrap();
+        assert_eq!(counted.report.graph, ResolvedGraph::Primal);
+    }
+
+    #[test]
+    fn incidence_route_respects_exact_backend_caps() {
+        use crate::compiler::GraphKind;
+        // 20 vars + 19 clauses = 39 incidence vertices > the exact cap,
+        // while the primal graph (20 vertices) is fine: explicit Incidence
+        // errors, Auto falls back to primal.
+        let f = families::chain_cnf(20);
+        let err = Compiler::builder()
+            .tw_backend(TwBackend::Exact)
+            .graph_kind(GraphKind::Incidence)
+            .build()
+            .compile_cnf(&f)
+            .unwrap_err();
+        assert!(matches!(err, CompileError::ExactTreewidthIntractable(_)));
+        let counted = Compiler::builder()
+            .tw_backend(TwBackend::Exact)
+            .graph_kind(GraphKind::Auto)
+            .build()
+            .compile_cnf(&f)
+            .unwrap();
+        assert_eq!(counted.report.graph, ResolvedGraph::Primal);
+        assert_eq!(*counted.count(), families::chain_count(20));
     }
 }

@@ -1,0 +1,438 @@
+//! The smoothed arithmetic circuit behind the KB's two-pass queries.
+//!
+//! The semiring engine (`sdd::eval`) walks the SDD *implicitly*, recomputing
+//! smoothing products from vtree paths on every visit. Marginals and MPE
+//! witnesses need more than a single bottom-up value: they need the
+//! **derivative** of the weighted count with respect to every literal
+//! weight (Darwiche's differential approach to inference), which requires a
+//! downward pass over an *explicit* computation graph. [`Ac`] is that
+//! graph: the SDD unfolded — once, at KB construction — into a plain DAG of
+//! `⊕`/`⊗` nodes with one shared leaf per literal and shared smoothing
+//! subcircuits per vtree node, stored in topological order so the upward
+//! pass is a forward sweep and the downward pass a reverse sweep.
+//!
+//! Everything here is generic over [`Semiring`]:
+//!
+//! * forward sweep + [`Ac::backprop`] in a sum-product carrier (`LogF64`)
+//!   → every variable's unnormalized marginal pair in two passes;
+//! * forward sweep in `MaxPlus` + [`Ac::mpe`]'s argmax descent → the most
+//!   probable explanation *with* its witnessing assignment;
+//! * [`Ac::top_k`] — the same sweep over lists of partial models → the `k`
+//!   heaviest models, each materialized as a complete assignment.
+
+use arith::{MaxPlus, Semiring};
+use sdd::{SddId, SddManager, SddNode};
+use vtree::fxhash::FxHashMap;
+use vtree::{VarId, VtreeNodeId};
+
+/// Index into [`Ac::nodes`].
+type AcId = u32;
+
+/// Result of [`Ac::marginals`]: the root value and, per dense variable,
+/// the unnormalized `(m⁻, m⁺)` pair.
+pub(crate) type Marginals<E> = (E, Vec<(E, E)>);
+
+/// One gate of the unfolded computation graph. `Leaf` stores the *dense*
+/// variable index (position in [`Ac::vars`]), not the global [`VarId`], so
+/// weight tables are flat slices.
+#[derive(Clone, Debug)]
+enum AcNode {
+    /// The constant 0 (shared; id 0).
+    Zero,
+    /// The weight of one literal: `w(vars[var], positive)`.
+    Leaf { var: u32, positive: bool },
+    /// `⊕` over the children (a sentential decision, or a smoothing pair).
+    Add(Box<[AcId]>),
+    /// `⊗` over the children (an element, or a smoothing product).
+    Mul(Box<[AcId]>),
+}
+
+/// The unfolded, smoothed arithmetic circuit of one compiled SDD root.
+///
+/// Node ids are a topological order (children strictly below parents), so
+/// evaluation is a single indexed sweep in either direction.
+pub(crate) struct Ac {
+    nodes: Vec<AcNode>,
+    root: AcId,
+    /// The vtree variables, defining the dense index.
+    vars: Vec<VarId>,
+    /// Per dense variable: the shared `(¬v, v)` leaf ids.
+    leaves: Vec<(AcId, AcId)>,
+}
+
+/// Transient state while unfolding the SDD (see [`Ac::build`]).
+struct Builder<'m> {
+    mgr: &'m SddManager,
+    nodes: Vec<AcNode>,
+    /// Per vtree node: the shared smoothing subcircuit `⊗ (w⁻ ⊕ w⁺)`.
+    gapc: Vec<AcId>,
+    /// Per decision node: its unsmoothed `⊕ (prime ⊗ sub)` gate.
+    rawc: FxHashMap<SddId, AcId>,
+    var_index: FxHashMap<VarId, u32>,
+    leaves: Vec<(AcId, AcId)>,
+}
+
+impl<'m> Builder<'m> {
+    fn push(&mut self, n: AcNode) -> AcId {
+        let id = self.nodes.len() as AcId;
+        self.nodes.push(n);
+        id
+    }
+
+    /// AC gate computing `a`'s value over the scope of vtree node `scope`.
+    fn scoped(&mut self, a: SddId, scope: VtreeNodeId) -> AcId {
+        match self.mgr.node(a) {
+            SddNode::False => 0,
+            SddNode::True => self.gapc[scope.index()],
+            SddNode::Literal { var, positive } => {
+                let vi = self.var_index[var] as usize;
+                let leaf = if *positive {
+                    self.leaves[vi].1
+                } else {
+                    self.leaves[vi].0
+                };
+                let target = self.mgr.vtree().leaf_of_var(*var).expect("var in vtree");
+                self.smoothed(leaf, scope, target)
+            }
+            SddNode::Decision { vnode, .. } => {
+                let (vnode, raw) = (*vnode, self.rawc[&a]);
+                self.smoothed(raw, scope, vnode)
+            }
+        }
+    }
+
+    /// Multiply `base` by the smoothing gaps of every subtree branched away
+    /// from on the vtree walk `scope → target` ([`vtree::Vtree::branched_away`]).
+    fn smoothed(&mut self, base: AcId, scope: VtreeNodeId, target: VtreeNodeId) -> AcId {
+        let mut factors = vec![base];
+        let gapc = &self.gapc;
+        self.mgr
+            .vtree()
+            .branched_away(scope, target, |t| factors.push(gapc[t.index()]));
+        if factors.len() == 1 {
+            base
+        } else {
+            self.push(AcNode::Mul(factors.into_boxed_slice()))
+        }
+    }
+}
+
+impl Ac {
+    /// Unfold the SDD rooted at `root` into its smoothed arithmetic
+    /// circuit. Runs once per knowledge base; every query afterwards is a
+    /// sweep (or two) over the result.
+    pub fn build(mgr: &SddManager, root: SddId) -> Ac {
+        let vt = mgr.vtree();
+        let vars: Vec<VarId> = vt.vars().to_vec();
+        let mut b = Builder {
+            mgr,
+            nodes: vec![AcNode::Zero],
+            gapc: vec![0; vt.num_nodes()],
+            rawc: FxHashMap::default(),
+            var_index: vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u32))
+                .collect(),
+            leaves: Vec::with_capacity(vars.len()),
+        };
+        // Shared literal leaves, one pair per variable.
+        for i in 0..vars.len() as u32 {
+            let neg = b.push(AcNode::Leaf {
+                var: i,
+                positive: false,
+            });
+            let pos = b.push(AcNode::Leaf {
+                var: i,
+                positive: true,
+            });
+            b.leaves.push((neg, pos));
+        }
+        // Smoothing subcircuits, bottom-up over the vtree.
+        for n in vt.bottom_up_order() {
+            b.gapc[n.index()] = match vt.children(n) {
+                None => {
+                    let v = vt.leaf_var(n).expect("leaf");
+                    let (neg, pos) = b.leaves[b.var_index[&v] as usize];
+                    b.push(AcNode::Add(Box::new([neg, pos])))
+                }
+                Some((l, r)) => {
+                    let (gl, gr) = (b.gapc[l.index()], b.gapc[r.index()]);
+                    b.push(AcNode::Mul(Box::new([gl, gr])))
+                }
+            };
+        }
+        // Decision nodes in ascending id order — the manager creates
+        // children before parents, so this is a topological order.
+        let mut decisions = mgr.reachable_decisions(root);
+        decisions.sort_unstable();
+        for d in decisions {
+            let SddNode::Decision { vnode, elems } = mgr.node(d) else {
+                unreachable!("reachable_decisions returns decisions");
+            };
+            let (vnode, elems) = (*vnode, elems.clone());
+            let (lv, rv) = vt.children(vnode).expect("internal vnode");
+            let parts: Vec<AcId> = elems
+                .iter()
+                .map(|&(p, s)| {
+                    let pa = b.scoped(p, lv);
+                    let sa = b.scoped(s, rv);
+                    b.push(AcNode::Mul(Box::new([pa, sa])))
+                })
+                .collect();
+            let raw = b.push(AcNode::Add(parts.into_boxed_slice()));
+            b.rawc.insert(d, raw);
+        }
+        let root_ac = b.scoped(root, vt.root());
+        Ac {
+            nodes: b.nodes,
+            root: root_ac,
+            vars,
+            leaves: b.leaves,
+        }
+    }
+
+    /// Gates in the unfolded circuit.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Upward pass: the value of every gate under `weights` (indexed by
+    /// dense variable, `(w⁻, w⁺)`).
+    pub fn eval<S: Semiring>(&self, s: &S, weights: &[(S::Elem, S::Elem)]) -> Vec<S::Elem> {
+        let mut vals: Vec<S::Elem> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let v = match node {
+                AcNode::Zero => s.zero(),
+                AcNode::Leaf { var, positive } => {
+                    let (wn, wp) = &weights[*var as usize];
+                    if *positive {
+                        wp.clone()
+                    } else {
+                        wn.clone()
+                    }
+                }
+                AcNode::Add(ch) => {
+                    let mut acc = s.zero();
+                    for &c in ch.iter() {
+                        acc = s.add(&acc, &vals[c as usize]);
+                    }
+                    acc
+                }
+                AcNode::Mul(ch) => {
+                    let mut acc = s.one();
+                    for &c in ch.iter() {
+                        acc = s.mul(&acc, &vals[c as usize]);
+                    }
+                    acc
+                }
+            };
+            vals.push(v);
+        }
+        vals
+    }
+
+    /// Downward pass: `dr[g]` = ∂(root)/∂(gate g), the semiring
+    /// generalization of backpropagation. `⊕`-gates pass their derivative
+    /// through; `⊗`-gates multiply it by the product of the *other*
+    /// children's values (computed with prefix/suffix products, so the pass
+    /// stays linear even for wide gates).
+    pub fn backprop<S: Semiring>(&self, s: &S, vals: &[S::Elem]) -> Vec<S::Elem> {
+        let mut dr: Vec<S::Elem> = vec![s.zero(); self.nodes.len()];
+        dr[self.root as usize] = s.one();
+        for id in (0..self.nodes.len()).rev() {
+            match &self.nodes[id] {
+                AcNode::Add(ch) => {
+                    let d = dr[id].clone();
+                    for &c in ch.iter() {
+                        dr[c as usize] = s.add(&dr[c as usize], &d);
+                    }
+                }
+                AcNode::Mul(ch) => {
+                    let d = dr[id].clone();
+                    match ch.len() {
+                        0 => {}
+                        1 => {
+                            let c = ch[0] as usize;
+                            dr[c] = s.add(&dr[c], &d);
+                        }
+                        2 => {
+                            let (a, b) = (ch[0] as usize, ch[1] as usize);
+                            dr[a] = s.add(&dr[a], &s.mul(&d, &vals[b]));
+                            dr[b] = s.add(&dr[b], &s.mul(&d, &vals[a]));
+                        }
+                        n => {
+                            // prefix[i] = v₀⊗…⊗vᵢ₋₁, built left to right;
+                            // suffix runs right to left.
+                            let mut prefix = Vec::with_capacity(n);
+                            let mut acc = s.one();
+                            for &c in ch.iter() {
+                                prefix.push(acc.clone());
+                                acc = s.mul(&acc, &vals[c as usize]);
+                            }
+                            let mut suffix = s.one();
+                            for i in (0..n).rev() {
+                                let c = ch[i] as usize;
+                                let other = s.mul(&prefix[i], &suffix);
+                                dr[c] = s.add(&dr[c], &s.mul(&d, &other));
+                                suffix = s.mul(&suffix, &vals[c]);
+                            }
+                        }
+                    }
+                }
+                AcNode::Zero | AcNode::Leaf { .. } => {}
+            }
+        }
+        dr
+    }
+
+    /// Two-pass marginals: returns the root value plus, per dense variable,
+    /// the unnormalized pair `(m⁻, m⁺)` — the total weight of models
+    /// setting the variable false resp. true. Smoothness guarantees
+    /// `m⁻ ⊕ m⁺ = root value` for every variable.
+    pub fn marginals<S: Semiring>(
+        &self,
+        s: &S,
+        weights: &[(S::Elem, S::Elem)],
+    ) -> Marginals<S::Elem> {
+        let vals = self.eval(s, weights);
+        let dr = self.backprop(s, &vals);
+        let pairs = self
+            .leaves
+            .iter()
+            .enumerate()
+            .map(|(i, &(neg, pos))| {
+                let (wn, wp) = &weights[i];
+                (s.mul(wn, &dr[neg as usize]), s.mul(wp, &dr[pos as usize]))
+            })
+            .collect();
+        (vals[self.root as usize].clone(), pairs)
+    }
+
+    /// Most probable explanation: evaluate in [`MaxPlus`] over
+    /// **log**-weights, then descend from the root following the argmax
+    /// child of every `⊕`-gate (and every child of every `⊗`-gate) to read
+    /// off the witnessing assignment. Returns `None` when no model has
+    /// nonzero weight (root value `-∞`). The returned log-weight is the
+    /// witness's exact log-weight; each variable's polarity appears exactly
+    /// once because the circuit is smooth and decomposable.
+    pub fn mpe(&self, log_weights: &[(f64, f64)]) -> Option<(f64, Vec<bool>)> {
+        let s = MaxPlus;
+        let vals = self.eval(&s, log_weights);
+        let best = vals[self.root as usize];
+        if best == f64::NEG_INFINITY {
+            return None;
+        }
+        let mut assignment: Vec<Option<bool>> = vec![None; self.vars.len()];
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            match &self.nodes[id as usize] {
+                AcNode::Zero => unreachable!("finite-valued gates have no Zero children"),
+                AcNode::Leaf { var, positive } => {
+                    let slot = &mut assignment[*var as usize];
+                    debug_assert!(
+                        slot.is_none() || *slot == Some(*positive),
+                        "decomposability: one polarity per variable"
+                    );
+                    *slot = Some(*positive);
+                }
+                AcNode::Add(ch) => {
+                    // The argmax back-pointer: the child carrying the gate's
+                    // value (max_by keeps the last maximal element, so ties
+                    // resolve to the last child).
+                    let &arg = ch
+                        .iter()
+                        .max_by(|&&a, &&b| {
+                            vals[a as usize]
+                                .partial_cmp(&vals[b as usize])
+                                .expect("log-weights are never NaN")
+                        })
+                        .expect("decisions and gaps have children");
+                    stack.push(arg);
+                }
+                AcNode::Mul(ch) => stack.extend_from_slice(ch),
+            }
+        }
+        let witness = assignment
+            .into_iter()
+            .map(|b| b.expect("smoothness: every variable decided"))
+            .collect();
+        Some((best, witness))
+    }
+
+    /// The `k` heaviest models by log-weight, each as `(log-weight,
+    /// assignment over the dense variables)`, heaviest first. The sweep
+    /// carries a top-`k` list per gate: `⊕` merges its children's lists
+    /// (determinism — branches share no model, so no deduplication is
+    /// needed), `⊗` crosses them (decomposability — scopes are disjoint, so
+    /// assignments union). Models of weight zero are never materialized.
+    pub fn top_k(&self, log_weights: &[(f64, f64)], k: usize) -> Vec<(f64, Vec<bool>)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let words = self.vars.len().div_ceil(64);
+        // A candidate: log-weight plus the variables assigned true so far
+        // (false is the default — at the root, every variable was decided).
+        type Cand = (f64, Vec<u64>);
+        let cross = |a: &[Cand], b: &[Cand]| -> Vec<Cand> {
+            let mut out: Vec<Cand> = Vec::with_capacity(a.len() * b.len());
+            for (wa, ba) in a {
+                for (wb, bb) in b {
+                    let bits = ba.iter().zip(bb).map(|(x, y)| x | y).collect();
+                    out.push((wa + wb, bits));
+                }
+            }
+            out.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("no NaN log-weights"));
+            out.truncate(k);
+            out
+        };
+        let mut lists: Vec<Vec<Cand>> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let l: Vec<Cand> = match node {
+                AcNode::Zero => Vec::new(),
+                AcNode::Leaf { var, positive } => {
+                    let (wn, wp) = log_weights[*var as usize];
+                    let w = if *positive { wp } else { wn };
+                    if w == f64::NEG_INFINITY {
+                        Vec::new()
+                    } else {
+                        let mut bits = vec![0u64; words];
+                        if *positive {
+                            bits[*var as usize / 64] |= 1u64 << (*var as usize % 64);
+                        }
+                        vec![(w, bits)]
+                    }
+                }
+                AcNode::Add(ch) => {
+                    let mut merged: Vec<Cand> = Vec::new();
+                    for &c in ch.iter() {
+                        merged.extend_from_slice(&lists[c as usize]);
+                    }
+                    merged.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("no NaN log-weights"));
+                    merged.truncate(k);
+                    merged
+                }
+                AcNode::Mul(ch) => {
+                    let mut acc: Vec<Cand> = vec![(0.0, vec![0u64; words])];
+                    for &c in ch.iter() {
+                        acc = cross(&acc, &lists[c as usize]);
+                        if acc.is_empty() {
+                            break;
+                        }
+                    }
+                    acc
+                }
+            };
+            lists.push(l);
+        }
+        lists[self.root as usize]
+            .iter()
+            .map(|(w, bits)| {
+                let asg = (0..self.vars.len())
+                    .map(|i| bits[i / 64] >> (i % 64) & 1 == 1)
+                    .collect();
+                (*w, asg)
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,318 @@
+//! Property tests for the knowledge-base serving layer (via the workspace
+//! proptest shim): every KB query is pinned against brute-force
+//! enumeration on kernel-sized random formulas, and the log-space carrier
+//! against the exact rational engine on the chain families.
+
+use arith::{LogF64, Rational};
+use boolfunc::Assignment;
+use cnf::{families, CnfFormula};
+use kb::{KbError, KnowledgeBase};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sentential_core::Compiler;
+use vtree::VarId;
+
+/// A seeded random formula over `n ≤ 16` variables plus per-variable
+/// probabilities bounded away from 0 and 1 (no degenerate weights).
+///
+/// Clauses draw their variables from a random sliding window of width ≤ 3,
+/// with uniform polarities: the polarity/satisfiability structure is fully
+/// random (unsatisfiable instances included), while the primal treewidth
+/// stays ≤ 3 — an *unstructured* random CNF at treewidth ~10 makes the
+/// bottom-up apply compilation take tens of seconds per case in debug
+/// builds, which is the regime the paper's pipeline is explicitly not for.
+fn random_instance(n: u32, m: usize, seed: u64) -> (CnfFormula, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = 3u32.min(n);
+    let mut f = CnfFormula::new(n);
+    for _ in 0..m {
+        let start = rng.gen_range(0..n - w + 1);
+        let k = rng.gen_range(1..=w);
+        let mut vars: Vec<u32> = (start..start + w).collect();
+        for i in (1..vars.len()).rev() {
+            vars.swap(i, rng.gen_range(0..i as u32 + 1) as usize);
+        }
+        f.add_clause(
+            vars.into_iter()
+                .take(k as usize)
+                .map(|v| (VarId(v), rng.gen_bool(0.5)))
+                .collect(),
+        );
+    }
+    let probs = (0..n)
+        .map(|_| 0.05 + 0.9 * rng.gen_range(0.0..1.0))
+        .collect();
+    (f, probs)
+}
+
+fn kb_of(f: &CnfFormula, probs: &[f64]) -> KnowledgeBase {
+    let mut kb = KnowledgeBase::compile_cnf(&Compiler::new(), f).expect("compiles");
+    for (i, &p) in probs.iter().enumerate() {
+        kb.set_probability(VarId(i as u32), p).unwrap();
+    }
+    kb
+}
+
+/// Weight of one complete assignment (bit `i` = variable `i`) under
+/// independent probabilities.
+fn weight_of(mask: u64, probs: &[f64]) -> f64 {
+    probs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| if mask >> i & 1 == 1 { p } else { 1.0 - p })
+        .product()
+}
+
+/// All models of `f ∧ lits` with their weights, by enumeration over raw
+/// bitmasks (bit `i` = variable `i`) — cheap enough for 2^16 worlds per
+/// proptest case.
+fn brute_models(f: &CnfFormula, probs: &[f64], lits: &[(VarId, bool)]) -> Vec<(u64, f64)> {
+    let holds = |mask: u64| {
+        f.clauses()
+            .iter()
+            .all(|c| c.iter().any(|&(v, pos)| (mask >> v.0 & 1 == 1) == pos))
+            && lits.iter().all(|&(v, b)| (mask >> v.0 & 1 == 1) == b)
+    };
+    (0..1u64 << probs.len())
+        .filter(|&m| holds(m))
+        .map(|m| (m, weight_of(m, probs)))
+        .collect()
+}
+
+/// Does `a` denote the same world as `mask`?
+fn agrees(a: &Assignment, mask: u64, n: usize) -> bool {
+    (0..n).all(|i| a.get(VarId(i as u32)) == Some(mask >> i & 1 == 1))
+}
+
+/// `ln` of a positive rational, exactly enough for 1e-9 comparisons at any
+/// size: split numerator and denominator into `mantissa · 2^shift`.
+fn ln_rational(r: &Rational) -> f64 {
+    fn ln_big(b: &arith::BigUint) -> f64 {
+        let bits = b.bits();
+        if bits <= 53 {
+            return b.to_f64().ln();
+        }
+        let shift = bits - 53;
+        b.shr(shift).to_f64().ln() + shift as f64 * std::f64::consts::LN_2
+    }
+    assert!(!r.is_negative() && !r.is_zero());
+    ln_big(r.numer()) - ln_big(r.denom())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `mpe()` finds exactly the maximum brute-force model weight (and its
+    /// witness carries that weight — witnesses may differ under ties, the
+    /// weight may not).
+    #[test]
+    fn mpe_matches_brute_force(n in 2u32..=16, m in 0usize..20, seed: u64) {
+        let (f, probs) = random_instance(n, m, seed);
+        let mut kb = kb_of(&f, &probs);
+        let models = brute_models(&f, &probs, &[]);
+        match kb.mpe() {
+            Err(KbError::Inconsistent) => prop_assert!(models.is_empty(), "KB says unsat"),
+            Err(e) => panic!("unexpected error {e}"),
+            Ok(mpe) => {
+                let best = models
+                    .iter()
+                    .map(|(_, w)| *w)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(!models.is_empty());
+                prop_assert!(f.eval(&mpe.assignment), "witness satisfies f");
+                let got = mpe.weight();
+                prop_assert!(
+                    (got - best).abs() <= 1e-9 * best,
+                    "mpe weight {got} vs brute best {best}"
+                );
+            }
+        }
+    }
+
+    /// `all_marginals()` agrees with brute-force `P(v = 1 | F)` for every
+    /// variable.
+    #[test]
+    fn marginals_match_brute_force(n in 2u32..=16, m in 0usize..20, seed: u64) {
+        let (f, probs) = random_instance(n, m, seed);
+        let mut kb = kb_of(&f, &probs);
+        let models = brute_models(&f, &probs, &[]);
+        let total: f64 = models.iter().map(|(_, w)| w).sum();
+        match kb.all_marginals() {
+            Err(KbError::Inconsistent) => prop_assert!(models.is_empty()),
+            Err(e) => panic!("unexpected error {e}"),
+            Ok(marginals) => {
+                prop_assert!(total > 0.0);
+                for (v, got) in marginals {
+                    let with_v: f64 = models
+                        .iter()
+                        .filter(|&&(mask, _)| mask >> v.0 & 1 == 1)
+                        .map(|(_, w)| w)
+                        .sum();
+                    let expect = with_v / total;
+                    prop_assert!(
+                        (got - expect).abs() < 1e-9,
+                        "marginal {v}: {got} vs {expect}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Top-k enumeration returns exactly the k heaviest brute-force
+    /// models: distinct, satisfying, sorted, and weight-for-weight equal
+    /// to the sorted brute-force prefix (k is capped — carrying thousands
+    /// of candidate models per gate is not what top-k is for).
+    #[test]
+    fn enumeration_is_the_sorted_brute_force_prefix(n in 2u32..=12, m in 0usize..16, seed: u64) {
+        let (f, probs) = random_instance(n, m, seed);
+        let mut kb = kb_of(&f, &probs);
+        let mut models = brute_models(&f, &probs, &[]);
+        models.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let k = models.len().min(9) + 2;
+        let listed = kb.enumerate_models(k);
+        prop_assert_eq!(listed.len(), models.len().min(k));
+        let mut seen = std::collections::HashSet::new();
+        for (rank, m) in listed.iter().enumerate() {
+            prop_assert!(f.eval(&m.assignment));
+            let twin = models
+                .iter()
+                .find(|&&(mask, _)| agrees(&m.assignment, mask, n as usize))
+                .expect("every enumerated model is a brute-force model");
+            prop_assert!((m.weight() - twin.1).abs() < 1e-12);
+            prop_assert!(seen.insert(twin.0), "duplicate model in enumeration");
+            // Weight-for-weight the sorted brute-force prefix (witnesses
+            // may permute within ties).
+            prop_assert!(
+                (m.weight() - models[rank].1).abs() < 1e-12,
+                "rank {rank}: {} vs {}",
+                m.weight(),
+                models[rank].1
+            );
+        }
+        for w in listed.windows(2) {
+            prop_assert!(w[0].log_weight >= w[1].log_weight - 1e-12);
+        }
+    }
+
+    /// The chain rule on the serving layer: P(q ∧ e) = P(q | e) · P(e),
+    /// with P(q | e) read off a *conditioned* KB and both other factors
+    /// off the unconditioned one.
+    #[test]
+    fn condition_then_count_is_consistent(n in 3u32..=14, m in 0usize..18, seed: u64) {
+        let (f, probs) = random_instance(n, m, seed);
+        let mut kb = kb_of(&f, &probs);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE51D);
+        let ev = (VarId(rng.gen_range(0..n)), rng.gen_bool(0.5));
+        let qv = VarId((ev.0 .0 + 1 + rng.gen_range(0..n - 1)) % n);
+        let q = (qv, rng.gen_bool(0.5));
+        prop_assume!(q.0 != ev.0);
+
+        // P(q ∧ e) and P(e) on the unconditioned base.
+        let p_q_and_e = kb.query(&[q, ev]);
+        let p_e = kb.query(&[ev]);
+        let (Ok(p_q_and_e), Ok(p_e)) = (p_q_and_e, p_e) else {
+            // Unsatisfiable formula: nothing to check.
+            prop_assert!(brute_models(&f, &probs, &[]).is_empty());
+            continue;
+        };
+        // P(q | e) on the conditioned base.
+        match kb.condition(&[ev]) {
+            Err(KbError::Inconsistent) => {
+                prop_assert!(brute_models(&f, &probs, &[ev]).is_empty());
+                kb.retract();
+                continue;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+            Ok(()) => {}
+        }
+        if p_e == 0.0 {
+            // Structurally consistent but measure-zero evidence cannot be
+            // conditioned on numerically.
+            continue;
+        }
+        let p_q_given_e = kb.marginal(q.0).unwrap();
+        let p_q_given_e = if q.1 { p_q_given_e } else { 1.0 - p_q_given_e };
+        prop_assert!(
+            (p_q_and_e - p_q_given_e * p_e).abs() < 1e-9,
+            "P(q ∧ e) = {p_q_and_e} vs P(q|e)·P(e) = {}",
+            p_q_given_e * p_e
+        );
+        // And the brute-force anchor for the joint.
+        let total: f64 = brute_models(&f, &probs, &[]).iter().map(|(_, w)| w).sum();
+        let joint: f64 = brute_models(&f, &probs, &[q, ev]).iter().map(|(_, w)| w).sum();
+        prop_assert!((p_q_and_e - joint / total).abs() < 1e-9);
+    }
+}
+
+/// `LogF64` stays within 1e-9 (relative, in log space) of the exact
+/// `Rational` engine on the weighted chain families. (Sizes are capped at
+/// 120: the exact side's rationals grow ~`10^n`-denominator normal forms,
+/// whose gcd normalization is what the log carrier exists to avoid — the
+/// 10k-variable test below covers the large end without the `Rat` anchor.)
+#[test]
+fn logf64_tracks_exact_rationals_on_chains() {
+    for n in [25u32, 50, 80, 120] {
+        let f = families::chain_cnf(n);
+        let compiled = Compiler::new().compile_cnf(&f).unwrap();
+        let weight_of = |v: VarId| {
+            let i = v.index() as u64;
+            (
+                Rational::from_ratio(((i % 7) + 1).into(), 10u64.into()),
+                Rational::from_ratio(((i % 9) + 1).into(), 10u64.into()),
+            )
+        };
+        let exact = compiled.sdd.weighted_count_exact(compiled.root, weight_of);
+        let expect = ln_rational(&exact);
+        let logged = compiled.sdd.evaluate(compiled.root, &LogF64, |v, pos| {
+            let (wn, wp) = weight_of(v);
+            if pos {
+                wp.to_f64().ln()
+            } else {
+                wn.to_f64().ln()
+            }
+        });
+        let rel = (logged - expect).abs() / expect.abs().max(1.0);
+        assert!(
+            rel < 1e-9,
+            "n={n}: log-space {logged} vs exact {expect} (rel {rel:.2e})"
+        );
+    }
+}
+
+/// At 10k variables the chain's weighted count is far below `f64::MIN` —
+/// the linear engine underflows to 0, the log-space engine keeps the full
+/// answer. (The underflow-safety claim of the semiring-zoo roadmap item.)
+/// Runs on a dedicated wide-stack thread: the engine recursions are
+/// vtree-depth-deep, and a 10k chain's vtree is ~10k deep in debug builds.
+#[test]
+fn logf64_survives_ten_thousand_variables() {
+    std::thread::Builder::new()
+        .stack_size(256 * 1024 * 1024)
+        .spawn(logf64_ten_thousand_body)
+        .expect("spawn wide-stack thread")
+        .join()
+        .expect("10k-variable body");
+}
+
+fn logf64_ten_thousand_body() {
+    let n = 10_000u32;
+    let f = families::chain_cnf(n);
+    let compiled = Compiler::new().compile_cnf(&f).unwrap();
+    let linear = compiled.sdd.weighted_count(compiled.root, |_| (1e-3, 1e-3));
+    assert_eq!(linear, 0.0, "the f64 engine underflows at this size");
+    let logged = compiled
+        .sdd
+        .evaluate(compiled.root, &LogF64, |_, _| (1e-3f64).ln());
+    assert!(logged.is_finite());
+    // W = count · (1e-3)^n, so ln W = ln count + n · ln 1e-3 exactly.
+    let ln_count = ln_rational(&Rational::from_ratio(
+        families::chain_count(n),
+        arith::BigUint::one(),
+    ));
+    let expect = ln_count + n as f64 * (1e-3f64).ln();
+    assert!(
+        (logged - expect).abs() < 1e-6 * expect.abs(),
+        "{logged} vs {expect}"
+    );
+}

@@ -32,6 +32,13 @@ pub enum QueryCompileError {
     Query(QueryError),
     /// The lineage circuit failed to compile.
     Compile(CompileError),
+    /// The lineage is constant — no tuple influences the query — so there
+    /// is no SDD to serve ([`QueryCompiler::knowledge_base`] only;
+    /// `probability` answers `holds as f64` directly).
+    ConstantLineage {
+        /// Whether the query holds regardless of the tuples.
+        holds: bool,
+    },
 }
 
 impl fmt::Display for QueryCompileError {
@@ -39,6 +46,13 @@ impl fmt::Display for QueryCompileError {
         match self {
             QueryCompileError::Query(e) => write!(f, "invalid query: {e}"),
             QueryCompileError::Compile(e) => write!(f, "lineage compilation failed: {e}"),
+            QueryCompileError::ConstantLineage { holds } => {
+                write!(
+                    f,
+                    "constant lineage (query {} regardless of tuples): nothing to serve",
+                    if *holds { "holds" } else { "fails" }
+                )
+            }
         }
     }
 }
@@ -48,6 +62,7 @@ impl std::error::Error for QueryCompileError {
         match self {
             QueryCompileError::Query(e) => Some(e),
             QueryCompileError::Compile(e) => Some(e),
+            QueryCompileError::ConstantLineage { .. } => None,
         }
     }
 }
@@ -161,6 +176,39 @@ impl QueryCompiler {
             report: Some(compiled.report),
         })
     }
+
+    /// Compile `q`'s lineage over `db` **once** and hand back a
+    /// [`kb::KnowledgeBase`] serving it: each variable is one tuple,
+    /// weighted by its marginal probability, so the probabilistic-database
+    /// layer gets conditioning ("given that this tuple is (not) in the
+    /// database…"), posterior tuple marginals, MPE ("the most probable
+    /// world where the query holds"), and top-k world enumeration for free
+    /// — repeated queries never recompile the lineage.
+    ///
+    /// The knowledge base's `log_weight` is `ln P(Q)`; conditioning on
+    /// tuples and re-reading it answers `P(Q | evidence)` directly.
+    ///
+    /// Errors with [`QueryCompileError::ConstantLineage`] when no tuple
+    /// influences the query (nothing to serve — the probability is 0 or 1).
+    pub fn knowledge_base(
+        &self,
+        q: &Ucq,
+        db: &Database,
+    ) -> Result<kb::KnowledgeBase, QueryCompileError> {
+        q.validate(db.schema())?;
+        let lineage = lineage_circuit(q, db);
+        if lineage.vars().is_empty() {
+            let holds = ucq_holds(q, db, &|_| false);
+            return Err(QueryCompileError::ConstantLineage { holds });
+        }
+        let compiled = self.compiler.compile(&lineage)?;
+        let mut base = kb::KnowledgeBase::from_compilation(compiled);
+        for v in base.vars().to_vec() {
+            base.set_probability(v, db.prob_of_var(v))
+                .expect("lineage vars are vtree vars");
+        }
+        Ok(base)
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +270,66 @@ mod tests {
         assert!(matches!(
             QueryCompiler::new().probability(&bad, &db),
             Err(QueryCompileError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn knowledge_base_serves_the_lineage_without_recompiling() {
+        let (q, db) = hierarchical_db();
+        let brute = prob::brute_force_probability(&q, &db);
+        let mut base = QueryCompiler::new().knowledge_base(&q, &db).unwrap();
+        // ln W(lineage) = ln P(Q).
+        assert!((base.weighted_count() - brute).abs() < 1e-10);
+
+        // Condition on the first tuple being present: compare against the
+        // brute-force P(Q ∧ t) over all worlds containing t.
+        let t = base.vars()[0];
+        let brute_with_t = {
+            use crate::schema::TupleId;
+            let n = db.num_tuples();
+            let mut total = 0.0;
+            for mask in 0..(1u64 << n) {
+                if mask >> t.index() & 1 == 0 {
+                    continue; // worlds without t
+                }
+                let present = |tid: TupleId| mask >> tid.0 & 1 == 1;
+                if ucq_holds(&q, &db, &present) {
+                    let mut p = 1.0;
+                    for i in 0..n {
+                        let pt = db.prob(TupleId(i as u32));
+                        p *= if mask >> i & 1 == 1 { pt } else { 1.0 - pt };
+                    }
+                    total += p;
+                }
+            }
+            total
+        };
+        base.condition(&[(t, true)]).unwrap();
+        let conditional = base.probability_of_evidence().unwrap();
+        // P(e) here is P(t) itself; P(Q | t) = W(Q ∧ t) / W(t)… the KB's
+        // weighted count is W(Q ∧ t), so compare against P(Q ∧ t).
+        assert!(
+            (base.weighted_count() - brute_with_t).abs() < 1e-10,
+            "{} vs {brute_with_t}",
+            base.weighted_count()
+        );
+        assert!((conditional - brute_with_t / brute).abs() < 1e-10);
+
+        // MPE: the most probable world where the query holds.
+        let mpe = base.mpe().unwrap();
+        assert_eq!(mpe.assignment.get(t), Some(true));
+
+        base.retract();
+        assert!((base.weighted_count() - brute).abs() < 1e-10);
+    }
+
+    #[test]
+    fn knowledge_base_rejects_constant_lineages() {
+        let (q, schema) = families::two_atom_hierarchical();
+        let db = Database::new(schema);
+        assert!(matches!(
+            QueryCompiler::new().knowledge_base(&q, &db),
+            Err(QueryCompileError::ConstantLineage { holds: false })
         ));
     }
 

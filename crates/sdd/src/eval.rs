@@ -20,11 +20,20 @@
 //!   — `arith::Rat` (`Rational`): exact WMC, no rounding;
 //! * [`SddManager::weighted_count`] / [`SddManager::probability`] —
 //!   `arith::F64`: the fast approximate path.
+//!
+//! For the compile-once/serve-many regime (`kb::KnowledgeBase`), the
+//! one-shot traversal is the wrong shape: every query re-walks the whole
+//! diagram even when only one variable's weight moved. [`EvalCache`] is the
+//! incremental form of the same engine — per-node values carry **epoch
+//! stamps**, each vtree node remembers the last epoch a weight below it
+//! changed, and a re-evaluation recomputes exactly the *dirty cone* (the
+//! vtree ancestors of the changed leaves and the SDD nodes structured by
+//! them), answering everything else from cache.
 
 use crate::{SddId, SddManager, SddNode};
 use arith::{BigUint, Nat, Rat, Rational, Semiring, F64};
 use vtree::fxhash::FxHashMap;
-use vtree::{Side, VarId, VtreeNodeId};
+use vtree::{VarId, VtreeNodeId};
 
 impl SddManager {
     /// Evaluate `root` over all vtree variables in an arbitrary commutative
@@ -47,19 +56,9 @@ impl SddManager {
         for &v in self.vtree.vars() {
             wmap.insert(v, (weight(v, false), weight(v, true)));
         }
-        // gap[t] = ⊗_{v below t} (w⁻(v) ⊕ w⁺(v)), bottom-up over the vtree
-        // (reverse preorder puts every child before its parent).
-        let mut preorder = Vec::with_capacity(self.vtree.num_nodes());
-        let mut stack = vec![self.vtree.root()];
-        while let Some(n) = stack.pop() {
-            preorder.push(n);
-            if let Some((l, r)) = self.vtree.children(n) {
-                stack.push(l);
-                stack.push(r);
-            }
-        }
+        // gap[t] = ⊗_{v below t} (w⁻(v) ⊕ w⁺(v)), bottom-up over the vtree.
         let mut gap: Vec<Option<S::Elem>> = vec![None; self.vtree.num_nodes()];
-        for &n in preorder.iter().rev() {
+        for n in self.vtree.bottom_up_order() {
             let g = match self.vtree.children(n) {
                 None => {
                     let v = self.vtree.leaf_var(n).expect("leaf");
@@ -219,31 +218,241 @@ impl<S: Semiring> Evaluator<'_, S> {
     }
 
     /// `⊗ (w⁻ ⊕ w⁺)` over the variables below `scope` but not below
-    /// `target`: walk down from `scope` to `target`, multiplying the gap of
-    /// every subtree branched away from. Division-free, so it is valid in
-    /// any semiring (the old `f64` engine divided smoothing products back
-    /// out, which has no rational/BigUint analogue at zero weights).
+    /// `target`: the vtree's [`Vtree::branched_away`] walk, multiplying
+    /// the gap of every subtree branched away from. Division-free, so it
+    /// is valid in any semiring (the old `f64` engine divided smoothing
+    /// products back out, which has no rational/BigUint analogue at zero
+    /// weights).
     fn smoothing(&self, scope: VtreeNodeId, target: VtreeNodeId) -> S::Elem {
         let mut acc = self.semiring.one();
-        let mut cur = scope;
-        while cur != target {
-            let (l, r) = self
-                .mgr
-                .vtree
-                .children(cur)
-                .expect("target strictly below scope");
-            match self.mgr.vtree.side_of(cur, target) {
-                Some(Side::Left) => {
-                    acc = self.semiring.mul(&acc, &self.gap[r.index()]);
-                    cur = l;
+        self.mgr.vtree.branched_away(scope, target, |t| {
+            acc = self.semiring.mul(&acc, &self.gap[t.index()]);
+        });
+        acc
+    }
+}
+
+/// Cache-traffic counters of an [`EvalCache`], reported per evaluation run
+/// so serving layers can show how small the dirty cone actually was.
+#[must_use]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct EvalCacheStats {
+    /// Decision-node value lookups.
+    pub lookups: u64,
+    /// Lookups answered by a still-valid cached value.
+    pub hits: u64,
+    /// Decision-node values recomputed (the dirty cone, in nodes).
+    pub recomputed: u64,
+}
+
+impl EvalCacheStats {
+    /// Counter increments since `earlier` (a snapshot of the same cache).
+    pub fn delta_since(&self, earlier: EvalCacheStats) -> EvalCacheStats {
+        EvalCacheStats {
+            lookups: self.lookups.saturating_sub(earlier.lookups),
+            hits: self.hits.saturating_sub(earlier.hits),
+            recomputed: self.recomputed.saturating_sub(earlier.recomputed),
+        }
+    }
+}
+
+/// An **epoch-tagged incremental evaluator**: the semiring engine of
+/// [`SddManager::evaluate`], restructured so repeated evaluations under
+/// changing literal weights only redo the work the changes invalidated.
+///
+/// Every weight update bumps a global epoch and stamps it onto the vtree
+/// path from the variable's leaf to the root (`vnode_epoch`). A cached
+/// value — a decision node's raw value, or a vtree node's smoothing gap —
+/// is valid exactly when its stamp is at least the `vnode_epoch` of the
+/// vtree node it is scoped to: weights enter a value only through the
+/// variables below that node. Changing one variable therefore dirties one
+/// root-to-leaf cone; everything outside it is answered from cache.
+///
+/// The cache is bound to the manager it was created with (values are keyed
+/// by that manager's node and vtree ids); handing any other manager —
+/// same-shaped vtree or not — panics ([`SddManager::uid`]).
+pub struct EvalCache<S: Semiring> {
+    /// The [`SddManager::uid`] this cache is bound to.
+    mgr_uid: u64,
+    semiring: S,
+    /// Bumped on every weight change.
+    epoch: u64,
+    /// Literal weights per variable.
+    weights: FxHashMap<VarId, (S::Elem, S::Elem)>,
+    /// Per vtree node: the last epoch any weight below it changed.
+    vnode_epoch: Vec<u64>,
+    /// Per vtree node: stamped smoothing product `⊗ (w⁻ ⊕ w⁺)`.
+    gap: Vec<Option<(u64, S::Elem)>>,
+    /// Per decision node: stamped raw (unsmoothed) value.
+    raw: FxHashMap<SddId, (u64, S::Elem)>,
+    /// Reverse-preorder vtree traversal, computed once.
+    vtree_postorder: Vec<VtreeNodeId>,
+    stats: EvalCacheStats,
+}
+
+impl<S: Semiring> EvalCache<S> {
+    /// A fresh cache over `mgr`'s vtree with initial literal weights
+    /// `weight(v, polarity)`.
+    pub fn new(mgr: &SddManager, semiring: S, weight: impl Fn(VarId, bool) -> S::Elem) -> Self {
+        let mut weights = FxHashMap::default();
+        for &v in mgr.vtree.vars() {
+            weights.insert(v, (weight(v, false), weight(v, true)));
+        }
+        EvalCache {
+            mgr_uid: mgr.uid(),
+            semiring,
+            epoch: 0,
+            weights,
+            vnode_epoch: vec![0; mgr.vtree.num_nodes()],
+            gap: vec![None; mgr.vtree.num_nodes()],
+            raw: FxHashMap::default(),
+            vtree_postorder: mgr.vtree.bottom_up_order(),
+            stats: EvalCacheStats::default(),
+        }
+    }
+
+    /// The carrier descriptor.
+    pub fn semiring(&self) -> &S {
+        &self.semiring
+    }
+
+    /// The current epoch: bumped by every [`EvalCache::set_weight`], so it
+    /// doubles as a cheap invalidation token for values derived from the
+    /// weights (a serving layer memoizes marginals against it).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The current weight pair `(w⁻, w⁺)` of `v`.
+    pub fn weight(&self, v: VarId) -> &(S::Elem, S::Elem) {
+        &self.weights[&v]
+    }
+
+    /// Lifetime cache-traffic counters (snapshot before a query and
+    /// [`EvalCacheStats::delta_since`] after it for per-query numbers).
+    pub fn stats(&self) -> EvalCacheStats {
+        self.stats
+    }
+
+    /// Update `v`'s weight pair, dirtying exactly the vtree cone above its
+    /// leaf: the next [`EvalCache::evaluate`] recomputes only values scoped
+    /// to an ancestor of `v`.
+    pub fn set_weight(&mut self, mgr: &SddManager, v: VarId, neg: S::Elem, pos: S::Elem) {
+        self.check_binding(mgr);
+        let leaf = mgr.vtree.leaf_of_var(v).expect("weight var in the vtree");
+        self.epoch += 1;
+        self.weights.insert(v, (neg, pos));
+        let mut cur = Some(leaf);
+        while let Some(n) = cur {
+            self.vnode_epoch[n.index()] = self.epoch;
+            cur = mgr.vtree.parent(n);
+        }
+    }
+
+    /// Evaluate `root` over all vtree variables under the current weights,
+    /// reusing every cached value the weight changes since the last call
+    /// did not invalidate.
+    pub fn evaluate(&mut self, mgr: &SddManager, root: SddId) -> S::Elem {
+        self.check_binding(mgr);
+        self.refresh_gaps(mgr);
+        self.scoped(mgr, root, mgr.vtree.root())
+    }
+
+    /// Cached values are keyed by `SddId`s, which are per-manager indices:
+    /// serving them for another manager — even one over an identical vtree
+    /// — would silently return another formula's numbers.
+    fn check_binding(&self, mgr: &SddManager) {
+        assert_eq!(
+            self.mgr_uid,
+            mgr.uid(),
+            "EvalCache is bound to the manager it was created with"
+        );
+    }
+
+    /// Recompute the smoothing gaps whose subtree saw a weight change
+    /// (linear sweep over the vtree — the SDD is the expensive side).
+    fn refresh_gaps(&mut self, mgr: &SddManager) {
+        for i in 0..self.vtree_postorder.len() {
+            let n = self.vtree_postorder[i];
+            let need = self.vnode_epoch[n.index()];
+            if matches!(&self.gap[n.index()], Some((stamp, _)) if *stamp >= need) {
+                continue;
+            }
+            let g = match mgr.vtree.children(n) {
+                None => {
+                    let v = mgr.vtree.leaf_var(n).expect("leaf");
+                    let (wn, wp) = &self.weights[&v];
+                    self.semiring.add(wn, wp)
                 }
-                Some(Side::Right) => {
-                    acc = self.semiring.mul(&acc, &self.gap[l.index()]);
-                    cur = r;
+                Some((l, r)) => {
+                    let gl = &self.gap[l.index()].as_ref().expect("postorder").1;
+                    let gr = &self.gap[r.index()].as_ref().expect("postorder").1;
+                    self.semiring.mul(gl, gr)
                 }
-                None => unreachable!("scoped callers keep target below scope"),
+            };
+            self.gap[n.index()] = Some((self.epoch, g));
+        }
+    }
+
+    fn gap_of(&self, t: VtreeNodeId) -> &S::Elem {
+        &self.gap[t.index()].as_ref().expect("gaps refreshed").1
+    }
+
+    /// Value of `a` over the scope of vtree node `scope` (⊇ `a`'s own scope).
+    fn scoped(&mut self, mgr: &SddManager, a: SddId, scope: VtreeNodeId) -> S::Elem {
+        match mgr.node(a) {
+            SddNode::False => self.semiring.zero(),
+            SddNode::True => self.gap_of(scope).clone(),
+            SddNode::Literal { var, positive } => {
+                let (wn, wp) = &self.weights[var];
+                let lit = if *positive { wp.clone() } else { wn.clone() };
+                let leaf = mgr.vtree.leaf_of_var(*var).expect("var in vtree");
+                let smooth = self.smoothing(mgr, scope, leaf);
+                self.semiring.mul(&lit, &smooth)
+            }
+            SddNode::Decision { vnode, .. } => {
+                let vnode = *vnode;
+                let raw = self.raw(mgr, a, vnode);
+                let smooth = self.smoothing(mgr, scope, vnode);
+                self.semiring.mul(&raw, &smooth)
             }
         }
+    }
+
+    /// Raw (unsmoothed) value of decision `a`, answered from the stamped
+    /// cache when no weight below `vnode` changed since it was computed.
+    fn raw(&mut self, mgr: &SddManager, a: SddId, vnode: VtreeNodeId) -> S::Elem {
+        self.stats.lookups += 1;
+        if let Some((stamp, v)) = self.raw.get(&a) {
+            if *stamp >= self.vnode_epoch[vnode.index()] {
+                self.stats.hits += 1;
+                return v.clone();
+            }
+        }
+        self.stats.recomputed += 1;
+        let SddNode::Decision { elems, .. } = mgr.node(a) else {
+            unreachable!("raw on non-decision");
+        };
+        let elems = elems.clone();
+        let (lv, rv) = mgr.vtree.children(vnode).expect("internal vnode");
+        let mut total = self.semiring.zero();
+        for &(p, s) in elems.iter() {
+            let pc = self.scoped(mgr, p, lv);
+            let sc = self.scoped(mgr, s, rv);
+            total = self.semiring.add(&total, &self.semiring.mul(&pc, &sc));
+        }
+        self.raw.insert(a, (self.epoch, total.clone()));
+        total
+    }
+
+    /// `⊗ (w⁻ ⊕ w⁺)` over the variables below `scope` but not below
+    /// `target` — the division-free smoothing walk of the one-shot engine,
+    /// reading the stamped gap table.
+    fn smoothing(&self, mgr: &SddManager, scope: VtreeNodeId, target: VtreeNodeId) -> S::Elem {
+        let mut acc = self.semiring.one();
+        mgr.vtree.branched_away(scope, target, |t| {
+            acc = self.semiring.mul(&acc, self.gap_of(t));
+        });
         acc
     }
 }
@@ -337,6 +546,123 @@ mod tests {
             }
         });
         assert_eq!(wc, 3.0);
+    }
+
+    #[test]
+    fn eval_cache_matches_one_shot_engine_under_weight_churn() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let f = BoolFn::random(VarSet::from_slice(&vars(8)), &mut rng);
+        let mut m = SddManager::new(Vtree::balanced(&vars(8)).unwrap());
+        let r = m.from_boolfn(&f);
+        let mut probs = [0.5f64; 8];
+        let mut cache = EvalCache::new(&m, F64, |v, pos| {
+            if pos {
+                probs[v.index()]
+            } else {
+                1.0 - probs[v.index()]
+            }
+        });
+        for step in 0..20 {
+            let fresh = m.probability(r, |v| probs[v.index()]);
+            let cached = cache.evaluate(&m, r);
+            assert!(
+                (fresh - cached).abs() < 1e-12,
+                "step {step}: {fresh} vs {cached}"
+            );
+            // Mutate one weight and go around again.
+            let v = VarId(step % 8);
+            probs[v.index()] = (step as f64 * 0.37 + 0.13) % 1.0;
+            cache.set_weight(&m, v, 1.0 - probs[v.index()], probs[v.index()]);
+        }
+    }
+
+    #[test]
+    fn eval_cache_recomputes_only_the_dirty_cone() {
+        // A conjunction of independent literals over a balanced vtree: the
+        // SDD has decision nodes spread across the tree, and flipping one
+        // variable's weight must not touch the opposite half.
+        let n = 16u32;
+        let mut m = SddManager::new(Vtree::balanced(&vars(n)).unwrap());
+        let mut g = TRUE;
+        for i in 0..n {
+            let x = m.literal(VarId(i), true);
+            let o = if i % 2 == 0 { x } else { m.negate(x) };
+            g = m.and(g, o);
+        }
+        let mut cache = EvalCache::new(&m, F64, |_, _| 0.5);
+        let _ = cache.evaluate(&m, g);
+        let cold = cache.stats();
+        assert!(cold.recomputed > 0 && cold.hits <= cold.lookups);
+
+        // Second evaluation with nothing changed: all hits, zero recompute.
+        let _ = cache.evaluate(&m, g);
+        let warm = cache.stats().delta_since(cold);
+        assert_eq!(warm.recomputed, 0, "clean cache must not recompute");
+        // One weight change: strictly fewer recomputations than cold.
+        cache.set_weight(&m, VarId(3), 0.25, 0.75);
+        let before = cache.stats();
+        let _ = cache.evaluate(&m, g);
+        let dirty = cache.stats().delta_since(before);
+        assert!(dirty.recomputed > 0, "the cone above x3 is dirty");
+        assert!(
+            dirty.recomputed < cold.recomputed,
+            "dirty cone ({}) must be smaller than the full diagram ({})",
+            dirty.recomputed,
+            cold.recomputed
+        );
+    }
+
+    #[test]
+    fn eval_cache_carries_any_semiring() {
+        use arith::MaxPlus;
+        // Chain-ish function; max-plus over log-weights = log of the best
+        // model's weight. F = x0 ∨ x2 over 3 vars, w⁺ = 0.8, w⁻ = 0.2:
+        // best model sets everything true: 0.8³.
+        let mut m = SddManager::new(Vtree::balanced(&vars(3)).unwrap());
+        let x0 = m.literal(VarId(0), true);
+        let x2 = m.literal(VarId(2), true);
+        let g = m.or(x0, x2);
+        let mut cache =
+            EvalCache::new(
+                &m,
+                MaxPlus,
+                |_, pos| {
+                    if pos {
+                        (0.8f64).ln()
+                    } else {
+                        (0.2f64).ln()
+                    }
+                },
+            );
+        let best = cache.evaluate(&m, g);
+        assert!((best - (0.8f64).ln() * 3.0).abs() < 1e-12);
+        // Pin x0 false (weight → log 0): best model is now ¬x0 ∧ x2 ∧ x1.
+        cache.set_weight(&m, VarId(0), (1.0f64).ln(), f64::NEG_INFINITY);
+        let best = cache.evaluate(&m, g);
+        assert!((best - (0.8f64).ln() * 2.0).abs() < 1e-12, "{best}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound to the manager")]
+    fn eval_cache_rejects_a_different_manager_with_the_same_vtree_shape() {
+        // SddIds are per-manager indices: a cache built on one manager
+        // must refuse another even when the vtrees are identical.
+        let mut a = SddManager::new(Vtree::balanced(&vars(4)).unwrap());
+        let mut b = SddManager::new(Vtree::balanced(&vars(4)).unwrap());
+        let ra = {
+            let x = a.literal(VarId(0), true);
+            let y = a.literal(VarId(1), true);
+            a.and(x, y)
+        };
+        let rb = {
+            let x = b.literal(VarId(2), true);
+            let y = b.literal(VarId(3), false);
+            b.or(x, y)
+        };
+        let mut cache = EvalCache::new(&a, F64, |_, _| 0.5);
+        let _ = cache.evaluate(&a, ra);
+        let _ = cache.evaluate(&b, rb); // must panic, not mis-serve
     }
 
     #[test]

@@ -80,13 +80,32 @@ enum Op {
 
 /// Counters over a manager's lifetime, reported by [`SddManager::apply_stats`].
 /// Compilation sessions (see `sentential_core::Compiler`) surface these in
-/// their reports to show how much work the apply route did.
+/// their reports to show how much work the apply route did; serving
+/// sessions (`kb::KnowledgeBase`) snapshot them per query via
+/// [`ApplyStats::delta_since`] so reports don't accumulate across a session.
+#[must_use]
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct ApplyStats {
     /// Binary apply (`and`/`or`) invocations, including recursive ones.
     pub apply_calls: u64,
     /// Apply invocations answered from the memo table.
     pub cache_hits: u64,
+}
+
+impl ApplyStats {
+    /// Zero the counters (see also [`SddManager::reset_apply_stats`]).
+    pub fn reset(&mut self) {
+        *self = ApplyStats::default();
+    }
+
+    /// Counter increments since `earlier` (a snapshot of the same manager's
+    /// stats) — the per-query delta serving layers report.
+    pub fn delta_since(&self, earlier: ApplyStats) -> ApplyStats {
+        ApplyStats {
+            apply_calls: self.apply_calls.saturating_sub(earlier.apply_calls),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+        }
+    }
 }
 
 /// An SDD manager over a fixed vtree.
@@ -98,11 +117,17 @@ pub struct SddManager {
     apply_cache: FxHashMap<(Op, SddId, SddId), SddId>,
     neg_cache: FxHashMap<SddId, SddId>,
     stats: ApplyStats,
+    /// Process-unique identity (see [`SddManager::uid`]): node ids are
+    /// per-manager indices, so anything caching values under `SddId`s
+    /// (e.g. `eval::EvalCache`) must be able to tell managers apart.
+    uid: u64,
 }
 
 impl SddManager {
     /// Fresh manager over `vtree`.
     pub fn new(vtree: Vtree) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_UID: AtomicU64 = AtomicU64::new(0);
         SddManager {
             vtree,
             nodes: vec![SddNode::False, SddNode::True],
@@ -111,12 +136,27 @@ impl SddManager {
             apply_cache: FxHashMap::default(),
             neg_cache: FxHashMap::default(),
             stats: ApplyStats::default(),
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
         }
+    }
+
+    /// A process-unique identity for this manager, stable across moves.
+    /// External caches keyed by this manager's [`SddId`]s store it and
+    /// refuse to serve a different manager.
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Lifetime apply counters (see [`ApplyStats`]).
     pub fn apply_stats(&self) -> ApplyStats {
         self.stats
+    }
+
+    /// Zero the lifetime apply counters. Long-lived serving sessions call
+    /// this (or snapshot-and-[`ApplyStats::delta_since`]) between queries
+    /// so each query's report reflects that query alone.
+    pub fn reset_apply_stats(&mut self) {
+        self.stats.reset();
     }
 
     /// The manager's vtree.
@@ -507,16 +547,30 @@ impl SddManager {
     }
 
     /// Evaluate under an assignment covering the vtree variables.
+    /// Memoized per node, so it is linear in the DAG size (the naive
+    /// recursion is exponential on diagrams with heavy sharing).
     pub fn eval(&self, a: SddId, asg: &Assignment) -> bool {
+        let mut memo: FxHashMap<SddId, bool> = FxHashMap::default();
+        self.eval_memo(a, asg, &mut memo)
+    }
+
+    fn eval_memo(&self, a: SddId, asg: &Assignment, memo: &mut FxHashMap<SddId, bool>) -> bool {
         match &self.nodes[a.index()] {
             SddNode::False => false,
             SddNode::True => true,
             SddNode::Literal { var, positive } => {
                 asg.get(*var).expect("assignment covers vtree vars") == *positive
             }
-            SddNode::Decision { elems, .. } => elems
-                .iter()
-                .any(|&(p, s)| self.eval(p, asg) && self.eval(s, asg)),
+            SddNode::Decision { elems, .. } => {
+                if let Some(&b) = memo.get(&a) {
+                    return b;
+                }
+                let b = elems
+                    .iter()
+                    .any(|&(p, s)| self.eval_memo(p, asg, memo) && self.eval_memo(s, asg, memo));
+                memo.insert(a, b);
+                b
+            }
         }
     }
 

@@ -448,6 +448,54 @@ impl Vtree {
         }
     }
 
+    /// Every node with both children before their parent (reverse
+    /// preorder) — the evaluation order of the bottom-up engines
+    /// (`sdd::eval`'s smoothing-gap tables, `kb`'s circuit unfolding).
+    pub fn bottom_up_order(&self) -> Vec<VtreeNodeId> {
+        let mut order = Vec::with_capacity(self.num_nodes());
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            order.push(n);
+            if let Some((l, r)) = self.children(n) {
+                stack.push(l);
+                stack.push(r);
+            }
+        }
+        order.reverse();
+        order
+    }
+
+    /// Walk from `scope` down to `target` (a descendant-or-self of
+    /// `scope`), visiting the root of every subtree branched *away* from —
+    /// exactly the subtrees whose variables lie below `scope` but not
+    /// below `target`. This is the smoothing walk shared by every
+    /// gap-smoothed evaluation (`sdd::eval::{Evaluator, EvalCache}`,
+    /// `kb`'s arithmetic-circuit builder).
+    ///
+    /// Panics if `target` is not below `scope`.
+    pub fn branched_away(
+        &self,
+        scope: VtreeNodeId,
+        target: VtreeNodeId,
+        mut visit: impl FnMut(VtreeNodeId),
+    ) {
+        let mut cur = scope;
+        while cur != target {
+            let (l, r) = self.children(cur).expect("target strictly below scope");
+            match self.side_of(cur, target) {
+                Some(Side::Left) => {
+                    visit(r);
+                    cur = l;
+                }
+                Some(Side::Right) => {
+                    visit(l);
+                    cur = r;
+                }
+                None => panic!("branched_away: target not below scope"),
+            }
+        }
+    }
+
     /// If this vtree is right-linear (every left child a leaf), the variable
     /// order it induces; otherwise `None`.
     pub fn linear_order(&self) -> Option<Vec<VarId>> {
@@ -569,6 +617,35 @@ mod tests {
         assert_ne!(inner, vt.root());
         assert!(vt.is_descendant(inner, vt.root()));
         assert!(!vt.is_descendant(vt.root(), inner));
+    }
+
+    #[test]
+    fn bottom_up_order_puts_children_first() {
+        let vt = Vtree::balanced(&vars(6)).unwrap();
+        let order = vt.bottom_up_order();
+        assert_eq!(order.len(), vt.num_nodes());
+        let pos = |n: VtreeNodeId| order.iter().position(|&m| m == n).unwrap();
+        for n in vt.node_ids() {
+            if let Some((l, r)) = vt.children(n) {
+                assert!(pos(l) < pos(n) && pos(r) < pos(n), "child before parent");
+            }
+        }
+    }
+
+    #[test]
+    fn branched_away_yields_exactly_the_gap_subtrees() {
+        let vs = vars(4);
+        let vt = Vtree::balanced(&vs).unwrap(); // ((x0 x1) (x2 x3))
+        let l0 = vt.leaf_of_var(vs[0]).unwrap();
+        let mut gaps = Vec::new();
+        vt.branched_away(vt.root(), l0, |t| gaps.push(t));
+        // Walking root → x0 branches away (x2 x3), then x1.
+        let skipped: Vec<Vec<VarId>> = gaps.iter().map(|&t| vt.vars_below(t).to_vec()).collect();
+        assert_eq!(skipped, vec![vec![vs[2], vs[3]], vec![vs[1]]]);
+        // Walking to itself branches away nothing.
+        let mut none = Vec::new();
+        vt.branched_away(l0, l0, |t| none.push(t));
+        assert!(none.is_empty());
     }
 
     #[test]

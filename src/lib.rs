@@ -21,8 +21,9 @@
 //! | [`circuit`] | circuits, NNF, Tseitin, primal graphs, structure checks, families |
 //! | [`obdd`] | reduced OBDDs: apply, counting, width, order search |
 //! | [`sdd`] | SDDs: apply, canonicity, counting, the paper's SDD width, apply-stats report hooks |
-//! | [`sentential_core`] | the paper: Lemma 1 vtrees, `C_{F,T}` (Thm 3), `S_{F,T}` (Thm 4), bounds, ctw tooling, Appendix A — behind the [`Compiler`] session API (strategy enums [`TwBackend`](sentential_core::TwBackend) / [`VtreeStrategy`](sentential_core::VtreeStrategy) / [`Route`](sentential_core::Route), unified [`CompileError`](sentential_core::CompileError), timed [`CompileReport`](sentential_core::CompileReport)) |
-//! | [`query`] | probabilistic databases, UCQ(≠), lineages, inversions — behind the [`QueryCompiler`] facade |
+//! | [`sentential_core`] | the paper: Lemma 1 vtrees, `C_{F,T}` (Thm 3), `S_{F,T}` (Thm 4), bounds, ctw tooling, Appendix A — behind the [`Compiler`] session API (strategy enums [`TwBackend`](sentential_core::TwBackend) / [`VtreeStrategy`](sentential_core::VtreeStrategy) / [`Route`](sentential_core::Route) / [`GraphKind`](sentential_core::GraphKind), unified [`CompileError`](sentential_core::CompileError), timed [`CompileReport`](sentential_core::CompileReport)) |
+//! | [`kb`] | the serving layer: [`KnowledgeBase`](kb::KnowledgeBase) — compile once, then conditioning, marginals, MPE, top-k enumeration, entailment over the cached SDD |
+//! | [`query`] | probabilistic databases, UCQ(≠), lineages, inversions — behind the [`QueryCompiler`] facade (and [`QueryCompiler::knowledge_base`](query::QueryCompiler::knowledge_base) for the serving layer) |
 //!
 //! ## Quickstart: circuits
 //!
@@ -77,6 +78,7 @@ pub use boolfunc;
 pub use circuit;
 pub use cnf;
 pub use graphtw;
+pub use kb;
 pub use obdd;
 pub use query;
 pub use sdd;
@@ -90,6 +92,7 @@ pub mod prelude {
     pub use circuit::{self, Circuit, CircuitBuilder};
     pub use cnf::{self, CnfFormula};
     pub use graphtw::{self, Graph};
+    pub use kb::{self, KbError, KnowledgeBase};
     pub use obdd::Obdd;
     pub use query::{self, Database, QueryCompiler, Schema, Ucq};
     pub use sdd::SddManager;
@@ -97,7 +100,7 @@ pub mod prelude {
     pub use sentential_core::compile_circuit;
     pub use sentential_core::{
         self, CompileError, CompileOptions, CompileReport, Compiler, CompilerBuilder, CountReport,
-        Route, TwBackend, Validation, VtreeStrategy,
+        GraphKind, Route, TwBackend, Validation, VtreeStrategy,
     };
     pub use vtree::{VarId, Vtree};
 }
