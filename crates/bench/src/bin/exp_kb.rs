@@ -67,13 +67,12 @@ fn main() {
     ]);
     let mut records = Vec::new();
 
-    let mut run = |label: &str, n: u32, f: &CnfFormula| {
-        let compiler = Compiler::new();
+    let mut run = |label: &str, n: u32, f: &CnfFormula, compiler: &Compiler| {
         let nv = f.num_vars() as usize;
 
         // Compile once, weight once: the knowledge base under test.
         let t0 = Instant::now();
-        let mut kb = KnowledgeBase::compile_cnf(&compiler, f)
+        let mut kb = KnowledgeBase::compile_cnf(compiler, f)
             .unwrap_or_else(|e| panic!("{label} n={n}: {e}"));
         for i in 0..nv {
             kb.set_probability(VarId(i as u32), prior(i)).unwrap();
@@ -99,7 +98,7 @@ fn main() {
         let mut last_cold = 0.0;
         for j in WARM_QUERIES - RECOMPILE_QUERIES..WARM_QUERIES {
             let v = VarId((j % nv) as u32);
-            let mut cold = KnowledgeBase::compile_cnf(&compiler, f)
+            let mut cold = KnowledgeBase::compile_cnf(compiler, f)
                 .unwrap_or_else(|e| panic!("{label} n={n} (recompile): {e}"));
             for i in 0..nv {
                 cold.set_probability(VarId(i as u32), prior(i)).unwrap();
@@ -184,9 +183,10 @@ fn main() {
 
     // The strategy-matrix families: chains (treewidth 1) and bands
     // (treewidth w-1), the same shapes exp_mc counts.
+    let default_compiler = Compiler::new();
     let chain_ns: &[u32] = if smoke { &[60] } else { &[60, 120, 240] };
     for &n in chain_ns {
-        run("chain", n, &families::chain_cnf(n));
+        run("chain", n, &families::chain_cnf(n), &default_compiler);
     }
     let bands: &[(u32, u32)] = if smoke {
         &[(30, 3)]
@@ -194,7 +194,23 @@ fn main() {
         &[(30, 3), (60, 3), (60, 4)]
     };
     for &(n, w) in bands {
-        run(&format!("band_w{w}"), n, &families::band_cnf(n, w));
+        run(
+            &format!("band_w{w}"),
+            n,
+            &families::band_cnf(n, w),
+            &default_compiler,
+        );
+    }
+
+    // Deep chains: vtree depth = variable count, the worklist engines'
+    // home turf (the recursive engines needed a wide custom stack here;
+    // these run on the process default). Serving posture: the exact
+    // BigUint counting stage is off — it is quadratic at this depth and a
+    // serving session counts on demand.
+    let serving_compiler = Compiler::builder().exact_counts(false).build();
+    let deep_ns: &[u32] = if smoke { &[1_000] } else { &[2_000, 5_000] };
+    for &n in deep_ns {
+        run("chain_deep", n, &families::chain_cnf(n), &serving_compiler);
     }
 
     t.print();

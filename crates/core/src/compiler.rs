@@ -154,6 +154,20 @@ impl fmt::Display for ResolvedGraph {
     }
 }
 
+/// One decomposition probe a CNF compilation actually ran (recorded in
+/// `CountReport::probes`): which graph was decomposed and the width it
+/// reported. Under [`GraphKind::Auto`] this shows whether the second
+/// probe was skipped — a primal width ≤ 1 is already minimal (the
+/// incidence width can only tie on a nonempty formula), so Auto stops
+/// after the first probe instead of decomposing both graphs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct GraphProbe {
+    /// The graph that was decomposed.
+    pub graph: ResolvedGraph,
+    /// The width its decomposition reported.
+    pub width: usize,
+}
+
 /// How the SDD is built once the vtree is fixed.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Route {
@@ -239,6 +253,13 @@ pub struct CompileOptions {
     /// Largest primal graph handed to exact treewidth under
     /// [`TwBackend::Auto`].
     pub exact_tw_limit: usize,
+    /// Whether [`Compiler::compile_cnf`] runs the exact counting stage
+    /// (`BigUint` model count, `Rational` weighted count) after compiling.
+    /// Exact bignum arithmetic is quadratic in the variable count on
+    /// chain-scale inputs, so serving sessions that only need the compiled
+    /// SDD (e.g. `kb::KnowledgeBase`) turn it off and query counts on
+    /// demand instead.
+    pub exact_counts: bool,
     /// Output checking level.
     pub validation: Validation,
     /// Random restarts for [`VtreeStrategy::Search`].
@@ -255,6 +276,7 @@ impl Default for CompileOptions {
             route: Route::Auto,
             graph_kind: GraphKind::Primal,
             exact_tw_limit: 16,
+            exact_counts: true,
             validation: Validation::Basic,
             search_samples: 64,
             search_seed: 0xC0FFEE,
@@ -314,6 +336,13 @@ impl CompilerBuilder {
     /// Bound the exact-treewidth computation under [`TwBackend::Auto`].
     pub fn exact_tw_limit(mut self, limit: usize) -> Self {
         self.opts.exact_tw_limit = limit;
+        self
+    }
+
+    /// Enable or disable [`Compiler::compile_cnf`]'s exact counting stage
+    /// (on by default; serving sessions turn it off).
+    pub fn exact_counts(mut self, on: bool) -> Self {
+        self.opts.exact_counts = on;
         self
     }
 
@@ -565,8 +594,25 @@ impl fmt::Debug for Compilation {
 
 impl Compilation {
     /// Models of the compiled function over the vtree's variables.
+    ///
+    /// Panics when the count exceeds `u128` (see
+    /// [`sdd::SddManager::count_models`]); use
+    /// [`Compilation::count_models_exact`] or
+    /// [`Compilation::count_models_checked`] on inputs with more than 128
+    /// variables.
     pub fn count_models(&self) -> u128 {
         self.sdd.count_models(self.root)
+    }
+
+    /// Exact model count at any size (`arith::BigUint` — never overflows).
+    pub fn count_models_exact(&self) -> arith::BigUint {
+        self.sdd.count_models_exact(self.root)
+    }
+
+    /// Exact model count as `u128`, `None` when it needs more than 128
+    /// bits — the typed-overflow alternative to [`Compilation::count_models`].
+    pub fn count_models_checked(&self) -> Option<u128> {
+        self.sdd.count_models_checked(self.root)
     }
 
     /// Weighted model count under independent `P(v = 1) = prob(v)`.

@@ -52,7 +52,8 @@ pub mod vtree_search;
 pub use cft::{cft, min_fiw, CftResult};
 pub use compiler::{
     Compilation, CompileError, CompileOptions, CompileReport, Compiler, CompilerBuilder, GraphKind,
-    ResolvedGraph, ResolvedRoute, Route, StageTimings, TwBackend, Validation, VtreeStrategy,
+    GraphProbe, ResolvedGraph, ResolvedRoute, Route, StageTimings, TwBackend, Validation,
+    VtreeStrategy,
 };
 pub use implicants::VtreeFactors;
 pub use mc::{CnfCompilation, CountReport, CountTimings};

@@ -15,11 +15,13 @@
 //!
 //! let f = cnf::CnfFormula::from_dimacs("p cnf 3 2\n1 2 0\n-2 3 0\n").unwrap();
 //! let counted = Compiler::new().compile_cnf(&f).unwrap();
-//! assert_eq!(counted.report.count.to_u128(), Some(4));
+//! assert_eq!(counted.count().unwrap().to_u128(), Some(4));
 //! println!("{}", counted.report);
 //! ```
 
-use crate::compiler::{CompileError, Compiler, GraphKind, ResolvedGraph, TwBackend, Validation};
+use crate::compiler::{
+    CompileError, Compiler, GraphKind, GraphProbe, ResolvedGraph, TwBackend, Validation,
+};
 use crate::vtree_extract::{vtree_from_graph_with, ExtractStats};
 use arith::{BigUint, Rational};
 use boolfunc::{Assignment, BoolFn, VarSet};
@@ -62,6 +64,12 @@ pub struct CountReport {
     /// The graph actually decomposed (after resolving
     /// [`GraphKind::Auto`]).
     pub graph: ResolvedGraph,
+    /// Every decomposition probe the run actually performed, in order.
+    /// Explicit graph kinds record one entry; [`GraphKind::Auto`] records
+    /// which graphs it really decomposed — when the primal probe reports
+    /// width ≤ 1 (already minimal), the incidence probe is skipped and
+    /// does not appear here.
+    pub probes: Vec<GraphProbe>,
     /// Width of the decomposition of [`CountReport::graph`] (exact under
     /// small / `Exact` backends, heuristic otherwise) — the treewidth
     /// upper bound the run certified for that graph.
@@ -80,9 +88,14 @@ pub struct CountReport {
     pub sdd_nodes: usize,
     /// Apply/cache counters from the bottom-up compilation.
     pub apply: ApplyStats,
-    /// The exact model count over all declared variables.
-    pub count: BigUint,
-    /// The exact weighted count, when the formula carries weights.
+    /// The exact model count over all declared variables — `None` when
+    /// the session disabled the counting stage
+    /// (`CompilerBuilder::exact_counts(false)`; serving sessions count on
+    /// demand instead). Always exact when present: the counting paths run
+    /// on `BigUint`, never on a saturating machine integer.
+    pub count: Option<BigUint>,
+    /// The exact weighted count, when the formula carries weights and the
+    /// counting stage ran.
     pub weighted: Option<Rational>,
     /// Per-stage wall-clock timings.
     pub timings: CountTimings,
@@ -90,11 +103,18 @@ pub struct CountReport {
 
 impl fmt::Display for CountReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "counted {} vars, {} clauses in {:.2?}: {} models",
-            self.num_vars, self.num_clauses, self.timings.total, self.count,
-        )?;
+        match &self.count {
+            Some(c) => writeln!(
+                f,
+                "counted {} vars, {} clauses in {:.2?}: {} models",
+                self.num_vars, self.num_clauses, self.timings.total, c,
+            )?,
+            None => writeln!(
+                f,
+                "compiled {} vars, {} clauses in {:.2?} (counting stage disabled)",
+                self.num_vars, self.num_clauses, self.timings.total,
+            )?,
+        }
         if let Some(w) = &self.weighted {
             writeln!(f, "  weighted count {w}")?;
         }
@@ -141,9 +161,10 @@ impl fmt::Debug for CnfCompilation {
 }
 
 impl CnfCompilation {
-    /// The exact model count over all declared variables.
-    pub fn count(&self) -> &BigUint {
-        &self.report.count
+    /// The exact model count over all declared variables (`None` when the
+    /// session disabled the counting stage).
+    pub fn count(&self) -> Option<&BigUint> {
+        self.report.count.as_ref()
     }
 
     /// The exact weighted count (`None` for unweighted formulas).
@@ -172,7 +193,7 @@ impl Compiler {
         // session's decomposition backend — the same seam the circuit
         // pipeline uses (clause vertices ride along as auxiliary vertices).
         let t_vtree = Instant::now();
-        let (vtree, stats, graph) = self.cnf_vtree(f)?;
+        let (vtree, stats, graph, probes) = self.cnf_vtree(f)?;
         let vtree_time = t_vtree.elapsed();
 
         // SDD stage: bottom-up apply over the direct clause-tree circuit.
@@ -183,11 +204,13 @@ impl Compiler {
         let sdw = mgr.width(root);
         let sdd_time = t_sdd.elapsed();
 
-        // Counting stage: the semiring engine, exactly.
+        // Counting stage: the semiring engine, exactly (skippable — exact
+        // bignum arithmetic is quadratic at chain scale, and serving
+        // sessions count on demand).
         let t_count = Instant::now();
-        let count = mgr.count_models_exact(root);
-        let weighted = f
-            .is_weighted()
+        let exact_counts = self.options().exact_counts;
+        let count = exact_counts.then(|| mgr.count_models_exact(root));
+        let weighted = (exact_counts && f.is_weighted())
             .then(|| mgr.weighted_count_exact(root, |v| f.weight(v)));
         let count_time = t_count.elapsed();
 
@@ -215,6 +238,7 @@ impl Compiler {
             num_vars: f.num_vars() as usize,
             num_clauses: f.num_clauses(),
             graph,
+            probes,
             treewidth: stats.treewidth,
             nice_nodes: stats.nice_nodes,
             fw,
@@ -243,14 +267,18 @@ impl Compiler {
     }
 
     /// Resolve the session's [`GraphKind`] and extract the Lemma-1 vtree
-    /// from the chosen graph. Under [`GraphKind::Auto`] both graphs are
-    /// decomposed and the smaller reported width wins (ties go to primal —
-    /// fewer vertices, no auxiliary clause nodes); when the `Exact` backend
-    /// cannot afford one of the graphs, the other is used alone.
+    /// from the chosen graph, recording every decomposition probe that
+    /// actually ran. Under [`GraphKind::Auto`] the primal graph is probed
+    /// first; a primal width ≤ 1 is already minimal (the incidence width
+    /// cannot beat it on a nonempty formula), so the incidence probe is
+    /// **skipped** there instead of decomposing both graphs. Otherwise the
+    /// smaller reported width wins (ties go to primal — fewer vertices, no
+    /// auxiliary clause nodes); when the `Exact` backend cannot afford one
+    /// of the graphs, the other is used alone.
     fn cnf_vtree(
         &self,
         f: &CnfFormula,
-    ) -> Result<(Vtree, ExtractStats, ResolvedGraph), CompileError> {
+    ) -> Result<(Vtree, ExtractStats, ResolvedGraph, Vec<GraphProbe>), CompileError> {
         let exact = self.options().tw_backend == TwBackend::Exact;
         match self.options().graph_kind {
             GraphKind::Primal => {
@@ -261,7 +289,11 @@ impl Compiler {
                 let (vt, st) = vtree_from_graph_with(&g, &f.primal_vars(), Vec::new(), |g| {
                     self.decompose_graph(g)
                 })?;
-                Ok((vt, st, ResolvedGraph::Primal))
+                let probes = vec![GraphProbe {
+                    graph: ResolvedGraph::Primal,
+                    width: st.treewidth,
+                }];
+                Ok((vt, st, ResolvedGraph::Primal, probes))
             }
             GraphKind::Incidence => {
                 let g = f.incidence_graph();
@@ -271,33 +303,58 @@ impl Compiler {
                 let (vt, st) = vtree_from_graph_with(&g, &f.incidence_vars(), Vec::new(), |g| {
                     self.decompose_graph(g)
                 })?;
-                Ok((vt, st, ResolvedGraph::Incidence))
+                let probes = vec![GraphProbe {
+                    graph: ResolvedGraph::Incidence,
+                    width: st.treewidth,
+                }];
+                Ok((vt, st, ResolvedGraph::Incidence, probes))
             }
             GraphKind::Auto => {
                 let gp = f.primal_graph();
-                let gi = f.incidence_graph();
                 let p_ok = !exact || self.exact_feasible(&gp);
-                let i_ok = !exact || self.exact_feasible(&gi);
-                if !p_ok && !i_ok {
-                    self.ensure_exact_feasible(&gp)?;
-                }
                 let dp = p_ok.then(|| self.decompose_graph(&gp));
-                let di = i_ok.then(|| self.decompose_graph(&gi));
+                let mut probes = Vec::new();
+                if let Some((wp, _)) = &dp {
+                    probes.push(GraphProbe {
+                        graph: ResolvedGraph::Primal,
+                        width: *wp,
+                    });
+                }
+                // Width ≤ 1 cannot be improved on: the incidence graph of
+                // a formula with at least one edge-inducing clause has
+                // width ≥ 1 itself, so skip its decomposition entirely.
+                let primal_is_minimal = matches!(&dp, Some((wp, _)) if *wp <= 1);
+                let mut di = None;
+                if !primal_is_minimal {
+                    let gi = f.incidence_graph();
+                    let i_ok = !exact || self.exact_feasible(&gi);
+                    if !p_ok && !i_ok {
+                        self.ensure_exact_feasible(&gp)?;
+                    }
+                    if i_ok {
+                        let d = self.decompose_graph(&gi);
+                        probes.push(GraphProbe {
+                            graph: ResolvedGraph::Incidence,
+                            width: d.0,
+                        });
+                        di = Some((gi, d));
+                    }
+                }
                 let use_incidence = match (&dp, &di) {
-                    (Some((wp, _)), Some((wi, _))) => wi < wp,
+                    (Some((wp, _)), Some((_, (wi, _)))) => wi < wp,
                     (None, Some(_)) => true,
                     _ => false,
                 };
                 if use_incidence {
-                    let d = di.expect("incidence chosen");
+                    let (gi, d) = di.expect("incidence chosen");
                     let (vt, st) =
                         vtree_from_graph_with(&gi, &f.incidence_vars(), Vec::new(), move |_| d)?;
-                    Ok((vt, st, ResolvedGraph::Incidence))
+                    Ok((vt, st, ResolvedGraph::Incidence, probes))
                 } else {
                     let d = dp.expect("primal chosen");
                     let (vt, st) =
                         vtree_from_graph_with(&gp, &f.primal_vars(), Vec::new(), move |_| d)?;
-                    Ok((vt, st, ResolvedGraph::Primal))
+                    Ok((vt, st, ResolvedGraph::Primal, probes))
                 }
             }
         }
@@ -314,7 +371,11 @@ mod tests {
         for n in [1u32, 2, 5, 12] {
             let f = families::chain_cnf(n);
             let counted = Compiler::new().compile_cnf(&f).unwrap();
-            assert_eq!(*counted.count(), families::chain_count(n), "n = {n}");
+            assert_eq!(
+                *counted.count().unwrap(),
+                families::chain_count(n),
+                "n = {n}"
+            );
             assert_eq!(counted.report.treewidth, usize::from(n > 1));
             assert_eq!(counted.report.graph, ResolvedGraph::Primal);
         }
@@ -326,9 +387,9 @@ mod tests {
         let counted = Compiler::new()
             .compile_cnf(&families::chain_cnf(n))
             .unwrap();
-        assert_eq!(*counted.count(), families::chain_count(n));
+        assert_eq!(*counted.count().unwrap(), families::chain_count(n));
         assert_eq!(
-            counted.count().to_u128(),
+            counted.count().unwrap().to_u128(),
             None,
             "the whole point: past 2^128"
         );
@@ -339,7 +400,7 @@ mod tests {
     fn declared_but_unused_variables_double_the_count() {
         let f = CnfFormula::from_clauses(4, vec![vec![(vtree::VarId(0), true)]]);
         let counted = Compiler::new().compile_cnf(&f).unwrap();
-        assert_eq!(counted.count().to_u128(), Some(8)); // 1 × 2^3
+        assert_eq!(counted.count().unwrap().to_u128(), Some(8)); // 1 × 2^3
     }
 
     #[test]
@@ -347,11 +408,11 @@ mod tests {
         let mut bot = CnfFormula::new(3);
         bot.add_clause(vec![]);
         let counted = Compiler::new().compile_cnf(&bot).unwrap();
-        assert!(counted.count().is_zero());
+        assert!(counted.count().unwrap().is_zero());
 
         let top = CnfFormula::new(3);
         let counted = Compiler::new().compile_cnf(&top).unwrap();
-        assert_eq!(counted.count().to_u128(), Some(8));
+        assert_eq!(counted.count().unwrap().to_u128(), Some(8));
 
         assert!(matches!(
             Compiler::new().compile_cnf(&CnfFormula::new(0)),
@@ -400,7 +461,7 @@ mod tests {
                 .build()
                 .compile_cnf(&f)
                 .unwrap();
-            assert_eq!(*counted.count(), expect, "{backend}");
+            assert_eq!(*counted.count().unwrap(), expect, "{backend}");
         }
     }
 
@@ -418,7 +479,7 @@ mod tests {
                 .build()
                 .compile_cnf(&f)
                 .unwrap();
-            assert_eq!(*counted.count(), expect, "{kind}");
+            assert_eq!(*counted.count().unwrap(), expect, "{kind}");
         }
     }
 
@@ -441,9 +502,18 @@ mod tests {
             "incidence width {} must beat the primal clique",
             counted.report.treewidth
         );
-        assert_eq!(counted.count().to_u128(), Some((1 << n) - 1));
+        assert_eq!(counted.count().unwrap().to_u128(), Some((1 << n) - 1));
         let shown = counted.report.to_string();
         assert!(shown.contains("incidence tw"), "{shown}");
+        // Both probes ran (primal width > 1), in primal-first order.
+        assert_eq!(counted.report.probes.len(), 2);
+        assert_eq!(counted.report.probes[0].graph, ResolvedGraph::Primal);
+        assert_eq!(counted.report.probes[0].width, n as usize - 1);
+        assert_eq!(counted.report.probes[1].graph, ResolvedGraph::Incidence);
+        assert_eq!(
+            counted.report.probes[1].width, counted.report.treewidth,
+            "the chosen probe's width is the certified one"
+        );
 
         // On the chain (treewidth 1 already) Auto keeps the primal graph.
         let counted = Compiler::builder()
@@ -452,6 +522,52 @@ mod tests {
             .compile_cnf(&families::chain_cnf(12))
             .unwrap();
         assert_eq!(counted.report.graph, ResolvedGraph::Primal);
+    }
+
+    #[test]
+    fn auto_skips_the_incidence_probe_when_primal_width_is_minimal() {
+        use crate::compiler::GraphKind;
+        // Chain: primal width 1 — already minimal, so Auto must decompose
+        // only the primal graph (the ROADMAP's width-probe item) …
+        let counted = Compiler::builder()
+            .graph_kind(GraphKind::Auto)
+            .build()
+            .compile_cnf(&families::chain_cnf(12))
+            .unwrap();
+        assert_eq!(
+            counted.report.probes,
+            vec![GraphProbe {
+                graph: ResolvedGraph::Primal,
+                width: 1
+            }],
+            "one probe only: the incidence decomposition was skipped"
+        );
+        assert_eq!(*counted.count().unwrap(), families::chain_count(12));
+        // … and explicit graph kinds record exactly their one probe.
+        let counted = Compiler::new()
+            .compile_cnf(&families::chain_cnf(8))
+            .unwrap();
+        assert_eq!(counted.report.probes.len(), 1);
+        assert_eq!(counted.report.probes[0].graph, ResolvedGraph::Primal);
+    }
+
+    #[test]
+    fn counting_stage_can_be_disabled() {
+        let f = families::chain_cnf(10);
+        let compiled = Compiler::builder()
+            .exact_counts(false)
+            .build()
+            .compile_cnf(&f)
+            .unwrap();
+        assert!(compiled.count().is_none());
+        assert!(compiled.weighted().is_none());
+        let shown = compiled.report.to_string();
+        assert!(shown.contains("counting stage disabled"), "{shown}");
+        // The compiled SDD still answers counting queries on demand.
+        assert_eq!(
+            compiled.sdd.count_models_exact(compiled.root),
+            families::chain_count(10)
+        );
     }
 
     #[test]
@@ -475,6 +591,6 @@ mod tests {
             .compile_cnf(&f)
             .unwrap();
         assert_eq!(counted.report.graph, ResolvedGraph::Primal);
-        assert_eq!(*counted.count(), families::chain_count(20));
+        assert_eq!(*counted.count().unwrap(), families::chain_count(20));
     }
 }

@@ -77,7 +77,7 @@ impl NiceTd {
             children: &children,
             td,
         };
-        let top = b.process(td.root());
+        let top = b.process_all();
         // Forget everything remaining in the root bag.
         let mut cur = top;
         let root_bag: Vec<u32> = b.nodes[top].bag.clone();
@@ -233,9 +233,28 @@ impl Builder<'_> {
         self.push(NiceNodeKind::Introduce(v), bag, vec![child])
     }
 
+    /// Build the nice subtree of every TD node bottom-up, returning the
+    /// root's top index. Tree decompositions of chain-like graphs are as
+    /// deep as the graph, so the traversal is an explicit post-order (a
+    /// preorder DFS, reversed), never recursion.
+    fn process_all(&mut self) -> usize {
+        let root = self.td.root();
+        let mut order = Vec::with_capacity(self.td.num_nodes());
+        let mut stack = vec![root];
+        while let Some(t) = stack.pop() {
+            order.push(t);
+            stack.extend_from_slice(&self.children[t]);
+        }
+        let mut top: Vec<usize> = vec![usize::MAX; self.td.num_nodes()];
+        for &t in order.iter().rev() {
+            top[t] = self.process_node(t, &top);
+        }
+        top[root]
+    }
+
     /// Produce a nice subtree whose top node has exactly the bag of TD node
-    /// `t`; returns its index.
-    fn process(&mut self, t: usize) -> usize {
+    /// `t`; `top[c]` holds the already-built subtree of every child `c`.
+    fn process_node(&mut self, t: usize, top: &[usize]) -> usize {
         let target: Vec<u32> = self.td.bag(t).to_vec();
         let kids = &self.children[t];
         if kids.is_empty() {
@@ -246,10 +265,10 @@ impl Builder<'_> {
             }
             return cur;
         }
-        // For each child: recurse, then morph its bag into `target`.
+        // For each child: morph its (already built) bag into `target`.
         let mut tops = Vec::with_capacity(kids.len());
         for &c in kids {
-            let mut cur = self.process(c);
+            let mut cur = top[c];
             let child_bag = self.nodes[cur].bag.clone();
             for &v in &child_bag {
                 if target.binary_search(&v).is_err() {

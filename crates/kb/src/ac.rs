@@ -19,6 +19,13 @@
 //!   probable explanation *with* its witnessing assignment;
 //! * [`Ac::top_k`] — the same sweep over lists of partial models → the `k`
 //!   heaviest models, each materialized as a complete assignment.
+//!
+//! Everything here honors the workspace's **iterative-engine invariant**:
+//! the unfold walks decisions in interning order (children before parents
+//! — ascending [`SddId`] is topological), the up/down passes are indexed
+//! sweeps over the stored topological order, and the MPE/top-k decoders
+//! walk with explicit stacks — no pass recurses on input-sized structure,
+//! so 100k-variable circuits sweep on a default-size thread stack.
 
 use arith::{MaxPlus, Semiring};
 use sdd::{SddId, SddManager, SddNode};
@@ -366,26 +373,30 @@ impl Ac {
     /// (determinism — branches share no model, so no deduplication is
     /// needed), `⊗` crosses them (decomposability — scopes are disjoint, so
     /// assignments union). Models of weight zero are never materialized.
+    ///
+    /// Partial assignments live in a **shared cell arena** (a literal, or
+    /// the disjoint union of two earlier cells) and candidates carry only a
+    /// cell index; the full assignments are decoded for the `k` survivors
+    /// at the very end. Materializing an `n`-bit mask per candidate per
+    /// gate — the previous representation — costs Θ(size · k · n) memory,
+    /// which a 100k-variable chain turns into tens of gigabytes; the arena
+    /// stays linear in the number of candidates ever produced.
     pub fn top_k(&self, log_weights: &[(f64, f64)], k: usize) -> Vec<(f64, Vec<bool>)> {
         if k == 0 {
             return Vec::new();
         }
-        let words = self.vars.len().div_ceil(64);
-        // A candidate: log-weight plus the variables assigned true so far
-        // (false is the default — at the root, every variable was decided).
-        type Cand = (f64, Vec<u64>);
-        let cross = |a: &[Cand], b: &[Cand]| -> Vec<Cand> {
-            let mut out: Vec<Cand> = Vec::with_capacity(a.len() * b.len());
-            for (wa, ba) in a {
-                for (wb, bb) in b {
-                    let bits = ba.iter().zip(bb).map(|(x, y)| x | y).collect();
-                    out.push((wa + wb, bits));
-                }
-            }
-            out.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("no NaN log-weights"));
-            out.truncate(k);
-            out
-        };
+        /// One arena cell of a partial assignment.
+        enum Cell {
+            Lit { var: u32, positive: bool },
+            Join(u32, u32),
+        }
+        /// The empty partial assignment (the unit of `⊗`).
+        const EMPTY: u32 = u32::MAX;
+        let mut cells: Vec<Cell> = Vec::new();
+        // A candidate: log-weight plus its assignment cell.
+        type Cand = (f64, u32);
+        let by_weight_desc =
+            |x: &Cand, y: &Cand| y.0.partial_cmp(&x.0).expect("no NaN log-weights");
         let mut lists: Vec<Vec<Cand>> = Vec::with_capacity(self.nodes.len());
         for node in &self.nodes {
             let l: Vec<Cand> = match node {
@@ -396,11 +407,12 @@ impl Ac {
                     if w == f64::NEG_INFINITY {
                         Vec::new()
                     } else {
-                        let mut bits = vec![0u64; words];
-                        if *positive {
-                            bits[*var as usize / 64] |= 1u64 << (*var as usize % 64);
-                        }
-                        vec![(w, bits)]
+                        let c = cells.len() as u32;
+                        cells.push(Cell::Lit {
+                            var: *var,
+                            positive: *positive,
+                        });
+                        vec![(w, c)]
                     }
                 }
                 AcNode::Add(ch) => {
@@ -408,14 +420,32 @@ impl Ac {
                     for &c in ch.iter() {
                         merged.extend_from_slice(&lists[c as usize]);
                     }
-                    merged.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("no NaN log-weights"));
+                    merged.sort_by(by_weight_desc);
                     merged.truncate(k);
                     merged
                 }
                 AcNode::Mul(ch) => {
-                    let mut acc: Vec<Cand> = vec![(0.0, vec![0u64; words])];
+                    let mut acc: Vec<Cand> = vec![(0.0, EMPTY)];
                     for &c in ch.iter() {
-                        acc = cross(&acc, &lists[c as usize]);
+                        let other = &lists[c as usize];
+                        let mut out: Vec<Cand> = Vec::with_capacity(acc.len() * other.len());
+                        for &(wa, ca) in &acc {
+                            for &(wb, cb) in other {
+                                let cell = if ca == EMPTY {
+                                    cb
+                                } else if cb == EMPTY {
+                                    ca
+                                } else {
+                                    let id = cells.len() as u32;
+                                    cells.push(Cell::Join(ca, cb));
+                                    id
+                                };
+                                out.push((wa + wb, cell));
+                            }
+                        }
+                        out.sort_by(by_weight_desc);
+                        out.truncate(k);
+                        acc = out;
                         if acc.is_empty() {
                             break;
                         }
@@ -425,13 +455,37 @@ impl Ac {
             };
             lists.push(l);
         }
+        // Decode the survivors: walk each candidate's cell tree (scopes are
+        // disjoint, so every variable is assigned exactly once; smoothness
+        // guarantees every variable is assigned at all).
         lists[self.root as usize]
             .iter()
-            .map(|(w, bits)| {
-                let asg = (0..self.vars.len())
-                    .map(|i| bits[i / 64] >> (i % 64) & 1 == 1)
+            .map(|&(w, cell)| {
+                let mut asg: Vec<Option<bool>> = vec![None; self.vars.len()];
+                if cell != EMPTY {
+                    let mut stack = vec![cell];
+                    while let Some(c) = stack.pop() {
+                        match cells[c as usize] {
+                            Cell::Lit { var, positive } => {
+                                debug_assert!(
+                                    asg[var as usize].is_none()
+                                        || asg[var as usize] == Some(positive),
+                                    "decomposability: one polarity per variable"
+                                );
+                                asg[var as usize] = Some(positive);
+                            }
+                            Cell::Join(a, b) => {
+                                stack.push(a);
+                                stack.push(b);
+                            }
+                        }
+                    }
+                }
+                let assignment = asg
+                    .into_iter()
+                    .map(|b| b.expect("smoothness: every variable decided"))
                     .collect();
-                (*w, asg)
+                (w, assignment)
             })
             .collect()
     }

@@ -34,12 +34,15 @@
 //! compilation is paid exactly once — `exp_kb` (E14) measures warm
 //! marginal queries 20–77× faster than recompile-per-query.
 //!
-//! **Stack depth caveat:** compilation and the cached evaluators recurse
-//! to the vtree/SDD depth, which is Θ(n) on chain-like inputs. Around 10k
-//! variables that outgrows a default 8 MB thread stack (especially in
-//! debug builds) — run such sessions on a thread with
-//! `std::thread::Builder::stack_size` of 64 MB+, as this crate's own
-//! 10k-variable test does; an iterative engine is a roadmap item.
+//! **Depth contract:** every engine under this session — compilation,
+//! apply-based conditioning, the cached evaluators, and the circuit
+//! sweeps — is worklist-iterative (explicit heap-allocated stacks), so
+//! sessions over chain-deep diagrams run on a *default-size* thread
+//! stack at any variable count; this crate's own stress test drives a
+//! 100k-variable chain end to end on an ordinary test thread. For such
+//! sizes, compile with `CompilerBuilder::exact_counts(false)`: the
+//! up-front exact `BigUint` count is quadratic at chain scale, and the
+//! serving layer answers counting queries on demand anyway.
 //!
 //! ```
 //! use kb::KnowledgeBase;

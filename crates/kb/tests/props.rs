@@ -283,19 +283,12 @@ fn logf64_tracks_exact_rationals_on_chains() {
 /// At 10k variables the chain's weighted count is far below `f64::MIN` —
 /// the linear engine underflows to 0, the log-space engine keeps the full
 /// answer. (The underflow-safety claim of the semiring-zoo roadmap item.)
-/// Runs on a dedicated wide-stack thread: the engine recursions are
-/// vtree-depth-deep, and a 10k chain's vtree is ~10k deep in debug builds.
+/// Runs directly on the harness's default-size test thread: the engines
+/// are worklist-iterative, so vtree depth no longer consumes stack (the
+/// pre-iterative version needed a dedicated 256 MB thread here; the
+/// 100k-variable session lives in `tests/deep_chain.rs`).
 #[test]
 fn logf64_survives_ten_thousand_variables() {
-    std::thread::Builder::new()
-        .stack_size(256 * 1024 * 1024)
-        .spawn(logf64_ten_thousand_body)
-        .expect("spawn wide-stack thread")
-        .join()
-        .expect("10k-variable body");
-}
-
-fn logf64_ten_thousand_body() {
     let n = 10_000u32;
     let f = families::chain_cnf(n);
     let compiled = Compiler::new().compile_cnf(&f).unwrap();

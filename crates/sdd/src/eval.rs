@@ -79,9 +79,9 @@ impl SddManager {
             semiring,
             wmap,
             gap,
-            memo: FxHashMap::default(),
+            raw: FxHashMap::default(),
         };
-        ev.scoped(root, self.vtree.root())
+        ev.run(root)
     }
 
     /// Exact model count over all vtree variables — the `BigUint` semiring,
@@ -98,22 +98,17 @@ impl SddManager {
 
     /// Exact model count over all vtree variables.
     ///
-    /// Saturates at `u128::MAX` (with a debug assertion) when the true count
-    /// exceeds 128 bits — the pre-semiring implementation silently wrapped
-    /// there. Prefer [`SddManager::count_models_exact`] (never overflows) or
-    /// [`SddManager::count_models_checked`] (typed overflow) on inputs with
-    /// more than 128 variables.
+    /// Panics — in every build profile — when the true count exceeds 128
+    /// bits. The pre-semiring implementation silently wrapped there, and
+    /// the first semiring version saturated at `u128::MAX` behind a
+    /// debug-only assertion, so release builds could hand a saturated
+    /// count to reports; no counting path may do that. Prefer
+    /// [`SddManager::count_models_exact`] (never overflows) or
+    /// [`SddManager::count_models_checked`] (typed overflow) on inputs
+    /// with more than 128 variables.
     pub fn count_models(&self, root: SddId) -> u128 {
-        match self.count_models_checked(root) {
-            Some(c) => c,
-            None => {
-                debug_assert!(
-                    false,
-                    "model count exceeds u128; use count_models_exact/count_models_checked"
-                );
-                u128::MAX
-            }
-        }
+        self.count_models_checked(root)
+            .expect("model count exceeds u128; use count_models_exact/count_models_checked")
     }
 
     /// Weighted model count over all vtree variables: `weight(v) = (w⁻, w⁺)`.
@@ -165,18 +160,46 @@ impl SddManager {
 }
 
 /// One evaluation pass: semiring, literal weights, per-vtree-node smoothing
-/// products, and the per-node memo table.
+/// products, and the per-node raw-value table.
 struct Evaluator<'a, S: Semiring> {
     mgr: &'a SddManager,
     semiring: &'a S,
     wmap: FxHashMap<VarId, (S::Elem, S::Elem)>,
     gap: Vec<S::Elem>,
-    memo: FxHashMap<SddId, S::Elem>,
+    raw: FxHashMap<SddId, S::Elem>,
 }
 
 impl<S: Semiring> Evaluator<'_, S> {
-    /// Value of `a` over the scope of vtree node `scope` (⊇ `a`'s own scope).
-    fn scoped(&mut self, a: SddId, scope: VtreeNodeId) -> S::Elem {
+    /// One bottom-up sweep over the reachable decisions in interning order
+    /// (children are always interned before their parents, so ascending
+    /// [`SddId`] is a topological order), then the root read-off. Each
+    /// decision's raw value is computed exactly once, as with the former
+    /// recursive memoization, but the sweep's depth is constant — the
+    /// recursion descended to vtree depth, Θ(n) on chains.
+    fn run(&mut self, root: SddId) -> S::Elem {
+        let mut decisions = self.mgr.reachable_decisions(root);
+        decisions.sort_unstable();
+        for a in decisions {
+            let SddNode::Decision { vnode, elems } = self.mgr.node(a) else {
+                unreachable!("reachable_decisions returns decisions");
+            };
+            let (vnode, elems) = (*vnode, elems.clone());
+            let (lv, rv) = self.mgr.vtree.children(vnode).expect("internal vnode");
+            let mut total = self.semiring.zero();
+            for &(p, s) in elems.iter() {
+                let pc = self.scoped(p, lv);
+                let sc = self.scoped(s, rv);
+                total = self.semiring.add(&total, &self.semiring.mul(&pc, &sc));
+            }
+            self.raw.insert(a, total);
+        }
+        self.scoped(root, self.mgr.vtree.root())
+    }
+
+    /// Value of `a` over the scope of vtree node `scope` (⊇ `a`'s own
+    /// scope) — a pure lookup (terminal, literal weight, or the
+    /// already-swept raw value) times the smoothing factor.
+    fn scoped(&self, a: SddId, scope: VtreeNodeId) -> S::Elem {
         match self.mgr.node(a) {
             SddNode::False => self.semiring.zero(),
             SddNode::True => self.gap[scope.index()].clone(),
@@ -188,33 +211,11 @@ impl<S: Semiring> Evaluator<'_, S> {
                 self.semiring.mul(&lit, &smooth)
             }
             SddNode::Decision { vnode, .. } => {
-                let vnode = *vnode;
-                let raw = self.raw(a, vnode);
-                let smooth = self.smoothing(scope, vnode);
-                self.semiring.mul(&raw, &smooth)
+                let raw = &self.raw[&a];
+                let smooth = self.smoothing(scope, *vnode);
+                self.semiring.mul(raw, &smooth)
             }
         }
-    }
-
-    /// Value of decision `a` over exactly its own vtree node's variables
-    /// (memoized — decision nodes always normalize for the same vnode).
-    fn raw(&mut self, a: SddId, vnode: VtreeNodeId) -> S::Elem {
-        if let Some(c) = self.memo.get(&a) {
-            return c.clone();
-        }
-        let SddNode::Decision { elems, .. } = self.mgr.node(a) else {
-            unreachable!("raw on non-decision");
-        };
-        let elems = elems.clone();
-        let (lv, rv) = self.mgr.vtree.children(vnode).expect("internal vnode");
-        let mut total = self.semiring.zero();
-        for &(p, s) in elems.iter() {
-            let pc = self.scoped(p, lv);
-            let sc = self.scoped(s, rv);
-            total = self.semiring.add(&total, &self.semiring.mul(&pc, &sc));
-        }
-        self.memo.insert(a, total.clone());
-        total
     }
 
     /// `⊗ (w⁻ ⊕ w⁺)` over the variables below `scope` but not below
@@ -230,6 +231,42 @@ impl<S: Semiring> Evaluator<'_, S> {
         });
         acc
     }
+}
+
+/// What a suspended [`RawFrame`] is waiting for.
+enum RawWait<E> {
+    /// Just pushed, or between elements.
+    Idle,
+    /// The current element's prime value.
+    Prime,
+    /// The current element's sub value; the prime's value rides along.
+    Sub(E),
+}
+
+/// Outcome of advancing the top [`RawFrame`] in place.
+enum EvalStep<E> {
+    /// The frame recorded what it waits for and requests the value of
+    /// this node under this scope.
+    Request(SddId, VtreeNodeId),
+    /// The frame finished; pop it and deliver its scoped value.
+    Complete(E),
+}
+
+/// One suspended raw-value computation of the incremental engine: a
+/// decision node whose stamp was stale, part-way through summing its
+/// elements' prime ⊗ sub products. The frame stack replaces the former
+/// recursion (vtree-depth-deep, Θ(n) on chains) with heap storage.
+struct RawFrame<E> {
+    a: SddId,
+    /// The scope the requester wanted `a` under (for the final smoothing).
+    scope: VtreeNodeId,
+    vnode: VtreeNodeId,
+    lv: VtreeNodeId,
+    rv: VtreeNodeId,
+    elems: Box<[(SddId, SddId)]>,
+    i: usize,
+    wait: RawWait<E>,
+    total: E,
 }
 
 /// Cache-traffic counters of an [`EvalCache`], reported per evaluation run
@@ -351,11 +388,69 @@ impl<S: Semiring> EvalCache<S> {
 
     /// Evaluate `root` over all vtree variables under the current weights,
     /// reusing every cached value the weight changes since the last call
-    /// did not invalidate.
+    /// did not invalidate. The dirty-cone traversal runs on an explicit
+    /// frame stack (the former recursion descended to vtree depth — Θ(n)
+    /// on chains — which is exactly where serving sessions get deep), so
+    /// any diagram evaluates on a default-size stack.
     pub fn evaluate(&mut self, mgr: &SddManager, root: SddId) -> S::Elem {
         self.check_binding(mgr);
         self.refresh_gaps(mgr);
-        self.scoped(mgr, root, mgr.vtree.root())
+        let mut frames: Vec<RawFrame<S::Elem>> = Vec::new();
+        let mut ret = self.scoped(mgr, root, mgr.vtree.root(), &mut frames);
+        loop {
+            if frames.is_empty() {
+                return ret.expect("the worklist terminates with the root value");
+            }
+            // Frames advance in place — only completions pop, only stale
+            // children push (same encoding as the apply engine: re-pushing
+            // the whole frame per element taxes the hot path for nothing).
+            let step = {
+                let f = frames.last_mut().expect("nonempty");
+                self.advance(mgr, f, ret.take())
+            };
+            match step {
+                EvalStep::Request(a, scope) => ret = self.scoped(mgr, a, scope, &mut frames),
+                EvalStep::Complete(v) => {
+                    frames.pop();
+                    ret = Some(v);
+                }
+            }
+        }
+    }
+
+    /// Advance one suspended raw-value computation in place: consume `ret`
+    /// into the slot its `wait` state names, then either request the next
+    /// child value or complete (stamping the raw cache and returning the
+    /// scoped value its requester asked for).
+    fn advance(
+        &mut self,
+        mgr: &SddManager,
+        f: &mut RawFrame<S::Elem>,
+        ret: Option<S::Elem>,
+    ) -> EvalStep<S::Elem> {
+        match std::mem::replace(&mut f.wait, RawWait::Idle) {
+            RawWait::Idle => {}
+            RawWait::Prime => {
+                let pc = ret.expect("prime value");
+                f.wait = RawWait::Sub(pc);
+                return EvalStep::Request(f.elems[f.i].1, f.rv);
+            }
+            RawWait::Sub(pc) => {
+                let sc = ret.expect("sub value");
+                f.total = self.semiring.add(&f.total, &self.semiring.mul(&pc, &sc));
+                f.i += 1;
+            }
+        }
+        if f.i < f.elems.len() {
+            f.wait = RawWait::Prime;
+            EvalStep::Request(f.elems[f.i].0, f.lv)
+        } else {
+            self.raw.insert(f.a, (self.epoch, f.total.clone()));
+            EvalStep::Complete(
+                self.semiring
+                    .mul(&f.total, &self.smoothing(mgr, f.scope, f.vnode)),
+            )
+        }
     }
 
     /// Cached values are keyed by `SddId`s, which are per-manager indices:
@@ -398,51 +493,56 @@ impl<S: Semiring> EvalCache<S> {
         &self.gap[t.index()].as_ref().expect("gaps refreshed").1
     }
 
-    /// Value of `a` over the scope of vtree node `scope` (⊇ `a`'s own scope).
-    fn scoped(&mut self, mgr: &SddManager, a: SddId, scope: VtreeNodeId) -> S::Elem {
+    /// Value of `a` over the scope of vtree node `scope` (⊇ `a`'s own
+    /// scope): answered immediately for terminals, literals, and decisions
+    /// whose stamped raw value is still valid; a stale decision pushes a
+    /// [`RawFrame`] and returns `None` (the requester resumes once the
+    /// frame completes).
+    fn scoped(
+        &mut self,
+        mgr: &SddManager,
+        a: SddId,
+        scope: VtreeNodeId,
+        frames: &mut Vec<RawFrame<S::Elem>>,
+    ) -> Option<S::Elem> {
         match mgr.node(a) {
-            SddNode::False => self.semiring.zero(),
-            SddNode::True => self.gap_of(scope).clone(),
+            SddNode::False => Some(self.semiring.zero()),
+            SddNode::True => Some(self.gap_of(scope).clone()),
             SddNode::Literal { var, positive } => {
                 let (wn, wp) = &self.weights[var];
                 let lit = if *positive { wp.clone() } else { wn.clone() };
                 let leaf = mgr.vtree.leaf_of_var(*var).expect("var in vtree");
                 let smooth = self.smoothing(mgr, scope, leaf);
-                self.semiring.mul(&lit, &smooth)
+                Some(self.semiring.mul(&lit, &smooth))
             }
-            SddNode::Decision { vnode, .. } => {
+            SddNode::Decision { vnode, elems } => {
                 let vnode = *vnode;
-                let raw = self.raw(mgr, a, vnode);
-                let smooth = self.smoothing(mgr, scope, vnode);
-                self.semiring.mul(&raw, &smooth)
+                self.stats.lookups += 1;
+                if let Some((stamp, v)) = self.raw.get(&a) {
+                    if *stamp >= self.vnode_epoch[vnode.index()] {
+                        self.stats.hits += 1;
+                        let raw = v.clone();
+                        let smooth = self.smoothing(mgr, scope, vnode);
+                        return Some(self.semiring.mul(&raw, &smooth));
+                    }
+                }
+                self.stats.recomputed += 1;
+                let elems = elems.clone();
+                let (lv, rv) = mgr.vtree.children(vnode).expect("internal vnode");
+                frames.push(RawFrame {
+                    a,
+                    scope,
+                    vnode,
+                    lv,
+                    rv,
+                    elems,
+                    i: 0,
+                    wait: RawWait::Idle,
+                    total: self.semiring.zero(),
+                });
+                None
             }
         }
-    }
-
-    /// Raw (unsmoothed) value of decision `a`, answered from the stamped
-    /// cache when no weight below `vnode` changed since it was computed.
-    fn raw(&mut self, mgr: &SddManager, a: SddId, vnode: VtreeNodeId) -> S::Elem {
-        self.stats.lookups += 1;
-        if let Some((stamp, v)) = self.raw.get(&a) {
-            if *stamp >= self.vnode_epoch[vnode.index()] {
-                self.stats.hits += 1;
-                return v.clone();
-            }
-        }
-        self.stats.recomputed += 1;
-        let SddNode::Decision { elems, .. } = mgr.node(a) else {
-            unreachable!("raw on non-decision");
-        };
-        let elems = elems.clone();
-        let (lv, rv) = mgr.vtree.children(vnode).expect("internal vnode");
-        let mut total = self.semiring.zero();
-        for &(p, s) in elems.iter() {
-            let pc = self.scoped(mgr, p, lv);
-            let sc = self.scoped(mgr, s, rv);
-            total = self.semiring.add(&total, &self.semiring.mul(&pc, &sc));
-        }
-        self.raw.insert(a, (self.epoch, total.clone()));
-        total
     }
 
     /// `⊗ (w⁻ ⊕ w⁺)` over the variables below `scope` but not below
@@ -496,10 +596,12 @@ mod tests {
     }
 
     #[test]
-    #[cfg(not(debug_assertions))]
-    fn saturating_count_in_release() {
+    #[should_panic(expected = "exceeds u128")]
+    fn overflowing_u128_count_panics_in_every_profile() {
+        // Release builds used to return u128::MAX silently (the assertion
+        // was debug-only); saturated counts must never escape.
         let m = SddManager::new(Vtree::balanced(&vars(130)).unwrap());
-        assert_eq!(m.count_models(TRUE), u128::MAX);
+        let _ = m.count_models(TRUE);
     }
 
     #[test]

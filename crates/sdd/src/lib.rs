@@ -21,6 +21,13 @@
 //!   ([`SddManager::weighted_count`], [`SddManager::probability`]);
 //! * **SDD size** (total elements) and the paper's **SDD width**
 //!   (Definition 5: max ∧-gates structured by a single vtree node).
+//!
+//! **Depth contract:** no engine in this crate recurses on input-sized
+//! structure. Apply, negation, conditioning and decision construction run
+//! on an explicit worklist ([`Engine`], heap-allocated frames); evaluation
+//! sweeps reachable decisions bottom-up in interning order. Vtree-deep
+//! diagrams — Θ(n) deep on the chain families — therefore work on a
+//! default-size thread stack at any variable count.
 
 pub mod eval;
 pub mod validate;
@@ -203,28 +210,24 @@ impl SddManager {
 
     /// Canonical decision-node constructor: drops ⊥ primes, compresses
     /// (merges equal subs, or-ing their primes), trims, sorts, and interns.
+    /// The compression disjunctions run through the worklist [`Engine`], so
+    /// construction never recurses on node depth.
     fn mk_decision(&mut self, vnode: VtreeNodeId, elems: Vec<(SddId, SddId)>) -> SddId {
-        // Drop false primes.
-        let mut elems: Vec<(SddId, SddId)> =
-            elems.into_iter().filter(|(p, _)| *p != FALSE).collect();
-        if elems.is_empty() {
-            return FALSE;
+        let mut eng = Engine::new(None);
+        match eng.start_build(self, vnode, elems) {
+            Some(r) => r,
+            None => eng.run(self),
         }
-        // Compression: group primes by sub.
-        elems.sort_unstable_by_key(|&(_, s)| s);
-        let mut compressed: Vec<(SddId, SddId)> = Vec::with_capacity(elems.len());
-        let mut i = 0;
-        while i < elems.len() {
-            let sub = elems[i].1;
-            let mut prime = elems[i].0;
-            let mut j = i + 1;
-            while j < elems.len() && elems[j].1 == sub {
-                prime = self.or(prime, elems[j].0);
-                j += 1;
-            }
-            compressed.push((prime, sub));
-            i = j;
-        }
+    }
+
+    /// The pure tail of decision construction: trimming rules, prime-order
+    /// sorting, and unique-table interning. `compressed` must already have
+    /// pairwise distinct subs and no ⊥ primes.
+    fn finish_decision(
+        &mut self,
+        vnode: VtreeNodeId,
+        mut compressed: Vec<(SddId, SddId)>,
+    ) -> SddId {
         // Trimming rule 1: {(⊤, s)} → s.
         if compressed.len() == 1 && compressed[0].0 == TRUE {
             return compressed[0].1;
@@ -268,34 +271,14 @@ impl SddManager {
         self.mk_decision(vnode, elems)
     }
 
-    /// Negation (cached; structural: same primes, negated subs).
+    /// Negation (cached; structural: same primes, negated subs). Runs on
+    /// the worklist [`Engine`] — heap-bounded depth.
     pub fn negate(&mut self, a: SddId) -> SddId {
-        match &self.nodes[a.index()] {
-            SddNode::False => return TRUE,
-            SddNode::True => return FALSE,
-            SddNode::Literal { var, positive } => {
-                let (v, p) = (*var, *positive);
-                return self.literal(v, !p);
-            }
-            SddNode::Decision { .. } => {}
+        let mut eng = Engine::new(None);
+        match eng.start_negate(self, a) {
+            Some(r) => r,
+            None => eng.run(self),
         }
-        if let Some(&n) = self.neg_cache.get(&a) {
-            return n;
-        }
-        let SddNode::Decision { vnode, elems } = self.nodes[a.index()].clone() else {
-            unreachable!()
-        };
-        let neg_elems: Vec<(SddId, SddId)> = elems
-            .iter()
-            .map(|&(p, s)| {
-                let ns = self.negate(s);
-                (p, ns)
-            })
-            .collect();
-        let n = self.mk_decision(vnode, neg_elems);
-        self.neg_cache.insert(a, n);
-        self.neg_cache.insert(n, a);
-        n
     }
 
     /// Conjunction.
@@ -309,70 +292,11 @@ impl SddManager {
     }
 
     fn apply(&mut self, op: Op, a: SddId, b: SddId) -> SddId {
-        self.stats.apply_calls += 1;
-        // Terminal and identity shortcuts.
-        match op {
-            Op::And => {
-                if a == FALSE || b == FALSE {
-                    return FALSE;
-                }
-                if a == TRUE {
-                    return b;
-                }
-                if b == TRUE || a == b {
-                    return a;
-                }
-            }
-            Op::Or => {
-                if a == TRUE || b == TRUE {
-                    return TRUE;
-                }
-                if a == FALSE {
-                    return b;
-                }
-                if b == FALSE || a == b {
-                    return a;
-                }
-            }
+        let mut eng = Engine::new(None);
+        match eng.start_apply(self, op, a, b) {
+            Some(r) => r,
+            None => eng.run(self),
         }
-        let key = if a <= b { (op, a, b) } else { (op, b, a) };
-        if let Some(&r) = self.apply_cache.get(&key) {
-            self.stats.cache_hits += 1;
-            return r;
-        }
-        // Complement shortcut (uses the cache only — avoid computing fresh
-        // negations here, which could recurse deeply for no benefit).
-        if self.neg_cache.get(&a) == Some(&b) {
-            let r = match op {
-                Op::And => FALSE,
-                Op::Or => TRUE,
-            };
-            self.apply_cache.insert(key, r);
-            return r;
-        }
-        let va = self.respects(a).expect("non-terminal");
-        let vb = self.respects(b).expect("non-terminal");
-        let r = if va == vb {
-            if self.vtree.is_leaf(va) {
-                // Two literals of the same variable with different polarity
-                // (equal nodes were handled above).
-                match op {
-                    Op::And => FALSE,
-                    Op::Or => TRUE,
-                }
-            } else {
-                let ea = self.elements_of(a);
-                let eb = self.elements_of(b);
-                self.cross(op, va, &ea, &eb)
-            }
-        } else {
-            let l = self.vtree.lca(va, vb);
-            let ea = self.normalize_for(a, va, l);
-            let eb = self.normalize_for(b, vb, l);
-            self.cross(op, l, &ea, &eb)
-        };
-        self.apply_cache.insert(key, r);
-        r
     }
 
     /// The element list of a decision node.
@@ -381,44 +305,6 @@ impl SddManager {
             SddNode::Decision { elems, .. } => elems.to_vec(),
             _ => unreachable!("elements_of on non-decision"),
         }
-    }
-
-    /// Normalize node `a` (respecting `va`, a strict descendant of `l` or `l`
-    /// itself) into an element list for vnode `l`.
-    fn normalize_for(&mut self, a: SddId, va: VtreeNodeId, l: VtreeNodeId) -> Vec<(SddId, SddId)> {
-        if va == l {
-            return self.elements_of(a);
-        }
-        match self.vtree.side_of(l, va) {
-            Some(Side::Left) => {
-                let na = self.negate(a);
-                vec![(a, TRUE), (na, FALSE)]
-            }
-            Some(Side::Right) => vec![(TRUE, a)],
-            None => unreachable!("lca guarantees va below l"),
-        }
-    }
-
-    /// Cross product of two element lists, combining subs with `op`.
-    fn cross(
-        &mut self,
-        op: Op,
-        vnode: VtreeNodeId,
-        ea: &[(SddId, SddId)],
-        eb: &[(SddId, SddId)],
-    ) -> SddId {
-        let mut out = Vec::with_capacity(ea.len() * eb.len());
-        for &(p1, s1) in ea {
-            for &(p2, s2) in eb {
-                let p = self.and(p1, p2);
-                if p == FALSE {
-                    continue;
-                }
-                let s = self.apply(op, s1, s2);
-                out.push((p, s));
-            }
-        }
-        self.mk_decision(vnode, out)
     }
 
     /// Compile a circuit bottom-up.
@@ -504,74 +390,48 @@ impl SddManager {
         n
     }
 
-    /// Condition on `var := value` (cofactor).
+    /// Condition on `var := value` (cofactor). Memoized per node and run
+    /// on the worklist [`Engine`] — heap-bounded depth even on vtree-deep
+    /// diagrams.
     pub fn condition(&mut self, a: SddId, var: VarId, value: bool) -> SddId {
-        let mut memo: FxHashMap<SddId, SddId> = FxHashMap::default();
-        self.condition_rec(a, var, value, &mut memo)
+        let mut eng = Engine::new(Some(CondCtx {
+            var,
+            value,
+            memo: FxHashMap::default(),
+        }));
+        match eng.start_condition(self, a) {
+            Some(r) => r,
+            None => eng.run(self),
+        }
     }
 
-    fn condition_rec(
-        &mut self,
-        a: SddId,
-        var: VarId,
-        value: bool,
-        memo: &mut FxHashMap<SddId, SddId>,
-    ) -> SddId {
-        match &self.nodes[a.index()] {
-            SddNode::False | SddNode::True => return a,
-            SddNode::Literal { var: v, positive } => {
-                if *v == var {
-                    return if *positive == value { TRUE } else { FALSE };
-                }
-                return a;
-            }
-            SddNode::Decision { .. } => {}
-        }
-        if let Some(&r) = memo.get(&a) {
-            return r;
-        }
-        let SddNode::Decision { vnode, elems } = self.nodes[a.index()].clone() else {
-            unreachable!()
-        };
-        let new: Vec<(SddId, SddId)> = elems
-            .iter()
-            .map(|&(p, s)| {
-                let np = self.condition_rec(p, var, value, memo);
-                let ns = self.condition_rec(s, var, value, memo);
-                (np, ns)
-            })
-            .collect();
-        let r = self.mk_decision(vnode, new);
-        memo.insert(a, r);
-        r
-    }
-
-    /// Evaluate under an assignment covering the vtree variables.
-    /// Memoized per node, so it is linear in the DAG size (the naive
-    /// recursion is exponential on diagrams with heavy sharing).
+    /// Evaluate under an assignment covering the vtree variables: one
+    /// bottom-up sweep over the reachable decisions in interning order
+    /// (children are always interned before their parents, so ascending
+    /// [`SddId`] is a topological order) — linear in the DAG size, constant
+    /// stack depth.
     pub fn eval(&self, a: SddId, asg: &Assignment) -> bool {
-        let mut memo: FxHashMap<SddId, bool> = FxHashMap::default();
-        self.eval_memo(a, asg, &mut memo)
-    }
-
-    fn eval_memo(&self, a: SddId, asg: &Assignment, memo: &mut FxHashMap<SddId, bool>) -> bool {
-        match &self.nodes[a.index()] {
+        let mut decisions = self.reachable_decisions(a);
+        decisions.sort_unstable();
+        let mut val: FxHashMap<SddId, bool> = FxHashMap::default();
+        let value_of = |n: SddId, val: &FxHashMap<SddId, bool>| match &self.nodes[n.index()] {
             SddNode::False => false,
             SddNode::True => true,
             SddNode::Literal { var, positive } => {
                 asg.get(*var).expect("assignment covers vtree vars") == *positive
             }
-            SddNode::Decision { elems, .. } => {
-                if let Some(&b) = memo.get(&a) {
-                    return b;
-                }
-                let b = elems
-                    .iter()
-                    .any(|&(p, s)| self.eval_memo(p, asg, memo) && self.eval_memo(s, asg, memo));
-                memo.insert(a, b);
-                b
-            }
+            SddNode::Decision { .. } => val[&n],
+        };
+        for d in decisions {
+            let SddNode::Decision { elems, .. } = &self.nodes[d.index()] else {
+                unreachable!("reachable_decisions returns decisions");
+            };
+            let b = elems
+                .iter()
+                .any(|&(p, s)| value_of(p, &val) && value_of(s, &val));
+            val.insert(d, b);
         }
+        value_of(a, &val)
     }
 
     /// Read back the function over the full vtree variable set.
@@ -633,6 +493,604 @@ impl SddManager {
             .copied()
             .max()
             .unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The worklist engine behind apply / negate / condition.
+//
+// The natural implementations of these operations recurse to the vtree /
+// SDD depth, which is Θ(n) on chain-shaped inputs — a 100k-variable
+// session would overflow any default stack. The `Engine` below replaces
+// the call stack with an explicit frame stack on the heap: every suspended
+// operation is a `Frame` recording exactly where it will resume, a single
+// `ret` register carries each finished node id to the frame that asked for
+// it, and `start_*` resolvers answer what they can immediately (terminal
+// shortcuts, cache hits, literals) without growing the stack. Memoization
+// and hash-consing are bit-for-bit those of the former recursion: the same
+// caches are consulted and filled at the same points, in the same order,
+// so the constructed nodes (and the ApplyStats counters) are identical.
+// ---------------------------------------------------------------------
+
+/// Context of one `condition` run: the pinned literal and the per-call
+/// memo table (cofactor results are not globally cached).
+struct CondCtx {
+    var: VarId,
+    value: bool,
+    memo: FxHashMap<SddId, SddId>,
+}
+
+/// What a suspended [`Frame::Prep`] is waiting for.
+#[derive(Copy, Clone)]
+enum PrepWait {
+    /// Just pushed; no negation requested yet.
+    Fresh,
+    /// The negation of operand `a`.
+    NegA,
+    /// The negation of operand `b`.
+    NegB,
+}
+
+/// What a suspended [`Frame::Cross`] is waiting for.
+enum CrossWait {
+    /// Just pushed, or between element pairs.
+    Idle,
+    /// The prime conjunction of the current pair.
+    Prime,
+    /// The sub combination; the finished prime rides along.
+    Sub(SddId),
+    /// The final decision construction.
+    Build,
+}
+
+/// What a suspended [`Frame::Cond`] is waiting for.
+enum CondWait {
+    /// Just pushed, or between elements.
+    Idle,
+    /// The conditioned prime of the current element.
+    Prime,
+    /// The conditioned sub; the conditioned prime rides along.
+    Sub(SddId),
+    /// The final decision construction.
+    Build,
+}
+
+/// One suspended operation of the worklist engine.
+enum Frame {
+    /// An apply whose operands normalize at their vtree lca: a left-side
+    /// operand needs its negation before the element lists exist.
+    Prep {
+        op: Op,
+        key: (Op, SddId, SddId),
+        l: VtreeNodeId,
+        a: SddId,
+        /// `None` when `a` respects `l` itself.
+        a_at: Option<Side>,
+        b: SddId,
+        b_at: Option<Side>,
+        na: Option<SddId>,
+        nb: Option<SddId>,
+        wait: PrepWait,
+    },
+    /// The element cross product of an apply.
+    Cross {
+        op: Op,
+        key: (Op, SddId, SddId),
+        vnode: VtreeNodeId,
+        ea: Vec<(SddId, SddId)>,
+        eb: Vec<(SddId, SddId)>,
+        i: usize,
+        j: usize,
+        wait: CrossWait,
+        out: Vec<(SddId, SddId)>,
+    },
+    /// Structural negation of a decision (same primes, negated subs).
+    Neg {
+        a: SddId,
+        vnode: VtreeNodeId,
+        elems: Box<[(SddId, SddId)]>,
+        i: usize,
+        out: Vec<(SddId, SddId)>,
+        /// Set once the final decision construction was requested.
+        building: bool,
+    },
+    /// Conditioning of a decision (both primes and subs restricted).
+    Cond {
+        a: SddId,
+        vnode: VtreeNodeId,
+        elems: Box<[(SddId, SddId)]>,
+        i: usize,
+        wait: CondWait,
+        out: Vec<(SddId, SddId)>,
+    },
+    /// Canonical decision construction with pending prime-compression
+    /// disjunctions (groups of equal subs whose primes must be or-ed).
+    Build {
+        vnode: VtreeNodeId,
+        /// `(primes, sub)` groups, sorted by sub.
+        groups: Vec<(Vec<SddId>, SddId)>,
+        gi: usize,
+        /// Next prime index within the current group (0 = group untouched).
+        pi: usize,
+        /// The or-accumulator of the current group.
+        acc: SddId,
+        compressed: Vec<(SddId, SddId)>,
+    },
+}
+
+impl Frame {
+    /// A fresh cross-product frame for an apply normalized at `vnode`.
+    fn cross(
+        op: Op,
+        key: (Op, SddId, SddId),
+        vnode: VtreeNodeId,
+        ea: Vec<(SddId, SddId)>,
+        eb: Vec<(SddId, SddId)>,
+    ) -> Frame {
+        let cap = ea.len() * eb.len();
+        Frame::Cross {
+            op,
+            key,
+            vnode,
+            ea,
+            eb,
+            i: 0,
+            j: 0,
+            wait: CrossWait::Idle,
+            out: Vec::with_capacity(cap),
+        }
+    }
+}
+
+/// A sub-operation a frame asks the engine to resolve.
+enum Req {
+    Apply(Op, SddId, SddId),
+    Negate(SddId),
+    Condition(SddId),
+    Build(VtreeNodeId, Vec<(SddId, SddId)>),
+}
+
+/// Outcome of advancing the top frame in place.
+enum Step {
+    /// The frame recorded what it waits for and requests a sub-operation.
+    Request(Req),
+    /// The frame finished; pop it and deliver its result.
+    Complete(SddId),
+}
+
+/// The frame stack plus the `ret` register. One engine drives one public
+/// operation (`and`/`or`/`negate`/`condition`/`decision`) to completion.
+struct Engine {
+    frames: Vec<Frame>,
+    cond: Option<CondCtx>,
+}
+
+impl Engine {
+    fn new(cond: Option<CondCtx>) -> Self {
+        Engine {
+            frames: Vec::new(),
+            cond,
+        }
+    }
+
+    /// Drive the frame stack until the initial request is answered.
+    ///
+    /// Invariant: a frame on top with no pending `ret` was just pushed (or
+    /// just transitioned) and issues its first request; any other advance
+    /// delivers `ret` to the exact slot the top frame's `wait` state
+    /// names. Frames advance **in place** — only completions pop, only new
+    /// children push; re-pushing the whole frame per element (the obvious
+    /// encoding) moves ~100 bytes twice per cross-product pair, which
+    /// measurably taxed the compile path.
+    fn run(&mut self, m: &mut SddManager) -> SddId {
+        let mut ret: Option<SddId> = None;
+        loop {
+            let Some(top) = self.frames.last_mut() else {
+                return ret.expect("the worklist terminates with the requested node");
+            };
+            match Self::advance(top, ret.take(), m, &mut self.cond) {
+                Step::Request(req) => ret = self.start_request(m, req),
+                Step::Complete(v) => {
+                    self.frames.pop();
+                    ret = Some(v);
+                }
+            }
+        }
+    }
+
+    /// Dispatch a frame's sub-operation request to its resolver (which
+    /// answers immediately or pushes the frame that will).
+    fn start_request(&mut self, m: &mut SddManager, req: Req) -> Option<SddId> {
+        match req {
+            Req::Apply(op, a, b) => self.start_apply(m, op, a, b),
+            Req::Negate(a) => self.start_negate(m, a),
+            Req::Condition(a) => self.start_condition(m, a),
+            Req::Build(vnode, elems) => self.start_build(m, vnode, elems),
+        }
+    }
+
+    /// Advance the top frame in place: consume `ret` into the slot its
+    /// `wait` state names, then either emit the frame's next request or
+    /// declare it complete. The only internal transition is Prep → Cross
+    /// (once the needed negations are in hand).
+    fn advance(
+        frame: &mut Frame,
+        mut ret: Option<SddId>,
+        m: &mut SddManager,
+        cond: &mut Option<CondCtx>,
+    ) -> Step {
+        loop {
+            match frame {
+                Frame::Prep {
+                    op,
+                    key,
+                    l,
+                    a,
+                    a_at,
+                    b,
+                    b_at,
+                    na,
+                    nb,
+                    wait,
+                } => {
+                    match wait {
+                        PrepWait::Fresh => {}
+                        PrepWait::NegA => *na = Some(ret.take().expect("negation result")),
+                        PrepWait::NegB => *nb = Some(ret.take().expect("negation result")),
+                    }
+                    if *a_at == Some(Side::Left) && na.is_none() {
+                        *wait = PrepWait::NegA;
+                        return Step::Request(Req::Negate(*a));
+                    }
+                    if *b_at == Some(Side::Left) && nb.is_none() {
+                        *wait = PrepWait::NegB;
+                        return Step::Request(Req::Negate(*b));
+                    }
+                    let ea = Self::norm_elems(m, *a, *a_at, *na);
+                    let eb = Self::norm_elems(m, *b, *b_at, *nb);
+                    *frame = Frame::cross(*op, *key, *l, ea, eb);
+                    // Loop: the fresh Cross issues its first request.
+                }
+                Frame::Cross {
+                    op,
+                    key,
+                    vnode,
+                    ea,
+                    eb,
+                    i,
+                    j,
+                    wait,
+                    out,
+                } => {
+                    match std::mem::replace(wait, CrossWait::Idle) {
+                        CrossWait::Idle => {}
+                        CrossWait::Prime => {
+                            let p = ret.take().expect("prime result");
+                            if p == FALSE {
+                                *j += 1;
+                                if *j == eb.len() {
+                                    *j = 0;
+                                    *i += 1;
+                                }
+                            } else {
+                                *wait = CrossWait::Sub(p);
+                                return Step::Request(Req::Apply(*op, ea[*i].1, eb[*j].1));
+                            }
+                        }
+                        CrossWait::Sub(p) => {
+                            out.push((p, ret.take().expect("sub result")));
+                            *j += 1;
+                            if *j == eb.len() {
+                                *j = 0;
+                                *i += 1;
+                            }
+                        }
+                        CrossWait::Build => {
+                            let r = ret.take().expect("build result");
+                            m.apply_cache.insert(*key, r);
+                            return Step::Complete(r);
+                        }
+                    }
+                    if *i < ea.len() {
+                        *wait = CrossWait::Prime;
+                        return Step::Request(Req::Apply(Op::And, ea[*i].0, eb[*j].0));
+                    }
+                    *wait = CrossWait::Build;
+                    return Step::Request(Req::Build(*vnode, std::mem::take(out)));
+                }
+                Frame::Neg {
+                    a,
+                    vnode,
+                    elems,
+                    i,
+                    out,
+                    building,
+                } => {
+                    if *building {
+                        let n = ret.take().expect("build result");
+                        m.neg_cache.insert(*a, n);
+                        m.neg_cache.insert(n, *a);
+                        return Step::Complete(n);
+                    }
+                    if let Some(ns) = ret.take() {
+                        out.push((elems[*i].0, ns));
+                        *i += 1;
+                    }
+                    if *i < elems.len() {
+                        return Step::Request(Req::Negate(elems[*i].1));
+                    }
+                    *building = true;
+                    return Step::Request(Req::Build(*vnode, std::mem::take(out)));
+                }
+                Frame::Cond {
+                    a,
+                    vnode,
+                    elems,
+                    i,
+                    wait,
+                    out,
+                } => {
+                    match std::mem::replace(wait, CondWait::Idle) {
+                        CondWait::Idle => {}
+                        CondWait::Prime => {
+                            let np = ret.take().expect("conditioned prime");
+                            *wait = CondWait::Sub(np);
+                            return Step::Request(Req::Condition(elems[*i].1));
+                        }
+                        CondWait::Sub(np) => {
+                            out.push((np, ret.take().expect("conditioned sub")));
+                            *i += 1;
+                        }
+                        CondWait::Build => {
+                            let r = ret.take().expect("build result");
+                            cond.as_mut().expect("condition context").memo.insert(*a, r);
+                            return Step::Complete(r);
+                        }
+                    }
+                    if *i < elems.len() {
+                        *wait = CondWait::Prime;
+                        return Step::Request(Req::Condition(elems[*i].0));
+                    }
+                    *wait = CondWait::Build;
+                    return Step::Request(Req::Build(*vnode, std::mem::take(out)));
+                }
+                Frame::Build {
+                    vnode,
+                    groups,
+                    gi,
+                    pi,
+                    acc,
+                    compressed,
+                } => {
+                    if let Some(r) = ret.take() {
+                        *acc = r;
+                    }
+                    loop {
+                        if *gi == groups.len() {
+                            let elems = std::mem::take(compressed);
+                            return Step::Complete(m.finish_decision(*vnode, elems));
+                        }
+                        if *pi == 0 {
+                            *acc = groups[*gi].0[0];
+                            *pi = 1;
+                        }
+                        if *pi < groups[*gi].0.len() {
+                            let p = groups[*gi].0[*pi];
+                            *pi += 1;
+                            return Step::Request(Req::Apply(Op::Or, *acc, p));
+                        }
+                        compressed.push((*acc, groups[*gi].1));
+                        *gi += 1;
+                        *pi = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Begin an apply: answer terminal/identity shortcuts, cache hits and
+    /// leaf clashes immediately; otherwise push the frame that will finish
+    /// it. Mirrors the former recursive `apply` head exactly (including
+    /// which results enter the apply cache and when the stats count).
+    fn start_apply(&mut self, m: &mut SddManager, op: Op, a: SddId, b: SddId) -> Option<SddId> {
+        m.stats.apply_calls += 1;
+        // Terminal and identity shortcuts.
+        match op {
+            Op::And => {
+                if a == FALSE || b == FALSE {
+                    return Some(FALSE);
+                }
+                if a == TRUE {
+                    return Some(b);
+                }
+                if b == TRUE || a == b {
+                    return Some(a);
+                }
+            }
+            Op::Or => {
+                if a == TRUE || b == TRUE {
+                    return Some(TRUE);
+                }
+                if a == FALSE {
+                    return Some(b);
+                }
+                if b == FALSE || a == b {
+                    return Some(a);
+                }
+            }
+        }
+        let key = if a <= b { (op, a, b) } else { (op, b, a) };
+        if let Some(&r) = m.apply_cache.get(&key) {
+            m.stats.cache_hits += 1;
+            return Some(r);
+        }
+        // Complement shortcut (uses the cache only — avoid computing fresh
+        // negations here, which could traverse deeply for no benefit).
+        if m.neg_cache.get(&a) == Some(&b) {
+            let r = match op {
+                Op::And => FALSE,
+                Op::Or => TRUE,
+            };
+            m.apply_cache.insert(key, r);
+            return Some(r);
+        }
+        let va = m.respects(a).expect("non-terminal");
+        let vb = m.respects(b).expect("non-terminal");
+        if va == vb {
+            if m.vtree.is_leaf(va) {
+                // Two literals of the same variable with different polarity
+                // (equal nodes were handled above).
+                let r = match op {
+                    Op::And => FALSE,
+                    Op::Or => TRUE,
+                };
+                m.apply_cache.insert(key, r);
+                return Some(r);
+            }
+            let ea = m.elements_of(a);
+            let eb = m.elements_of(b);
+            self.frames.push(Frame::cross(op, key, va, ea, eb));
+            return None;
+        }
+        let l = m.vtree.lca(va, vb);
+        let a_at = m.vtree.side_of(l, va); // None ⇒ va == l
+        let b_at = m.vtree.side_of(l, vb);
+        if a_at == Some(Side::Left) || b_at == Some(Side::Left) {
+            // A left-side operand normalizes to {(x, ⊤), (¬x, ⊥)}: the
+            // negation(s) must be computed first (operand a before b, as
+            // the recursion did).
+            self.frames.push(Frame::Prep {
+                op,
+                key,
+                l,
+                a,
+                a_at,
+                b,
+                b_at,
+                na: None,
+                nb: None,
+                wait: PrepWait::Fresh,
+            });
+            return None;
+        }
+        let ea = Self::norm_elems(m, a, a_at, None);
+        let eb = Self::norm_elems(m, b, b_at, None);
+        self.frames.push(Frame::cross(op, key, l, ea, eb));
+        None
+    }
+
+    /// Normalize node `x` into an element list for the lca: its own
+    /// elements at the lca itself, `{(⊤, x)}` on the right, and
+    /// `{(x, ⊤), (¬x, ⊥)}` on the left (negation supplied by the caller).
+    fn norm_elems(
+        m: &SddManager,
+        x: SddId,
+        side: Option<Side>,
+        nx: Option<SddId>,
+    ) -> Vec<(SddId, SddId)> {
+        match side {
+            None => m.elements_of(x),
+            Some(Side::Right) => vec![(TRUE, x)],
+            Some(Side::Left) => vec![(x, TRUE), (nx.expect("negation prepared"), FALSE)],
+        }
+    }
+
+    /// Begin a negation: terminals, literals and cached results answer
+    /// immediately; decisions push a frame.
+    fn start_negate(&mut self, m: &mut SddManager, a: SddId) -> Option<SddId> {
+        match &m.nodes[a.index()] {
+            SddNode::False => return Some(TRUE),
+            SddNode::True => return Some(FALSE),
+            SddNode::Literal { var, positive } => {
+                let (v, p) = (*var, *positive);
+                return Some(m.literal(v, !p));
+            }
+            SddNode::Decision { .. } => {}
+        }
+        if let Some(&n) = m.neg_cache.get(&a) {
+            return Some(n);
+        }
+        let SddNode::Decision { vnode, elems } = m.nodes[a.index()].clone() else {
+            unreachable!()
+        };
+        self.frames.push(Frame::Neg {
+            a,
+            vnode,
+            elems,
+            i: 0,
+            out: Vec::new(),
+            building: false,
+        });
+        None
+    }
+
+    /// Begin a conditioning step: terminals, untouched/pinned literals and
+    /// memoized decisions answer immediately; other decisions push a frame.
+    fn start_condition(&mut self, m: &mut SddManager, a: SddId) -> Option<SddId> {
+        let ctx = self.cond.as_ref().expect("condition context");
+        match &m.nodes[a.index()] {
+            SddNode::False | SddNode::True => return Some(a),
+            SddNode::Literal { var, positive } => {
+                if *var == ctx.var {
+                    return Some(if *positive == ctx.value { TRUE } else { FALSE });
+                }
+                return Some(a);
+            }
+            SddNode::Decision { .. } => {}
+        }
+        if let Some(&r) = ctx.memo.get(&a) {
+            return Some(r);
+        }
+        let SddNode::Decision { vnode, elems } = m.nodes[a.index()].clone() else {
+            unreachable!()
+        };
+        self.frames.push(Frame::Cond {
+            a,
+            vnode,
+            elems,
+            i: 0,
+            wait: CondWait::Idle,
+            out: Vec::new(),
+        });
+        None
+    }
+
+    /// Begin a canonical decision construction: drop ⊥ primes, group by
+    /// sub. Without compression work the node is finished on the spot;
+    /// otherwise a frame or-reduces each group's primes through the engine.
+    fn start_build(
+        &mut self,
+        m: &mut SddManager,
+        vnode: VtreeNodeId,
+        elems: Vec<(SddId, SddId)>,
+    ) -> Option<SddId> {
+        let mut elems: Vec<(SddId, SddId)> =
+            elems.into_iter().filter(|(p, _)| *p != FALSE).collect();
+        if elems.is_empty() {
+            return Some(FALSE);
+        }
+        elems.sort_unstable_by_key(|&(_, s)| s);
+        // The common case — all subs already distinct — finishes on the
+        // spot, without materializing per-group prime lists.
+        if elems.windows(2).all(|w| w[0].1 != w[1].1) {
+            return Some(m.finish_decision(vnode, elems));
+        }
+        let mut groups: Vec<(Vec<SddId>, SddId)> = Vec::new();
+        for (p, s) in elems {
+            match groups.last_mut() {
+                Some((ps, sub)) if *sub == s => ps.push(p),
+                _ => groups.push((vec![p], s)),
+            }
+        }
+        self.frames.push(Frame::Build {
+            vnode,
+            groups,
+            gi: 0,
+            pi: 0,
+            acc: FALSE,
+            compressed: Vec::new(),
+        });
+        None
     }
 }
 

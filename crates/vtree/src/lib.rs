@@ -94,8 +94,11 @@ struct VtreeNode {
     kind: VtreeNodeKind,
     parent: Option<VtreeNodeId>,
     depth: u32,
-    /// Sorted variables at the leaves of the subtree rooted here (`Y_v`).
-    vars_below: Vec<VarId>,
+    /// Start of this subtree's leaves in [`Vtree::leaf_seq`] (subtree
+    /// leaves are contiguous in inorder).
+    leaf_start: u32,
+    /// Number of leaves below (and including) this node.
+    leaf_count: u32,
 }
 
 /// Which side of an internal node a descendant lies on.
@@ -128,66 +131,95 @@ impl std::error::Error for VtreeError {}
 /// A rooted binary tree whose leaves are pairwise distinct variables.
 ///
 /// Nodes are stored in an arena; ids are stable for the lifetime of the tree.
-/// Construction precomputes, for every node `v`, the sorted variable set
-/// `Y_v` of the leaves below `v` — the object `factors(F, Y_v)` and the
-/// structuredness checks are defined against.
+/// Construction precomputes, for every node `v`, the contiguous inorder leaf
+/// range of the subtree rooted at `v` (the variable set `Y_v` the objects
+/// `factors(F, Y_v)` and the structuredness checks are defined against) —
+/// ranges into one shared leaf sequence, so the arena stays linear in the
+/// variable count even for linear (chain-shaped) vtrees, where per-node
+/// variable lists would cost Θ(n²) memory.
+///
+/// Nothing in this type recurses on the tree: construction, traversal,
+/// rendering and conversion all use explicit stacks, so vtrees as deep as
+/// the variable count (chain inputs) are handled on a default-size stack.
 #[derive(Clone, Debug)]
 pub struct Vtree {
     nodes: Vec<VtreeNode>,
     root: VtreeNodeId,
     /// Map from variable index to its leaf node (dense over the max VarId).
     leaf_of: Vec<Option<VtreeNodeId>>,
+    /// The leaf variables in inorder (left-to-right); every node's subtree
+    /// is a contiguous range of this sequence.
+    leaf_seq: Vec<VarId>,
+    /// All variables, sorted (the classical `Y_root` view).
+    sorted_vars: Vec<VarId>,
+    /// Binary-lifting ancestor tables: `up[k][v]` is `v`'s 2^k-th ancestor
+    /// (saturating at the root), powering O(log n) [`Vtree::lca`] — the
+    /// naive parent walk made every SDD apply pay Θ(depth), which is Θ(n)
+    /// per apply on chain vtrees.
+    up: Vec<Vec<VtreeNodeId>>,
 }
 
 impl Vtree {
     /// Build a vtree from a [`VtreeShape`].
     pub fn from_shape(shape: &VtreeShape) -> Result<Self, VtreeError> {
+        // Iterative post-order over the shape (shapes are input-depth deep
+        // on chain inputs); ids are assigned children-first, left subtree
+        // fully before right, exactly like the former recursive builder.
+        enum Walk<'a> {
+            Enter(&'a VtreeShape),
+            Exit,
+        }
         let mut nodes: Vec<VtreeNode> = Vec::new();
-        let root = Self::build_rec(shape, &mut nodes);
+        let mut built: Vec<VtreeNodeId> = Vec::new();
+        let mut walk = vec![Walk::Enter(shape)];
+        while let Some(w) = walk.pop() {
+            match w {
+                Walk::Enter(VtreeShape::Leaf(v)) => {
+                    let id = VtreeNodeId(nodes.len() as u32);
+                    nodes.push(VtreeNode {
+                        kind: VtreeNodeKind::Leaf(*v),
+                        parent: None,
+                        depth: 0,
+                        leaf_start: 0,
+                        leaf_count: 1,
+                    });
+                    built.push(id);
+                }
+                Walk::Enter(VtreeShape::Node(l, r)) => {
+                    walk.push(Walk::Exit);
+                    walk.push(Walk::Enter(r));
+                    walk.push(Walk::Enter(l));
+                }
+                Walk::Exit => {
+                    let right = built.pop().expect("right child built");
+                    let left = built.pop().expect("left child built");
+                    let id = VtreeNodeId(nodes.len() as u32);
+                    nodes.push(VtreeNode {
+                        kind: VtreeNodeKind::Internal { left, right },
+                        parent: None,
+                        depth: 0,
+                        leaf_start: 0,
+                        leaf_count: 0,
+                    });
+                    built.push(id);
+                }
+            }
+        }
+        let root = built.pop().expect("shape has a root");
         let mut vt = Vtree {
             nodes,
             root,
             leaf_of: Vec::new(),
+            leaf_seq: Vec::new(),
+            sorted_vars: Vec::new(),
+            up: Vec::new(),
         };
         vt.finish()?;
         Ok(vt)
     }
 
-    fn build_rec(shape: &VtreeShape, nodes: &mut Vec<VtreeNode>) -> VtreeNodeId {
-        match shape {
-            VtreeShape::Leaf(v) => {
-                let id = VtreeNodeId(nodes.len() as u32);
-                nodes.push(VtreeNode {
-                    kind: VtreeNodeKind::Leaf(*v),
-                    parent: None,
-                    depth: 0,
-                    vars_below: vec![*v],
-                });
-                id
-            }
-            VtreeShape::Node(l, r) => {
-                let left = Self::build_rec(l, nodes);
-                let right = Self::build_rec(r, nodes);
-                let id = VtreeNodeId(nodes.len() as u32);
-                let mut vars: Vec<VarId> = nodes[left.index()]
-                    .vars_below
-                    .iter()
-                    .chain(nodes[right.index()].vars_below.iter())
-                    .copied()
-                    .collect();
-                vars.sort_unstable();
-                nodes.push(VtreeNode {
-                    kind: VtreeNodeKind::Internal { left, right },
-                    parent: None,
-                    depth: 0,
-                    vars_below: vars,
-                });
-                id
-            }
-        }
-    }
-
-    /// Fill in parents, depths and the variable→leaf map; validate.
+    /// Fill in parents, depths, leaf ranges and the variable→leaf map;
+    /// validate.
     fn finish(&mut self) -> Result<(), VtreeError> {
         if self.nodes.is_empty() {
             return Err(VtreeError::Empty);
@@ -202,14 +234,61 @@ impl Vtree {
                 stack.push((right, Some(id), depth + 1));
             }
         }
+        // Inorder leaf sequence and per-node contiguous leaf ranges, via an
+        // enter/exit DFS (leaves get their inorder position; an internal
+        // node spans from its left child's start over both children).
+        enum Visit {
+            Enter(VtreeNodeId),
+            Exit(VtreeNodeId),
+        }
+        self.leaf_seq = Vec::new();
+        let mut visits = vec![Visit::Enter(self.root)];
+        while let Some(v) = visits.pop() {
+            match v {
+                Visit::Enter(id) => match self.nodes[id.index()].kind {
+                    VtreeNodeKind::Leaf(var) => {
+                        self.nodes[id.index()].leaf_start = self.leaf_seq.len() as u32;
+                        self.nodes[id.index()].leaf_count = 1;
+                        self.leaf_seq.push(var);
+                    }
+                    VtreeNodeKind::Internal { left, right } => {
+                        visits.push(Visit::Exit(id));
+                        visits.push(Visit::Enter(right));
+                        visits.push(Visit::Enter(left));
+                    }
+                },
+                Visit::Exit(id) => {
+                    let VtreeNodeKind::Internal { left, right } = self.nodes[id.index()].kind
+                    else {
+                        unreachable!("only internal nodes get Exit visits")
+                    };
+                    self.nodes[id.index()].leaf_start = self.nodes[left.index()].leaf_start;
+                    self.nodes[id.index()].leaf_count =
+                        self.nodes[left.index()].leaf_count + self.nodes[right.index()].leaf_count;
+                }
+            }
+        }
+        self.sorted_vars = self.leaf_seq.clone();
+        self.sorted_vars.sort_unstable();
+        // Binary-lifting ancestors (root saturates to itself).
+        let up0: Vec<VtreeNodeId> = (0..self.nodes.len())
+            .map(|i| self.nodes[i].parent.unwrap_or(VtreeNodeId(i as u32)))
+            .collect();
+        let max_depth = self.nodes.iter().map(|n| n.depth).max().unwrap_or(0);
+        let levels = (usize::BITS - (max_depth as usize).leading_zeros()).max(1) as usize;
+        self.up = Vec::with_capacity(levels);
+        self.up.push(up0);
+        for k in 1..levels {
+            let prev = &self.up[k - 1];
+            let next: Vec<VtreeNodeId> = (0..self.nodes.len())
+                .map(|i| prev[prev[i].index()])
+                .collect();
+            self.up.push(next);
+        }
         let max_var = self
-            .nodes
-            .iter()
-            .filter_map(|n| match n.kind {
-                VtreeNodeKind::Leaf(v) => Some(v.index()),
-                _ => None,
-            })
-            .max()
+            .sorted_vars
+            .last()
+            .map(|v| v.index())
             .ok_or(VtreeError::Empty)?;
         self.leaf_of = vec![None; max_var + 1];
         for (i, n) in self.nodes.iter().enumerate() {
@@ -305,10 +384,7 @@ impl Vtree {
 
     /// Number of variables (= leaves).
     pub fn num_vars(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n.kind, VtreeNodeKind::Leaf(_)))
-            .count()
+        self.leaf_seq.len()
     }
 
     /// The node kind.
@@ -351,15 +427,19 @@ impl Vtree {
         self.nodes[id.index()].depth
     }
 
-    /// The sorted variable set `Y_v` below node `v`.
+    /// The variable set `Y_v` below node `v`, in left-to-right (inorder)
+    /// leaf order — a contiguous slice of the shared leaf sequence, so the
+    /// arena stays linear-sized on deep vtrees. Wrap in a sorted set type
+    /// (e.g. `boolfunc::VarSet`) where set semantics are needed.
     #[inline]
     pub fn vars_below(&self, id: VtreeNodeId) -> &[VarId] {
-        &self.nodes[id.index()].vars_below
+        let n = &self.nodes[id.index()];
+        &self.leaf_seq[n.leaf_start as usize..(n.leaf_start + n.leaf_count) as usize]
     }
 
     /// All variables of the vtree, sorted.
     pub fn vars(&self) -> &[VarId] {
-        self.vars_below(self.root)
+        &self.sorted_vars
     }
 
     /// The leaf node of a variable, if the variable occurs in this vtree.
@@ -389,48 +469,38 @@ impl Vtree {
 
     /// Variables in left-to-right (inorder) leaf order.
     pub fn leaf_order(&self) -> Vec<VarId> {
-        let mut out = Vec::with_capacity(self.num_vars());
-        let mut stack = vec![self.root];
-        // Right children pushed first so left is processed first.
-        while let Some(id) = stack.pop() {
-            match self.nodes[id.index()].kind {
-                VtreeNodeKind::Leaf(v) => out.push(v),
-                VtreeNodeKind::Internal { left, right } => {
-                    stack.push(right);
-                    stack.push(left);
-                }
+        self.leaf_seq.clone()
+    }
+
+    /// Is `desc` in the subtree rooted at `anc` (inclusive)? O(1) via the
+    /// inorder leaf ranges (a subtree's leaves are a contiguous range, and
+    /// ranges of distinct nodes never coincide in a binary tree).
+    pub fn is_descendant(&self, desc: VtreeNodeId, anc: VtreeNodeId) -> bool {
+        let (d, a) = (&self.nodes[desc.index()], &self.nodes[anc.index()]);
+        a.leaf_start <= d.leaf_start && d.leaf_start + d.leaf_count <= a.leaf_start + a.leaf_count
+    }
+
+    /// Lowest common ancestor of two nodes — O(log n) via binary lifting
+    /// (the parent-pointer walk was Θ(depth), which made every SDD apply on
+    /// a chain vtree pay Θ(n)).
+    pub fn lca(&self, a: VtreeNodeId, b: VtreeNodeId) -> VtreeNodeId {
+        if self.is_descendant(b, a) {
+            return a;
+        }
+        if self.is_descendant(a, b) {
+            return b;
+        }
+        // Lift `a` to the highest ancestor NOT containing `b`; its parent
+        // is the lca.
+        let mut a = a;
+        for k in (0..self.up.len()).rev() {
+            let anc = self.up[k][a.index()];
+            if !self.is_descendant(b, anc) {
+                a = anc;
             }
         }
-        out
-    }
-
-    /// Is `desc` in the subtree rooted at `anc` (inclusive)?
-    pub fn is_descendant(&self, desc: VtreeNodeId, anc: VtreeNodeId) -> bool {
-        let target_depth = self.depth(anc);
-        let mut cur = desc;
-        while self.depth(cur) > target_depth {
-            cur = match self.parent(cur) {
-                Some(p) => p,
-                None => return false,
-            };
-        }
-        cur == anc
-    }
-
-    /// Lowest common ancestor of two nodes.
-    pub fn lca(&self, a: VtreeNodeId, b: VtreeNodeId) -> VtreeNodeId {
-        let (mut a, mut b) = (a, b);
-        while self.depth(a) > self.depth(b) {
-            a = self.parent(a).expect("depth > 0 implies parent");
-        }
-        while self.depth(b) > self.depth(a) {
-            b = self.parent(b).expect("depth > 0 implies parent");
-        }
-        while a != b {
-            a = self.parent(a).expect("distinct nodes at depth 0");
-            b = self.parent(b).expect("distinct nodes at depth 0");
-        }
-        a
+        self.parent(a)
+            .expect("distinct subtrees join below the root")
     }
 
     /// Which side of internal node `anc` contains `desc`?
@@ -525,36 +595,47 @@ impl Vtree {
 
     /// Export as a [`VtreeShape`] (useful for re-rooting / transformation).
     pub fn to_shape(&self) -> VtreeShape {
-        self.shape_rec(self.root)
-    }
-
-    fn shape_rec(&self, id: VtreeNodeId) -> VtreeShape {
-        match self.nodes[id.index()].kind {
-            VtreeNodeKind::Leaf(v) => VtreeShape::Leaf(v),
-            VtreeNodeKind::Internal { left, right } => VtreeShape::Node(
-                Box::new(self.shape_rec(left)),
-                Box::new(self.shape_rec(right)),
-            ),
+        // Post-order over bottom_up_order: children are built before their
+        // parent, so each internal node pops its finished subtrees.
+        let mut shapes: Vec<Option<VtreeShape>> = vec![None; self.num_nodes()];
+        for id in self.bottom_up_order() {
+            let s = match self.nodes[id.index()].kind {
+                VtreeNodeKind::Leaf(v) => VtreeShape::Leaf(v),
+                VtreeNodeKind::Internal { left, right } => VtreeShape::node(
+                    shapes[left.index()].take().expect("child shape built"),
+                    shapes[right.index()].take().expect("child shape built"),
+                ),
+            };
+            shapes[id.index()] = Some(s);
         }
+        shapes[self.root.index()].take().expect("root shape built")
     }
 }
 
 impl fmt::Display for Vtree {
     /// Nested-parenthesis rendering, e.g. `((x0 x1) x2)`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn rec(vt: &Vtree, id: VtreeNodeId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            match vt.nodes[id.index()].kind {
-                VtreeNodeKind::Leaf(v) => write!(f, "{v}"),
-                VtreeNodeKind::Internal { left, right } => {
-                    write!(f, "(")?;
-                    rec(vt, left, f)?;
-                    write!(f, " ")?;
-                    rec(vt, right, f)?;
-                    write!(f, ")")
-                }
+        enum Tok {
+            Node(VtreeNodeId),
+            Text(&'static str),
+        }
+        let mut stack = vec![Tok::Node(self.root)];
+        while let Some(t) = stack.pop() {
+            match t {
+                Tok::Text(s) => f.write_str(s)?,
+                Tok::Node(id) => match self.nodes[id.index()].kind {
+                    VtreeNodeKind::Leaf(v) => write!(f, "{v}")?,
+                    VtreeNodeKind::Internal { left, right } => {
+                        f.write_str("(")?;
+                        stack.push(Tok::Text(")"));
+                        stack.push(Tok::Node(right));
+                        stack.push(Tok::Text(" "));
+                        stack.push(Tok::Node(left));
+                    }
+                },
             }
         }
-        rec(self, self.root, f)
+        Ok(())
     }
 }
 

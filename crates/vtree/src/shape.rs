@@ -4,16 +4,100 @@
 //! representation [`crate::Vtree`] is derived from it. Shapes are convenient
 //! for recursive builders (Lemma 1's tree-decomposition-to-vtree extraction,
 //! the ISA vtree of Appendix A) and for enumeration.
+//!
+//! Shapes can be as deep as the variable count (chain inputs produce linear
+//! shapes), so nothing here recurses on the shape: traversals use explicit
+//! stacks, and `Drop` unlinks children iteratively — the derived drop glue
+//! would overflow the stack on a 100k-leaf linear shape.
 
 use crate::VarId;
+use std::fmt;
 
 /// A binary leaf-labelled tree as a recursive value.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `Clone`, `PartialEq`, `Debug` and `Drop` are hand-written with explicit
+/// stacks — the derived implementations recurse to shape depth, which is
+/// the variable count on linear shapes.
 pub enum VtreeShape {
     /// A leaf labelled by a variable.
     Leaf(VarId),
     /// An internal node.
     Node(Box<VtreeShape>, Box<VtreeShape>),
+}
+
+impl Clone for VtreeShape {
+    fn clone(&self) -> Self {
+        enum Walk<'a> {
+            Enter(&'a VtreeShape),
+            Exit,
+        }
+        let mut built: Vec<VtreeShape> = Vec::new();
+        let mut walk = vec![Walk::Enter(self)];
+        while let Some(w) = walk.pop() {
+            match w {
+                Walk::Enter(VtreeShape::Leaf(v)) => built.push(VtreeShape::Leaf(*v)),
+                Walk::Enter(VtreeShape::Node(l, r)) => {
+                    walk.push(Walk::Exit);
+                    walk.push(Walk::Enter(r));
+                    walk.push(Walk::Enter(l));
+                }
+                Walk::Exit => {
+                    let r = built.pop().expect("right clone built");
+                    let l = built.pop().expect("left clone built");
+                    built.push(VtreeShape::node(l, r));
+                }
+            }
+        }
+        built.pop().expect("clone built")
+    }
+}
+
+impl PartialEq for VtreeShape {
+    fn eq(&self, other: &Self) -> bool {
+        let mut stack = vec![(self, other)];
+        while let Some((a, b)) = stack.pop() {
+            match (a, b) {
+                (VtreeShape::Leaf(x), VtreeShape::Leaf(y)) => {
+                    if x != y {
+                        return false;
+                    }
+                }
+                (VtreeShape::Node(al, ar), VtreeShape::Node(bl, br)) => {
+                    stack.push((al, bl));
+                    stack.push((ar, br));
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+impl Eq for VtreeShape {}
+
+impl fmt::Debug for VtreeShape {
+    /// Nested-parenthesis rendering, e.g. `(x0 (x1 x2))`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        enum Tok<'a> {
+            Shape(&'a VtreeShape),
+            Text(&'static str),
+        }
+        let mut stack = vec![Tok::Shape(self)];
+        while let Some(t) = stack.pop() {
+            match t {
+                Tok::Text(s) => f.write_str(s)?,
+                Tok::Shape(VtreeShape::Leaf(v)) => write!(f, "{v:?}")?,
+                Tok::Shape(VtreeShape::Node(l, r)) => {
+                    f.write_str("(")?;
+                    stack.push(Tok::Text(")"));
+                    stack.push(Tok::Shape(r));
+                    stack.push(Tok::Text(" "));
+                    stack.push(Tok::Shape(l));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl VtreeShape {
@@ -24,27 +108,35 @@ impl VtreeShape {
 
     /// Leaf count.
     pub fn num_leaves(&self) -> usize {
-        match self {
-            VtreeShape::Leaf(_) => 1,
-            VtreeShape::Node(l, r) => l.num_leaves() + r.num_leaves(),
+        let mut count = 0;
+        let mut stack = vec![self];
+        while let Some(s) = stack.pop() {
+            match s {
+                VtreeShape::Leaf(_) => count += 1,
+                VtreeShape::Node(l, r) => {
+                    stack.push(l);
+                    stack.push(r);
+                }
+            }
         }
+        count
     }
 
     /// All leaf variables, left to right.
     pub fn leaf_vars(&self) -> Vec<VarId> {
         let mut out = Vec::new();
-        self.collect_leaves(&mut out);
-        out
-    }
-
-    fn collect_leaves(&self, out: &mut Vec<VarId>) {
-        match self {
-            VtreeShape::Leaf(v) => out.push(*v),
-            VtreeShape::Node(l, r) => {
-                l.collect_leaves(out);
-                r.collect_leaves(out);
+        let mut stack = vec![self];
+        while let Some(s) = stack.pop() {
+            match s {
+                VtreeShape::Leaf(v) => out.push(*v),
+                VtreeShape::Node(l, r) => {
+                    // Right first so the left subtree is visited first.
+                    stack.push(r);
+                    stack.push(l);
+                }
             }
         }
+        out
     }
 
     /// Combine a non-empty list of shapes into one (right fold).
@@ -57,6 +149,38 @@ impl VtreeShape {
             acc = VtreeShape::node(s, acc);
         }
         Some(acc)
+    }
+}
+
+impl VtreeShape {
+    /// Swap both children's contents out (replacing them with dummy
+    /// leaves), leaving `self` shallow. `None` on leaves.
+    fn take_children(&mut self) -> Option<(VtreeShape, VtreeShape)> {
+        match self {
+            VtreeShape::Leaf(_) => None,
+            VtreeShape::Node(l, r) => Some((
+                std::mem::replace(&mut **l, VtreeShape::Leaf(VarId(0))),
+                std::mem::replace(&mut **r, VtreeShape::Leaf(VarId(0))),
+            )),
+        }
+    }
+}
+
+impl Drop for VtreeShape {
+    fn drop(&mut self) {
+        // Detach subtrees onto an explicit stack so every node is dropped
+        // shallow (its boxed children already reduced to dummy leaves).
+        let mut stack: Vec<VtreeShape> = Vec::new();
+        if let Some((l, r)) = self.take_children() {
+            stack.push(l);
+            stack.push(r);
+        }
+        while let Some(mut s) = stack.pop() {
+            if let Some((l, r)) = s.take_children() {
+                stack.push(l);
+                stack.push(r);
+            }
+        }
     }
 }
 
@@ -75,5 +199,31 @@ mod tests {
     #[test]
     fn combine_empty_is_none() {
         assert!(VtreeShape::combine(vec![]).is_none());
+    }
+
+    #[test]
+    fn deep_linear_shape_clones_compares_and_drops_without_recursion() {
+        // 300k-node linear shape: the derived Clone/PartialEq/Drop glue
+        // would all recurse that deep; the manual impls must not.
+        let mut s = VtreeShape::Leaf(VarId(0));
+        for i in 1..300_000u32 {
+            s = VtreeShape::node(VtreeShape::Leaf(VarId(i)), s);
+        }
+        assert_eq!(s.num_leaves(), 300_000);
+        let t = s.clone();
+        assert!(s == t, "deep equality");
+        let u = VtreeShape::node(t, VtreeShape::Leaf(VarId(300_000)));
+        assert!(s != u, "structural difference detected");
+        drop(s);
+        drop(u);
+    }
+
+    #[test]
+    fn debug_renders_nested_parens() {
+        let s = VtreeShape::node(
+            VtreeShape::Leaf(VarId(0)),
+            VtreeShape::node(VtreeShape::Leaf(VarId(1)), VtreeShape::Leaf(VarId(2))),
+        );
+        assert_eq!(format!("{s:?}"), "(x0 (x1 x2))");
     }
 }

@@ -35,7 +35,7 @@ c p weight -2 0.5 0
     println!("\n{}\n", counted.report);
 
     // Exact #SAT. The chain (x1∨x2)(x2∨x3)(x3∨x4) has 8 models.
-    assert_eq!(counted.count().to_u128(), Some(8));
+    assert_eq!(counted.count().unwrap().to_u128(), Some(8));
 
     // Exact WMC: weights parsed as exact rationals (0.9 = 9/10), unweighted
     // variables default to (1, 1).
@@ -55,7 +55,7 @@ c p weight -2 0.5 0
     // old counter silently overflowed there; the BigUint semiring is exact.
     let big = cnf::families::chain_cnf(200);
     let counted = Compiler::new().compile_cnf(&big).expect("tw-1 formula");
-    let count = counted.count();
+    let count = counted.count().expect("counting stage on");
     assert!(count.to_u128().is_none(), "beyond 2^128");
     assert_eq!(*count, cnf::families::chain_count(200));
     println!(
