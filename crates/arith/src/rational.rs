@@ -1,16 +1,74 @@
-//! Arbitrary-precision signed rationals, always kept reduced.
+//! Arbitrary-precision signed rationals with **lazy gcd normalization**.
+//!
+//! Every arithmetic result used to run a full gcd reduction, which is
+//! superlinear in the operand bit-length — on exact-WMC chains past ~100
+//! variables the gcds dominated the whole counting stage (ROADMAP, *Bigger
+//! instances*). Values now carry a **watermark**: the bit-size at their
+//! last actual reduction. An operation keeps its raw (possibly unreduced)
+//! numerator/denominator as long as the representation stays within twice
+//! the watermark (and above a small floor where gcd is trivially cheap),
+//! and only runs the gcd once the representation has doubled — amortizing
+//! each reduction over a geometric run of operations.
+//!
+//! Semantics are unchanged: equality, ordering, hashing and `Display` are
+//! all defined on the represented *value* (`PartialEq`/`Ord` compare by
+//! cross-multiplication, `Display`/`Hash` canonicalize first), and
+//! [`Rational::reduced`] returns the canonical gcd-free form on demand.
+//! Only [`Rational::numer`]/[`Rational::denom`] expose the current
+//! representation. The lazy carrier is property-tested against an eager
+//! always-reduce reference (see the tests below).
 
 use crate::biguint::BigUint;
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
-/// A signed rational `(-1)^neg · num / den` with `gcd(num, den) = 1`,
-/// `den ≥ 1`, and zero canonicalized to `+0/1`.
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// Below this bit-size a gcd costs (at most) a few word operations, so
+/// there is nothing to amortize; deferral starts above it.
+const LAZY_FLOOR_BITS: u64 = 64;
+
+/// A signed rational `(-1)^neg · num / den` with `den ≥ 1` and zero
+/// canonicalized to `+0/1`. `num`/`den` may carry a common factor between
+/// lazy reductions (see the module doc); all value-level trait impls are
+/// representation-independent.
+#[derive(Clone)]
 pub struct Rational {
     neg: bool,
     num: BigUint,
     den: BigUint,
+    /// `max(num.bits(), den.bits())` at the last gcd reduction — the lazy
+    /// normalization watermark. Not part of the value.
+    reduced_bits: u64,
+}
+
+impl PartialEq for Rational {
+    /// Value equality, representation-independent: `a/b = c/d ⇔ ad = cb`
+    /// (zero is canonical, so the sign comparison is sound).
+    fn eq(&self, other: &Self) -> bool {
+        if self.neg != other.neg {
+            return false;
+        }
+        // Identical representations (the common case for reduced values)
+        // skip the cross-multiplication.
+        if self.num == other.num && self.den == other.den {
+            return true;
+        }
+        self.num.mul(&other.den) == other.num.mul(&self.den)
+    }
+}
+
+impl Eq for Rational {}
+
+impl Hash for Rational {
+    /// Hashes the canonical form so equal values hash equally regardless
+    /// of their current representation (costs a gcd on unreduced values —
+    /// rationals are not hot hash keys in this workspace).
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        let r = self.reduced();
+        r.neg.hash(state);
+        r.num.hash(state);
+        r.den.hash(state);
+    }
 }
 
 /// Failure to parse a rational literal.
@@ -32,6 +90,7 @@ impl Rational {
             neg: false,
             num: BigUint::zero(),
             den: BigUint::one(),
+            reduced_bits: 1,
         }
     }
 
@@ -46,17 +105,20 @@ impl Rational {
             neg: v < 0,
             num: BigUint::from_u64(v.unsigned_abs()),
             den: BigUint::one(),
+            reduced_bits: 0,
         }
         .normalized()
     }
 
-    /// `num / den`; panics on `den = 0`.
+    /// `num / den`; panics on `den = 0`. The result is canonical (public
+    /// constructors always reduce; laziness applies to arithmetic).
     pub fn from_ratio(num: BigUint, den: BigUint) -> Self {
         assert!(!den.is_zero(), "rational with zero denominator");
         Rational {
             neg: false,
             num,
             den,
+            reduced_bits: 0,
         }
         .normalized()
     }
@@ -84,20 +146,44 @@ impl Rational {
                 neg,
                 num: m.shl(exp as usize),
                 den: BigUint::one(),
+                reduced_bits: 0,
             }
         } else {
             Rational {
                 neg,
                 num: m,
                 den: BigUint::pow2((-exp) as usize),
+                reduced_bits: 0,
             }
         };
         r.normalized()
     }
 
     /// Nearest `f64` (lossy for large numerators/denominators).
+    ///
+    /// Representation-independent: an unreduced pair whose parts overflow
+    /// `f64` individually (lazy normalization can leave ~2000-bit num/den
+    /// for a small canonical value) is converted by scaling both sides
+    /// down together — the naive `num.to_f64() / den.to_f64()` would give
+    /// `inf / inf = NaN` there.
     pub fn to_f64(&self) -> f64 {
-        let mag = self.num.to_f64() / self.den.to_f64();
+        // `(mantissa, exponent)` with `value ≈ mantissa · 2^exponent`,
+        // keeping well over f64's 53 mantissa bits.
+        fn scaled(x: &BigUint) -> (f64, i64) {
+            let b = x.bits();
+            if b > 900 {
+                let s = b - 512;
+                (x.shr(s).to_f64(), s as i64)
+            } else {
+                (x.to_f64(), 0)
+            }
+        }
+        let (nf, ne) = scaled(&self.num);
+        let (df, de) = scaled(&self.den);
+        // Past ±1100 the scale factor saturates to inf / 0 exactly as the
+        // true value would; clamp to keep the exponent in `powi` range.
+        let e = (ne - de).clamp(-3000, 3000) as i32;
+        let mag = nf / df * 2f64.powi(e);
         if self.neg {
             -mag
         } else {
@@ -183,6 +269,7 @@ impl Rational {
         Ok(if neg { core.negated() } else { core })
     }
 
+    /// Full (eager) gcd reduction; sets the watermark to the reduced size.
     fn normalized(mut self) -> Self {
         if self.num.is_zero() {
             return Self::zero();
@@ -192,15 +279,47 @@ impl Rational {
             self.num = self.num.divrem(&g).0;
             self.den = self.den.divrem(&g).0;
         }
+        self.reduced_bits = self.num.bits().max(self.den.bits()) as u64;
         self
     }
 
-    /// Numerator magnitude.
+    /// Lazy normalization of an arithmetic result: keep the raw pair while
+    /// its bit-size stays within twice the inherited watermark (the size at
+    /// the last actual reduction along this value's history, floored at
+    /// [`LAZY_FLOOR_BITS`]); once it has doubled, run the gcd and reset the
+    /// watermark. Zero and integers canonicalize for free.
+    fn settle(mut self, inherited: u64) -> Self {
+        if self.num.is_zero() {
+            return Self::zero();
+        }
+        if self.den.is_one() {
+            self.reduced_bits = self.num.bits() as u64;
+            return self;
+        }
+        let cur = self.num.bits().max(self.den.bits()) as u64;
+        if cur <= (2 * inherited).max(LAZY_FLOOR_BITS) {
+            self.reduced_bits = inherited.max(1);
+            return self;
+        }
+        self.normalized()
+    }
+
+    /// The canonical form: `gcd(num, den) = 1`, exactly what `Display`
+    /// prints. Identity on already-reduced values (up to the watermark).
+    pub fn reduced(&self) -> Rational {
+        self.clone().normalized()
+    }
+
+    /// Numerator magnitude **of the current representation** — under lazy
+    /// normalization it may share a factor with [`Rational::denom`]; the
+    /// ratio is always exact. Use [`Rational::reduced`] for the canonical
+    /// pair.
     pub fn numer(&self) -> &BigUint {
         &self.num
     }
 
-    /// Denominator (≥ 1).
+    /// Denominator (≥ 1) **of the current representation** (see
+    /// [`Rational::numer`]).
     pub fn denom(&self) -> &BigUint {
         &self.den
     }
@@ -215,9 +334,10 @@ impl Rational {
         self.num.is_zero()
     }
 
-    /// Is this an integer?
+    /// Is this an integer? (Representation-independent: an unreduced
+    /// `4/2` answers `true`.)
     pub fn is_integer(&self) -> bool {
-        self.den.is_one()
+        self.den.is_one() || self.num.divrem(&self.den).1.is_zero()
     }
 
     /// `-self`.
@@ -229,15 +349,28 @@ impl Rational {
             neg: !self.neg,
             num: self.num.clone(),
             den: self.den.clone(),
+            reduced_bits: self.reduced_bits,
         }
     }
 
-    /// `self + other`.
+    /// `self + other` (lazily normalized — see the module doc).
     pub fn add(&self, other: &Rational) -> Rational {
-        // a/b + c/d = (a·d ± c·b) / (b·d), sign by magnitude comparison.
-        let ad = self.num.mul(&other.den);
-        let cb = other.num.mul(&self.den);
-        let den = self.den.mul(&other.den);
+        // Common-denominator form over the *den gcd* (Knuth 4.5.1):
+        // `a/b + c/d = (a·(d/g) ± c·(b/g)) / (b·(d/g))`, `g = gcd(b, d)`.
+        // The naive `b·d` denominator grows additively per addition, which
+        // no lazy-reduction schedule can amortize on long summation chains
+        // (exactly the WMC workload); the lcm denominator stays bounded by
+        // the operands' and the den gcd is far cheaper than the full
+        // cross-term gcd the eager carrier ran.
+        let g = self.den.gcd(&other.den);
+        let (b_g, d_g) = if g.is_one() {
+            (self.den.clone(), other.den.clone())
+        } else {
+            (self.den.divrem(&g).0, other.den.divrem(&g).0)
+        };
+        let ad = self.num.mul(&d_g);
+        let cb = other.num.mul(&b_g);
+        let den = self.den.mul(&d_g);
         let (neg, num) = if self.neg == other.neg {
             (self.neg, ad.add(&cb))
         } else if ad >= cb {
@@ -245,7 +378,13 @@ impl Rational {
         } else {
             (other.neg, cb.sub(&ad))
         };
-        Rational { neg, num, den }.normalized()
+        Rational {
+            neg,
+            num,
+            den,
+            reduced_bits: 0,
+        }
+        .settle(self.reduced_bits.max(other.reduced_bits))
     }
 
     /// `self - other`.
@@ -253,14 +392,15 @@ impl Rational {
         self.add(&other.negated())
     }
 
-    /// `self * other`.
+    /// `self * other` (lazily normalized — see the module doc).
     pub fn mul(&self, other: &Rational) -> Rational {
         Rational {
             neg: self.neg != other.neg,
             num: self.num.mul(&other.num),
             den: self.den.mul(&other.den),
+            reduced_bits: 0,
         }
-        .normalized()
+        .settle(self.reduced_bits.max(other.reduced_bits))
     }
 
     /// `self / other`; panics on division by zero.
@@ -270,8 +410,9 @@ impl Rational {
             neg: self.neg != other.neg,
             num: self.num.mul(&other.den),
             den: self.den.mul(&other.num),
+            reduced_bits: 0,
         }
-        .normalized()
+        .settle(self.reduced_bits.max(other.reduced_bits))
     }
 }
 
@@ -300,17 +441,25 @@ impl Ord for Rational {
 }
 
 impl fmt::Display for Rational {
-    /// Canonical form: `-num/den`, the `/den` omitted for integers. This is
-    /// the form the DIMACS writer emits and the parser accepts, so weighted
-    /// round-trips are exact.
+    /// Canonical form: `-num/den`, the `/den` omitted for integers —
+    /// regardless of the current lazy representation (an unreduced value
+    /// is reduced before printing). This is the form the DIMACS writer
+    /// emits and the parser accepts, so weighted round-trips are exact.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.neg {
+        let canon;
+        let r = if self.den.is_one() {
+            self
+        } else {
+            canon = self.reduced();
+            &canon
+        };
+        if r.neg {
             f.write_str("-")?;
         }
-        if self.den.is_one() {
-            write!(f, "{}", self.num)
+        if r.den.is_one() {
+            write!(f, "{}", r.num)
         } else {
-            write!(f, "{}/{}", self.num, self.den)
+            write!(f, "{}/{}", r.num, r.den)
         }
     }
 }
@@ -403,5 +552,143 @@ mod tests {
     #[test]
     fn to_f64_close() {
         assert!((r("1/3").to_f64() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn to_f64_survives_huge_unreduced_representations() {
+        // 3^2048 (~3247 bits) overflows f64 on its own. Dividing two
+        // values that share it leaves a raw pair the lazy doubling rule
+        // keeps unreduced — the canonical value is ½, and the conversion
+        // must scale, not compute inf/inf = NaN.
+        let mut p = Rational::from_integer(3);
+        for _ in 0..11 {
+            p = p.mul(&p);
+        }
+        let q = p.mul(&Rational::from_integer(2));
+        let half = p.div(&q);
+        assert!(
+            half.numer().bits() > 2000,
+            "the test needs the unreduced representation"
+        );
+        assert_eq!(half.to_f64(), 0.5);
+        // Huge-by-value conversions still saturate in the right direction.
+        assert_eq!(p.to_f64(), f64::INFINITY);
+        assert_eq!(Rational::one().div(&p).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn lazy_results_stay_exact_and_display_canonically() {
+        // Products below the lazy floor keep their raw representation …
+        let p = r("2/3").mul(&r("3/4"));
+        assert_eq!(p, r("1/2"), "value equality is representation-free");
+        assert_eq!(p.to_string(), "1/2", "display canonicalizes");
+        assert_eq!(p.reduced().numer(), r("1/2").numer());
+        assert!(r("4/3").mul(&r("3/2")).is_integer(), "unreduced 12/6");
+        // … and hashing agrees with equality across representations.
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(p);
+        assert!(set.contains(&r("1/2")));
+    }
+
+    #[test]
+    fn gcd_runs_once_the_representation_doubles() {
+        // Square 3/7 repeatedly: with coprime parts nothing is reducible,
+        // so bits genuinely double per step — but mixing in a shared factor
+        // must eventually be swept out by the watermark rule rather than
+        // growing forever.
+        let mut x = r("3/7");
+        for _ in 0..7 {
+            x = x.mul(&x);
+        }
+        let mut y = x.mul(&r("6/2")); // introduces a common factor of 2…
+        for _ in 0..4 {
+            y = y.mul(&r("2/2")); // …and more, never reduced eagerly
+        }
+        let canon = y.reduced();
+        assert_eq!(y, canon);
+        // The lazy representation never exceeds twice the canonical size
+        // by more than the floor (the doubling rule's guarantee).
+        let cur = y.numer().bits().max(y.denom().bits()) as u64;
+        let canon_bits = canon.numer().bits().max(canon.denom().bits()) as u64;
+        assert!(
+            cur <= (2 * canon_bits).max(2 * super::LAZY_FLOOR_BITS),
+            "lazy representation {cur} bits vs canonical {canon_bits}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The eager reference: the same value, fully reduced after every
+    /// operation (the pre-lazy carrier's behavior).
+    #[derive(Clone)]
+    struct Eager(Rational);
+
+    impl Eager {
+        fn op(&self, kind: u8, other: &Eager) -> Eager {
+            let r = match kind {
+                0 => self.0.add(&other.0),
+                1 => self.0.sub(&other.0),
+                2 => self.0.mul(&other.0),
+                _ => self.0.div(&other.0),
+            };
+            Eager(r.reduced())
+        }
+    }
+
+    fn small_rational(rng: &mut StdRng) -> Rational {
+        let num = rng.gen_range(0u64..1000);
+        let den = rng.gen_range(1u64..1000);
+        let r = Rational::from_ratio(BigUint::from_u64(num), BigUint::from_u64(den));
+        if rng.gen_bool(0.5) {
+            r.negated()
+        } else {
+            r
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random op chains: the lazy carrier and the eager always-reduce
+        /// reference agree exactly at every step — equality, ordering,
+        /// display, and the canonical reduced pair.
+        #[test]
+        fn lazy_carrier_matches_eager_reference(seed: u64, steps in 5usize..40) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut lazy = small_rational(&mut rng);
+            let mut eager = Eager(lazy.reduced());
+            for _ in 0..steps {
+                let other = small_rational(&mut rng);
+                let kind = rng.gen_range(0u8..4);
+                if kind == 3 && other.is_zero() {
+                    continue;
+                }
+                lazy = match kind {
+                    0 => lazy.add(&other),
+                    1 => lazy.sub(&other),
+                    2 => lazy.mul(&other),
+                    _ => lazy.div(&other),
+                };
+                eager = eager.op(kind, &Eager(other));
+                prop_assert_eq!(&lazy, &eager.0, "value drift");
+                prop_assert_eq!(
+                    lazy.cmp(&eager.0),
+                    std::cmp::Ordering::Equal,
+                    "ordering drift"
+                );
+                prop_assert_eq!(lazy.to_string(), eager.0.to_string());
+                let canon = lazy.reduced();
+                prop_assert_eq!(canon.numer(), eager.0.numer());
+                prop_assert_eq!(canon.denom(), eager.0.denom());
+                prop_assert_eq!(canon.is_negative(), eager.0.is_negative());
+            }
+        }
     }
 }

@@ -1,14 +1,19 @@
 //! Warn-only benchmark diff: compare two `BENCH_*.json` record files (the
 //! committed previous run vs a fresh one) and print per-metric deltas.
 //!
-//! Usage: `bench_diff <old.json> <new.json>`
+//! Usage: `bench_diff <old.json> <new.json> [--max-regress <pct>]`
 //!
 //! Only `(experiment, series, x, metric)` keys present in **both** files
 //! are compared — a smoke run diffing against a committed full run simply
-//! covers the shared subset. Timing metrics (`*_ms`) that moved more than
-//! 25% are flagged `WARN`, but the exit code is always 0: this step
-//! reports perf drift, it does not gate CI (timings on shared runners are
-//! too noisy for a hard threshold).
+//! covers the shared subset. Timing metrics (`*_ms`/`*_us`) that moved
+//! more than 25% are flagged `WARN`, but by default the exit code is
+//! always 0: this step reports perf drift, it does not gate CI (timings
+//! on shared runners are too noisy for a hard threshold).
+//!
+//! `--max-regress <pct>` opts into a hard gate: the exit code becomes
+//! nonzero when any timing metric *regressed* (got slower) by more than
+//! `<pct>` percent. Not enabled in CI yet — it exists for local perf work
+//! and for a future quiet-runner lane.
 
 use sentential_bench::{parse_records, Record, Table};
 use std::collections::BTreeMap;
@@ -47,9 +52,25 @@ fn index(records: &[Record]) -> BTreeMap<(String, String, u64, String), f64> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let [old_path, new_path] = args.as_slice() else {
-        println!("usage: bench_diff <old.json> <new.json>  (warn-only, always exits 0)");
+    let mut paths: Vec<String> = Vec::new();
+    let mut max_regress: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--max-regress" {
+            let pct = args
+                .next()
+                .and_then(|p| p.parse::<f64>().ok())
+                .expect("--max-regress needs a percentage");
+            max_regress = Some(pct);
+        } else {
+            paths.push(a);
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        println!(
+            "usage: bench_diff <old.json> <new.json> [--max-regress <pct>]  \
+             (warn-only unless --max-regress is given)"
+        );
         return ExitCode::SUCCESS;
     };
     let (Some(old), Some(new)) = (load(old_path), load(new_path)) else {
@@ -70,6 +91,7 @@ fn main() -> ExitCode {
     ]);
     let mut shared = 0usize;
     let mut warned = 0usize;
+    let mut regressions: Vec<(String, f64)> = Vec::new();
     for (key, new_v) in &new {
         let Some(old_v) = old.get(key) else { continue };
         shared += 1;
@@ -84,6 +106,13 @@ fn main() -> ExitCode {
             (new_v - old_v) / old_v * 100.0
         };
         let is_timing = metric.ends_with("_ms") || metric.ends_with("_us");
+        if is_timing {
+            if let Some(limit) = max_regress {
+                if delta_pct > limit {
+                    regressions.push((format!("{exp}/{series}/{x}/{metric}"), delta_pct));
+                }
+            }
+        }
         let flag = if is_timing && delta_pct.abs() > WARN_PCT {
             warned += 1;
             "WARN"
@@ -113,6 +142,19 @@ fn main() -> ExitCode {
         );
     } else {
         println!("\nno timing metric moved more than {WARN_PCT}%.");
+    }
+    if let Some(limit) = max_regress {
+        if !regressions.is_empty() {
+            println!(
+                "\n--max-regress {limit}%: {} timing metric(s) regressed past the gate:",
+                regressions.len()
+            );
+            for (key, pct) in &regressions {
+                println!("  {key}  {pct:+.1}%");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("\n--max-regress {limit}%: no timing regression past the gate.");
     }
     ExitCode::SUCCESS
 }

@@ -150,6 +150,10 @@ fn main() {
         assert!((conditioned - 1.0).abs() < 1e-9, "pinned marginal is 1");
 
         let (sdd_size, ac_gates) = (kb.sdd_size(), kb.unfolded_size());
+        // Manager memory after the whole query mix — the committed baseline
+        // for the ROADMAP's manager-GC work (structural queries hash-cons
+        // nodes that are never reclaimed).
+        let mem_bytes = kb.sdd().memory_bytes();
         t.row(&[
             &label,
             &n,
@@ -170,6 +174,7 @@ fn main() {
             values: vec![
                 ("sdd_size".into(), sdd_size as f64),
                 ("ac_gates".into(), ac_gates as f64),
+                ("mem_bytes".into(), mem_bytes as f64),
                 ("compile_ms".into(), compile_ms),
                 ("warm_query_us".into(), warm_us),
                 ("recompile_query_us".into(), recompile_us),

@@ -74,6 +74,7 @@ fn main() {
                 ("treewidth".into(), r.treewidth as f64),
                 ("sdw".into(), r.sdw as f64),
                 ("sdd_size".into(), r.sdd_size as f64),
+                ("mem_bytes".into(), r.mem_bytes as f64),
                 ("count_bits".into(), count.bits() as f64),
                 ("count_approx".into(), count.to_f64()),
                 ("total_ms".into(), ms),
@@ -124,26 +125,42 @@ fn main() {
         );
     }
 
-    // Weighted chain: every literal weight 1/2 — the exact WMC must equal
-    // count / 2^n, i.e. the probability of the chain under fair coins.
-    let n = if smoke { 40 } else { 80 };
-    let mut f = families::chain_cnf(n);
-    let half = Rational::parse("1/2").unwrap();
-    for v in f.all_vars() {
-        f.set_weight(v, half.clone(), half.clone());
+    // Weighted chains: every literal weight 1/2 — the exact WMC must equal
+    // count / 2^n, i.e. the probability of the chain under fair coins. The
+    // range runs to 400 variables: the lazily-normalized `Rational` carrier
+    // amortizes its gcd reductions (the eager carrier's normalization was
+    // superlinear past ~100 chain variables — ROADMAP, *Bigger instances*).
+    let weighted_ns: &[u32] = if smoke { &[40] } else { &[80, 200, 400] };
+    for &n in weighted_ns {
+        let mut f = families::chain_cnf(n);
+        let half = Rational::parse("1/2").unwrap();
+        for v in f.all_vars() {
+            f.set_weight(v, half.clone(), half.clone());
+        }
+        let t0 = Instant::now();
+        let counted = Compiler::new().compile_cnf(&f).unwrap();
+        let wmc_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let expect = Rational::from_ratio(families::chain_count(n), BigUint::pow2(n as usize));
+        assert_eq!(
+            counted.weighted(),
+            Some(&expect),
+            "exact WMC of the fair-coin chain at n={n}"
+        );
+        println!(
+            "weighted chain n={n}: WMC ≈ {:.3e} in {wmc_ms:.2} ms (exact rational)",
+            expect.to_f64()
+        );
+        records.push(Record {
+            experiment: "E13".into(),
+            series: "weighted_chain".into(),
+            x: n as u64,
+            values: vec![
+                ("wmc_total_ms".into(), wmc_ms),
+                ("mem_bytes".into(), counted.report.mem_bytes as f64),
+            ],
+        });
     }
-    let counted = Compiler::new().compile_cnf(&f).unwrap();
-    let expect = Rational::from_ratio(families::chain_count(n), BigUint::pow2(n as usize));
-    assert_eq!(
-        counted.weighted(),
-        Some(&expect),
-        "exact WMC of the fair-coin chain"
-    );
-    println!(
-        "weighted chain n={n}: WMC {} (≈ {:.3e})\n",
-        expect,
-        expect.to_f64()
-    );
+    println!();
 
     t.print();
     println!(

@@ -524,6 +524,9 @@ pub struct CompileReport {
     /// Apply/cache counters from the SDD manager (nonzero on the apply
     /// route; the semantic construction bypasses apply).
     pub apply: ApplyStats,
+    /// Estimated resident bytes of the SDD manager — node table, element
+    /// arena, unique table and caches ([`SddManager::memory_bytes`]).
+    pub mem_bytes: usize,
     /// Per-stage wall-clock timings.
     pub timings: StageTimings,
 }
@@ -552,8 +555,12 @@ impl fmt::Display for CompileReport {
         }
         writeln!(
             f,
-            "  SDD {} elements ({} nodes allocated, {} applies, {} cache hits)",
-            self.sdd_size, self.sdd_nodes, self.apply.apply_calls, self.apply.cache_hits
+            "  SDD {} elements ({} nodes allocated, ~{} KiB, {} applies, {} cache hits)",
+            self.sdd_size,
+            self.sdd_nodes,
+            self.mem_bytes / 1024,
+            self.apply.apply_calls,
+            self.apply.cache_hits
         )?;
         write!(
             f,
@@ -775,6 +782,7 @@ impl Compiler {
             sdd_size: manager.size(root),
             sdd_nodes: manager.num_allocated(),
             apply: manager.apply_stats(),
+            mem_bytes: manager.memory_bytes(),
             timings: StageTimings {
                 kernel: kernel_time,
                 vtree: vtree_time,

@@ -88,6 +88,10 @@ pub struct CountReport {
     pub sdd_nodes: usize,
     /// Apply/cache counters from the bottom-up compilation.
     pub apply: ApplyStats,
+    /// Estimated resident bytes of the SDD manager — node table, element
+    /// arena, unique table and caches ([`SddManager::memory_bytes`]); the
+    /// committed perf trajectory for the upcoming manager-GC work.
+    pub mem_bytes: usize,
     /// The exact model count over all declared variables — `None` when
     /// the session disabled the counting stage
     /// (`CompilerBuilder::exact_counts(false)`; serving sessions count on
@@ -125,8 +129,12 @@ impl fmt::Display for CountReport {
         }
         writeln!(
             f,
-            "  SDD {} elements ({} nodes allocated, {} applies, {} cache hits)",
-            self.sdd_size, self.sdd_nodes, self.apply.apply_calls, self.apply.cache_hits
+            "  SDD {} elements ({} nodes allocated, ~{} KiB, {} applies, {} cache hits)",
+            self.sdd_size,
+            self.sdd_nodes,
+            self.mem_bytes / 1024,
+            self.apply.apply_calls,
+            self.apply.cache_hits
         )?;
         write!(
             f,
@@ -247,6 +255,7 @@ impl Compiler {
             sdd_size: mgr.size(root),
             sdd_nodes: mgr.num_allocated(),
             apply: mgr.apply_stats(),
+            mem_bytes: mgr.memory_bytes(),
             count,
             weighted,
             timings: CountTimings {

@@ -174,12 +174,15 @@ impl Ac {
         let mut decisions = mgr.reachable_decisions(root);
         decisions.sort_unstable();
         for d in decisions {
-            let SddNode::Decision { vnode, elems } = mgr.node(d) else {
+            let SddNode::Decision { vnode, .. } = mgr.node(d) else {
                 unreachable!("reachable_decisions returns decisions");
             };
-            let (vnode, elems) = (*vnode, elems.clone());
+            let vnode = *vnode;
             let (lv, rv) = vt.children(vnode).expect("internal vnode");
-            let parts: Vec<AcId> = elems
+            // The element slice is borrowed straight from the manager's
+            // arena — the unfold never clones element lists.
+            let parts: Vec<AcId> = mgr
+                .elements_of(d)
                 .iter()
                 .map(|&(p, s)| {
                     let pa = b.scoped(p, lv);

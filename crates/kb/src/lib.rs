@@ -199,6 +199,11 @@ pub struct KbQueryStats {
     /// Evaluation-cache traffic of the query, over both the prior and the
     /// evidence-conditioned cache: `recomputed` is the dirty cone in nodes.
     pub eval: EvalCacheStats,
+    /// Estimated resident bytes of the SDD manager *after* the query
+    /// ([`sdd::SddManager::memory_bytes`]) — structural queries hash-cons
+    /// new nodes and never reclaim them, so serving sessions watch this
+    /// grow (the ROADMAP's manager-GC baseline).
+    pub mem_bytes: usize,
     /// Wall-clock time of the query.
     pub duration: Duration,
 }
@@ -767,6 +772,7 @@ impl KnowledgeBase {
         self.last_query = KbQueryStats {
             apply: self.mgr.apply_stats().delta_since(apply0),
             eval: stats_sum(self.prior.stats(), self.posterior.stats()).delta_since(eval0),
+            mem_bytes: self.mgr.memory_bytes(),
             duration: t0.elapsed(),
         };
         out

@@ -17,7 +17,7 @@
 pub mod order;
 
 use boolfunc::{BoolFn, VarSet};
-use vtree::fxhash::FxHashMap;
+use vtree::fxhash::{FxHashMap, FxHashSet};
 use vtree::VarId;
 
 /// Index of an OBDD node. `FALSE = 0`, `TRUE = 1`.
@@ -379,14 +379,13 @@ impl Obdd {
 
     /// Nodes reachable from `root`, excluding terminals.
     pub fn reachable(&self, root: NodeId) -> Vec<NodeId> {
-        let mut seen: FxHashMap<NodeId, ()> = FxHashMap::default();
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
         let mut stack = vec![root];
         let mut out = Vec::new();
         while let Some(n) = stack.pop() {
-            if n.is_terminal() || seen.contains_key(&n) {
+            if n.is_terminal() || !seen.insert(n) {
                 continue;
             }
-            seen.insert(n, ());
             out.push(n);
             stack.push(self.nodes[n.index()].lo);
             stack.push(self.nodes[n.index()].hi);

@@ -179,14 +179,17 @@ impl<S: Semiring> Evaluator<'_, S> {
     fn run(&mut self, root: SddId) -> S::Elem {
         let mut decisions = self.mgr.reachable_decisions(root);
         decisions.sort_unstable();
+        // Copy out the reference so the element slices (borrowed from the
+        // arena, never cloned) don't pin `self` while `raw` is written.
+        let mgr = self.mgr;
         for a in decisions {
-            let SddNode::Decision { vnode, elems } = self.mgr.node(a) else {
+            let SddNode::Decision { vnode, .. } = mgr.node(a) else {
                 unreachable!("reachable_decisions returns decisions");
             };
-            let (vnode, elems) = (*vnode, elems.clone());
-            let (lv, rv) = self.mgr.vtree.children(vnode).expect("internal vnode");
+            let vnode = *vnode;
+            let (lv, rv) = mgr.vtree.children(vnode).expect("internal vnode");
             let mut total = self.semiring.zero();
-            for &(p, s) in elems.iter() {
+            for &(p, s) in mgr.elements_of(a) {
                 let pc = self.scoped(p, lv);
                 let sc = self.scoped(s, rv);
                 total = self.semiring.add(&total, &self.semiring.mul(&pc, &sc));
@@ -263,10 +266,23 @@ struct RawFrame<E> {
     vnode: VtreeNodeId,
     lv: VtreeNodeId,
     rv: VtreeNodeId,
-    elems: Box<[(SddId, SddId)]>,
-    i: usize,
+    /// The decision's element-arena range (immutable once interned, so the
+    /// frame holds indices instead of a cloned element list).
+    elems: std::ops::Range<u32>,
+    i: u32,
     wait: RawWait<E>,
     total: E,
+}
+
+impl<E> RawFrame<E> {
+    /// The current element `(prime, sub)` pair.
+    fn cur(&self, mgr: &SddManager) -> (SddId, SddId) {
+        mgr.elements(self.elems.clone())[self.i as usize]
+    }
+
+    fn done(&self) -> bool {
+        self.elems.start + self.i >= self.elems.end
+    }
 }
 
 /// Cache-traffic counters of an [`EvalCache`], reported per evaluation run
@@ -433,7 +449,7 @@ impl<S: Semiring> EvalCache<S> {
             RawWait::Prime => {
                 let pc = ret.expect("prime value");
                 f.wait = RawWait::Sub(pc);
-                return EvalStep::Request(f.elems[f.i].1, f.rv);
+                return EvalStep::Request(f.cur(mgr).1, f.rv);
             }
             RawWait::Sub(pc) => {
                 let sc = ret.expect("sub value");
@@ -441,9 +457,9 @@ impl<S: Semiring> EvalCache<S> {
                 f.i += 1;
             }
         }
-        if f.i < f.elems.len() {
+        if !f.done() {
             f.wait = RawWait::Prime;
-            EvalStep::Request(f.elems[f.i].0, f.lv)
+            EvalStep::Request(f.cur(mgr).0, f.lv)
         } else {
             self.raw.insert(f.a, (self.epoch, f.total.clone()));
             EvalStep::Complete(
@@ -527,7 +543,7 @@ impl<S: Semiring> EvalCache<S> {
                     }
                 }
                 self.stats.recomputed += 1;
-                let elems = elems.clone();
+                let elems = elems.clone(); // an arena range, not element data
                 let (lv, rv) = mgr.vtree.children(vnode).expect("internal vnode");
                 frames.push(RawFrame {
                     a,

@@ -22,12 +22,40 @@
 //! * **SDD size** (total elements) and the paper's **SDD width**
 //!   (Definition 5: max ∧-gates structured by a single vtree node).
 //!
-//! **Depth contract:** no engine in this crate recurses on input-sized
+//! **Kernel storage.** Every decision node's `(prime, sub)` pairs live in a
+//! single contiguous **element arena** owned by the manager;
+//! [`SddNode::Decision`] holds only its vtree node and a `Range<u32>` into
+//! that arena, and [`SddManager::elements_of`] returns a borrowed slice —
+//! element data is stored exactly once and never cloned on the apply path.
+//! The arena is **append-only and ranges are immutable once interned**: a
+//! node's range never moves or changes, so engines may hold ranges across
+//! arena appends (only the backing allocation may relocate; all access is
+//! by index). The unique table is a hand-rolled open-addressed table whose
+//! slots store `(precomputed hash, node id)`; probes compare candidate
+//! elements against arena slices in place, so interning allocates nothing
+//! beyond the arena append itself. The apply cache packs its `(op, a, b)`
+//! key into one `u64` (2 op bits + 2×31-bit node ids — the manager asserts
+//! the 2³¹-node cap at allocation) stored in an open-addressed integer
+//! table, the negation cache is a plain node-indexed array, the vtree
+//! lca/side resolution is memoized per vnode pair, and the worklist engine
+//! recycles its element buffers and frame stack through per-manager pools,
+//! so steady-state `and`/`or`/`negate`/`condition` do no per-step heap
+//! allocation. [`SddManager::memory_bytes`] estimates the resident size of
+//! all of it; [`ApplyStats`] counts unique-table probe/insert traffic
+//! alongside apply/cache-hit traffic.
+//!
+//! **Depth contract:** no engine in this crate recurses on *input-sized*
 //! structure. Apply, negation, conditioning and decision construction run
-//! on an explicit worklist ([`Engine`], heap-allocated frames); evaluation
-//! sweeps reachable decisions bottom-up in interning order. Vtree-deep
-//! diagrams — Θ(n) deep on the chain families — therefore work on a
-//! default-size thread stack at any variable count.
+//! a **bounded-recursion hybrid**: a recursive fast path with a constant
+//! fuel budget ([`REC_FUEL`] levels — a fixed ~20 KiB of machine stack)
+//! handles the overwhelmingly common shallow operations at direct-call
+//! speed, and anything deeper spills to the explicit worklist ([`Engine`],
+//! heap-allocated frames), which finishes with constant stack depth. Both
+//! paths consult and fill the same memo tables in the same order, so they
+//! construct identical nodes. Evaluation sweeps reachable decisions
+//! bottom-up in interning order. Vtree-deep diagrams — Θ(n) deep on the
+//! chain families — therefore work on a default-size thread stack at any
+//! variable count.
 
 pub mod eval;
 pub mod validate;
@@ -35,7 +63,8 @@ pub mod validate;
 pub use validate::SddError;
 
 use boolfunc::{Assignment, BoolFn, VarSet};
-use vtree::fxhash::FxHashMap;
+use std::ops::Range;
+use vtree::fxhash::{FxHashMap, FxHashSet};
 use vtree::{Side, VarId, Vtree, VtreeNodeId};
 
 /// Index of an SDD node. `FALSE = 0`, `TRUE = 1`.
@@ -61,6 +90,11 @@ impl SddId {
 }
 
 /// Node payload.
+///
+/// Decisions do not own their elements: they hold a range into the
+/// manager's element arena (see the module doc's *Kernel storage*), which
+/// is immutable once the node is interned. Resolve it with
+/// [`SddManager::elements_of`] / [`SddManager::elements`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SddNode {
     /// ⊥.
@@ -73,16 +107,54 @@ pub enum SddNode {
     Decision {
         /// The internal vtree node this decision respects.
         vnode: VtreeNodeId,
-        /// `(prime, sub)` pairs: primes partition the left-subtree space,
-        /// subs are pairwise distinct (compression), sorted by prime id.
-        elems: Box<[(SddId, SddId)]>,
+        /// Arena range of the `(prime, sub)` pairs: primes partition the
+        /// left-subtree space, subs are pairwise distinct (compression),
+        /// sorted by prime id. Immutable once interned.
+        elems: Range<u32>,
     },
 }
 
 #[derive(Copy, Clone, PartialEq, Eq, Hash)]
 enum Op {
-    And,
-    Or,
+    And = 0,
+    Or = 1,
+}
+
+/// The packed apply-cache key: 2 op bits + 2×31-bit node ids. Node ids are
+/// capped at 2³¹ by the manager ([`SddManager::push_node`] asserts), so the
+/// packing is injective.
+#[inline]
+fn pack_apply_key(op: Op, a: SddId, b: SddId) -> u64 {
+    ((op as u64) << 62) | ((a.0 as u64) << 31) | b.0 as u64
+}
+
+/// The canonical apply-cache key: operands ordered (apply is commutative),
+/// then packed. Every cache consult and insert goes through this one
+/// ordering so the paths cannot drift.
+#[inline]
+fn apply_key(op: Op, a: SddId, b: SddId) -> u64 {
+    if a <= b {
+        pack_apply_key(op, a, b)
+    } else {
+        pack_apply_key(op, b, a)
+    }
+}
+
+/// One FxHash fold step (the vtree crate's `FxHasher`, inlined here so the
+/// unique-table hash needs no `Hasher` indirection on the hot path).
+#[inline]
+fn fx_fold(h: u64, word: u64) -> u64 {
+    const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    (h.rotate_left(5) ^ word).wrapping_mul(SEED64)
+}
+
+/// The unique-table hash of a decision: vnode plus every element pair.
+fn decision_hash(vnode: VtreeNodeId, elems: &[(SddId, SddId)]) -> u64 {
+    let mut h = fx_fold(0, vnode.0 as u64);
+    for &(p, s) in elems {
+        h = fx_fold(h, ((p.0 as u64) << 32) | s.0 as u64);
+    }
+    h
 }
 
 /// Counters over a manager's lifetime, reported by [`SddManager::apply_stats`].
@@ -97,6 +169,12 @@ pub struct ApplyStats {
     pub apply_calls: u64,
     /// Apply invocations answered from the memo table.
     pub cache_hits: u64,
+    /// Unique-table slot inspections during decision interning. Every
+    /// lookup probes at least once; the excess over lookups measures
+    /// open-addressing clustering.
+    pub unique_probes: u64,
+    /// Fresh decision nodes interned (unique-table misses that allocated).
+    pub unique_inserts: u64,
 }
 
 impl ApplyStats {
@@ -111,7 +189,144 @@ impl ApplyStats {
         ApplyStats {
             apply_calls: self.apply_calls.saturating_sub(earlier.apply_calls),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            unique_probes: self.unique_probes.saturating_sub(earlier.unique_probes),
+            unique_inserts: self.unique_inserts.saturating_sub(earlier.unique_inserts),
         }
+    }
+}
+
+/// The hand-rolled open-addressed unique table (offline constraint: no
+/// registry hash-table crates). Slots hold `(precomputed hash, node id)`;
+/// empty slots carry [`EMPTY_SLOT`]. Lookups compare candidates against the
+/// interned nodes' arena slices in place — the table owns **no** keys, so a
+/// decision's elements exist exactly once, in the arena.
+struct UniqueTable {
+    /// Power-of-two slot array.
+    slots: Box<[(u64, u32)]>,
+    /// Occupied slots.
+    len: usize,
+}
+
+/// Sentinel for an empty cache/table slot (node ids are capped at 2³¹).
+const EMPTY_SLOT: u32 = u32::MAX;
+
+impl UniqueTable {
+    fn new() -> Self {
+        UniqueTable {
+            slots: vec![(0, EMPTY_SLOT); 16].into_boxed_slice(),
+            len: 0,
+        }
+    }
+}
+
+/// Fibonacci multiplier for integer-key slot indexing (the golden-ratio
+/// constant spreads consecutive keys across the table).
+const FIB_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A hand-rolled open-addressed `u64 → u32` map for the apply cache and
+/// the lca memo: linear probing over a power-of-two slot array, exact
+/// (grows, never evicts — memoization semantics are unchanged), with the
+/// value's [`EMPTY_SLOT`] as the vacancy sentinel (node ids are capped at
+/// 2³¹ and packed lca answers at 2³⁰, so stored values never collide with
+/// it). Compared to the standard hash map this drops the hasher state
+/// machine and control-byte probing — the apply hot loop does one multiply
+/// and (usually) one slot read per lookup.
+struct IntCache {
+    /// Power-of-two key array. Vacancy lives in `vals`, so `keys[i]` is
+    /// meaningful only where `vals[i] != EMPTY_SLOT`; keys and values are
+    /// split so probes touch only the 8-byte key lane (the tables outgrow
+    /// L2 on band-family compiles — probe bandwidth is the cost).
+    keys: Box<[u64]>,
+    /// Values; [`EMPTY_SLOT`] marks a vacant slot.
+    vals: Box<[u32]>,
+    /// Occupied slots.
+    len: usize,
+    /// `64 - log2(keys.len())`, for Fibonacci indexing.
+    shift: u32,
+}
+
+impl IntCache {
+    fn new() -> Self {
+        const CAP: usize = 1 << 10;
+        IntCache {
+            keys: vec![0; CAP].into_boxed_slice(),
+            vals: vec![EMPTY_SLOT; CAP].into_boxed_slice(),
+            len: 0,
+            shift: 64 - CAP.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(FIB_MIX) >> self.shift) as usize
+    }
+
+    #[inline]
+    fn get(&self, key: u64) -> Option<u32> {
+        let mask = self.keys.len() - 1;
+        let mut i = self.slot_of(key);
+        loop {
+            let v = self.vals[i];
+            if v == EMPTY_SLOT {
+                return None;
+            }
+            if self.keys[i] == key {
+                return Some(v);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert(&mut self, key: u64, value: u32) {
+        debug_assert_ne!(value, EMPTY_SLOT);
+        let mask = self.keys.len() - 1;
+        let mut i = self.slot_of(key);
+        loop {
+            let v = self.vals[i];
+            if v == EMPTY_SLOT {
+                self.keys[i] = key;
+                self.vals[i] = value;
+                self.len += 1;
+                if self.len * 4 >= self.keys.len() * 3 {
+                    self.grow();
+                }
+                return;
+            }
+            if self.keys[i] == key {
+                // Memo tables never re-bind a key to a new answer (results
+                // are canonical); keep the existing entry.
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let shift = 64 - new_cap.trailing_zeros();
+        let mut keys = vec![0u64; new_cap].into_boxed_slice();
+        let mut vals = vec![EMPTY_SLOT; new_cap].into_boxed_slice();
+        let mask = new_cap - 1;
+        for i in 0..self.keys.len() {
+            let v = self.vals[i];
+            if v == EMPTY_SLOT {
+                continue;
+            }
+            let k = self.keys[i];
+            let mut j = (k.wrapping_mul(FIB_MIX) >> shift) as usize;
+            while vals[j] != EMPTY_SLOT {
+                j = (j + 1) & mask;
+            }
+            keys[j] = k;
+            vals[j] = v;
+        }
+        self.keys = keys;
+        self.vals = vals;
+        self.shift = shift;
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.keys.len() * std::mem::size_of::<u64>() + self.vals.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -119,15 +334,65 @@ impl ApplyStats {
 pub struct SddManager {
     vtree: Vtree,
     nodes: Vec<SddNode>,
+    /// The element arena: every decision's `(prime, sub)` pairs,
+    /// contiguous, append-only. Ranges handed to [`SddNode::Decision`] are
+    /// immutable once interned.
+    arena: Vec<(SddId, SddId)>,
     lit_cache: FxHashMap<(VarId, bool), SddId>,
-    unique: FxHashMap<(VtreeNodeId, Vec<(SddId, SddId)>), SddId>,
-    apply_cache: FxHashMap<(Op, SddId, SddId), SddId>,
-    neg_cache: FxHashMap<SddId, SddId>,
+    unique: UniqueTable,
+    /// Apply memo keyed by [`pack_apply_key`].
+    apply_cache: IntCache,
+    /// Negation memo as a node-indexed array (`EMPTY_SLOT` = unknown; both
+    /// directions are stored). Read on every uncached apply for the
+    /// complement shortcut, so it must be a plain load, not a hash probe.
+    neg_cache: Vec<u32>,
+    /// Memoized vtree lca/side resolution per `(va, vb)` pair (packed —
+    /// see [`pack_lca`]): the binary-lifting walk runs once per pair
+    /// instead of once per cache-missing apply.
+    lca_cache: IntCache,
+    /// Recycled element buffers for the worklist engine (cleared, capacity
+    /// kept), so steady-state operations allocate no per-step scratch.
+    scratch: Vec<Vec<(SddId, SddId)>>,
+    /// Recycled frame stack of the worklist engine (one engine runs at a
+    /// time; public operations are not reentrant).
+    frame_pool: Vec<Frame>,
     stats: ApplyStats,
     /// Process-unique identity (see [`SddManager::uid`]): node ids are
     /// per-manager indices, so anything caching values under `SddId`s
     /// (e.g. `eval::EvalCache`) must be able to tell managers apart.
     uid: u64,
+}
+
+/// Encode a side for the packed lca memo.
+#[inline]
+fn side_code(s: Option<Side>) -> u32 {
+    match s {
+        None => 0,
+        Some(Side::Left) => 1,
+        Some(Side::Right) => 2,
+    }
+}
+
+/// Decode a side from the packed lca memo.
+#[inline]
+fn side_decode(c: u32) -> Option<Side> {
+    match c & 3 {
+        0 => None,
+        1 => Some(Side::Left),
+        _ => Some(Side::Right),
+    }
+}
+
+/// Pack an lca answer `(lca, side of a, side of b)` into a cache value:
+/// 4 side bits below the lca id. The cap is a hard assert (like the node
+/// cap in `push_node`) — a silent truncation here would mis-serve the lca
+/// memo and corrupt apply results; it only runs on memo misses, off the
+/// hot path. Vtree node ids stay well under 2²⁸ (2.7·10⁸ nodes) in any
+/// session the 2³¹ SDD node cap admits.
+#[inline]
+fn pack_lca(l: VtreeNodeId, a_at: Option<Side>, b_at: Option<Side>) -> u32 {
+    assert!(l.0 < (1 << 28), "vtree node ids fit the packed lca memo");
+    (l.0 << 4) | (side_code(a_at) << 2) | side_code(b_at)
 }
 
 impl SddManager {
@@ -138,10 +403,14 @@ impl SddManager {
         SddManager {
             vtree,
             nodes: vec![SddNode::False, SddNode::True],
+            arena: Vec::new(),
             lit_cache: FxHashMap::default(),
-            unique: FxHashMap::default(),
-            apply_cache: FxHashMap::default(),
-            neg_cache: FxHashMap::default(),
+            unique: UniqueTable::new(),
+            apply_cache: IntCache::new(),
+            neg_cache: vec![EMPTY_SLOT, EMPTY_SLOT],
+            lca_cache: IntCache::new(),
+            scratch: Vec::new(),
+            frame_pool: Vec::new(),
             stats: ApplyStats::default(),
             uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
         }
@@ -181,6 +450,32 @@ impl SddManager {
         self.nodes.len()
     }
 
+    /// Total elements in the arena — every decision's elements exactly
+    /// once, live or not.
+    pub fn num_elements(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Estimated resident bytes of the manager's node storage and caches:
+    /// node table, element arena, negation array, the open-addressed
+    /// unique/apply/lca tables, and the literal cache (estimated from its
+    /// capacity — the standard hash table stores entries plus one control
+    /// byte per slot). Scratch-pool and vtree memory are excluded; the SDD
+    /// is the part that grows.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.nodes.capacity() * size_of::<SddNode>()
+            + self.arena.capacity() * size_of::<(SddId, SddId)>()
+            + self.neg_cache.capacity() * size_of::<u32>()
+            + self.unique.slots.len() * size_of::<(u64, u32)>()
+            + self.apply_cache.memory_bytes()
+            + self.lca_cache.memory_bytes()
+            + self
+                .lit_cache
+                .capacity()
+                .saturating_mul(size_of::<((VarId, bool), SddId)>() + 1)
+    }
+
     /// The vtree node a node respects: leaf for literals, its `vnode` for
     /// decisions, `None` for ⊥/⊤ (which respect every node).
     pub fn respects(&self, id: SddId) -> Option<VtreeNodeId> {
@@ -193,6 +488,16 @@ impl SddManager {
         }
     }
 
+    /// Append a node, enforcing the 31-bit id cap the packed apply key
+    /// (and the caches' slot encoding) relies on.
+    fn push_node(&mut self, n: SddNode) -> SddId {
+        let id = self.nodes.len();
+        assert!(id < (1 << 31), "SDD node ids are packed into 31 bits");
+        self.nodes.push(n);
+        self.neg_cache.push(EMPTY_SLOT);
+        SddId(id as u32)
+    }
+
     /// The literal `v` / `¬v`.
     pub fn literal(&mut self, v: VarId, positive: bool) -> SddId {
         assert!(
@@ -202,31 +507,85 @@ impl SddManager {
         if let Some(&id) = self.lit_cache.get(&(v, positive)) {
             return id;
         }
-        let id = SddId(self.nodes.len() as u32);
-        self.nodes.push(SddNode::Literal { var: v, positive });
+        let id = self.push_node(SddNode::Literal { var: v, positive });
         self.lit_cache.insert((v, positive), id);
         id
     }
 
+    /// The element slice of a decision node (borrowed from the arena — no
+    /// cloning; panics on terminals and literals).
+    pub fn elements_of(&self, a: SddId) -> &[(SddId, SddId)] {
+        match &self.nodes[a.index()] {
+            SddNode::Decision { elems, .. } => self.elements(elems.clone()),
+            _ => panic!("elements_of on non-decision"),
+        }
+    }
+
+    /// Resolve a decision's arena range (as stored in
+    /// [`SddNode::Decision`]) to its element slice.
+    pub fn elements(&self, r: Range<u32>) -> &[(SddId, SddId)] {
+        &self.arena[r.start as usize..r.end as usize]
+    }
+
+    /// One arena element.
+    #[inline]
+    fn element(&self, i: u32) -> (SddId, SddId) {
+        self.arena[i as usize]
+    }
+
+    /// Memoized `(lca, side of va, side of vb)` for a vnode pair: the
+    /// binary-lifting lca walk plus two descendant checks run once per
+    /// pair; every later apply on the same pair is one cache load.
+    fn lca_sides(
+        &mut self,
+        va: VtreeNodeId,
+        vb: VtreeNodeId,
+    ) -> (VtreeNodeId, Option<Side>, Option<Side>) {
+        let key = ((va.0 as u64) << 32) | vb.0 as u64;
+        if let Some(packed) = self.lca_cache.get(key) {
+            return (
+                VtreeNodeId(packed >> 4),
+                side_decode(packed >> 2),
+                side_decode(packed),
+            );
+        }
+        let l = self.vtree.lca(va, vb);
+        let a_at = self.vtree.side_of(l, va); // None ⇒ va == l
+        let b_at = self.vtree.side_of(l, vb);
+        self.lca_cache.insert(key, pack_lca(l, a_at, b_at));
+        (l, a_at, b_at)
+    }
+
+    /// Take a recycled element buffer (empty, capacity retained).
+    fn take_buf(&mut self) -> Vec<(SddId, SddId)> {
+        self.scratch.pop().unwrap_or_default()
+    }
+
+    /// Return an element buffer to the pool.
+    fn recycle_buf(&mut self, mut buf: Vec<(SddId, SddId)>) {
+        buf.clear();
+        self.scratch.push(buf);
+    }
+
     /// Canonical decision-node constructor: drops ⊥ primes, compresses
     /// (merges equal subs, or-ing their primes), trims, sorts, and interns.
-    /// The compression disjunctions run through the worklist [`Engine`], so
+    /// Runs on the bounded-recursion fast path; compression disjunctions
+    /// past the fuel budget spill to the worklist [`Engine`], so
     /// construction never recurses on node depth.
     fn mk_decision(&mut self, vnode: VtreeNodeId, elems: Vec<(SddId, SddId)>) -> SddId {
-        let mut eng = Engine::new(None);
-        match eng.start_build(self, vnode, elems) {
-            Some(r) => r,
-            None => eng.run(self),
-        }
+        self.build_rec(vnode, elems, REC_FUEL)
     }
 
     /// The pure tail of decision construction: trimming rules, prime-order
     /// sorting, and unique-table interning. `compressed` must already have
-    /// pairwise distinct subs and no ⊥ primes.
+    /// pairwise distinct subs and no ⊥ primes; the buffer is left in an
+    /// unspecified state for the caller to recycle. Interning allocates
+    /// nothing beyond the arena append (and the occasional table growth):
+    /// probes compare `compressed` against arena slices in place.
     fn finish_decision(
         &mut self,
         vnode: VtreeNodeId,
-        mut compressed: Vec<(SddId, SddId)>,
+        compressed: &mut Vec<(SddId, SddId)>,
     ) -> SddId {
         // Trimming rule 1: {(⊤, s)} → s.
         if compressed.len() == 1 && compressed[0].0 == TRUE {
@@ -240,17 +599,65 @@ impl SddManager {
             }
         }
         compressed.sort_unstable_by_key(|&(p, _)| p);
-        let key = (vnode, compressed.clone());
-        if let Some(&id) = self.unique.get(&key) {
-            return id;
+        let hash = decision_hash(vnode, compressed);
+        let mask = self.unique.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            self.stats.unique_probes += 1;
+            let (slot_hash, slot_id) = self.unique.slots[i];
+            if slot_id == EMPTY_SLOT {
+                break;
+            }
+            if slot_hash == hash {
+                if let SddNode::Decision { vnode: v2, elems } = &self.nodes[slot_id as usize] {
+                    if *v2 == vnode
+                        && &self.arena[elems.start as usize..elems.end as usize]
+                            == compressed.as_slice()
+                    {
+                        return SddId(slot_id);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
         }
-        let id = SddId(self.nodes.len() as u32);
-        self.nodes.push(SddNode::Decision {
+        // Miss: the elements enter the arena (their single home) and the
+        // free slot found above records the new node.
+        let start = self.arena.len();
+        assert!(
+            start + compressed.len() <= u32::MAX as usize,
+            "element arena exceeds u32 indexing"
+        );
+        self.arena.extend_from_slice(compressed);
+        let id = self.push_node(SddNode::Decision {
             vnode,
-            elems: compressed.into_boxed_slice(),
+            elems: start as u32..self.arena.len() as u32,
         });
-        self.unique.insert(key, id);
+        self.stats.unique_inserts += 1;
+        self.unique.slots[i] = (hash, id.0);
+        self.unique.len += 1;
+        if self.unique.len * 4 >= self.unique.slots.len() * 3 {
+            self.grow_unique();
+        }
         id
+    }
+
+    /// Double the unique table, re-slotting entries by their stored hashes
+    /// (no key data to rehash — the arena holds it).
+    fn grow_unique(&mut self) {
+        let new_cap = self.unique.slots.len() * 2;
+        let mut slots = vec![(0u64, EMPTY_SLOT); new_cap].into_boxed_slice();
+        let mask = new_cap - 1;
+        for &(h, id) in self.unique.slots.iter() {
+            if id == EMPTY_SLOT {
+                continue;
+            }
+            let mut i = (h as usize) & mask;
+            while slots[i].1 != EMPTY_SLOT {
+                i = (i + 1) & mask;
+            }
+            slots[i] = (h, id);
+        }
+        self.unique.slots = slots;
     }
 
     /// Public canonical decision constructor: builds `⋁ (prime ∧ sub)`
@@ -271,40 +678,252 @@ impl SddManager {
         self.mk_decision(vnode, elems)
     }
 
-    /// Negation (cached; structural: same primes, negated subs). Runs on
-    /// the worklist [`Engine`] — heap-bounded depth.
+    /// Negation (cached; structural: same primes, negated subs). Bounded
+    /// recursion with worklist spill — heap-bounded depth at any size.
     pub fn negate(&mut self, a: SddId) -> SddId {
-        let mut eng = Engine::new(None);
-        match eng.start_negate(self, a) {
-            Some(r) => r,
-            None => eng.run(self),
-        }
+        self.negate_rec(a, REC_FUEL)
     }
 
     /// Conjunction.
     pub fn and(&mut self, a: SddId, b: SddId) -> SddId {
-        self.apply(Op::And, a, b)
+        self.apply_rec(Op::And, a, b, REC_FUEL)
     }
 
     /// Disjunction.
     pub fn or(&mut self, a: SddId, b: SddId) -> SddId {
-        self.apply(Op::Or, a, b)
+        self.apply_rec(Op::Or, a, b, REC_FUEL)
     }
 
-    fn apply(&mut self, op: Op, a: SddId, b: SddId) -> SddId {
-        let mut eng = Engine::new(None);
-        match eng.start_apply(self, op, a, b) {
+    // ------------------------------------------------------------------
+    // The bounded-recursion fast path.
+    //
+    // Every operation first runs the same memo-consulting head as the
+    // worklist engine; a genuine miss recurses on the machine stack while
+    // `fuel` lasts and spills the subproblem to the worklist at zero.
+    // Heads, cache consults and cache inserts happen in the identical
+    // order on both paths, so the constructed nodes are the same — the
+    // fast path only removes the frame machine's dispatch constant from
+    // the (overwhelmingly common) shallow operations.
+    // ------------------------------------------------------------------
+
+    /// Apply with a recursion budget; see the section comment above.
+    fn apply_rec(&mut self, op: Op, a: SddId, b: SddId, fuel: u32) -> SddId {
+        if let Some(r) = Engine::apply_head(self, op, a, b) {
+            return r;
+        }
+        if fuel == 0 {
+            return self.apply_spill(op, a, b);
+        }
+        let key = apply_key(op, a, b);
+        let va = self.respects(a).expect("non-terminal");
+        let vb = self.respects(b).expect("non-terminal");
+        if va == vb {
+            let ea = Engine::norm_elems(self, a, None, None);
+            let eb = Engine::norm_elems(self, b, None, None);
+            return self.cross_rec(op, key, va, ea, eb, fuel);
+        }
+        let (l, a_at, b_at) = self.lca_sides(va, vb);
+        // Left-side operands need their negations first (operand a before
+        // b, as both engines always did).
+        let na = if a_at == Some(Side::Left) {
+            Some(self.negate_rec(a, fuel - 1))
+        } else {
+            None
+        };
+        let nb = if b_at == Some(Side::Left) {
+            Some(self.negate_rec(b, fuel - 1))
+        } else {
+            None
+        };
+        let ea = Engine::norm_elems(self, a, a_at, na);
+        let eb = Engine::norm_elems(self, b, b_at, nb);
+        self.cross_rec(op, key, l, ea, eb, fuel)
+    }
+
+    /// The element cross product of an uncached apply, recursively.
+    fn cross_rec(
+        &mut self,
+        op: Op,
+        key: u64,
+        vnode: VtreeNodeId,
+        ea: Elems,
+        eb: Elems,
+        fuel: u32,
+    ) -> SddId {
+        let mut out = self.take_buf();
+        out.reserve(ea.len() * eb.len());
+        for i in 0..ea.len() {
+            for j in 0..eb.len() {
+                let (pa, sa) = ea.get(self, i);
+                let (pb, sb) = eb.get(self, j);
+                // ⊤-conjunctions resolve structurally (primes are never
+                // ⊥, so `pa ∧ ⊤ = pa` needs no apply at all — singleton
+                // `{(⊤, x)}` normalizations make it the most common
+                // prime combination).
+                let p = if pb == TRUE {
+                    pa
+                } else if pa == TRUE {
+                    pb
+                } else {
+                    let p = self.apply_rec(Op::And, pa, pb, fuel - 1);
+                    if p == FALSE {
+                        continue;
+                    }
+                    p
+                };
+                let s = self.apply_rec(op, sa, sb, fuel - 1);
+                out.push((p, s));
+            }
+        }
+        let r = self.build_rec(vnode, out, fuel);
+        self.apply_cache.insert(key, r.0);
+        r
+    }
+
+    /// Canonical decision construction, recursively: drop ⊥ primes, sort
+    /// by sub, or-reduce equal-sub groups, then intern. Adopts `elems`
+    /// into the buffer pool.
+    fn build_rec(
+        &mut self,
+        vnode: VtreeNodeId,
+        mut elems: Vec<(SddId, SddId)>,
+        fuel: u32,
+    ) -> SddId {
+        elems.retain(|&(p, _)| p != FALSE);
+        if elems.is_empty() {
+            self.recycle_buf(elems);
+            return FALSE;
+        }
+        elems.sort_unstable_by_key(|&(_, s)| s);
+        // The common case — all subs already distinct — interns directly.
+        if elems.windows(2).all(|w| w[0].1 != w[1].1) {
+            let r = self.finish_decision(vnode, &mut elems);
+            self.recycle_buf(elems);
+            return r;
+        }
+        if fuel == 0 {
+            return self.build_spill(vnode, elems);
+        }
+        let mut compressed = self.take_buf();
+        let mut k = 0;
+        while k < elems.len() {
+            let sub = elems[k].1;
+            let mut acc = elems[k].0;
+            k += 1;
+            while k < elems.len() && elems[k].1 == sub {
+                let p = elems[k].0;
+                acc = self.apply_rec(Op::Or, acc, p, fuel - 1);
+                k += 1;
+            }
+            compressed.push((acc, sub));
+        }
+        self.recycle_buf(elems);
+        let r = self.finish_decision(vnode, &mut compressed);
+        self.recycle_buf(compressed);
+        r
+    }
+
+    /// Negation with a recursion budget.
+    fn negate_rec(&mut self, a: SddId, fuel: u32) -> SddId {
+        if let Some(r) = Engine::negate_head(self, a) {
+            return r;
+        }
+        if fuel == 0 {
+            return self.negate_spill(a);
+        }
+        let SddNode::Decision { vnode, elems } = &self.nodes[a.index()] else {
+            unreachable!()
+        };
+        let (vnode, range) = (*vnode, elems.clone());
+        let mut out = self.take_buf();
+        out.reserve(range.len());
+        for idx in range {
+            let (p, s) = self.element(idx);
+            let ns = self.negate_rec(s, fuel - 1);
+            out.push((p, ns));
+        }
+        let n = self.build_rec(vnode, out, fuel);
+        self.neg_cache[a.index()] = n.0;
+        self.neg_cache[n.index()] = a.0;
+        n
+    }
+
+    /// Conditioning with a recursion budget.
+    fn condition_rec(&mut self, ctx: &mut CondCtx, a: SddId, fuel: u32) -> SddId {
+        if let Some(r) = Engine::condition_head(self, ctx, a) {
+            return r;
+        }
+        if fuel == 0 {
+            return self.condition_spill(ctx, a);
+        }
+        let SddNode::Decision { vnode, elems } = &self.nodes[a.index()] else {
+            unreachable!()
+        };
+        let (vnode, range) = (*vnode, elems.clone());
+        let mut out = self.take_buf();
+        out.reserve(range.len());
+        for idx in range {
+            let (p, s) = self.element(idx);
+            let np = self.condition_rec(ctx, p, fuel - 1);
+            let ns = self.condition_rec(ctx, s, fuel - 1);
+            out.push((np, ns));
+        }
+        let r = self.build_rec(vnode, out, fuel);
+        ctx.memo.insert(a, r);
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Worklist spills: the operation already ran its head (and missed);
+    // hand it to the frame machine, which finishes it with heap-bounded
+    // depth regardless of how deep the remaining structure is.
+    // ------------------------------------------------------------------
+
+    fn apply_spill(&mut self, op: Op, a: SddId, b: SddId) -> SddId {
+        let mut eng = Engine::new(std::mem::take(&mut self.frame_pool), None);
+        eng.push_apply_frame(self, op, a, b);
+        let r = eng.run(self);
+        self.frame_pool = eng.into_frames();
+        r
+    }
+
+    fn negate_spill(&mut self, a: SddId) -> SddId {
+        let mut eng = Engine::new(std::mem::take(&mut self.frame_pool), None);
+        let r = match eng.start_negate(self, a) {
             Some(r) => r,
             None => eng.run(self),
-        }
+        };
+        self.frame_pool = eng.into_frames();
+        r
     }
 
-    /// The element list of a decision node.
-    fn elements_of(&self, a: SddId) -> Vec<(SddId, SddId)> {
-        match &self.nodes[a.index()] {
-            SddNode::Decision { elems, .. } => elems.to_vec(),
-            _ => unreachable!("elements_of on non-decision"),
-        }
+    fn condition_spill(&mut self, ctx: &mut CondCtx, a: SddId) -> SddId {
+        // The engine owns the memo while it runs; hand it over and take
+        // it back so the whole `condition` call shares one memo table.
+        let taken = CondCtx {
+            var: ctx.var,
+            value: ctx.value,
+            memo: std::mem::take(&mut ctx.memo),
+        };
+        let mut eng = Engine::new(std::mem::take(&mut self.frame_pool), Some(taken));
+        let r = match eng.start_condition(self, a) {
+            Some(r) => r,
+            None => eng.run(self),
+        };
+        let (frames, cond) = eng.into_parts();
+        self.frame_pool = frames;
+        ctx.memo = cond.expect("condition context preserved").memo;
+        r
+    }
+
+    fn build_spill(&mut self, vnode: VtreeNodeId, elems: Vec<(SddId, SddId)>) -> SddId {
+        let mut eng = Engine::new(std::mem::take(&mut self.frame_pool), None);
+        let r = match eng.start_build(self, vnode, elems) {
+            Some(r) => r,
+            None => eng.run(self),
+        };
+        self.frame_pool = eng.into_frames();
+        r
     }
 
     /// Compile a circuit bottom-up.
@@ -390,19 +1009,16 @@ impl SddManager {
         n
     }
 
-    /// Condition on `var := value` (cofactor). Memoized per node and run
-    /// on the worklist [`Engine`] — heap-bounded depth even on vtree-deep
-    /// diagrams.
+    /// Condition on `var := value` (cofactor). Memoized per node; bounded
+    /// recursion with worklist spill — heap-bounded depth even on
+    /// vtree-deep diagrams.
     pub fn condition(&mut self, a: SddId, var: VarId, value: bool) -> SddId {
-        let mut eng = Engine::new(Some(CondCtx {
+        let mut ctx = CondCtx {
             var,
             value,
             memo: FxHashMap::default(),
-        }));
-        match eng.start_condition(self, a) {
-            Some(r) => r,
-            None => eng.run(self),
-        }
+        };
+        self.condition_rec(&mut ctx, a, REC_FUEL)
     }
 
     /// Evaluate under an assignment covering the vtree variables: one
@@ -423,10 +1039,8 @@ impl SddManager {
             SddNode::Decision { .. } => val[&n],
         };
         for d in decisions {
-            let SddNode::Decision { elems, .. } = &self.nodes[d.index()] else {
-                unreachable!("reachable_decisions returns decisions");
-            };
-            let b = elems
+            let b = self
+                .elements_of(d)
                 .iter()
                 .any(|&(p, s)| value_of(p, &val) && value_of(s, &val));
             val.insert(d, b);
@@ -444,17 +1058,16 @@ impl SddManager {
 
     /// Decision nodes reachable from `root`.
     pub fn reachable_decisions(&self, root: SddId) -> Vec<SddId> {
-        let mut seen: FxHashMap<SddId, ()> = FxHashMap::default();
+        let mut seen: FxHashSet<SddId> = FxHashSet::default();
         let mut stack = vec![root];
         let mut out = Vec::new();
         while let Some(n) = stack.pop() {
-            if seen.contains_key(&n) {
+            if !seen.insert(n) {
                 continue;
             }
-            seen.insert(n, ());
             if let SddNode::Decision { elems, .. } = &self.nodes[n.index()] {
                 out.push(n);
-                for &(p, s) in elems.iter() {
+                for &(p, s) in self.elements(elems.clone()) {
                     stack.push(p);
                     stack.push(s);
                 }
@@ -507,9 +1120,19 @@ impl SddManager {
 // `ret` register carries each finished node id to the frame that asked for
 // it, and `start_*` resolvers answer what they can immediately (terminal
 // shortcuts, cache hits, literals) without growing the stack. Memoization
-// and hash-consing are bit-for-bit those of the former recursion: the same
-// caches are consulted and filled at the same points, in the same order,
-// so the constructed nodes (and the ApplyStats counters) are identical.
+// and hash-consing match the recursive fast path: the same caches are
+// consulted and filled at the same points, in the same order, so both
+// paths construct identical nodes. (ApplyStats counts are *not* those of
+// the pre-arena engine: ⊤-conjunction primes now resolve structurally
+// without an apply call, so apply_calls/cache_hits run strictly lower
+// than historical runs on the same input.)
+//
+// Frames never copy element lists: a normalized operand is either an
+// arena range (decisions — the arena is append-only, so the range stays
+// valid while children intern new nodes) or at most two inline pairs (the
+// lca normalization shapes). Output buffers and the frame stack itself
+// come from per-manager pools, so a steady-state apply step allocates
+// nothing.
 // ---------------------------------------------------------------------
 
 /// Context of one `condition` run: the pinned literal and the per-call
@@ -555,13 +1178,41 @@ enum CondWait {
     Build,
 }
 
+/// A normalized apply operand's element list: a decision node's arena
+/// range (no copy — ranges are immutable once interned), or the up-to-two
+/// synthesized pairs of the lca normalization, inline.
+enum Elems {
+    /// `arena[start..end]` of a decision at the normalization vnode.
+    Arena(u32, u32),
+    /// `{(⊤, x)}` (right side) or `{(x, ⊤), (¬x, ⊥)}` (left side).
+    Inline { buf: [(SddId, SddId); 2], len: u8 },
+}
+
+impl Elems {
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Elems::Arena(s, e) => (e - s) as usize,
+            Elems::Inline { len, .. } => *len as usize,
+        }
+    }
+
+    #[inline]
+    fn get(&self, m: &SddManager, i: usize) -> (SddId, SddId) {
+        match self {
+            Elems::Arena(s, _) => m.element(s + i as u32),
+            Elems::Inline { buf, .. } => buf[i],
+        }
+    }
+}
+
 /// One suspended operation of the worklist engine.
 enum Frame {
     /// An apply whose operands normalize at their vtree lca: a left-side
     /// operand needs its negation before the element lists exist.
     Prep {
         op: Op,
-        key: (Op, SddId, SddId),
+        key: u64,
         l: VtreeNodeId,
         a: SddId,
         /// `None` when `a` respects `l` itself.
@@ -575,12 +1226,12 @@ enum Frame {
     /// The element cross product of an apply.
     Cross {
         op: Op,
-        key: (Op, SddId, SddId),
+        key: u64,
         vnode: VtreeNodeId,
-        ea: Vec<(SddId, SddId)>,
-        eb: Vec<(SddId, SddId)>,
-        i: usize,
-        j: usize,
+        ea: Elems,
+        eb: Elems,
+        i: u32,
+        j: u32,
         wait: CrossWait,
         out: Vec<(SddId, SddId)>,
     },
@@ -588,8 +1239,9 @@ enum Frame {
     Neg {
         a: SddId,
         vnode: VtreeNodeId,
-        elems: Box<[(SddId, SddId)]>,
-        i: usize,
+        /// The decision's arena range.
+        elems: Range<u32>,
+        i: u32,
         out: Vec<(SddId, SddId)>,
         /// Set once the final decision construction was requested.
         building: bool,
@@ -598,8 +1250,9 @@ enum Frame {
     Cond {
         a: SddId,
         vnode: VtreeNodeId,
-        elems: Box<[(SddId, SddId)]>,
-        i: usize,
+        /// The decision's arena range.
+        elems: Range<u32>,
+        i: u32,
         wait: CondWait,
         out: Vec<(SddId, SddId)>,
     },
@@ -619,15 +1272,18 @@ enum Frame {
 }
 
 impl Frame {
-    /// A fresh cross-product frame for an apply normalized at `vnode`.
+    /// A fresh cross-product frame with a pooled output buffer — the one
+    /// place the `Frame::Cross` literal is spelled out, so the worklist's
+    /// three construction sites cannot drift.
     fn cross(
+        m: &mut SddManager,
         op: Op,
-        key: (Op, SddId, SddId),
+        key: u64,
         vnode: VtreeNodeId,
-        ea: Vec<(SddId, SddId)>,
-        eb: Vec<(SddId, SddId)>,
+        ea: Elems,
+        eb: Elems,
     ) -> Frame {
-        let cap = ea.len() * eb.len();
+        let out = Engine::cross_buf(m, &ea, &eb);
         Frame::Cross {
             op,
             key,
@@ -637,7 +1293,7 @@ impl Frame {
             i: 0,
             j: 0,
             wait: CrossWait::Idle,
-            out: Vec::with_capacity(cap),
+            out,
         }
     }
 }
@@ -645,6 +1301,11 @@ impl Frame {
 /// A sub-operation a frame asks the engine to resolve.
 enum Req {
     Apply(Op, SddId, SddId),
+    /// An apply whose memo-consulting head ([`Engine::apply_head`]) was
+    /// already run (and missed) by the requesting frame's inline fast
+    /// path: go straight to the frame push — re-running the head would
+    /// double-count the call in [`ApplyStats`].
+    ApplyMiss(Op, SddId, SddId),
     Negate(SddId),
     Condition(SddId),
     Build(VtreeNodeId, Vec<(SddId, SddId)>),
@@ -658,19 +1319,42 @@ enum Step {
     Complete(SddId),
 }
 
+/// The recursion budget of the bounded-depth fast path: operations nest on
+/// the machine stack for this many levels (a constant — ~300 bytes per
+/// level, ~20 KiB total, safe on any thread) and spill the remainder to
+/// the worklist engine. The fast path is what claws back the frame
+/// machine's dispatch constant on shallow work; the spill is what keeps
+/// 100k-variable chains off the stack. Depth is bounded by the *constant*,
+/// never by input size, so the workspace's iterative-engine invariant
+/// holds.
+const REC_FUEL: u32 = 64;
+
 /// The frame stack plus the `ret` register. One engine drives one public
-/// operation (`and`/`or`/`negate`/`condition`/`decision`) to completion.
+/// operation (`and`/`or`/`negate`/`condition`/`decision`) to completion;
+/// its frame stack is borrowed from (and returned to) the manager's pool.
 struct Engine {
     frames: Vec<Frame>,
     cond: Option<CondCtx>,
 }
 
 impl Engine {
-    fn new(cond: Option<CondCtx>) -> Self {
-        Engine {
-            frames: Vec::new(),
-            cond,
-        }
+    fn new(frames: Vec<Frame>, cond: Option<CondCtx>) -> Self {
+        debug_assert!(frames.is_empty(), "the frame pool is handed over empty");
+        Engine { frames, cond }
+    }
+
+    /// Surrender the (now empty) frame stack back to the manager's pool.
+    fn into_frames(mut self) -> Vec<Frame> {
+        self.frames.clear();
+        self.frames
+    }
+
+    /// As [`Engine::into_frames`], also returning the condition context
+    /// (the spill path hands the memo back to its recursive caller).
+    fn into_parts(mut self) -> (Vec<Frame>, Option<CondCtx>) {
+        self.frames.clear();
+        let cond = self.cond.take();
+        (self.frames, cond)
     }
 
     /// Drive the frame stack until the initial request is answered.
@@ -703,6 +1387,10 @@ impl Engine {
     fn start_request(&mut self, m: &mut SddManager, req: Req) -> Option<SddId> {
         match req {
             Req::Apply(op, a, b) => self.start_apply(m, op, a, b),
+            Req::ApplyMiss(op, a, b) => {
+                self.push_apply_frame(m, op, a, b);
+                None
+            }
             Req::Negate(a) => self.start_negate(m, a),
             Req::Condition(a) => self.start_condition(m, a),
             Req::Build(vnode, elems) => self.start_build(m, vnode, elems),
@@ -748,7 +1436,7 @@ impl Engine {
                     }
                     let ea = Self::norm_elems(m, *a, *a_at, *na);
                     let eb = Self::norm_elems(m, *b, *b_at, *nb);
-                    *frame = Frame::cross(*op, *key, *l, ea, eb);
+                    *frame = Frame::cross(m, *op, *key, *l, ea, eb);
                     // Loop: the fresh Cross issues its first request.
                 }
                 Frame::Cross {
@@ -762,38 +1450,89 @@ impl Engine {
                     wait,
                     out,
                 } => {
+                    // Advance one position past the current pair.
+                    macro_rules! bump {
+                        () => {
+                            *j += 1;
+                            if *j as usize == eb.len() {
+                                *j = 0;
+                                *i += 1;
+                            }
+                        };
+                    }
+                    // Deliver the pending answer, finishing its pair inline
+                    // where the partner operation resolves from the memos.
                     match std::mem::replace(wait, CrossWait::Idle) {
                         CrossWait::Idle => {}
                         CrossWait::Prime => {
                             let p = ret.take().expect("prime result");
                             if p == FALSE {
-                                *j += 1;
-                                if *j == eb.len() {
-                                    *j = 0;
-                                    *i += 1;
-                                }
+                                bump!();
                             } else {
-                                *wait = CrossWait::Sub(p);
-                                return Step::Request(Req::Apply(*op, ea[*i].1, eb[*j].1));
+                                let sa = ea.get(m, *i as usize).1;
+                                let sb = eb.get(m, *j as usize).1;
+                                match Self::apply_head(m, *op, sa, sb) {
+                                    Some(s) => {
+                                        out.push((p, s));
+                                        bump!();
+                                    }
+                                    None => {
+                                        *wait = CrossWait::Sub(p);
+                                        return Step::Request(Req::ApplyMiss(*op, sa, sb));
+                                    }
+                                }
                             }
                         }
                         CrossWait::Sub(p) => {
                             out.push((p, ret.take().expect("sub result")));
-                            *j += 1;
-                            if *j == eb.len() {
-                                *j = 0;
-                                *i += 1;
-                            }
+                            bump!();
                         }
                         CrossWait::Build => {
                             let r = ret.take().expect("build result");
-                            m.apply_cache.insert(*key, r);
+                            m.apply_cache.insert(*key, r.0);
                             return Step::Complete(r);
                         }
                     }
-                    if *i < ea.len() {
-                        *wait = CrossWait::Prime;
-                        return Step::Request(Req::Apply(Op::And, ea[*i].0, eb[*j].0));
+                    // The pair loop: run entirely on the memo fast path —
+                    // most prime conjunctions and sub combinations answer
+                    // from the caches, and yielding to the frame stack for
+                    // those costs more than computing them here.
+                    while (*i as usize) < ea.len() {
+                        let (pa, sa) = ea.get(m, *i as usize);
+                        let (pb, sb) = eb.get(m, *j as usize);
+                        // ⊤-conjunctions are resolved structurally: primes
+                        // are never ⊥ (construction drops them), so
+                        // `pa ∧ ⊤ = pa` needs no apply call at all — and
+                        // singleton `{(⊤, x)}` normalizations make this
+                        // the single most common prime combination.
+                        let prime = if pb == TRUE {
+                            Some(pa)
+                        } else if pa == TRUE {
+                            Some(pb)
+                        } else {
+                            match Self::apply_head(m, Op::And, pa, pb) {
+                                None => {
+                                    *wait = CrossWait::Prime;
+                                    return Step::Request(Req::ApplyMiss(Op::And, pa, pb));
+                                }
+                                Some(p) => Some(p).filter(|&p| p != FALSE),
+                            }
+                        };
+                        match prime {
+                            None => {
+                                bump!();
+                            }
+                            Some(p) => match Self::apply_head(m, *op, sa, sb) {
+                                Some(s) => {
+                                    out.push((p, s));
+                                    bump!();
+                                }
+                                None => {
+                                    *wait = CrossWait::Sub(p);
+                                    return Step::Request(Req::ApplyMiss(*op, sa, sb));
+                                }
+                            },
+                        }
                     }
                     *wait = CrossWait::Build;
                     return Step::Request(Req::Build(*vnode, std::mem::take(out)));
@@ -808,16 +1547,25 @@ impl Engine {
                 } => {
                     if *building {
                         let n = ret.take().expect("build result");
-                        m.neg_cache.insert(*a, n);
-                        m.neg_cache.insert(n, *a);
+                        m.neg_cache[a.index()] = n.0;
+                        m.neg_cache[n.index()] = a.0;
                         return Step::Complete(n);
                     }
                     if let Some(ns) = ret.take() {
-                        out.push((elems[*i].0, ns));
+                        out.push((m.element(elems.start + *i).0, ns));
                         *i += 1;
                     }
-                    if *i < elems.len() {
-                        return Step::Request(Req::Negate(elems[*i].1));
+                    // Element loop on the memo fast path (literal flips and
+                    // cached negations answer inline).
+                    while elems.start + *i < elems.end {
+                        let s = m.element(elems.start + *i).1;
+                        match Self::negate_head(m, s) {
+                            Some(ns) => {
+                                out.push((m.element(elems.start + *i).0, ns));
+                                *i += 1;
+                            }
+                            None => return Step::Request(Req::Negate(s)),
+                        }
                     }
                     *building = true;
                     return Step::Request(Req::Build(*vnode, std::mem::take(out)));
@@ -830,12 +1578,22 @@ impl Engine {
                     wait,
                     out,
                 } => {
+                    let ctx = cond.as_mut().expect("condition context");
                     match std::mem::replace(wait, CondWait::Idle) {
                         CondWait::Idle => {}
                         CondWait::Prime => {
                             let np = ret.take().expect("conditioned prime");
-                            *wait = CondWait::Sub(np);
-                            return Step::Request(Req::Condition(elems[*i].1));
+                            let s = m.element(elems.start + *i).1;
+                            match Self::condition_head(m, ctx, s) {
+                                Some(ns) => {
+                                    out.push((np, ns));
+                                    *i += 1;
+                                }
+                                None => {
+                                    *wait = CondWait::Sub(np);
+                                    return Step::Request(Req::Condition(s));
+                                }
+                            }
                         }
                         CondWait::Sub(np) => {
                             out.push((np, ret.take().expect("conditioned sub")));
@@ -843,13 +1601,33 @@ impl Engine {
                         }
                         CondWait::Build => {
                             let r = ret.take().expect("build result");
-                            cond.as_mut().expect("condition context").memo.insert(*a, r);
+                            ctx.memo.insert(*a, r);
                             return Step::Complete(r);
                         }
                     }
-                    if *i < elems.len() {
-                        *wait = CondWait::Prime;
-                        return Step::Request(Req::Condition(elems[*i].0));
+                    // Element loop on the memo fast path (terminals,
+                    // literals, and already-conditioned decisions inline).
+                    while elems.start + *i < elems.end {
+                        let p = m.element(elems.start + *i).0;
+                        match Self::condition_head(m, ctx, p) {
+                            Some(np) => {
+                                let s = m.element(elems.start + *i).1;
+                                match Self::condition_head(m, ctx, s) {
+                                    Some(ns) => {
+                                        out.push((np, ns));
+                                        *i += 1;
+                                    }
+                                    None => {
+                                        *wait = CondWait::Sub(np);
+                                        return Step::Request(Req::Condition(s));
+                                    }
+                                }
+                            }
+                            None => {
+                                *wait = CondWait::Prime;
+                                return Step::Request(Req::Condition(p));
+                            }
+                        }
                     }
                     *wait = CondWait::Build;
                     return Step::Request(Req::Build(*vnode, std::mem::take(out)));
@@ -867,8 +1645,10 @@ impl Engine {
                     }
                     loop {
                         if *gi == groups.len() {
-                            let elems = std::mem::take(compressed);
-                            return Step::Complete(m.finish_decision(*vnode, elems));
+                            let mut elems = std::mem::take(compressed);
+                            let r = m.finish_decision(*vnode, &mut elems);
+                            m.recycle_buf(elems);
+                            return Step::Complete(r);
                         }
                         if *pi == 0 {
                             *acc = groups[*gi].0[0];
@@ -888,11 +1668,16 @@ impl Engine {
         }
     }
 
-    /// Begin an apply: answer terminal/identity shortcuts, cache hits and
-    /// leaf clashes immediately; otherwise push the frame that will finish
-    /// it. Mirrors the former recursive `apply` head exactly (including
-    /// which results enter the apply cache and when the stats count).
-    fn start_apply(&mut self, m: &mut SddManager, op: Op, a: SddId, b: SddId) -> Option<SddId> {
+    /// The memo-consulting head of an apply: terminal/identity shortcuts,
+    /// apply-cache and complement lookups, and the same-variable literal
+    /// clash. Shared verbatim by the recursive fast path and the worklist,
+    /// so both consult and fill the caches in the same order and count
+    /// every apply invocation exactly once (callers that resolve a
+    /// combination *structurally* — the ⊤-prime shortcut — skip the head
+    /// and therefore the count). `None` means the operation genuinely
+    /// needs a frame ([`Engine::push_apply_frame`]).
+    #[inline]
+    fn apply_head(m: &mut SddManager, op: Op, a: SddId, b: SddId) -> Option<SddId> {
         m.stats.apply_calls += 1;
         // Terminal and identity shortcuts.
         match op {
@@ -919,42 +1704,54 @@ impl Engine {
                 }
             }
         }
-        let key = if a <= b { (op, a, b) } else { (op, b, a) };
-        if let Some(&r) = m.apply_cache.get(&key) {
+        let key = apply_key(op, a, b);
+        if let Some(r) = m.apply_cache.get(key) {
             m.stats.cache_hits += 1;
-            return Some(r);
+            return Some(SddId(r));
         }
-        // Complement shortcut (uses the cache only — avoid computing fresh
+        // Complement shortcut (a plain array read — avoid computing fresh
         // negations here, which could traverse deeply for no benefit).
-        if m.neg_cache.get(&a) == Some(&b) {
+        if m.neg_cache[a.index()] == b.0 {
             let r = match op {
                 Op::And => FALSE,
                 Op::Or => TRUE,
             };
-            m.apply_cache.insert(key, r);
+            m.apply_cache.insert(key, r.0);
             return Some(r);
         }
-        let va = m.respects(a).expect("non-terminal");
-        let vb = m.respects(b).expect("non-terminal");
-        if va == vb {
-            if m.vtree.is_leaf(va) {
-                // Two literals of the same variable with different polarity
-                // (equal nodes were handled above).
+        // Two literals of the same variable with different polarity
+        // (equal nodes were handled above).
+        if let (SddNode::Literal { var: va, .. }, SddNode::Literal { var: vb, .. }) =
+            (&m.nodes[a.index()], &m.nodes[b.index()])
+        {
+            if va == vb {
                 let r = match op {
                     Op::And => FALSE,
                     Op::Or => TRUE,
                 };
-                m.apply_cache.insert(key, r);
+                m.apply_cache.insert(key, r.0);
                 return Some(r);
             }
-            let ea = m.elements_of(a);
-            let eb = m.elements_of(b);
-            self.frames.push(Frame::cross(op, key, va, ea, eb));
-            return None;
         }
-        let l = m.vtree.lca(va, vb);
-        let a_at = m.vtree.side_of(l, va); // None ⇒ va == l
-        let b_at = m.vtree.side_of(l, vb);
+        None
+    }
+
+    /// The slow tail of an apply whose head missed: normalize the operands
+    /// at their (memoized) lca and push the frame that computes the cross
+    /// product. Must be preceded by [`Engine::apply_head`] on the same
+    /// operands with no manager operations in between.
+    fn push_apply_frame(&mut self, m: &mut SddManager, op: Op, a: SddId, b: SddId) {
+        let key = apply_key(op, a, b);
+        let va = m.respects(a).expect("non-terminal");
+        let vb = m.respects(b).expect("non-terminal");
+        if va == vb {
+            let ea = Self::norm_elems(m, a, None, None);
+            let eb = Self::norm_elems(m, b, None, None);
+            let frame = Frame::cross(m, op, key, va, ea, eb);
+            self.frames.push(frame);
+            return;
+        }
+        let (l, a_at, b_at) = m.lca_sides(va, vb);
         if a_at == Some(Side::Left) || b_at == Some(Side::Left) {
             // A left-side operand normalizes to {(x, ⊤), (¬x, ⊥)}: the
             // negation(s) must be computed first (operand a before b, as
@@ -971,33 +1768,57 @@ impl Engine {
                 nb: None,
                 wait: PrepWait::Fresh,
             });
-            return None;
+            return;
         }
         let ea = Self::norm_elems(m, a, a_at, None);
         let eb = Self::norm_elems(m, b, b_at, None);
-        self.frames.push(Frame::cross(op, key, l, ea, eb));
-        None
+        let frame = Frame::cross(m, op, key, l, ea, eb);
+        self.frames.push(frame);
     }
 
-    /// Normalize node `x` into an element list for the lca: its own
-    /// elements at the lca itself, `{(⊤, x)}` on the right, and
+    /// Begin an apply: the head answers what it can immediately; a miss
+    /// pushes the frame that will finish it.
+    fn start_apply(&mut self, m: &mut SddManager, op: Op, a: SddId, b: SddId) -> Option<SddId> {
+        let r = Self::apply_head(m, op, a, b);
+        if r.is_none() {
+            self.push_apply_frame(m, op, a, b);
+        }
+        r
+    }
+
+    /// Normalize node `x` into an element list for the lca: its own arena
+    /// range at the lca itself, `{(⊤, x)}` on the right, and
     /// `{(x, ⊤), (¬x, ⊥)}` on the left (negation supplied by the caller).
-    fn norm_elems(
-        m: &SddManager,
-        x: SddId,
-        side: Option<Side>,
-        nx: Option<SddId>,
-    ) -> Vec<(SddId, SddId)> {
+    /// No element data is copied in any case.
+    fn norm_elems(m: &SddManager, x: SddId, side: Option<Side>, nx: Option<SddId>) -> Elems {
         match side {
-            None => m.elements_of(x),
-            Some(Side::Right) => vec![(TRUE, x)],
-            Some(Side::Left) => vec![(x, TRUE), (nx.expect("negation prepared"), FALSE)],
+            None => match &m.nodes[x.index()] {
+                SddNode::Decision { elems, .. } => Elems::Arena(elems.start, elems.end),
+                _ => unreachable!("lca-respecting operand is a decision"),
+            },
+            Some(Side::Right) => Elems::Inline {
+                buf: [(TRUE, x), (FALSE, FALSE)],
+                len: 1,
+            },
+            Some(Side::Left) => Elems::Inline {
+                buf: [(x, TRUE), (nx.expect("negation prepared"), FALSE)],
+                len: 2,
+            },
         }
     }
 
-    /// Begin a negation: terminals, literals and cached results answer
-    /// immediately; decisions push a frame.
-    fn start_negate(&mut self, m: &mut SddManager, a: SddId) -> Option<SddId> {
+    /// A pooled output buffer sized for the cross product of `ea × eb`.
+    fn cross_buf(m: &mut SddManager, ea: &Elems, eb: &Elems) -> Vec<(SddId, SddId)> {
+        let mut out = m.take_buf();
+        out.reserve(ea.len() * eb.len());
+        out
+    }
+
+    /// The memo-consulting head of a negation: terminals, literal flips
+    /// and cached negations answer immediately; `None` means the decision
+    /// needs a frame.
+    #[inline]
+    fn negate_head(m: &mut SddManager, a: SddId) -> Option<SddId> {
         match &m.nodes[a.index()] {
             SddNode::False => return Some(TRUE),
             SddNode::True => return Some(FALSE),
@@ -1007,27 +1828,40 @@ impl Engine {
             }
             SddNode::Decision { .. } => {}
         }
-        if let Some(&n) = m.neg_cache.get(&a) {
-            return Some(n);
+        let cached = m.neg_cache[a.index()];
+        if cached != EMPTY_SLOT {
+            return Some(SddId(cached));
         }
-        let SddNode::Decision { vnode, elems } = m.nodes[a.index()].clone() else {
+        None
+    }
+
+    /// Begin a negation: the head answers what it can immediately; a
+    /// decision miss pushes the frame that will finish it.
+    fn start_negate(&mut self, m: &mut SddManager, a: SddId) -> Option<SddId> {
+        if let Some(r) = Self::negate_head(m, a) {
+            return Some(r);
+        }
+        let SddNode::Decision { vnode, elems } = &m.nodes[a.index()] else {
             unreachable!()
         };
+        let (vnode, elems) = (*vnode, elems.clone());
+        let out = m.take_buf();
         self.frames.push(Frame::Neg {
             a,
             vnode,
             elems,
             i: 0,
-            out: Vec::new(),
+            out,
             building: false,
         });
         None
     }
 
-    /// Begin a conditioning step: terminals, untouched/pinned literals and
-    /// memoized decisions answer immediately; other decisions push a frame.
-    fn start_condition(&mut self, m: &mut SddManager, a: SddId) -> Option<SddId> {
-        let ctx = self.cond.as_ref().expect("condition context");
+    /// The memo-consulting head of a conditioning step: terminals,
+    /// untouched/pinned literals and memoized decisions answer
+    /// immediately; `None` means the decision needs a frame.
+    #[inline]
+    fn condition_head(m: &SddManager, ctx: &CondCtx, a: SddId) -> Option<SddId> {
         match &m.nodes[a.index()] {
             SddNode::False | SddNode::True => return Some(a),
             SddNode::Literal { var, positive } => {
@@ -1038,19 +1872,29 @@ impl Engine {
             }
             SddNode::Decision { .. } => {}
         }
-        if let Some(&r) = ctx.memo.get(&a) {
+        ctx.memo.get(&a).copied()
+    }
+
+    /// Begin a conditioning step: the head answers what it can
+    /// immediately; an unmemoized decision pushes the frame that will
+    /// finish it.
+    fn start_condition(&mut self, m: &mut SddManager, a: SddId) -> Option<SddId> {
+        let ctx = self.cond.as_ref().expect("condition context");
+        if let Some(r) = Self::condition_head(m, ctx, a) {
             return Some(r);
         }
-        let SddNode::Decision { vnode, elems } = m.nodes[a.index()].clone() else {
+        let SddNode::Decision { vnode, elems } = &m.nodes[a.index()] else {
             unreachable!()
         };
+        let (vnode, elems) = (*vnode, elems.clone());
+        let out = m.take_buf();
         self.frames.push(Frame::Cond {
             a,
             vnode,
             elems,
             i: 0,
             wait: CondWait::Idle,
-            out: Vec::new(),
+            out,
         });
         None
     }
@@ -1058,37 +1902,42 @@ impl Engine {
     /// Begin a canonical decision construction: drop ⊥ primes, group by
     /// sub. Without compression work the node is finished on the spot;
     /// otherwise a frame or-reduces each group's primes through the engine.
+    /// The element buffer is adopted into the manager's pool either way.
     fn start_build(
         &mut self,
         m: &mut SddManager,
         vnode: VtreeNodeId,
-        elems: Vec<(SddId, SddId)>,
+        mut elems: Vec<(SddId, SddId)>,
     ) -> Option<SddId> {
-        let mut elems: Vec<(SddId, SddId)> =
-            elems.into_iter().filter(|(p, _)| *p != FALSE).collect();
+        elems.retain(|&(p, _)| p != FALSE);
         if elems.is_empty() {
+            m.recycle_buf(elems);
             return Some(FALSE);
         }
         elems.sort_unstable_by_key(|&(_, s)| s);
         // The common case — all subs already distinct — finishes on the
         // spot, without materializing per-group prime lists.
         if elems.windows(2).all(|w| w[0].1 != w[1].1) {
-            return Some(m.finish_decision(vnode, elems));
+            let r = m.finish_decision(vnode, &mut elems);
+            m.recycle_buf(elems);
+            return Some(r);
         }
         let mut groups: Vec<(Vec<SddId>, SddId)> = Vec::new();
-        for (p, s) in elems {
+        for &(p, s) in &elems {
             match groups.last_mut() {
                 Some((ps, sub)) if *sub == s => ps.push(p),
                 _ => groups.push((vec![p], s)),
             }
         }
+        let compressed = m.take_buf();
+        m.recycle_buf(elems);
         self.frames.push(Frame::Build {
             vnode,
             groups,
             gi: 0,
             pi: 0,
             acc: FALSE,
-            compressed: Vec::new(),
+            compressed,
         });
         None
     }
@@ -1264,5 +2113,68 @@ mod tests {
         let mut ob = obdd::Obdd::new(vars(6));
         let or = ob.from_boolfn(&f);
         assert_eq!(m.count_models(r), ob.count_models(or));
+    }
+
+    #[test]
+    fn elements_are_stored_exactly_once_and_borrowed() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let f = BoolFn::random(VarSet::from_slice(&vars(6)), &mut rng);
+        let mut m = balanced_mgr(6);
+        let r = m.from_boolfn(&f);
+        // Every decision's range resolves inside the arena, ranges are
+        // disjoint per node, and the total arena length is the sum of all
+        // interned decisions' element counts (each stored exactly once).
+        let mut total = 0usize;
+        for id in 0..m.num_allocated() {
+            if let SddNode::Decision { elems, .. } = m.node(SddId(id as u32)) {
+                assert!(elems.end as usize <= m.num_elements());
+                assert!(elems.start < elems.end, "no empty decisions");
+                total += elems.len();
+                let slice = m.elements_of(SddId(id as u32));
+                assert!(slice.windows(2).all(|w| w[0].0 < w[1].0), "sorted by prime");
+            }
+        }
+        assert_eq!(total, m.num_elements(), "arena holds each element once");
+        assert!(m.memory_bytes() > 0);
+        let _ = r;
+    }
+
+    #[test]
+    fn unique_table_probe_and_insert_counters_move() {
+        let mut m = balanced_mgr(4);
+        let before = m.apply_stats();
+        assert_eq!(before.unique_inserts, 0);
+        let x0 = m.literal(v(0), true);
+        let x2 = m.literal(v(2), true);
+        let g = m.and(x0, x2);
+        let mid = m.apply_stats();
+        assert!(mid.unique_inserts > 0, "a decision was interned");
+        assert!(mid.unique_probes >= mid.unique_inserts);
+        // The same apply again: pure cache hit, no interning.
+        let g2 = m.and(x0, x2);
+        assert_eq!(g, g2);
+        let after = m.apply_stats();
+        assert_eq!(after.unique_inserts, mid.unique_inserts);
+        assert_eq!(after.cache_hits, mid.cache_hits + 1);
+    }
+
+    #[test]
+    fn interning_survives_unique_table_growth() {
+        // Enough distinct decisions to force several growth rounds, then
+        // every one of them must still be found (canonicity: re-building an
+        // equal decision returns the same id).
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let n = 10u32;
+        let mut m = balanced_mgr(n);
+        let mut roots = Vec::new();
+        for _ in 0..40 {
+            let f = BoolFn::random(VarSet::from_slice(&vars(n)), &mut rng);
+            roots.push((f.clone(), m.from_boolfn(&f)));
+        }
+        for (f, r) in roots {
+            assert_eq!(m.from_boolfn(&f), r, "canonicity across table growth");
+        }
     }
 }

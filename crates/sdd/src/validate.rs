@@ -59,9 +59,10 @@ impl SddManager {
 
     fn check(&self, root: SddId, semantic: bool) -> Result<(), SddError> {
         for n in self.reachable_decisions(root) {
-            let SddNode::Decision { vnode, elems } = self.node(n) else {
+            let SddNode::Decision { vnode, .. } = self.node(n) else {
                 unreachable!()
             };
+            let elems = self.elements_of(n);
             let (lv, rv) = self
                 .vtree()
                 .children(*vnode)
