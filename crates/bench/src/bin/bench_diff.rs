@@ -12,8 +12,11 @@
 //!
 //! `--max-regress <pct>` opts into a hard gate: the exit code becomes
 //! nonzero when any timing metric *regressed* (got slower) by more than
-//! `<pct>` percent. Not enabled in CI yet — it exists for local perf work
-//! and for a future quiet-runner lane.
+//! `<pct>` percent. CI runs the gate at 200% (a 3× slowdown fails the
+//! build): across 3 back-to-back smoke runs on one machine the worst
+//! observed drift on these microsecond windows was +102%, so the gate
+//! sits about 2× above measured noise while still catching
+//! order-of-magnitude regressions.
 
 use sentential_bench::{parse_records, Record, Table};
 use std::collections::BTreeMap;

@@ -379,8 +379,8 @@ pub struct Compiler {
 }
 
 /// Unified error for the whole pipeline. Absorbs the per-stage errors
-/// (`ExtractError`, `BoolFnError`, `SddError`, `StructureError`, the
-/// deprecated `CompilationError`) through `From` impls.
+/// (`ExtractError`, `BoolFnError`, `SddError`, `StructureError`) through
+/// `From` impls.
 #[derive(Debug)]
 pub enum CompileError {
     /// Constant circuit — nothing to hang a vtree on.
@@ -461,15 +461,6 @@ impl From<sdd::SddError> for CompileError {
 impl From<StructureError> for CompileError {
     fn from(e: StructureError) -> Self {
         CompileError::Structure(e)
-    }
-}
-
-impl From<crate::pipeline::CompilationError> for CompileError {
-    fn from(e: crate::pipeline::CompilationError) -> Self {
-        match e {
-            crate::pipeline::CompilationError::NoVariables => CompileError::NoVariables,
-            crate::pipeline::CompilationError::TooManyVars(b) => CompileError::TooManyVars(b),
-        }
     }
 }
 
@@ -1029,7 +1020,5 @@ mod tests {
             Ok(())
         }
         assert!(matches!(api(), Err(CompileError::NoVariables)));
-        let e: CompileError = crate::pipeline::CompilationError::NoVariables.into();
-        assert!(matches!(e, CompileError::NoVariables));
     }
 }

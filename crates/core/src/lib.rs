@@ -44,7 +44,8 @@ pub mod ctw;
 pub mod implicants;
 pub mod isa;
 pub mod mc;
-pub mod pipeline;
+#[cfg(test)]
+mod pipeline;
 pub mod sft;
 pub mod vtree_extract;
 pub mod vtree_search;
@@ -57,7 +58,5 @@ pub use compiler::{
 };
 pub use implicants::VtreeFactors;
 pub use mc::{CnfCompilation, CountReport, CountTimings};
-#[allow(deprecated)]
-pub use pipeline::{compile_circuit, CompilationError, CompiledCircuit};
 pub use sft::{min_sdw, sft, SftResult};
 pub use vtree_extract::{vtree_from_circuit, vtree_from_circuit_with, vtree_from_graph_with};

@@ -1,239 +1,95 @@
-//! Result 1 end to end: compile a circuit into a canonical deterministic
-//! structured NNF and a canonical SDD of size `O(f(k)·n)`.
+//! Result 1 end to end, as tests: compile a circuit into a canonical
+//! deterministic structured NNF and a canonical SDD of size `O(f(k)·n)`
+//! through a configured [`crate::Compiler`] session.
 //!
-//! The free functions here are the workspace's original entry points, kept
-//! as thin **deprecated** wrappers so downstream code keeps compiling; new
-//! code should configure a [`crate::Compiler`] session instead, which
-//! exposes the strategy choices these wrappers hard-code and returns a
-//! timed [`crate::CompileReport`].
+//! This module once carried the workspace's original free-function entry
+//! points (`compile_circuit` / `compile_circuit_apply`); those wrappers
+//! hard-coded the strategy choices the [`crate::CompilerBuilder`] now
+//! exposes and have been removed. What remains is the end-to-end
+//! pipeline coverage that used to certify them, rephrased against the
+//! session API.
 
-use crate::cft::CftResult;
-use crate::compiler::{CompileError, Compiler, Route, Validation};
-use crate::sft::SftResult;
-use crate::vtree_extract::{ExtractError, ExtractStats};
-use boolfunc::BoolFnError;
+use crate::compiler::{CompileError, Compiler, ResolvedRoute, Route};
+use circuit::families;
 use circuit::Circuit;
-use sdd::{SddId, SddManager};
-use std::fmt;
-use vtree::Vtree;
+use vtree::VarId;
 
-/// Everything the Result 1 pipeline produces for a circuit.
-pub struct CompiledCircuit {
-    /// The Lemma-1 vtree.
-    pub vtree: Vtree,
-    /// Tree-decomposition statistics (treewidth used, etc.).
-    pub stats: ExtractStats,
-    /// `fw(F, T)` (Definition 2).
-    pub fw: usize,
-    /// The `C_{F,T}` construction (Theorem 3).
-    pub nnf: CftResult,
-    /// The `S_{F,T}` construction (Theorem 4).
-    pub sdd: SftResult,
+fn vars(n: u32) -> Vec<VarId> {
+    (0..n).map(VarId).collect()
 }
 
-/// Pipeline failures (superseded by [`CompileError`], which absorbs this
-/// type via `From`).
-#[derive(Debug)]
-pub enum CompilationError {
-    /// Constant circuit — nothing to hang a vtree on.
-    NoVariables,
-    /// The semantic route needs a truth table that exceeds the kernel cap.
-    TooManyVars(BoolFnError),
-}
-
-impl fmt::Display for CompilationError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CompilationError::NoVariables => write!(f, "circuit has no variables"),
-            CompilationError::TooManyVars(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for CompilationError {}
-
-impl From<ExtractError> for CompilationError {
-    fn from(_: ExtractError) -> Self {
-        CompilationError::NoVariables
-    }
-}
-
-/// Map the unified error back onto the legacy enum for the wrappers below.
-/// The wrapped option sets (`Lemma1` + `Auto`/`Semantic`/`Apply`, no
-/// validation) can only fail in these two ways.
-fn legacy_error(e: CompileError) -> CompilationError {
-    match e {
-        CompileError::NoVariables => CompilationError::NoVariables,
-        CompileError::TooManyVars(b) => CompilationError::TooManyVars(b),
-        other => unreachable!("legacy pipeline cannot fail with {other}"),
-    }
-}
-
-fn legacy_stats(report: &crate::CompileReport) -> ExtractStats {
-    ExtractStats {
-        treewidth: report.treewidth.expect("Lemma-1 vtree"),
-        nice_nodes: report.nice_nodes.expect("Lemma-1 vtree"),
-        primal_vertices: report.primal_vertices.expect("Lemma-1 vtree"),
-    }
-}
-
-/// The full semantic pipeline (Result 1): circuit → tree decomposition →
-/// vtree (Lemma 1) → `C_{F,T}` (Theorem 3) + `S_{F,T}` (Theorem 4).
-///
-/// Requires the circuit's variable count to fit the truth-table kernel;
-/// use [`compile_circuit_apply`] beyond that.
-#[deprecated(note = "configure a `sentential_core::Compiler` session instead")]
-pub fn compile_circuit(
-    c: &Circuit,
-    exact_tw_limit: usize,
-) -> Result<CompiledCircuit, CompilationError> {
-    let compiled = Compiler::builder()
+fn compile(c: &Circuit) -> crate::Compilation {
+    Compiler::builder()
         .route(Route::Semantic)
-        .exact_tw_limit(exact_tw_limit)
-        .validation(Validation::None)
+        .exact_tw_limit(18)
         .build()
         .compile(c)
-        .map_err(legacy_error)?;
-    let fw = compiled.report.fw.expect("semantic route");
-    let stats = legacy_stats(&compiled.report);
-    Ok(CompiledCircuit {
-        stats,
-        fw,
-        nnf: compiled.nnf.expect("semantic route"),
-        sdd: SftResult {
-            manager: compiled.sdd,
-            root: compiled.root,
-            sdw: compiled.report.sdw,
-            fw,
-        },
-        vtree: compiled.vtree,
-    })
+        .unwrap()
 }
 
-/// The apply-based pipeline for circuits too large for truth tables: the
-/// Lemma-1 vtree still guides the compilation, but the SDD is built by
-/// bottom-up `apply` instead of factor enumeration. Returns the manager,
-/// the root, and the extraction stats.
-#[deprecated(note = "configure a `sentential_core::Compiler` session instead")]
-pub fn compile_circuit_apply(
-    c: &Circuit,
-    exact_tw_limit: usize,
-) -> Result<(SddManager, SddId, ExtractStats), CompilationError> {
-    let compiled = Compiler::builder()
-        .route(Route::Apply)
-        .exact_tw_limit(exact_tw_limit)
-        .validation(Validation::None)
-        .build()
-        .compile(c)
-        .map_err(legacy_error)?;
-    let stats = legacy_stats(&compiled.report);
-    Ok((compiled.sdd, compiled.root, stats))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::compiler::ResolvedRoute;
-    use circuit::families;
-    use vtree::VarId;
-
-    fn vars(n: u32) -> Vec<VarId> {
-        (0..n).map(VarId).collect()
-    }
-
-    fn compile(c: &Circuit) -> crate::Compilation {
-        Compiler::builder()
-            .route(Route::Semantic)
-            .exact_tw_limit(18)
-            .build()
-            .compile(c)
-            .unwrap()
-    }
-
-    #[test]
-    fn pipeline_on_bounded_tw_families() {
-        for c in [
-            families::and_or_chain(&vars(8)),
-            families::clause_chain(&vars(8), 3),
-            families::parity_chain(&vars(7)),
-            families::and_or_tree(&vars(8)),
-        ] {
-            let f = c.to_boolfn().unwrap();
-            let r = compile(&c);
-            let nnf = r.nnf.as_ref().unwrap();
-            // Semantics through both routes.
-            assert!(nnf.circuit.to_boolfn().unwrap().equivalent(&f));
-            assert!(r.sdd.to_boolfn(r.root).equivalent(&f));
-            // Structure.
-            nnf.circuit.check_deterministic().unwrap();
-            nnf.circuit.check_structured_by(&r.vtree).unwrap();
-            r.sdd.validate(r.root).unwrap();
-            // Theorem 3 / 4 size bounds.
-            let n = f.vars().len();
-            assert!(nnf.circuit.reachable_size() <= crate::bounds::thm3_size(nnf.fiw, n));
-            assert!(r.sdd.size(r.root) <= crate::bounds::thm4_size(r.report.sdw, n));
-        }
-    }
-
-    #[test]
-    fn apply_route_agrees_with_semantic_route() {
-        let c = families::clause_chain(&vars(9), 2);
+#[test]
+fn pipeline_on_bounded_tw_families() {
+    for c in [
+        families::and_or_chain(&vars(8)),
+        families::clause_chain(&vars(8), 3),
+        families::parity_chain(&vars(7)),
+        families::and_or_tree(&vars(8)),
+    ] {
         let f = c.to_boolfn().unwrap();
         let r = compile(&c);
-        let r2 = Compiler::builder()
-            .route(Route::Apply)
-            .exact_tw_limit(18)
-            .build()
-            .compile(&c)
-            .unwrap();
-        assert_eq!(r2.report.route, ResolvedRoute::Apply);
-        assert_eq!(r.count_models(), r2.count_models());
-        assert!(r2.sdd.to_boolfn(r2.root).equivalent(&f));
+        let nnf = r.nnf.as_ref().unwrap();
+        // Semantics through both routes.
+        assert!(nnf.circuit.to_boolfn().unwrap().equivalent(&f));
+        assert!(r.sdd.to_boolfn(r.root).equivalent(&f));
+        // Structure.
+        nnf.circuit.check_deterministic().unwrap();
+        nnf.circuit.check_structured_by(&r.vtree).unwrap();
+        r.sdd.validate(r.root).unwrap();
+        // Theorem 3 / 4 size bounds.
+        let n = f.vars().len();
+        assert!(nnf.circuit.reachable_size() <= crate::bounds::thm3_size(nnf.fiw, n));
+        assert!(r.sdd.size(r.root) <= crate::bounds::thm4_size(r.report.sdw, n));
     }
+}
 
-    #[test]
-    fn linear_size_in_n_at_fixed_width() {
-        // Result 1's shape: for the clause-chain family (fixed window), SDD
-        // size grows linearly in n.
-        let sizes: Vec<usize> = [6u32, 9, 12]
-            .iter()
-            .map(|&n| {
-                let c = families::clause_chain(&vars(n), 2);
-                compile(&c).sdd_size()
-            })
-            .collect();
-        // Ratio between consecutive sizes stays bounded (no blow-up).
-        assert!(sizes[2] < sizes[0] * 6, "sizes {sizes:?} not linear-ish");
-    }
+#[test]
+fn apply_route_agrees_with_semantic_route() {
+    let c = families::clause_chain(&vars(9), 2);
+    let f = c.to_boolfn().unwrap();
+    let r = compile(&c);
+    let r2 = Compiler::builder()
+        .route(Route::Apply)
+        .exact_tw_limit(18)
+        .build()
+        .compile(&c)
+        .unwrap();
+    assert_eq!(r2.report.route, ResolvedRoute::Apply);
+    assert_eq!(r.count_models(), r2.count_models());
+    assert!(r2.sdd.to_boolfn(r2.root).equivalent(&f));
+}
 
-    #[test]
-    fn errors_are_typed() {
-        let mut b = circuit::CircuitBuilder::new();
-        let t = b.constant(true);
-        let c = b.build(t);
-        assert!(matches!(
-            Compiler::new().compile(&c),
-            Err(CompileError::NoVariables)
-        ));
-    }
+#[test]
+fn linear_size_in_n_at_fixed_width() {
+    // Result 1's shape: for the clause-chain family (fixed window), SDD
+    // size grows linearly in n.
+    let sizes: Vec<usize> = [6u32, 9, 12]
+        .iter()
+        .map(|&n| {
+            let c = families::clause_chain(&vars(n), 2);
+            compile(&c).sdd_size()
+        })
+        .collect();
+    // Ratio between consecutive sizes stays bounded (no blow-up).
+    assert!(sizes[2] < sizes[0] * 6, "sizes {sizes:?} not linear-ish");
+}
 
-    /// The deprecated wrappers still work and agree with the session API.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_sessions() {
-        let c = families::clause_chain(&vars(8), 2);
-        let old = compile_circuit(&c, 18).unwrap();
-        let new = compile(&c);
-        assert_eq!(old.fw, new.report.fw.unwrap());
-        assert_eq!(old.sdd.sdw, new.report.sdw);
-        assert_eq!(old.stats.treewidth, new.report.treewidth.unwrap());
-        assert_eq!(
-            old.sdd.manager.count_models(old.sdd.root),
-            new.count_models()
-        );
-
-        let (mgr, root, stats) = compile_circuit_apply(&c, 18).unwrap();
-        assert_eq!(stats.treewidth, new.report.treewidth.unwrap());
-        assert_eq!(mgr.count_models(root), new.count_models());
-    }
+#[test]
+fn errors_are_typed() {
+    let mut b = circuit::CircuitBuilder::new();
+    let t = b.constant(true);
+    let c = b.build(t);
+    assert!(matches!(
+        Compiler::new().compile(&c),
+        Err(CompileError::NoVariables)
+    ));
 }

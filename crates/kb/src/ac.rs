@@ -58,6 +58,12 @@ enum AcNode {
 ///
 /// Node ids are a topological order (children strictly below parents), so
 /// evaluation is a single indexed sweep in either direction.
+///
+/// The circuit is plain owned data with no back-reference into the manager
+/// it was unfolded from (node ids are its own dense gate ids), so a
+/// [`crate::FrozenKb`] carries it into the `Send + Sync` serving tier
+/// unchanged, and branch sessions clone it instead of re-unfolding.
+#[derive(Clone)]
 pub(crate) struct Ac {
     nodes: Vec<AcNode>,
     root: AcId,

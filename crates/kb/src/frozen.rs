@@ -1,0 +1,932 @@
+//! The frozen serving tier: **one compiled base, many concurrent readers**.
+//!
+//! A [`KnowledgeBase`] owns a mutable [`sdd::SddManager`], so a compiled
+//! base can serve exactly one thread. [`KnowledgeBase::freeze`] converts it
+//! into a [`FrozenKb`] — the read-only serving form built on the immutable
+//! [`FrozenSdd`] slab — which is `Send + Sync` and shared via [`Arc`]:
+//!
+//! * [`FrozenKb::session`] hands out a [`KbSession`] per serving thread: a
+//!   thin handle holding private epoch-tagged [`EvalCache`]s over the
+//!   shared slab. Sessions answer the full query menu (`log_weight`,
+//!   `query`, `marginal` / `all_marginals`, `mpe`, `enumerate_models`,
+//!   `entails`, exact `count_models`) **bit-identically** to the mutable
+//!   [`KnowledgeBase`]: the mutable path answers every numeric query by
+//!   evaluating the *unconditioned* root under evidence-pinned weights, and
+//!   a session does exactly that, so the two paths run the same semiring
+//!   operations in the same order.
+//! * Session [`KbSession::condition`] / [`KbSession::retract`] are pure
+//!   weight-space operations (pin the opposing polarity to log 0) — no node
+//!   is ever interned, so any number of sessions condition independently
+//!   over one slab. Structural consistency and entailment come from a third
+//!   cache carrying `(1, 1)` weights with the same pins: its root value is
+//!   `-∞` exactly when the mutable path's restricted root is ⊥. Exact
+//!   counting replaces the mutable path's `count(cond_root) ≫ |pins|` with
+//!   a `Nat` sweep under `(0, 1)`-pinned weights — the same integer.
+//! * [`FrozenKb::branch`] is the copy-on-write escape hatch for work that
+//!   truly needs the apply machinery: it reopens a mutable
+//!   [`KnowledgeBase`] on an overlay manager ([`FrozenSdd::branch`]) that
+//!   interns new nodes *on top of* the shared slab without touching it.
+//!   Branching is cheap on purpose — the arena and node table are not
+//!   copied, and cache weights are replayed only for variables that differ
+//!   from the defaults, so branching a 100k-variable chain does no
+//!   per-variable vtree walks unless weights or evidence demand them.
+//!
+//! Evidence frozen into the base stays asserted in every session; a
+//! session's own evidence is local to it and [`KbSession::retract`]
+//! restores the frozen baseline, never less.
+
+use crate::ac::Ac;
+use crate::{stats_sum, KbError, KbProvenance, KbQueryStats, KnowledgeBase, Lit, Model};
+use arith::{log_sum_exp, BigUint, LogF64, Nat};
+use boolfunc::Assignment;
+use sdd::eval::EvalCache;
+use sdd::{ApplyStats, FrozenSdd, SddId};
+use std::sync::Arc;
+use std::time::Instant;
+use vtree::fxhash::FxHashMap;
+use vtree::VarId;
+
+/// The read-only serving form of a [`KnowledgeBase`]: the frozen SDD slab
+/// plus everything a query needs (weights, evidence pins, the unfolded
+/// arithmetic circuit, provenance). `Send + Sync`; share with [`Arc`] and
+/// open one [`KbSession`] per serving thread.
+pub struct FrozenKb {
+    sdd: Arc<FrozenSdd>,
+    root: SddId,
+    /// The root restricted by the *frozen* evidence (kept so
+    /// [`FrozenKb::branch`] reopens exactly where the mutable base left
+    /// off — sessions never use it).
+    cond_root: SddId,
+    vars: Vec<VarId>,
+    var_index: FxHashMap<VarId, usize>,
+    weights: FxHashMap<VarId, (f64, f64)>,
+    evidence: Vec<Lit>,
+    pinned: FxHashMap<VarId, Option<bool>>,
+    ac: Ac,
+    provenance: KbProvenance,
+}
+
+/// Compile-time proof that the frozen tier is shareable: this never runs,
+/// it just fails to compile if any field loses `Send + Sync`.
+#[allow(dead_code)]
+fn frozen_kb_is_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    fn assert_send<T: Send>() {}
+    assert_send_sync::<FrozenKb>();
+    assert_send_sync::<Arc<FrozenKb>>();
+    // A session is owned by one serving thread but may be *moved* to it.
+    assert_send::<KbSession>();
+}
+
+impl KnowledgeBase {
+    /// Freeze this knowledge base into its immutable serving form. The
+    /// arithmetic circuit is unfolded first (if it has not been already) so
+    /// every session gets the two-pass queries without a build step; the
+    /// manager's slabs then move into the [`FrozenSdd`] without copying.
+    /// Current weights and evidence are frozen in — sessions start from
+    /// this exact state.
+    pub fn freeze(mut self) -> FrozenKb {
+        self.ensure_ac();
+        let KnowledgeBase {
+            mgr,
+            root,
+            cond_root,
+            vars,
+            var_index,
+            weights,
+            evidence,
+            pinned,
+            ac,
+            provenance,
+            ..
+        } = self;
+        FrozenKb {
+            sdd: Arc::new(mgr.freeze()),
+            root,
+            cond_root,
+            vars,
+            var_index,
+            weights,
+            evidence,
+            pinned,
+            ac: ac.expect("ensure_ac ran above"),
+            provenance,
+        }
+    }
+}
+
+impl FrozenKb {
+    /// The variables served by this knowledge base.
+    pub fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
+    /// The shared frozen slab.
+    pub fn sdd(&self) -> &FrozenSdd {
+        &self.sdd
+    }
+
+    /// The compiled (unconditioned) root.
+    pub fn root(&self) -> SddId {
+        self.root
+    }
+
+    /// Elements in the compiled SDD.
+    pub fn sdd_size(&self) -> usize {
+        self.sdd.size(self.root)
+    }
+
+    /// Gates in the unfolded arithmetic circuit.
+    pub fn unfolded_size(&self) -> usize {
+        self.ac.size()
+    }
+
+    /// The evidence frozen into the base (asserted in every session).
+    pub fn evidence(&self) -> &[Lit] {
+        &self.evidence
+    }
+
+    /// The frozen weight pair `(w⁻, w⁺)` of `v`.
+    pub fn weights_of(&self, v: VarId) -> Option<(f64, f64)> {
+        self.weights.get(&v).copied()
+    }
+
+    /// Where the SDD came from, with its compilation report.
+    pub fn provenance(&self) -> &KbProvenance {
+        &self.provenance
+    }
+
+    /// Estimated resident bytes of the shared slab — the frozen analogue
+    /// of [`sdd::SddManager::memory_bytes`], so `mem_bytes` metrics stay
+    /// comparable across a freeze.
+    pub fn memory_bytes(&self) -> usize {
+        self.sdd.memory_bytes()
+    }
+
+    /// Open a private serving session: fresh epoch caches over the shared
+    /// slab, initialized to the frozen weights and evidence. Cheap enough
+    /// to hand one to every serving thread; sessions never contend.
+    pub fn session(self: &Arc<Self>) -> KbSession {
+        let weights = &self.weights;
+        let pinned = &self.pinned;
+        let slab = self.sdd.as_ref();
+        let prior = EvalCache::new(slab, LogF64, |v, pos| {
+            let (wn, wp) = weights[&v];
+            if pos {
+                wp.ln()
+            } else {
+                wn.ln()
+            }
+        });
+        let posterior = EvalCache::new(slab, LogF64, |v, pos| {
+            let (ln, lp) = pinned_log_pair(weights, pinned, v);
+            if pos {
+                lp
+            } else {
+                ln
+            }
+        });
+        let structural = EvalCache::new(slab, LogF64, |v, pos| {
+            let (sn, sp) = structural_log_pair(pinned, v);
+            if pos {
+                sp
+            } else {
+                sn
+            }
+        });
+        KbSession {
+            kb: Arc::clone(self),
+            weights: self.weights.clone(),
+            evidence: Vec::new(),
+            pinned: self.pinned.clone(),
+            prior,
+            posterior,
+            structural,
+            marginals_memo: None,
+            last_query: KbQueryStats::default(),
+        }
+    }
+
+    /// Reopen a mutable [`KnowledgeBase`] as a copy-on-write overlay on the
+    /// shared slab: new nodes intern on top of the frozen base without
+    /// touching it, so structural work (apply-based conditioning,
+    /// entailment at scale, further compilation) proceeds per-branch. The
+    /// returned base starts from the frozen weights and evidence;
+    /// provenance is [`KbProvenance::Raw`] (the report stays with the
+    /// frozen original).
+    pub fn branch(&self) -> KnowledgeBase {
+        let mgr = self.sdd.branch();
+        let mut prior = EvalCache::new(&mgr, LogF64, |_, _| 0.0);
+        let mut posterior = EvalCache::new(&mgr, LogF64, |_, _| 0.0);
+        // Replay only the variables that differ from the (1, 1) default:
+        // each set_weight stamps a leaf-to-root vtree path, and a deep
+        // chain with default weights should branch in O(1) vtree work.
+        for &v in &self.vars {
+            let (wn, wp) = self.weights[&v];
+            if (wn, wp) != (1.0, 1.0) {
+                prior.set_weight(&mgr, v, wn.ln(), wp.ln());
+            }
+            let (ln, lp) = pinned_log_pair(&self.weights, &self.pinned, v);
+            if ln != 0.0 || lp != 0.0 {
+                posterior.set_weight(&mgr, v, ln, lp);
+            }
+        }
+        KnowledgeBase {
+            mgr,
+            root: self.root,
+            cond_root: self.cond_root,
+            vars: self.vars.clone(),
+            var_index: self.var_index.clone(),
+            weights: self.weights.clone(),
+            evidence: self.evidence.clone(),
+            pinned: self.pinned.clone(),
+            prior,
+            posterior,
+            ac: Some(self.ac.clone()),
+            marginals_memo: None,
+            provenance: KbProvenance::Raw,
+            last_query: KbQueryStats::default(),
+        }
+    }
+}
+
+/// One serving thread's handle on a shared [`FrozenKb`]: private
+/// epoch-tagged evaluation caches (numeric prior/posterior plus the
+/// structural consistency cache), session-local evidence and weights. The
+/// query methods mirror [`KnowledgeBase`]'s signatures and — by running
+/// the identical evaluation in the identical order — return bit-identical
+/// answers.
+pub struct KbSession {
+    kb: Arc<FrozenKb>,
+    /// Session-local base weights (start as the frozen table;
+    /// [`KbSession::set_weights`] diverges them per session).
+    weights: FxHashMap<VarId, (f64, f64)>,
+    /// Session-local evidence, in assertion order (the frozen evidence is
+    /// not repeated here — see [`FrozenKb::evidence`]).
+    evidence: Vec<Lit>,
+    /// Combined pin table: the frozen pins plus the session's.
+    pinned: FxHashMap<VarId, Option<bool>>,
+    /// log W(F): the prior partition function, no evidence pins.
+    prior: EvalCache<LogF64>,
+    /// log W(F ∧ e): evidence-pinned weights.
+    posterior: EvalCache<LogF64>,
+    /// Weights forced to `(1, 1)`, evidence pins kept: the root value is
+    /// `-∞` exactly when no model satisfies the evidence, reproducing the
+    /// mutable path's `cond_root != ⊥` without interning a single node.
+    structural: EvalCache<LogF64>,
+    /// Marginals memo, keyed by the posterior cache's epoch.
+    marginals_memo: Option<(u64, Result<Vec<f64>, KbError>)>,
+    last_query: KbQueryStats,
+}
+
+impl KbSession {
+    /// The shared base this session serves.
+    pub fn kb(&self) -> &Arc<FrozenKb> {
+        &self.kb
+    }
+
+    /// The variables served by this session.
+    pub fn vars(&self) -> &[VarId] {
+        &self.kb.vars
+    }
+
+    /// Cost of the most recent query (`apply` is always zero: sessions
+    /// never run the apply machinery; `mem_bytes` reports the shared slab).
+    pub fn last_query(&self) -> KbQueryStats {
+        self.last_query
+    }
+
+    /// The session's evidence literals, in assertion order (on top of the
+    /// frozen base's own evidence).
+    pub fn evidence(&self) -> &[Lit] {
+        &self.evidence
+    }
+
+    /// The session's current weight pair `(w⁻, w⁺)` of `v`.
+    pub fn weights_of(&self, v: VarId) -> Option<(f64, f64)> {
+        self.weights.get(&v).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Weights (session-local)
+    // ------------------------------------------------------------------
+
+    /// Set `P(v = 1) = p` for this session only.
+    pub fn set_probability(&mut self, v: VarId, p: f64) -> Result<(), KbError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(KbError::InvalidWeight(v));
+        }
+        self.set_weights(v, 1.0 - p, p)
+    }
+
+    /// Set the weight pair `(w⁻, w⁺)` of `v` for this session only — other
+    /// sessions over the same [`FrozenKb`] are unaffected.
+    pub fn set_weights(&mut self, v: VarId, neg: f64, pos: f64) -> Result<(), KbError> {
+        if !self.kb.var_index.contains_key(&v) {
+            return Err(KbError::UnknownVariable(v));
+        }
+        if !(neg >= 0.0 && neg.is_finite() && pos >= 0.0 && pos.is_finite()) {
+            return Err(KbError::InvalidWeight(v));
+        }
+        self.weights.insert(v, (neg, pos));
+        self.prior
+            .set_weight(self.kb.sdd.as_ref(), v, neg.ln(), pos.ln());
+        let (ln, lp) = self.pinned_log_pair(v);
+        self.posterior.set_weight(self.kb.sdd.as_ref(), v, ln, lp);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Evidence (weight-space only — nothing is interned)
+    // ------------------------------------------------------------------
+
+    /// Assert evidence literals, mirroring [`KnowledgeBase::condition`]'s
+    /// semantics exactly (accumulating, contradiction detection, the
+    /// [`KbError::Inconsistent`] verdict) — but purely in weight space, so
+    /// concurrent sessions condition independently over one shared slab.
+    pub fn condition(&mut self, lits: &[Lit]) -> Result<(), KbError> {
+        for &(v, _) in lits {
+            if !self.kb.var_index.contains_key(&v) {
+                return Err(KbError::UnknownVariable(v));
+            }
+        }
+        self.tracked(|s| {
+            for &(v, b) in lits {
+                match s.pinned.get(&v).copied() {
+                    Some(Some(prev)) if prev == b => continue, // already pinned
+                    Some(Some(_)) => {
+                        s.pinned.insert(v, None); // both polarities: ⊥
+                    }
+                    Some(None) => continue, // already contradicted
+                    None => {
+                        s.pinned.insert(v, Some(b));
+                    }
+                }
+                s.evidence.push((v, b));
+                let (ln, lp) = s.pinned_log_pair(v);
+                s.posterior.set_weight(s.kb.sdd.as_ref(), v, ln, lp);
+                let (sn, sp) = structural_log_pair(&s.pinned, v);
+                s.structural.set_weight(s.kb.sdd.as_ref(), v, sn, sp);
+            }
+            if s.consistent() {
+                Ok(())
+            } else {
+                Err(KbError::Inconsistent)
+            }
+        })
+    }
+
+    /// Drop the session's evidence, restoring the **frozen baseline** (the
+    /// base's own evidence stays asserted — it is part of the slab's
+    /// identity, not this session's state).
+    pub fn retract(&mut self) {
+        self.tracked(|s| {
+            let touched: Vec<VarId> = s.pinned.keys().copied().collect();
+            s.pinned = s.kb.pinned.clone();
+            for v in touched {
+                let (ln, lp) = s.pinned_log_pair(v);
+                s.posterior.set_weight(s.kb.sdd.as_ref(), v, ln, lp);
+                let (sn, sp) = structural_log_pair(&s.pinned, v);
+                s.structural.set_weight(s.kb.sdd.as_ref(), v, sn, sp);
+            }
+            s.evidence.clear();
+        })
+    }
+
+    /// Does the formula have a model consistent with the evidence?
+    /// (Structural — weights are ignored, exactly as in
+    /// [`KnowledgeBase::is_consistent`]; `&mut` because the verdict comes
+    /// from the session's structural cache.)
+    pub fn is_consistent(&mut self) -> bool {
+        self.tracked(|s| s.consistent())
+    }
+
+    fn consistent(&mut self) -> bool {
+        self.structural.evaluate(self.kb.sdd.as_ref(), self.kb.root) != f64::NEG_INFINITY
+    }
+
+    // ------------------------------------------------------------------
+    // Numeric queries (log-space, cached) — mirrors of KnowledgeBase
+    // ------------------------------------------------------------------
+
+    /// `ln W(F ∧ e)` — see [`KnowledgeBase::log_weight`].
+    pub fn log_weight(&mut self) -> f64 {
+        self.tracked(|s| s.posterior.evaluate(s.kb.sdd.as_ref(), s.kb.root))
+    }
+
+    /// `W(F ∧ e)` in the linear domain — see
+    /// [`KnowledgeBase::weighted_count`].
+    pub fn weighted_count(&mut self) -> f64 {
+        self.log_weight().exp()
+    }
+
+    /// `P(e) = W(F ∧ e) / W(F)` — see
+    /// [`KnowledgeBase::probability_of_evidence`].
+    pub fn probability_of_evidence(&mut self) -> Result<f64, KbError> {
+        self.tracked(|s| {
+            let prior = s.prior.evaluate(s.kb.sdd.as_ref(), s.kb.root);
+            if prior == f64::NEG_INFINITY {
+                return Err(KbError::Inconsistent);
+            }
+            let post = s.posterior.evaluate(s.kb.sdd.as_ref(), s.kb.root);
+            Ok((post - prior).exp())
+        })
+    }
+
+    /// `P(⋀ lits | F ∧ e)` — see [`KnowledgeBase::query`]. The same
+    /// pin-evaluate-restore dance over the session's private posterior
+    /// cache.
+    pub fn query(&mut self, lits: &[Lit]) -> Result<f64, KbError> {
+        for &(v, _) in lits {
+            if !self.kb.var_index.contains_key(&v) {
+                return Err(KbError::UnknownVariable(v));
+            }
+        }
+        self.tracked(|s| {
+            let epoch_before = s.posterior.epoch();
+            let denom = s.posterior.evaluate(s.kb.sdd.as_ref(), s.kb.root);
+            if denom == f64::NEG_INFINITY {
+                return Err(KbError::Inconsistent);
+            }
+            let mut saved: Vec<(VarId, (f64, f64))> = Vec::with_capacity(lits.len());
+            for &(v, b) in lits {
+                let (ln, lp) = *s.posterior.weight(v);
+                saved.push((v, (ln, lp)));
+                let pinned = if b {
+                    (f64::NEG_INFINITY, lp)
+                } else {
+                    (ln, f64::NEG_INFINITY)
+                };
+                s.posterior
+                    .set_weight(s.kb.sdd.as_ref(), v, pinned.0, pinned.1);
+            }
+            let numer = s.posterior.evaluate(s.kb.sdd.as_ref(), s.kb.root);
+            for (v, (ln, lp)) in saved.into_iter().rev() {
+                s.posterior.set_weight(s.kb.sdd.as_ref(), v, ln, lp);
+            }
+            // Pin/restore advanced the epoch with a bit-identical weight
+            // table: carry a current marginals memo forward.
+            if let Some((e, _)) = &mut s.marginals_memo {
+                if *e == epoch_before {
+                    *e = s.posterior.epoch();
+                }
+            }
+            Ok((numer - denom).exp())
+        })
+    }
+
+    /// `P(v = 1 | F ∧ e)` — see [`KnowledgeBase::marginal`].
+    pub fn marginal(&mut self, v: VarId) -> Result<f64, KbError> {
+        let i = *self
+            .kb
+            .var_index
+            .get(&v)
+            .ok_or(KbError::UnknownVariable(v))?;
+        Ok(self.marginals_table()?[i])
+    }
+
+    /// All posterior marginals — see [`KnowledgeBase::all_marginals`].
+    pub fn all_marginals(&mut self) -> Result<Vec<(VarId, f64)>, KbError> {
+        let table = self.marginals_table()?.clone();
+        Ok(self.kb.vars.iter().copied().zip(table).collect())
+    }
+
+    fn marginals_table(&mut self) -> Result<&Vec<f64>, KbError> {
+        self.tracked(|s| {
+            let epoch = s.posterior.epoch();
+            if matches!(&s.marginals_memo, Some((e, _)) if *e == epoch) {
+                return;
+            }
+            let weights = s.posterior_log_weights();
+            let (total, pairs) = s.kb.ac.marginals(&LogF64, &weights);
+            let result = if total == f64::NEG_INFINITY {
+                Err(KbError::Inconsistent)
+            } else {
+                Ok(pairs
+                    .into_iter()
+                    .map(|(mn, mp)| (mp - log_sum_exp(mn, mp)).exp())
+                    .collect::<Vec<f64>>())
+            };
+            s.marginals_memo = Some((epoch, result));
+        });
+        match &self.marginals_memo.as_ref().expect("just set").1 {
+            Ok(table) => Ok(table),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// The most probable explanation — see [`KnowledgeBase::mpe`],
+    /// including the verified witness (satisfies the frozen SDD, agrees
+    /// with every pin, reproduces the maximum weight).
+    pub fn mpe(&mut self) -> Result<Model, KbError> {
+        self.tracked(|s| {
+            let weights = s.posterior_log_weights();
+            let (best, polarity) = s.kb.ac.mpe(&weights).ok_or(KbError::Inconsistent)?;
+            let assignment =
+                Assignment::from_pairs(s.kb.vars.iter().copied().zip(polarity.iter().copied()));
+            assert!(
+                s.kb.sdd.eval(s.kb.root, &assignment),
+                "MPE witness must satisfy the compiled SDD"
+            );
+            for (&v, &pin) in &s.pinned {
+                if let Some(b) = pin {
+                    assert_eq!(
+                        assignment.get(v),
+                        Some(b),
+                        "MPE witness must agree with the evidence on {v}"
+                    );
+                }
+            }
+            let recomputed: f64 =
+                s.kb.vars
+                    .iter()
+                    .zip(&polarity)
+                    .map(|(&v, &b)| {
+                        let (ln, lp) = s.pinned_log_pair(v);
+                        if b {
+                            lp
+                        } else {
+                            ln
+                        }
+                    })
+                    .sum();
+            assert!(
+                (recomputed - best).abs() <= 1e-9 * best.abs().max(1.0),
+                "MPE witness weight {recomputed} must reproduce the maximum {best}"
+            );
+            Ok(Model {
+                assignment,
+                log_weight: best,
+            })
+        })
+    }
+
+    /// The `k` heaviest models — see [`KnowledgeBase::enumerate_models`].
+    pub fn enumerate_models(&mut self, k: usize) -> Vec<Model> {
+        self.tracked(|s| {
+            let weights = s.posterior_log_weights();
+            s.kb.ac
+                .top_k(&weights, k)
+                .into_iter()
+                .map(|(log_weight, polarity)| {
+                    let assignment = Assignment::from_pairs(
+                        s.kb.vars.iter().copied().zip(polarity.iter().copied()),
+                    );
+                    debug_assert!(s.kb.sdd.eval(s.kb.root, &assignment));
+                    Model {
+                        assignment,
+                        log_weight,
+                    }
+                })
+                .collect()
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Structural queries (weight-free, but still apply-free)
+    // ------------------------------------------------------------------
+
+    /// Does `F ∧ e` entail the clause `⋁ lits`? The mutable path
+    /// conditions on the clause's negation through the apply machinery;
+    /// the session pins the negation into its structural cache instead —
+    /// `F ∧ e ∧ ⋀ ¬lit` has no model exactly when the clause is entailed.
+    /// Pin conflicts do the case analysis for free: a clause literal the
+    /// evidence satisfies, or a complementary pair within the clause, zero
+    /// both polarities of that variable, and the count collapses.
+    pub fn entails(&mut self, clause: &[Lit]) -> Result<bool, KbError> {
+        for &(v, _) in clause {
+            if !self.kb.var_index.contains_key(&v) {
+                return Err(KbError::UnknownVariable(v));
+            }
+        }
+        self.tracked(|s| {
+            let mut saved: Vec<(VarId, (f64, f64))> = Vec::with_capacity(clause.len());
+            for &(v, b) in clause {
+                let (sn, sp) = *s.structural.weight(v);
+                saved.push((v, (sn, sp)));
+                // Assert ¬lit: zero the polarity the clause literal names.
+                let pinned = if b {
+                    (sn, f64::NEG_INFINITY)
+                } else {
+                    (f64::NEG_INFINITY, sp)
+                };
+                s.structural
+                    .set_weight(s.kb.sdd.as_ref(), v, pinned.0, pinned.1);
+            }
+            let negated = s.structural.evaluate(s.kb.sdd.as_ref(), s.kb.root);
+            for (v, (sn, sp)) in saved.into_iter().rev() {
+                s.structural.set_weight(s.kb.sdd.as_ref(), v, sn, sp);
+            }
+            Ok(negated == f64::NEG_INFINITY)
+        })
+    }
+
+    /// The exact number of models of `F ∧ e` over all variables — the
+    /// same integer as [`KnowledgeBase::count_models`], computed as one
+    /// `Nat` sweep of the *unconditioned* root under `(0, 1)`-pinned
+    /// weights (each pinned variable keeps exactly its asserted polarity,
+    /// so no power-of-two correction is needed).
+    pub fn count_models(&mut self) -> BigUint {
+        self.tracked(|s| {
+            let pinned = &s.pinned;
+            s.kb.sdd.evaluate(s.kb.root, &Nat, |v, pos| {
+                match pinned.get(&v) {
+                    None => BigUint::one(),
+                    Some(Some(b)) if *b == pos => BigUint::one(),
+                    _ => BigUint::zero(), // opposing polarity, or contradicted
+                }
+            })
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// The evidence-adjusted log-weight pair of `v`, over the session's
+    /// weights and combined pins.
+    fn pinned_log_pair(&self, v: VarId) -> (f64, f64) {
+        pinned_log_pair(&self.weights, &self.pinned, v)
+    }
+
+    /// Dense evidence-adjusted log-weight table in vtree variable order.
+    fn posterior_log_weights(&self) -> Vec<(f64, f64)> {
+        self.kb
+            .vars
+            .iter()
+            .map(|&v| self.pinned_log_pair(v))
+            .collect()
+    }
+
+    /// Run a query body, snapshotting its cost into
+    /// [`KbSession::last_query`] (the shape of the mutable path's
+    /// `tracked`; the apply counters stay zero because sessions never
+    /// intern).
+    fn tracked<T>(&mut self, body: impl FnOnce(&mut Self) -> T) -> T {
+        let t0 = Instant::now();
+        let eval0 = stats_sum(
+            stats_sum(self.prior.stats(), self.posterior.stats()),
+            self.structural.stats(),
+        );
+        let out = body(self);
+        self.last_query = KbQueryStats {
+            apply: ApplyStats::default(),
+            eval: stats_sum(
+                stats_sum(self.prior.stats(), self.posterior.stats()),
+                self.structural.stats(),
+            )
+            .delta_since(eval0),
+            mem_bytes: self.kb.sdd.memory_bytes(),
+            duration: t0.elapsed(),
+        };
+        out
+    }
+}
+
+/// The evidence-adjusted log-weight pair of `v` — the same table as
+/// [`KnowledgeBase`]'s private `pinned_log_pair`, shared by the frozen
+/// forms.
+fn pinned_log_pair(
+    weights: &FxHashMap<VarId, (f64, f64)>,
+    pinned: &FxHashMap<VarId, Option<bool>>,
+    v: VarId,
+) -> (f64, f64) {
+    let (wn, wp) = weights[&v];
+    match pinned.get(&v) {
+        None => (wn.ln(), wp.ln()),
+        Some(Some(true)) => (f64::NEG_INFINITY, wp.ln()),
+        Some(Some(false)) => (wn.ln(), f64::NEG_INFINITY),
+        Some(None) => (f64::NEG_INFINITY, f64::NEG_INFINITY),
+    }
+}
+
+/// The *structural* log pair of `v`: weights forced to `(1, 1)` so only
+/// the pins matter. Evaluating the root under this table yields `-∞`
+/// exactly when `F ∧ e` has no model — the weight-space reproduction of
+/// `cond_root == ⊥`.
+fn structural_log_pair(pinned: &FxHashMap<VarId, Option<bool>>, v: VarId) -> (f64, f64) {
+    match pinned.get(&v) {
+        None => (0.0, 0.0),
+        Some(Some(true)) => (f64::NEG_INFINITY, 0.0),
+        Some(Some(false)) => (0.0, f64::NEG_INFINITY),
+        Some(None) => (f64::NEG_INFINITY, f64::NEG_INFINITY),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::CnfFormula;
+    use sentential_core::Compiler;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    /// `(x0 ∨ x1) ∧ (¬x1 ∨ x2)` with distinct probabilities — the same
+    /// fixture as the mutable layer's tests.
+    fn demo_kb() -> KnowledgeBase {
+        let f = CnfFormula::from_clauses(
+            3,
+            vec![
+                vec![(v(0), true), (v(1), true)],
+                vec![(v(1), false), (v(2), true)],
+            ],
+        );
+        let mut kb = KnowledgeBase::compile_cnf(&Compiler::new(), &f).unwrap();
+        for (i, &p) in [0.3, 0.6, 0.8].iter().enumerate() {
+            kb.set_probability(v(i as u32), p).unwrap();
+        }
+        kb
+    }
+
+    /// Every query a session answers must be *bit-identical* to the
+    /// mutable path under the same evidence script — the serving tier's
+    /// core contract.
+    #[test]
+    fn session_answers_are_bit_identical_to_the_mutable_path() {
+        let mut kb = demo_kb();
+        let frozen = Arc::new(demo_kb().freeze());
+        let mut s = frozen.session();
+
+        let scripts: &[&[Lit]] = &[&[], &[(v(1), true)], &[(v(0), false), (v(2), true)]];
+        for script in scripts {
+            kb.retract();
+            s.retract();
+            if !script.is_empty() {
+                assert_eq!(kb.condition(script), s.condition(script));
+            }
+            assert_eq!(kb.log_weight().to_bits(), s.log_weight().to_bits());
+            assert_eq!(
+                kb.probability_of_evidence().map(f64::to_bits),
+                s.probability_of_evidence().map(f64::to_bits)
+            );
+            assert_eq!(
+                kb.query(&[(v(0), true)]).map(f64::to_bits),
+                s.query(&[(v(0), true)]).map(f64::to_bits)
+            );
+            for i in 0..3u32 {
+                assert_eq!(
+                    kb.marginal(v(i)).map(f64::to_bits),
+                    s.marginal(v(i)).map(f64::to_bits),
+                    "marginal x{i} under {script:?}"
+                );
+            }
+            let (km, sm) = (kb.mpe().unwrap(), s.mpe().unwrap());
+            assert_eq!(km.log_weight.to_bits(), sm.log_weight.to_bits());
+            assert_eq!(km.assignment, sm.assignment);
+            let (ke, se) = (kb.enumerate_models(8), s.enumerate_models(8));
+            assert_eq!(ke.len(), se.len());
+            for (a, b) in ke.iter().zip(&se) {
+                assert_eq!(a.log_weight.to_bits(), b.log_weight.to_bits());
+                assert_eq!(a.assignment, b.assignment);
+            }
+            assert_eq!(kb.count_models(), s.count_models());
+            assert_eq!(kb.is_consistent(), s.is_consistent());
+        }
+    }
+
+    #[test]
+    fn session_entailment_matches_the_apply_path() {
+        let mut kb = demo_kb();
+        let frozen = Arc::new(demo_kb().freeze());
+        let mut s = frozen.session();
+        let clauses: &[&[Lit]] = &[
+            &[(v(0), true)],
+            &[(v(0), true), (v(1), true)],
+            &[(v(1), false), (v(2), true)],
+            &[(v(0), true), (v(0), false)],
+            &[(v(2), false), (v(0), true), (v(2), true)],
+            &[(v(0), true), (v(0), true)],
+            &[],
+        ];
+        for clause in clauses {
+            assert_eq!(kb.entails(clause), s.entails(clause), "{clause:?}");
+        }
+        // Under evidence — including clauses touching the evidence var.
+        kb.condition(&[(v(1), true)]).unwrap();
+        s.condition(&[(v(1), true)]).unwrap();
+        let clauses: &[&[Lit]] = &[
+            &[(v(2), true)],
+            &[(v(0), true)],
+            &[(v(1), true)],
+            &[(v(1), true), (v(0), true)],
+            &[(v(1), false), (v(2), true)],
+            &[(v(1), false)],
+            &[(v(1), false), (v(0), true)],
+            &[],
+        ];
+        for clause in clauses {
+            assert_eq!(kb.entails(clause), s.entails(clause), "{clause:?}");
+        }
+        // Contradictory evidence: both paths report it and then entail ⊥.
+        assert_eq!(
+            kb.condition(&[(v(1), false)]),
+            s.condition(&[(v(1), false)])
+        );
+        assert_eq!(kb.entails(&[]), s.entails(&[]));
+        kb.retract();
+        s.retract();
+        assert_eq!(kb.entails(&[]), s.entails(&[]));
+    }
+
+    #[test]
+    fn evidence_frozen_into_the_base_persists_across_session_retract() {
+        let mut kb = demo_kb();
+        kb.condition(&[(v(2), true)]).unwrap();
+        let expect = kb.log_weight();
+        let frozen = Arc::new(kb.freeze());
+        assert_eq!(frozen.evidence(), &[(v(2), true)]);
+        let mut s = frozen.session();
+        assert_eq!(s.log_weight().to_bits(), expect.to_bits());
+        // A session conditions further, retracts, and lands back on the
+        // frozen baseline — not the unconditioned formula.
+        s.condition(&[(v(1), false)]).unwrap();
+        s.retract();
+        assert_eq!(s.log_weight().to_bits(), expect.to_bits());
+        assert!(s.evidence().is_empty());
+    }
+
+    #[test]
+    fn sessions_condition_independently_over_one_slab() {
+        let frozen = Arc::new(demo_kb().freeze());
+        let mut a = frozen.session();
+        let mut b = frozen.session();
+        a.condition(&[(v(1), true)]).unwrap();
+        b.condition(&[(v(1), false)]).unwrap();
+        // Each session sees its own posterior; cross-check via branches of
+        // the mutable path.
+        let mut ka = frozen.branch();
+        ka.condition(&[(v(1), true)]).unwrap();
+        let mut kb2 = frozen.branch();
+        kb2.condition(&[(v(1), false)]).unwrap();
+        assert_eq!(a.log_weight().to_bits(), ka.log_weight().to_bits());
+        assert_eq!(b.log_weight().to_bits(), kb2.log_weight().to_bits());
+        assert_eq!(a.count_models(), ka.count_models());
+        assert_eq!(b.count_models(), kb2.count_models());
+    }
+
+    #[test]
+    fn session_weight_changes_stay_session_local() {
+        let frozen = Arc::new(demo_kb().freeze());
+        let mut a = frozen.session();
+        let mut b = frozen.session();
+        let before = b.log_weight();
+        a.set_probability(v(0), 0.99).unwrap();
+        assert_ne!(a.log_weight().to_bits(), before.to_bits());
+        assert_eq!(b.log_weight().to_bits(), before.to_bits());
+        assert_eq!(frozen.weights_of(v(0)), Some((0.7, 0.3)));
+        // And the session's answers match a mutable base given the same
+        // weight change.
+        let mut k = frozen.branch();
+        k.set_probability(v(0), 0.99).unwrap();
+        assert_eq!(a.log_weight().to_bits(), k.log_weight().to_bits());
+        assert_eq!(
+            a.marginal(v(2)).map(f64::to_bits),
+            k.marginal(v(2)).map(f64::to_bits)
+        );
+    }
+
+    #[test]
+    fn branch_reopens_the_full_mutable_query_menu() {
+        let frozen = Arc::new(demo_kb().freeze());
+        let mut br = frozen.branch();
+        let mut kb = demo_kb();
+        // Structural conditioning (the apply machinery) works on the
+        // overlay and matches a never-frozen base exactly.
+        assert_eq!(br.condition(&[(v(1), true)]), kb.condition(&[(v(1), true)]));
+        assert_eq!(br.log_weight().to_bits(), kb.log_weight().to_bits());
+        assert_eq!(br.count_models(), kb.count_models());
+        assert_eq!(br.entails(&[(v(2), true)]), kb.entails(&[(v(2), true)]));
+        assert_eq!(
+            br.marginal(v(0)).map(f64::to_bits),
+            kb.marginal(v(0)).map(f64::to_bits)
+        );
+        // The overlay interned the restriction without touching the slab.
+        assert!(br.sdd().num_allocated() >= frozen.sdd().num_allocated());
+        // A branch can itself be frozen (flattening the overlay) and keep
+        // serving.
+        let refrozen = Arc::new(br.freeze());
+        let mut s = refrozen.session();
+        assert_eq!(s.log_weight().to_bits(), kb.log_weight().to_bits());
+    }
+
+    #[test]
+    fn memory_bytes_parity_with_the_mutable_manager() {
+        let kb = demo_kb();
+        let mutable = kb.sdd().memory_bytes();
+        let frozen = Arc::new(kb.freeze());
+        let slab = frozen.memory_bytes();
+        assert!(slab > 0);
+        // Freezing moves the slabs (exact-length allocations), so the
+        // frozen report never exceeds the mutable one.
+        assert!(
+            slab <= mutable,
+            "frozen slab {slab} vs mutable manager {mutable}"
+        );
+        let mut s = frozen.session();
+        let _ = s.log_weight();
+        assert_eq!(s.last_query().mem_bytes, slab);
+        assert_eq!(s.last_query().apply, ApplyStats::default());
+    }
+}

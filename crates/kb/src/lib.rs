@@ -61,6 +61,9 @@
 //! ```
 
 mod ac;
+mod frozen;
+
+pub use frozen::{FrozenKb, KbSession};
 
 use crate::ac::Ac;
 use arith::{log_sum_exp, BigUint, LogF64};

@@ -326,6 +326,63 @@ fn hundred_thousand_variable_session_on_a_default_stack() {
     assert!(f.eval(&top[1].assignment));
 }
 
+/// The frozen half of the acceptance bar: the same 100k-variable chain
+/// session served through `freeze()` → `FrozenKb::session()` on the
+/// default test thread, every answer **bit-identical** to the mutable
+/// path captured just before the freeze, plus a copy-on-write `branch()`
+/// driving the overlay apply machinery at full depth.
+#[test]
+fn hundred_thousand_variable_frozen_session_on_a_default_stack() {
+    let n = DEEP_N;
+    let f = families::chain_cnf(n);
+    let mut kb = KnowledgeBase::compile_cnf(&serving_compiler(), &f).expect("compiles at 100k");
+    let weighted: Vec<u32> = (0..10).map(|j| j * (n / 10) + 7).collect();
+    for &i in &weighted {
+        kb.set_probability(VarId(i), prior(i)).unwrap();
+    }
+    kb.condition(&[(VarId(n / 2), true)]).unwrap();
+
+    // The mutable path's answers, captured before the freeze consumes it…
+    let lnw = kb.log_weight();
+    let marginals = kb.all_marginals().unwrap();
+    let mpe = kb.mpe().unwrap();
+
+    // …must reappear bit-for-bit through the frozen slab.
+    let frozen = std::sync::Arc::new(kb.freeze());
+    let mut s = frozen.session();
+    assert_eq!(s.log_weight().to_bits(), lnw.to_bits());
+    let frozen_marginals = s.all_marginals().unwrap();
+    assert_eq!(frozen_marginals.len(), marginals.len());
+    for (&(v, a), &(w, b)) in marginals.iter().zip(&frozen_marginals) {
+        assert_eq!(v, w);
+        assert_eq!(a.to_bits(), b.to_bits(), "marginal {v} diverged");
+    }
+    let frozen_mpe = s.mpe().unwrap();
+    assert_eq!(frozen_mpe.log_weight.to_bits(), mpe.log_weight.to_bits());
+    assert_eq!(frozen_mpe.assignment, mpe.assignment);
+
+    // Session-local evidence at depth, then back to the frozen baseline.
+    let extra = (VarId(3), true);
+    let posterior = s.query(&[extra]).unwrap();
+    s.condition(&[extra]).unwrap();
+    assert!(s.is_consistent());
+    assert!(s.log_weight().is_finite());
+    s.retract();
+    assert_eq!(s.log_weight().to_bits(), lnw.to_bits());
+
+    // Copy-on-write branch: the mutable apply machinery over the overlay
+    // manager, still on the default stack, agreeing with the session's
+    // weight-space answer for the same evidence.
+    let mut branch = frozen.branch();
+    branch.condition(&[extra]).unwrap();
+    assert!(branch.is_consistent());
+    let branch_posterior = (branch.log_weight() - lnw).exp();
+    assert!(
+        (posterior - branch_posterior).abs() < 1e-9,
+        "session query {posterior} vs branch posterior {branch_posterior}"
+    );
+}
+
 /// `ln` of a positive rational at any size: split numerator and
 /// denominator into `mantissa · 2^shift` (the `to_f64` route overflows
 /// past ~2^1024).

@@ -30,12 +30,17 @@
 //! vtree ancestors of the changed leaves and the SDD nodes structured by
 //! them), answering everything else from cache.
 
-use crate::{SddId, SddManager, SddNode};
+use crate::{FrozenSdd, SddId, SddManager, SddNode, SddRead};
 use arith::{BigUint, Nat, Rat, Rational, Semiring, F64};
 use vtree::fxhash::FxHashMap;
 use vtree::{VarId, VtreeNodeId};
 
-impl SddManager {
+/// Semiring evaluation over any read-only SDD store: the blanket
+/// extension of [`SddRead`], implemented once and served by both the
+/// mutable [`SddManager`] and the immutable [`FrozenSdd`] slab (which
+/// also re-export the methods inherently, so callers rarely need this
+/// trait in scope).
+pub trait SddEval: SddRead {
     /// Evaluate `root` over all vtree variables in an arbitrary commutative
     /// semiring. `weight(v, polarity)` is the weight of the literal `v` /
     /// `¬v`; variables absent from a subfunction contribute
@@ -45,23 +50,24 @@ impl SddManager {
     /// counting plugs in the literal weights. The traversal is memoized per
     /// node, so it is linear in the SDD size (times the cost of semiring
     /// operations and vtree-path walks).
-    pub fn evaluate<S: Semiring>(
+    fn evaluate<S: Semiring>(
         &self,
         root: SddId,
         semiring: &S,
         weight: impl Fn(VarId, bool) -> S::Elem,
     ) -> S::Elem {
+        let vtree = self.vtree();
         // Literal weights per variable.
         let mut wmap: FxHashMap<VarId, (S::Elem, S::Elem)> = FxHashMap::default();
-        for &v in self.vtree.vars() {
+        for &v in vtree.vars() {
             wmap.insert(v, (weight(v, false), weight(v, true)));
         }
         // gap[t] = ⊗_{v below t} (w⁻(v) ⊕ w⁺(v)), bottom-up over the vtree.
-        let mut gap: Vec<Option<S::Elem>> = vec![None; self.vtree.num_nodes()];
-        for n in self.vtree.bottom_up_order() {
-            let g = match self.vtree.children(n) {
+        let mut gap: Vec<Option<S::Elem>> = vec![None; vtree.num_nodes()];
+        for n in vtree.bottom_up_order() {
+            let g = match vtree.children(n) {
                 None => {
-                    let v = self.vtree.leaf_var(n).expect("leaf");
+                    let v = vtree.leaf_var(n).expect("leaf");
                     let (wn, wp) = &wmap[&v];
                     semiring.add(wn, wp)
                 }
@@ -86,36 +92,26 @@ impl SddManager {
 
     /// Exact model count over all vtree variables — the `BigUint` semiring,
     /// valid at any variable count.
-    pub fn count_models_exact(&self, root: SddId) -> BigUint {
+    fn count_models_exact(&self, root: SddId) -> BigUint {
         self.evaluate(root, &Nat, |_, _| BigUint::one())
     }
 
     /// Exact model count as `u128`, `None` when the count needs more than
     /// 128 bits.
-    pub fn count_models_checked(&self, root: SddId) -> Option<u128> {
+    fn count_models_checked(&self, root: SddId) -> Option<u128> {
         self.count_models_exact(root).to_u128()
     }
 
-    /// Exact model count over all vtree variables.
-    ///
-    /// Panics — in every build profile — when the true count exceeds 128
-    /// bits. The pre-semiring implementation silently wrapped there, and
-    /// the first semiring version saturated at `u128::MAX` behind a
-    /// debug-only assertion, so release builds could hand a saturated
-    /// count to reports; no counting path may do that. Prefer
-    /// [`SddManager::count_models_exact`] (never overflows) or
-    /// [`SddManager::count_models_checked`] (typed overflow) on inputs
-    /// with more than 128 variables.
-    pub fn count_models(&self, root: SddId) -> u128 {
+    /// Exact model count over all vtree variables; panics past 128 bits
+    /// (see [`SddManager::count_models`]).
+    fn count_models(&self, root: SddId) -> u128 {
         self.count_models_checked(root)
             .expect("model count exceeds u128; use count_models_exact/count_models_checked")
     }
 
-    /// Weighted model count over all vtree variables: `weight(v) = (w⁻, w⁺)`.
-    /// Variables skipped between a node and its vtree scope contribute the
-    /// smoothing factor `w⁻ + w⁺`. The fast `f64` path of the semiring
-    /// engine; see [`SddManager::weighted_count_exact`] for the exact one.
-    pub fn weighted_count(&self, root: SddId, weight: impl Fn(VarId) -> (f64, f64)) -> f64 {
+    /// Weighted model count (`f64` path; see
+    /// [`SddManager::weighted_count`]).
+    fn weighted_count(&self, root: SddId, weight: impl Fn(VarId) -> (f64, f64)) -> f64 {
         self.evaluate(root, &F64, |v, positive| {
             let (wn, wp) = weight(v);
             if positive {
@@ -127,7 +123,7 @@ impl SddManager {
     }
 
     /// Exact weighted model count — the `Rational` semiring.
-    pub fn weighted_count_exact(
+    fn weighted_count_exact(
         &self,
         root: SddId,
         weight: impl Fn(VarId) -> (Rational, Rational),
@@ -143,7 +139,7 @@ impl SddManager {
     }
 
     /// Probability under independent `P(v=1) = prob(v)`.
-    pub fn probability(&self, root: SddId, prob: impl Fn(VarId) -> f64) -> f64 {
+    fn probability(&self, root: SddId, prob: impl Fn(VarId) -> f64) -> f64 {
         self.weighted_count(root, |v| {
             let p = prob(v);
             (1.0 - p, p)
@@ -151,7 +147,7 @@ impl SddManager {
     }
 
     /// Exact probability under independent `P(v=1) = prob(v)`.
-    pub fn probability_exact(&self, root: SddId, prob: impl Fn(VarId) -> Rational) -> Rational {
+    fn probability_exact(&self, root: SddId, prob: impl Fn(VarId) -> Rational) -> Rational {
         self.weighted_count_exact(root, |v| {
             let p = prob(v);
             (Rational::one().sub(&p), p)
@@ -159,17 +155,120 @@ impl SddManager {
     }
 }
 
+impl<T: SddRead> SddEval for T {}
+
+impl SddManager {
+    /// Evaluate `root` in an arbitrary commutative semiring (see
+    /// [`SddEval::evaluate`] — this inherent form keeps existing callers
+    /// working without the trait in scope).
+    pub fn evaluate<S: Semiring>(
+        &self,
+        root: SddId,
+        semiring: &S,
+        weight: impl Fn(VarId, bool) -> S::Elem,
+    ) -> S::Elem {
+        SddEval::evaluate(self, root, semiring, weight)
+    }
+
+    /// Exact model count over all vtree variables — the `BigUint` semiring,
+    /// valid at any variable count.
+    pub fn count_models_exact(&self, root: SddId) -> BigUint {
+        SddEval::count_models_exact(self, root)
+    }
+
+    /// Exact model count as `u128`, `None` when the count needs more than
+    /// 128 bits.
+    pub fn count_models_checked(&self, root: SddId) -> Option<u128> {
+        SddEval::count_models_checked(self, root)
+    }
+
+    /// Exact model count over all vtree variables.
+    ///
+    /// Panics — in every build profile — when the true count exceeds 128
+    /// bits. The pre-semiring implementation silently wrapped there, and
+    /// the first semiring version saturated at `u128::MAX` behind a
+    /// debug-only assertion, so release builds could hand a saturated
+    /// count to reports; no counting path may do that. Prefer
+    /// [`SddManager::count_models_exact`] (never overflows) or
+    /// [`SddManager::count_models_checked`] (typed overflow) on inputs
+    /// with more than 128 variables.
+    pub fn count_models(&self, root: SddId) -> u128 {
+        SddEval::count_models(self, root)
+    }
+
+    /// Weighted model count over all vtree variables: `weight(v) = (w⁻, w⁺)`.
+    /// Variables skipped between a node and its vtree scope contribute the
+    /// smoothing factor `w⁻ + w⁺`. The fast `f64` path of the semiring
+    /// engine; see [`SddManager::weighted_count_exact`] for the exact one.
+    pub fn weighted_count(&self, root: SddId, weight: impl Fn(VarId) -> (f64, f64)) -> f64 {
+        SddEval::weighted_count(self, root, weight)
+    }
+
+    /// Exact weighted model count — the `Rational` semiring.
+    pub fn weighted_count_exact(
+        &self,
+        root: SddId,
+        weight: impl Fn(VarId) -> (Rational, Rational),
+    ) -> Rational {
+        SddEval::weighted_count_exact(self, root, weight)
+    }
+
+    /// Probability under independent `P(v=1) = prob(v)`.
+    pub fn probability(&self, root: SddId, prob: impl Fn(VarId) -> f64) -> f64 {
+        SddEval::probability(self, root, prob)
+    }
+
+    /// Exact probability under independent `P(v=1) = prob(v)`.
+    pub fn probability_exact(&self, root: SddId, prob: impl Fn(VarId) -> Rational) -> Rational {
+        SddEval::probability_exact(self, root, prob)
+    }
+}
+
+impl FrozenSdd {
+    /// Evaluate `root` in an arbitrary commutative semiring (see
+    /// [`SddEval::evaluate`]).
+    pub fn evaluate<S: Semiring>(
+        &self,
+        root: SddId,
+        semiring: &S,
+        weight: impl Fn(VarId, bool) -> S::Elem,
+    ) -> S::Elem {
+        SddEval::evaluate(self, root, semiring, weight)
+    }
+
+    /// Exact model count — the `BigUint` semiring.
+    pub fn count_models_exact(&self, root: SddId) -> BigUint {
+        SddEval::count_models_exact(self, root)
+    }
+
+    /// Exact model count as `u128`, `None` past 128 bits.
+    pub fn count_models_checked(&self, root: SddId) -> Option<u128> {
+        SddEval::count_models_checked(self, root)
+    }
+
+    /// Weighted model count (`f64` path).
+    pub fn weighted_count(&self, root: SddId, weight: impl Fn(VarId) -> (f64, f64)) -> f64 {
+        SddEval::weighted_count(self, root, weight)
+    }
+
+    /// Probability under independent `P(v=1) = prob(v)`.
+    pub fn probability(&self, root: SddId, prob: impl Fn(VarId) -> f64) -> f64 {
+        SddEval::probability(self, root, prob)
+    }
+}
+
 /// One evaluation pass: semiring, literal weights, per-vtree-node smoothing
-/// products, and the per-node raw-value table.
-struct Evaluator<'a, S: Semiring> {
-    mgr: &'a SddManager,
+/// products, and the per-node raw-value table. Generic over the store
+/// ([`SddRead`]) so the identical pass serves managers and frozen slabs.
+struct Evaluator<'a, M: SddRead + ?Sized, S: Semiring> {
+    mgr: &'a M,
     semiring: &'a S,
     wmap: FxHashMap<VarId, (S::Elem, S::Elem)>,
     gap: Vec<S::Elem>,
     raw: FxHashMap<SddId, S::Elem>,
 }
 
-impl<S: Semiring> Evaluator<'_, S> {
+impl<M: SddRead + ?Sized, S: Semiring> Evaluator<'_, M, S> {
     /// One bottom-up sweep over the reachable decisions in interning order
     /// (children are always interned before their parents, so ascending
     /// [`SddId`] is a topological order), then the root read-off. Each
@@ -187,7 +286,7 @@ impl<S: Semiring> Evaluator<'_, S> {
                 unreachable!("reachable_decisions returns decisions");
             };
             let vnode = *vnode;
-            let (lv, rv) = mgr.vtree.children(vnode).expect("internal vnode");
+            let (lv, rv) = mgr.vtree().children(vnode).expect("internal vnode");
             let mut total = self.semiring.zero();
             for &(p, s) in mgr.elements_of(a) {
                 let pc = self.scoped(p, lv);
@@ -196,7 +295,7 @@ impl<S: Semiring> Evaluator<'_, S> {
             }
             self.raw.insert(a, total);
         }
-        self.scoped(root, self.mgr.vtree.root())
+        self.scoped(root, self.mgr.vtree().root())
     }
 
     /// Value of `a` over the scope of vtree node `scope` (⊇ `a`'s own
@@ -209,7 +308,7 @@ impl<S: Semiring> Evaluator<'_, S> {
             SddNode::Literal { var, positive } => {
                 let (wn, wp) = &self.wmap[var];
                 let lit = if *positive { wp.clone() } else { wn.clone() };
-                let leaf = self.mgr.vtree.leaf_of_var(*var).expect("var in vtree");
+                let leaf = self.mgr.vtree().leaf_of_var(*var).expect("var in vtree");
                 let smooth = self.smoothing(scope, leaf);
                 self.semiring.mul(&lit, &smooth)
             }
@@ -229,7 +328,7 @@ impl<S: Semiring> Evaluator<'_, S> {
     /// weights).
     fn smoothing(&self, scope: VtreeNodeId, target: VtreeNodeId) -> S::Elem {
         let mut acc = self.semiring.one();
-        self.mgr.vtree.branched_away(scope, target, |t| {
+        self.mgr.vtree().branched_away(scope, target, |t| {
             acc = self.semiring.mul(&acc, &self.gap[t.index()]);
         });
         acc
@@ -276,7 +375,7 @@ struct RawFrame<E> {
 
 impl<E> RawFrame<E> {
     /// The current element `(prime, sub)` pair.
-    fn cur(&self, mgr: &SddManager) -> (SddId, SddId) {
+    fn cur(&self, mgr: &(impl SddRead + ?Sized)) -> (SddId, SddId) {
         mgr.elements(self.elems.clone())[self.i as usize]
     }
 
@@ -345,10 +444,16 @@ pub struct EvalCache<S: Semiring> {
 
 impl<S: Semiring> EvalCache<S> {
     /// A fresh cache over `mgr`'s vtree with initial literal weights
-    /// `weight(v, polarity)`.
-    pub fn new(mgr: &SddManager, semiring: S, weight: impl Fn(VarId, bool) -> S::Elem) -> Self {
+    /// `weight(v, polarity)`. The store may be a [`SddManager`] or a
+    /// [`FrozenSdd`] (a serving thread creates its private cache directly
+    /// against the shared slab).
+    pub fn new(
+        mgr: &(impl SddRead + ?Sized),
+        semiring: S,
+        weight: impl Fn(VarId, bool) -> S::Elem,
+    ) -> Self {
         let mut weights = FxHashMap::default();
-        for &v in mgr.vtree.vars() {
+        for &v in mgr.vtree().vars() {
             weights.insert(v, (weight(v, false), weight(v, true)));
         }
         EvalCache {
@@ -356,10 +461,10 @@ impl<S: Semiring> EvalCache<S> {
             semiring,
             epoch: 0,
             weights,
-            vnode_epoch: vec![0; mgr.vtree.num_nodes()],
-            gap: vec![None; mgr.vtree.num_nodes()],
+            vnode_epoch: vec![0; mgr.vtree().num_nodes()],
+            gap: vec![None; mgr.vtree().num_nodes()],
             raw: FxHashMap::default(),
-            vtree_postorder: mgr.vtree.bottom_up_order(),
+            vtree_postorder: mgr.vtree().bottom_up_order(),
             stats: EvalCacheStats::default(),
         }
     }
@@ -390,15 +495,21 @@ impl<S: Semiring> EvalCache<S> {
     /// Update `v`'s weight pair, dirtying exactly the vtree cone above its
     /// leaf: the next [`EvalCache::evaluate`] recomputes only values scoped
     /// to an ancestor of `v`.
-    pub fn set_weight(&mut self, mgr: &SddManager, v: VarId, neg: S::Elem, pos: S::Elem) {
+    pub fn set_weight(
+        &mut self,
+        mgr: &(impl SddRead + ?Sized),
+        v: VarId,
+        neg: S::Elem,
+        pos: S::Elem,
+    ) {
         self.check_binding(mgr);
-        let leaf = mgr.vtree.leaf_of_var(v).expect("weight var in the vtree");
+        let leaf = mgr.vtree().leaf_of_var(v).expect("weight var in the vtree");
         self.epoch += 1;
         self.weights.insert(v, (neg, pos));
         let mut cur = Some(leaf);
         while let Some(n) = cur {
             self.vnode_epoch[n.index()] = self.epoch;
-            cur = mgr.vtree.parent(n);
+            cur = mgr.vtree().parent(n);
         }
     }
 
@@ -408,11 +519,11 @@ impl<S: Semiring> EvalCache<S> {
     /// frame stack (the former recursion descended to vtree depth — Θ(n)
     /// on chains — which is exactly where serving sessions get deep), so
     /// any diagram evaluates on a default-size stack.
-    pub fn evaluate(&mut self, mgr: &SddManager, root: SddId) -> S::Elem {
+    pub fn evaluate(&mut self, mgr: &(impl SddRead + ?Sized), root: SddId) -> S::Elem {
         self.check_binding(mgr);
         self.refresh_gaps(mgr);
         let mut frames: Vec<RawFrame<S::Elem>> = Vec::new();
-        let mut ret = self.scoped(mgr, root, mgr.vtree.root(), &mut frames);
+        let mut ret = self.scoped(mgr, root, mgr.vtree().root(), &mut frames);
         loop {
             if frames.is_empty() {
                 return ret.expect("the worklist terminates with the root value");
@@ -440,7 +551,7 @@ impl<S: Semiring> EvalCache<S> {
     /// scoped value its requester asked for).
     fn advance(
         &mut self,
-        mgr: &SddManager,
+        mgr: &(impl SddRead + ?Sized),
         f: &mut RawFrame<S::Elem>,
         ret: Option<S::Elem>,
     ) -> EvalStep<S::Elem> {
@@ -472,7 +583,7 @@ impl<S: Semiring> EvalCache<S> {
     /// Cached values are keyed by `SddId`s, which are per-manager indices:
     /// serving them for another manager — even one over an identical vtree
     /// — would silently return another formula's numbers.
-    fn check_binding(&self, mgr: &SddManager) {
+    fn check_binding(&self, mgr: &(impl SddRead + ?Sized)) {
         assert_eq!(
             self.mgr_uid,
             mgr.uid(),
@@ -482,16 +593,16 @@ impl<S: Semiring> EvalCache<S> {
 
     /// Recompute the smoothing gaps whose subtree saw a weight change
     /// (linear sweep over the vtree — the SDD is the expensive side).
-    fn refresh_gaps(&mut self, mgr: &SddManager) {
+    fn refresh_gaps(&mut self, mgr: &(impl SddRead + ?Sized)) {
         for i in 0..self.vtree_postorder.len() {
             let n = self.vtree_postorder[i];
             let need = self.vnode_epoch[n.index()];
             if matches!(&self.gap[n.index()], Some((stamp, _)) if *stamp >= need) {
                 continue;
             }
-            let g = match mgr.vtree.children(n) {
+            let g = match mgr.vtree().children(n) {
                 None => {
-                    let v = mgr.vtree.leaf_var(n).expect("leaf");
+                    let v = mgr.vtree().leaf_var(n).expect("leaf");
                     let (wn, wp) = &self.weights[&v];
                     self.semiring.add(wn, wp)
                 }
@@ -516,7 +627,7 @@ impl<S: Semiring> EvalCache<S> {
     /// frame completes).
     fn scoped(
         &mut self,
-        mgr: &SddManager,
+        mgr: &(impl SddRead + ?Sized),
         a: SddId,
         scope: VtreeNodeId,
         frames: &mut Vec<RawFrame<S::Elem>>,
@@ -527,7 +638,7 @@ impl<S: Semiring> EvalCache<S> {
             SddNode::Literal { var, positive } => {
                 let (wn, wp) = &self.weights[var];
                 let lit = if *positive { wp.clone() } else { wn.clone() };
-                let leaf = mgr.vtree.leaf_of_var(*var).expect("var in vtree");
+                let leaf = mgr.vtree().leaf_of_var(*var).expect("var in vtree");
                 let smooth = self.smoothing(mgr, scope, leaf);
                 Some(self.semiring.mul(&lit, &smooth))
             }
@@ -544,7 +655,7 @@ impl<S: Semiring> EvalCache<S> {
                 }
                 self.stats.recomputed += 1;
                 let elems = elems.clone(); // an arena range, not element data
-                let (lv, rv) = mgr.vtree.children(vnode).expect("internal vnode");
+                let (lv, rv) = mgr.vtree().children(vnode).expect("internal vnode");
                 frames.push(RawFrame {
                     a,
                     scope,
@@ -564,9 +675,14 @@ impl<S: Semiring> EvalCache<S> {
     /// `⊗ (w⁻ ⊕ w⁺)` over the variables below `scope` but not below
     /// `target` — the division-free smoothing walk of the one-shot engine,
     /// reading the stamped gap table.
-    fn smoothing(&self, mgr: &SddManager, scope: VtreeNodeId, target: VtreeNodeId) -> S::Elem {
+    fn smoothing(
+        &self,
+        mgr: &(impl SddRead + ?Sized),
+        scope: VtreeNodeId,
+        target: VtreeNodeId,
+    ) -> S::Elem {
         let mut acc = self.semiring.one();
-        mgr.vtree.branched_away(scope, target, |t| {
+        mgr.vtree().branched_away(scope, target, |t| {
             acc = self.semiring.mul(&acc, self.gap_of(t));
         });
         acc

@@ -56,14 +56,29 @@
 //! bottom-up in interning order. Vtree-deep diagrams — Θ(n) deep on the
 //! chain families — therefore work on a default-size thread stack at any
 //! variable count.
+//!
+//! **Freeze-and-serve.** [`SddManager::freeze`] turns a finished manager
+//! into an immutable [`FrozenSdd`] — the node table, element arena,
+//! negation array and unique table as plain slabs, `Send + Sync`, shared
+//! across threads via `Arc` (module [`frozen`]). Everything read-only is
+//! abstracted by the [`SddRead`] trait, so evaluation (one-shot and
+//! [`eval::EvalCache`]) runs unchanged over managers and frozen slabs.
+//! [`FrozenSdd::branch`] reopens a frozen base as a copy-on-write
+//! **overlay manager**: new nodes intern on top of the shared slab (ids
+//! and arena offsets continue the frozen id space), nothing in the base is
+//! ever written, and `freeze`-ing a branch flattens base + extension into
+//! a new standalone slab.
 
 pub mod eval;
+pub mod frozen;
 pub mod validate;
 
+pub use frozen::FrozenSdd;
 pub use validate::SddError;
 
 use boolfunc::{Assignment, BoolFn, VarSet};
 use std::ops::Range;
+use std::sync::Arc;
 use vtree::fxhash::{FxHashMap, FxHashSet};
 use vtree::{Side, VarId, Vtree, VtreeNodeId};
 
@@ -200,6 +215,10 @@ impl ApplyStats {
 /// empty slots carry [`EMPTY_SLOT`]. Lookups compare candidates against the
 /// interned nodes' arena slices in place — the table owns **no** keys, so a
 /// decision's elements exist exactly once, in the arena.
+/// `Clone` is the copy-on-write branch path: an overlay manager starts
+/// from a memcpy of its frozen base's table (hashes and ids are global,
+/// so the clone serves lookups against the shared slab unchanged).
+#[derive(Clone)]
 struct UniqueTable {
     /// Power-of-two slot array.
     slots: Box<[(u64, u32)]>,
@@ -331,12 +350,28 @@ impl IntCache {
 }
 
 /// An SDD manager over a fixed vtree.
+///
+/// A manager is either **standalone** (`base == None` — the ordinary
+/// case) or an **overlay** over a frozen slab ([`FrozenSdd::branch`]):
+/// node ids `< base_nodes` and arena offsets `< base_elems` resolve into
+/// the shared immutable base, everything at or past those marks lives in
+/// this manager's own (extension) vectors. All id/offset arithmetic is in
+/// the *global* space — `push_node` and `finish_decision` hand out ids
+/// continuing the base's — so a node's meaning never depends on which
+/// manager interned it.
 pub struct SddManager {
-    vtree: Vtree,
+    vtree: Arc<Vtree>,
+    /// Shared immutable base of an overlay manager (`None` = standalone).
+    base: Option<Arc<FrozenSdd>>,
+    /// Number of nodes owned by `base` (0 when standalone).
+    base_nodes: u32,
+    /// Number of arena elements owned by `base` (0 when standalone).
+    base_elems: u32,
+    /// Extension node table: global ids `base_nodes..`.
     nodes: Vec<SddNode>,
     /// The element arena: every decision's `(prime, sub)` pairs,
     /// contiguous, append-only. Ranges handed to [`SddNode::Decision`] are
-    /// immutable once interned.
+    /// immutable once interned. Holds global offsets `base_elems..`.
     arena: Vec<(SddId, SddId)>,
     lit_cache: FxHashMap<(VarId, bool), SddId>,
     unique: UniqueTable,
@@ -361,6 +396,144 @@ pub struct SddManager {
     /// per-manager indices, so anything caching values under `SddId`s
     /// (e.g. `eval::EvalCache`) must be able to tell managers apart.
     uid: u64,
+}
+
+/// Read-only access to an SDD store — implemented by the mutable
+/// [`SddManager`] and by the immutable [`FrozenSdd`] slab, so read-side
+/// traversals (semiring evaluation, reachability, assignment checks) are
+/// written once and run over either. The provided methods are the
+/// canonical traversal bodies; implementors only supply the six
+/// accessors.
+pub trait SddRead {
+    /// The store's vtree.
+    fn vtree(&self) -> &Vtree;
+
+    /// Process-unique identity of the store's id space (see
+    /// [`SddManager::uid`]). A frozen slab keeps the uid of the manager it
+    /// was frozen from — ids are unchanged, so caches keyed by them stay
+    /// valid; a branch draws a fresh one.
+    fn uid(&self) -> u64;
+
+    /// Node payload.
+    fn node(&self, id: SddId) -> &SddNode;
+
+    /// Resolve a decision's arena range (as stored in
+    /// [`SddNode::Decision`]) to its element slice.
+    fn elements(&self, r: Range<u32>) -> &[(SddId, SddId)];
+
+    /// Total allocated nodes (terminals included).
+    fn num_allocated(&self) -> usize;
+
+    /// Total elements in the arena.
+    fn num_elements(&self) -> usize;
+
+    /// The element slice of a decision node (borrowed from the arena — no
+    /// cloning; panics on terminals and literals).
+    fn elements_of(&self, a: SddId) -> &[(SddId, SddId)] {
+        match self.node(a) {
+            SddNode::Decision { elems, .. } => self.elements(elems.clone()),
+            _ => panic!("elements_of on non-decision"),
+        }
+    }
+
+    /// The vtree node a node respects: leaf for literals, its `vnode` for
+    /// decisions, `None` for ⊥/⊤ (which respect every node).
+    fn respects(&self, id: SddId) -> Option<VtreeNodeId> {
+        match self.node(id) {
+            SddNode::False | SddNode::True => None,
+            SddNode::Literal { var, .. } => Some(
+                self.vtree()
+                    .leaf_of_var(*var)
+                    .expect("literal var in vtree"),
+            ),
+            SddNode::Decision { vnode, .. } => Some(*vnode),
+        }
+    }
+
+    /// Decision nodes reachable from `root`.
+    fn reachable_decisions(&self, root: SddId) -> Vec<SddId> {
+        let mut seen: FxHashSet<SddId> = FxHashSet::default();
+        let mut stack = vec![root];
+        let mut out = Vec::new();
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            if let SddNode::Decision { elems, .. } = self.node(n) {
+                out.push(n);
+                for &(p, s) in self.elements(elems.clone()) {
+                    stack.push(p);
+                    stack.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// SDD size: total number of elements (∧-gates) over reachable
+    /// decisions.
+    fn size(&self, root: SddId) -> usize {
+        self.reachable_decisions(root)
+            .iter()
+            .map(|n| match self.node(*n) {
+                SddNode::Decision { elems, .. } => elems.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Evaluate under an assignment covering the vtree variables: one
+    /// bottom-up sweep over the reachable decisions in interning order
+    /// (children are always interned before their parents, so ascending
+    /// [`SddId`] is a topological order) — linear in the DAG size,
+    /// constant stack depth.
+    fn eval(&self, a: SddId, asg: &Assignment) -> bool {
+        let mut decisions = self.reachable_decisions(a);
+        decisions.sort_unstable();
+        let mut val: FxHashMap<SddId, bool> = FxHashMap::default();
+        let value_of = |n: SddId, val: &FxHashMap<SddId, bool>| match self.node(n) {
+            SddNode::False => false,
+            SddNode::True => true,
+            SddNode::Literal { var, positive } => {
+                asg.get(*var).expect("assignment covers vtree vars") == *positive
+            }
+            SddNode::Decision { .. } => val[&n],
+        };
+        for d in decisions {
+            let b = self
+                .elements_of(d)
+                .iter()
+                .any(|&(p, s)| value_of(p, &val) && value_of(s, &val));
+            val.insert(d, b);
+        }
+        value_of(a, &val)
+    }
+}
+
+impl SddRead for SddManager {
+    fn vtree(&self) -> &Vtree {
+        SddManager::vtree(self)
+    }
+
+    fn uid(&self) -> u64 {
+        SddManager::uid(self)
+    }
+
+    fn node(&self, id: SddId) -> &SddNode {
+        SddManager::node(self, id)
+    }
+
+    fn elements(&self, r: Range<u32>) -> &[(SddId, SddId)] {
+        SddManager::elements(self, r)
+    }
+
+    fn num_allocated(&self) -> usize {
+        SddManager::num_allocated(self)
+    }
+
+    fn num_elements(&self) -> usize {
+        SddManager::num_elements(self)
+    }
 }
 
 /// Encode a side for the packed lca memo.
@@ -395,13 +568,23 @@ fn pack_lca(l: VtreeNodeId, a_at: Option<Side>, b_at: Option<Side>) -> u32 {
     (l.0 << 4) | (side_code(a_at) << 2) | side_code(b_at)
 }
 
+/// The next process-unique manager identity (every `SddManager::new` and
+/// every [`FrozenSdd::branch`] draws one — a branch is a *different* id
+/// space extension, so caches bound to the base must refuse it).
+fn next_uid() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_UID: AtomicU64 = AtomicU64::new(0);
+    NEXT_UID.fetch_add(1, Ordering::Relaxed)
+}
+
 impl SddManager {
     /// Fresh manager over `vtree`.
     pub fn new(vtree: Vtree) -> Self {
-        use std::sync::atomic::{AtomicU64, Ordering};
-        static NEXT_UID: AtomicU64 = AtomicU64::new(0);
         SddManager {
-            vtree,
+            vtree: Arc::new(vtree),
+            base: None,
+            base_nodes: 0,
+            base_elems: 0,
             nodes: vec![SddNode::False, SddNode::True],
             arena: Vec::new(),
             lit_cache: FxHashMap::default(),
@@ -412,7 +595,7 @@ impl SddManager {
             scratch: Vec::new(),
             frame_pool: Vec::new(),
             stats: ApplyStats::default(),
-            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+            uid: next_uid(),
         }
     }
 
@@ -440,20 +623,26 @@ impl SddManager {
         &self.vtree
     }
 
-    /// Node payload.
+    /// Node payload. Ids below the base mark resolve into the shared
+    /// frozen slab of an overlay manager.
     pub fn node(&self, id: SddId) -> &SddNode {
-        &self.nodes[id.index()]
+        if id.0 < self.base_nodes {
+            &self.base.as_ref().expect("base ids imply a base").nodes[id.index()]
+        } else {
+            &self.nodes[id.index() - self.base_nodes as usize]
+        }
     }
 
-    /// Total allocated nodes (terminals included).
+    /// Total allocated nodes (terminals included; base + extension for an
+    /// overlay manager).
     pub fn num_allocated(&self) -> usize {
-        self.nodes.len()
+        self.base_nodes as usize + self.nodes.len()
     }
 
     /// Total elements in the arena — every decision's elements exactly
-    /// once, live or not.
+    /// once, live or not (base + extension for an overlay manager).
     pub fn num_elements(&self) -> usize {
-        self.arena.len()
+        self.base_elems as usize + self.arena.len()
     }
 
     /// Estimated resident bytes of the manager's node storage and caches:
@@ -461,10 +650,13 @@ impl SddManager {
     /// unique/apply/lca tables, and the literal cache (estimated from its
     /// capacity — the standard hash table stores entries plus one control
     /// byte per slot). Scratch-pool and vtree memory are excluded; the SDD
-    /// is the part that grows.
+    /// is the part that grows. An overlay manager counts the shared frozen
+    /// slab it resolves into ([`FrozenSdd::memory_bytes`]) plus its own
+    /// extension storage, so the metric stays comparable pre/post freeze.
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.nodes.capacity() * size_of::<SddNode>()
+        self.base.as_ref().map_or(0, |b| b.memory_bytes())
+            + self.nodes.capacity() * size_of::<SddNode>()
             + self.arena.capacity() * size_of::<(SddId, SddId)>()
             + self.neg_cache.capacity() * size_of::<u32>()
             + self.unique.slots.len() * size_of::<(u64, u32)>()
@@ -479,19 +671,14 @@ impl SddManager {
     /// The vtree node a node respects: leaf for literals, its `vnode` for
     /// decisions, `None` for ⊥/⊤ (which respect every node).
     pub fn respects(&self, id: SddId) -> Option<VtreeNodeId> {
-        match &self.nodes[id.index()] {
-            SddNode::False | SddNode::True => None,
-            SddNode::Literal { var, .. } => {
-                Some(self.vtree.leaf_of_var(*var).expect("literal var in vtree"))
-            }
-            SddNode::Decision { vnode, .. } => Some(*vnode),
-        }
+        SddRead::respects(self, id)
     }
 
     /// Append a node, enforcing the 31-bit id cap the packed apply key
-    /// (and the caches' slot encoding) relies on.
+    /// (and the caches' slot encoding) relies on. Ids are global: an
+    /// overlay manager continues its frozen base's id space.
     fn push_node(&mut self, n: SddNode) -> SddId {
-        let id = self.nodes.len();
+        let id = self.base_nodes as usize + self.nodes.len();
         assert!(id < (1 << 31), "SDD node ids are packed into 31 bits");
         self.nodes.push(n);
         self.neg_cache.push(EMPTY_SLOT);
@@ -515,22 +702,36 @@ impl SddManager {
     /// The element slice of a decision node (borrowed from the arena — no
     /// cloning; panics on terminals and literals).
     pub fn elements_of(&self, a: SddId) -> &[(SddId, SddId)] {
-        match &self.nodes[a.index()] {
+        match self.node(a) {
             SddNode::Decision { elems, .. } => self.elements(elems.clone()),
             _ => panic!("elements_of on non-decision"),
         }
     }
 
     /// Resolve a decision's arena range (as stored in
-    /// [`SddNode::Decision`]) to its element slice.
+    /// [`SddNode::Decision`]) to its element slice. A range lies wholly in
+    /// the frozen base or wholly in the extension (every decision's
+    /// elements are appended to exactly one arena), so the offset test on
+    /// `start` decides for the whole slice.
     pub fn elements(&self, r: Range<u32>) -> &[(SddId, SddId)] {
-        &self.arena[r.start as usize..r.end as usize]
+        if r.start < self.base_elems {
+            &self.base.as_ref().expect("base offsets imply a base").arena
+                [r.start as usize..r.end as usize]
+        } else {
+            let s = (r.start - self.base_elems) as usize;
+            let e = (r.end - self.base_elems) as usize;
+            &self.arena[s..e]
+        }
     }
 
-    /// One arena element.
+    /// One arena element (global offset).
     #[inline]
     fn element(&self, i: u32) -> (SddId, SddId) {
-        self.arena[i as usize]
+        if i < self.base_elems {
+            self.base.as_ref().expect("base offsets imply a base").arena[i as usize]
+        } else {
+            self.arena[(i - self.base_elems) as usize]
+        }
     }
 
     /// Memoized `(lca, side of va, side of vb)` for a vnode pair: the
@@ -609,11 +810,8 @@ impl SddManager {
                 break;
             }
             if slot_hash == hash {
-                if let SddNode::Decision { vnode: v2, elems } = &self.nodes[slot_id as usize] {
-                    if *v2 == vnode
-                        && &self.arena[elems.start as usize..elems.end as usize]
-                            == compressed.as_slice()
-                    {
+                if let SddNode::Decision { vnode: v2, elems } = self.node(SddId(slot_id)) {
+                    if *v2 == vnode && self.elements(elems.clone()) == compressed.as_slice() {
                         return SddId(slot_id);
                     }
                 }
@@ -621,16 +819,18 @@ impl SddManager {
             i = (i + 1) & mask;
         }
         // Miss: the elements enter the arena (their single home) and the
-        // free slot found above records the new node.
-        let start = self.arena.len();
+        // free slot found above records the new node. Offsets are global:
+        // an overlay manager's extension continues its base's arena.
+        let start = self.base_elems as usize + self.arena.len();
         assert!(
             start + compressed.len() <= u32::MAX as usize,
             "element arena exceeds u32 indexing"
         );
         self.arena.extend_from_slice(compressed);
+        let end = self.base_elems as usize + self.arena.len();
         let id = self.push_node(SddNode::Decision {
             vnode,
-            elems: start as u32..self.arena.len() as u32,
+            elems: start as u32..end as u32,
         });
         self.stats.unique_inserts += 1;
         self.unique.slots[i] = (hash, id.0);
@@ -831,7 +1031,7 @@ impl SddManager {
         if fuel == 0 {
             return self.negate_spill(a);
         }
-        let SddNode::Decision { vnode, elems } = &self.nodes[a.index()] else {
+        let SddNode::Decision { vnode, elems } = self.node(a) else {
             unreachable!()
         };
         let (vnode, range) = (*vnode, elems.clone());
@@ -856,7 +1056,7 @@ impl SddManager {
         if fuel == 0 {
             return self.condition_spill(ctx, a);
         }
-        let SddNode::Decision { vnode, elems } = &self.nodes[a.index()] else {
+        let SddNode::Decision { vnode, elems } = self.node(a) else {
             unreachable!()
         };
         let (vnode, range) = (*vnode, elems.clone());
@@ -1027,25 +1227,7 @@ impl SddManager {
     /// [`SddId`] is a topological order) — linear in the DAG size, constant
     /// stack depth.
     pub fn eval(&self, a: SddId, asg: &Assignment) -> bool {
-        let mut decisions = self.reachable_decisions(a);
-        decisions.sort_unstable();
-        let mut val: FxHashMap<SddId, bool> = FxHashMap::default();
-        let value_of = |n: SddId, val: &FxHashMap<SddId, bool>| match &self.nodes[n.index()] {
-            SddNode::False => false,
-            SddNode::True => true,
-            SddNode::Literal { var, positive } => {
-                asg.get(*var).expect("assignment covers vtree vars") == *positive
-            }
-            SddNode::Decision { .. } => val[&n],
-        };
-        for d in decisions {
-            let b = self
-                .elements_of(d)
-                .iter()
-                .any(|&(p, s)| value_of(p, &val) && value_of(s, &val));
-            val.insert(d, b);
-        }
-        value_of(a, &val)
+        SddRead::eval(self, a, asg)
     }
 
     /// Read back the function over the full vtree variable set.
@@ -1058,40 +1240,19 @@ impl SddManager {
 
     /// Decision nodes reachable from `root`.
     pub fn reachable_decisions(&self, root: SddId) -> Vec<SddId> {
-        let mut seen: FxHashSet<SddId> = FxHashSet::default();
-        let mut stack = vec![root];
-        let mut out = Vec::new();
-        while let Some(n) = stack.pop() {
-            if !seen.insert(n) {
-                continue;
-            }
-            if let SddNode::Decision { elems, .. } = &self.nodes[n.index()] {
-                out.push(n);
-                for &(p, s) in self.elements(elems.clone()) {
-                    stack.push(p);
-                    stack.push(s);
-                }
-            }
-        }
-        out
+        SddRead::reachable_decisions(self, root)
     }
 
     /// SDD size: total number of elements (∧-gates) over reachable decisions.
     pub fn size(&self, root: SddId) -> usize {
-        self.reachable_decisions(root)
-            .iter()
-            .map(|n| match &self.nodes[n.index()] {
-                SddNode::Decision { elems, .. } => elems.len(),
-                _ => 0,
-            })
-            .sum()
+        SddRead::size(self, root)
     }
 
     /// ∧-gates per vtree node: the counts behind the paper's Definition 5.
     pub fn vnode_profile(&self, root: SddId) -> FxHashMap<VtreeNodeId, usize> {
         let mut profile: FxHashMap<VtreeNodeId, usize> = FxHashMap::default();
         for n in self.reachable_decisions(root) {
-            if let SddNode::Decision { vnode, elems } = &self.nodes[n.index()] {
+            if let SddNode::Decision { vnode, elems } = self.node(n) {
                 *profile.entry(*vnode).or_insert(0) += elems.len();
             }
         }
@@ -1722,7 +1883,7 @@ impl Engine {
         // Two literals of the same variable with different polarity
         // (equal nodes were handled above).
         if let (SddNode::Literal { var: va, .. }, SddNode::Literal { var: vb, .. }) =
-            (&m.nodes[a.index()], &m.nodes[b.index()])
+            (m.node(a), m.node(b))
         {
             if va == vb {
                 let r = match op {
@@ -1792,7 +1953,7 @@ impl Engine {
     /// No element data is copied in any case.
     fn norm_elems(m: &SddManager, x: SddId, side: Option<Side>, nx: Option<SddId>) -> Elems {
         match side {
-            None => match &m.nodes[x.index()] {
+            None => match m.node(x) {
                 SddNode::Decision { elems, .. } => Elems::Arena(elems.start, elems.end),
                 _ => unreachable!("lca-respecting operand is a decision"),
             },
@@ -1819,7 +1980,7 @@ impl Engine {
     /// needs a frame.
     #[inline]
     fn negate_head(m: &mut SddManager, a: SddId) -> Option<SddId> {
-        match &m.nodes[a.index()] {
+        match m.node(a) {
             SddNode::False => return Some(TRUE),
             SddNode::True => return Some(FALSE),
             SddNode::Literal { var, positive } => {
@@ -1841,7 +2002,7 @@ impl Engine {
         if let Some(r) = Self::negate_head(m, a) {
             return Some(r);
         }
-        let SddNode::Decision { vnode, elems } = &m.nodes[a.index()] else {
+        let SddNode::Decision { vnode, elems } = m.node(a) else {
             unreachable!()
         };
         let (vnode, elems) = (*vnode, elems.clone());
@@ -1862,7 +2023,7 @@ impl Engine {
     /// immediately; `None` means the decision needs a frame.
     #[inline]
     fn condition_head(m: &SddManager, ctx: &CondCtx, a: SddId) -> Option<SddId> {
-        match &m.nodes[a.index()] {
+        match m.node(a) {
             SddNode::False | SddNode::True => return Some(a),
             SddNode::Literal { var, positive } => {
                 if *var == ctx.var {
@@ -1883,7 +2044,7 @@ impl Engine {
         if let Some(r) = Self::condition_head(m, ctx, a) {
             return Some(r);
         }
-        let SddNode::Decision { vnode, elems } = &m.nodes[a.index()] else {
+        let SddNode::Decision { vnode, elems } = m.node(a) else {
             unreachable!()
         };
         let (vnode, elems) = (*vnode, elems.clone());

@@ -1,0 +1,224 @@
+//! `kb-server` — compile once, freeze, serve line-delimited queries from
+//! stdin or a TCP socket across a shard pool.
+//!
+//! ```text
+//! kb-server [--shards N] [--replicas R] [--listen ADDR] SPEC...
+//!
+//! SPEC:  path/to/file.cnf   a (weighted) DIMACS CNF file
+//!        chain:N            the treewidth-1 chain family, N variables
+//!        band:N:W           the width-W band family, N variables
+//! ```
+//!
+//! Each base is compiled once, frozen into an immutable slab, and pinned
+//! to shard `id % shards`. `--replicas R` registers every loaded base `R`
+//! times (ids `kbs*r + i`): replicas share one slab via `Arc`, so a hot
+//! base serves from several shards at the cost of one session's caches
+//! per replica — no SDD is copied.
+//!
+//! Protocol (one request per line; answers are `<seq> ok …` / `<seq> err …`
+//! and may arrive out of order — `sync` flushes, `stats` prints per-shard
+//! counters, `quit` exits):
+//!
+//! ```text
+//! kb <id> marginal <var> | marginals | mpe | top <k> | query <lit>… |
+//!         logw | pe | count | entails <lit>… | consistent |
+//!         condition <lit>… | retract | setp <var> <p>
+//! ```
+//!
+//! Variables are 1-based on the wire, literal sign is polarity (DIMACS).
+
+use kb::KnowledgeBase;
+use sentential_core::Compiler;
+use serve::{parse_request, KbServer, Request};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kb-server [--shards N] [--replicas R] [--listen ADDR] SPEC...\n\
+         SPEC: path.cnf | chain:N | band:N:W"
+    );
+    std::process::exit(2);
+}
+
+/// Compile one SPEC into a frozen base (serving posture: the up-front
+/// exact count is skipped — sessions count on demand).
+fn load(spec: &str) -> Result<kb::FrozenKb, String> {
+    let compiler = Compiler::builder().exact_counts(false).build();
+    let f = if let Some(n) = spec.strip_prefix("chain:") {
+        let n: u32 = n.parse().map_err(|_| format!("bad chain spec {spec:?}"))?;
+        cnf::families::chain_cnf(n)
+    } else if let Some(nw) = spec.strip_prefix("band:") {
+        let (n, w) = nw
+            .split_once(':')
+            .ok_or_else(|| format!("bad band spec {spec:?} (want band:N:W)"))?;
+        cnf::families::band_cnf(
+            n.parse().map_err(|_| format!("bad band n in {spec:?}"))?,
+            w.parse().map_err(|_| format!("bad band w in {spec:?}"))?,
+        )
+    } else {
+        let text = std::fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+        cnf::CnfFormula::from_dimacs(&text).map_err(|e| format!("{spec}: {e}"))?
+    };
+    let kb = KnowledgeBase::compile_cnf(&compiler, &f).map_err(|e| format!("{spec}: {e}"))?;
+    Ok(kb.freeze())
+}
+
+/// One protocol conversation: read lines from `input`, write responses to
+/// `output`. Returns `false` when the client asked the server to quit.
+fn converse(
+    server: &mut KbServer,
+    input: &mut dyn BufRead,
+    output: &mut dyn Write,
+) -> std::io::Result<bool> {
+    let mut line = String::new();
+    loop {
+        // Print whatever the shards finished while we were reading.
+        for (seq, resp) in server.try_drain() {
+            writeln!(output, "{seq} {resp}")?;
+        }
+        output.flush()?;
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            break; // EOF: flush and return
+        }
+        match parse_request(&line) {
+            Ok(None) => {}
+            Ok(Some(Request::Quit)) => {
+                for (seq, resp) in server.sync() {
+                    writeln!(output, "{seq} {resp}")?;
+                }
+                output.flush()?;
+                return Ok(false);
+            }
+            Ok(Some(Request::Sync)) => {
+                for (seq, resp) in server.sync() {
+                    writeln!(output, "{seq} {resp}")?;
+                }
+                writeln!(output, "synced")?;
+            }
+            Ok(Some(Request::Stats)) => {
+                for s in server.stats() {
+                    writeln!(output, "{}", s.render())?;
+                }
+            }
+            Ok(Some(Request::Query { kb, cmd })) => match server.submit(kb, cmd) {
+                Ok(_) => {}
+                Err(e) => writeln!(output, "err {e}")?,
+            },
+            Err(e) => writeln!(output, "err {e}")?,
+        }
+    }
+    for (seq, resp) in server.sync() {
+        writeln!(output, "{seq} {resp}")?;
+    }
+    output.flush()?;
+    Ok(true)
+}
+
+fn main() {
+    let mut shards = 4usize;
+    let mut replicas = 1usize;
+    let mut listen: Option<String> = None;
+    let mut specs: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--shards" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => shards = v,
+                _ => usage(),
+            },
+            "--replicas" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => replicas = v,
+                _ => usage(),
+            },
+            "--listen" => match args.next() {
+                Some(v) => listen = Some(v),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => specs.push(a),
+        }
+    }
+    if specs.is_empty() {
+        usage();
+    }
+
+    let mut kbs = Vec::new();
+    for spec in &specs {
+        match load(spec) {
+            Ok(kb) => kbs.push(Arc::new(kb)),
+            Err(e) => {
+                eprintln!("kb-server: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let base = kbs.len();
+    for r in 1..replicas {
+        for i in 0..base {
+            kbs.push(Arc::clone(&kbs[i]));
+        }
+        let _ = r;
+    }
+    for (i, kb) in kbs.iter().enumerate() {
+        eprintln!(
+            "kb {i} ({}): vars={} sdd={} gates={} mem_bytes={} shard={}",
+            specs[i % base],
+            kb.vars().len(),
+            kb.sdd_size(),
+            kb.unfolded_size(),
+            kb.memory_bytes(),
+            i % shards,
+        );
+    }
+
+    let mut server = KbServer::new(kbs, shards);
+    match listen {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut input = stdin.lock();
+            let mut output = BufWriter::new(stdout.lock());
+            if let Err(e) = converse(&mut server, &mut input, &mut output) {
+                eprintln!("kb-server: {e}");
+            }
+        }
+        Some(addr) => {
+            let listener = match std::net::TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("kb-server: bind {addr}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            eprintln!("kb-server: listening on {addr}");
+            // Connections are served sequentially over one shard pool, so
+            // session state persists across reconnects.
+            for conn in listener.incoming() {
+                match conn {
+                    Ok(stream) => {
+                        let peer = stream.peer_addr().ok();
+                        let mut input = BufReader::new(match stream.try_clone() {
+                            Ok(s) => s,
+                            Err(e) => {
+                                eprintln!("kb-server: {e}");
+                                continue;
+                            }
+                        });
+                        let mut output = BufWriter::new(stream);
+                        match converse(&mut server, &mut input, &mut output) {
+                            Ok(true) => eprintln!("kb-server: {peer:?} disconnected"),
+                            Ok(false) => break,
+                            Err(e) => eprintln!("kb-server: {peer:?}: {e}"),
+                        }
+                    }
+                    Err(e) => eprintln!("kb-server: accept: {e}"),
+                }
+            }
+        }
+    }
+    for s in server.shutdown() {
+        eprintln!("{}", s.render());
+    }
+}

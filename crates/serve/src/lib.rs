@@ -1,0 +1,474 @@
+//! The sharded serving front-end over frozen knowledge bases.
+//!
+//! The PODS'17 regime is compile-once/answer-many; [`kb::FrozenKb`] made
+//! the compiled artifact `Send + Sync`. This crate adds the operational
+//! tier on top: [`KbServer`] loads N frozen bases, pins each to a shard of
+//! a thread pool (one worker thread per shard, one private
+//! [`kb::KbSession`] per base), and pipelines line-delimited requests
+//! through the shards — the submitting thread keeps reading input while
+//! workers answer in parallel, and every response carries its request's
+//! sequence number so clients reassemble order themselves.
+//!
+//! Routing is deterministic — base `i` lives on shard `i % threads` — so
+//! session state (evidence asserted via `condition`, session-local
+//! weights) stays consistent: all requests against one base execute on the
+//! one session that owns it, in submission order. To spread *stateless*
+//! traffic over one hot base, register the same `Arc<FrozenKb>` several
+//! times ([`KbServer::new`] takes the list by value; the `kb-server`
+//! binary's `--replicas` flag does exactly this): replicas share the slab,
+//! so extra entries cost one session's caches each, not a copy of the SDD.
+//!
+//! The wire protocol ([`parse_request`]) is one request per line,
+//! DIMACS-flavored (1-based variables, sign = polarity), answered as
+//! `<seq> ok …` / `<seq> err …` — see the `kb-server` binary or
+//! `examples/kb_server.rs` at the workspace root for the end-to-end loop.
+
+use kb::{FrozenKb, KbSession, Lit, Model};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vtree::VarId;
+
+/// One query against one knowledge base, as carried by the wire protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `marginal <var>` — posterior `P(v = 1)`.
+    Marginal(VarId),
+    /// `marginals` — all posterior marginals, in vtree variable order.
+    AllMarginals,
+    /// `mpe` — most probable explanation (log-weight + assignment bits).
+    Mpe,
+    /// `top <k>` — the `k` heaviest models.
+    Top(usize),
+    /// `query <lit>…` — conditional probability of a conjunction.
+    Query(Vec<Lit>),
+    /// `logw` — `ln W(F ∧ e)`.
+    LogWeight,
+    /// `pe` — probability of the asserted evidence.
+    ProbEvidence,
+    /// `count` — exact model count under the evidence.
+    Count,
+    /// `entails <lit>…` — clause entailment.
+    Entails(Vec<Lit>),
+    /// `consistent` — does a model satisfy the evidence?
+    Consistent,
+    /// `condition <lit>…` — assert evidence (session-local).
+    Condition(Vec<Lit>),
+    /// `retract` — drop session evidence back to the frozen baseline.
+    Retract,
+    /// `setp <var> <p>` — session-local `P(v = 1) = p`.
+    SetProbability(VarId, f64),
+}
+
+/// One parsed input line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// `kb <id> <command…>` — routed to the shard owning base `id`.
+    Query { kb: usize, cmd: Command },
+    /// `stats` — per-shard counters.
+    Stats,
+    /// `sync` — drain all outstanding responses.
+    Sync,
+    /// `quit` — shut the server down.
+    Quit,
+}
+
+/// Parse a DIMACS-style literal token: `"3"` is variable 3 positive,
+/// `"-3"` negative. Variables are 1-based on the wire ([`VarId`] is
+/// 0-based internally, matching the DIMACS reader).
+fn parse_lit(tok: &str) -> Result<Lit, String> {
+    let n: i64 = tok
+        .parse()
+        .map_err(|_| format!("bad literal {tok:?} (want a signed 1-based variable)"))?;
+    if n == 0 {
+        return Err("literal 0 is the DIMACS terminator, not a variable".into());
+    }
+    Ok((VarId(n.unsigned_abs() as u32 - 1), n > 0))
+}
+
+fn parse_var(tok: &str) -> Result<VarId, String> {
+    let n: u32 = tok
+        .parse()
+        .map_err(|_| format!("bad variable {tok:?} (want a 1-based index)"))?;
+    if n == 0 {
+        return Err("variables are 1-based on the wire".into());
+    }
+    Ok(VarId(n - 1))
+}
+
+fn parse_lits(toks: &[&str]) -> Result<Vec<Lit>, String> {
+    toks.iter().map(|t| parse_lit(t)).collect()
+}
+
+/// Parse one protocol line. Empty lines and `#` comments parse to `None`.
+pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    match toks.as_slice() {
+        [] => Ok(None),
+        [c, ..] if c.starts_with('#') => Ok(None),
+        ["stats"] => Ok(Some(Request::Stats)),
+        ["sync"] => Ok(Some(Request::Sync)),
+        ["quit"] => Ok(Some(Request::Quit)),
+        ["kb", id, rest @ ..] => {
+            let kb: usize = id.parse().map_err(|_| format!("bad kb id {id:?}"))?;
+            let cmd = match rest {
+                ["marginal", v] => Command::Marginal(parse_var(v)?),
+                ["marginals"] => Command::AllMarginals,
+                ["mpe"] => Command::Mpe,
+                ["top", k] => Command::Top(k.parse().map_err(|_| format!("bad k {k:?}"))?),
+                ["query", lits @ ..] if !lits.is_empty() => Command::Query(parse_lits(lits)?),
+                ["logw"] => Command::LogWeight,
+                ["pe"] => Command::ProbEvidence,
+                ["count"] => Command::Count,
+                ["entails", lits @ ..] => Command::Entails(parse_lits(lits)?),
+                ["consistent"] => Command::Consistent,
+                ["condition", lits @ ..] if !lits.is_empty() => {
+                    Command::Condition(parse_lits(lits)?)
+                }
+                ["retract"] => Command::Retract,
+                ["setp", v, p] => Command::SetProbability(
+                    parse_var(v)?,
+                    p.parse().map_err(|_| format!("bad probability {p:?}"))?,
+                ),
+                _ => return Err(format!("unknown command {:?}", rest.join(" "))),
+            };
+            Ok(Some(Request::Query { kb, cmd }))
+        }
+        _ => Err(format!("unparseable request {line:?}")),
+    }
+}
+
+/// Lifetime counters of one shard worker, reported by [`KbServer::stats`]
+/// and returned by [`KbServer::shutdown`]. The eval counters aggregate the
+/// per-query [`kb::KbQueryStats`] deltas across every session the shard
+/// owns, so a serving deployment sees how warm its caches run.
+#[derive(Clone, Debug, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Knowledge bases pinned to this shard.
+    pub kbs: usize,
+    /// Requests answered.
+    pub served: u64,
+    /// Wall-clock time spent inside query bodies.
+    pub busy: Duration,
+    /// Evaluation-cache lookups across all queries.
+    pub eval_lookups: u64,
+    /// Lookups answered from a still-valid cached value.
+    pub eval_hits: u64,
+    /// Node values recomputed (total dirty-cone size).
+    pub eval_recomputed: u64,
+}
+
+impl ShardStats {
+    /// One-line rendering for the `stats` protocol verb.
+    pub fn render(&self) -> String {
+        format!(
+            "shard {} kbs {} served {} busy_us {} eval_lookups {} eval_hits {} eval_recomputed {}",
+            self.shard,
+            self.kbs,
+            self.served,
+            self.busy.as_micros(),
+            self.eval_lookups,
+            self.eval_hits,
+            self.eval_recomputed
+        )
+    }
+}
+
+enum Job {
+    Run { seq: u64, kb: usize, cmd: Command },
+    Stats { reply: mpsc::Sender<ShardStats> },
+}
+
+/// The sharded server: N frozen bases pinned across worker threads, a
+/// pipelined submit/collect interface, and per-shard statistics.
+pub struct KbServer {
+    txs: Vec<mpsc::Sender<Job>>,
+    collect: mpsc::Receiver<(u64, String)>,
+    handles: Vec<JoinHandle<ShardStats>>,
+    /// kb id → shard (deterministic, so session state stays coherent).
+    route: Vec<usize>,
+    next_seq: u64,
+    outstanding: u64,
+}
+
+impl KbServer {
+    /// Spin up `threads` shard workers serving `kbs`. Base `i` is pinned
+    /// to shard `i % threads`; each worker opens one private session per
+    /// base it owns (registering one `Arc` several times is the supported
+    /// way to serve a hot base from several threads at once).
+    pub fn new(kbs: Vec<Arc<FrozenKb>>, threads: usize) -> KbServer {
+        let threads = threads.max(1);
+        let route: Vec<usize> = (0..kbs.len()).map(|i| i % threads).collect();
+        let (ctx, collect) = mpsc::channel::<(u64, String)>();
+        let mut txs = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for shard in 0..threads {
+            let (tx, rx) = mpsc::channel::<Job>();
+            // (kb id, session) pairs this shard owns.
+            let mut sessions: Vec<(usize, KbSession)> = kbs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % threads == shard)
+                .map(|(i, kb)| (i, kb.session()))
+                .collect();
+            let ctx = ctx.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut stats = ShardStats {
+                    shard,
+                    kbs: sessions.len(),
+                    ..ShardStats::default()
+                };
+                while let Ok(job) = rx.recv() {
+                    match job {
+                        Job::Run { seq, kb, cmd } => {
+                            let line = match sessions.iter_mut().find(|(i, _)| *i == kb) {
+                                Some((_, session)) => {
+                                    let line = answer(session, &cmd);
+                                    let q = session.last_query();
+                                    stats.served += 1;
+                                    stats.busy += q.duration;
+                                    stats.eval_lookups += q.eval.lookups;
+                                    stats.eval_hits += q.eval.hits;
+                                    stats.eval_recomputed += q.eval.recomputed;
+                                    line
+                                }
+                                None => format!("err kb {kb} is not on shard {shard}"),
+                            };
+                            if ctx.send((seq, line)).is_err() {
+                                break; // server dropped: shut down
+                            }
+                        }
+                        Job::Stats { reply } => {
+                            let _ = reply.send(stats.clone());
+                        }
+                    }
+                }
+                stats
+            }));
+            txs.push(tx);
+        }
+        KbServer {
+            txs,
+            collect,
+            handles,
+            route,
+            next_seq: 0,
+            outstanding: 0,
+        }
+    }
+
+    /// Knowledge bases registered (including replicas).
+    pub fn num_kbs(&self) -> usize {
+        self.route.len()
+    }
+
+    /// Shard worker threads.
+    pub fn num_shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Submit a query; returns its sequence number. The call only enqueues
+    /// — collect the answer with [`KbServer::recv`] or [`KbServer::sync`].
+    pub fn submit(&mut self, kb: usize, cmd: Command) -> Result<u64, String> {
+        let &shard = self
+            .route
+            .get(kb)
+            .ok_or_else(|| format!("kb {kb} not loaded ({} available)", self.route.len()))?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.outstanding += 1;
+        self.txs[shard]
+            .send(Job::Run { seq, kb, cmd })
+            .map_err(|_| format!("shard {shard} is gone"))?;
+        Ok(seq)
+    }
+
+    /// Responses not yet collected.
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding
+    }
+
+    /// Block for the next response (any shard, any order).
+    pub fn recv(&mut self) -> Option<(u64, String)> {
+        if self.outstanding == 0 {
+            return None;
+        }
+        let r = self.collect.recv().ok();
+        if r.is_some() {
+            self.outstanding -= 1;
+        }
+        r
+    }
+
+    /// Responses that are already available, without blocking.
+    pub fn try_drain(&mut self) -> Vec<(u64, String)> {
+        let mut out = Vec::new();
+        while self.outstanding > 0 {
+            match self.collect.try_recv() {
+                Ok(r) => {
+                    self.outstanding -= 1;
+                    out.push(r);
+                }
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    /// Drain every outstanding response, returned in sequence order.
+    pub fn sync(&mut self) -> Vec<(u64, String)> {
+        let mut out = Vec::with_capacity(self.outstanding as usize);
+        while let Some(r) = self.recv() {
+            out.push(r);
+        }
+        out.sort_by_key(|&(seq, _)| seq);
+        out
+    }
+
+    /// Per-shard counters (drains outstanding work first so the counters
+    /// cover everything submitted so far).
+    pub fn stats(&mut self) -> Vec<ShardStats> {
+        let _ = self.sync();
+        let (tx, rx) = mpsc::channel();
+        let mut n = 0;
+        for shard_tx in &self.txs {
+            if shard_tx.send(Job::Stats { reply: tx.clone() }).is_ok() {
+                n += 1;
+            }
+        }
+        drop(tx);
+        let mut stats: Vec<ShardStats> = rx.iter().take(n).collect();
+        stats.sort_by_key(|s| s.shard);
+        stats
+    }
+
+    /// Shut down: close the job queues, join every worker, and return the
+    /// final per-shard counters.
+    pub fn shutdown(mut self) -> Vec<ShardStats> {
+        let _ = self.sync();
+        self.txs.clear(); // closes the channels; workers drain and exit
+        let mut stats: Vec<ShardStats> = self
+            .handles
+            .drain(..)
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect();
+        stats.sort_by_key(|s| s.shard);
+        stats
+    }
+}
+
+/// Render one model as `<log-weight> <bits>` with bit `i` the polarity of
+/// the `i`-th vtree variable.
+fn render_model(vars: &[VarId], m: &Model) -> String {
+    let bits: String = vars
+        .iter()
+        .map(|&v| {
+            if m.assignment.get(v) == Some(true) {
+                '1'
+            } else {
+                '0'
+            }
+        })
+        .collect();
+    format!("{} {}", m.log_weight, bits)
+}
+
+/// Execute one command against a session and render the response line
+/// (`ok …` / `err …`). Floats use Rust's shortest-round-trip `Display`,
+/// so parsing the answer back recovers the exact bits the engine computed
+/// — the cross-check in `tests/` relies on that.
+pub fn answer(s: &mut KbSession, cmd: &Command) -> String {
+    fn or_err<T: std::fmt::Display>(r: Result<T, kb::KbError>) -> String {
+        match r {
+            Ok(v) => format!("ok {v}"),
+            Err(e) => format!("err {e}"),
+        }
+    }
+    match cmd {
+        Command::Marginal(v) => or_err(s.marginal(*v)),
+        Command::AllMarginals => match s.all_marginals() {
+            Ok(pairs) => {
+                let mut out = String::from("ok");
+                for (_, p) in pairs {
+                    out.push(' ');
+                    out.push_str(&p.to_string());
+                }
+                out
+            }
+            Err(e) => format!("err {e}"),
+        },
+        Command::Mpe => match s.mpe() {
+            Ok(m) => format!("ok {}", render_model(s.vars(), &m)),
+            Err(e) => format!("err {e}"),
+        },
+        Command::Top(k) => {
+            let models = s.enumerate_models(*k);
+            let vars: Vec<VarId> = s.vars().to_vec();
+            let mut out = format!("ok {}", models.len());
+            for m in &models {
+                out.push_str("; ");
+                out.push_str(&render_model(&vars, m));
+            }
+            out
+        }
+        Command::Query(lits) => or_err(s.query(lits)),
+        Command::LogWeight => format!("ok {}", s.log_weight()),
+        Command::ProbEvidence => or_err(s.probability_of_evidence()),
+        Command::Count => format!("ok {}", s.count_models()),
+        Command::Entails(lits) => or_err(s.entails(lits)),
+        Command::Consistent => format!("ok {}", s.is_consistent()),
+        Command::Condition(lits) => match s.condition(lits) {
+            Ok(()) => "ok".into(),
+            Err(e) => format!("err {e}"),
+        },
+        Command::Retract => {
+            s.retract();
+            "ok".into()
+        }
+        Command::SetProbability(v, p) => match s.set_probability(*v, *p) {
+            Ok(()) => "ok".into(),
+            Err(e) => format!("err {e}"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_lines_parse_and_reject() {
+        assert_eq!(parse_request("").unwrap(), None);
+        assert_eq!(parse_request("# comment").unwrap(), None);
+        assert_eq!(parse_request("quit").unwrap(), Some(Request::Quit));
+        assert_eq!(
+            parse_request("kb 0 marginal 3").unwrap(),
+            Some(Request::Query {
+                kb: 0,
+                cmd: Command::Marginal(VarId(2))
+            })
+        );
+        assert_eq!(
+            parse_request("kb 2 condition 1 -4").unwrap(),
+            Some(Request::Query {
+                kb: 2,
+                cmd: Command::Condition(vec![(VarId(0), true), (VarId(3), false)])
+            })
+        );
+        assert_eq!(
+            parse_request("kb 0 entails").unwrap(),
+            Some(Request::Query {
+                kb: 0,
+                cmd: Command::Entails(vec![])
+            })
+        );
+        assert!(parse_request("kb 0 marginal 0").is_err(), "1-based wire");
+        assert!(parse_request("kb 0 condition 0").is_err());
+        assert!(parse_request("kb 0 condition").is_err(), "empty evidence");
+        assert!(parse_request("kb x mpe").is_err());
+        assert!(parse_request("frobnicate").is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! End-to-end server smoke: one frozen base replicated across shards must
+//! answer a concurrent query batch **bit-identically** to the sequential
+//! mutable [`kb::KnowledgeBase`] — floats travel the wire through Rust's
+//! shortest-round-trip `Display`, so string equality here is bit equality
+//! of the underlying `f64`s.
+
+use kb::KnowledgeBase;
+use sentential_core::Compiler;
+use serve::{parse_request, Command, KbServer, Request};
+use std::sync::Arc;
+use vtree::VarId;
+
+fn v(i: u32) -> VarId {
+    VarId(i)
+}
+
+/// Deterministic prior of variable `i` (the bench's shape).
+fn prior(i: usize) -> f64 {
+    0.2 + 0.6 * ((i * 7) % 10) as f64 / 10.0
+}
+
+fn chain_kb(n: u32) -> KnowledgeBase {
+    let f = cnf::families::chain_cnf(n);
+    let mut kb = KnowledgeBase::compile_cnf(&Compiler::new(), &f).unwrap();
+    for i in 0..n as usize {
+        kb.set_probability(v(i as u32), prior(i)).unwrap();
+    }
+    kb
+}
+
+#[test]
+fn replicated_shards_answer_bit_identically_to_the_sequential_path() {
+    const N: u32 = 40;
+    const REPLICAS: usize = 8;
+    let frozen = Arc::new(chain_kb(N).freeze());
+    let kbs: Vec<Arc<kb::FrozenKb>> = (0..REPLICAS).map(|_| Arc::clone(&frozen)).collect();
+    let mut server = KbServer::new(kbs, 4);
+    assert_eq!(server.num_shards(), 4);
+    assert_eq!(server.num_kbs(), REPLICAS);
+
+    // Fire the whole batch before collecting anything: every replica gets
+    // a marginal, a conjunction query, a log-weight, and a count, all
+    // in flight at once across the 4 shard workers.
+    let mut expected = Vec::new();
+    let mut seqs = Vec::new();
+    for r in 0..REPLICAS {
+        let m = v((3 + 5 * r as u32) % N);
+        let q = [(v((7 * r as u32 + 1) % N), r % 2 == 0)];
+        seqs.push(server.submit(r, Command::Marginal(m)).unwrap());
+        seqs.push(server.submit(r, Command::Query(q.to_vec())).unwrap());
+        seqs.push(server.submit(r, Command::LogWeight).unwrap());
+        seqs.push(server.submit(r, Command::Count).unwrap());
+        expected.push((m, q));
+    }
+    let responses = server.sync();
+    assert_eq!(responses.len(), 4 * REPLICAS);
+
+    // The sequential oracle answers the same queries on the mutable path.
+    let mut oracle = chain_kb(N);
+    let mut iter = responses.into_iter();
+    for (r, &(m, q)) in expected.iter().enumerate() {
+        let (s0, a_marginal) = iter.next().unwrap();
+        let (_, a_query) = iter.next().unwrap();
+        let (_, a_logw) = iter.next().unwrap();
+        let (_, a_count) = iter.next().unwrap();
+        assert_eq!(s0, seqs[4 * r]);
+        assert_eq!(a_marginal, format!("ok {}", oracle.marginal(m).unwrap()));
+        assert_eq!(a_query, format!("ok {}", oracle.query(&q).unwrap()));
+        assert_eq!(a_logw, format!("ok {}", oracle.log_weight()));
+        assert_eq!(a_count, format!("ok {}", oracle.count_models()));
+    }
+
+    // Per-shard stats cover the whole batch.
+    let stats = server.stats();
+    assert_eq!(stats.len(), 4);
+    let served: u64 = stats.iter().map(|s| s.served).sum();
+    assert_eq!(served, 4 * REPLICAS as u64);
+    assert!(stats.iter().all(|s| s.kbs == REPLICAS / 4));
+    assert!(stats.iter().any(|s| s.eval_lookups > 0));
+    let final_stats = server.shutdown();
+    assert_eq!(final_stats.len(), 4);
+}
+
+#[test]
+fn session_state_is_sticky_per_replica() {
+    let frozen = Arc::new(chain_kb(16).freeze());
+    let kbs = vec![Arc::clone(&frozen), Arc::clone(&frozen)];
+    let mut server = KbServer::new(kbs, 2);
+
+    // Replica 0 asserts evidence; replica 1 must stay at the baseline.
+    server
+        .submit(0, Command::Condition(vec![(v(2), true)]))
+        .unwrap();
+    server.submit(0, Command::LogWeight).unwrap();
+    server.submit(1, Command::LogWeight).unwrap();
+    let responses = server.sync();
+    assert_eq!(responses[0].1, "ok");
+
+    let mut oracle = chain_kb(16);
+    let baseline = format!("ok {}", oracle.log_weight());
+    oracle.condition(&[(v(2), true)]).unwrap();
+    let conditioned = format!("ok {}", oracle.log_weight());
+    assert_eq!(responses[1].1, conditioned);
+    assert_eq!(responses[2].1, baseline);
+    assert_ne!(conditioned, baseline);
+
+    // Retract restores the frozen baseline on the conditioned replica.
+    server.submit(0, Command::Retract).unwrap();
+    server.submit(0, Command::LogWeight).unwrap();
+    let responses = server.sync();
+    assert_eq!(responses[1].1, baseline);
+    server.shutdown();
+}
+
+#[test]
+fn wire_protocol_round_trips_through_parse_and_answer() {
+    let frozen = Arc::new(chain_kb(8).freeze());
+    let mut server = KbServer::new(vec![frozen], 1);
+    let script = [
+        "kb 0 marginal 3",
+        "kb 0 condition 2 -5",
+        "kb 0 consistent",
+        "kb 0 count",
+        "kb 0 entails 2",
+        "kb 0 mpe",
+        "kb 0 top 3",
+        "kb 0 pe",
+        "kb 0 retract",
+        "kb 0 setp 1 0.5",
+        "kb 0 marginals",
+    ];
+    for line in script {
+        match parse_request(line).unwrap().unwrap() {
+            Request::Query { kb, cmd } => {
+                server.submit(kb, cmd).unwrap();
+            }
+            other => panic!("unexpected request {other:?}"),
+        }
+    }
+    let responses = server.sync();
+    assert_eq!(responses.len(), script.len());
+    for (i, (_, resp)) in responses.iter().enumerate() {
+        assert!(
+            resp.starts_with("ok"),
+            "script line {:?} answered {resp:?}",
+            script[i]
+        );
+    }
+    // Evidence asserted over the wire really bites: x2 entailed after
+    // `condition 2`.
+    assert_eq!(responses[4].1, "ok true");
+    // Bad kb ids surface as submit errors, not worker panics.
+    assert!(server.submit(7, Command::LogWeight).is_err());
+    server.shutdown();
+}

@@ -83,6 +83,7 @@ pub use obdd;
 pub use query;
 pub use sdd;
 pub use sentential_core;
+pub use serve;
 pub use vtree;
 
 /// Everything most programs need, one `use` away.
@@ -92,15 +93,14 @@ pub mod prelude {
     pub use circuit::{self, Circuit, CircuitBuilder};
     pub use cnf::{self, CnfFormula};
     pub use graphtw::{self, Graph};
-    pub use kb::{self, KbError, KnowledgeBase};
+    pub use kb::{self, FrozenKb, KbError, KbSession, KnowledgeBase};
     pub use obdd::Obdd;
     pub use query::{self, Database, QueryCompiler, Schema, Ucq};
-    pub use sdd::SddManager;
-    #[allow(deprecated)]
-    pub use sentential_core::compile_circuit;
+    pub use sdd::{FrozenSdd, SddManager};
     pub use sentential_core::{
         self, CompileError, CompileOptions, CompileReport, Compiler, CompilerBuilder, CountReport,
         GraphKind, Route, TwBackend, Validation, VtreeStrategy,
     };
+    pub use serve::{self, KbServer};
     pub use vtree::{VarId, Vtree};
 }
