@@ -1,0 +1,208 @@
+//! E17 — snapshot cold-start: loading a persisted `FrozenKb` artifact vs
+//! recompiling the same base from its CNF.
+//!
+//! The serving regime is compile-once/answer-many; the snapshot tier makes
+//! the "once" durable. This experiment measures the whole cold-start
+//! ledger per family:
+//!
+//! * **compile** — CNF → SDD → freeze (+ AC unfold), the path a server
+//!   without a snapshot pays on every boot;
+//! * **save** — `FrozenKb::save` into an in-memory artifact (bytes
+//!   reported, so artifact size is tracked alongside time);
+//! * **load** — `FrozenKb::load` back from that artifact: one validated
+//!   pass per section, no interning, no unfold.
+//!
+//! Every loaded base is cross-checked **bit-identically** against its
+//! original (exact model count, `log_weight` bits, every marginal's bits,
+//! the MPE's bits) before any number is reported — a fast load that served
+//! wrong answers would be worse than useless. The full run asserts the
+//! ROADMAP bar: at chain_deep scale (2k variables, serving posture) the
+//! load must be ≥ 10× faster than recompilation; smoke asserts the
+//! mechanism (≥ 2×) on the CI-sized family to absorb scheduler noise.
+//!
+//! Regenerate: `cargo run --release -p sentential-bench --bin exp_snap`
+//! (`--smoke` for the CI-sized subset, `--json <path>` for records).
+
+use cnf::{families, CnfFormula};
+use kb::{FrozenKb, KnowledgeBase};
+use sentential_bench::{maybe_write_json, Record, Table};
+use sentential_core::Compiler;
+use std::sync::Arc;
+use std::time::Instant;
+use vtree::VarId;
+
+/// Loads per family; the best (minimum) time is reported, which is the
+/// steady-state cost a rebooting server sees with the artifact in page
+/// cache.
+const LOAD_REPS: usize = 5;
+/// The committed `BENCH_snap.json` bar: at 2k-variable chain_deep scale,
+/// booting from a snapshot must beat recompiling by ≥ 10×.
+const REQUIRED_SPEEDUP: f64 = 10.0;
+/// What `--smoke` asserts instead on the CI-sized family: the mechanism,
+/// with headroom for scheduler noise inside short windows.
+const SMOKE_SPEEDUP: f64 = 2.0;
+
+/// Deterministic prior of variable `i` (exp_kb's shape), so the weight
+/// table frozen into the artifact is nontrivial.
+fn prior(i: usize) -> f64 {
+    0.2 + 0.6 * ((i * 7) % 10) as f64 / 10.0
+}
+
+/// Assert that `loaded` answers bit-identically to `original` (count,
+/// log-weight, marginals, MPE — floats compared by `to_bits`).
+fn assert_bit_identical(original: &Arc<FrozenKb>, loaded: &Arc<FrozenKb>, label: &str) {
+    let (mut a, mut b) = (original.session(), loaded.session());
+    assert_eq!(a.count_models(), b.count_models(), "{label}: count");
+    assert_eq!(
+        a.log_weight().to_bits(),
+        b.log_weight().to_bits(),
+        "{label}: log_weight"
+    );
+    let (ma, mb) = (a.all_marginals().unwrap(), b.all_marginals().unwrap());
+    assert_eq!(ma.len(), mb.len(), "{label}: marginal arity");
+    for ((va, pa), (vb, pb)) in ma.iter().zip(mb.iter()) {
+        assert_eq!(va, vb, "{label}: marginal order");
+        assert_eq!(pa.to_bits(), pb.to_bits(), "{label}: marginal bits");
+    }
+    let (wa, wb) = (a.mpe().unwrap(), b.mpe().unwrap());
+    assert_eq!(
+        wa.log_weight.to_bits(),
+        wb.log_weight.to_bits(),
+        "{label}: mpe weight"
+    );
+    assert_eq!(wa.assignment, wb.assignment, "{label}: mpe witness");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!(
+        "E17: snapshot cold-start (load vs recompile){}\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let mut t = Table::new(&[
+        "family",
+        "n",
+        "sdd",
+        "gates",
+        "bytes",
+        "compile_ms",
+        "save_ms",
+        "load_ms",
+        "speedup",
+    ]);
+    let mut records = Vec::new();
+
+    let mut run = |label: &str, n: u32, f: &CnfFormula, compiler: &Compiler, bar: Option<f64>| {
+        // Cold start path A: compile + weight + freeze (AC unfolds inside
+        // freeze), timed as one unit — it is what a snapshotless boot pays.
+        let t0 = Instant::now();
+        let mut kb = KnowledgeBase::compile_cnf(compiler, f)
+            .unwrap_or_else(|e| panic!("{label} n={n}: {e}"));
+        for i in 0..n as usize {
+            kb.set_probability(VarId(i as u32), prior(i)).unwrap();
+        }
+        let original = Arc::new(kb.freeze());
+        let compile_s = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let mut bytes = Vec::new();
+        original.save(&mut bytes).unwrap();
+        let save_s = t0.elapsed().as_secs_f64();
+
+        // Cold start path B: validated load of the artifact.
+        let mut load_s = f64::INFINITY;
+        let mut loaded = None;
+        for _ in 0..LOAD_REPS {
+            let t0 = Instant::now();
+            let kb = FrozenKb::load(bytes.as_slice()).unwrap();
+            load_s = load_s.min(t0.elapsed().as_secs_f64());
+            loaded = Some(Arc::new(kb));
+        }
+        let loaded = loaded.unwrap();
+        assert_bit_identical(&original, &loaded, label);
+
+        let speedup = compile_s / load_s;
+        if let Some(bar) = bar {
+            assert!(
+                speedup >= bar,
+                "{label} n={n}: snapshot boot must be ≥ {bar}× faster than \
+                 recompiling, measured {speedup:.1}×"
+            );
+        }
+
+        t.row(&[
+            &label,
+            &n,
+            &original.sdd_size(),
+            &original.unfolded_size(),
+            &bytes.len(),
+            &format!("{:.2}", compile_s * 1e3),
+            &format!("{:.2}", save_s * 1e3),
+            &format!("{:.3}", load_s * 1e3),
+            &format!("{speedup:.0}x"),
+        ]);
+        records.push(Record {
+            experiment: "E17".into(),
+            series: label.into(),
+            x: n as u64,
+            values: vec![
+                ("sdd_size".into(), original.sdd_size() as f64),
+                ("gates".into(), original.unfolded_size() as f64),
+                ("artifact_bytes".into(), bytes.len() as f64),
+                ("speedup_load_vs_compile".into(), speedup),
+                // The `_us` suffix is what the CI bench_diff hard gate
+                // keys on.
+                ("compile_us".into(), compile_s * 1e6),
+                ("save_us".into(), save_s * 1e6),
+                ("load_us".into(), load_s * 1e6),
+            ],
+        });
+    };
+
+    // chain 60 runs in both modes so the CI bench_diff gate always has
+    // shared keys between the committed full run and the smoke run.
+    let default_compiler = Compiler::new();
+    let smoke_bar = Some(SMOKE_SPEEDUP);
+    run(
+        "chain",
+        60,
+        &families::chain_cnf(60),
+        &default_compiler,
+        smoke_bar,
+    );
+    if !smoke {
+        for &n in &[120u32, 240] {
+            run(
+                "chain",
+                n,
+                &families::chain_cnf(n),
+                &default_compiler,
+                smoke_bar,
+            );
+        }
+        run(
+            "band_w4",
+            60,
+            &families::band_cnf(60, 4),
+            &default_compiler,
+            smoke_bar,
+        );
+        // Serving posture at depth: the up-front exact count is off, same
+        // as a real `kb-server` boot — and the ROADMAP's ≥ 10× bar.
+        let serving = Compiler::builder().exact_counts(false).build();
+        run(
+            "chain_deep",
+            2_000,
+            &families::chain_cnf(2_000),
+            &serving,
+            Some(REQUIRED_SPEEDUP),
+        );
+    }
+
+    t.print();
+    println!(
+        "\nEvery loaded base answered bit-identically to its original before any \
+         time was reported; snapshot boot clears the speedup bar on every family."
+    );
+    maybe_write_json(&records);
+}

@@ -11,6 +11,13 @@
 //! subcircuits per vtree node, stored in topological order so the upward
 //! pass is a forward sweep and the downward pass a reverse sweep.
 //!
+//! The graph is stored **CSR-style** — parallel `kinds`/`meta` arrays plus
+//! one flat `children` array that per-gate `(start, end)` ranges tile — so
+//! a circuit is four contiguous buffers with no per-gate allocation. That
+//! is both the fast layout for the sweeps (no pointer chasing) and the
+//! serialization layout: a snapshot writes the buffers as raw sections and
+//! a load reads them straight back.
+//!
 //! Everything here is generic over [`Semiring`]:
 //!
 //! * forward sweep + [`Ac::backprop`] in a sum-product carrier (`LogF64`)
@@ -32,51 +39,54 @@ use sdd::{SddId, SddManager, SddNode};
 use vtree::fxhash::FxHashMap;
 use vtree::{VarId, VtreeNodeId};
 
-/// Index into [`Ac::nodes`].
-type AcId = u32;
+/// Index into the gate arrays of [`Ac`].
+pub(crate) type AcId = u32;
 
 /// Result of [`Ac::marginals`]: the root value and, per dense variable,
 /// the unnormalized `(m⁻, m⁺)` pair.
 pub(crate) type Marginals<E> = (E, Vec<(E, E)>);
 
-/// One gate of the unfolded computation graph. `Leaf` stores the *dense*
-/// variable index (position in [`Ac::vars`]), not the global [`VarId`], so
-/// weight tables are flat slices.
-#[derive(Clone, Debug)]
-enum AcNode {
-    /// The constant 0 (shared; id 0).
-    Zero,
-    /// The weight of one literal: `w(vars[var], positive)`.
-    Leaf { var: u32, positive: bool },
-    /// `⊕` over the children (a sentential decision, or a smoothing pair).
-    Add(Box<[AcId]>),
-    /// `⊗` over the children (an element, or a smoothing product).
-    Mul(Box<[AcId]>),
-}
+/// Gate kinds (the `kinds` byte per gate).
+pub(crate) const K_ZERO: u8 = 0;
+/// A literal-weight leaf; `meta` = (dense var index, positive as 0/1).
+pub(crate) const K_LEAF: u8 = 1;
+/// `⊕` over a `children` range; `meta` = (start, end).
+pub(crate) const K_ADD: u8 = 2;
+/// `⊗` over a `children` range; `meta` = (start, end).
+pub(crate) const K_MUL: u8 = 3;
 
 /// The unfolded, smoothed arithmetic circuit of one compiled SDD root.
 ///
-/// Node ids are a topological order (children strictly below parents), so
-/// evaluation is a single indexed sweep in either direction.
+/// Gate ids are a topological order (children strictly below parents), so
+/// evaluation is a single indexed sweep in either direction. Gate `0` is
+/// the shared constant-zero gate.
 ///
 /// The circuit is plain owned data with no back-reference into the manager
-/// it was unfolded from (node ids are its own dense gate ids), so a
+/// it was unfolded from (gate ids are its own dense ids), so a
 /// [`crate::FrozenKb`] carries it into the `Send + Sync` serving tier
-/// unchanged, and branch sessions clone it instead of re-unfolding.
+/// unchanged, branch sessions clone it instead of re-unfolding, and a
+/// snapshot persists the four buffers verbatim.
 #[derive(Clone)]
 pub(crate) struct Ac {
-    nodes: Vec<AcNode>,
-    root: AcId,
+    /// One kind byte per gate ([`K_ZERO`]…[`K_MUL`]).
+    pub(crate) kinds: Vec<u8>,
+    /// Per gate: leaf `(var, positive)`, or child range `(start, end)`.
+    pub(crate) meta: Vec<(u32, u32)>,
+    /// Flattened child lists; each `⊕`/`⊗` gate owns one contiguous range.
+    pub(crate) children: Vec<AcId>,
+    pub(crate) root: AcId,
     /// The vtree variables, defining the dense index.
-    vars: Vec<VarId>,
+    pub(crate) vars: Vec<VarId>,
     /// Per dense variable: the shared `(¬v, v)` leaf ids.
-    leaves: Vec<(AcId, AcId)>,
+    pub(crate) leaves: Vec<(AcId, AcId)>,
 }
 
 /// Transient state while unfolding the SDD (see [`Ac::build`]).
 struct Builder<'m> {
     mgr: &'m SddManager,
-    nodes: Vec<AcNode>,
+    kinds: Vec<u8>,
+    meta: Vec<(u32, u32)>,
+    children: Vec<AcId>,
     /// Per vtree node: the shared smoothing subcircuit `⊗ (w⁻ ⊕ w⁺)`.
     gapc: Vec<AcId>,
     /// Per decision node: its unsmoothed `⊕ (prime ⊗ sub)` gate.
@@ -86,10 +96,19 @@ struct Builder<'m> {
 }
 
 impl<'m> Builder<'m> {
-    fn push(&mut self, n: AcNode) -> AcId {
-        let id = self.nodes.len() as AcId;
-        self.nodes.push(n);
+    /// Push a childless gate (zero or leaf).
+    fn push(&mut self, kind: u8, meta: (u32, u32)) -> AcId {
+        let id = self.kinds.len() as AcId;
+        self.kinds.push(kind);
+        self.meta.push(meta);
         id
+    }
+
+    /// Push an `⊕`/`⊗` gate, appending its child list to the flat array.
+    fn push_gate(&mut self, kind: u8, ch: &[AcId]) -> AcId {
+        let start = self.children.len() as u32;
+        self.children.extend_from_slice(ch);
+        self.push(kind, (start, self.children.len() as u32))
     }
 
     /// AC gate computing `a`'s value over the scope of vtree node `scope`.
@@ -125,7 +144,7 @@ impl<'m> Builder<'m> {
         if factors.len() == 1 {
             base
         } else {
-            self.push(AcNode::Mul(factors.into_boxed_slice()))
+            self.push_gate(K_MUL, &factors)
         }
     }
 }
@@ -139,7 +158,9 @@ impl Ac {
         let vars: Vec<VarId> = vt.vars().to_vec();
         let mut b = Builder {
             mgr,
-            nodes: vec![AcNode::Zero],
+            kinds: vec![K_ZERO],
+            meta: vec![(0, 0)],
+            children: Vec::new(),
             gapc: vec![0; vt.num_nodes()],
             rawc: FxHashMap::default(),
             var_index: vars
@@ -151,14 +172,8 @@ impl Ac {
         };
         // Shared literal leaves, one pair per variable.
         for i in 0..vars.len() as u32 {
-            let neg = b.push(AcNode::Leaf {
-                var: i,
-                positive: false,
-            });
-            let pos = b.push(AcNode::Leaf {
-                var: i,
-                positive: true,
-            });
+            let neg = b.push(K_LEAF, (i, 0));
+            let pos = b.push(K_LEAF, (i, 1));
             b.leaves.push((neg, pos));
         }
         // Smoothing subcircuits, bottom-up over the vtree.
@@ -167,11 +182,11 @@ impl Ac {
                 None => {
                     let v = vt.leaf_var(n).expect("leaf");
                     let (neg, pos) = b.leaves[b.var_index[&v] as usize];
-                    b.push(AcNode::Add(Box::new([neg, pos])))
+                    b.push_gate(K_ADD, &[neg, pos])
                 }
                 Some((l, r)) => {
                     let (gl, gr) = (b.gapc[l.index()], b.gapc[r.index()]);
-                    b.push(AcNode::Mul(Box::new([gl, gr])))
+                    b.push_gate(K_MUL, &[gl, gr])
                 }
             };
         }
@@ -193,15 +208,17 @@ impl Ac {
                 .map(|&(p, s)| {
                     let pa = b.scoped(p, lv);
                     let sa = b.scoped(s, rv);
-                    b.push(AcNode::Mul(Box::new([pa, sa])))
+                    b.push_gate(K_MUL, &[pa, sa])
                 })
                 .collect();
-            let raw = b.push(AcNode::Add(parts.into_boxed_slice()));
+            let raw = b.push_gate(K_ADD, &parts);
             b.rawc.insert(d, raw);
         }
         let root_ac = b.scoped(root, vt.root());
         Ac {
-            nodes: b.nodes,
+            kinds: b.kinds,
+            meta: b.meta,
+            children: b.children,
             root: root_ac,
             vars,
             leaves: b.leaves,
@@ -210,34 +227,47 @@ impl Ac {
 
     /// Gates in the unfolded circuit.
     pub fn size(&self) -> usize {
-        self.nodes.len()
+        self.kinds.len()
+    }
+
+    /// The child slice of gate `id` (empty for zero/leaf gates).
+    #[inline]
+    fn ch(&self, id: usize) -> &[AcId] {
+        match self.kinds[id] {
+            K_ADD | K_MUL => {
+                let (start, end) = self.meta[id];
+                &self.children[start as usize..end as usize]
+            }
+            _ => &[],
+        }
     }
 
     /// Upward pass: the value of every gate under `weights` (indexed by
     /// dense variable, `(w⁻, w⁺)`).
     pub fn eval<S: Semiring>(&self, s: &S, weights: &[(S::Elem, S::Elem)]) -> Vec<S::Elem> {
-        let mut vals: Vec<S::Elem> = Vec::with_capacity(self.nodes.len());
-        for node in &self.nodes {
-            let v = match node {
-                AcNode::Zero => s.zero(),
-                AcNode::Leaf { var, positive } => {
-                    let (wn, wp) = &weights[*var as usize];
-                    if *positive {
+        let mut vals: Vec<S::Elem> = Vec::with_capacity(self.kinds.len());
+        for id in 0..self.kinds.len() {
+            let (a, b) = self.meta[id];
+            let v = match self.kinds[id] {
+                K_ZERO => s.zero(),
+                K_LEAF => {
+                    let (wn, wp) = &weights[a as usize];
+                    if b == 1 {
                         wp.clone()
                     } else {
                         wn.clone()
                     }
                 }
-                AcNode::Add(ch) => {
+                K_ADD => {
                     let mut acc = s.zero();
-                    for &c in ch.iter() {
+                    for &c in &self.children[a as usize..b as usize] {
                         acc = s.add(&acc, &vals[c as usize]);
                     }
                     acc
                 }
-                AcNode::Mul(ch) => {
+                _ => {
                     let mut acc = s.one();
-                    for &c in ch.iter() {
+                    for &c in &self.children[a as usize..b as usize] {
                         acc = s.mul(&acc, &vals[c as usize]);
                     }
                     acc
@@ -254,18 +284,19 @@ impl Ac {
     /// children's values (computed with prefix/suffix products, so the pass
     /// stays linear even for wide gates).
     pub fn backprop<S: Semiring>(&self, s: &S, vals: &[S::Elem]) -> Vec<S::Elem> {
-        let mut dr: Vec<S::Elem> = vec![s.zero(); self.nodes.len()];
+        let mut dr: Vec<S::Elem> = vec![s.zero(); self.kinds.len()];
         dr[self.root as usize] = s.one();
-        for id in (0..self.nodes.len()).rev() {
-            match &self.nodes[id] {
-                AcNode::Add(ch) => {
+        for id in (0..self.kinds.len()).rev() {
+            match self.kinds[id] {
+                K_ADD => {
                     let d = dr[id].clone();
-                    for &c in ch.iter() {
+                    for &c in self.ch(id) {
                         dr[c as usize] = s.add(&dr[c as usize], &d);
                     }
                 }
-                AcNode::Mul(ch) => {
+                K_MUL => {
                     let d = dr[id].clone();
+                    let ch = self.ch(id);
                     match ch.len() {
                         0 => {}
                         1 => {
@@ -282,7 +313,7 @@ impl Ac {
                             // suffix runs right to left.
                             let mut prefix = Vec::with_capacity(n);
                             let mut acc = s.one();
-                            for &c in ch.iter() {
+                            for &c in ch {
                                 prefix.push(acc.clone());
                                 acc = s.mul(&acc, &vals[c as usize]);
                             }
@@ -296,7 +327,7 @@ impl Ac {
                         }
                     }
                 }
-                AcNode::Zero | AcNode::Leaf { .. } => {}
+                _ => {}
             }
         }
         dr
@@ -342,31 +373,32 @@ impl Ac {
         let mut assignment: Vec<Option<bool>> = vec![None; self.vars.len()];
         let mut stack = vec![self.root];
         while let Some(id) = stack.pop() {
-            match &self.nodes[id as usize] {
-                AcNode::Zero => unreachable!("finite-valued gates have no Zero children"),
-                AcNode::Leaf { var, positive } => {
-                    let slot = &mut assignment[*var as usize];
+            let (a, b) = self.meta[id as usize];
+            match self.kinds[id as usize] {
+                K_ZERO => unreachable!("finite-valued gates have no Zero children"),
+                K_LEAF => {
+                    let slot = &mut assignment[a as usize];
                     debug_assert!(
-                        slot.is_none() || *slot == Some(*positive),
+                        slot.is_none() || *slot == Some(b == 1),
                         "decomposability: one polarity per variable"
                     );
-                    *slot = Some(*positive);
+                    *slot = Some(b == 1);
                 }
-                AcNode::Add(ch) => {
+                K_ADD => {
                     // The argmax back-pointer: the child carrying the gate's
                     // value (max_by keeps the last maximal element, so ties
                     // resolve to the last child).
-                    let &arg = ch
+                    let &arg = self.children[a as usize..b as usize]
                         .iter()
-                        .max_by(|&&a, &&b| {
-                            vals[a as usize]
-                                .partial_cmp(&vals[b as usize])
+                        .max_by(|&&x, &&y| {
+                            vals[x as usize]
+                                .partial_cmp(&vals[y as usize])
                                 .expect("log-weights are never NaN")
                         })
                         .expect("decisions and gaps have children");
                     stack.push(arg);
                 }
-                AcNode::Mul(ch) => stack.extend_from_slice(ch),
+                _ => stack.extend_from_slice(&self.children[a as usize..b as usize]),
             }
         }
         let witness = assignment
@@ -406,36 +438,37 @@ impl Ac {
         type Cand = (f64, u32);
         let by_weight_desc =
             |x: &Cand, y: &Cand| y.0.partial_cmp(&x.0).expect("no NaN log-weights");
-        let mut lists: Vec<Vec<Cand>> = Vec::with_capacity(self.nodes.len());
-        for node in &self.nodes {
-            let l: Vec<Cand> = match node {
-                AcNode::Zero => Vec::new(),
-                AcNode::Leaf { var, positive } => {
-                    let (wn, wp) = log_weights[*var as usize];
-                    let w = if *positive { wp } else { wn };
+        let mut lists: Vec<Vec<Cand>> = Vec::with_capacity(self.kinds.len());
+        for id in 0..self.kinds.len() {
+            let (a, b) = self.meta[id];
+            let l: Vec<Cand> = match self.kinds[id] {
+                K_ZERO => Vec::new(),
+                K_LEAF => {
+                    let (wn, wp) = log_weights[a as usize];
+                    let w = if b == 1 { wp } else { wn };
                     if w == f64::NEG_INFINITY {
                         Vec::new()
                     } else {
                         let c = cells.len() as u32;
                         cells.push(Cell::Lit {
-                            var: *var,
-                            positive: *positive,
+                            var: a,
+                            positive: b == 1,
                         });
                         vec![(w, c)]
                     }
                 }
-                AcNode::Add(ch) => {
+                K_ADD => {
                     let mut merged: Vec<Cand> = Vec::new();
-                    for &c in ch.iter() {
+                    for &c in &self.children[a as usize..b as usize] {
                         merged.extend_from_slice(&lists[c as usize]);
                     }
                     merged.sort_by(by_weight_desc);
                     merged.truncate(k);
                     merged
                 }
-                AcNode::Mul(ch) => {
+                _ => {
                     let mut acc: Vec<Cand> = vec![(0.0, EMPTY)];
-                    for &c in ch.iter() {
+                    for &c in &self.children[a as usize..b as usize] {
                         let other = &lists[c as usize];
                         let mut out: Vec<Cand> = Vec::with_capacity(acc.len() * other.len());
                         for &(wa, ca) in &acc {

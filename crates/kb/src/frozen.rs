@@ -51,19 +51,19 @@ use vtree::VarId;
 /// arithmetic circuit, provenance). `Send + Sync`; share with [`Arc`] and
 /// open one [`KbSession`] per serving thread.
 pub struct FrozenKb {
-    sdd: Arc<FrozenSdd>,
-    root: SddId,
+    pub(crate) sdd: Arc<FrozenSdd>,
+    pub(crate) root: SddId,
     /// The root restricted by the *frozen* evidence (kept so
     /// [`FrozenKb::branch`] reopens exactly where the mutable base left
     /// off — sessions never use it).
-    cond_root: SddId,
-    vars: Vec<VarId>,
-    var_index: FxHashMap<VarId, usize>,
-    weights: FxHashMap<VarId, (f64, f64)>,
-    evidence: Vec<Lit>,
-    pinned: FxHashMap<VarId, Option<bool>>,
-    ac: Ac,
-    provenance: KbProvenance,
+    pub(crate) cond_root: SddId,
+    pub(crate) vars: Vec<VarId>,
+    pub(crate) var_index: FxHashMap<VarId, usize>,
+    pub(crate) weights: FxHashMap<VarId, (f64, f64)>,
+    pub(crate) evidence: Vec<Lit>,
+    pub(crate) pinned: FxHashMap<VarId, Option<bool>>,
+    pub(crate) ac: Ac,
+    pub(crate) provenance: KbProvenance,
 }
 
 /// Compile-time proof that the frozen tier is shareable: this never runs,

@@ -62,6 +62,7 @@
 
 mod ac;
 mod frozen;
+mod snapshot;
 
 pub use frozen::{FrozenKb, KbSession};
 

@@ -71,6 +71,7 @@
 
 pub mod eval;
 pub mod frozen;
+pub mod snapshot;
 pub mod validate;
 
 pub use frozen::FrozenSdd;

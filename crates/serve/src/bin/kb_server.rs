@@ -1,49 +1,66 @@
-//! `kb-server` — compile once, freeze, serve line-delimited queries from
-//! stdin or a TCP socket across a shard pool.
+//! `kb-server` — compile once (or load a snapshot), freeze, serve
+//! line-delimited queries from stdin or a TCP socket across a shard pool.
 //!
 //! ```text
-//! kb-server [--shards N] [--replicas R] [--listen ADDR] SPEC...
+//! kb-server [--shards N] [--replicas R] [--listen ADDR] [--snapshot PATH]... SPEC...
 //!
 //! SPEC:  path/to/file.cnf   a (weighted) DIMACS CNF file
 //!        chain:N            the treewidth-1 chain family, N variables
 //!        band:N:W           the width-W band family, N variables
+//!        snap:PATH          a saved snapshot artifact (kb::FrozenKb::save)
 //! ```
 //!
-//! Each base is compiled once, frozen into an immutable slab, and pinned
-//! to shard `id % shards`. `--replicas R` registers every loaded base `R`
-//! times (ids `kbs*r + i`): replicas share one slab via `Arc`, so a hot
-//! base serves from several shards at the cost of one session's caches
-//! per replica — no SDD is copied.
+//! `--snapshot PATH` is sugar for a `snap:PATH` spec: the base boots
+//! straight from disk — a validated read of the frozen slab and circuit,
+//! no compilation — which is the cold-start path the `exp_snap` benchmark
+//! measures. Each base is pinned to shard `id % shards`. `--replicas R`
+//! registers every loaded base `R` times (ids `kbs*r + i`): replicas share
+//! one slab via `Arc`, so a hot base serves from several shards at the
+//! cost of one session's caches per replica — no SDD is copied.
+//!
+//! Every conversation opens with a versioned banner so clients can check
+//! compatibility before sending anything:
+//!
+//! ```text
+//! hello kb-server protocol 1 snap 1
+//! ```
 //!
 //! Protocol (one request per line; answers are `<seq> ok …` / `<seq> err …`
 //! and may arrive out of order — `sync` flushes, `stats` prints per-shard
-//! counters, `quit` exits):
+//! counters, `save <id> <path>` persists a base's frozen state as a
+//! snapshot, `quit` exits):
 //!
 //! ```text
 //! kb <id> marginal <var> | marginals | mpe | top <k> | query <lit>… |
 //!         logw | pe | count | entails <lit>… | consistent |
 //!         condition <lit>… | retract | setp <var> <p>
+//! save <id> <path>
 //! ```
 //!
 //! Variables are 1-based on the wire, literal sign is polarity (DIMACS).
 
-use kb::KnowledgeBase;
+use kb::{FrozenKb, KnowledgeBase};
 use sentential_core::Compiler;
-use serve::{parse_request, KbServer, Request};
+use serve::{parse_request, KbServer, Request, PROTOCOL_VERSION};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: kb-server [--shards N] [--replicas R] [--listen ADDR] SPEC...\n\
-         SPEC: path.cnf | chain:N | band:N:W"
+        "usage: kb-server [--shards N] [--replicas R] [--listen ADDR] [--snapshot PATH]... SPEC...\n\
+         SPEC: path.cnf | chain:N | band:N:W | snap:PATH"
     );
     std::process::exit(2);
 }
 
 /// Compile one SPEC into a frozen base (serving posture: the up-front
-/// exact count is skipped — sessions count on demand).
-fn load(spec: &str) -> Result<kb::FrozenKb, String> {
+/// exact count is skipped — sessions count on demand), or load it straight
+/// from a snapshot artifact.
+fn load(spec: &str) -> Result<FrozenKb, String> {
+    if let Some(path) = spec.strip_prefix("snap:") {
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        return FrozenKb::load(BufReader::new(file)).map_err(|e| format!("{path}: {e}"));
+    }
     let compiler = Compiler::builder().exact_counts(false).build();
     let f = if let Some(n) = spec.strip_prefix("chain:") {
         let n: u32 = n.parse().map_err(|_| format!("bad chain spec {spec:?}"))?;
@@ -64,13 +81,33 @@ fn load(spec: &str) -> Result<kb::FrozenKb, String> {
     Ok(kb.freeze())
 }
 
+/// Persist base `kb`'s frozen state (the `save` verb). Session-local
+/// evidence and weights live in the shards and are *not* captured — a
+/// snapshot is the base, not one client's view of it.
+fn save_kb(kbs: &[Arc<FrozenKb>], kb: usize, path: &str) -> Result<(), String> {
+    let base = kbs
+        .get(kb)
+        .ok_or_else(|| format!("kb {kb} not loaded ({} available)", kbs.len()))?;
+    let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = BufWriter::new(file);
+    base.save(&mut out).map_err(|e| format!("{path}: {e}"))?;
+    out.flush().map_err(|e| format!("{path}: {e}"))?;
+    Ok(())
+}
+
 /// One protocol conversation: read lines from `input`, write responses to
 /// `output`. Returns `false` when the client asked the server to quit.
 fn converse(
     server: &mut KbServer,
+    kbs: &[Arc<FrozenKb>],
     input: &mut dyn BufRead,
     output: &mut dyn Write,
 ) -> std::io::Result<bool> {
+    writeln!(
+        output,
+        "hello kb-server protocol {PROTOCOL_VERSION} snap {}",
+        snap::FORMAT_VERSION
+    )?;
     let mut line = String::new();
     loop {
         // Print whatever the shards finished while we were reading.
@@ -102,6 +139,10 @@ fn converse(
                     writeln!(output, "{}", s.render())?;
                 }
             }
+            Ok(Some(Request::Save { kb, path })) => match save_kb(kbs, kb, &path) {
+                Ok(()) => writeln!(output, "saved {path}")?,
+                Err(e) => writeln!(output, "err {e}")?,
+            },
             Ok(Some(Request::Query { kb, cmd })) => match server.submit(kb, cmd) {
                 Ok(_) => {}
                 Err(e) => writeln!(output, "err {e}")?,
@@ -134,6 +175,10 @@ fn main() {
             },
             "--listen" => match args.next() {
                 Some(v) => listen = Some(v),
+                None => usage(),
+            },
+            "--snapshot" => match args.next() {
+                Some(v) => specs.push(format!("snap:{v}")),
                 None => usage(),
             },
             "--help" | "-h" => usage(),
@@ -173,6 +218,9 @@ fn main() {
         );
     }
 
+    // The shard pool takes ownership of one Arc per base; this second list
+    // serves the front-end `save` verb.
+    let kbs_for_save = kbs.clone();
     let mut server = KbServer::new(kbs, shards);
     match listen {
         None => {
@@ -180,7 +228,7 @@ fn main() {
             let stdout = std::io::stdout();
             let mut input = stdin.lock();
             let mut output = BufWriter::new(stdout.lock());
-            if let Err(e) = converse(&mut server, &mut input, &mut output) {
+            if let Err(e) = converse(&mut server, &kbs_for_save, &mut input, &mut output) {
                 eprintln!("kb-server: {e}");
             }
         }
@@ -207,7 +255,7 @@ fn main() {
                             }
                         });
                         let mut output = BufWriter::new(stream);
-                        match converse(&mut server, &mut input, &mut output) {
+                        match converse(&mut server, &kbs_for_save, &mut input, &mut output) {
                             Ok(true) => eprintln!("kb-server: {peer:?} disconnected"),
                             Ok(false) => break,
                             Err(e) => eprintln!("kb-server: {peer:?}: {e}"),

@@ -24,11 +24,67 @@
 //! `examples/kb_server.rs` at the workspace root for the end-to-end loop.
 
 use kb::{FrozenKb, KbSession, Lit, Model};
+use std::fmt;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use vtree::VarId;
+
+/// Version of the line protocol spoken here, reported by the `kb-server`
+/// hello banner alongside [`snap::FORMAT_VERSION`]. Bump when a verb
+/// changes shape.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Why one protocol line was rejected. [`parse_request`] returns this
+/// instead of a bare string so front-ends can react to *what* went wrong
+/// (and tests can assert it); its [`fmt::Display`] is the wire rendering.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProtocolError {
+    /// A literal token was not a signed integer.
+    BadLiteral(String),
+    /// Literal `0` — the DIMACS terminator, not a variable.
+    ZeroLiteral,
+    /// A variable token was not a positive integer (variables are 1-based
+    /// on the wire).
+    BadVariable(String),
+    /// A numeric argument (kb id, `top` k) did not parse.
+    BadNumber(String),
+    /// A `setp` probability token did not parse as a float.
+    BadProbability(String),
+    /// A `setp` probability parsed but is NaN or infinite — rejected at
+    /// the protocol edge, before any session sees it.
+    NonFiniteProbability(String),
+    /// The `kb <id> …` tail was not a known command.
+    UnknownCommand(String),
+    /// The line as a whole fit no request shape.
+    Unparseable(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::BadLiteral(t) => {
+                write!(f, "bad literal {t:?} (want a signed 1-based variable)")
+            }
+            ProtocolError::ZeroLiteral => {
+                write!(f, "literal 0 is the DIMACS terminator, not a variable")
+            }
+            ProtocolError::BadVariable(t) => {
+                write!(f, "bad variable {t:?} (want a 1-based index)")
+            }
+            ProtocolError::BadNumber(t) => write!(f, "bad number {t:?}"),
+            ProtocolError::BadProbability(t) => write!(f, "bad probability {t:?}"),
+            ProtocolError::NonFiniteProbability(t) => {
+                write!(f, "probability {t:?} is not finite")
+            }
+            ProtocolError::UnknownCommand(t) => write!(f, "unknown command {t:?}"),
+            ProtocolError::Unparseable(t) => write!(f, "unparseable request {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
 
 /// One query against one knowledge base, as carried by the wire protocol.
 #[derive(Clone, Debug, PartialEq)]
@@ -66,6 +122,10 @@ pub enum Command {
 pub enum Request {
     /// `kb <id> <command…>` — routed to the shard owning base `id`.
     Query { kb: usize, cmd: Command },
+    /// `save <id> <path>` — persist base `id` as a snapshot artifact
+    /// ([`kb::FrozenKb::save`]). Handled by the front-end that owns the
+    /// base list, not by the shard pool.
+    Save { kb: usize, path: String },
     /// `stats` — per-shard counters.
     Stats,
     /// `sync` — drain all outstanding responses.
@@ -77,32 +137,33 @@ pub enum Request {
 /// Parse a DIMACS-style literal token: `"3"` is variable 3 positive,
 /// `"-3"` negative. Variables are 1-based on the wire ([`VarId`] is
 /// 0-based internally, matching the DIMACS reader).
-fn parse_lit(tok: &str) -> Result<Lit, String> {
+fn parse_lit(tok: &str) -> Result<Lit, ProtocolError> {
     let n: i64 = tok
         .parse()
-        .map_err(|_| format!("bad literal {tok:?} (want a signed 1-based variable)"))?;
+        .map_err(|_| ProtocolError::BadLiteral(tok.into()))?;
     if n == 0 {
-        return Err("literal 0 is the DIMACS terminator, not a variable".into());
+        return Err(ProtocolError::ZeroLiteral);
     }
     Ok((VarId(n.unsigned_abs() as u32 - 1), n > 0))
 }
 
-fn parse_var(tok: &str) -> Result<VarId, String> {
+fn parse_var(tok: &str) -> Result<VarId, ProtocolError> {
     let n: u32 = tok
         .parse()
-        .map_err(|_| format!("bad variable {tok:?} (want a 1-based index)"))?;
+        .map_err(|_| ProtocolError::BadVariable(tok.into()))?;
     if n == 0 {
-        return Err("variables are 1-based on the wire".into());
+        return Err(ProtocolError::BadVariable(tok.into()));
     }
     Ok(VarId(n - 1))
 }
 
-fn parse_lits(toks: &[&str]) -> Result<Vec<Lit>, String> {
+fn parse_lits(toks: &[&str]) -> Result<Vec<Lit>, ProtocolError> {
     toks.iter().map(|t| parse_lit(t)).collect()
 }
 
-/// Parse one protocol line. Empty lines and `#` comments parse to `None`.
-pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
+/// Parse one protocol line. Empty lines and `#` comments parse to `None`;
+/// rejected lines carry the typed reason.
+pub fn parse_request(line: &str) -> Result<Option<Request>, ProtocolError> {
     let toks: Vec<&str> = line.split_whitespace().collect();
     match toks.as_slice() {
         [] => Ok(None),
@@ -110,13 +171,24 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
         ["stats"] => Ok(Some(Request::Stats)),
         ["sync"] => Ok(Some(Request::Sync)),
         ["quit"] => Ok(Some(Request::Quit)),
+        ["save", id, path] => Ok(Some(Request::Save {
+            kb: id
+                .parse()
+                .map_err(|_| ProtocolError::BadNumber((*id).into()))?,
+            path: (*path).into(),
+        })),
         ["kb", id, rest @ ..] => {
-            let kb: usize = id.parse().map_err(|_| format!("bad kb id {id:?}"))?;
+            let kb: usize = id
+                .parse()
+                .map_err(|_| ProtocolError::BadNumber((*id).into()))?;
             let cmd = match rest {
                 ["marginal", v] => Command::Marginal(parse_var(v)?),
                 ["marginals"] => Command::AllMarginals,
                 ["mpe"] => Command::Mpe,
-                ["top", k] => Command::Top(k.parse().map_err(|_| format!("bad k {k:?}"))?),
+                ["top", k] => Command::Top(
+                    k.parse()
+                        .map_err(|_| ProtocolError::BadNumber((*k).into()))?,
+                ),
                 ["query", lits @ ..] if !lits.is_empty() => Command::Query(parse_lits(lits)?),
                 ["logw"] => Command::LogWeight,
                 ["pe"] => Command::ProbEvidence,
@@ -127,15 +199,24 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
                     Command::Condition(parse_lits(lits)?)
                 }
                 ["retract"] => Command::Retract,
-                ["setp", v, p] => Command::SetProbability(
-                    parse_var(v)?,
-                    p.parse().map_err(|_| format!("bad probability {p:?}"))?,
-                ),
-                _ => return Err(format!("unknown command {:?}", rest.join(" "))),
+                ["setp", v, p] => {
+                    let var = parse_var(v)?;
+                    let prob: f64 = p
+                        .parse()
+                        .map_err(|_| ProtocolError::BadProbability((*p).into()))?;
+                    // NaN/±inf would otherwise travel all the way into a
+                    // session's weight table before being rejected there —
+                    // the protocol edge is the right place to stop them.
+                    if !prob.is_finite() {
+                        return Err(ProtocolError::NonFiniteProbability((*p).into()));
+                    }
+                    Command::SetProbability(var, prob)
+                }
+                _ => return Err(ProtocolError::UnknownCommand(rest.join(" "))),
             };
             Ok(Some(Request::Query { kb, cmd }))
         }
-        _ => Err(format!("unparseable request {line:?}")),
+        _ => Err(ProtocolError::Unparseable(line.into())),
     }
 }
 
@@ -466,9 +547,53 @@ mod tests {
             })
         );
         assert!(parse_request("kb 0 marginal 0").is_err(), "1-based wire");
-        assert!(parse_request("kb 0 condition 0").is_err());
+        assert_eq!(
+            parse_request("kb 0 condition 0").unwrap_err(),
+            ProtocolError::ZeroLiteral
+        );
         assert!(parse_request("kb 0 condition").is_err(), "empty evidence");
-        assert!(parse_request("kb x mpe").is_err());
-        assert!(parse_request("frobnicate").is_err());
+        assert_eq!(
+            parse_request("kb x mpe").unwrap_err(),
+            ProtocolError::BadNumber("x".into())
+        );
+        assert_eq!(
+            parse_request("frobnicate").unwrap_err(),
+            ProtocolError::Unparseable("frobnicate".into())
+        );
+    }
+
+    #[test]
+    fn setp_rejects_non_finite_probabilities_at_the_edge() {
+        assert_eq!(
+            parse_request("kb 0 setp 1 0.25").unwrap(),
+            Some(Request::Query {
+                kb: 0,
+                cmd: Command::SetProbability(VarId(0), 0.25)
+            })
+        );
+        for bad in ["inf", "-inf", "NaN", "infinity"] {
+            assert_eq!(
+                parse_request(&format!("kb 0 setp 1 {bad}")).unwrap_err(),
+                ProtocolError::NonFiniteProbability(bad.into()),
+                "{bad} must die at parse time, not in a session"
+            );
+        }
+        assert_eq!(
+            parse_request("kb 0 setp 1 zero").unwrap_err(),
+            ProtocolError::BadProbability("zero".into())
+        );
+    }
+
+    #[test]
+    fn save_verb_parses() {
+        assert_eq!(
+            parse_request("save 1 /tmp/base.kbsnap").unwrap(),
+            Some(Request::Save {
+                kb: 1,
+                path: "/tmp/base.kbsnap".into()
+            })
+        );
+        assert!(parse_request("save x /tmp/p").is_err());
+        assert!(parse_request("save 0").is_err(), "path is required");
     }
 }

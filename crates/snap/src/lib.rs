@@ -1,0 +1,590 @@
+//! The snapshot container format: versioned, checksummed, sectioned.
+//!
+//! This crate is the pure format layer of the snapshot persistence tier —
+//! it knows nothing about vtrees, SDDs or knowledge bases. Domain crates
+//! (`sdd`, `kb`) define *what* goes into each section; this crate defines
+//! *how* sections travel: framing, integrity, and the typed failure menu
+//! ([`SnapError`]) every corrupted input must resolve to. The build is
+//! offline, so the format is hand-rolled — no serde, no external codecs.
+//!
+//! # Container layout
+//!
+//! All integers are little-endian. A container is:
+//!
+//! ```text
+//! magic      8 bytes   b"PODSSNAP"
+//! version    u32       FORMAT_VERSION (readers reject anything else)
+//! kind       u32       what the sections describe (KIND_SDD, KIND_KB)
+//! count      u32       number of sections that follow
+//! section*   count times:
+//!   tag      u32       section identity (domain-defined)
+//!   len      u64       payload bytes
+//!   checksum u64       checksum(payload) — see below
+//!   payload  len bytes
+//! ```
+//!
+//! The checksum is a 64-bit word-level rolling hash (the workspace's
+//! FxHash fold over the payload's little-endian 8-byte words, tail
+//! zero-padded, with the length folded in last so zero-extension is not
+//! free). It detects accidental corruption — truncation, bit flips, torn
+//! writes — which is the threat model of an on-disk cache of something the
+//! loader *also* fully validates; it is not a cryptographic MAC.
+//!
+//! # Reading discipline
+//!
+//! [`Reader::new`] reads every section **once** into its final contiguous
+//! byte buffer, verifying length and checksum as it goes; domain loaders
+//! then reinterpret those buffers with the bulk converters
+//! ([`bytes_to_u32s`] & friends — chunked word loads, no per-record parse
+//! state) and bounds-check every id before trusting it. A section whose
+//! declared length lies about the file runs out of input and fails with
+//! [`SnapError::Truncated`] — lengths are consumed incrementally, so a
+//! corrupt length cannot force a giant allocation.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+/// The 8-byte container magic.
+pub const MAGIC: [u8; 8] = *b"PODSSNAP";
+
+/// The container format version this crate writes and accepts.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Container kind: a standalone frozen SDD slab.
+pub const KIND_SDD: u32 = 1;
+
+/// Container kind: a full frozen knowledge base (SDD sections + KB
+/// sections).
+pub const KIND_KB: u32 = 2;
+
+/// Everything that can go wrong while writing, framing, or decoding a
+/// snapshot. Loaders must surface **every** malformed input as one of
+/// these — never a panic, never an out-of-bounds index.
+#[derive(Debug)]
+pub enum SnapError {
+    /// An underlying I/O failure (includes clean EOF mid-structure).
+    Io(std::io::Error),
+    /// The first 8 bytes are not [`MAGIC`] — not a snapshot at all.
+    BadMagic,
+    /// A snapshot, but written by a different format version.
+    UnsupportedVersion {
+        /// The version the file declares.
+        found: u32,
+    },
+    /// The container holds a different artifact kind than the loader
+    /// expects (e.g. a bare SDD handed to the KB loader).
+    WrongKind {
+        /// The kind the file declares.
+        found: u32,
+        /// The kind the loader was asked for.
+        expected: u32,
+    },
+    /// The input ended before the declared structure did.
+    Truncated {
+        /// What was being read when the input ran out.
+        what: &'static str,
+    },
+    /// A section's payload does not match its declared checksum.
+    Checksum {
+        /// The failing section's tag.
+        tag: u32,
+    },
+    /// A section the loader requires is absent.
+    MissingSection {
+        /// The absent tag.
+        tag: u32,
+    },
+    /// The same tag appears twice (sections are single-occurrence).
+    DuplicateSection {
+        /// The repeated tag.
+        tag: u32,
+    },
+    /// Framing and checksums are fine, but the decoded values violate a
+    /// structural invariant (an id out of bounds, a range inverted, a
+    /// weight non-finite, …).
+    Invalid {
+        /// Which invariant failed, in loader terms.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Io(e) => write!(f, "snapshot i/o: {e}"),
+            SnapError::BadMagic => write!(f, "not a snapshot (bad magic)"),
+            SnapError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "snapshot format version {found} (supported: {FORMAT_VERSION})"
+                )
+            }
+            SnapError::WrongKind { found, expected } => {
+                write!(
+                    f,
+                    "snapshot kind {found} where kind {expected} was expected"
+                )
+            }
+            SnapError::Truncated { what } => write!(f, "snapshot truncated in {what}"),
+            SnapError::Checksum { tag } => write!(f, "checksum mismatch in section {tag}"),
+            SnapError::MissingSection { tag } => write!(f, "missing section {tag}"),
+            SnapError::DuplicateSection { tag } => write!(f, "duplicate section {tag}"),
+            SnapError::Invalid { what } => write!(f, "invalid snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapError {
+    fn from(e: std::io::Error) -> Self {
+        SnapError::Io(e)
+    }
+}
+
+/// One FxHash fold step (the same constant as the workspace's hot hash
+/// tables — fast, and one multiply per word).
+#[inline]
+fn fold(h: u64, word: u64) -> u64 {
+    const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    (h.rotate_left(5) ^ word).wrapping_mul(SEED64)
+}
+
+/// The section checksum: fold the payload's little-endian 8-byte words
+/// (tail zero-padded), then the payload length, so appended or truncated
+/// zeros change the sum.
+pub fn checksum(payload: &[u8]) -> u64 {
+    let mut h = 0u64;
+    let mut chunks = payload.chunks_exact(8);
+    for c in &mut chunks {
+        h = fold(h, u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h = fold(h, u64::from_le_bytes(tail));
+    }
+    fold(h, payload.len() as u64)
+}
+
+// ---------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------
+
+/// Streams one container: header first, then exactly the promised number
+/// of sections. [`Writer::finish`] asserts the count was honored, so a
+/// writer bug cannot silently emit a short container.
+pub struct Writer<W: Write> {
+    out: W,
+    promised: u32,
+    written: u32,
+}
+
+impl<W: Write> Writer<W> {
+    /// Write the container header and return the section writer.
+    pub fn new(mut out: W, kind: u32, sections: u32) -> Result<Self, SnapError> {
+        out.write_all(&MAGIC)?;
+        out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        out.write_all(&kind.to_le_bytes())?;
+        out.write_all(&sections.to_le_bytes())?;
+        Ok(Writer {
+            out,
+            promised: sections,
+            written: 0,
+        })
+    }
+
+    /// Append one section: tag, length, checksum, payload.
+    pub fn section(&mut self, tag: u32, payload: &[u8]) -> Result<(), SnapError> {
+        assert!(self.written < self.promised, "more sections than promised");
+        self.out.write_all(&tag.to_le_bytes())?;
+        self.out.write_all(&(payload.len() as u64).to_le_bytes())?;
+        self.out.write_all(&checksum(payload).to_le_bytes())?;
+        self.out.write_all(payload)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Flush and hand the sink back. Panics if fewer sections were written
+    /// than the header promised (a writer-side bug, not an input error).
+    pub fn finish(mut self) -> Result<W, SnapError> {
+        assert_eq!(
+            self.written, self.promised,
+            "container promised {} sections, wrote {}",
+            self.promised, self.written
+        );
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------
+
+/// Read exactly `n` bytes, mapping clean EOF to [`SnapError::Truncated`].
+fn read_exact(r: &mut impl Read, buf: &mut [u8], what: &'static str) -> Result<(), SnapError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            SnapError::Truncated { what }
+        } else {
+            SnapError::Io(e)
+        }
+    })
+}
+
+fn read_u32(r: &mut impl Read, what: &'static str) -> Result<u32, SnapError> {
+    let mut b = [0u8; 4];
+    read_exact(r, &mut b, what)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read, what: &'static str) -> Result<u64, SnapError> {
+    let mut b = [0u8; 8];
+    read_exact(r, &mut b, what)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// A fully framed container: every section read once into its final
+/// contiguous byte buffer, length- and checksum-verified. Domain loaders
+/// [`take`](Reader::take) the sections they need and bulk-convert them.
+#[derive(Debug)]
+pub struct Reader {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+/// Incremental read granularity: a lying section length fails with
+/// [`SnapError::Truncated`] after at most one spill of this size, instead
+/// of forcing a giant up-front allocation.
+const READ_CHUNK: usize = 8 << 20;
+
+impl Reader {
+    /// Read and verify a whole container of the given kind.
+    pub fn new(r: &mut impl Read, expected_kind: u32) -> Result<Reader, SnapError> {
+        let mut magic = [0u8; 8];
+        read_exact(r, &mut magic, "magic")?;
+        if magic != MAGIC {
+            return Err(SnapError::BadMagic);
+        }
+        let version = read_u32(r, "version")?;
+        if version != FORMAT_VERSION {
+            return Err(SnapError::UnsupportedVersion { found: version });
+        }
+        let kind = read_u32(r, "kind")?;
+        if kind != expected_kind {
+            return Err(SnapError::WrongKind {
+                found: kind,
+                expected: expected_kind,
+            });
+        }
+        let count = read_u32(r, "section count")?;
+        let mut sections: Vec<(u32, Vec<u8>)> = Vec::new();
+        for _ in 0..count {
+            let tag = read_u32(r, "section tag")?;
+            let len = read_u64(r, "section length")? as usize;
+            let sum = read_u64(r, "section checksum")?;
+            // Incremental fill: allocation only grows as bytes actually
+            // arrive, so a corrupt length cannot OOM before Truncated.
+            let mut payload: Vec<u8> = Vec::with_capacity(len.min(READ_CHUNK));
+            while payload.len() < len {
+                let step = (len - payload.len()).min(READ_CHUNK);
+                let start = payload.len();
+                payload.resize(start + step, 0);
+                read_exact(r, &mut payload[start..], "section payload")?;
+            }
+            if checksum(&payload) != sum {
+                return Err(SnapError::Checksum { tag });
+            }
+            if sections.iter().any(|&(t, _)| t == tag) {
+                return Err(SnapError::DuplicateSection { tag });
+            }
+            sections.push((tag, payload));
+        }
+        Ok(Reader { sections })
+    }
+
+    /// Remove and return a required section's payload.
+    pub fn take(&mut self, tag: u32) -> Result<Vec<u8>, SnapError> {
+        match self.sections.iter().position(|&(t, _)| t == tag) {
+            Some(i) => Ok(self.sections.swap_remove(i).1),
+            None => Err(SnapError::MissingSection { tag }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bulk byte ↔ word conversion
+// ---------------------------------------------------------------------
+
+/// Grow a byte buffer by one `u32`.
+#[inline]
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Grow a byte buffer by one `u64`.
+#[inline]
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reinterpret a payload as `u32`s. One pass of 4-byte word loads — on a
+/// little-endian target the loop compiles to a memcpy-like sweep.
+pub fn bytes_to_u32s(bytes: &[u8], what: &'static str) -> Result<Vec<u32>, SnapError> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(SnapError::Invalid { what });
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect())
+}
+
+/// Reinterpret a payload as `u64`s.
+pub fn bytes_to_u64s(bytes: &[u8], what: &'static str) -> Result<Vec<u64>, SnapError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(SnapError::Invalid { what });
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect())
+}
+
+/// Reinterpret a payload as `(u32, u32)` pairs.
+pub fn bytes_to_u32_pairs(bytes: &[u8], what: &'static str) -> Result<Vec<(u32, u32)>, SnapError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(SnapError::Invalid { what });
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| {
+            (
+                u32::from_le_bytes(c[0..4].try_into().expect("4-byte half")),
+                u32::from_le_bytes(c[4..8].try_into().expect("4-byte half")),
+            )
+        })
+        .collect())
+}
+
+/// Reinterpret a payload as `(u64, u64)` pairs (e.g. `f64::to_bits`
+/// weight pairs).
+pub fn bytes_to_u64_pairs(bytes: &[u8], what: &'static str) -> Result<Vec<(u64, u64)>, SnapError> {
+    if !bytes.len().is_multiple_of(16) {
+        return Err(SnapError::Invalid { what });
+    }
+    Ok(bytes
+        .chunks_exact(16)
+        .map(|c| {
+            (
+                u64::from_le_bytes(c[0..8].try_into().expect("8-byte half")),
+                u64::from_le_bytes(c[8..16].try_into().expect("8-byte half")),
+            )
+        })
+        .collect())
+}
+
+/// A small sequential decoder for header-like sections that mix scalar
+/// fields with bulk tails. Every accessor is bounds-checked; running out
+/// of payload is [`SnapError::Truncated`].
+pub struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Dec<'a> {
+    /// Decode `bytes`, reporting truncation as being inside `what`.
+    pub fn new(bytes: &'a [u8], what: &'static str) -> Self {
+        Dec {
+            bytes,
+            pos: 0,
+            what,
+        }
+    }
+
+    /// Next `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or(SnapError::Truncated { what: self.what })?;
+        let v = u32::from_le_bytes(self.bytes[self.pos..end].try_into().expect("4 bytes"));
+        self.pos = end;
+        Ok(v)
+    }
+
+    /// Next `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        let end = self.pos.checked_add(8).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or(SnapError::Truncated { what: self.what })?;
+        let v = u64::from_le_bytes(self.bytes[self.pos..end].try_into().expect("8 bytes"));
+        self.pos = end;
+        Ok(v)
+    }
+
+    /// The unread remainder of the payload (the bulk tail).
+    pub fn rest(self) -> &'a [u8] {
+        &self.bytes[self.pos..]
+    }
+
+    /// Assert the payload is fully consumed (trailing garbage is
+    /// [`SnapError::Invalid`]).
+    pub fn done(self) -> Result<(), SnapError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(SnapError::Invalid { what: self.what })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_container() -> Vec<u8> {
+        let mut w = Writer::new(Vec::new(), KIND_SDD, 2).unwrap();
+        w.section(7, &[1, 2, 3, 4, 5]).unwrap();
+        w.section(9, b"payload-bytes").unwrap();
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let bytes = demo_container();
+        let mut r = Reader::new(&mut bytes.as_slice(), KIND_SDD).unwrap();
+        assert_eq!(r.take(9).unwrap(), b"payload-bytes");
+        assert_eq!(r.take(7).unwrap(), &[1, 2, 3, 4, 5]);
+        assert!(matches!(
+            r.take(7),
+            Err(SnapError::MissingSection { tag: 7 })
+        ));
+    }
+
+    #[test]
+    fn empty_sections_roundtrip() {
+        let mut w = Writer::new(Vec::new(), KIND_KB, 1).unwrap();
+        w.section(1, &[]).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut r = Reader::new(&mut bytes.as_slice(), KIND_KB).unwrap();
+        assert_eq!(r.take(1).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn every_truncation_prefix_is_a_typed_error() {
+        let bytes = demo_container();
+        for cut in 0..bytes.len() {
+            let err = Reader::new(&mut &bytes[..cut], KIND_SDD).unwrap_err();
+            assert!(
+                matches!(err, SnapError::Truncated { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_flipped_byte_is_a_typed_error_or_detected() {
+        let bytes = demo_container();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            match Reader::new(&mut bad.as_slice(), KIND_SDD) {
+                // Flips in a tag leave framing valid — the loader's
+                // MissingSection/validation layer catches those; every
+                // other flip must be detected here.
+                Ok(mut r) => {
+                    assert!(
+                        r.take(7).is_err() || r.take(9).is_err(),
+                        "flip at {i} went unnoticed"
+                    );
+                }
+                Err(
+                    SnapError::BadMagic
+                    | SnapError::UnsupportedVersion { .. }
+                    | SnapError::WrongKind { .. }
+                    | SnapError::Checksum { .. }
+                    | SnapError::Truncated { .. }
+                    | SnapError::DuplicateSection { .. },
+                ) => {}
+                Err(e) => panic!("flip at {i}: unexpected error class {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_kind_and_version_are_rejected() {
+        let bytes = demo_container();
+        assert!(matches!(
+            Reader::new(&mut bytes.as_slice(), KIND_KB),
+            Err(SnapError::WrongKind {
+                found: KIND_SDD,
+                expected: KIND_KB
+            })
+        ));
+        let mut v2 = bytes.clone();
+        v2[8] = 99; // version field
+        assert!(matches!(
+            Reader::new(&mut v2.as_slice(), KIND_SDD),
+            Err(SnapError::UnsupportedVersion { found: 99 })
+        ));
+        let mut garbage = bytes;
+        garbage[0] = b'X';
+        assert!(matches!(
+            Reader::new(&mut garbage.as_slice(), KIND_SDD),
+            Err(SnapError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn oversized_length_truncates_not_allocates() {
+        let mut w = Writer::new(Vec::new(), KIND_SDD, 1).unwrap();
+        w.section(1, &[0xAB; 32]).unwrap();
+        let mut bytes = w.finish().unwrap();
+        // Rewrite the section length to an absurd value (offset: 20-byte
+        // header + 4-byte tag).
+        bytes[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = Reader::new(&mut bytes.as_slice(), KIND_SDD).unwrap_err();
+        assert!(matches!(err, SnapError::Truncated { .. }), "{err}");
+    }
+
+    #[test]
+    fn checksum_depends_on_length_and_content() {
+        assert_ne!(checksum(&[]), checksum(&[0]));
+        assert_ne!(checksum(&[0; 8]), checksum(&[0; 16]));
+        assert_ne!(checksum(&[1, 2, 3]), checksum(&[1, 2, 4]));
+        assert_eq!(checksum(b"stable"), checksum(b"stable"));
+    }
+
+    #[test]
+    fn word_converters_reject_ragged_payloads() {
+        assert!(bytes_to_u32s(&[1, 2, 3], "x").is_err());
+        assert!(bytes_to_u64s(&[1; 12], "x").is_err());
+        assert!(bytes_to_u32_pairs(&[1; 4], "x").is_err());
+        assert!(bytes_to_u64_pairs(&[1; 8], "x").is_err());
+        assert_eq!(bytes_to_u32s(&2u32.to_le_bytes(), "x").unwrap(), vec![2]);
+        assert_eq!(
+            bytes_to_u32_pairs(&[1, 0, 0, 0, 2, 0, 0, 0], "x").unwrap(),
+            vec![(1, 2)]
+        );
+    }
+
+    #[test]
+    fn dec_reports_truncation_and_trailing_garbage() {
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 5);
+        put_u64(&mut payload, 77);
+        let mut d = Dec::new(&payload, "demo");
+        assert_eq!(d.u32().unwrap(), 5);
+        assert_eq!(d.u64().unwrap(), 77);
+        assert!(d.u32().is_err());
+        let d2 = Dec::new(&payload, "demo");
+        assert!(matches!(d2.done(), Err(SnapError::Invalid { .. })));
+    }
+}

@@ -115,6 +115,9 @@ pub enum VtreeError {
     Empty,
     /// A variable occurs at more than one leaf.
     DuplicateVar(VarId),
+    /// An explicit node arena (see [`Vtree::from_node_kinds`]) does not
+    /// describe a rooted binary tree.
+    Malformed(&'static str),
 }
 
 impl fmt::Display for VtreeError {
@@ -122,6 +125,7 @@ impl fmt::Display for VtreeError {
         match self {
             VtreeError::Empty => write!(f, "vtree must have at least one leaf"),
             VtreeError::DuplicateVar(v) => write!(f, "variable {v} occurs at two leaves"),
+            VtreeError::Malformed(what) => write!(f, "malformed vtree arena: {what}"),
         }
     }
 }
@@ -300,6 +304,90 @@ impl Vtree {
             }
         }
         Ok(())
+    }
+
+    /// Rebuild a vtree from an explicit node arena — the untrusted-input
+    /// constructor (snapshot loading): node `i` of the result has kind
+    /// `kinds[i]`, ids are preserved exactly, and the arena is **fully
+    /// validated** before anything is trusted. Accepts any arena that
+    /// describes a rooted binary tree whose leaves carry pairwise
+    /// distinct variables; everything else — a child index out of
+    /// bounds, a node with two parents (shared substructure or a cycle),
+    /// an unreachable node, the root below another node — is a typed
+    /// [`VtreeError`], never a panic.
+    pub fn from_node_kinds(
+        kinds: Vec<VtreeNodeKind>,
+        root: VtreeNodeId,
+    ) -> Result<Self, VtreeError> {
+        if kinds.is_empty() {
+            return Err(VtreeError::Empty);
+        }
+        let n = kinds.len();
+        if root.index() >= n {
+            return Err(VtreeError::Malformed("root out of bounds"));
+        }
+        // Tree-ness: every child reference in bounds, every node except
+        // the root the child of exactly one parent. In-degree 1 for all
+        // non-root nodes plus reachability from the root rules out
+        // cycles, sharing, and disconnected components in one pass.
+        let mut indegree = vec![0u8; n];
+        for k in &kinds {
+            if let VtreeNodeKind::Internal { left, right } = *k {
+                if left.index() >= n || right.index() >= n {
+                    return Err(VtreeError::Malformed("child out of bounds"));
+                }
+                if left == right {
+                    return Err(VtreeError::Malformed("node is both children of a parent"));
+                }
+                for c in [left, right] {
+                    if indegree[c.index()] == 1 {
+                        return Err(VtreeError::Malformed("node has two parents"));
+                    }
+                    indegree[c.index()] = 1;
+                }
+            }
+        }
+        if indegree[root.index()] != 0 {
+            return Err(VtreeError::Malformed("root has a parent"));
+        }
+        let mut reached = 0usize;
+        let mut stack = vec![root];
+        let mut seen = vec![false; n];
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                // Unreachable with indegree ≤ 1, but cheap to keep.
+                return Err(VtreeError::Malformed("node has two parents"));
+            }
+            seen[id.index()] = true;
+            reached += 1;
+            if let VtreeNodeKind::Internal { left, right } = kinds[id.index()] {
+                stack.push(left);
+                stack.push(right);
+            }
+        }
+        if reached != n {
+            return Err(VtreeError::Malformed("unreachable nodes in the arena"));
+        }
+        let nodes = kinds
+            .into_iter()
+            .map(|kind| VtreeNode {
+                kind,
+                parent: None,
+                depth: 0,
+                leaf_start: 0,
+                leaf_count: 0,
+            })
+            .collect();
+        let mut vt = Vtree {
+            nodes,
+            root,
+            leaf_of: Vec::new(),
+            leaf_seq: Vec::new(),
+            sorted_vars: Vec::new(),
+            up: Vec::new(),
+        };
+        vt.finish()?;
+        Ok(vt)
     }
 
     /// A right-linear vtree over `vars` in the given order.
@@ -765,6 +853,72 @@ mod tests {
         let vt = Vtree::balanced(&vs).unwrap();
         let vt2 = Vtree::from_shape(&vt.to_shape()).unwrap();
         assert_eq!(vt.to_string(), vt2.to_string());
+    }
+
+    #[test]
+    fn from_node_kinds_roundtrips_ids_exactly() {
+        let vs = vars(6);
+        for vt in [
+            Vtree::balanced(&vs).unwrap(),
+            Vtree::right_linear(&vs).unwrap(),
+            Vtree::left_linear(&vs).unwrap(),
+        ] {
+            let kinds: Vec<VtreeNodeKind> = vt.node_ids().map(|id| vt.kind(id).clone()).collect();
+            let back = Vtree::from_node_kinds(kinds, vt.root()).unwrap();
+            assert_eq!(back.root(), vt.root());
+            assert_eq!(back.num_nodes(), vt.num_nodes());
+            for id in vt.node_ids() {
+                assert_eq!(back.kind(id), vt.kind(id));
+                assert_eq!(back.parent(id), vt.parent(id));
+                assert_eq!(back.depth(id), vt.depth(id));
+                assert_eq!(back.vars_below(id), vt.vars_below(id));
+            }
+            assert_eq!(back.to_string(), vt.to_string());
+        }
+    }
+
+    #[test]
+    fn from_node_kinds_rejects_malformed_arenas() {
+        use VtreeNodeKind as K;
+        let leaf = |i: u32| K::Leaf(VarId(i));
+        let node = |l: u32, r: u32| K::Internal {
+            left: VtreeNodeId(l),
+            right: VtreeNodeId(r),
+        };
+        let m = |kinds: Vec<K>, root: u32| Vtree::from_node_kinds(kinds, VtreeNodeId(root));
+        assert_eq!(m(vec![], 0).unwrap_err(), VtreeError::Empty);
+        // Root out of bounds.
+        assert!(matches!(m(vec![leaf(0)], 5), Err(VtreeError::Malformed(_))));
+        // Child out of bounds.
+        assert!(matches!(
+            m(vec![leaf(0), node(0, 9)], 1),
+            Err(VtreeError::Malformed(_))
+        ));
+        // Shared child (DAG, not a tree).
+        assert!(matches!(
+            m(vec![leaf(0), node(0, 0), node(1, 0)], 2),
+            Err(VtreeError::Malformed(_))
+        ));
+        // Root below another node.
+        assert!(matches!(
+            m(vec![leaf(0), leaf(1), node(0, 1)], 0),
+            Err(VtreeError::Malformed(_))
+        ));
+        // Unreachable extra node.
+        assert!(matches!(
+            m(vec![leaf(0), leaf(1), node(0, 1), leaf(2)], 2),
+            Err(VtreeError::Malformed(_))
+        ));
+        // Self-loop.
+        assert!(matches!(
+            m(vec![leaf(0), node(1, 0)], 1),
+            Err(VtreeError::Malformed(_))
+        ));
+        // Duplicate variables still come back as DuplicateVar.
+        assert_eq!(
+            m(vec![leaf(3), leaf(3), node(0, 1)], 2).unwrap_err(),
+            VtreeError::DuplicateVar(VarId(3))
+        );
     }
 
     #[test]

@@ -84,6 +84,7 @@ pub use query;
 pub use sdd;
 pub use sentential_core;
 pub use serve;
+pub use snap;
 pub use vtree;
 
 /// Everything most programs need, one `use` away.
