@@ -522,6 +522,45 @@ pub struct CompileReport {
     pub timings: StageTimings,
 }
 
+impl CompileReport {
+    /// Publish the run into telemetry: one `compile_runs_total{lane="circuit"}`
+    /// tick, stage wall-clock into `compile_stage_us{lane,stage}` histograms,
+    /// the paper's width parameters into `compile_width{param}` histograms
+    /// (and `compile_last_width{param}` gauges for at-a-glance dashboards),
+    /// and the kernel's apply counters via [`ApplyStats::publish`].
+    pub fn publish(&self, reg: &obs::MetricsRegistry) {
+        let lane = [("lane", "circuit")];
+        reg.counter("compile_runs_total", &lane).inc();
+        for (stage, d) in [
+            ("kernel", self.timings.kernel),
+            ("vtree", self.timings.vtree),
+            ("nnf", self.timings.nnf),
+            ("sdd", self.timings.sdd),
+            ("validate", self.timings.validate),
+            ("total", self.timings.total),
+        ] {
+            reg.histogram("compile_stage_us", &[("lane", "circuit"), ("stage", stage)])
+                .record_duration_us(d);
+        }
+        let widths = [
+            ("tw", self.treewidth),
+            ("fw", self.fw),
+            ("fiw", self.fiw),
+            ("sdw", Some(self.sdw)),
+        ];
+        for (param, w) in widths {
+            if let Some(w) = w {
+                reg.histogram("compile_width", &[("param", param)])
+                    .record(w as u64);
+                reg.gauge("compile_last_width", &[("param", param)])
+                    .set(w as f64);
+            }
+        }
+        self.apply.publish(reg);
+        reg.gauge("sdd_mem_bytes", &[]).set(self.mem_bytes as f64);
+    }
+}
+
 impl fmt::Display for CompileReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

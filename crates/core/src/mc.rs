@@ -105,6 +105,46 @@ pub struct CountReport {
     pub timings: CountTimings,
 }
 
+impl CountReport {
+    /// Publish the run into telemetry: one `compile_runs_total{lane="cnf"}`
+    /// tick, stage wall-clock into `compile_stage_us{lane,stage}` histograms,
+    /// the certified widths into `compile_width{param}` histograms (and
+    /// `compile_last_width{param}` gauges), and the kernel's apply counters
+    /// via [`ApplyStats::publish`]. This is what long-running servers scrape
+    /// to notice a workload drifting into a width regime the paper's bounds
+    /// say will blow up.
+    pub fn publish(&self, reg: &obs::MetricsRegistry) {
+        let lane = [("lane", "cnf")];
+        reg.counter("compile_runs_total", &lane).inc();
+        for (stage, d) in [
+            ("vtree", self.timings.vtree),
+            ("sdd", self.timings.sdd),
+            ("count", self.timings.count),
+            ("validate", self.timings.validate),
+            ("total", self.timings.total),
+        ] {
+            reg.histogram("compile_stage_us", &[("lane", "cnf"), ("stage", stage)])
+                .record_duration_us(d);
+        }
+        let widths = [
+            ("tw", Some(self.treewidth)),
+            ("fw", self.fw),
+            ("fiw", self.fiw),
+            ("sdw", Some(self.sdw)),
+        ];
+        for (param, w) in widths {
+            if let Some(w) = w {
+                reg.histogram("compile_width", &[("param", param)])
+                    .record(w as u64);
+                reg.gauge("compile_last_width", &[("param", param)])
+                    .set(w as f64);
+            }
+        }
+        self.apply.publish(reg);
+        reg.gauge("sdd_mem_bytes", &[]).set(self.mem_bytes as f64);
+    }
+}
+
 impl fmt::Display for CountReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.count {

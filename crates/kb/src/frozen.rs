@@ -36,7 +36,7 @@
 //! restores the frozen baseline, never less.
 
 use crate::ac::Ac;
-use crate::{stats_sum, KbError, KbProvenance, KbQueryStats, KnowledgeBase, Lit, Model};
+use crate::{stats_sum, KbError, KbProvenance, KbQueryStats, KnowledgeBase, Lit, Model, QueryKind};
 use arith::{log_sum_exp, BigUint, LogF64, Nat};
 use boolfunc::Assignment;
 use sdd::eval::EvalCache;
@@ -163,6 +163,32 @@ impl FrozenKb {
         self.sdd.memory_bytes()
     }
 
+    /// Publish this base's boot-time telemetry: size gauges
+    /// (`kb_vars{kb}`, `kb_sdd_size{kb}`, `kb_ac_gates{kb}`,
+    /// `kb_mem_bytes{kb}`) plus — when the base still carries its
+    /// compilation provenance — the full compile-time families (stage
+    /// timings, the paper's widths, kernel apply counters) via the
+    /// report's `publish`. Sessions never run apply, so a serving
+    /// process's kernel apply/unique-table metrics come entirely from
+    /// here. Snapshot-loaded bases have [`KbProvenance::Raw`] provenance
+    /// and publish sizes only.
+    pub fn publish_boot_metrics(&self, reg: &obs::MetricsRegistry, id: usize) {
+        let id_s = id.to_string();
+        let kb_label = [("kb", id_s.as_str())];
+        reg.gauge("kb_vars", &kb_label).set(self.vars.len() as f64);
+        reg.gauge("kb_sdd_size", &kb_label)
+            .set(self.sdd_size() as f64);
+        reg.gauge("kb_ac_gates", &kb_label)
+            .set(self.unfolded_size() as f64);
+        reg.gauge("kb_mem_bytes", &kb_label)
+            .set(self.memory_bytes() as f64);
+        match &self.provenance {
+            KbProvenance::Circuit(report) => report.publish(reg),
+            KbProvenance::Cnf(report) => report.publish(reg),
+            KbProvenance::Raw => {}
+        }
+    }
+
     /// Open a private serving session: fresh epoch caches over the shared
     /// slab, initialized to the frozen weights and evidence. Cheap enough
     /// to hand one to every serving thread; sessions never contend.
@@ -204,6 +230,8 @@ impl FrozenKb {
             structural,
             marginals_memo: None,
             last_query: KbQueryStats::default(),
+            memo_hit_scratch: false,
+            obs: None,
         }
     }
 
@@ -246,6 +274,7 @@ impl FrozenKb {
             marginals_memo: None,
             provenance: KbProvenance::Raw,
             last_query: KbQueryStats::default(),
+            memo_hit_scratch: false,
         }
     }
 }
@@ -277,6 +306,66 @@ pub struct KbSession {
     /// Marginals memo, keyed by the posterior cache's epoch.
     marginals_memo: Option<(u64, Result<Vec<f64>, KbError>)>,
     last_query: KbQueryStats,
+    /// Scratch flag queries raise inside [`KbSession::tracked`] when they
+    /// answered from the marginals memo.
+    memo_hit_scratch: bool,
+    /// Telemetry attachment ([`KbSession::attach_obs`]); `None` keeps the
+    /// query path free of instrumentation work.
+    obs: Option<SessionObs>,
+}
+
+/// Pre-resolved telemetry handles for one query kind — resolved once per
+/// session so the per-query path records through lock-free atomics.
+struct KindHandles {
+    queries: obs::Counter,
+    latency_us: obs::Histogram,
+    eval_lookups: obs::Counter,
+    eval_hits: obs::Counter,
+    eval_recomputed: obs::Counter,
+    memo_hits: obs::Counter,
+}
+
+/// A session's telemetry attachment: the registry it publishes to, the
+/// optional slow-query log, and cached handles (kernel-level plus lazily
+/// per query kind).
+struct SessionObs {
+    registry: Arc<obs::MetricsRegistry>,
+    slow: Option<Arc<obs::SlowLog>>,
+    kernel_lookups: obs::Counter,
+    kernel_hits: obs::Counter,
+    kernel_recomputed: obs::Counter,
+    mem_gauge: obs::Gauge,
+    kinds: [Option<KindHandles>; QueryKind::ALL.len()],
+}
+
+impl SessionObs {
+    fn new(registry: Arc<obs::MetricsRegistry>, slow: Option<Arc<obs::SlowLog>>) -> SessionObs {
+        SessionObs {
+            kernel_lookups: registry.counter("sdd_eval_lookups_total", &[]),
+            kernel_hits: registry.counter("sdd_eval_hits_total", &[]),
+            kernel_recomputed: registry.counter("sdd_eval_recomputed_total", &[]),
+            mem_gauge: registry.gauge("sdd_mem_bytes", &[]),
+            registry,
+            slow,
+            kinds: std::array::from_fn(|_| None),
+        }
+    }
+
+    fn kind(&mut self, k: QueryKind) -> &KindHandles {
+        let i = k.index();
+        if self.kinds[i].is_none() {
+            let kind = [("kind", k.as_str())];
+            self.kinds[i] = Some(KindHandles {
+                queries: self.registry.counter("kb_queries_total", &kind),
+                latency_us: self.registry.histogram("kb_query_us", &kind),
+                eval_lookups: self.registry.counter("kb_eval_lookups_total", &kind),
+                eval_hits: self.registry.counter("kb_eval_hits_total", &kind),
+                eval_recomputed: self.registry.counter("kb_eval_recomputed_total", &kind),
+                memo_hits: self.registry.counter("kb_memo_hits_total", &kind),
+            });
+        }
+        self.kinds[i].as_ref().expect("just initialized")
+    }
 }
 
 impl KbSession {
@@ -350,7 +439,7 @@ impl KbSession {
                 return Err(KbError::UnknownVariable(v));
             }
         }
-        self.tracked(|s| {
+        self.tracked(QueryKind::Condition, |s| {
             for &(v, b) in lits {
                 match s.pinned.get(&v).copied() {
                     Some(Some(prev)) if prev == b => continue, // already pinned
@@ -380,7 +469,7 @@ impl KbSession {
     /// base's own evidence stays asserted — it is part of the slab's
     /// identity, not this session's state).
     pub fn retract(&mut self) {
-        self.tracked(|s| {
+        self.tracked(QueryKind::Retract, |s| {
             let touched: Vec<VarId> = s.pinned.keys().copied().collect();
             s.pinned = s.kb.pinned.clone();
             for v in touched {
@@ -398,7 +487,7 @@ impl KbSession {
     /// [`KnowledgeBase::is_consistent`]; `&mut` because the verdict comes
     /// from the session's structural cache.)
     pub fn is_consistent(&mut self) -> bool {
-        self.tracked(|s| s.consistent())
+        self.tracked(QueryKind::Consistent, |s| s.consistent())
     }
 
     fn consistent(&mut self) -> bool {
@@ -411,7 +500,10 @@ impl KbSession {
 
     /// `ln W(F ∧ e)` — see [`KnowledgeBase::log_weight`].
     pub fn log_weight(&mut self) -> f64 {
-        self.tracked(|s| s.posterior.evaluate(s.kb.sdd.as_ref(), s.kb.root))
+        self.tracked(QueryKind::LogWeight, |s| {
+            let _sp = obs::span("eval");
+            s.posterior.evaluate(s.kb.sdd.as_ref(), s.kb.root)
+        })
     }
 
     /// `W(F ∧ e)` in the linear domain — see
@@ -423,7 +515,8 @@ impl KbSession {
     /// `P(e) = W(F ∧ e) / W(F)` — see
     /// [`KnowledgeBase::probability_of_evidence`].
     pub fn probability_of_evidence(&mut self) -> Result<f64, KbError> {
-        self.tracked(|s| {
+        self.tracked(QueryKind::ProbEvidence, |s| {
+            let _sp = obs::span("eval");
             let prior = s.prior.evaluate(s.kb.sdd.as_ref(), s.kb.root);
             if prior == f64::NEG_INFINITY {
                 return Err(KbError::Inconsistent);
@@ -442,7 +535,8 @@ impl KbSession {
                 return Err(KbError::UnknownVariable(v));
             }
         }
-        self.tracked(|s| {
+        self.tracked(QueryKind::Query, |s| {
+            let _sp = obs::span("eval");
             let epoch_before = s.posterior.epoch();
             let denom = s.posterior.evaluate(s.kb.sdd.as_ref(), s.kb.root);
             if denom == f64::NEG_INFINITY {
@@ -482,23 +576,27 @@ impl KbSession {
             .var_index
             .get(&v)
             .ok_or(KbError::UnknownVariable(v))?;
-        Ok(self.marginals_table()?[i])
+        Ok(self.marginals_table(QueryKind::Marginal)?[i])
     }
 
     /// All posterior marginals — see [`KnowledgeBase::all_marginals`].
     pub fn all_marginals(&mut self) -> Result<Vec<(VarId, f64)>, KbError> {
-        let table = self.marginals_table()?.clone();
+        let table = self.marginals_table(QueryKind::AllMarginals)?.clone();
         Ok(self.kb.vars.iter().copied().zip(table).collect())
     }
 
-    fn marginals_table(&mut self) -> Result<&Vec<f64>, KbError> {
-        self.tracked(|s| {
+    fn marginals_table(&mut self, kind: QueryKind) -> Result<&Vec<f64>, KbError> {
+        self.tracked(kind, |s| {
             let epoch = s.posterior.epoch();
             if matches!(&s.marginals_memo, Some((e, _)) if *e == epoch) {
+                s.memo_hit_scratch = true;
                 return;
             }
             let weights = s.posterior_log_weights();
-            let (total, pairs) = s.kb.ac.marginals(&LogF64, &weights);
+            let (total, pairs) = {
+                let _sp = obs::span("ac_sweep");
+                s.kb.ac.marginals(&LogF64, &weights)
+            };
             let result = if total == f64::NEG_INFINITY {
                 Err(KbError::Inconsistent)
             } else {
@@ -519,9 +617,12 @@ impl KbSession {
     /// including the verified witness (satisfies the frozen SDD, agrees
     /// with every pin, reproduces the maximum weight).
     pub fn mpe(&mut self) -> Result<Model, KbError> {
-        self.tracked(|s| {
+        self.tracked(QueryKind::Mpe, |s| {
             let weights = s.posterior_log_weights();
-            let (best, polarity) = s.kb.ac.mpe(&weights).ok_or(KbError::Inconsistent)?;
+            let (best, polarity) = {
+                let _sp = obs::span("ac_mpe");
+                s.kb.ac.mpe(&weights).ok_or(KbError::Inconsistent)?
+            };
             let assignment =
                 Assignment::from_pairs(s.kb.vars.iter().copied().zip(polarity.iter().copied()));
             assert!(
@@ -563,7 +664,8 @@ impl KbSession {
 
     /// The `k` heaviest models — see [`KnowledgeBase::enumerate_models`].
     pub fn enumerate_models(&mut self, k: usize) -> Vec<Model> {
-        self.tracked(|s| {
+        self.tracked(QueryKind::TopK, |s| {
+            let _sp = obs::span("ac_topk");
             let weights = s.posterior_log_weights();
             s.kb.ac
                 .top_k(&weights, k)
@@ -599,7 +701,8 @@ impl KbSession {
                 return Err(KbError::UnknownVariable(v));
             }
         }
-        self.tracked(|s| {
+        self.tracked(QueryKind::Entails, |s| {
+            let _sp = obs::span("structural_eval");
             let mut saved: Vec<(VarId, (f64, f64))> = Vec::with_capacity(clause.len());
             for &(v, b) in clause {
                 let (sn, sp) = *s.structural.weight(v);
@@ -627,7 +730,8 @@ impl KbSession {
     /// weights (each pinned variable keeps exactly its asserted polarity,
     /// so no power-of-two correction is needed).
     pub fn count_models(&mut self) -> BigUint {
-        self.tracked(|s| {
+        self.tracked(QueryKind::Count, |s| {
+            let _sp = obs::span("nat_sweep");
             let pinned = &s.pinned;
             s.kb.sdd.evaluate(s.kb.root, &Nat, |v, pos| {
                 match pinned.get(&v) {
@@ -658,16 +762,34 @@ impl KbSession {
             .collect()
     }
 
+    /// Attach telemetry: per-query latency/hit-rate families land in
+    /// `registry` (labelled by [`QueryKind`]), and — when `slow` is given
+    /// — every query is traced, with the worst retained in the slow log.
+    /// Handles are resolved here and cached, so the per-query cost is a
+    /// handful of relaxed atomic ops.
+    pub fn attach_obs(
+        &mut self,
+        registry: Arc<obs::MetricsRegistry>,
+        slow: Option<Arc<obs::SlowLog>>,
+    ) {
+        self.obs = Some(SessionObs::new(registry, slow));
+    }
+
     /// Run a query body, snapshotting its cost into
     /// [`KbSession::last_query`] (the shape of the mutable path's
     /// `tracked`; the apply counters stay zero because sessions never
-    /// intern).
-    fn tracked<T>(&mut self, body: impl FnOnce(&mut Self) -> T) -> T {
+    /// intern) and — when telemetry is attached — publishing it under
+    /// `kind` and tracing it for the slow log.
+    fn tracked<T>(&mut self, kind: QueryKind, body: impl FnOnce(&mut Self) -> T) -> T {
         let t0 = Instant::now();
         let eval0 = stats_sum(
             stats_sum(self.prior.stats(), self.posterior.stats()),
             self.structural.stats(),
         );
+        self.memo_hit_scratch = false;
+        if self.obs.as_ref().is_some_and(|o| o.slow.is_some()) {
+            obs::trace_begin(kind.as_str());
+        }
         let out = body(self);
         self.last_query = KbQueryStats {
             apply: ApplyStats::default(),
@@ -678,7 +800,34 @@ impl KbSession {
             .delta_since(eval0),
             mem_bytes: self.kb.sdd.memory_bytes(),
             duration: t0.elapsed(),
+            memo_hit: self.memo_hit_scratch,
         };
+        if let Some(o) = self.obs.as_mut() {
+            let q = &self.last_query;
+            o.kernel_lookups.add(q.eval.lookups);
+            o.kernel_hits.add(q.eval.hits);
+            o.kernel_recomputed.add(q.eval.recomputed);
+            o.mem_gauge.set(q.mem_bytes as f64);
+            let h = o.kind(kind);
+            h.queries.inc();
+            h.latency_us.record_duration_us(q.duration);
+            h.eval_lookups.add(q.eval.lookups);
+            h.eval_hits.add(q.eval.hits);
+            h.eval_recomputed.add(q.eval.recomputed);
+            if q.memo_hit {
+                h.memo_hits.inc();
+            }
+            if obs::trace_active() {
+                obs::trace_note("eval_lookups", q.eval.lookups);
+                obs::trace_note("eval_recomputed", q.eval.recomputed);
+                obs::trace_note("memo_hit", u64::from(q.memo_hit));
+                if let (Some(rec), Some(slow)) = (obs::trace_end(), &o.slow) {
+                    if slow.would_admit(rec.total) {
+                        slow.offer(rec);
+                    }
+                }
+            }
+        }
         out
     }
 }
@@ -928,5 +1077,87 @@ mod tests {
         let _ = s.log_weight();
         assert_eq!(s.last_query().mem_bytes, slab);
         assert_eq!(s.last_query().apply, ApplyStats::default());
+    }
+
+    /// The memo-hit flag separates the memoized-marginals fast path from a
+    /// real sweep — both report zero recomputation on a warm cache, but
+    /// only the memo hit skips the sweep entirely.
+    #[test]
+    fn memo_hit_flag_distinguishes_the_fast_path() {
+        let frozen = Arc::new(demo_kb().freeze());
+        let mut s = frozen.session();
+        let _ = s.marginal(v(0)).unwrap();
+        assert!(!s.last_query().memo_hit, "first marginal runs the sweep");
+        let _ = s.marginal(v(1)).unwrap();
+        assert!(s.last_query().memo_hit, "second marginal is a memo hit");
+        s.set_probability(v(0), 0.5).unwrap();
+        let _ = s.marginal(v(1)).unwrap();
+        assert!(
+            !s.last_query().memo_hit,
+            "weight change invalidates the memo"
+        );
+        let _ = s.log_weight();
+        assert!(!s.last_query().memo_hit, "non-marginal queries never hit");
+    }
+
+    /// An attached registry sees exact per-kind totals, the trace pipeline
+    /// feeds the slow log, and answers stay bit-identical to an
+    /// uninstrumented session.
+    #[test]
+    fn attached_obs_records_queries_and_slow_traces() {
+        let frozen = Arc::new(demo_kb().freeze());
+        let mut plain = frozen.session();
+        let mut s = frozen.session();
+        let registry = Arc::new(obs::MetricsRegistry::new());
+        let slow = Arc::new(obs::SlowLog::new(4));
+        s.attach_obs(Arc::clone(&registry), Some(Arc::clone(&slow)));
+
+        assert_eq!(s.log_weight().to_bits(), plain.log_weight().to_bits());
+        for i in 0..3u32 {
+            assert_eq!(
+                s.marginal(v(i)).map(f64::to_bits),
+                plain.marginal(v(i)).map(f64::to_bits)
+            );
+        }
+        let _ = s.mpe().unwrap();
+
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value("kb_queries_total", &[("kind", "logw")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value("kb_queries_total", &[("kind", "marginal")]),
+            Some(3)
+        );
+        assert_eq!(
+            snap.counter_value("kb_queries_total", &[("kind", "mpe")]),
+            Some(1)
+        );
+        // Two of the three marginals were memo hits.
+        assert_eq!(
+            snap.counter_value("kb_memo_hits_total", &[("kind", "marginal")]),
+            Some(2)
+        );
+        let lat = snap
+            .histogram_value("kb_query_us", &[("kind", "marginal")])
+            .expect("latency histogram exists");
+        assert_eq!(lat.count, 3);
+        // Kernel families aggregate the same eval traffic.
+        let lookups = snap
+            .counter_value("sdd_eval_lookups_total", &[])
+            .expect("kernel family exists");
+        assert!(lookups > 0);
+
+        // Every query was traced; the slow log retained the worst with
+        // stage breakdowns and renders single-line JSON.
+        assert!(!slow.is_empty());
+        let worst = slow.worst();
+        assert!(worst.len() <= slow.capacity());
+        let rec = &worst[0];
+        assert!(slow.get(rec.id).is_some());
+        let json = rec.to_json();
+        assert!(json.contains("\"label\":\"") && !json.contains('\n'));
+        assert!(rec.notes.iter().any(|(k, _)| *k == "memo_hit"));
     }
 }

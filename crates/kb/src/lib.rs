@@ -210,6 +210,69 @@ pub struct KbQueryStats {
     pub mem_bytes: usize,
     /// Wall-clock time of the query.
     pub duration: Duration,
+    /// Whether the query was answered from the marginals memo. A memo hit
+    /// reports zero eval traffic — without this flag it would be
+    /// indistinguishable from a real sweep, and hit-rate telemetry would
+    /// undercount cache effectiveness.
+    pub memo_hit: bool,
+}
+
+/// The query kinds telemetry labels per-query families with
+/// (`kb_query_us{kind="marginal"}` and friends).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    Condition,
+    Retract,
+    Consistent,
+    LogWeight,
+    ProbEvidence,
+    Query,
+    Marginal,
+    AllMarginals,
+    Mpe,
+    TopK,
+    Entails,
+    Count,
+}
+
+impl QueryKind {
+    /// Every kind, in [`QueryKind::index`] order.
+    pub const ALL: [QueryKind; 12] = [
+        QueryKind::Condition,
+        QueryKind::Retract,
+        QueryKind::Consistent,
+        QueryKind::LogWeight,
+        QueryKind::ProbEvidence,
+        QueryKind::Query,
+        QueryKind::Marginal,
+        QueryKind::AllMarginals,
+        QueryKind::Mpe,
+        QueryKind::TopK,
+        QueryKind::Entails,
+        QueryKind::Count,
+    ];
+
+    /// The `kind` label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryKind::Condition => "condition",
+            QueryKind::Retract => "retract",
+            QueryKind::Consistent => "consistent",
+            QueryKind::LogWeight => "logw",
+            QueryKind::ProbEvidence => "pe",
+            QueryKind::Query => "query",
+            QueryKind::Marginal => "marginal",
+            QueryKind::AllMarginals => "marginals",
+            QueryKind::Mpe => "mpe",
+            QueryKind::TopK => "topk",
+            QueryKind::Entails => "entails",
+            QueryKind::Count => "count",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
 }
 
 fn stats_sum(a: EvalCacheStats, b: EvalCacheStats) -> EvalCacheStats {
@@ -260,6 +323,10 @@ pub struct KnowledgeBase {
     marginals_memo: Option<(u64, Result<Vec<f64>, KbError>)>,
     provenance: KbProvenance,
     last_query: KbQueryStats,
+    /// Scratch flag queries raise inside [`KnowledgeBase::tracked`] when
+    /// they answered from the marginals memo (feeds
+    /// [`KbQueryStats::memo_hit`]).
+    memo_hit_scratch: bool,
 }
 
 impl fmt::Debug for KnowledgeBase {
@@ -300,6 +367,7 @@ impl KnowledgeBase {
             marginals_memo: None,
             provenance: KbProvenance::Raw,
             last_query: KbQueryStats::default(),
+            memo_hit_scratch: false,
         }
     }
 
@@ -591,6 +659,7 @@ impl KnowledgeBase {
         self.tracked(|kb| {
             let epoch = kb.posterior.epoch();
             if matches!(&kb.marginals_memo, Some((e, _)) if *e == epoch) {
+                kb.memo_hit_scratch = true;
                 return;
             }
             let weights = kb.posterior_log_weights();
@@ -772,12 +841,14 @@ impl KnowledgeBase {
         let t0 = Instant::now();
         let apply0 = self.mgr.apply_stats();
         let eval0 = stats_sum(self.prior.stats(), self.posterior.stats());
+        self.memo_hit_scratch = false;
         let out = body(self);
         self.last_query = KbQueryStats {
             apply: self.mgr.apply_stats().delta_since(apply0),
             eval: stats_sum(self.prior.stats(), self.posterior.stats()).delta_since(eval0),
             mem_bytes: self.mgr.memory_bytes(),
             duration: t0.elapsed(),
+            memo_hit: self.memo_hit_scratch,
         };
         out
     }

@@ -1,0 +1,40 @@
+//! # obs — telemetry for the sentential workspace
+//!
+//! A dependency-free observability layer threaded through every tier
+//! (kernel → compiler → kb → serve). Three pieces:
+//!
+//! - [`MetricsRegistry`]: a `Send + Sync` registry of named, labelled
+//!   counters, gauges, and power-of-two-bucketed latency histograms.
+//!   Registration takes a lock once; the returned [`Counter`] /
+//!   [`Gauge`] / [`Histogram`] handles are `Arc`-backed atomics, so the
+//!   hot path records lock-free. [`MetricsRegistry::snapshot`] produces a
+//!   [`MetricsSnapshot`] that merges across registries (shards) and
+//!   renders Prometheus text exposition format.
+//! - A span/trace API ([`trace_begin`] / [`span`] / [`trace_note`] /
+//!   [`trace_end`]): a thread-local active trace accumulates named stage
+//!   timings and integer notes into a [`TraceRecord`] with a
+//!   monotonically-assigned process-wide id. When no trace is active the
+//!   whole API is a few-nanosecond no-op, so instrumented code does not
+//!   pay for tracing it isn't using.
+//! - [`SlowLog`]: a fixed-capacity ring retaining the N worst (slowest)
+//!   traces, with a lock-free admission pre-check so the common fast
+//!   query skips the mutex entirely.
+//!
+//! Everything here is plain `std`; the crate exists so lower tiers (`sdd`,
+//! `core`, `kb`) can publish without dragging in serving concerns.
+
+mod registry;
+mod trace;
+
+pub use registry::{
+    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, MetricKey,
+    MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use trace::{
+    span, trace_active, trace_begin, trace_end, trace_note, SlowLog, Span, TraceRecord,
+};
+
+/// Version of the observability surface (metric families, trace JSON
+/// shape, protocol verbs). Advertised in the `kb-server` hello banner as
+/// `obs <version>` so clients can gate on scrape support.
+pub const OBS_VERSION: u32 = 1;

@@ -1,0 +1,542 @@
+//! The metrics registry: named, labelled counters, gauges, and
+//! power-of-two latency histograms with lock-free recording.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// Number of histogram buckets. Bucket `0` holds values `<= 1`; bucket
+/// `k` (for `0 < k < HISTOGRAM_BUCKETS - 1`) holds `(2^(k-1), 2^k]`; the
+/// last bucket is the overflow (`+Inf`) bucket. With values recorded in
+/// microseconds the finite range tops out at `2^38 us` (~3 days), far
+/// beyond any query this system answers.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// Bucket index for a recorded value: `0` for `v <= 1`, else
+/// `ceil(log2 v)`, clamped into the overflow bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        (64 - (v - 1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the overflow
+/// bucket). Quantile estimates report this bound.
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// A metric identity: family name plus a canonically-sorted label set.
+/// Ordering is lexicographic, which makes snapshot renders deterministic.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// `name{k="v",…}` with Prometheus label-value escaping; just `name`
+    /// when there are no labels.
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let mut out = format!("{}{{", self.name);
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Like [`render`](Self::render) but with an extra `le` label
+    /// appended (histogram bucket lines).
+    fn render_with_le(&self, le: &str) -> String {
+        let mut out = format!("{}_bucket{{", self.name);
+        for (k, v) in &self.labels {
+            let _ = write!(out, "{k}=\"{}\",", escape_label(v));
+        }
+        let _ = write!(out, "le=\"{le}\"}}");
+        out
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+struct HistogramCell {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new() -> HistogramCell {
+        HistogramCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A monotonically-increasing counter handle. Clones share the cell;
+/// recording is a single relaxed atomic add.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle storing an `f64` (as bits).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A power-of-two-bucketed histogram handle. Values are dimensionless
+/// `u64`s; by convention latency families record microseconds and carry a
+/// `_us` name suffix.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCell>);
+
+impl Histogram {
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let cell = &self.0;
+        cell.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        cell.sum.fetch_add(v, Ordering::Relaxed);
+        cell.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration in microseconds (saturating).
+    #[inline]
+    pub fn record_duration_us(&self, d: Duration) {
+        self.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+}
+
+enum Cell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCell>),
+}
+
+/// A `Send + Sync` registry of metrics. Handle lookup takes a read lock
+/// (write lock on first registration); callers on hot paths should
+/// resolve handles once and cache them — recording through a handle is
+/// lock-free.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<BTreeMap<MetricKey, Cell>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Resolve (registering on first use) the counter `name{labels}`.
+    ///
+    /// Panics if the same key was previously registered as a different
+    /// metric type — that is a programming error, not an operational one.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        if let Some(Cell::Counter(c)) = self.lookup(&key) {
+            return Counter(c);
+        }
+        let mut map = self.metrics.write().unwrap();
+        match map
+            .entry(key)
+            .or_insert_with(|| Cell::Counter(Arc::new(AtomicU64::new(0))))
+        {
+            Cell::Counter(c) => Counter(Arc::clone(c)),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Resolve (registering on first use) the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        if let Some(Cell::Gauge(g)) = self.lookup(&key) {
+            return Gauge(g);
+        }
+        let mut map = self.metrics.write().unwrap();
+        match map
+            .entry(key)
+            .or_insert_with(|| Cell::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+        {
+            Cell::Gauge(g) => Gauge(Arc::clone(g)),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Resolve (registering on first use) the histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = MetricKey::new(name, labels);
+        if let Some(Cell::Histogram(h)) = self.lookup(&key) {
+            return Histogram(h);
+        }
+        let mut map = self.metrics.write().unwrap();
+        match map
+            .entry(key)
+            .or_insert_with(|| Cell::Histogram(Arc::new(HistogramCell::new())))
+        {
+            Cell::Histogram(h) => Histogram(Arc::clone(h)),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    fn lookup(&self, key: &MetricKey) -> Option<Cell> {
+        let map = self.metrics.read().unwrap();
+        map.get(key).map(|cell| match cell {
+            Cell::Counter(c) => Cell::Counter(Arc::clone(c)),
+            Cell::Gauge(g) => Cell::Gauge(Arc::clone(g)),
+            Cell::Histogram(h) => Cell::Histogram(Arc::clone(h)),
+        })
+    }
+
+    /// A point-in-time copy of every metric. Concurrent recorders may be
+    /// mid-update; each individual load is atomic, so totals are exact
+    /// once writers quiesce.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.metrics.read().unwrap();
+        let mut snap = MetricsSnapshot::default();
+        for (key, cell) in map.iter() {
+            match cell {
+                Cell::Counter(c) => {
+                    snap.counters.insert(key.clone(), c.load(Ordering::Relaxed));
+                }
+                Cell::Gauge(g) => {
+                    snap.gauges
+                        .insert(key.clone(), f64::from_bits(g.load(Ordering::Relaxed)));
+                }
+                Cell::Histogram(h) => {
+                    snap.histograms.insert(
+                        key.clone(),
+                        HistogramSnapshot {
+                            buckets: h
+                                .buckets
+                                .iter()
+                                .map(|b| b.load(Ordering::Relaxed))
+                                .collect(),
+                            sum: h.sum.load(Ordering::Relaxed),
+                            count: h.count.load(Ordering::Relaxed),
+                        },
+                    );
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket occupancy (length [`HISTOGRAM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Number of recorded values.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`0 <= q <= 1`); `0` when empty. Monotone in `q` by construction:
+    /// the rank threshold grows with `q`, so the answer bucket index (and
+    /// with it the bound) never decreases.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// A mergeable, renderable copy of a registry's state. Shard registries
+/// snapshot independently; the pool merges the snapshots into one view.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<MetricKey, u64>,
+    pub gauges: BTreeMap<MetricKey, f64>,
+    pub histograms: BTreeMap<MetricKey, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Fold `other` into `self`. Counters and histograms add (the merged
+    /// view saw the union of events); gauges take the max — summing a
+    /// level like `sdd_mem_bytes` across replicas that share one slab
+    /// would overcount, whereas the max is the honest per-holder level.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (key, v) in &other.counters {
+            *self.counters.entry(key.clone()).or_insert(0) += v;
+        }
+        for (key, v) in &other.gauges {
+            let slot = self.gauges.entry(key.clone()).or_insert(f64::NEG_INFINITY);
+            *slot = slot.max(*v);
+        }
+        for (key, h) in &other.histograms {
+            self.histograms.entry(key.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Insert (or overwrite) a counter value directly — used to graft
+    /// derived families (e.g. per-shard serve stats) into a snapshot.
+    pub fn set_counter(&mut self, name: &str, labels: &[(&str, &str)], v: u64) {
+        self.counters.insert(MetricKey::new(name, labels), v);
+    }
+
+    /// Insert (or overwrite) a gauge value directly.
+    pub fn set_gauge(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.gauges.insert(MetricKey::new(name, labels), v);
+    }
+
+    /// Look up a counter by name and labels (test/assertion helper).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters.get(&MetricKey::new(name, labels)).copied()
+    }
+
+    /// Look up a histogram by name and labels.
+    pub fn histogram_value(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<&HistogramSnapshot> {
+        self.histograms.get(&MetricKey::new(name, labels))
+    }
+
+    /// Render Prometheus text exposition format. Families are emitted in
+    /// name order with one `# TYPE` line each; histogram buckets are
+    /// cumulative with power-of-two `le` bounds, trimmed after the last
+    /// occupied bucket (the omitted tail is implied by `+Inf`).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for (key, v) in &self.counters {
+            if last_family != key.name {
+                let _ = writeln!(out, "# TYPE {} counter", key.name);
+                last_family.clone_from(&key.name);
+            }
+            let _ = writeln!(out, "{} {v}", key.render());
+        }
+        last_family.clear();
+        for (key, v) in &self.gauges {
+            if last_family != key.name {
+                let _ = writeln!(out, "# TYPE {} gauge", key.name);
+                last_family.clone_from(&key.name);
+            }
+            let _ = writeln!(out, "{} {v}", key.render());
+        }
+        last_family.clear();
+        for (key, h) in &self.histograms {
+            if last_family != key.name {
+                let _ = writeln!(out, "# TYPE {} histogram", key.name);
+                last_family.clone_from(&key.name);
+            }
+            let top = h
+                .buckets
+                .iter()
+                .rposition(|&b| b > 0)
+                .map(|i| i.min(HISTOGRAM_BUCKETS - 2))
+                .unwrap_or(0);
+            let mut cum = 0u64;
+            for (i, b) in h.buckets.iter().enumerate().take(top + 1) {
+                cum += b;
+                let _ = writeln!(
+                    out,
+                    "{} {cum}",
+                    key.render_with_le(&bucket_upper_bound(i).to_string())
+                );
+            }
+            let _ = writeln!(out, "{} {}", key.render_with_le("+Inf"), h.count);
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                key.name,
+                render_labels(&key.labels),
+                h.sum
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                key.name,
+                render_labels(&key.labels),
+                h.count
+            );
+        }
+        out
+    }
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn registry_records_and_snapshots() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("requests_total", &[("kind", "marginal")]);
+        c.add(3);
+        reg.counter("requests_total", &[("kind", "marginal")]).inc();
+        reg.gauge("mem_bytes", &[]).set(42.5);
+        let h = reg.histogram("latency_us", &[]);
+        h.record(1);
+        h.record(100);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_value("requests_total", &[("kind", "marginal")]),
+            Some(4)
+        );
+        assert_eq!(snap.gauges.values().next().copied(), Some(42.5));
+        let hist = snap.histogram_value("latency_us", &[]).unwrap();
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 101);
+    }
+
+    #[test]
+    fn prometheus_render_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("kb_queries_total", &[("kind", "marginal")])
+            .add(7);
+        reg.gauge("sdd_mem_bytes", &[]).set(1024.0);
+        reg.histogram("kb_query_us", &[("kind", "marginal")])
+            .record(5);
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE kb_queries_total counter"));
+        assert!(text.contains("kb_queries_total{kind=\"marginal\"} 7"));
+        assert!(text.contains("# TYPE sdd_mem_bytes gauge"));
+        assert!(text.contains("sdd_mem_bytes 1024"));
+        assert!(text.contains("# TYPE kb_query_us histogram"));
+        assert!(text.contains("kb_query_us_bucket{kind=\"marginal\",le=\"8\"} 1"));
+        assert!(text.contains("kb_query_us_bucket{kind=\"marginal\",le=\"+Inf\"} 1"));
+        assert!(text.contains("kb_query_us_sum{kind=\"marginal\"} 5"));
+        assert!(text.contains("kb_query_us_count{kind=\"marginal\"} 1"));
+    }
+
+    #[test]
+    fn gauges_merge_by_max_counters_by_sum() {
+        let a = MetricsRegistry::new();
+        a.counter("served_total", &[]).add(10);
+        a.gauge("mem_bytes", &[]).set(100.0);
+        let b = MetricsRegistry::new();
+        b.counter("served_total", &[]).add(5);
+        b.gauge("mem_bytes", &[]).set(250.0);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.counter_value("served_total", &[]), Some(15));
+        assert_eq!(m.gauges.values().next().copied(), Some(250.0));
+    }
+
+    #[test]
+    fn quantile_reports_bucket_upper_bounds() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_us", &[]);
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hist = snap.histogram_value("lat_us", &[]).unwrap();
+        assert_eq!(hist.quantile(0.0), 1);
+        assert_eq!(hist.quantile(1.0), 1024);
+        assert!(hist.quantile(0.5) <= hist.quantile(0.9));
+    }
+}

@@ -1,0 +1,301 @@
+//! Per-query tracing: a thread-local active trace accumulates named
+//! stage timings ([`span`]) and integer notes ([`trace_note`]) between
+//! [`trace_begin`] and [`trace_end`], producing a [`TraceRecord`] with a
+//! process-wide monotone id. [`SlowLog`] retains the N worst records.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Process-wide trace id allocator; ids are assigned at `trace_end` so a
+/// record's id also orders it by completion.
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+struct ActiveTrace {
+    label: &'static str,
+    start: Instant,
+    stages: Vec<(&'static str, Duration)>,
+    notes: Vec<(&'static str, u64)>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+}
+
+/// One completed trace: a labelled query with its total latency, stage
+/// breakdown (in completion order; stages may repeat), and integer notes.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// Monotone process-wide id (1-based).
+    pub id: u64,
+    /// What kind of work this was (e.g. the query kind).
+    pub label: &'static str,
+    /// Wall-clock time from `trace_begin` to `trace_end`.
+    pub total: Duration,
+    /// `(stage, elapsed)` pairs pushed by [`Span`] guards as they drop.
+    pub stages: Vec<(&'static str, Duration)>,
+    /// `(key, value)` pairs pushed by [`trace_note`].
+    pub notes: Vec<(&'static str, u64)>,
+}
+
+impl TraceRecord {
+    /// Single-line JSON: durations in microseconds, stages and notes as
+    /// arrays of pairs (stage names may repeat, so no object keys).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "{{\"id\":{},\"label\":\"{}\",\"total_us\":{:.1},\"stages\":[",
+            self.id,
+            self.label,
+            self.total.as_secs_f64() * 1e6,
+        );
+        for (i, (stage, d)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[\"{stage}\",{:.1}]", d.as_secs_f64() * 1e6);
+        }
+        out.push_str("],\"notes\":[");
+        for (i, (key, v)) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[\"{key}\",{v}]");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Start a trace on this thread. A trace already in progress is replaced
+/// (traces do not nest — queries in this system don't either).
+pub fn trace_begin(label: &'static str) {
+    ACTIVE.with(|a| {
+        *a.borrow_mut() = Some(ActiveTrace {
+            label,
+            start: Instant::now(),
+            stages: Vec::with_capacity(4),
+            notes: Vec::with_capacity(4),
+        });
+    });
+}
+
+/// Whether a trace is active on this thread.
+pub fn trace_active() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// Attach an integer note (a counter delta, a flag) to the active trace.
+/// No-op when no trace is active.
+pub fn trace_note(key: &'static str, value: u64) {
+    ACTIVE.with(|a| {
+        if let Some(t) = a.borrow_mut().as_mut() {
+            t.notes.push((key, value));
+        }
+    });
+}
+
+/// A scoped stage timer: created by [`span`], pushes `(stage, elapsed)`
+/// onto the active trace when dropped. When no trace is active at
+/// construction the guard is inert and costs only the TLS check.
+pub struct Span {
+    stage: &'static str,
+    start: Option<Instant>,
+}
+
+/// Open a stage span. Bind it (`let _sp = obs::span("sweep");`) so it
+/// drops at the end of the stage.
+#[inline]
+pub fn span(stage: &'static str) -> Span {
+    Span {
+        stage,
+        start: if trace_active() {
+            Some(Instant::now())
+        } else {
+            None
+        },
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let elapsed = start.elapsed();
+            ACTIVE.with(|a| {
+                if let Some(t) = a.borrow_mut().as_mut() {
+                    t.stages.push((self.stage, elapsed));
+                }
+            });
+        }
+    }
+}
+
+/// Finish the active trace, assigning its id. Returns `None` when no
+/// trace was active (instrumentation disabled).
+pub fn trace_end() -> Option<TraceRecord> {
+    ACTIVE.with(|a| a.borrow_mut().take()).map(|t| TraceRecord {
+        id: NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
+        label: t.label,
+        total: t.start.elapsed(),
+        stages: t.stages,
+        notes: t.notes,
+    })
+}
+
+/// A fixed-capacity log of the worst (slowest) traces seen. Admission is
+/// pre-checked lock-free against the current floor, so fast queries pay
+/// two relaxed loads and never touch the mutex.
+pub struct SlowLog {
+    cap: usize,
+    len: AtomicUsize,
+    /// Total latency (µs) of the *fastest* retained record once the log
+    /// is full — the bar a new record must clear.
+    floor_us: AtomicU64,
+    worst: Mutex<Vec<TraceRecord>>,
+}
+
+impl SlowLog {
+    /// A log retaining the `cap` worst traces (`cap` is clamped to ≥ 1).
+    pub fn new(cap: usize) -> SlowLog {
+        SlowLog {
+            cap: cap.max(1),
+            len: AtomicUsize::new(0),
+            floor_us: AtomicU64::new(0),
+            worst: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Would a trace of this duration make the log? Lock-free; callers
+    /// use it to skip building/offering records for fast queries.
+    #[inline]
+    pub fn would_admit(&self, total: Duration) -> bool {
+        self.len.load(Ordering::Relaxed) < self.cap
+            || total.as_micros() as u64 > self.floor_us.load(Ordering::Relaxed)
+    }
+
+    /// Offer a record; it is retained iff it ranks among the `cap` worst
+    /// seen so far.
+    pub fn offer(&self, rec: TraceRecord) {
+        if !self.would_admit(rec.total) {
+            return;
+        }
+        let mut worst = self.worst.lock().unwrap();
+        if worst.len() == self.cap {
+            // Evict the fastest retained record if the newcomer beats it.
+            let (mi, _) = match worst.iter().enumerate().min_by_key(|(_, r)| r.total) {
+                Some(m) => m,
+                None => return,
+            };
+            if worst[mi].total >= rec.total {
+                return;
+            }
+            worst[mi] = rec;
+        } else {
+            worst.push(rec);
+        }
+        self.len.store(worst.len(), Ordering::Relaxed);
+        if worst.len() == self.cap {
+            let floor = worst.iter().map(|r| r.total).min().unwrap_or_default();
+            self.floor_us
+                .store(floor.as_micros() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// The retained traces, slowest first.
+    pub fn worst(&self) -> Vec<TraceRecord> {
+        let mut v = self.worst.lock().unwrap().clone();
+        v.sort_by(|a, b| b.total.cmp(&a.total).then(a.id.cmp(&b.id)));
+        v
+    }
+
+    /// Look up a retained trace by id.
+    pub fn get(&self, id: u64) -> Option<TraceRecord> {
+        self.worst
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|r| r.id == id)
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_notes_assemble_a_record() {
+        trace_begin("marginal");
+        {
+            let _sp = span("sweep");
+            std::hint::black_box(0u64);
+        }
+        trace_note("memo_hit", 1);
+        let rec = trace_end().expect("trace was active");
+        assert_eq!(rec.label, "marginal");
+        assert_eq!(rec.stages.len(), 1);
+        assert_eq!(rec.stages[0].0, "sweep");
+        assert_eq!(rec.notes, vec![("memo_hit", 1)]);
+        assert!(rec.total >= rec.stages[0].1);
+        let json = rec.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"label\":\"marginal\""));
+        assert!(json.contains("[\"memo_hit\",1]"));
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn trace_ids_are_monotone() {
+        trace_begin("a");
+        let a = trace_end().unwrap();
+        trace_begin("b");
+        let b = trace_end().unwrap();
+        assert!(b.id > a.id);
+    }
+
+    #[test]
+    fn inactive_trace_api_is_inert() {
+        assert!(trace_end().is_none());
+        assert!(!trace_active());
+        trace_note("ignored", 7);
+        let _sp = span("ignored");
+        assert!(trace_end().is_none());
+    }
+
+    #[test]
+    fn slow_log_retains_the_worst() {
+        let log = SlowLog::new(2);
+        let rec = |id, us| TraceRecord {
+            id,
+            label: "q",
+            total: Duration::from_micros(us),
+            stages: Vec::new(),
+            notes: Vec::new(),
+        };
+        log.offer(rec(1, 10));
+        log.offer(rec(2, 50));
+        log.offer(rec(3, 5)); // too fast: dropped
+        log.offer(rec(4, 100)); // evicts the 10us record
+        let worst = log.worst();
+        assert_eq!(worst.len(), 2);
+        assert_eq!(worst[0].id, 4);
+        assert_eq!(worst[1].id, 2);
+        assert!(log.get(2).is_some());
+        assert!(log.get(1).is_none());
+        assert!(log.would_admit(Duration::from_micros(60)));
+        assert!(!log.would_admit(Duration::from_micros(40)));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests pinning the histogram's power-of-two bucket scheme.
+
+use obs::{bucket_index, bucket_upper_bound, MetricsRegistry, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+/// A value mixing small (dense-bucket) and huge (overflow) magnitudes out
+/// of two generator dimensions: `base * 2^shift`.
+fn value(base: u64, shift: u32) -> u64 {
+    base.saturating_mul(1u64 << shift)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every value lands in exactly the bucket whose half-open range
+    /// contains it: bucket 0 is `[0, 1]`, bucket k is `(2^(k-1), 2^k]`,
+    /// and the last bucket takes everything past the finite range.
+    #[test]
+    fn bucket_boundaries_contain_their_values(base in 0u64..=4096, shift in 0u32..48) {
+        let v = value(base, shift);
+        let idx = bucket_index(v);
+        prop_assert!(idx < HISTOGRAM_BUCKETS);
+        prop_assert!(v <= bucket_upper_bound(idx), "v={v} above bucket {idx}");
+        if idx > 0 {
+            prop_assert!(
+                v > bucket_upper_bound(idx - 1) || idx == HISTOGRAM_BUCKETS - 1,
+                "v={v} should be below bucket {idx}"
+            );
+        }
+    }
+
+    /// Recording a batch loses no sample and double-counts none: the
+    /// bucket occupancies sum to the count and the sum is exact.
+    #[test]
+    fn no_sample_lost_or_double_counted(seed: u64, n in 1usize..200) {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_us", &[]);
+        let mut expect_sum = 0u64;
+        let mut state = seed | 1;
+        for _ in 0..n {
+            // xorshift over a wide magnitude range, 0..2^44.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let v = state >> 20;
+            h.record(v);
+            expect_sum += v;
+        }
+        let snap = reg.snapshot();
+        let hist = snap.histogram_value("lat_us", &[]).unwrap();
+        prop_assert_eq!(hist.count, n as u64);
+        prop_assert_eq!(hist.sum, expect_sum);
+        prop_assert_eq!(hist.buckets.iter().sum::<u64>(), n as u64);
+    }
+
+    /// record → quantile is monotone in q, and every reported quantile is
+    /// a genuine bucket upper bound at or above the true minimum sample.
+    #[test]
+    fn quantiles_are_monotone(seed: u64, n in 1usize..100) {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_us", &[]);
+        let mut min_v = u64::MAX;
+        let mut state = seed | 1;
+        for _ in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let v = state >> 32;
+            h.record(v);
+            min_v = min_v.min(v);
+        }
+        let snap = reg.snapshot();
+        let hist = snap.histogram_value("lat_us", &[]).unwrap();
+        let mut prev = 0u64;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let b = hist.quantile(q);
+            prop_assert!(b >= prev, "quantile not monotone at q={q}");
+            prop_assert!(b >= min_v || i == 0, "q={q} below the smallest sample");
+            prev = b;
+        }
+        prop_assert_eq!(hist.quantile(0.0), bucket_upper_bound(bucket_index(min_v)));
+    }
+}

@@ -1,0 +1,87 @@
+//! Cross-thread and merge-algebra coverage for the metrics registry.
+
+use obs::{MetricsRegistry, MetricsSnapshot};
+use std::sync::Arc;
+
+/// 8 threads hammer one registry through independently-resolved handles;
+/// once they join, every total must be exact — nothing lost to races.
+#[test]
+fn eight_threads_record_exact_totals() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let reg = Arc::new(MetricsRegistry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                let c = reg.counter("hits_total", &[("kind", "x")]);
+                let h = reg.histogram("lat_us", &[]);
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.record(t * PER_THREAD + i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = reg.snapshot();
+    assert_eq!(
+        snap.counter_value("hits_total", &[("kind", "x")]),
+        Some(THREADS * PER_THREAD)
+    );
+    let hist = snap.histogram_value("lat_us", &[]).unwrap();
+    assert_eq!(hist.count, THREADS * PER_THREAD);
+    // Sum of 0..80000 — every recorded value accounted for exactly.
+    let n = THREADS * PER_THREAD;
+    assert_eq!(hist.sum, n * (n - 1) / 2);
+    // No sample lost or double-counted across buckets either.
+    assert_eq!(hist.buckets.iter().sum::<u64>(), hist.count);
+}
+
+fn sample_snapshot(seed: u64) -> MetricsSnapshot {
+    let reg = MetricsRegistry::new();
+    reg.counter("c_total", &[]).add(seed);
+    reg.counter("k_total", &[("kind", "m")]).add(seed * 3 + 1);
+    reg.gauge("level", &[]).set(seed as f64 * 1.5);
+    let h = reg.histogram("lat_us", &[("kind", "m")]);
+    for i in 0..seed {
+        h.record(i * 17 % 300);
+    }
+    reg.snapshot()
+}
+
+fn assert_snap_eq(a: &MetricsSnapshot, b: &MetricsSnapshot) {
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.histograms, b.histograms);
+    assert_eq!(a.gauges.len(), b.gauges.len());
+    for (k, v) in &a.gauges {
+        assert_eq!(b.gauges.get(k), Some(v), "gauge {k:?}");
+    }
+}
+
+/// merge is associative (and the render is a pure function of the merged
+/// state): (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+#[test]
+fn snapshot_merge_is_associative() {
+    let (a, b, c) = (sample_snapshot(5), sample_snapshot(9), sample_snapshot(23));
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut right = a.clone();
+    right.merge(&bc);
+    assert_snap_eq(&left, &right);
+    assert_eq!(left.render_prometheus(), right.render_prometheus());
+}
+
+/// Merging an empty snapshot is the identity for counters/histograms.
+#[test]
+fn snapshot_merge_empty_is_identity() {
+    let a = sample_snapshot(7);
+    let mut merged = a.clone();
+    merged.merge(&MetricsSnapshot::default());
+    assert_snap_eq(&a, &merged);
+}

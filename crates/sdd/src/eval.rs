@@ -406,6 +406,16 @@ impl EvalCacheStats {
             recomputed: self.recomputed.saturating_sub(earlier.recomputed),
         }
     }
+
+    /// Publish these counters (typically a [`delta_since`](Self::delta_since)
+    /// delta) into the kernel's telemetry families: `sdd_eval_lookups_total`,
+    /// `sdd_eval_hits_total`, `sdd_eval_recomputed_total`.
+    pub fn publish(&self, reg: &obs::MetricsRegistry) {
+        reg.counter("sdd_eval_lookups_total", &[]).add(self.lookups);
+        reg.counter("sdd_eval_hits_total", &[]).add(self.hits);
+        reg.counter("sdd_eval_recomputed_total", &[])
+            .add(self.recomputed);
+    }
 }
 
 /// An **epoch-tagged incremental evaluator**: the semiring engine of

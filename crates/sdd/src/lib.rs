@@ -209,6 +209,21 @@ impl ApplyStats {
             unique_inserts: self.unique_inserts.saturating_sub(earlier.unique_inserts),
         }
     }
+
+    /// Publish these counters (typically a [`delta_since`](Self::delta_since)
+    /// delta) into the kernel's telemetry families: `sdd_apply_calls_total`,
+    /// `sdd_apply_cache_hits_total`, `sdd_unique_probes_total`,
+    /// `sdd_unique_inserts_total`.
+    pub fn publish(&self, reg: &obs::MetricsRegistry) {
+        reg.counter("sdd_apply_calls_total", &[])
+            .add(self.apply_calls);
+        reg.counter("sdd_apply_cache_hits_total", &[])
+            .add(self.cache_hits);
+        reg.counter("sdd_unique_probes_total", &[])
+            .add(self.unique_probes);
+        reg.counter("sdd_unique_inserts_total", &[])
+            .add(self.unique_inserts);
+    }
 }
 
 /// The hand-rolled open-addressed unique table (offline constraint: no

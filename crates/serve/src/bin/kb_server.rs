@@ -22,24 +22,28 @@
 //! compatibility before sending anything:
 //!
 //! ```text
-//! hello kb-server protocol 1 snap 1
+//! hello kb-server protocol 2 snap 1 obs 1
 //! ```
 //!
 //! Protocol (one request per line; answers are `<seq> ok …` / `<seq> err …`
 //! and may arrive out of order — `sync` flushes, `stats` prints per-shard
-//! counters, `save <id> <path>` persists a base's frozen state as a
-//! snapshot, `quit` exits):
+//! counters plus an `all …` merged line, `metrics` dumps the pool-wide
+//! telemetry in Prometheus text format, `slow` / `trace <id>` inspect the
+//! slow-query log as single-line JSON, `save <id> <path>` persists a
+//! base's frozen state as a snapshot, `quit` exits):
 //!
 //! ```text
 //! kb <id> marginal <var> | marginals | mpe | top <k> | query <lit>… |
 //!         logw | pe | count | entails <lit>… | consistent |
 //!         condition <lit>… | retract | setp <var> <p>
 //! save <id> <path>
+//! metrics | slow | trace <id>
 //! ```
 //!
 //! Variables are 1-based on the wire, literal sign is polarity (DIMACS).
 
 use kb::{FrozenKb, KnowledgeBase};
+use obs::{MetricsRegistry, MetricsSnapshot};
 use sentential_core::Compiler;
 use serve::{parse_request, KbServer, Request, PROTOCOL_VERSION};
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -100,13 +104,15 @@ fn save_kb(kbs: &[Arc<FrozenKb>], kb: usize, path: &str) -> Result<(), String> {
 fn converse(
     server: &mut KbServer,
     kbs: &[Arc<FrozenKb>],
+    boot: &MetricsSnapshot,
     input: &mut dyn BufRead,
     output: &mut dyn Write,
 ) -> std::io::Result<bool> {
     writeln!(
         output,
-        "hello kb-server protocol {PROTOCOL_VERSION} snap {}",
-        snap::FORMAT_VERSION
+        "hello kb-server protocol {PROTOCOL_VERSION} snap {} obs {}",
+        snap::FORMAT_VERSION,
+        obs::OBS_VERSION
     )?;
     let mut line = String::new();
     loop {
@@ -135,10 +141,28 @@ fn converse(
                 writeln!(output, "synced")?;
             }
             Ok(Some(Request::Stats)) => {
-                for s in server.stats() {
+                let stats = server.stats();
+                for s in &stats {
                     writeln!(output, "{}", s.render())?;
                 }
+                writeln!(output, "{}", serve::ShardStats::render_merged(&stats))?;
             }
+            Ok(Some(Request::Metrics)) => {
+                write!(output, "{}", server.metrics_text(Some(boot)))?;
+            }
+            Ok(Some(Request::Slow)) => {
+                let worst = server.slow_traces();
+                if worst.is_empty() {
+                    writeln!(output, "slow-log empty")?;
+                }
+                for t in worst {
+                    writeln!(output, "{}", t.to_json())?;
+                }
+            }
+            Ok(Some(Request::Trace(id))) => match server.trace(id) {
+                Some(t) => writeln!(output, "{}", t.to_json())?,
+                None => writeln!(output, "err trace {id} not retained")?,
+            },
             Ok(Some(Request::Save { kb, path })) => match save_kb(kbs, kb, &path) {
                 Ok(()) => writeln!(output, "saved {path}")?,
                 Err(e) => writeln!(output, "err {e}")?,
@@ -218,6 +242,17 @@ fn main() {
         );
     }
 
+    // Boot-time telemetry: compile/load reports and per-kb sizes land in a
+    // registry snapshotted once — per-query families live in the shard
+    // registries and are merged in by `metrics_text`. Only the unique
+    // bases publish (replicas share slabs; re-publishing would duplicate
+    // the gauges under the replica's id).
+    let boot_registry = MetricsRegistry::new();
+    for (i, kb) in kbs.iter().take(base).enumerate() {
+        kb.publish_boot_metrics(&boot_registry, i);
+    }
+    let boot = boot_registry.snapshot();
+
     // The shard pool takes ownership of one Arc per base; this second list
     // serves the front-end `save` verb.
     let kbs_for_save = kbs.clone();
@@ -228,7 +263,7 @@ fn main() {
             let stdout = std::io::stdout();
             let mut input = stdin.lock();
             let mut output = BufWriter::new(stdout.lock());
-            if let Err(e) = converse(&mut server, &kbs_for_save, &mut input, &mut output) {
+            if let Err(e) = converse(&mut server, &kbs_for_save, &boot, &mut input, &mut output) {
                 eprintln!("kb-server: {e}");
             }
         }
@@ -255,7 +290,7 @@ fn main() {
                             }
                         });
                         let mut output = BufWriter::new(stream);
-                        match converse(&mut server, &kbs_for_save, &mut input, &mut output) {
+                        match converse(&mut server, &kbs_for_save, &boot, &mut input, &mut output) {
                             Ok(true) => eprintln!("kb-server: {peer:?} disconnected"),
                             Ok(false) => break,
                             Err(e) => eprintln!("kb-server: {peer:?}: {e}"),

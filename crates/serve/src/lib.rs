@@ -24,17 +24,23 @@
 //! `examples/kb_server.rs` at the workspace root for the end-to-end loop.
 
 use kb::{FrozenKb, KbSession, Lit, Model};
+use obs::{MetricsRegistry, MetricsSnapshot, SlowLog, TraceRecord};
 use std::fmt;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use vtree::VarId;
 
 /// Version of the line protocol spoken here, reported by the `kb-server`
 /// hello banner alongside [`snap::FORMAT_VERSION`]. Bump when a verb
-/// changes shape.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// changes shape. Version 2 added the observability verbs (`metrics`,
+/// `slow`, `trace <id>`) and the queue-wait / merged-line extensions of
+/// `stats`.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Traces retained per server in the slow-query log (the N worst).
+pub const SLOW_LOG_CAPACITY: usize = 32;
 
 /// Why one protocol line was rejected. [`parse_request`] returns this
 /// instead of a bare string so front-ends can react to *what* went wrong
@@ -57,6 +63,9 @@ pub enum ProtocolError {
     NonFiniteProbability(String),
     /// The `kb <id> …` tail was not a known command.
     UnknownCommand(String),
+    /// A verb is missing a required argument (the payload names the
+    /// expected shape, e.g. `trace <id>`).
+    MissingArgument(&'static str),
     /// The line as a whole fit no request shape.
     Unparseable(String),
 }
@@ -79,6 +88,9 @@ impl fmt::Display for ProtocolError {
                 write!(f, "probability {t:?} is not finite")
             }
             ProtocolError::UnknownCommand(t) => write!(f, "unknown command {t:?}"),
+            ProtocolError::MissingArgument(want) => {
+                write!(f, "missing argument (want {want})")
+            }
             ProtocolError::Unparseable(t) => write!(f, "unparseable request {t:?}"),
         }
     }
@@ -126,8 +138,15 @@ pub enum Request {
     /// ([`kb::FrozenKb::save`]). Handled by the front-end that owns the
     /// base list, not by the shard pool.
     Save { kb: usize, path: String },
-    /// `stats` — per-shard counters.
+    /// `stats` — per-shard counters plus the merged all-shards line.
     Stats,
+    /// `metrics` — Prometheus text exposition of every registry the
+    /// server aggregates (kernel, kb, serve families).
+    Metrics,
+    /// `slow` — the slow-query log, worst first, one JSON trace per line.
+    Slow,
+    /// `trace <id>` — one retained trace by id, as single-line JSON.
+    Trace(u64),
     /// `sync` — drain all outstanding responses.
     Sync,
     /// `quit` — shut the server down.
@@ -169,6 +188,13 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ProtocolError> {
         [] => Ok(None),
         [c, ..] if c.starts_with('#') => Ok(None),
         ["stats"] => Ok(Some(Request::Stats)),
+        ["metrics"] => Ok(Some(Request::Metrics)),
+        ["slow"] => Ok(Some(Request::Slow)),
+        ["trace", id] => Ok(Some(Request::Trace(
+            id.parse()
+                .map_err(|_| ProtocolError::BadNumber((*id).into()))?,
+        ))),
+        ["trace"] => Err(ProtocolError::MissingArgument("trace <id>")),
         ["sync"] => Ok(Some(Request::Sync)),
         ["quit"] => Ok(Some(Request::Quit)),
         ["save", id, path] => Ok(Some(Request::Save {
@@ -234,6 +260,11 @@ pub struct ShardStats {
     pub served: u64,
     /// Wall-clock time spent inside query bodies.
     pub busy: Duration,
+    /// Wall-clock time requests spent queued (submit → dequeue), summed.
+    /// Separate from `busy` on purpose: a shard can be slow because its
+    /// queries are expensive (busy grows) or because it is oversubscribed
+    /// (queue wait grows) — operators need to tell those apart.
+    pub queue_wait: Duration,
     /// Evaluation-cache lookups across all queries.
     pub eval_lookups: u64,
     /// Lookups answered from a still-valid cached value.
@@ -245,22 +276,62 @@ pub struct ShardStats {
 impl ShardStats {
     /// One-line rendering for the `stats` protocol verb.
     pub fn render(&self) -> String {
+        format!("shard {} {}", self.shard, self.render_counters())
+    }
+
+    /// The counter tail shared by [`render`](Self::render) and the merged
+    /// all-shards line.
+    fn render_counters(&self) -> String {
         format!(
-            "shard {} kbs {} served {} busy_us {} eval_lookups {} eval_hits {} eval_recomputed {}",
-            self.shard,
+            "kbs {} served {} busy_us {} queue_us {} eval_lookups {} eval_hits {} eval_recomputed {}",
             self.kbs,
             self.served,
             self.busy.as_micros(),
+            self.queue_wait.as_micros(),
             self.eval_lookups,
             self.eval_hits,
             self.eval_recomputed
         )
     }
+
+    /// The merged all-shards line the `stats` verb appends, so operators
+    /// don't hand-sum per-shard output.
+    pub fn render_merged(stats: &[ShardStats]) -> String {
+        format!("all {}", ShardStats::merged(stats).render_counters())
+    }
+
+    /// Sum counters across shards (the `shard` index is meaningless on
+    /// the result and set to the shard count).
+    pub fn merged(stats: &[ShardStats]) -> ShardStats {
+        let mut all = ShardStats {
+            shard: stats.len(),
+            ..ShardStats::default()
+        };
+        for s in stats {
+            all.kbs += s.kbs;
+            all.served += s.served;
+            all.busy += s.busy;
+            all.queue_wait += s.queue_wait;
+            all.eval_lookups += s.eval_lookups;
+            all.eval_hits += s.eval_hits;
+            all.eval_recomputed += s.eval_recomputed;
+        }
+        all
+    }
 }
 
 enum Job {
-    Run { seq: u64, kb: usize, cmd: Command },
-    Stats { reply: mpsc::Sender<ShardStats> },
+    Run {
+        seq: u64,
+        kb: usize,
+        cmd: Command,
+        /// When the front-end enqueued the job (feeds
+        /// [`ShardStats::queue_wait`]).
+        submitted: Instant,
+    },
+    Stats {
+        reply: mpsc::Sender<ShardStats>,
+    },
 }
 
 /// The sharded server: N frozen bases pinned across worker threads, a
@@ -273,6 +344,12 @@ pub struct KbServer {
     route: Vec<usize>,
     next_seq: u64,
     outstanding: u64,
+    /// One registry per shard — sessions record lock-free into their
+    /// shard's registry; [`KbServer::metrics_text`] merges the snapshots
+    /// into the pool view.
+    shard_metrics: Vec<Arc<MetricsRegistry>>,
+    /// The server-wide slow-query log all sessions offer traces to.
+    slow: Arc<SlowLog>,
 }
 
 impl KbServer {
@@ -284,16 +361,25 @@ impl KbServer {
         let threads = threads.max(1);
         let route: Vec<usize> = (0..kbs.len()).map(|i| i % threads).collect();
         let (ctx, collect) = mpsc::channel::<(u64, String)>();
+        let slow = Arc::new(SlowLog::new(SLOW_LOG_CAPACITY));
         let mut txs = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
+        let mut shard_metrics = Vec::with_capacity(threads);
         for shard in 0..threads {
             let (tx, rx) = mpsc::channel::<Job>();
-            // (kb id, session) pairs this shard owns.
+            let registry = Arc::new(MetricsRegistry::new());
+            shard_metrics.push(Arc::clone(&registry));
+            // (kb id, session) pairs this shard owns, each publishing into
+            // the shard's registry and the shared slow log.
             let mut sessions: Vec<(usize, KbSession)> = kbs
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| i % threads == shard)
-                .map(|(i, kb)| (i, kb.session()))
+                .map(|(i, kb)| {
+                    let mut session = kb.session();
+                    session.attach_obs(Arc::clone(&registry), Some(Arc::clone(&slow)));
+                    (i, session)
+                })
                 .collect();
             let ctx = ctx.clone();
             handles.push(std::thread::spawn(move || {
@@ -304,7 +390,13 @@ impl KbServer {
                 };
                 while let Ok(job) = rx.recv() {
                     match job {
-                        Job::Run { seq, kb, cmd } => {
+                        Job::Run {
+                            seq,
+                            kb,
+                            cmd,
+                            submitted,
+                        } => {
+                            stats.queue_wait += submitted.elapsed();
                             let line = match sessions.iter_mut().find(|(i, _)| *i == kb) {
                                 Some((_, session)) => {
                                     let line = answer(session, &cmd);
@@ -338,6 +430,8 @@ impl KbServer {
             route,
             next_seq: 0,
             outstanding: 0,
+            shard_metrics,
+            slow,
         }
     }
 
@@ -362,7 +456,12 @@ impl KbServer {
         self.next_seq += 1;
         self.outstanding += 1;
         self.txs[shard]
-            .send(Job::Run { seq, kb, cmd })
+            .send(Job::Run {
+                seq,
+                kb,
+                cmd,
+                submitted: Instant::now(),
+            })
             .map_err(|_| format!("shard {shard} is gone"))?;
         Ok(seq)
     }
@@ -424,6 +523,49 @@ impl KbServer {
         let mut stats: Vec<ShardStats> = rx.iter().take(n).collect();
         stats.sort_by_key(|s| s.shard);
         stats
+    }
+
+    /// Render the pool-wide metrics view in Prometheus text format.
+    ///
+    /// Merges every shard registry (per-query families recorded by the
+    /// sessions), grafts the `serve_*` families from the shard counters —
+    /// one sample per shard plus a `shard="all"` roll-up — and prepends
+    /// `extra` (typically the boot registry holding compile-time and
+    /// per-kb gauges). Drains outstanding work first so the counters
+    /// cover everything submitted so far.
+    pub fn metrics_text(&mut self, extra: Option<&MetricsSnapshot>) -> String {
+        let stats = self.stats();
+        let mut snap = extra.cloned().unwrap_or_default();
+        for registry in &self.shard_metrics {
+            snap.merge(&registry.snapshot());
+        }
+        let mut rows: Vec<(String, &ShardStats)> =
+            stats.iter().map(|s| (s.shard.to_string(), s)).collect();
+        let merged = ShardStats::merged(&stats);
+        rows.push(("all".to_string(), &merged));
+        for (shard, s) in &rows {
+            let label = [("shard", shard.as_str())];
+            snap.set_counter("serve_requests_total", &label, s.served);
+            snap.set_counter("serve_busy_us_total", &label, s.busy.as_micros() as u64);
+            snap.set_counter(
+                "serve_queue_wait_us_total",
+                &label,
+                s.queue_wait.as_micros() as u64,
+            );
+            snap.set_gauge("serve_kbs", &label, s.kbs as f64);
+        }
+        snap.render_prometheus()
+    }
+
+    /// The slow-query log shared by every session in the pool, slowest
+    /// first.
+    pub fn slow_traces(&self) -> Vec<TraceRecord> {
+        self.slow.worst()
+    }
+
+    /// Look up one retained trace by id.
+    pub fn trace(&self, id: u64) -> Option<TraceRecord> {
+        self.slow.get(id)
     }
 
     /// Shut down: close the job queues, join every worker, and return the
@@ -595,5 +737,65 @@ mod tests {
         );
         assert!(parse_request("save x /tmp/p").is_err());
         assert!(parse_request("save 0").is_err(), "path is required");
+    }
+
+    #[test]
+    fn observability_verbs_parse_and_reject() {
+        assert_eq!(parse_request("metrics").unwrap(), Some(Request::Metrics));
+        assert_eq!(parse_request("slow").unwrap(), Some(Request::Slow));
+        assert_eq!(parse_request("trace 42").unwrap(), Some(Request::Trace(42)));
+        assert_eq!(
+            parse_request("trace").unwrap_err(),
+            ProtocolError::MissingArgument("trace <id>")
+        );
+        assert_eq!(
+            parse_request("trace x").unwrap_err(),
+            ProtocolError::BadNumber("x".into())
+        );
+        assert!(parse_request("metrics now").is_err(), "no trailing args");
+    }
+
+    #[test]
+    fn shard_stats_merge_and_render() {
+        let stats = vec![
+            ShardStats {
+                shard: 0,
+                kbs: 2,
+                served: 10,
+                busy: Duration::from_micros(500),
+                queue_wait: Duration::from_micros(40),
+                eval_lookups: 100,
+                eval_hits: 80,
+                eval_recomputed: 20,
+            },
+            ShardStats {
+                shard: 1,
+                kbs: 1,
+                served: 5,
+                busy: Duration::from_micros(300),
+                queue_wait: Duration::from_micros(10),
+                eval_lookups: 50,
+                eval_hits: 45,
+                eval_recomputed: 5,
+            },
+        ];
+        let m = ShardStats::merged(&stats);
+        assert_eq!((m.kbs, m.served), (3, 15));
+        assert_eq!(m.busy, Duration::from_micros(800));
+        assert_eq!(m.queue_wait, Duration::from_micros(50));
+        assert_eq!(
+            (m.eval_lookups, m.eval_hits, m.eval_recomputed),
+            (150, 125, 25)
+        );
+        assert_eq!(
+            stats[0].render(),
+            "shard 0 kbs 2 served 10 busy_us 500 queue_us 40 \
+             eval_lookups 100 eval_hits 80 eval_recomputed 20"
+        );
+        assert_eq!(
+            ShardStats::render_merged(&stats),
+            "all kbs 3 served 15 busy_us 800 queue_us 50 \
+             eval_lookups 150 eval_hits 125 eval_recomputed 25"
+        );
     }
 }

@@ -70,13 +70,17 @@ fn replicated_shards_answer_bit_identically_to_the_sequential_path() {
         assert_eq!(a_count, format!("ok {}", oracle.count_models()));
     }
 
-    // Per-shard stats cover the whole batch.
+    // Per-shard stats cover the whole batch, and the merged roll-up sums
+    // every shard.
     let stats = server.stats();
     assert_eq!(stats.len(), 4);
     let served: u64 = stats.iter().map(|s| s.served).sum();
     assert_eq!(served, 4 * REPLICAS as u64);
     assert!(stats.iter().all(|s| s.kbs == REPLICAS / 4));
     assert!(stats.iter().any(|s| s.eval_lookups > 0));
+    let merged = serve::ShardStats::merged(&stats);
+    assert_eq!(merged.served, served);
+    assert_eq!(merged.kbs, REPLICAS);
     let final_stats = server.shutdown();
     assert_eq!(final_stats.len(), 4);
 }
@@ -151,5 +155,103 @@ fn wire_protocol_round_trips_through_parse_and_answer() {
     assert_eq!(responses[4].1, "ok true");
     // Bad kb ids surface as submit errors, not worker panics.
     assert!(server.submit(7, Command::LogWeight).is_err());
+    server.shutdown();
+}
+
+#[test]
+fn pool_metrics_cover_kernel_kb_and_serve_families() {
+    let frozen = Arc::new(chain_kb(12).freeze());
+
+    // Boot-time families (compile stages, widths, per-kb sizes) come from
+    // the base; per-query families from the shard sessions.
+    let boot = obs::MetricsRegistry::new();
+    frozen.publish_boot_metrics(&boot, 0);
+
+    let kbs = vec![Arc::clone(&frozen), Arc::clone(&frozen)];
+    let mut server = KbServer::new(kbs, 2);
+    for r in 0..2 {
+        server.submit(r, Command::Marginal(v(3))).unwrap();
+        server.submit(r, Command::AllMarginals).unwrap();
+        server.submit(r, Command::LogWeight).unwrap();
+    }
+    let text = server.metrics_text(Some(&boot.snapshot()));
+
+    // Kernel tier (apply/unique-table, published from compile provenance).
+    assert!(text.contains("sdd_apply_calls_total"), "{text}");
+    // Compile tier: stage timings and the paper's width parameters (the
+    // chain base compiles on the CNF lane).
+    assert!(
+        text.contains("compile_stage_us_count{lane=\"cnf\""),
+        "{text}"
+    );
+    assert!(text.contains("compile_last_width{param=\"sdw\"}"), "{text}");
+    // Kb tier: per-kind latency histograms and eval-cache counters.
+    assert!(
+        text.contains("kb_query_us_count{kind=\"marginal\"}"),
+        "{text}"
+    );
+    assert!(text.contains("kb_query_us_count{kind=\"logw\"}"), "{text}");
+    assert!(
+        text.contains("kb_eval_lookups_total{kind=\"logw\"}"),
+        "{text}"
+    );
+    assert!(text.contains("kb_vars{kb=\"0\"}"), "{text}");
+    // Serve tier: per-shard families plus the shard="all" roll-up.
+    assert!(
+        text.contains("serve_requests_total{shard=\"0\"} 3"),
+        "{text}"
+    );
+    assert!(
+        text.contains("serve_requests_total{shard=\"1\"} 3"),
+        "{text}"
+    );
+    assert!(
+        text.contains("serve_requests_total{shard=\"all\"} 6"),
+        "{text}"
+    );
+    assert!(text.contains("serve_kbs{shard=\"all\"} 2"), "{text}");
+    assert!(
+        text.contains("serve_queue_wait_us_total{shard=\"all\"}"),
+        "{text}"
+    );
+
+    // Prometheus shape: every family gets exactly one TYPE line even with
+    // several label sets.
+    assert_eq!(
+        text.matches("# TYPE serve_requests_total counter").count(),
+        1,
+        "{text}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn slow_log_retains_traces_that_the_trace_verb_can_look_up() {
+    let frozen = Arc::new(chain_kb(12).freeze());
+    let mut server = KbServer::new(vec![frozen], 1);
+    for _ in 0..4 {
+        server.submit(0, Command::AllMarginals).unwrap();
+        server.submit(0, Command::Mpe).unwrap();
+    }
+    let _ = server.sync();
+
+    let worst = server.slow_traces();
+    assert!(
+        !worst.is_empty(),
+        "queries must leave traces in the pool log"
+    );
+    // Slowest-first ordering, and every retained trace is addressable.
+    for pair in worst.windows(2) {
+        assert!(pair[0].total >= pair[1].total);
+    }
+    let head = &worst[0];
+    let fetched = server.trace(head.id).expect("retained trace by id");
+    assert_eq!(fetched.id, head.id);
+    assert_eq!(fetched.to_json(), head.to_json());
+    // Labels are the wire-level query kinds; stages carry timings.
+    assert!(worst
+        .iter()
+        .all(|t| t.label == "marginals" || t.label == "mpe"));
+    assert!(server.trace(u64::MAX).is_none());
     server.shutdown();
 }

@@ -80,6 +80,7 @@ pub use cnf;
 pub use graphtw;
 pub use kb;
 pub use obdd;
+pub use obs;
 pub use query;
 pub use sdd;
 pub use sentential_core;
