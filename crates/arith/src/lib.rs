@@ -31,4 +31,4 @@ pub mod semiring;
 
 pub use biguint::BigUint;
 pub use rational::{ParseRationalError, Rational};
-pub use semiring::{log_sum_exp, LogF64, MaxPlus, Nat, Rat, Semiring, F64};
+pub use semiring::{log_sum_exp, LaneSemiring, LogF64, MaxPlus, Nat, Rat, Semiring, F64};

@@ -5,7 +5,11 @@
 //!
 //! Only `(experiment, series, x, metric)` keys present in **both** files
 //! are compared — a smoke run diffing against a committed full run simply
-//! covers the shared subset. Timing metrics (`*_ms`/`*_us`) that moved
+//! covers the shared subset. Keys present only in the *fresh* file are
+//! listed as `fresh-only` warnings (a metric without a committed baseline
+//! is usually a new axis someone forgot to re-commit — surfacing it keeps
+//! the baseline honest without failing the build). Timing metrics
+//! (`*_ms`/`*_us`) that moved
 //! more than 25% are flagged `WARN`, but by default the exit code is
 //! always 0: this step reports perf drift, it does not gate CI (timings
 //! on shared runners are too noisy for a hard threshold).
@@ -94,9 +98,14 @@ fn main() -> ExitCode {
     ]);
     let mut shared = 0usize;
     let mut warned = 0usize;
+    let mut fresh_only: Vec<String> = Vec::new();
     let mut regressions: Vec<(String, f64)> = Vec::new();
     for (key, new_v) in &new {
-        let Some(old_v) = old.get(key) else { continue };
+        let Some(old_v) = old.get(key) else {
+            let (exp, series, x, metric) = key;
+            fresh_only.push(format!("{exp}/{series}/{x}/{metric}"));
+            continue;
+        };
         shared += 1;
         let (exp, series, x, metric) = key;
         let delta_pct = if *old_v == 0.0 {
@@ -135,10 +144,27 @@ fn main() -> ExitCode {
     }
     if shared == 0 {
         println!("bench_diff: no shared (experiment, series, x, metric) keys between {old_path} and {new_path}");
+        if !fresh_only.is_empty() {
+            println!(
+                "bench_diff: WARN {} fresh metric(s) have no committed baseline — \
+                 re-run the full experiment and commit {old_path}",
+                fresh_only.len()
+            );
+        }
         return ExitCode::SUCCESS;
     }
     println!("bench_diff: {old_path} → {new_path} ({shared} shared metrics)\n");
     t.print();
+    if !fresh_only.is_empty() {
+        println!(
+            "\nWARN: {} fresh metric(s) have no committed baseline (new axis? \
+             re-run the full experiment and commit {old_path}):",
+            fresh_only.len()
+        );
+        for key in &fresh_only {
+            println!("  {key}");
+        }
+    }
     if warned > 0 {
         println!(
             "\n{warned} timing metric(s) moved more than {WARN_PCT}% — perf drift, not a failure."

@@ -11,14 +11,21 @@
 //! warm base, and the run **asserts** the ≥ 10× warm speedup the serving
 //! layer exists for.
 //!
+//! The `batch_size` axis rides along: after the scalar menu, the base is
+//! frozen and the same stream shape (one perturbing literal per query) is
+//! served as evidence-set batches of B = 1 / 8 / 64 lanes through
+//! [`kb::KbSession::marginal_batch`] — the per-lane latency curve that
+//! E19 (`exp_batch`) certifies at the 5× bar.
+//!
 //! Regenerate: `cargo run --release -p sentential-bench --bin exp_kb`
 //! (`--smoke` for the CI-sized subset, `--json <path>` for records).
 
 use cnf::{families, CnfFormula};
-use kb::KnowledgeBase;
+use kb::{KnowledgeBase, Lit};
 use sentential_bench::{maybe_write_json, Record, Table};
 use sentential_core::Compiler;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 use vtree::VarId;
 
@@ -35,6 +42,11 @@ const REQUIRED_SPEEDUP: f64 = 10.0;
 /// warn-only for exactly that reason — smoke checks the *mechanism*
 /// (warm clearly beats recompile), the full run checks the *number*.
 const SMOKE_SPEEDUP: f64 = 3.0;
+/// Evidence sets served per batch size on the `batch_size` axis (enough
+/// for two full 64-lane batches).
+const BATCH_STREAM: usize = 128;
+/// The batch widths of the `batch_size` axis.
+const BATCH_SIZES: [usize; 3] = [1, 8, 64];
 
 /// Deterministic prior of variable `i`.
 fn prior(i: usize) -> f64 {
@@ -64,6 +76,9 @@ fn main() {
         "mpe µs",
         "top-5 µs",
         "evidence µs",
+        "b1 µs",
+        "b8 µs",
+        "b64 µs",
     ]);
     let mut records = Vec::new();
 
@@ -154,6 +169,28 @@ fn main() {
         // for the ROADMAP's manager-GC work (structural queries hash-cons
         // nodes that are never reclaimed).
         let mem_bytes = kb.sdd().memory_bytes();
+
+        // The batch_size axis: freeze the base and serve the same stream
+        // shape (one perturbing literal per query) as evidence-set batches
+        // — every lane of a batch is one query, answered in a single
+        // lane-parallel up+down sweep.
+        let frozen = Arc::new(kb.freeze());
+        let mut s = frozen.session();
+        let target = VarId((nv / 2) as u32 % nv as u32);
+        let stream: Vec<Vec<Lit>> = (0..BATCH_STREAM)
+            .map(|j| vec![(VarId((j % nv) as u32), j % 2 == 0)])
+            .collect();
+        let mut batch_us = [0.0f64; BATCH_SIZES.len()];
+        for (bi, &bsz) in BATCH_SIZES.iter().enumerate() {
+            let t0 = Instant::now();
+            for chunk in stream.chunks(bsz) {
+                for r in black_box(s.marginal_batch(target, chunk)) {
+                    r.unwrap_or_else(|e| panic!("{label} n={n} batch {bsz}: {e}"));
+                }
+            }
+            batch_us[bi] = t0.elapsed().as_secs_f64() * 1e6 / BATCH_STREAM as f64;
+        }
+
         t.row(&[
             &label,
             &n,
@@ -166,6 +203,9 @@ fn main() {
             &format!("{mpe_us:.1}"),
             &format!("{topk_us:.1}"),
             &format!("{evidence_us:.1}"),
+            &format!("{:.1}", batch_us[0]),
+            &format!("{:.1}", batch_us[1]),
+            &format!("{:.1}", batch_us[2]),
         ]);
         records.push(Record {
             experiment: "E14".into(),
@@ -182,6 +222,9 @@ fn main() {
                 ("mpe_us".into(), mpe_us),
                 ("topk_us".into(), topk_us),
                 ("evidence_cycle_us".into(), evidence_us),
+                ("batch1_query_us".into(), batch_us[0]),
+                ("batch8_query_us".into(), batch_us[1]),
+                ("batch64_query_us".into(), batch_us[2]),
             ],
         });
     };

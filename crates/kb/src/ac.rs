@@ -34,7 +34,7 @@
 //! walk with explicit stacks — no pass recurses on input-sized structure,
 //! so 100k-variable circuits sweep on a default-size thread stack.
 
-use arith::{MaxPlus, Semiring};
+use arith::{LaneSemiring, MaxPlus, Semiring};
 use sdd::{SddId, SddManager, SddNode};
 use vtree::fxhash::FxHashMap;
 use vtree::{VarId, VtreeNodeId};
@@ -354,6 +354,225 @@ impl Ac {
             })
             .collect();
         (vals[self.root as usize].clone(), pairs)
+    }
+
+    /// Batched upward pass: `lanes` weight rows per gate visit. `weights`
+    /// holds lane columns at `var * lanes + l`; the returned value table
+    /// holds gate columns at `gate * lanes + l`. Per lane the *values* are
+    /// bit-identical to a scalar [`Ac::eval`] sweep under that lane's
+    /// weights: the fold order over children is the same, and the one
+    /// structural difference — the scalar fold starts from the identity
+    /// (`add(zero, c₀)`, `mul(one, c₀)`) where this pass copies the first
+    /// child column — is exact for every semiring this crate evaluates in
+    /// (`lse(-∞, x) = x` and `0 + x = x` bit-for-bit in [`LogF64`], and
+    /// exactly in the counting carriers). Eliding the identity fold
+    /// removes one full ⊕-kernel per gate, and the gate dispatch (kind
+    /// match, CSR range walk, bounds checks) is paid once per gate instead
+    /// of once per gate per query.
+    pub fn eval_lanes<S: LaneSemiring>(
+        &self,
+        s: &S,
+        lanes: usize,
+        weights: &[(S::Elem, S::Elem)],
+    ) -> Vec<S::Elem> {
+        let n = self.kinds.len();
+        let mut vals: Vec<S::Elem> = Vec::with_capacity(n * lanes);
+        for id in 0..n {
+            let (a, b) = self.meta[id];
+            let start = vals.len();
+            match self.kinds[id] {
+                K_ZERO => vals.resize(start + lanes, s.zero()),
+                K_LEAF => {
+                    let base = a as usize * lanes;
+                    if b == 1 {
+                        vals.extend(weights[base..base + lanes].iter().map(|w| w.1.clone()));
+                    } else {
+                        vals.extend(weights[base..base + lanes].iter().map(|w| w.0.clone()));
+                    }
+                }
+                K_ADD => {
+                    let ch = &self.children[a as usize..b as usize];
+                    match ch.split_first() {
+                        None => vals.resize(start + lanes, s.zero()),
+                        Some((&c0, rest)) => {
+                            let c0b = c0 as usize * lanes;
+                            vals.extend_from_within(c0b..c0b + lanes);
+                            let (below, col) = vals.split_at_mut(start);
+                            for &c in rest {
+                                let cb = c as usize * lanes;
+                                s.add_assign_lanes(col, &below[cb..cb + lanes]);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    let ch = &self.children[a as usize..b as usize];
+                    match ch.split_first() {
+                        None => vals.resize(start + lanes, s.one()),
+                        Some((&c0, rest)) => {
+                            let c0b = c0 as usize * lanes;
+                            vals.extend_from_within(c0b..c0b + lanes);
+                            let (below, col) = vals.split_at_mut(start);
+                            for &c in rest {
+                                let cb = c as usize * lanes;
+                                s.mul_assign_lanes(col, &below[cb..cb + lanes]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        vals
+    }
+
+    /// Batched downward pass over a [`Ac::eval_lanes`] value table: the
+    /// column form of [`Ac::backprop`], same prefix/suffix handling of wide
+    /// `⊗`-gates, same per-lane fold order — except that a gate's *first*
+    /// parent contribution is written directly into its (still all-zero)
+    /// derivative column instead of ⊕-folded into it, which is exact
+    /// (`lse(-∞, x) = x` bit-for-bit) and removes one full ⊕-kernel per
+    /// gate; on chain-shaped circuits, where almost every gate has exactly
+    /// one parent, that is nearly the whole downward ⊕ cost.
+    pub fn backprop_lanes<S: LaneSemiring>(
+        &self,
+        s: &S,
+        lanes: usize,
+        vals: &[S::Elem],
+    ) -> Vec<S::Elem> {
+        let n = self.kinds.len();
+        let mut dr: Vec<S::Elem> = vec![s.zero(); n * lanes];
+        let rb = self.root as usize * lanes;
+        s.one_fill(&mut dr[rb..rb + lanes]);
+        // Per-gate "has a parent written here yet" flags: the first write
+        // to a column is a copy, later writes ⊕-fold.
+        let mut seen: Vec<bool> = vec![false; n];
+        seen[self.root as usize] = true;
+        // Scratch columns, allocated once for the whole sweep.
+        let mut prefix: Vec<S::Elem> = Vec::new();
+        let mut acc: Vec<S::Elem> = vec![s.zero(); lanes];
+        let mut suffix: Vec<S::Elem> = vec![s.zero(); lanes];
+        let mut other: Vec<S::Elem> = vec![s.zero(); lanes];
+        let mut dother: Vec<S::Elem> = vec![s.zero(); lanes];
+        for id in (0..n).rev() {
+            match self.kinds[id] {
+                K_ADD => {
+                    // Children sit strictly below the gate, so the gate's
+                    // derivative column and the child columns never alias.
+                    let (below, d) = dr.split_at_mut(id * lanes);
+                    let d = &d[..lanes];
+                    for &c in self.ch(id) {
+                        let cb = c as usize * lanes;
+                        if seen[c as usize] {
+                            s.add_assign_lanes(&mut below[cb..cb + lanes], d);
+                        } else {
+                            below[cb..cb + lanes].clone_from_slice(d);
+                            seen[c as usize] = true;
+                        }
+                    }
+                }
+                K_MUL => {
+                    let ch_range = {
+                        let (start, end) = self.meta[id];
+                        start as usize..end as usize
+                    };
+                    let (below, d) = dr.split_at_mut(id * lanes);
+                    let d = &d[..lanes];
+                    let ch = &self.children[ch_range];
+                    match ch.len() {
+                        0 => {}
+                        1 => {
+                            let c = ch[0] as usize;
+                            let cb = c * lanes;
+                            if seen[c] {
+                                s.add_assign_lanes(&mut below[cb..cb + lanes], d);
+                            } else {
+                                below[cb..cb + lanes].clone_from_slice(d);
+                                seen[c] = true;
+                            }
+                        }
+                        2 => {
+                            let (ca, cb2) = (ch[0] as usize, ch[1] as usize);
+                            let (ab, bb) = (ca * lanes, cb2 * lanes);
+                            if seen[ca] {
+                                s.mul_lanes_into(&mut other, d, &vals[bb..bb + lanes]);
+                                s.add_assign_lanes(&mut below[ab..ab + lanes], &other);
+                            } else {
+                                s.mul_lanes_into(
+                                    &mut below[ab..ab + lanes],
+                                    d,
+                                    &vals[bb..bb + lanes],
+                                );
+                                seen[ca] = true;
+                            }
+                            if seen[cb2] {
+                                s.mul_lanes_into(&mut other, d, &vals[ab..ab + lanes]);
+                                s.add_assign_lanes(&mut below[bb..bb + lanes], &other);
+                            } else {
+                                s.mul_lanes_into(
+                                    &mut below[bb..bb + lanes],
+                                    d,
+                                    &vals[ab..ab + lanes],
+                                );
+                                seen[cb2] = true;
+                            }
+                        }
+                        k => {
+                            prefix.clear();
+                            s.one_fill(&mut acc);
+                            for &c in ch {
+                                prefix.extend_from_slice(&acc);
+                                let cb = c as usize * lanes;
+                                s.mul_assign_lanes(&mut acc, &vals[cb..cb + lanes]);
+                            }
+                            s.one_fill(&mut suffix);
+                            for i in (0..k).rev() {
+                                let c = ch[i] as usize;
+                                let cb = c * lanes;
+                                s.mul_lanes_into(
+                                    &mut other,
+                                    &prefix[i * lanes..(i + 1) * lanes],
+                                    &suffix,
+                                );
+                                if seen[c] {
+                                    s.mul_lanes_into(&mut dother, d, &other);
+                                    s.add_assign_lanes(&mut below[cb..cb + lanes], &dother);
+                                } else {
+                                    s.mul_lanes_into(&mut below[cb..cb + lanes], d, &other);
+                                    seen[c] = true;
+                                }
+                                s.mul_assign_lanes(&mut suffix, &vals[cb..cb + lanes]);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        dr
+    }
+
+    /// Batched two-pass marginals: the root column plus, per dense
+    /// variable, the unnormalized `(m⁻, m⁺)` lane columns (pairs at
+    /// `var * lanes + l`). Per lane bit-identical to [`Ac::marginals`].
+    #[allow(clippy::type_complexity)]
+    pub fn marginals_lanes<S: LaneSemiring>(
+        &self,
+        s: &S,
+        lanes: usize,
+        weights: &[(S::Elem, S::Elem)],
+    ) -> (Vec<S::Elem>, Vec<(S::Elem, S::Elem)>) {
+        let vals = self.eval_lanes(s, lanes, weights);
+        let dr = self.backprop_lanes(s, lanes, &vals);
+        let mut pairs = Vec::with_capacity(self.vars.len() * lanes);
+        for (i, &(neg, pos)) in self.leaves.iter().enumerate() {
+            let (nb, pb) = (neg as usize * lanes, pos as usize * lanes);
+            for l in 0..lanes {
+                let (wn, wp) = &weights[i * lanes + l];
+                pairs.push((s.mul(wn, &dr[nb + l]), s.mul(wp, &dr[pb + l])));
+            }
+        }
+        let rb = self.root as usize * lanes;
+        (vals[rb..rb + lanes].to_vec(), pairs)
     }
 
     /// Most probable explanation: evaluate in [`MaxPlus`] over

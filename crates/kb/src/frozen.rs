@@ -39,7 +39,7 @@ use crate::ac::Ac;
 use crate::{stats_sum, KbError, KbProvenance, KbQueryStats, KnowledgeBase, Lit, Model, QueryKind};
 use arith::{log_sum_exp, BigUint, LogF64, Nat};
 use boolfunc::Assignment;
-use sdd::eval::EvalCache;
+use sdd::eval::{EvalCache, EvalCacheStats, EvalLanes};
 use sdd::{ApplyStats, FrozenSdd, SddId};
 use std::sync::Arc;
 use std::time::Instant;
@@ -231,6 +231,8 @@ impl FrozenKb {
             marginals_memo: None,
             last_query: KbQueryStats::default(),
             memo_hit_scratch: false,
+            lanes_scratch: 1,
+            lane_stats_scratch: EvalCacheStats::default(),
             obs: None,
         }
     }
@@ -309,6 +311,13 @@ pub struct KbSession {
     /// Scratch flag queries raise inside [`KbSession::tracked`] when they
     /// answered from the marginals memo.
     memo_hit_scratch: bool,
+    /// Scratch batch width the `*_batch` queries set inside
+    /// [`KbSession::tracked`] (scalar queries leave it at 1); feeds
+    /// [`KbQueryStats::lanes`] and the per-lane latency telemetry.
+    lanes_scratch: usize,
+    /// Scratch eval traffic of a batch query's lane evaluator (a local
+    /// [`EvalLanes`], not one of the session's three caches).
+    lane_stats_scratch: EvalCacheStats,
     /// Telemetry attachment ([`KbSession::attach_obs`]); `None` keeps the
     /// query path free of instrumentation work.
     obs: Option<SessionObs>,
@@ -323,6 +332,10 @@ struct KindHandles {
     eval_hits: obs::Counter,
     eval_recomputed: obs::Counter,
     memo_hits: obs::Counter,
+    /// Total lanes served by batch queries of this kind.
+    batch_lanes: obs::Counter,
+    /// Per-lane latency of batch queries: duration divided by batch width.
+    lane_us: obs::Histogram,
 }
 
 /// A session's telemetry attachment: the registry it publishes to, the
@@ -362,6 +375,8 @@ impl SessionObs {
                 eval_hits: self.registry.counter("kb_eval_hits_total", &kind),
                 eval_recomputed: self.registry.counter("kb_eval_recomputed_total", &kind),
                 memo_hits: self.registry.counter("kb_memo_hits_total", &kind),
+                batch_lanes: self.registry.counter("kb_batch_lanes_total", &kind),
+                lane_us: self.registry.histogram("kb_lane_us", &kind),
             });
         }
         self.kinds[i].as_ref().expect("just initialized")
@@ -569,6 +584,88 @@ impl KbSession {
         })
     }
 
+    /// Answer `queries.len()` conjunction queries in one lane-parallel
+    /// sweep: lane `l` computes exactly `self.query(&queries[l])`,
+    /// **bit-identically**. One [`EvalLanes`] evaluator is seeded from the
+    /// session's posterior weight table, each lane pins its own literals
+    /// (composing repeated pins in assertion order, like the scalar
+    /// pin-evaluate-restore dance), and a single sweep of the slab yields
+    /// every numerator column. The denominator comes from the shared
+    /// scalar posterior cache — it is the same value for every lane, and
+    /// bit-identical to the scalar query's denominator. Per-lane errors
+    /// follow the scalar path: an unknown variable in lane `l`'s literals
+    /// yields `Err(UnknownVariable)` for that lane only; an inconsistent
+    /// session yields `Err(Inconsistent)` in every remaining lane.
+    pub fn query_batch(&mut self, queries: &[Vec<Lit>]) -> Vec<Result<f64, KbError>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let lanes = queries.len();
+        self.tracked(QueryKind::QueryBatch, |s| {
+            s.lanes_scratch = lanes;
+            let _sp = obs::span("eval_lanes");
+            let mut lane_err: Vec<Option<KbError>> = vec![None; lanes];
+            for (l, lits) in queries.iter().enumerate() {
+                for &(v, _) in lits {
+                    if !s.kb.var_index.contains_key(&v) {
+                        lane_err[l] = Some(KbError::UnknownVariable(v));
+                        break;
+                    }
+                }
+            }
+            let denom = s.posterior.evaluate(s.kb.sdd.as_ref(), s.kb.root);
+            if denom == f64::NEG_INFINITY {
+                return lane_err
+                    .into_iter()
+                    .map(|e| Err(e.unwrap_or(KbError::Inconsistent)))
+                    .collect();
+            }
+            let posterior = &s.posterior;
+            let mut ev = EvalLanes::new(s.kb.sdd.as_ref(), LogF64, lanes, |v, pos| {
+                let (ln, lp) = *posterior.weight(v);
+                if pos {
+                    lp
+                } else {
+                    ln
+                }
+            });
+            for (l, lits) in queries.iter().enumerate() {
+                if lane_err[l].is_some() {
+                    continue;
+                }
+                // Compose repeated pins of one variable exactly as the
+                // scalar path does (each pin reads the previous pin's
+                // table), then stamp the final pair into the lane.
+                let mut local: FxHashMap<VarId, (f64, f64)> = FxHashMap::default();
+                for &(v, b) in lits {
+                    let (ln, lp) = local
+                        .get(&v)
+                        .copied()
+                        .unwrap_or_else(|| *s.posterior.weight(v));
+                    let pinned = if b {
+                        (f64::NEG_INFINITY, lp)
+                    } else {
+                        (ln, f64::NEG_INFINITY)
+                    };
+                    local.insert(v, pinned);
+                }
+                for (&v, &(ln, lp)) in &local {
+                    ev.set_lane_weight(s.kb.sdd.as_ref(), v, l, ln, lp);
+                }
+            }
+            let numer = ev.evaluate(s.kb.sdd.as_ref(), s.kb.root);
+            s.lane_stats_scratch = ev.stats();
+            lane_err
+                .into_iter()
+                .zip(numer)
+                .map(|(e, n)| match e {
+                    Some(e) => Err(e),
+                    None => Ok((n - denom).exp()),
+                })
+                .collect()
+        })
+    }
+
     /// `P(v = 1 | F ∧ e)` — see [`KnowledgeBase::marginal`].
     pub fn marginal(&mut self, v: VarId) -> Result<f64, KbError> {
         let i = *self
@@ -611,6 +708,118 @@ impl KbSession {
             Ok(table) => Ok(table),
             Err(e) => Err(e.clone()),
         }
+    }
+
+    /// `P(v = 1 | F ∧ e ∧ e_l)` for each evidence set `e_l` — lane `l`
+    /// answers exactly what the scalar loop `condition(&e_l); marginal(v);
+    /// retract-to-here` would, **bit-identically**, from one lane-parallel
+    /// up+down sweep of the arithmetic circuit. The session's own pins and
+    /// memo are untouched. An unknown `v` fails every lane.
+    pub fn marginal_batch(&mut self, v: VarId, evidence: &[Vec<Lit>]) -> Vec<Result<f64, KbError>> {
+        let Some(&i) = self.kb.var_index.get(&v) else {
+            return vec![Err(KbError::UnknownVariable(v)); evidence.len()];
+        };
+        self.marginals_batch_table(QueryKind::MarginalBatch, evidence)
+            .into_iter()
+            .map(|r| r.map(|t| t[i]))
+            .collect()
+    }
+
+    /// All posterior marginals under each evidence set — the batched
+    /// [`KbSession::all_marginals`], one table per lane (see
+    /// [`KbSession::marginal_batch`] for the per-lane contract).
+    pub fn all_marginals_batch(
+        &mut self,
+        evidence: &[Vec<Lit>],
+    ) -> Vec<Result<Vec<(VarId, f64)>, KbError>> {
+        let tables = self.marginals_batch_table(QueryKind::AllMarginalsBatch, evidence);
+        tables
+            .into_iter()
+            .map(|r| r.map(|t| self.kb.vars.iter().copied().zip(t).collect()))
+            .collect()
+    }
+
+    /// Shared engine of the batched marginal queries: merge each lane's
+    /// evidence onto a copy of the session pins (the exact
+    /// [`KbSession::condition`] semantics — repeat pins keep, opposing
+    /// pins contradict), build the var-major lane weight columns, and run
+    /// one [`Ac::marginals_lanes`] sweep. Per lane: an unknown evidence
+    /// variable is that lane's error; a `-∞` total (no model under the
+    /// merged pins) is `Inconsistent`; otherwise the normalized table, in
+    /// vtree variable order.
+    fn marginals_batch_table(
+        &mut self,
+        kind: QueryKind,
+        evidence: &[Vec<Lit>],
+    ) -> Vec<Result<Vec<f64>, KbError>> {
+        if evidence.is_empty() {
+            return Vec::new();
+        }
+        let lanes = evidence.len();
+        self.tracked(kind, |s| {
+            s.lanes_scratch = lanes;
+            let mut lane_err: Vec<Option<KbError>> = vec![None; lanes];
+            let mut merged: Vec<FxHashMap<VarId, Option<bool>>> = Vec::with_capacity(lanes);
+            for (l, lits) in evidence.iter().enumerate() {
+                let mut pins = s.pinned.clone();
+                for &(v, b) in lits {
+                    if !s.kb.var_index.contains_key(&v) {
+                        lane_err[l] = Some(KbError::UnknownVariable(v));
+                        break;
+                    }
+                    match pins.get(&v).copied() {
+                        Some(Some(prev)) if prev == b => {}
+                        Some(Some(_)) => {
+                            pins.insert(v, None);
+                        }
+                        Some(None) => {}
+                        None => {
+                            pins.insert(v, Some(b));
+                        }
+                    }
+                }
+                merged.push(pins);
+            }
+            // Var-major lane columns: `cols[i * lanes + l]` is variable
+            // `vars[i]` in lane `l`. Seed every lane with the session's own
+            // pinned pair, then overwrite only the evidence variables —
+            // `pinned_log_pair` is deterministic, so the seeded entries are
+            // bit-identical to evaluating it under the merged pins.
+            let mut cols: Vec<(f64, f64)> = Vec::with_capacity(s.kb.vars.len() * lanes);
+            for &v in &s.kb.vars {
+                let base = pinned_log_pair(&s.weights, &s.pinned, v);
+                cols.extend(std::iter::repeat_n(base, lanes));
+            }
+            for (l, lits) in evidence.iter().enumerate() {
+                if lane_err[l].is_some() {
+                    continue;
+                }
+                for &(v, _) in lits {
+                    let i = s.kb.var_index[&v];
+                    cols[i * lanes + l] = pinned_log_pair(&s.weights, &merged[l], v);
+                }
+            }
+            let (total, pairs) = {
+                let _sp = obs::span("ac_sweep_lanes");
+                s.kb.ac.marginals_lanes(&LogF64, lanes, &cols)
+            };
+            (0..lanes)
+                .map(|l| {
+                    if let Some(e) = &lane_err[l] {
+                        return Err(e.clone());
+                    }
+                    if total[l] == f64::NEG_INFINITY {
+                        return Err(KbError::Inconsistent);
+                    }
+                    Ok((0..s.kb.vars.len())
+                        .map(|i| {
+                            let (mn, mp) = pairs[i * lanes + l];
+                            (mp - log_sum_exp(mn, mp)).exp()
+                        })
+                        .collect())
+                })
+                .collect()
+        })
     }
 
     /// The most probable explanation — see [`KnowledgeBase::mpe`],
@@ -787,6 +996,8 @@ impl KbSession {
             self.structural.stats(),
         );
         self.memo_hit_scratch = false;
+        self.lanes_scratch = 1;
+        self.lane_stats_scratch = EvalCacheStats::default();
         if self.obs.as_ref().is_some_and(|o| o.slow.is_some()) {
             obs::trace_begin(kind.as_str());
         }
@@ -794,13 +1005,17 @@ impl KbSession {
         self.last_query = KbQueryStats {
             apply: ApplyStats::default(),
             eval: stats_sum(
-                stats_sum(self.prior.stats(), self.posterior.stats()),
-                self.structural.stats(),
-            )
-            .delta_since(eval0),
+                stats_sum(
+                    stats_sum(self.prior.stats(), self.posterior.stats()),
+                    self.structural.stats(),
+                )
+                .delta_since(eval0),
+                self.lane_stats_scratch,
+            ),
             mem_bytes: self.kb.sdd.memory_bytes(),
             duration: t0.elapsed(),
             memo_hit: self.memo_hit_scratch,
+            lanes: self.lanes_scratch,
         };
         if let Some(o) = self.obs.as_mut() {
             let q = &self.last_query;
@@ -816,6 +1031,14 @@ impl KbSession {
             h.eval_recomputed.add(q.eval.recomputed);
             if q.memo_hit {
                 h.memo_hits.inc();
+            }
+            if matches!(
+                kind,
+                QueryKind::QueryBatch | QueryKind::MarginalBatch | QueryKind::AllMarginalsBatch
+            ) {
+                h.batch_lanes.add(q.lanes as u64);
+                h.lane_us
+                    .record_duration_us(q.duration / q.lanes.max(1) as u32);
             }
             if obs::trace_active() {
                 obs::trace_note("eval_lookups", q.eval.lookups);
@@ -1159,5 +1382,95 @@ mod tests {
         let json = rec.to_json();
         assert!(json.contains("\"label\":\"") && !json.contains('\n'));
         assert!(rec.notes.iter().any(|(k, _)| *k == "memo_hit"));
+    }
+
+    /// `query_batch` lane `l` must be bit-identical to `query` on lane
+    /// `l`'s literals — including error lanes, repeated pins, and lanes
+    /// whose conjunction has zero weight.
+    #[test]
+    fn query_batch_is_bit_identical_to_the_scalar_query_per_lane() {
+        let frozen = Arc::new(demo_kb().freeze());
+        let mut s = frozen.session();
+        s.condition(&[(v(2), true)]).unwrap();
+        let queries: Vec<Vec<Lit>> = vec![
+            vec![],
+            vec![(v(0), true)],
+            vec![(v(0), false), (v(1), true)],
+            vec![(v(1), true), (v(1), false)], // contradictory pins: P = 0
+            vec![(v(0), true), (v(0), true)],  // repeated pin
+            vec![(v(7), true)],                // unknown variable lane
+            vec![(v(2), false)],               // against the evidence: P = 0
+        ];
+        let batch = s.query_batch(&queries);
+        assert_eq!(s.last_query().lanes, queries.len());
+        for (l, q) in queries.iter().enumerate() {
+            assert_eq!(
+                batch[l].as_ref().map(|p| p.to_bits()),
+                s.query(q).as_ref().map(|p| p.to_bits()),
+                "lane {l} ({q:?})"
+            );
+        }
+        assert_eq!(s.last_query().lanes, 1, "scalar queries report one lane");
+        assert!(s.query_batch(&[]).is_empty());
+    }
+
+    /// Batched marginals lane `l` must be bit-identical to the scalar
+    /// loop `condition(e_l); marginal(v)` on a fresh session — and leave
+    /// the batching session's own evidence untouched.
+    #[test]
+    fn marginal_batches_are_bit_identical_to_the_scalar_loop_per_lane() {
+        let frozen = Arc::new(demo_kb().freeze());
+        let mut s = frozen.session();
+        s.condition(&[(v(2), true)]).unwrap();
+        let evidence: Vec<Vec<Lit>> = vec![
+            vec![],
+            vec![(v(0), true)],
+            vec![(v(1), false)],
+            vec![(v(0), false), (v(1), false)], // zero weight under x2
+            vec![(v(9), true)],                 // unknown variable lane
+            vec![(v(2), true)],                 // repeats the session pin
+        ];
+        let before = s.evidence().to_vec();
+        let tables = s.all_marginals_batch(&evidence);
+        assert_eq!(s.last_query().lanes, evidence.len());
+        let singles = s.marginal_batch(v(1), &evidence);
+        assert_eq!(s.evidence(), before, "batching leaves the session pins");
+        for (l, e) in evidence.iter().enumerate() {
+            // Scalar comparator: a fresh session with the same script.
+            let mut f = frozen.session();
+            f.condition(&[(v(2), true)]).unwrap();
+            let scalar = match f.condition(e) {
+                Ok(()) => f.all_marginals(),
+                Err(err) => Err(err),
+            };
+            match (&tables[l], &scalar) {
+                (Ok(got), Ok(want)) => {
+                    assert_eq!(got.len(), want.len());
+                    for ((gv, gp), (wv, wp)) in got.iter().zip(want) {
+                        assert_eq!(gv, wv);
+                        assert_eq!(gp.to_bits(), wp.to_bits(), "lane {l} ({e:?}) var {gv}");
+                    }
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "lane {l} ({e:?})"),
+                (a, b) => panic!("lane {l} ({e:?}): batch {a:?} vs scalar {b:?}"),
+            }
+            assert_eq!(
+                singles[l]
+                    .as_ref()
+                    .map(|p| p.to_bits())
+                    .map_err(Clone::clone),
+                tables[l]
+                    .as_ref()
+                    .map(|t| t.iter().find(|(var, _)| *var == v(1)).unwrap().1.to_bits())
+                    .map_err(Clone::clone),
+                "marginal_batch extracts the all_marginals_batch column"
+            );
+        }
+        // Unknown target variable fails every lane.
+        let bad = s.marginal_batch(v(42), &evidence);
+        assert!(bad
+            .iter()
+            .all(|r| matches!(r, Err(KbError::UnknownVariable(x)) if *x == v(42))));
+        assert!(s.all_marginals_batch(&[]).is_empty());
     }
 }

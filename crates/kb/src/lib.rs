@@ -215,6 +215,11 @@ pub struct KbQueryStats {
     /// indistinguishable from a real sweep, and hit-rate telemetry would
     /// undercount cache effectiveness.
     pub memo_hit: bool,
+    /// Batch width of the query: how many evidence/weight rows one sweep
+    /// answered. Scalar queries report 1; the `*_batch` session queries
+    /// report their lane count, so throughput telemetry can divide the
+    /// duration into a per-lane latency.
+    pub lanes: usize,
 }
 
 /// The query kinds telemetry labels per-query families with
@@ -233,11 +238,14 @@ pub enum QueryKind {
     TopK,
     Entails,
     Count,
+    QueryBatch,
+    MarginalBatch,
+    AllMarginalsBatch,
 }
 
 impl QueryKind {
     /// Every kind, in [`QueryKind::index`] order.
-    pub const ALL: [QueryKind; 12] = [
+    pub const ALL: [QueryKind; 15] = [
         QueryKind::Condition,
         QueryKind::Retract,
         QueryKind::Consistent,
@@ -250,6 +258,9 @@ impl QueryKind {
         QueryKind::TopK,
         QueryKind::Entails,
         QueryKind::Count,
+        QueryKind::QueryBatch,
+        QueryKind::MarginalBatch,
+        QueryKind::AllMarginalsBatch,
     ];
 
     /// The `kind` label value.
@@ -267,6 +278,9 @@ impl QueryKind {
             QueryKind::TopK => "topk",
             QueryKind::Entails => "entails",
             QueryKind::Count => "count",
+            QueryKind::QueryBatch => "query_batch",
+            QueryKind::MarginalBatch => "marginal_batch",
+            QueryKind::AllMarginalsBatch => "marginals_batch",
         }
     }
 
@@ -849,6 +863,7 @@ impl KnowledgeBase {
             mem_bytes: self.mgr.memory_bytes(),
             duration: t0.elapsed(),
             memo_hit: self.memo_hit_scratch,
+            lanes: 1,
         };
         out
     }

@@ -383,6 +383,57 @@ fn hundred_thousand_variable_frozen_session_on_a_default_stack() {
     );
 }
 
+/// The batched half of the acceptance bar: a full B = 16 evidence batch
+/// over the 100k-variable frozen chain, on the default test thread. Every
+/// lane of `marginal_batch` must be bit-identical to the scalar
+/// condition-then-marginal loop (the batched sweep is the same per-lane
+/// op sequence, just column-parallel), and `query_batch` to the scalar
+/// `query` loop — the deep-vtree case of the batched-core contract, where
+/// the lane tables run to ~2M gate columns.
+#[test]
+fn sixteen_lane_batch_over_the_hundred_thousand_variable_kb() {
+    let n = DEEP_N;
+    let f = families::chain_cnf(n);
+    let mut kb = KnowledgeBase::compile_cnf(&serving_compiler(), &f).expect("compiles at 100k");
+    let weighted: Vec<u32> = (0..10).map(|j| j * (n / 10) + 7).collect();
+    for &i in &weighted {
+        kb.set_probability(VarId(i), prior(i)).unwrap();
+    }
+    let frozen = std::sync::Arc::new(kb.freeze());
+    let target = VarId(n / 2);
+
+    // 16 single-literal evidence lanes scattered across the chain's full
+    // depth, alternating polarity.
+    let batch: Vec<Vec<(VarId, bool)>> = (0..16u32)
+        .map(|j| vec![(VarId((j * (n / 16) + 3) % n), j % 2 == 0)])
+        .collect();
+
+    let mut batched = frozen.session();
+    let marginals = batched.marginal_batch(target, &batch);
+    let joints = batched.query_batch(&batch);
+
+    let mut scalar = frozen.session();
+    for (l, e) in batch.iter().enumerate() {
+        let want_joint = scalar.query(e).expect("chain evidence is consistent");
+        let got_joint = joints[l].as_ref().expect("batched lane is consistent");
+        assert_eq!(
+            got_joint.to_bits(),
+            want_joint.to_bits(),
+            "query lane {l} diverged at depth"
+        );
+        scalar.condition(e).unwrap();
+        let want = scalar.marginal(target).unwrap();
+        scalar.retract();
+        let got = marginals[l].as_ref().expect("batched lane is consistent");
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "marginal lane {l} diverged at depth"
+        );
+        assert!((0.0..=1.0 + 1e-12).contains(got));
+    }
+}
+
 /// `ln` of a positive rational at any size: split numerator and
 /// denominator into `mantissa · 2^shift` (the `to_f64` route overflows
 /// past ~2^1024).

@@ -6,11 +6,12 @@
 use arith::{LogF64, Rational};
 use boolfunc::Assignment;
 use cnf::{families, CnfFormula};
-use kb::{KbError, KnowledgeBase};
+use kb::{FrozenKb, KbError, KnowledgeBase, Lit};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sentential_core::Compiler;
+use std::sync::Arc;
 use vtree::VarId;
 
 /// A seeded random formula over `n ≤ 16` variables plus per-variable
@@ -242,6 +243,172 @@ proptest! {
         let total: f64 = brute_models(&f, &probs, &[]).iter().map(|(_, w)| w).sum();
         let joint: f64 = brute_models(&f, &probs, &[q, ev]).iter().map(|(_, w)| w).sum();
         prop_assert!((p_q_and_e - joint / total).abs() < 1e-9);
+    }
+}
+
+/// A random batch of evidence sets (0–2 literals each) over `n` variables.
+fn random_batch(n: u32, lanes: usize, rng: &mut StdRng) -> Vec<Vec<Lit>> {
+    (0..lanes)
+        .map(|_| {
+            (0..rng.gen_range(0..=2usize))
+                .map(|_| (VarId(rng.gen_range(0..n)), rng.gen_bool(0.5)))
+                .collect()
+        })
+        .collect()
+}
+
+/// The scalar serving loop for one lane of a marginal batch: a fresh
+/// session (so a failed `condition` cannot leak state into the next
+/// lane), evidence asserted, one marginal read.
+fn scalar_marginal(frozen: &Arc<FrozenKb>, target: VarId, e: &[Lit]) -> Result<f64, KbError> {
+    let mut s = frozen.session();
+    s.condition(e)?;
+    s.marginal(target)
+}
+
+/// As [`scalar_marginal`], for the full marginal table.
+fn scalar_all_marginals(frozen: &Arc<FrozenKb>, e: &[Lit]) -> Result<Vec<(VarId, f64)>, KbError> {
+    let mut s = frozen.session();
+    s.condition(e)?;
+    s.all_marginals()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The batched session APIs are **bit-identical**, lane for lane, to
+    /// the scalar serving loop — `query_batch` vs `query`, and the
+    /// marginal batches vs condition-then-read — and invariant under lane
+    /// permutation (a lane's answer depends only on its own evidence, not
+    /// on its neighbors). `Ok` lanes are additionally anchored to
+    /// brute-force enumeration.
+    #[test]
+    fn batched_answers_are_the_scalar_loop_bit_for_bit(
+        n in 2u32..=16, m in 0usize..20, seed: u64
+    ) {
+        let (f, probs) = random_instance(n, m, seed);
+        let frozen = Arc::new(kb_of(&f, &probs).freeze());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C);
+        let lanes = rng.gen_range(1..=9usize);
+        let batch = random_batch(n, lanes, &mut rng);
+        let target = VarId(rng.gen_range(0..n));
+
+        let mut batched = frozen.session();
+        let mut scalar = frozen.session();
+
+        // query_batch ≡ query, to the bit (errors included: KbError is
+        // PartialEq).
+        let joints = batched.query_batch(&batch);
+        for (l, e) in batch.iter().enumerate() {
+            prop_assert_eq!(
+                joints[l].clone().map(f64::to_bits),
+                scalar.query(e).map(f64::to_bits),
+                "query lane {}", l
+            );
+        }
+
+        // marginal_batch ≡ condition + marginal on a fresh session.
+        let marginals = batched.marginal_batch(target, &batch);
+        for (l, e) in batch.iter().enumerate() {
+            prop_assert_eq!(
+                marginals[l].clone().map(f64::to_bits),
+                scalar_marginal(&frozen, target, e).map(f64::to_bits),
+                "marginal lane {}", l
+            );
+        }
+
+        // all_marginals_batch ≡ condition + all_marginals, every variable.
+        let tables = batched.all_marginals_batch(&batch);
+        for (l, e) in batch.iter().enumerate() {
+            let want = scalar_all_marginals(&frozen, e);
+            let got = tables[l].clone();
+            prop_assert_eq!(
+                got.map(|t| t.into_iter().map(|(v, p)| (v, p.to_bits())).collect::<Vec<_>>()),
+                want.map(|t| t.into_iter().map(|(v, p)| (v, p.to_bits())).collect::<Vec<_>>()),
+                "all_marginals lane {}", l
+            );
+        }
+
+        // Lane permutation: shuffling the batch shuffles the answers and
+        // changes nothing else.
+        let mut perm: Vec<usize> = (0..lanes).collect();
+        for i in (1..lanes).rev() {
+            perm.swap(i, rng.gen_range(0..=i));
+        }
+        let shuffled: Vec<Vec<Lit>> = perm.iter().map(|&i| batch[i].clone()).collect();
+        let reshuffled = batched.marginal_batch(target, &shuffled);
+        for (j, &i) in perm.iter().enumerate() {
+            prop_assert_eq!(
+                reshuffled[j].clone().map(f64::to_bits),
+                marginals[i].clone().map(f64::to_bits),
+                "permuted lane {} (was {})", j, i
+            );
+        }
+
+        // Brute-force anchor for the Ok lanes.
+        for (l, e) in batch.iter().enumerate() {
+            let Ok(p) = marginals[l] else { continue };
+            let models = brute_models(&f, &probs, e);
+            let total: f64 = models.iter().map(|(_, w)| w).sum();
+            prop_assert!(total > 0.0, "Ok lane over an empty model set");
+            let with_t: f64 = models
+                .iter()
+                .filter(|&&(mask, _)| mask >> target.0 & 1 == 1)
+                .map(|(_, w)| w)
+                .sum();
+            prop_assert!(
+                (p - with_t / total).abs() < 1e-9,
+                "lane {}: {} vs brute {}", l, p, with_t / total
+            );
+        }
+    }
+}
+
+/// The same bit-identity contract on the structured families the strategy
+/// matrix serves: weighted chains and bands up to 16 variables, a full
+/// 16-lane batch each, anchored to brute force.
+#[test]
+fn batched_answers_match_the_scalar_loop_on_chains_and_bands() {
+    let cases: Vec<(&str, CnfFormula)> = vec![
+        ("chain_8", families::chain_cnf(8)),
+        ("chain_16", families::chain_cnf(16)),
+        ("band_12_w3", families::band_cnf(12, 3)),
+        ("band_16_w3", families::band_cnf(16, 3)),
+    ];
+    for (label, f) in cases {
+        let n = f.num_vars();
+        let probs: Vec<f64> = (0..n)
+            .map(|i| 0.1 + 0.8 * ((i * 7) % 11) as f64 / 11.0)
+            .collect();
+        let frozen = Arc::new(kb_of(&f, &probs).freeze());
+        let target = VarId(n / 2);
+        let batch: Vec<Vec<Lit>> = (0..16)
+            .map(|j| vec![(VarId(j as u32 % n), j % 2 == 0)])
+            .collect();
+        let mut batched = frozen.session();
+        let marginals = batched.marginal_batch(target, &batch);
+        let models_of = |e: &[Lit]| brute_models(&f, &probs, e);
+        for (l, e) in batch.iter().enumerate() {
+            let want = scalar_marginal(&frozen, target, e);
+            assert_eq!(
+                marginals[l].clone().map(f64::to_bits),
+                want.map(f64::to_bits),
+                "{label}: lane {l}"
+            );
+            if let Ok(p) = marginals[l] {
+                let models = models_of(e);
+                let total: f64 = models.iter().map(|(_, w)| w).sum();
+                let with_t: f64 = models
+                    .iter()
+                    .filter(|&&(mask, _)| mask >> target.0 & 1 == 1)
+                    .map(|(_, w)| w)
+                    .sum();
+                assert!(
+                    (p - with_t / total).abs() < 1e-9,
+                    "{label}: lane {l} vs brute force"
+                );
+            }
+        }
     }
 }
 

@@ -22,7 +22,7 @@
 //! compatibility before sending anything:
 //!
 //! ```text
-//! hello kb-server protocol 2 snap 1 obs 1
+//! hello kb-server protocol 3 snap 1 obs 1
 //! ```
 //!
 //! Protocol (one request per line; answers are `<seq> ok …` / `<seq> err …`
@@ -36,9 +36,15 @@
 //! kb <id> marginal <var> | marginals | mpe | top <k> | query <lit>… |
 //!         logw | pe | count | entails <lit>… | consistent |
 //!         condition <lit>… | retract | setp <var> <p>
+//! batch <id> <cmd> ; <cmd> ; …
 //! save <id> <path>
 //! metrics | slow | trace <id>
 //! ```
+//!
+//! `batch` carries N sub-commands (the same grammar as after `kb <id>`,
+//! `;`-separated) and is answered as one seq-tagged block —
+//! `<seq> ok batch <n> ; <sub> ; …`. An all-`query` batch runs as a
+//! single lane-parallel sweep on the owning shard.
 //!
 //! Variables are 1-based on the wire, literal sign is polarity (DIMACS).
 
@@ -168,6 +174,10 @@ fn converse(
                 Err(e) => writeln!(output, "err {e}")?,
             },
             Ok(Some(Request::Query { kb, cmd })) => match server.submit(kb, cmd) {
+                Ok(_) => {}
+                Err(e) => writeln!(output, "err {e}")?,
+            },
+            Ok(Some(Request::Batch { kb, cmds })) => match server.submit_batch(kb, cmds) {
                 Ok(_) => {}
                 Err(e) => writeln!(output, "err {e}")?,
             },

@@ -36,8 +36,9 @@ use vtree::VarId;
 /// hello banner alongside [`snap::FORMAT_VERSION`]. Bump when a verb
 /// changes shape. Version 2 added the observability verbs (`metrics`,
 /// `slow`, `trace <id>`) and the queue-wait / merged-line extensions of
-/// `stats`.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// `stats`. Version 3 added the `batch` request form (`batch <kb>
+/// <cmd> ; <cmd> ; …`, answered as one `ok batch <n> ; …` block).
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Traces retained per server in the slow-query log (the N worst).
 pub const SLOW_LOG_CAPACITY: usize = 32;
@@ -134,6 +135,11 @@ pub enum Command {
 pub enum Request {
     /// `kb <id> <command…>` — routed to the shard owning base `id`.
     Query { kb: usize, cmd: Command },
+    /// `batch <id> <command…> ; <command…> ; …` — N sub-commands against
+    /// one base, routed together and answered as a single seq-tagged
+    /// `ok batch <n> ; <sub> ; …` block. All-`query` batches run as one
+    /// lane-parallel [`kb::KbSession::query_batch`] sweep.
+    Batch { kb: usize, cmds: Vec<Command> },
     /// `save <id> <path>` — persist base `id` as a snapshot artifact
     /// ([`kb::FrozenKb::save`]). Handled by the front-end that owns the
     /// base list, not by the shard pool.
@@ -180,6 +186,42 @@ fn parse_lits(toks: &[&str]) -> Result<Vec<Lit>, ProtocolError> {
     toks.iter().map(|t| parse_lit(t)).collect()
 }
 
+/// Parse the command tail shared by `kb <id> …` and each `;`-separated
+/// segment of `batch <id> …`.
+fn parse_command(rest: &[&str]) -> Result<Command, ProtocolError> {
+    Ok(match rest {
+        ["marginal", v] => Command::Marginal(parse_var(v)?),
+        ["marginals"] => Command::AllMarginals,
+        ["mpe"] => Command::Mpe,
+        ["top", k] => Command::Top(
+            k.parse()
+                .map_err(|_| ProtocolError::BadNumber((*k).into()))?,
+        ),
+        ["query", lits @ ..] if !lits.is_empty() => Command::Query(parse_lits(lits)?),
+        ["logw"] => Command::LogWeight,
+        ["pe"] => Command::ProbEvidence,
+        ["count"] => Command::Count,
+        ["entails", lits @ ..] => Command::Entails(parse_lits(lits)?),
+        ["consistent"] => Command::Consistent,
+        ["condition", lits @ ..] if !lits.is_empty() => Command::Condition(parse_lits(lits)?),
+        ["retract"] => Command::Retract,
+        ["setp", v, p] => {
+            let var = parse_var(v)?;
+            let prob: f64 = p
+                .parse()
+                .map_err(|_| ProtocolError::BadProbability((*p).into()))?;
+            // NaN/±inf would otherwise travel all the way into a
+            // session's weight table before being rejected there —
+            // the protocol edge is the right place to stop them.
+            if !prob.is_finite() {
+                return Err(ProtocolError::NonFiniteProbability((*p).into()));
+            }
+            Command::SetProbability(var, prob)
+        }
+        _ => return Err(ProtocolError::UnknownCommand(rest.join(" "))),
+    })
+}
+
 /// Parse one protocol line. Empty lines and `#` comments parse to `None`;
 /// rejected lines carry the typed reason.
 pub fn parse_request(line: &str) -> Result<Option<Request>, ProtocolError> {
@@ -207,40 +249,28 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ProtocolError> {
             let kb: usize = id
                 .parse()
                 .map_err(|_| ProtocolError::BadNumber((*id).into()))?;
-            let cmd = match rest {
-                ["marginal", v] => Command::Marginal(parse_var(v)?),
-                ["marginals"] => Command::AllMarginals,
-                ["mpe"] => Command::Mpe,
-                ["top", k] => Command::Top(
-                    k.parse()
-                        .map_err(|_| ProtocolError::BadNumber((*k).into()))?,
-                ),
-                ["query", lits @ ..] if !lits.is_empty() => Command::Query(parse_lits(lits)?),
-                ["logw"] => Command::LogWeight,
-                ["pe"] => Command::ProbEvidence,
-                ["count"] => Command::Count,
-                ["entails", lits @ ..] => Command::Entails(parse_lits(lits)?),
-                ["consistent"] => Command::Consistent,
-                ["condition", lits @ ..] if !lits.is_empty() => {
-                    Command::Condition(parse_lits(lits)?)
+            Ok(Some(Request::Query {
+                kb,
+                cmd: parse_command(rest)?,
+            }))
+        }
+        ["batch", id, rest @ ..] => {
+            let kb: usize = id
+                .parse()
+                .map_err(|_| ProtocolError::BadNumber((*id).into()))?;
+            // `;` tokens separate sub-commands. Any bad segment rejects
+            // the whole line — a batch is answered atomically, so it must
+            // parse atomically too.
+            let mut cmds = Vec::new();
+            for seg in rest.split(|t| *t == ";") {
+                if seg.is_empty() {
+                    return Err(ProtocolError::MissingArgument(
+                        "batch <kb> <cmd> [; <cmd>]…",
+                    ));
                 }
-                ["retract"] => Command::Retract,
-                ["setp", v, p] => {
-                    let var = parse_var(v)?;
-                    let prob: f64 = p
-                        .parse()
-                        .map_err(|_| ProtocolError::BadProbability((*p).into()))?;
-                    // NaN/±inf would otherwise travel all the way into a
-                    // session's weight table before being rejected there —
-                    // the protocol edge is the right place to stop them.
-                    if !prob.is_finite() {
-                        return Err(ProtocolError::NonFiniteProbability((*p).into()));
-                    }
-                    Command::SetProbability(var, prob)
-                }
-                _ => return Err(ProtocolError::UnknownCommand(rest.join(" "))),
-            };
-            Ok(Some(Request::Query { kb, cmd }))
+                cmds.push(parse_command(seg)?);
+            }
+            Ok(Some(Request::Batch { kb, cmds }))
         }
         _ => Err(ProtocolError::Unparseable(line.into())),
     }
@@ -329,6 +359,14 @@ enum Job {
         /// [`ShardStats::queue_wait`]).
         submitted: Instant,
     },
+    /// A `batch` request: N sub-commands against one base, answered as a
+    /// single response block by the owning shard.
+    RunBatch {
+        seq: u64,
+        kb: usize,
+        cmds: Vec<Command>,
+        submitted: Instant,
+    },
     Stats {
         reply: mpsc::Sender<ShardStats>,
     },
@@ -414,6 +452,29 @@ impl KbServer {
                                 break; // server dropped: shut down
                             }
                         }
+                        Job::RunBatch {
+                            seq,
+                            kb,
+                            cmds,
+                            submitted,
+                        } => {
+                            stats.queue_wait += submitted.elapsed();
+                            let line = match sessions.iter_mut().find(|(i, _)| *i == kb) {
+                                Some((_, session)) => {
+                                    stats.served += 1;
+                                    answer_batch(session, &cmds, |q| {
+                                        stats.busy += q.duration;
+                                        stats.eval_lookups += q.eval.lookups;
+                                        stats.eval_hits += q.eval.hits;
+                                        stats.eval_recomputed += q.eval.recomputed;
+                                    })
+                                }
+                                None => format!("err kb {kb} is not on shard {shard}"),
+                            };
+                            if ctx.send((seq, line)).is_err() {
+                                break; // server dropped: shut down
+                            }
+                        }
                         Job::Stats { reply } => {
                             let _ = reply.send(stats.clone());
                         }
@@ -460,6 +521,29 @@ impl KbServer {
                 seq,
                 kb,
                 cmd,
+                submitted: Instant::now(),
+            })
+            .map_err(|_| format!("shard {shard} is gone"))?;
+        Ok(seq)
+    }
+
+    /// Submit a `batch` request: every sub-command runs on the one session
+    /// owning base `kb`, in order, and the whole block comes back as one
+    /// seq-tagged response. All-`query` batches run as a single
+    /// lane-parallel sweep ([`kb::KbSession::query_batch`]).
+    pub fn submit_batch(&mut self, kb: usize, cmds: Vec<Command>) -> Result<u64, String> {
+        let &shard = self
+            .route
+            .get(kb)
+            .ok_or_else(|| format!("kb {kb} not loaded ({} available)", self.route.len()))?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.outstanding += 1;
+        self.txs[shard]
+            .send(Job::RunBatch {
+                seq,
+                kb,
+                cmds,
                 submitted: Instant::now(),
             })
             .map_err(|_| format!("shard {shard} is gone"))?;
@@ -658,6 +742,55 @@ pub fn answer(s: &mut KbSession, cmd: &Command) -> String {
     }
 }
 
+/// Execute a `batch` request and render the single response block:
+/// `ok batch <n>` followed by each sub-response, ` ; `-separated (every
+/// sub-response is its own `ok …` / `err …` rendering, in sub-command
+/// order). When **every** sub-command is a `query`, the batch runs as one
+/// lane-parallel [`kb::KbSession::query_batch`] sweep — bit-identical to
+/// the sequential loop, so the wire answer does not depend on which path
+/// ran. `observe` fires once per underlying session call with its
+/// [`kb::KbQueryStats`], so shard counters aggregate the true cost.
+pub fn answer_batch(
+    s: &mut KbSession,
+    cmds: &[Command],
+    mut observe: impl FnMut(&kb::KbQueryStats),
+) -> String {
+    let all_queries: Option<Vec<Vec<Lit>>> = cmds
+        .iter()
+        .map(|c| match c {
+            Command::Query(lits) => Some(lits.clone()),
+            _ => None,
+        })
+        .collect();
+    let subs: Vec<String> = match all_queries {
+        Some(queries) => {
+            let answers = s.query_batch(&queries);
+            observe(&s.last_query());
+            answers
+                .into_iter()
+                .map(|r| match r {
+                    Ok(p) => format!("ok {p}"),
+                    Err(e) => format!("err {e}"),
+                })
+                .collect()
+        }
+        None => cmds
+            .iter()
+            .map(|c| {
+                let line = answer(s, c);
+                observe(&s.last_query());
+                line
+            })
+            .collect(),
+    };
+    let mut out = format!("ok batch {}", subs.len());
+    for sub in &subs {
+        out.push_str(" ; ");
+        out.push_str(sub);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -701,6 +834,54 @@ mod tests {
         assert_eq!(
             parse_request("frobnicate").unwrap_err(),
             ProtocolError::Unparseable("frobnicate".into())
+        );
+    }
+
+    #[test]
+    fn batch_lines_parse_and_reject_atomically() {
+        assert_eq!(
+            parse_request("batch 0 query 1 -2 ; marginal 3 ; logw").unwrap(),
+            Some(Request::Batch {
+                kb: 0,
+                cmds: vec![
+                    Command::Query(vec![(VarId(0), true), (VarId(1), false)]),
+                    Command::Marginal(VarId(2)),
+                    Command::LogWeight,
+                ]
+            })
+        );
+        assert_eq!(
+            parse_request("batch 2 count").unwrap(),
+            Some(Request::Batch {
+                kb: 2,
+                cmds: vec![Command::Count]
+            })
+        );
+        // One bad segment rejects the whole line.
+        assert_eq!(
+            parse_request("batch 0 logw ; frobnicate").unwrap_err(),
+            ProtocolError::UnknownCommand("frobnicate".into())
+        );
+        assert_eq!(
+            parse_request("batch 0 query 0 ; logw").unwrap_err(),
+            ProtocolError::ZeroLiteral
+        );
+        // Empty batches and empty segments are missing their argument.
+        for bad in [
+            "batch 0",
+            "batch 0 logw ;",
+            "batch 0 ; logw",
+            "batch 0 logw ; ; pe",
+        ] {
+            assert_eq!(
+                parse_request(bad).unwrap_err(),
+                ProtocolError::MissingArgument("batch <kb> <cmd> [; <cmd>]…"),
+                "{bad}"
+            );
+        }
+        assert_eq!(
+            parse_request("batch x logw").unwrap_err(),
+            ProtocolError::BadNumber("x".into())
         );
     }
 

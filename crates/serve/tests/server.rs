@@ -255,3 +255,60 @@ fn slow_log_retains_traces_that_the_trace_verb_can_look_up() {
     assert!(server.trace(u64::MAX).is_none());
     server.shutdown();
 }
+
+#[test]
+fn batch_requests_answer_bit_identically_to_the_scalar_wire() {
+    let frozen = Arc::new(chain_kb(24).freeze());
+    let mut server = KbServer::new(vec![frozen], 2);
+
+    // An all-`query` batch (the lane-parallel fast path) must render the
+    // exact lines the same sub-commands produce when submitted one by one.
+    let line = "batch 0 query 1 -2 ; query 5 ; query 3 9 -11 ; query -24";
+    let Some(Request::Batch { kb, cmds }) = parse_request(line).unwrap() else {
+        panic!("batch line must parse as a batch request");
+    };
+    let scalar_seqs: Vec<u64> = cmds
+        .iter()
+        .map(|c| server.submit(kb, c.clone()).unwrap())
+        .collect();
+    let batch_seq = server.submit_batch(kb, cmds.clone()).unwrap();
+    let responses = server.sync();
+    assert_eq!(responses.len(), scalar_seqs.len() + 1);
+    let batch_line = &responses
+        .iter()
+        .find(|(s, _)| *s == batch_seq)
+        .expect("batch response present")
+        .1;
+    let mut expected = format!("ok batch {}", cmds.len());
+    for &s in &scalar_seqs {
+        expected.push_str(" ; ");
+        expected.push_str(&responses.iter().find(|(q, _)| *q == s).unwrap().1);
+    }
+    assert_eq!(batch_line, &expected);
+
+    // A heterogeneous batch runs sequentially on the owning session, so
+    // mid-batch state changes bite the later sub-commands.
+    let line = "batch 0 logw ; condition 2 ; logw ; query 7 ; retract ; logw";
+    let Some(Request::Batch { kb, cmds }) = parse_request(line).unwrap() else {
+        panic!("mixed batch line must parse");
+    };
+    server.submit_batch(kb, cmds).unwrap();
+    let responses = server.sync();
+    let mut oracle = chain_kb(24);
+    let base = oracle.log_weight();
+    oracle.condition(&[(v(1), true)]).unwrap();
+    let conditioned = oracle.log_weight();
+    let q = oracle.query(&[(v(6), true)]).unwrap();
+    assert_eq!(
+        responses[0].1,
+        format!("ok batch 6 ; ok {base} ; ok ; ok {conditioned} ; ok {q} ; ok ; ok {base}")
+    );
+
+    // Batch stats: one request served per batch, eval cost aggregated.
+    let stats = server.stats();
+    let merged = serve::ShardStats::merged(&stats);
+    assert_eq!(merged.served, 4 + 2);
+    assert!(merged.eval_lookups > 0);
+    assert!(merged.busy > std::time::Duration::ZERO);
+    server.shutdown();
+}
