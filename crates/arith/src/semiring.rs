@@ -401,7 +401,30 @@ pub trait LaneSemiring: Semiring {
 impl LaneSemiring for Nat {}
 impl LaneSemiring for Rat {}
 impl LaneSemiring for F64 {}
-impl LaneSemiring for MaxPlus {}
+
+impl LaneSemiring for MaxPlus {
+    /// `acc[l] = max(acc[l], rhs[l])` through the width-8 blocked kernel.
+    /// `f64::max` and `+` are single IEEE-754 operations, so the packed
+    /// forms are trivially bit-identical to the default per-lane bodies.
+    fn add_assign_lanes(&self, acc: &mut [f64], rhs: &[f64]) {
+        max_assign_lanes(acc, rhs);
+    }
+
+    /// Tropical `⊗`: `acc[l] = acc[l] + rhs[l]`, width-8 blocked.
+    fn mul_assign_lanes(&self, acc: &mut [f64], rhs: &[f64]) {
+        tropical_mul_assign_lanes(acc, rhs);
+    }
+
+    /// Tropical `⊗` into a fresh column: `out[l] = a[l] + b[l]`.
+    fn mul_lanes_into(&self, out: &mut [f64], a: &[f64], b: &[f64]) {
+        tropical_mul_lanes_into(out, a, b);
+    }
+
+    /// `acc[l] = max(acc[l], a[l] + b[l])`, fused and width-8 batched.
+    fn mul_add_assign_lanes(&self, acc: &mut [f64], a: &[f64], b: &[f64]) {
+        max_add_assign_lanes(acc, a, b);
+    }
+}
 
 impl LaneSemiring for LogF64 {
     /// `acc[l] = lse(acc[l], rhs[l])` through the width-8 kernel — the
@@ -527,6 +550,202 @@ fn lse_mul_add_lanes(acc: &mut [f64], a: &[f64], b: &[f64]) {
         }
     }
     lse_mul_add_body(acc, a, b)
+}
+
+// The tropical ([`MaxPlus`]) column kernels: same width-8 blocking and
+// `#[target_feature]` dispatch shape as the log-sum-exp kernels above.
+// Each lane performs exactly the scalar op (`f64::max` resp. `+`) — one
+// IEEE-754 instruction per lane either way — so every tier is bit-identical
+// to the default trait bodies by construction.
+
+/// `acc[l] = max(acc[l], rhs[l])` in width-8 blocks with a scalar tail.
+#[inline(always)]
+fn max_assign_body(acc: &mut [f64], rhs: &[f64]) {
+    debug_assert_eq!(acc.len(), rhs.len());
+    let mut ac = acc.chunks_exact_mut(LANE_BLOCK);
+    let mut rc = rhs.chunks_exact(LANE_BLOCK);
+    for (a, b) in ac.by_ref().zip(rc.by_ref()) {
+        for i in 0..LANE_BLOCK {
+            a[i] = a[i].max(b[i]);
+        }
+    }
+    for (a, b) in ac.into_remainder().iter_mut().zip(rc.remainder()) {
+        *a = a.max(*b);
+    }
+}
+
+/// `acc[l] = acc[l] + rhs[l]` (tropical `⊗`), blocked as above.
+#[inline(always)]
+fn tropical_mul_assign_body(acc: &mut [f64], rhs: &[f64]) {
+    debug_assert_eq!(acc.len(), rhs.len());
+    let mut ac = acc.chunks_exact_mut(LANE_BLOCK);
+    let mut rc = rhs.chunks_exact(LANE_BLOCK);
+    for (a, b) in ac.by_ref().zip(rc.by_ref()) {
+        for i in 0..LANE_BLOCK {
+            a[i] += b[i];
+        }
+    }
+    for (a, b) in ac.into_remainder().iter_mut().zip(rc.remainder()) {
+        *a += *b;
+    }
+}
+
+/// `out[l] = a[l] + b[l]` (tropical `⊗` into a fresh column).
+#[inline(always)]
+fn tropical_mul_into_body(out: &mut [f64], a: &[f64], b: &[f64]) {
+    debug_assert_eq!(out.len(), a.len());
+    debug_assert_eq!(out.len(), b.len());
+    let mut oc = out.chunks_exact_mut(LANE_BLOCK);
+    let mut ac = a.chunks_exact(LANE_BLOCK);
+    let mut bc = b.chunks_exact(LANE_BLOCK);
+    for ((o, x), y) in oc.by_ref().zip(ac.by_ref()).zip(bc.by_ref()) {
+        for i in 0..LANE_BLOCK {
+            o[i] = x[i] + y[i];
+        }
+    }
+    for ((o, x), y) in oc
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+    {
+        *o = x + y;
+    }
+}
+
+/// `acc[l] = max(acc[l], a[l] + b[l])` — the fused decision-node step.
+#[inline(always)]
+fn max_add_assign_body(acc: &mut [f64], a: &[f64], b: &[f64]) {
+    debug_assert_eq!(acc.len(), a.len());
+    debug_assert_eq!(acc.len(), b.len());
+    let mut cc = acc.chunks_exact_mut(LANE_BLOCK);
+    let mut ac = a.chunks_exact(LANE_BLOCK);
+    let mut bc = b.chunks_exact(LANE_BLOCK);
+    for ((c, x), y) in cc.by_ref().zip(ac.by_ref()).zip(bc.by_ref()) {
+        for i in 0..LANE_BLOCK {
+            c[i] = c[i].max(x[i] + y[i]);
+        }
+    }
+    for ((c, x), y) in cc
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+    {
+        *c = c.max(x + y);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn max_assign_avx512(acc: &mut [f64], rhs: &[f64]) {
+    max_assign_body(acc, rhs)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn max_assign_avx2(acc: &mut [f64], rhs: &[f64]) {
+    max_assign_body(acc, rhs)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn tropical_mul_assign_avx512(acc: &mut [f64], rhs: &[f64]) {
+    tropical_mul_assign_body(acc, rhs)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn tropical_mul_assign_avx2(acc: &mut [f64], rhs: &[f64]) {
+    tropical_mul_assign_body(acc, rhs)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn tropical_mul_into_avx512(out: &mut [f64], a: &[f64], b: &[f64]) {
+    tropical_mul_into_body(out, a, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn tropical_mul_into_avx2(out: &mut [f64], a: &[f64], b: &[f64]) {
+    tropical_mul_into_body(out, a, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn max_add_assign_avx512(acc: &mut [f64], a: &[f64], b: &[f64]) {
+    max_add_assign_body(acc, a, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn max_add_assign_avx2(acc: &mut [f64], a: &[f64], b: &[f64]) {
+    max_add_assign_body(acc, a, b)
+}
+
+#[inline]
+fn max_assign_lanes(acc: &mut [f64], rhs: &[f64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: the feature was just detected on this CPU.
+            return unsafe { max_assign_avx512(acc, rhs) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: as above.
+            return unsafe { max_assign_avx2(acc, rhs) };
+        }
+    }
+    max_assign_body(acc, rhs)
+}
+
+#[inline]
+fn tropical_mul_assign_lanes(acc: &mut [f64], rhs: &[f64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: the feature was just detected on this CPU.
+            return unsafe { tropical_mul_assign_avx512(acc, rhs) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: as above.
+            return unsafe { tropical_mul_assign_avx2(acc, rhs) };
+        }
+    }
+    tropical_mul_assign_body(acc, rhs)
+}
+
+#[inline]
+fn tropical_mul_lanes_into(out: &mut [f64], a: &[f64], b: &[f64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: the feature was just detected on this CPU.
+            return unsafe { tropical_mul_into_avx512(out, a, b) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: as above.
+            return unsafe { tropical_mul_into_avx2(out, a, b) };
+        }
+    }
+    tropical_mul_into_body(out, a, b)
+}
+
+#[inline]
+fn max_add_assign_lanes(acc: &mut [f64], a: &[f64], b: &[f64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: the feature was just detected on this CPU.
+            return unsafe { max_add_assign_avx512(acc, a, b) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: as above.
+            return unsafe { max_add_assign_avx2(acc, a, b) };
+        }
+    }
+    max_add_assign_body(acc, a, b)
 }
 
 #[cfg(test)]
@@ -717,5 +936,50 @@ mod tests {
         assert_eq!(m.add(&m.zero(), &-5.0), -5.0);
         assert_eq!(m.mul(&m.one(), &-5.0), -5.0);
         assert_eq!(m.mul(&m.zero(), &-5.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn max_plus_lane_kernels_match_the_scalar_ops_bit_for_bit() {
+        let m = MaxPlus;
+        // Column lengths straddling the width-8 blocks so both the packed
+        // kernel and the scalar tail are exercised, with `-∞` mixed in
+        // (the tropical zero appears at every unreached gate).
+        for n in [1usize, 7, 8, 9, 16, 31, 64, 65] {
+            let a: Vec<f64> = (0..n)
+                .map(|i| {
+                    if i % 5 == 3 {
+                        f64::NEG_INFINITY
+                    } else {
+                        -(i as f64) * 0.37
+                    }
+                })
+                .collect();
+            let b: Vec<f64> = (0..n)
+                .map(|i| {
+                    if i % 7 == 2 {
+                        f64::NEG_INFINITY
+                    } else {
+                        -(i as f64).sqrt() - 0.11
+                    }
+                })
+                .collect();
+            let mut add = a.clone();
+            m.add_assign_lanes(&mut add, &b);
+            let mut mul = a.clone();
+            m.mul_assign_lanes(&mut mul, &b);
+            let mut into = vec![0.0f64; n];
+            m.mul_lanes_into(&mut into, &a, &b);
+            let mut fused = a.clone();
+            m.mul_add_assign_lanes(&mut fused, &b, &b);
+            for i in 0..n {
+                assert_eq!(add[i].to_bits(), m.add(&a[i], &b[i]).to_bits());
+                assert_eq!(mul[i].to_bits(), m.mul(&a[i], &b[i]).to_bits());
+                assert_eq!(into[i].to_bits(), m.mul(&a[i], &b[i]).to_bits());
+                assert_eq!(
+                    fused[i].to_bits(),
+                    m.add(&a[i], &m.mul(&b[i], &b[i])).to_bits()
+                );
+            }
+        }
     }
 }

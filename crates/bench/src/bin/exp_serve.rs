@@ -37,7 +37,7 @@ use sentential_core::Compiler;
 use serve::{Command, KbServer};
 use std::hint::black_box;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use vtree::VarId;
 
 /// Concurrent clients (= replicas of the frozen base).
@@ -58,6 +58,16 @@ const REQUIRED_SPEEDUP: f64 = 4.0;
 /// beats the thrashed mutable path), with headroom for CI scheduler
 /// noise inside the short smoke windows.
 const SMOKE_SPEEDUP: f64 = 2.0;
+/// The micro-batch window the window-on axis opens (the workload is fully
+/// pipelined, so grouping drains the hot queue and the timer rarely arms).
+const BATCH_WINDOW: Duration = Duration::from_micros(100);
+/// The window-axis bar the committed `BENCH_serve.json` certifies: eight
+/// independent single-query clients on ONE shard must serve ≥ 2× faster
+/// with the window open (coalesced lane sweeps) than with it closed
+/// (per-job scalar sweeps).
+const WINDOW_SPEEDUP: f64 = 2.0;
+/// What `--smoke` asserts for the window axis (CI noise headroom).
+const WINDOW_SMOKE_SPEEDUP: f64 = 1.3;
 
 /// Deterministic prior of variable `i` (exp_kb's shape).
 fn prior(i: usize) -> f64 {
@@ -245,6 +255,151 @@ fn main() {
          engine's, and every family clears the ≥ {bar}× aggregate-throughput bar: \
          eight frozen sessions keep eight warm caches where one mutable manager \
          thrashes a single one."
+    );
+
+    // ---- The micro-batch window axis (protocol v4) ----------------------
+    //
+    // Eight independent clients, each on its own forked handle with its
+    // own baseline replica of ONE slab, all routed to ONE shard, streaming
+    // fully pipelined single-literal `query` requests. Window off: the
+    // worker answers job by job (scalar sweeps, per-job overhead). Window
+    // on: the worker coalesces the hot queue into cross-client groups and
+    // answers each group as one lane sweep. Same thread count, same
+    // workload — the speedup is pure coalescing.
+    println!("\nE16b: adaptive micro-batch window, {CLIENTS} clients on one shard\n");
+    let mut tw = Table::new(&[
+        "family",
+        "n",
+        "queries",
+        "qps window off",
+        "qps window on",
+        "coalesced",
+        "speedup",
+    ]);
+    let mut run_window = |label: &str, n: u32, f: &CnfFormula, compiler: &Compiler| {
+        let queries = CLIENTS * rounds;
+        let mut base = KnowledgeBase::compile_cnf(compiler, f)
+            .unwrap_or_else(|e| panic!("{label} n={n}: {e}"));
+        for i in 0..n as usize {
+            base.set_probability(VarId(i as u32), prior(i)).unwrap();
+        }
+        let frozen = Arc::new(base.freeze());
+        let lit_of = |c: usize, j: usize| (query_var(c, j, n), (c + j).is_multiple_of(2));
+
+        // Both servers: one shard, one replica per client, baseline
+        // posture throughout (queries never mutate the sessions).
+        let kbs: Vec<_> = (0..CLIENTS).map(|_| Arc::clone(&frozen)).collect();
+        let server_off = KbServer::new(kbs.clone(), 1);
+        let server_on = KbServer::with_batch_window(kbs, 1, BATCH_WINDOW);
+
+        // Bit-identity gate BEFORE any timing: one full round through each
+        // server, every line compared against the scalar session answer.
+        let mut oracle = frozen.session();
+        for server in [&server_off, &server_on] {
+            let mut handles: Vec<_> = (0..CLIENTS).map(|_| server.client()).collect();
+            for (c, h) in handles.iter_mut().enumerate() {
+                for j in 0..rounds {
+                    h.submit(c, Command::Query(vec![lit_of(c, j)])).unwrap();
+                }
+            }
+            for (c, h) in handles.iter_mut().enumerate() {
+                for (j, (_, line)) in h.sync().into_iter().enumerate() {
+                    let want = format!("ok {}", oracle.query(&[lit_of(c, j)]).unwrap());
+                    assert_eq!(
+                        line, want,
+                        "{label} n={n} client {c} round {j}: answer diverged from \
+                         the scalar path"
+                    );
+                }
+            }
+        }
+
+        // Timed: the same pipelined stream, per server.
+        let mut qps = Vec::new();
+        let mut coalesced = 0u64;
+        for (wi, server) in [&server_off, &server_on].into_iter().enumerate() {
+            let mut handles: Vec<_> = (0..CLIENTS).map(|_| server.client()).collect();
+            let t0 = Instant::now();
+            for (c, h) in handles.iter_mut().enumerate() {
+                for j in 0..rounds {
+                    h.submit(c, Command::Query(vec![lit_of(c, j)])).unwrap();
+                }
+            }
+            let mut answered = 0usize;
+            for h in &mut handles {
+                answered += h.sync().len();
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            assert_eq!(answered, queries);
+            qps.push(queries as f64 / secs);
+            if wi == 1 {
+                let stats = handles[0].stats();
+                coalesced = serve::ShardStats::merged(&stats).coalesced;
+            }
+        }
+        server_off.shutdown();
+        server_on.shutdown();
+        assert!(
+            coalesced > 0,
+            "{label} n={n}: a pipelined 8-client stream through an open window \
+             must coalesce"
+        );
+        let speedup = qps[1] / qps[0];
+        let required = if smoke {
+            WINDOW_SMOKE_SPEEDUP
+        } else {
+            WINDOW_SPEEDUP
+        };
+        assert!(
+            speedup >= required,
+            "{label} n={n}: the open window must serve ≥ {required}× the closed \
+             window on one shard, measured {speedup:.2}×"
+        );
+        tw.row(&[
+            &label,
+            &n,
+            &queries,
+            &format!("{:.0}", qps[0]),
+            &format!("{:.0}", qps[1]),
+            &coalesced,
+            &format!("{speedup:.1}x"),
+        ]);
+        records.push(Record {
+            experiment: "E16b".into(),
+            series: format!("window_{label}"),
+            x: n as u64,
+            values: vec![
+                ("queries".into(), queries as f64),
+                ("qps_window_off".into(), qps[0]),
+                ("qps_window_on".into(), qps[1]),
+                ("coalesced".into(), coalesced as f64),
+                ("window_speedup".into(), speedup),
+                // Per-query latencies in µs — the `_us` suffix is what the
+                // CI bench_diff hard gate keys on.
+                ("window_off_query_us".into(), 1e6 / qps[0]),
+                ("window_on_query_us".into(), 1e6 / qps[1]),
+            ],
+        });
+    };
+
+    for &n in chain_ns {
+        run_window("chain", n, &families::chain_cnf(n), &default_compiler);
+    }
+    if !smoke {
+        let serving = Compiler::builder().exact_counts(false).build();
+        run_window("chain_deep", 2_000, &families::chain_cnf(2_000), &serving);
+    }
+    tw.print();
+    let wbar = if smoke {
+        WINDOW_SMOKE_SPEEDUP
+    } else {
+        WINDOW_SPEEDUP
+    };
+    println!(
+        "\nWindow-on answers were asserted bit-identical to the scalar path before \
+         any timing, and every family clears the ≥ {wbar}× window speedup bar on \
+         one shard: coalesced cross-client lane sweeps amortize what per-job \
+         scalar sweeps pay {CLIENTS} times over."
     );
     maybe_write_json(&records);
 }

@@ -627,6 +627,64 @@ impl Ac {
         Some((best, witness))
     }
 
+    /// Batched MPE: one lane-parallel [`MaxPlus`] sweep (`log_weights`
+    /// holds lane columns of log pairs at `var * lanes + l`, the
+    /// [`Ac::eval_lanes`] layout), then a per-lane argmax descent over the
+    /// shared value table. Lane `l` is **bit-identical** to
+    /// `self.mpe(&weights_l)`: the lane sweep's identity elision is exact
+    /// in `MaxPlus` (`max(-∞, x) = x`, and `0 + x = x` — log-weights are
+    /// `ln` images, never `-0.0`), and the descent resolves `⊕`-gate ties
+    /// through the same `max_by` (last maximal child wins), so even
+    /// tie-broken witnesses agree.
+    pub fn mpe_lanes(
+        &self,
+        lanes: usize,
+        log_weights: &[(f64, f64)],
+    ) -> Vec<Option<(f64, Vec<bool>)>> {
+        let vals = self.eval_lanes(&MaxPlus, lanes, log_weights);
+        (0..lanes)
+            .map(|l| {
+                let best = vals[self.root as usize * lanes + l];
+                if best == f64::NEG_INFINITY {
+                    return None;
+                }
+                let mut assignment: Vec<Option<bool>> = vec![None; self.vars.len()];
+                let mut stack = vec![self.root];
+                while let Some(id) = stack.pop() {
+                    let (a, b) = self.meta[id as usize];
+                    match self.kinds[id as usize] {
+                        K_ZERO => unreachable!("finite-valued gates have no Zero children"),
+                        K_LEAF => {
+                            let slot = &mut assignment[a as usize];
+                            debug_assert!(
+                                slot.is_none() || *slot == Some(b == 1),
+                                "decomposability: one polarity per variable"
+                            );
+                            *slot = Some(b == 1);
+                        }
+                        K_ADD => {
+                            let &arg = self.children[a as usize..b as usize]
+                                .iter()
+                                .max_by(|&&x, &&y| {
+                                    vals[x as usize * lanes + l]
+                                        .partial_cmp(&vals[y as usize * lanes + l])
+                                        .expect("log-weights are never NaN")
+                                })
+                                .expect("decisions and gaps have children");
+                            stack.push(arg);
+                        }
+                        _ => stack.extend_from_slice(&self.children[a as usize..b as usize]),
+                    }
+                }
+                let witness = assignment
+                    .into_iter()
+                    .map(|b| b.expect("smoothness: every variable decided"))
+                    .collect();
+                Some((best, witness))
+            })
+            .collect()
+    }
+
     /// The `k` heaviest models by log-weight, each as `(log-weight,
     /// assignment over the dense variables)`, heaviest first. The sweep
     /// carries a top-`k` list per gate: `⊕` merges its children's lists

@@ -871,6 +871,144 @@ impl KbSession {
         })
     }
 
+    /// The most probable explanation under each evidence set — lane `l`
+    /// answers exactly what the scalar loop `condition(&evidence[l]);
+    /// mpe(); retract-to-here` would, **bit-identically in both the score
+    /// and the decoded witness**, from one lane-parallel [`arith::MaxPlus`]
+    /// sweep ([`Ac::mpe_lanes`] resolves `⊕`-gate ties through the same
+    /// last-maximal-child rule as the scalar descent). The session's own
+    /// pins and memo are untouched. Per lane: an unknown evidence variable
+    /// is that lane's error; a `-∞` maximum (no model under the merged
+    /// pins) is `Inconsistent`; otherwise the witness carries the same
+    /// guarantees as [`KbSession::mpe`] — it satisfies the circuit, agrees
+    /// with every merged pin, and reproduces the maximum weight — but the
+    /// satisfaction and weight checks are amortized into ONE extra
+    /// [`arith::MaxPlus`] sweep over witness-pinned columns instead of a
+    /// per-lane SDD traversal plus recompute: the circuit is
+    /// deterministic, so under a complete assignment the pinned root is
+    /// the witness's weight iff the witness is a model and `-∞` otherwise.
+    pub fn mpe_batch(&mut self, evidence: &[Vec<Lit>]) -> Vec<Result<Model, KbError>> {
+        if evidence.is_empty() {
+            return Vec::new();
+        }
+        let lanes = evidence.len();
+        self.tracked(QueryKind::MpeBatch, |s| {
+            s.lanes_scratch = lanes;
+            // Merge each lane's evidence onto a copy of the session pins —
+            // the exact `condition` semantics (repeat pins keep, opposing
+            // pins contradict), as in the batched marginal queries.
+            let mut lane_err: Vec<Option<KbError>> = vec![None; lanes];
+            let mut merged: Vec<FxHashMap<VarId, Option<bool>>> = Vec::with_capacity(lanes);
+            for (l, lits) in evidence.iter().enumerate() {
+                let mut pins = s.pinned.clone();
+                for &(v, b) in lits {
+                    if !s.kb.var_index.contains_key(&v) {
+                        lane_err[l] = Some(KbError::UnknownVariable(v));
+                        break;
+                    }
+                    match pins.get(&v).copied() {
+                        Some(Some(prev)) if prev == b => {}
+                        Some(Some(_)) => {
+                            pins.insert(v, None);
+                        }
+                        Some(None) => {}
+                        None => {
+                            pins.insert(v, Some(b));
+                        }
+                    }
+                }
+                merged.push(pins);
+            }
+            // Var-major lane columns of evidence-adjusted log pairs, seeded
+            // from the session pins and overwritten per evidence variable
+            // (see `marginals_batch_table` for why the seed is exact).
+            let mut cols: Vec<(f64, f64)> = Vec::with_capacity(s.kb.vars.len() * lanes);
+            for &v in &s.kb.vars {
+                let base = pinned_log_pair(&s.weights, &s.pinned, v);
+                cols.extend(std::iter::repeat_n(base, lanes));
+            }
+            for (l, lits) in evidence.iter().enumerate() {
+                if lane_err[l].is_some() {
+                    continue;
+                }
+                for &(v, _) in lits {
+                    let i = s.kb.var_index[&v];
+                    cols[i * lanes + l] = pinned_log_pair(&s.weights, &merged[l], v);
+                }
+            }
+            let decoded = {
+                let _sp = obs::span("ac_mpe_lanes");
+                s.kb.ac.mpe_lanes(lanes, &cols)
+            };
+            // Batched witness verification: pin every healthy lane's
+            // columns to its own decoded witness and re-run ONE MaxPlus
+            // lane sweep. The circuit is deterministic, so a complete
+            // assignment keeps exactly one child of every ⊕-gate finite:
+            // the pinned root is the witness's own weight when the witness
+            // satisfies the circuit and `-∞` when it does not — one
+            // amortized sweep carries the per-lane satisfaction AND weight
+            // checks that the scalar path pays one SDD traversal each for
+            // (that traversal survives below as the debug-build check).
+            let mut verify_cols = cols;
+            for (l, lane) in decoded.iter().enumerate() {
+                let Some((_, polarity)) = lane else { continue };
+                if lane_err[l].is_some() {
+                    continue;
+                }
+                for (i, &b) in polarity.iter().enumerate() {
+                    let c = &mut verify_cols[i * lanes + l];
+                    if b {
+                        c.0 = f64::NEG_INFINITY;
+                    } else {
+                        c.1 = f64::NEG_INFINITY;
+                    }
+                }
+            }
+            let verified = {
+                let _sp = obs::span("ac_mpe_verify_lanes");
+                s.kb.ac.eval_lanes(&arith::MaxPlus, lanes, &verify_cols)
+            };
+            let root_row = s.kb.ac.root as usize * lanes;
+            decoded
+                .into_iter()
+                .enumerate()
+                .map(|(l, lane)| {
+                    if let Some(e) = &lane_err[l] {
+                        return Err(e.clone());
+                    }
+                    let (best, polarity) = lane.ok_or(KbError::Inconsistent)?;
+                    let reweighed = verified[root_row + l];
+                    assert!(
+                        reweighed.is_finite()
+                            && (reweighed - best).abs() <= 1e-9 * best.abs().max(1.0),
+                        "MPE witness must satisfy the circuit and reproduce the \
+                         maximum: re-evaluated {reweighed}, swept {best}"
+                    );
+                    let assignment = Assignment::from_pairs(
+                        s.kb.vars.iter().copied().zip(polarity.iter().copied()),
+                    );
+                    debug_assert!(
+                        s.kb.sdd.eval(s.kb.root, &assignment),
+                        "MPE witness must satisfy the compiled SDD"
+                    );
+                    for (&v, &pin) in &merged[l] {
+                        if let Some(b) = pin {
+                            assert_eq!(
+                                assignment.get(v),
+                                Some(b),
+                                "MPE witness must agree with the evidence on {v}"
+                            );
+                        }
+                    }
+                    Ok(Model {
+                        assignment,
+                        log_weight: best,
+                    })
+                })
+                .collect()
+        })
+    }
+
     /// The `k` heaviest models — see [`KnowledgeBase::enumerate_models`].
     pub fn enumerate_models(&mut self, k: usize) -> Vec<Model> {
         self.tracked(QueryKind::TopK, |s| {
@@ -1034,7 +1172,10 @@ impl KbSession {
             }
             if matches!(
                 kind,
-                QueryKind::QueryBatch | QueryKind::MarginalBatch | QueryKind::AllMarginalsBatch
+                QueryKind::QueryBatch
+                    | QueryKind::MarginalBatch
+                    | QueryKind::AllMarginalsBatch
+                    | QueryKind::MpeBatch
             ) {
                 h.batch_lanes.add(q.lanes as u64);
                 h.lane_us
@@ -1110,6 +1251,43 @@ mod tests {
             kb.set_probability(v(i as u32), p).unwrap();
         }
         kb
+    }
+
+    /// Each `mpe_batch` lane must match the scalar `condition; mpe` loop
+    /// bit-for-bit (score *and* witness), with per-lane error isolation:
+    /// a poisoned lane errs alone, its neighbors answer normally.
+    #[test]
+    fn mpe_batch_lanes_match_the_scalar_loop_with_error_isolation() {
+        let frozen = Arc::new(demo_kb().freeze());
+        let mut s = frozen.session();
+        let batch: Vec<Vec<Lit>> = vec![
+            vec![],
+            vec![(v(1), true)],
+            vec![(v(0), false), (v(2), true)],
+            vec![(v(9), true)],                // unknown variable
+            vec![(v(0), true), (v(0), false)], // contradiction
+            vec![(v(2), false)],
+        ];
+        let got = s.mpe_batch(&batch);
+        assert_eq!(got.len(), batch.len());
+        for (l, e) in batch.iter().enumerate() {
+            let mut lane = frozen.session();
+            let want = match lane.condition(e) {
+                Err(err) => Err(err),
+                Ok(()) => lane.mpe(),
+            };
+            match (&got[l], &want) {
+                (Ok(g), Ok(w)) => {
+                    assert_eq!(g.log_weight.to_bits(), w.log_weight.to_bits(), "lane {l}");
+                    assert_eq!(g.assignment, w.assignment, "lane {l}");
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "lane {l}"),
+                (g, w) => panic!("lane {l}: batched {g:?} vs scalar {w:?}"),
+            }
+        }
+        // The batch left the session's own posture untouched.
+        assert!(s.evidence().is_empty());
+        assert_eq!(s.last_query().lanes, batch.len());
     }
 
     /// Every query a session answers must be *bit-identical* to the

@@ -241,11 +241,12 @@ pub enum QueryKind {
     QueryBatch,
     MarginalBatch,
     AllMarginalsBatch,
+    MpeBatch,
 }
 
 impl QueryKind {
     /// Every kind, in [`QueryKind::index`] order.
-    pub const ALL: [QueryKind; 15] = [
+    pub const ALL: [QueryKind; 16] = [
         QueryKind::Condition,
         QueryKind::Retract,
         QueryKind::Consistent,
@@ -261,6 +262,7 @@ impl QueryKind {
         QueryKind::QueryBatch,
         QueryKind::MarginalBatch,
         QueryKind::AllMarginalsBatch,
+        QueryKind::MpeBatch,
     ];
 
     /// The `kind` label value.
@@ -281,6 +283,7 @@ impl QueryKind {
             QueryKind::QueryBatch => "query_batch",
             QueryKind::MarginalBatch => "marginal_batch",
             QueryKind::AllMarginalsBatch => "marginals_batch",
+            QueryKind::MpeBatch => "mpe_batch",
         }
     }
 

@@ -387,9 +387,10 @@ fn hundred_thousand_variable_frozen_session_on_a_default_stack() {
 /// over the 100k-variable frozen chain, on the default test thread. Every
 /// lane of `marginal_batch` must be bit-identical to the scalar
 /// condition-then-marginal loop (the batched sweep is the same per-lane
-/// op sequence, just column-parallel), and `query_batch` to the scalar
-/// `query` loop — the deep-vtree case of the batched-core contract, where
-/// the lane tables run to ~2M gate columns.
+/// op sequence, just column-parallel), `query_batch` to the scalar
+/// `query` loop, and `mpe_batch` — score and full 100k-bit witness — to
+/// the scalar condition-then-mpe loop — the deep-vtree case of the
+/// batched-core contract, where the lane tables run to ~2M gate columns.
 #[test]
 fn sixteen_lane_batch_over_the_hundred_thousand_variable_kb() {
     let n = DEEP_N;
@@ -411,6 +412,7 @@ fn sixteen_lane_batch_over_the_hundred_thousand_variable_kb() {
     let mut batched = frozen.session();
     let marginals = batched.marginal_batch(target, &batch);
     let joints = batched.query_batch(&batch);
+    let mpes = batched.mpe_batch(&batch);
 
     let mut scalar = frozen.session();
     for (l, e) in batch.iter().enumerate() {
@@ -423,6 +425,7 @@ fn sixteen_lane_batch_over_the_hundred_thousand_variable_kb() {
         );
         scalar.condition(e).unwrap();
         let want = scalar.marginal(target).unwrap();
+        let want_mpe = scalar.mpe().unwrap();
         scalar.retract();
         let got = marginals[l].as_ref().expect("batched lane is consistent");
         assert_eq!(
@@ -431,6 +434,20 @@ fn sixteen_lane_batch_over_the_hundred_thousand_variable_kb() {
             "marginal lane {l} diverged at depth"
         );
         assert!((0.0..=1.0 + 1e-12).contains(got));
+        // mpe_batch: score AND 100k-bit witness, bit-identical to the
+        // scalar argmax descent (the MaxPlus lane decode reproduces its
+        // tie-breaking exactly).
+        let got_mpe = mpes[l].as_ref().expect("batched lane is consistent");
+        assert_eq!(
+            got_mpe.log_weight.to_bits(),
+            want_mpe.log_weight.to_bits(),
+            "mpe lane {l} score diverged at depth"
+        );
+        assert_eq!(
+            got_mpe.assignment, want_mpe.assignment,
+            "mpe lane {l} witness diverged at depth"
+        );
+        assert_eq!(got_mpe.assignment.get(e[0].0), Some(e[0].1));
     }
 }
 

@@ -273,6 +273,13 @@ fn scalar_all_marginals(frozen: &Arc<FrozenKb>, e: &[Lit]) -> Result<Vec<(VarId,
     s.all_marginals()
 }
 
+/// As [`scalar_marginal`], for one lane of an MPE batch.
+fn scalar_mpe(frozen: &Arc<FrozenKb>, e: &[Lit]) -> Result<kb::Model, KbError> {
+    let mut s = frozen.session();
+    s.condition(e)?;
+    s.mpe()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -360,6 +367,68 @@ proptest! {
                 (p - with_t / total).abs() < 1e-9,
                 "lane {}: {} vs brute {}", l, p, with_t / total
             );
+        }
+    }
+
+    /// `mpe_batch` is **bit-identical**, lane for lane, to the scalar
+    /// serving loop (fresh session, `condition`, `mpe`) — score AND
+    /// witness, errors included. The MaxPlus lane decode reproduces the
+    /// scalar argmax descent's tie-breaking exactly, so even degenerate
+    /// weight ties may not flip a single assignment bit. Ok lanes are
+    /// additionally anchored to brute-force enumeration.
+    #[test]
+    fn mpe_batch_is_the_scalar_loop_bit_for_bit(
+        n in 2u32..=16, m in 0usize..20, seed: u64
+    ) {
+        let (f, probs) = random_instance(n, m, seed);
+        let frozen = Arc::new(kb_of(&f, &probs).freeze());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x3A9E);
+        let lanes = rng.gen_range(1..=9usize);
+        let batch = random_batch(n, lanes, &mut rng);
+
+        let mut batched = frozen.session();
+        let decoded = batched.mpe_batch(&batch);
+        prop_assert_eq!(decoded.len(), batch.len());
+        for (l, e) in batch.iter().enumerate() {
+            let want = scalar_mpe(&frozen, e);
+            match (&decoded[l], &want) {
+                (Ok(got), Ok(w)) => {
+                    prop_assert_eq!(
+                        got.log_weight.to_bits(), w.log_weight.to_bits(),
+                        "lane {} score", l
+                    );
+                    prop_assert_eq!(
+                        &got.assignment, &w.assignment,
+                        "lane {} witness", l
+                    );
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b, "lane {} error", l),
+                (got, want) => prop_assert!(
+                    false,
+                    "lane {} diverged: batched ok={} scalar ok={}",
+                    l, got.is_ok(), want.is_ok()
+                ),
+            }
+            // Brute-force anchor: the batched witness is a maximal model
+            // of f ∧ e.
+            if let Ok(got) = &decoded[l] {
+                let models = brute_models(&f, &probs, e);
+                let best = models
+                    .iter()
+                    .map(|(_, w)| *w)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(!models.is_empty(), "Ok lane over an empty model set");
+                prop_assert!(f.eval(&got.assignment), "lane {} witness satisfies f", l);
+                prop_assert!(
+                    e.iter().all(|&(v, b)| got.assignment.get(v) == Some(b)),
+                    "lane {} witness honors its evidence", l
+                );
+                let gw = got.weight();
+                prop_assert!(
+                    (gw - best).abs() <= 1e-9 * best,
+                    "lane {}: mpe weight {} vs brute best {}", l, gw, best
+                );
+            }
         }
     }
 }

@@ -2,7 +2,8 @@
 //! line-delimited queries from stdin or a TCP socket across a shard pool.
 //!
 //! ```text
-//! kb-server [--shards N] [--replicas R] [--listen ADDR] [--snapshot PATH]... SPEC...
+//! kb-server [--shards N] [--replicas R] [--batch-window MICROS]
+//!           [--listen ADDR] [--snapshot PATH]... SPEC...
 //!
 //! SPEC:  path/to/file.cnf   a (weighted) DIMACS CNF file
 //!        chain:N            the treewidth-1 chain family, N variables
@@ -18,11 +19,21 @@
 //! one slab via `Arc`, so a hot base serves from several shards at the
 //! cost of one session's caches per replica — no SDD is copied.
 //!
+//! `--batch-window MICROS` (default 0: off) opens the adaptive micro-batch
+//! window: a shard worker dequeuing a `query`/`marginal` job waits up to
+//! that long for compatible jobs — across connections — and answers the
+//! group as one lane sweep, bit-identically to the scalar path.
+//!
+//! TCP connections are served concurrently (protocol v4): each gets its
+//! own conversation with a private sequence space over the shared shard
+//! pool, so two clients' jobs interleave in the shard queues and coalesce
+//! when the window is open. `quit` from any client stops the server.
+//!
 //! Every conversation opens with a versioned banner so clients can check
 //! compatibility before sending anything:
 //!
 //! ```text
-//! hello kb-server protocol 3 snap 1 obs 1
+//! hello kb-server protocol 4 snap 1 obs 1
 //! ```
 //!
 //! Protocol (one request per line; answers are `<seq> ok …` / `<seq> err …`
@@ -51,13 +62,15 @@
 use kb::{FrozenKb, KnowledgeBase};
 use obs::{MetricsRegistry, MetricsSnapshot};
 use sentential_core::Compiler;
-use serve::{parse_request, KbServer, Request, PROTOCOL_VERSION};
+use serve::{parse_request, ClientHandle, KbServer, Request, PROTOCOL_VERSION};
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: kb-server [--shards N] [--replicas R] [--listen ADDR] [--snapshot PATH]... SPEC...\n\
+        "usage: kb-server [--shards N] [--replicas R] [--batch-window MICROS] \
+         [--listen ADDR] [--snapshot PATH]... SPEC...\n\
          SPEC: path.cnf | chain:N | band:N:W | snap:PATH"
     );
     std::process::exit(2);
@@ -107,8 +120,11 @@ fn save_kb(kbs: &[Arc<FrozenKb>], kb: usize, path: &str) -> Result<(), String> {
 
 /// One protocol conversation: read lines from `input`, write responses to
 /// `output`. Returns `false` when the client asked the server to quit.
+/// Each conversation runs over its own [`ClientHandle`], so concurrent
+/// connections have private sequence spaces and never steal each other's
+/// answers.
 fn converse(
-    server: &mut KbServer,
+    server: &mut ClientHandle,
     kbs: &[Arc<FrozenKb>],
     boot: &MetricsSnapshot,
     input: &mut dyn BufRead,
@@ -194,6 +210,7 @@ fn converse(
 fn main() {
     let mut shards = 4usize;
     let mut replicas = 1usize;
+    let mut batch_window = Duration::ZERO;
     let mut listen: Option<String> = None;
     let mut specs: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -206,6 +223,10 @@ fn main() {
             "--replicas" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) if v >= 1 => replicas = v,
                 _ => usage(),
+            },
+            "--batch-window" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => batch_window = Duration::from_micros(v),
+                None => usage(),
             },
             "--listen" => match args.next() {
                 Some(v) => listen = Some(v),
@@ -265,15 +286,17 @@ fn main() {
 
     // The shard pool takes ownership of one Arc per base; this second list
     // serves the front-end `save` verb.
-    let kbs_for_save = kbs.clone();
-    let mut server = KbServer::new(kbs, shards);
+    let kbs_for_save = Arc::new(kbs.clone());
+    let boot = Arc::new(boot);
+    let server = KbServer::with_batch_window(kbs, shards, batch_window);
     match listen {
         None => {
+            let mut handle = server.client();
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
             let mut input = stdin.lock();
             let mut output = BufWriter::new(stdout.lock());
-            if let Err(e) = converse(&mut server, &kbs_for_save, &boot, &mut input, &mut output) {
+            if let Err(e) = converse(&mut handle, &kbs_for_save, &boot, &mut input, &mut output) {
                 eprintln!("kb-server: {e}");
             }
         }
@@ -285,30 +308,49 @@ fn main() {
                     std::process::exit(1);
                 }
             };
-            eprintln!("kb-server: listening on {addr}");
-            // Connections are served sequentially over one shard pool, so
-            // session state persists across reconnects.
-            for conn in listener.incoming() {
-                match conn {
-                    Ok(stream) => {
-                        let peer = stream.peer_addr().ok();
-                        let mut input = BufReader::new(match stream.try_clone() {
-                            Ok(s) => s,
-                            Err(e) => {
-                                eprintln!("kb-server: {e}");
-                                continue;
-                            }
-                        });
-                        let mut output = BufWriter::new(stream);
-                        match converse(&mut server, &kbs_for_save, &boot, &mut input, &mut output) {
-                            Ok(true) => eprintln!("kb-server: {peer:?} disconnected"),
-                            Ok(false) => break,
-                            Err(e) => eprintln!("kb-server: {peer:?}: {e}"),
+            eprintln!(
+                "kb-server: listening on {addr} (batch window {} us)",
+                batch_window.as_micros()
+            );
+            // Connections are served concurrently over one shard pool:
+            // the accept thread forks one ClientHandle per connection and
+            // hands it to a conversation thread. A `quit` from any client
+            // signals the main thread, which shuts the pool down (the
+            // process exit then tears the accept loop down with it).
+            let (quit_tx, quit_rx) = mpsc::channel::<()>();
+            let accept_client = server.client();
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    match conn {
+                        Ok(stream) => {
+                            let peer = stream.peer_addr().ok();
+                            let mut handle = accept_client.fork();
+                            let kbs = Arc::clone(&kbs_for_save);
+                            let boot = Arc::clone(&boot);
+                            let quit = quit_tx.clone();
+                            std::thread::spawn(move || {
+                                let mut input = BufReader::new(match stream.try_clone() {
+                                    Ok(s) => s,
+                                    Err(e) => {
+                                        eprintln!("kb-server: {e}");
+                                        return;
+                                    }
+                                });
+                                let mut output = BufWriter::new(stream);
+                                match converse(&mut handle, &kbs, &boot, &mut input, &mut output) {
+                                    Ok(true) => eprintln!("kb-server: {peer:?} disconnected"),
+                                    Ok(false) => {
+                                        let _ = quit.send(());
+                                    }
+                                    Err(e) => eprintln!("kb-server: {peer:?}: {e}"),
+                                }
+                            });
                         }
+                        Err(e) => eprintln!("kb-server: accept: {e}"),
                     }
-                    Err(e) => eprintln!("kb-server: accept: {e}"),
                 }
-            }
+            });
+            let _ = quit_rx.recv();
         }
     }
     for s in server.shutdown() {

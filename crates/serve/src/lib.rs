@@ -38,7 +38,15 @@ use vtree::VarId;
 /// `slow`, `trace <id>`) and the queue-wait / merged-line extensions of
 /// `stats`. Version 3 added the `batch` request form (`batch <kb>
 /// <cmd> ; <cmd> ; …`, answered as one `ok batch <n> ; …` block).
-pub const PROTOCOL_VERSION: u32 = 3;
+/// Version 4 made `kb-server` connections concurrent (each conversation
+/// gets its own sequence space) and added the adaptive micro-batch window
+/// (`--batch-window`), with its coalescing counters appended to the
+/// `stats` lines (`coalesced`, `window_wait_us`).
+pub const PROTOCOL_VERSION: u32 = 4;
+
+/// Most lanes one coalesced cross-client group packs into a single sweep
+/// (the batched kernels' sweet spot — the widest batch the benches gate).
+pub const MAX_COALESCE_LANES: usize = 64;
 
 /// Traces retained per server in the slow-query log (the N worst).
 pub const SLOW_LOG_CAPACITY: usize = 32;
@@ -301,6 +309,13 @@ pub struct ShardStats {
     pub eval_hits: u64,
     /// Node values recomputed (total dirty-cone size).
     pub eval_recomputed: u64,
+    /// Requests answered by riding another request's sweep — for every
+    /// coalesced group of width `w ≥ 2`, the `w − 1` followers count here.
+    pub coalesced: u64,
+    /// Wall-clock time the micro-batch window spent blocked waiting for
+    /// more work (zero when `--batch-window` is 0: the bypass never arms
+    /// a timer).
+    pub window_wait: Duration,
 }
 
 impl ShardStats {
@@ -313,14 +328,16 @@ impl ShardStats {
     /// all-shards line.
     fn render_counters(&self) -> String {
         format!(
-            "kbs {} served {} busy_us {} queue_us {} eval_lookups {} eval_hits {} eval_recomputed {}",
+            "kbs {} served {} busy_us {} queue_us {} eval_lookups {} eval_hits {} eval_recomputed {} coalesced {} window_wait_us {}",
             self.kbs,
             self.served,
             self.busy.as_micros(),
             self.queue_wait.as_micros(),
             self.eval_lookups,
             self.eval_hits,
-            self.eval_recomputed
+            self.eval_recomputed,
+            self.coalesced,
+            self.window_wait.as_micros()
         )
     }
 
@@ -345,6 +362,8 @@ impl ShardStats {
             all.eval_lookups += s.eval_lookups;
             all.eval_hits += s.eval_hits;
             all.eval_recomputed += s.eval_recomputed;
+            all.coalesced += s.coalesced;
+            all.window_wait += s.window_wait;
         }
         all
     }
@@ -358,6 +377,11 @@ enum Job {
         /// When the front-end enqueued the job (feeds
         /// [`ShardStats::queue_wait`]).
         submitted: Instant,
+        /// Where the answer goes. Each [`ClientHandle`] collects on its own
+        /// channel, so concurrent conversations never see each other's
+        /// responses — and a coalesced group fans its per-lane answers back
+        /// to each member's own client.
+        reply: mpsc::Sender<(u64, String)>,
     },
     /// A `batch` request: N sub-commands against one base, answered as a
     /// single response block by the owning shard.
@@ -366,39 +390,193 @@ enum Job {
         kb: usize,
         cmds: Vec<Command>,
         submitted: Instant,
+        reply: mpsc::Sender<(u64, String)>,
     },
     Stats {
         reply: mpsc::Sender<ShardStats>,
     },
+    /// Explicit worker shutdown ([`KbServer::shutdown`]): queued work ahead
+    /// of this marker still completes, then the worker exits even while
+    /// forked [`ClientHandle`]s keep their job senders alive.
+    Shutdown,
+}
+
+/// A dequeued `Run` job the shard worker has taken ownership of — the
+/// coalescer's unit of grouping.
+struct Pending {
+    seq: u64,
+    kb: usize,
+    cmd: Command,
+    submitted: Instant,
+    reply: mpsc::Sender<(u64, String)>,
+}
+
+/// One shard-owned session slot, with what the coalescer needs to prove
+/// two replicas interchangeable: the slab identity and whether this
+/// session's weight table ever diverged from it.
+struct ShardSlot {
+    id: usize,
+    slab: Arc<FrozenKb>,
+    session: KbSession,
+    /// `setp` ran on this session (sticky — weight divergence survives
+    /// `retract`, which only restores the pins).
+    weights_diverged: bool,
+}
+
+impl ShardSlot {
+    /// Is the session observably at the slab's frozen baseline posture?
+    /// Evidence is re-checked live (so `condition` → `retract` returns a
+    /// replica to the coalescable pool); weights are sticky.
+    fn baseline(&self) -> bool {
+        !self.weights_diverged && self.session.evidence().is_empty()
+    }
+}
+
+/// May `(kb, cmd)` join a coalesced group led by `leader`? Same command
+/// family always; and either the very same base (one session answers all
+/// its own queued queries — whatever its posture, `query_batch` is the
+/// scalar loop bit-for-bit) or a replica of the same slab with both
+/// sessions at the baseline posture (then the leader's session answers for
+/// the member's, and determinism makes the answers bit-identical).
+fn coalescible_with(slots: &[ShardSlot], leader: &Pending, kb: usize, cmd: &Command) -> bool {
+    let same_family = matches!(
+        (&leader.cmd, cmd),
+        (Command::Query(_), Command::Query(_)) | (Command::Marginal(_), Command::Marginal(_))
+    );
+    if !same_family {
+        return false;
+    }
+    if kb == leader.kb {
+        return true;
+    }
+    let (Some(a), Some(b)) = (
+        slots.iter().find(|t| t.id == leader.kb),
+        slots.iter().find(|t| t.id == kb),
+    ) else {
+        return false;
+    };
+    Arc::ptr_eq(&a.slab, &b.slab) && a.baseline() && b.baseline()
+}
+
+/// Fold one query's cost into the shard counters.
+fn observe_query(stats: &mut ShardStats, q: &kb::KbQueryStats) {
+    stats.busy += q.duration;
+    stats.eval_lookups += q.eval.lookups;
+    stats.eval_hits += q.eval.hits;
+    stats.eval_recomputed += q.eval.recomputed;
+}
+
+/// The scalar per-job path (also the `--batch-window 0` path, unchanged
+/// from the sequential server: no timers, no queue scans).
+fn run_single(slots: &mut [ShardSlot], stats: &mut ShardStats, shard: usize, p: Pending) {
+    stats.queue_wait += p.submitted.elapsed();
+    let line = match slots.iter_mut().find(|t| t.id == p.kb) {
+        Some(slot) => {
+            if matches!(p.cmd, Command::SetProbability(..)) {
+                slot.weights_diverged = true;
+            }
+            let line = answer(&mut slot.session, &p.cmd);
+            stats.served += 1;
+            observe_query(stats, &slot.session.last_query());
+            line
+        }
+        None => format!("err kb {} is not on shard {shard}", p.kb),
+    };
+    let _ = p.reply.send((p.seq, line));
+}
+
+/// Answer a coalesced group (width ≥ 2) on the leader's session, fanning
+/// the seq-tagged per-lane responses back to each member's own client.
+/// `Query` groups run as one [`kb::KbSession::query_batch`] lane sweep —
+/// per-lane errors stay per-lane, so a poisoned member cannot touch its
+/// neighbors' answers. `Marginal` groups share the leader session's
+/// marginals table: the first call pays the sweep, the rest answer from
+/// the memo (bit-identical either way — the table does not depend on
+/// which replica computes it).
+fn answer_group(
+    slots: &mut [ShardSlot],
+    stats: &mut ShardStats,
+    shard: usize,
+    group: Vec<Pending>,
+) {
+    for p in &group {
+        stats.queue_wait += p.submitted.elapsed();
+    }
+    let leader_kb = group[0].kb;
+    let Some(slot) = slots.iter_mut().find(|t| t.id == leader_kb) else {
+        for p in group {
+            let _ = p
+                .reply
+                .send((p.seq, format!("err kb {} is not on shard {shard}", p.kb)));
+        }
+        return;
+    };
+    stats.coalesced += (group.len() - 1) as u64;
+    if matches!(group[0].cmd, Command::Query(_)) {
+        let queries: Vec<Vec<Lit>> = group
+            .iter()
+            .map(|p| match &p.cmd {
+                Command::Query(lits) => lits.clone(),
+                _ => unreachable!("coalesced groups are single-family"),
+            })
+            .collect();
+        let answers = slot.session.query_batch(&queries);
+        stats.served += group.len() as u64;
+        observe_query(stats, &slot.session.last_query());
+        for (p, r) in group.into_iter().zip(answers) {
+            let line = match r {
+                Ok(v) => format!("ok {v}"),
+                Err(e) => format!("err {e}"),
+            };
+            let _ = p.reply.send((p.seq, line));
+        }
+    } else {
+        for p in group {
+            let line = answer(&mut slot.session, &p.cmd);
+            stats.served += 1;
+            observe_query(stats, &slot.session.last_query());
+            let _ = p.reply.send((p.seq, line));
+        }
+    }
 }
 
 /// The sharded server: N frozen bases pinned across worker threads, a
-/// pipelined submit/collect interface, and per-shard statistics.
+/// pipelined submit/collect interface ([`ClientHandle`]; the server embeds
+/// one as its default front-end and [`KbServer::client`] forks more for
+/// concurrent conversations), and per-shard statistics.
 pub struct KbServer {
-    txs: Vec<mpsc::Sender<Job>>,
-    collect: mpsc::Receiver<(u64, String)>,
+    client: ClientHandle,
     handles: Vec<JoinHandle<ShardStats>>,
-    /// kb id → shard (deterministic, so session state stays coherent).
-    route: Vec<usize>,
-    next_seq: u64,
-    outstanding: u64,
-    /// One registry per shard — sessions record lock-free into their
-    /// shard's registry; [`KbServer::metrics_text`] merges the snapshots
-    /// into the pool view.
-    shard_metrics: Vec<Arc<MetricsRegistry>>,
-    /// The server-wide slow-query log all sessions offer traces to.
-    slow: Arc<SlowLog>,
 }
 
 impl KbServer {
     /// Spin up `threads` shard workers serving `kbs`. Base `i` is pinned
     /// to shard `i % threads`; each worker opens one private session per
     /// base it owns (registering one `Arc` several times is the supported
-    /// way to serve a hot base from several threads at once).
+    /// way to serve a hot base from several threads at once). The
+    /// micro-batch window is off — every request takes the scalar path.
     pub fn new(kbs: Vec<Arc<FrozenKb>>, threads: usize) -> KbServer {
+        KbServer::with_batch_window(kbs, threads, Duration::ZERO)
+    }
+
+    /// [`KbServer::new`] with an adaptive micro-batch window: on dequeuing
+    /// a `query` (or `marginal`) job, the shard worker drains compatible
+    /// jobs already queued — waiting up to `window` for more while the
+    /// queue is hot — and answers the whole group (up to
+    /// [`MAX_COALESCE_LANES`]) via one lane sweep on the leader's session,
+    /// fanning the seq-tagged answers back per client. Groups span clients
+    /// and replicas: any two baseline-posture sessions over the same slab
+    /// coalesce, as do all jobs against one base. Every grouped answer is
+    /// bit-identical to the scalar path, and a failing lane errs alone. A
+    /// zero `window` is a true bypass: the worker loop is the sequential
+    /// one — no timer syscalls, no extra queue scans.
+    pub fn with_batch_window(
+        kbs: Vec<Arc<FrozenKb>>,
+        threads: usize,
+        window: Duration,
+    ) -> KbServer {
         let threads = threads.max(1);
         let route: Vec<usize> = (0..kbs.len()).map(|i| i % threads).collect();
-        let (ctx, collect) = mpsc::channel::<(u64, String)>();
         let slow = Arc::new(SlowLog::new(SLOW_LOG_CAPACITY));
         let mut txs = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
@@ -407,62 +585,154 @@ impl KbServer {
             let (tx, rx) = mpsc::channel::<Job>();
             let registry = Arc::new(MetricsRegistry::new());
             shard_metrics.push(Arc::clone(&registry));
-            // (kb id, session) pairs this shard owns, each publishing into
-            // the shard's registry and the shared slow log.
-            let mut sessions: Vec<(usize, KbSession)> = kbs
+            // The session slots this shard owns, each publishing into the
+            // shard's registry and the shared slow log.
+            let mut slots: Vec<ShardSlot> = kbs
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| i % threads == shard)
                 .map(|(i, kb)| {
                     let mut session = kb.session();
                     session.attach_obs(Arc::clone(&registry), Some(Arc::clone(&slow)));
-                    (i, session)
+                    ShardSlot {
+                        id: i,
+                        slab: Arc::clone(kb),
+                        session,
+                        weights_diverged: false,
+                    }
                 })
                 .collect();
-            let ctx = ctx.clone();
             handles.push(std::thread::spawn(move || {
+                let shard_label = shard.to_string();
+                let depth_hist =
+                    registry.histogram("serve_batch_depth", &[("shard", &shard_label)]);
                 let mut stats = ShardStats {
                     shard,
-                    kbs: sessions.len(),
+                    kbs: slots.len(),
                     ..ShardStats::default()
                 };
-                while let Ok(job) = rx.recv() {
+                // A job the coalescer dequeued but could not group — it is
+                // already off the queue, so it runs on the next iteration
+                // (possibly leading a group of its own).
+                let mut carried: Option<Job> = None;
+                loop {
+                    let job = match carried.take() {
+                        Some(j) => j,
+                        None => match rx.recv() {
+                            Ok(j) => j,
+                            Err(_) => break, // every sender dropped
+                        },
+                    };
                     match job {
                         Job::Run {
                             seq,
                             kb,
                             cmd,
                             submitted,
-                        } => {
-                            stats.queue_wait += submitted.elapsed();
-                            let line = match sessions.iter_mut().find(|(i, _)| *i == kb) {
-                                Some((_, session)) => {
-                                    let line = answer(session, &cmd);
-                                    let q = session.last_query();
-                                    stats.served += 1;
-                                    stats.busy += q.duration;
-                                    stats.eval_lookups += q.eval.lookups;
-                                    stats.eval_hits += q.eval.hits;
-                                    stats.eval_recomputed += q.eval.recomputed;
-                                    line
+                            reply,
+                        } if window > Duration::ZERO
+                            && matches!(cmd, Command::Query(_) | Command::Marginal(_)) =>
+                        {
+                            // The adaptive micro-batch window: drain every
+                            // already-queued compatible job, and keep the
+                            // window open up to `window` for stragglers.
+                            // The first incompatible job closes the group
+                            // (preserving per-session order) and is carried
+                            // into the next iteration.
+                            let mut group = vec![Pending {
+                                seq,
+                                kb,
+                                cmd,
+                                submitted,
+                                reply,
+                            }];
+                            let deadline = Instant::now() + window;
+                            while group.len() < MAX_COALESCE_LANES {
+                                let next = match rx.try_recv() {
+                                    Ok(j) => j,
+                                    Err(mpsc::TryRecvError::Disconnected) => break,
+                                    Err(mpsc::TryRecvError::Empty) => {
+                                        let now = Instant::now();
+                                        if now >= deadline {
+                                            break;
+                                        }
+                                        let waited = Instant::now();
+                                        let got = rx.recv_timeout(deadline - now);
+                                        stats.window_wait += waited.elapsed();
+                                        match got {
+                                            Ok(j) => j,
+                                            Err(_) => break, // window expired
+                                        }
+                                    }
+                                };
+                                match next {
+                                    Job::Run {
+                                        seq,
+                                        kb,
+                                        cmd,
+                                        submitted,
+                                        reply,
+                                    } if coalescible_with(&slots, &group[0], kb, &cmd) => {
+                                        group.push(Pending {
+                                            seq,
+                                            kb,
+                                            cmd,
+                                            submitted,
+                                            reply,
+                                        });
+                                    }
+                                    other => {
+                                        carried = Some(other);
+                                        break;
+                                    }
                                 }
-                                None => format!("err kb {kb} is not on shard {shard}"),
-                            };
-                            if ctx.send((seq, line)).is_err() {
-                                break; // server dropped: shut down
                             }
+                            depth_hist.record(group.len() as u64);
+                            if group.len() == 1 {
+                                let p = group.pop().expect("one member");
+                                run_single(&mut slots, &mut stats, shard, p);
+                            } else {
+                                answer_group(&mut slots, &mut stats, shard, group);
+                            }
+                        }
+                        Job::Run {
+                            seq,
+                            kb,
+                            cmd,
+                            submitted,
+                            reply,
+                        } => {
+                            run_single(
+                                &mut slots,
+                                &mut stats,
+                                shard,
+                                Pending {
+                                    seq,
+                                    kb,
+                                    cmd,
+                                    submitted,
+                                    reply,
+                                },
+                            );
                         }
                         Job::RunBatch {
                             seq,
                             kb,
                             cmds,
                             submitted,
+                            reply,
                         } => {
                             stats.queue_wait += submitted.elapsed();
-                            let line = match sessions.iter_mut().find(|(i, _)| *i == kb) {
-                                Some((_, session)) => {
+                            let line = match slots.iter_mut().find(|t| t.id == kb) {
+                                Some(slot) => {
+                                    if cmds
+                                        .iter()
+                                        .any(|c| matches!(c, Command::SetProbability(..)))
+                                    {
+                                        slot.weights_diverged = true;
+                                    }
                                     stats.served += 1;
-                                    answer_batch(session, &cmds, |q| {
+                                    answer_batch(&mut slot.session, &cmds, |q| {
                                         stats.busy += q.duration;
                                         stats.eval_lookups += q.eval.lookups;
                                         stats.eval_hits += q.eval.hits;
@@ -471,28 +741,165 @@ impl KbServer {
                                 }
                                 None => format!("err kb {kb} is not on shard {shard}"),
                             };
-                            if ctx.send((seq, line)).is_err() {
-                                break; // server dropped: shut down
-                            }
+                            let _ = reply.send((seq, line));
                         }
                         Job::Stats { reply } => {
                             let _ = reply.send(stats.clone());
                         }
+                        Job::Shutdown => break,
                     }
                 }
                 stats
             }));
             txs.push(tx);
         }
+        let (reply_tx, collect) = mpsc::channel();
         KbServer {
-            txs,
-            collect,
+            client: ClientHandle {
+                txs,
+                route: Arc::new(route),
+                reply_tx,
+                collect,
+                next_seq: 0,
+                outstanding: 0,
+                shard_metrics: Arc::new(shard_metrics),
+                slow,
+            },
             handles,
-            route,
+        }
+    }
+
+    /// Knowledge bases registered (including replicas).
+    pub fn num_kbs(&self) -> usize {
+        self.client.num_kbs()
+    }
+
+    /// Shard worker threads.
+    pub fn num_shards(&self) -> usize {
+        self.client.num_shards()
+    }
+
+    /// Fork a fresh client conversation over the same shard pool. Each
+    /// handle has its own sequence space and its own reply channel, so
+    /// concurrent connections (protocol v4) never see each other's
+    /// answers — but their jobs interleave in the shard queues and
+    /// coalesce across handles when the micro-batch window is open.
+    pub fn client(&self) -> ClientHandle {
+        self.client.fork()
+    }
+
+    /// Submit a query; returns its sequence number. The call only enqueues
+    /// — collect the answer with [`KbServer::recv`] or [`KbServer::sync`].
+    pub fn submit(&mut self, kb: usize, cmd: Command) -> Result<u64, String> {
+        self.client.submit(kb, cmd)
+    }
+
+    /// Submit a `batch` request: every sub-command runs on the one session
+    /// owning base `kb`, in order, and the whole block comes back as one
+    /// seq-tagged response. All-`query` batches run as a single
+    /// lane-parallel sweep ([`kb::KbSession::query_batch`]).
+    pub fn submit_batch(&mut self, kb: usize, cmds: Vec<Command>) -> Result<u64, String> {
+        self.client.submit_batch(kb, cmds)
+    }
+
+    /// Responses not yet collected.
+    pub fn outstanding(&self) -> u64 {
+        self.client.outstanding()
+    }
+
+    /// Block for the next response (any shard, any order).
+    pub fn recv(&mut self) -> Option<(u64, String)> {
+        self.client.recv()
+    }
+
+    /// Responses that are already available, without blocking.
+    pub fn try_drain(&mut self) -> Vec<(u64, String)> {
+        self.client.try_drain()
+    }
+
+    /// Drain every outstanding response, returned in sequence order.
+    pub fn sync(&mut self) -> Vec<(u64, String)> {
+        self.client.sync()
+    }
+
+    /// Per-shard counters (drains this handle's outstanding work first so
+    /// the counters cover everything it submitted so far).
+    pub fn stats(&mut self) -> Vec<ShardStats> {
+        self.client.stats()
+    }
+
+    /// Render the pool-wide metrics view in Prometheus text format.
+    pub fn metrics_text(&mut self, extra: Option<&MetricsSnapshot>) -> String {
+        self.client.metrics_text(extra)
+    }
+
+    /// The slow-query log shared by every session in the pool, slowest
+    /// first.
+    pub fn slow_traces(&self) -> Vec<TraceRecord> {
+        self.client.slow_traces()
+    }
+
+    /// Look up one retained trace by id.
+    pub fn trace(&self, id: u64) -> Option<TraceRecord> {
+        self.client.trace(id)
+    }
+
+    /// Shut down: tell every worker to exit once the queued work ahead is
+    /// answered, join them, and return the final per-shard counters.
+    /// Forked [`ClientHandle`]s may still be alive (their submits will
+    /// fail with "shard gone"); the explicit [`Job::Shutdown`] marker is
+    /// what lets the workers exit while those handles hold senders.
+    pub fn shutdown(mut self) -> Vec<ShardStats> {
+        let _ = self.client.sync();
+        for tx in &self.client.txs {
+            let _ = tx.send(Job::Shutdown);
+        }
+        self.client.txs.clear();
+        let mut stats: Vec<ShardStats> = self
+            .handles
+            .drain(..)
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect();
+        stats.sort_by_key(|s| s.shard);
+        stats
+    }
+}
+
+/// One client conversation over a [`KbServer`] shard pool: a private
+/// sequence space and reply channel on top of the shared job queues.
+/// Handles are forked ([`KbServer::client`]) per concurrent connection;
+/// each is single-threaded but independent of its siblings.
+pub struct ClientHandle {
+    txs: Vec<mpsc::Sender<Job>>,
+    /// kb id → shard (deterministic, so session state stays coherent).
+    route: Arc<Vec<usize>>,
+    /// Sender side of this handle's reply channel, cloned into every job.
+    reply_tx: mpsc::Sender<(u64, String)>,
+    collect: mpsc::Receiver<(u64, String)>,
+    next_seq: u64,
+    outstanding: u64,
+    /// One registry per shard — sessions record lock-free into their
+    /// shard's registry; [`ClientHandle::metrics_text`] merges the
+    /// snapshots into the pool view.
+    shard_metrics: Arc<Vec<Arc<MetricsRegistry>>>,
+    /// The server-wide slow-query log all sessions offer traces to.
+    slow: Arc<SlowLog>,
+}
+
+impl ClientHandle {
+    /// Fork a sibling conversation: same shard pool, fresh sequence space
+    /// and reply channel.
+    pub fn fork(&self) -> ClientHandle {
+        let (reply_tx, collect) = mpsc::channel();
+        ClientHandle {
+            txs: self.txs.clone(),
+            route: Arc::clone(&self.route),
+            reply_tx,
+            collect,
             next_seq: 0,
             outstanding: 0,
-            shard_metrics,
-            slow,
+            shard_metrics: Arc::clone(&self.shard_metrics),
+            slow: Arc::clone(&self.slow),
         }
     }
 
@@ -506,8 +913,9 @@ impl KbServer {
         self.txs.len()
     }
 
-    /// Submit a query; returns its sequence number. The call only enqueues
-    /// — collect the answer with [`KbServer::recv`] or [`KbServer::sync`].
+    /// Submit a query; returns its sequence number (private to this
+    /// handle). The call only enqueues — collect the answer with
+    /// [`ClientHandle::recv`] or [`ClientHandle::sync`].
     pub fn submit(&mut self, kb: usize, cmd: Command) -> Result<u64, String> {
         let &shard = self
             .route
@@ -522,15 +930,13 @@ impl KbServer {
                 kb,
                 cmd,
                 submitted: Instant::now(),
+                reply: self.reply_tx.clone(),
             })
             .map_err(|_| format!("shard {shard} is gone"))?;
         Ok(seq)
     }
 
-    /// Submit a `batch` request: every sub-command runs on the one session
-    /// owning base `kb`, in order, and the whole block comes back as one
-    /// seq-tagged response. All-`query` batches run as a single
-    /// lane-parallel sweep ([`kb::KbSession::query_batch`]).
+    /// Submit a `batch` request (see [`KbServer::submit_batch`]).
     pub fn submit_batch(&mut self, kb: usize, cmds: Vec<Command>) -> Result<u64, String> {
         let &shard = self
             .route
@@ -545,17 +951,18 @@ impl KbServer {
                 kb,
                 cmds,
                 submitted: Instant::now(),
+                reply: self.reply_tx.clone(),
             })
             .map_err(|_| format!("shard {shard} is gone"))?;
         Ok(seq)
     }
 
-    /// Responses not yet collected.
+    /// Responses not yet collected by this handle.
     pub fn outstanding(&self) -> u64 {
         self.outstanding
     }
 
-    /// Block for the next response (any shard, any order).
+    /// Block for this handle's next response (any shard, any order).
     pub fn recv(&mut self) -> Option<(u64, String)> {
         if self.outstanding == 0 {
             return None;
@@ -592,8 +999,9 @@ impl KbServer {
         out
     }
 
-    /// Per-shard counters (drains outstanding work first so the counters
-    /// cover everything submitted so far).
+    /// Per-shard counters (drains this handle's outstanding work first so
+    /// the counters cover everything it submitted so far; siblings'
+    /// in-flight work is counted whenever their jobs finish).
     pub fn stats(&mut self) -> Vec<ShardStats> {
         let _ = self.sync();
         let (tx, rx) = mpsc::channel();
@@ -612,15 +1020,16 @@ impl KbServer {
     /// Render the pool-wide metrics view in Prometheus text format.
     ///
     /// Merges every shard registry (per-query families recorded by the
-    /// sessions), grafts the `serve_*` families from the shard counters —
-    /// one sample per shard plus a `shard="all"` roll-up — and prepends
-    /// `extra` (typically the boot registry holding compile-time and
-    /// per-kb gauges). Drains outstanding work first so the counters
+    /// sessions, including the `serve_batch_depth` histogram the
+    /// coalescer records), grafts the `serve_*` families from the shard
+    /// counters — one sample per shard plus a `shard="all"` roll-up — and
+    /// prepends `extra` (typically the boot registry holding compile-time
+    /// and per-kb gauges). Drains outstanding work first so the counters
     /// cover everything submitted so far.
     pub fn metrics_text(&mut self, extra: Option<&MetricsSnapshot>) -> String {
         let stats = self.stats();
         let mut snap = extra.cloned().unwrap_or_default();
-        for registry in &self.shard_metrics {
+        for registry in self.shard_metrics.iter() {
             snap.merge(&registry.snapshot());
         }
         let mut rows: Vec<(String, &ShardStats)> =
@@ -636,6 +1045,12 @@ impl KbServer {
                 &label,
                 s.queue_wait.as_micros() as u64,
             );
+            snap.set_counter("serve_coalesced_total", &label, s.coalesced);
+            snap.set_counter(
+                "serve_window_wait_us_total",
+                &label,
+                s.window_wait.as_micros() as u64,
+            );
             snap.set_gauge("serve_kbs", &label, s.kbs as f64);
         }
         snap.render_prometheus()
@@ -650,20 +1065,6 @@ impl KbServer {
     /// Look up one retained trace by id.
     pub fn trace(&self, id: u64) -> Option<TraceRecord> {
         self.slow.get(id)
-    }
-
-    /// Shut down: close the job queues, join every worker, and return the
-    /// final per-shard counters.
-    pub fn shutdown(mut self) -> Vec<ShardStats> {
-        let _ = self.sync();
-        self.txs.clear(); // closes the channels; workers drain and exit
-        let mut stats: Vec<ShardStats> = self
-            .handles
-            .drain(..)
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect();
-        stats.sort_by_key(|s| s.shard);
-        stats
     }
 }
 
@@ -948,6 +1349,8 @@ mod tests {
                 eval_lookups: 100,
                 eval_hits: 80,
                 eval_recomputed: 20,
+                coalesced: 3,
+                window_wait: Duration::from_micros(7),
             },
             ShardStats {
                 shard: 1,
@@ -958,6 +1361,8 @@ mod tests {
                 eval_lookups: 50,
                 eval_hits: 45,
                 eval_recomputed: 5,
+                coalesced: 1,
+                window_wait: Duration::from_micros(2),
             },
         ];
         let m = ShardStats::merged(&stats);
@@ -968,15 +1373,19 @@ mod tests {
             (m.eval_lookups, m.eval_hits, m.eval_recomputed),
             (150, 125, 25)
         );
+        assert_eq!(m.coalesced, 4);
+        assert_eq!(m.window_wait, Duration::from_micros(9));
         assert_eq!(
             stats[0].render(),
             "shard 0 kbs 2 served 10 busy_us 500 queue_us 40 \
-             eval_lookups 100 eval_hits 80 eval_recomputed 20"
+             eval_lookups 100 eval_hits 80 eval_recomputed 20 \
+             coalesced 3 window_wait_us 7"
         );
         assert_eq!(
             ShardStats::render_merged(&stats),
             "all kbs 3 served 15 busy_us 800 queue_us 50 \
-             eval_lookups 150 eval_hits 125 eval_recomputed 25"
+             eval_lookups 150 eval_hits 125 eval_recomputed 25 \
+             coalesced 4 window_wait_us 9"
         );
     }
 }

@@ -8,6 +8,7 @@ use kb::KnowledgeBase;
 use sentential_core::Compiler;
 use serve::{parse_request, Command, KbServer, Request};
 use std::sync::Arc;
+use std::time::Duration;
 use vtree::VarId;
 
 fn v(i: u32) -> VarId {
@@ -253,6 +254,117 @@ fn slow_log_retains_traces_that_the_trace_verb_can_look_up() {
         .iter()
         .all(|t| t.label == "marginals" || t.label == "mpe"));
     assert!(server.trace(u64::MAX).is_none());
+    server.shutdown();
+}
+
+/// A coalesced cross-client group must answer every member bit-identically
+/// to the scalar (window-off) path, and a poisoned lane — one naming an
+/// unknown variable — must err alone: the seven lanes around it keep
+/// their exact scalar answers (including the zero-weight contradiction).
+#[test]
+fn coalesced_groups_isolate_poisoned_lanes_bit_identically() {
+    const N: u32 = 16;
+    let frozen = Arc::new(chain_kb(N).freeze());
+
+    // Eight single-query requests: lane 3 is poisoned (it names a variable
+    // the base has never heard of), lane 6 is a contradiction (weight 0).
+    let requests: Vec<Vec<(VarId, bool)>> = vec![
+        vec![(v(0), true)],
+        vec![(v(2), false), (v(5), true)],
+        vec![(v(7), true)],
+        vec![(v(99), true)], // poisoned: unknown variable
+        vec![(v(9), false)],
+        vec![(v(11), true), (v(1), true)],
+        vec![(v(4), true), (v(4), false)], // contradiction: weight zero
+        vec![(v(14), false)],
+    ];
+
+    // Scalar oracle: the same wire requests through a window-off pool.
+    let mut scalar = KbServer::new(vec![Arc::clone(&frozen)], 1);
+    for q in &requests {
+        scalar.submit(0, Command::Query(q.clone())).unwrap();
+    }
+    let scalar_lines: Vec<String> = scalar.sync().into_iter().map(|(_, l)| l).collect();
+    scalar.shutdown();
+    assert!(scalar_lines[3].starts_with("err"), "{:?}", scalar_lines[3]);
+    assert_eq!(scalar_lines[6], "ok 0", "contradiction has weight zero");
+
+    // Windowed pool, one shard: each request arrives on its own client
+    // handle, so the group the worker coalesces spans eight clients.
+    let server =
+        KbServer::with_batch_window(vec![Arc::clone(&frozen)], 1, Duration::from_millis(200));
+    let mut handles: Vec<_> = requests.iter().map(|_| server.client()).collect();
+    for (h, q) in handles.iter_mut().zip(&requests) {
+        h.submit(0, Command::Query(q.clone())).unwrap();
+    }
+    let grouped: Vec<String> = handles
+        .iter_mut()
+        .map(|h| {
+            let (seq, line) = h.recv().expect("answer per client");
+            assert_eq!(seq, 0, "each handle has a private sequence space");
+            line
+        })
+        .collect();
+    assert_eq!(grouped, scalar_lines);
+
+    // The window really grouped across clients (the healthy lanes around
+    // the poisoned ones rode one sweep).
+    let mut control = server.client();
+    let stats = control.stats();
+    let merged = serve::ShardStats::merged(&stats);
+    assert_eq!(merged.served, requests.len() as u64);
+    assert!(
+        merged.coalesced > 0,
+        "window open + eight queued clients must coalesce"
+    );
+    let text = control.metrics_text(None);
+    assert!(
+        text.contains("serve_coalesced_total{shard=\"all\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("serve_batch_depth_count{shard=\"0\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("serve_window_wait_us_total{shard=\"all\"}"),
+        "{text}"
+    );
+    server.shutdown();
+}
+
+/// Forked client handles have private sequence spaces and reply channels:
+/// interleaved submissions over one shard pool never leak answers across
+/// handles, and cross-kb groups (replicas of one slab at baseline posture)
+/// stay bit-identical to the scalar path.
+#[test]
+fn concurrent_client_handles_demux_their_own_answers() {
+    const N: u32 = 16;
+    let frozen = Arc::new(chain_kb(N).freeze());
+    let kbs = vec![Arc::clone(&frozen), Arc::clone(&frozen)];
+    let server = KbServer::with_batch_window(kbs, 1, Duration::from_millis(100));
+    let mut alice = server.client();
+    let mut bob = server.client();
+
+    // Alice queries kb 0, Bob queries kb 1 (a replica of the same slab):
+    // both sides use the same sequence numbers on purpose.
+    let mut oracle = chain_kb(N);
+    let mut expect_alice = Vec::new();
+    let mut expect_bob = Vec::new();
+    for i in 0..6u32 {
+        let qa = [(v(i), true)];
+        let qb = [(v(i + 8), false)];
+        alice.submit(0, Command::Query(qa.to_vec())).unwrap();
+        bob.submit(1, Command::Query(qb.to_vec())).unwrap();
+        expect_alice.push(format!("ok {}", oracle.query(&qa).unwrap()));
+        expect_bob.push(format!("ok {}", oracle.query(&qb).unwrap()));
+    }
+    let got_bob: Vec<String> = bob.sync().into_iter().map(|(_, l)| l).collect();
+    let got_alice: Vec<String> = alice.sync().into_iter().map(|(_, l)| l).collect();
+    assert_eq!(got_alice, expect_alice);
+    assert_eq!(got_bob, expect_bob);
+    assert_eq!(alice.outstanding(), 0);
+    assert_eq!(bob.outstanding(), 0);
     server.shutdown();
 }
 
